@@ -1,0 +1,565 @@
+// Benchmarks mapping one-to-one onto the paper's evaluation:
+//
+//	BenchmarkTable1_*   — Table 1, the six PSE metadata operations
+//	BenchmarkTable2_*   — Table 2, binary FTP vs HTTP PUT
+//	BenchmarkTable3_*   — Table 3, per-tool load on OODB vs DAV
+//	BenchmarkMigration  — Section 3.2.4, OODB → DAV conversion
+//	BenchmarkAblation_* — design-choice axes (DOM vs SAX parsing,
+//	                      persistent vs per-request connections,
+//	                      SDBM vs GDBM property databases)
+//
+// The one-shot table generators with paper-side-by-side output live in
+// cmd/eccebench; these wrap the same code paths in testing.B.
+package repro
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/davclient"
+	"repro/internal/davproto"
+	"repro/internal/dbm"
+	"repro/internal/experiments"
+	"repro/internal/ftp"
+	"repro/internal/migrate"
+	"repro/internal/model"
+	"repro/internal/tools"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// table1Setup boots a DAV environment populated with the paper's 50
+// documents x 50 properties x 1 KB workload.
+func table1Setup(b *testing.B, persistent bool, parser davclient.ParserKind) *experiments.DAVEnv {
+	b.Helper()
+	env, err := experiments.StartDAVEnv(experiments.DAVEnvOptions{
+		Persistent: persistent, Parser: parser,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(env.Close)
+	c := env.Client
+	if err := c.Mkcol("/data"); err != nil {
+		b.Fatal(err)
+	}
+	value := bytes.Repeat([]byte{'m'}, 1024)
+	for d := 0; d < 50; d++ {
+		docPath := fmt.Sprintf("/data/doc%02d", d)
+		if _, err := c.PutBytes(docPath, []byte("body"), "text/plain"); err != nil {
+			b.Fatal(err)
+		}
+		props := make([]davproto.Property, 50)
+		for p := range props {
+			props[p] = davproto.NewTextProperty("ecce:", fmt.Sprintf("testprop%02d", p), string(value))
+		}
+		if err := c.SetProps(docPath, props...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return env
+}
+
+func table1Selected() []xml.Name {
+	names := make([]xml.Name, 5)
+	for i := range names {
+		names[i] = xml.Name{Space: "ecce:", Local: fmt.Sprintf("testprop%02d", i)}
+	}
+	return names
+}
+
+// Table 1(a): all metadata on one document, Depth 0. Paper: 0.068 s.
+func BenchmarkTable1_GetAllMetadataDepth0(b *testing.B) {
+	env := table1Setup(b, false, davclient.ParserDOM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Client.PropFindAll("/data/doc00", davproto.Depth0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1(b): five selected properties on one document. Paper: 0.055 s.
+func BenchmarkTable1_GetSelectedDepth0(b *testing.B) {
+	env := table1Setup(b, false, davclient.ParserDOM)
+	sel := table1Selected()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Client.PropFindSelected("/data/doc00", davproto.Depth0, sel...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1(c): five of fifty properties on 50 documents in one Depth 1
+// request. Paper: 2.732 s elapsed, 2.04 s CPU (DOM-parsing bound).
+func BenchmarkTable1_GetSelected50ObjectsDepth1(b *testing.B) {
+	env := table1Setup(b, false, davclient.ParserDOM)
+	sel := table1Selected()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := env.Client.PropFindSelected("/data", davproto.Depth1, sel...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms.Responses) != 51 {
+			b.Fatalf("responses = %d", len(ms.Responses))
+		}
+	}
+}
+
+// Table 1(d): the same query issued per document. Paper: 3.032 s.
+func BenchmarkTable1_Get50ObjectsOneAtATime(b *testing.B) {
+	env := table1Setup(b, false, davclient.ParserDOM)
+	sel := table1Selected()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < 50; d++ {
+			if _, err := env.Client.PropFindSelected(fmt.Sprintf("/data/doc%02d", d),
+				davproto.Depth0, sel...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Table 1(e): copy the 50-document hierarchy server-side. Paper: 3.482 s.
+func BenchmarkTable1_CopyHierarchy(b *testing.B) {
+	env := table1Setup(b, false, davclient.ParserDOM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := fmt.Sprintf("/copy-%d", i)
+		if err := env.Client.Copy("/data", dst, davproto.DepthInfinity, false); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := env.Client.Delete(dst); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// Table 1(f): remove the copied hierarchy. Paper: 1.782 s.
+//
+// Every removal needs a fresh copy, and the copy costs ~100x the
+// delete; excluding it with StopTimer would make testing.B ramp b.N
+// into hundreds of copies and blow the wall-clock budget. Instead each
+// iteration times copy+delete together and the delete alone is
+// reported as the custom delete-ns/op metric — that metric is the
+// Table 1(f) number.
+func BenchmarkTable1_RemoveHierarchy(b *testing.B) {
+	env := table1Setup(b, false, davclient.ParserDOM)
+	var deleteNS int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := fmt.Sprintf("/rm-%d", i)
+		if err := env.Client.Copy("/data", dst, davproto.DepthInfinity, false); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if err := env.Client.Delete(dst); err != nil {
+			b.Fatal(err)
+		}
+		deleteNS += time.Since(start).Nanoseconds()
+	}
+	b.ReportMetric(float64(deleteNS)/float64(b.N), "delete-ns/op")
+}
+
+// ---------------------------------------------------------------- Table 2
+
+const table2SizeMB = 20
+
+// Table 2: binary FTP STOR, local file to server file. Paper: 3.3 s
+// for 20 MB over 150 Mbit/s.
+func BenchmarkTable2_FTPStor20MB(b *testing.B) {
+	srcPath := benchPayload(b, table2SizeMB<<20)
+	root := b.TempDir()
+	srv := ftp.NewServer(root)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	c, err := ftp.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Quit() })
+	if err := c.Login("", ""); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(table2SizeMB << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(srcPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Stor("/payload.bin", f); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// Table 2: HTTP PUT of the same payload. Paper: 3.0 s for 20 MB —
+// "performed comparably with a standard binary-mode FTP client".
+func BenchmarkTable2_HTTPPut20MB(b *testing.B) {
+	srcPath := benchPayload(b, table2SizeMB<<20)
+	env, err := experiments.StartDAVEnv(experiments.DAVEnvOptions{Persistent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(env.Close)
+	b.SetBytes(table2SizeMB << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(srcPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := env.Client.Put("/payload.bin", f, "application/octet-stream"); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func benchPayload(b *testing.B, size int64) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "payload.bin")
+	buf := bytes.Repeat([]byte{0xA7, 0x13, 0x5C, 0xE9}, 1<<18) // 1 MiB, incompressible enough
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var written int64
+	for written < size {
+		n, err := f.Write(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		written += int64(n)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// table3Backends builds both storage architectures populated with the
+// UO2·15H2O workload and returns (name, storage, calcPath) triples.
+func table3Backends(b *testing.B) map[string]core.DataStorage {
+	b.Helper()
+	out := map[string]core.DataStorage{}
+
+	oenv, err := experiments.StartOODBEnv("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(oenv.Close)
+	out["OODB"] = oenv.Storage
+
+	denv, err := experiments.StartDAVEnv(experiments.DAVEnvOptions{Persistent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(denv.Close)
+	out["DAV"] = core.NewDAVStorage(denv.Client)
+	return out
+}
+
+// populateTable3 loads the Table 3 workload into a storage.
+func populateTable3(b *testing.B, s core.DataStorage) string {
+	b.Helper()
+	mol := chem.MakeUO2nH2O(15)
+	if err := s.CreateProject("/aqueous", model.Project{Name: "aqueous"}); err != nil {
+		b.Fatal(err)
+	}
+	calcPath := "/aqueous/uranyl"
+	if err := s.CreateCalculation(calcPath, model.Calculation{
+		Name: "uranyl", Theory: "DFT", State: model.StateReady}); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.SaveMolecule(calcPath, mol, chem.FormatXYZ); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.SaveBasis(calcPath, chem.STO3G()); err != nil {
+		b.Fatal(err)
+	}
+	deck, err := model.GenerateInputDeck(&model.Calculation{Theory: "DFT"}, mol,
+		chem.STO3G(), &model.Task{Kind: model.TaskEnergy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.SaveTask(calcPath, model.Task{Name: "energy", Kind: model.TaskEnergy,
+		Sequence: 1, InputDeck: deck}); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.SaveJob(calcPath, model.Job{Host: "mpp2", Status: model.JobDone}); err != nil {
+		b.Fatal(err)
+	}
+	// The paper's workload includes output properties up to 1.8 MB.
+	for _, p := range (model.SyntheticRunner{}).Run(mol, model.TaskEnergy) {
+		if err := s.SaveProperty(calcPath, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return calcPath
+}
+
+// Table 3: every tool's Load phase on both architectures. The paper's
+// headline: DAV loads are as fast or faster than the cache-forward
+// OODB despite being a request/response protocol.
+func BenchmarkTable3_ToolLoad(b *testing.B) {
+	for name, s := range table3Backends(b) {
+		calcPath := populateTable3(b, s)
+		for _, tool := range tools.All(s) {
+			if err := tool.Startup(); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(name+"/"+tool.Name(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := tool.Load(calcPath); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Table 3 (start column): tool startup is storage-independent; one
+// sub-benchmark per tool.
+func BenchmarkTable3_ToolStartup(b *testing.B) {
+	env, err := experiments.StartDAVEnv(experiments.DAVEnvOptions{Persistent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(env.Close)
+	s := core.NewDAVStorage(env.Client)
+	for _, tool := range tools.All(s) {
+		b.Run(tool.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := tool.Startup(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------------- Migration
+
+// Section 3.2.4: convert an OODB corpus to the DAV store.
+func BenchmarkMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		oenv, err := experiments.StartOODBEnv("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := oenv.Storage
+		if err := src.CreateProject("/p", model.Project{Name: "p"}); err != nil {
+			b.Fatal(err)
+		}
+		runner := model.SyntheticRunner{GridPoints: 8}
+		for c := 0; c < 8; c++ {
+			calcPath := fmt.Sprintf("/p/calc%d", c)
+			mol := chem.MakeUO2nH2O(c%3 + 1)
+			if err := src.CreateCalculation(calcPath, model.Calculation{Name: calcPath}); err != nil {
+				b.Fatal(err)
+			}
+			if err := src.SaveMolecule(calcPath, mol, chem.FormatXYZ); err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range runner.Run(mol, model.TaskEnergy) {
+				if err := src.SaveProperty(calcPath, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		denv, err := experiments.StartDAVEnv(experiments.DAVEnvOptions{Persistent: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := core.NewDAVStorage(denv.Client)
+		b.StartTimer()
+
+		if _, err := migrate.Migrate(src, dst, "/"); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		denv.Close()
+		oenv.Close()
+		b.StartTimer()
+	}
+}
+
+// ------------------------------------------------------------- Ablations
+
+// Ablation: the Table 1(c) bulk PROPFIND under both parsers and both
+// connection policies — the two optimizations the paper anticipated.
+func BenchmarkAblation_PropfindBulk(b *testing.B) {
+	configs := []struct {
+		name       string
+		persistent bool
+		parser     davclient.ParserKind
+	}{
+		{"DOM_reconnect", false, davclient.ParserDOM}, // the paper's measured configuration
+		{"DOM_persistent", true, davclient.ParserDOM},
+		{"SAX_reconnect", false, davclient.ParserSAX},
+		{"SAX_persistent", true, davclient.ParserSAX},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			env := table1Setup(b, cfg.persistent, cfg.parser)
+			sel := table1Selected()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.Client.PropFindSelected("/data", davproto.Depth1, sel...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: SDBM vs GDBM property databases under the server's
+// PROPPATCH/PROPFIND path.
+func BenchmarkAblation_DBMFlavour(b *testing.B) {
+	for _, flavour := range []dbm.Flavour{dbm.SDBM, dbm.GDBM} {
+		b.Run(flavour.String(), func(b *testing.B) {
+			env, err := experiments.StartDAVEnv(experiments.DAVEnvOptions{
+				Flavour: flavour, Persistent: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(env.Close)
+			c := env.Client
+			if _, err := c.PutBytes("/doc", []byte("x"), ""); err != nil {
+				b.Fatal(err)
+			}
+			val := string(bytes.Repeat([]byte{'v'}, 512))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prop := davproto.NewTextProperty("ecce:", fmt.Sprintf("p%d", i%50), val)
+				if err := c.SetProps("/doc", prop); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := c.GetProp("/doc", prop.Name()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: server-side DASL SEARCH vs the client-side PROPFIND walk
+// it replaces — the paper cites DASL as the anticipated fix for
+// client-side filtering. The workload tags 5 of 50 documents; SEARCH
+// returns 5 responses, the walk returns 51 and filters locally.
+func BenchmarkAblation_SearchVsWalk(b *testing.B) {
+	env := table1Setup(b, true, davclient.ParserDOM)
+	tag := xml.Name{Space: "ecce:", Local: "tagged"}
+	for d := 0; d < 50; d += 10 {
+		if err := env.Client.SetProps(fmt.Sprintf("/data/doc%02d", d),
+			davproto.NewTextProperty(tag.Space, tag.Local, "yes")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("SEARCH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, err := env.Client.Search(davproto.BasicSearch{
+				Select: []xml.Name{tag}, Scope: "/data",
+				Depth: davproto.DepthInfinity,
+				Where: davproto.IsDefinedExpr{Prop: tag},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ms.Responses) != 5 {
+				b.Fatalf("hits = %d", len(ms.Responses))
+			}
+		}
+	})
+	b.Run("PROPFIND_walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, err := env.Client.PropFindSelected("/data", davproto.DepthInfinity, tag)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hits := 0
+			for _, r := range ms.Responses {
+				if _, ok := davproto.PropsByName(r.Propstats)[tag]; ok {
+					hits++
+				}
+			}
+			if hits != 5 {
+				b.Fatalf("hits = %d", hits)
+			}
+		}
+	})
+}
+
+// Ablation: the ETag-revalidating client cache (the paper's
+// anticipated client-side cache) vs uncached GETs on a 1.8 MB
+// document.
+func BenchmarkAblation_ClientCache(b *testing.B) {
+	env, err := experiments.StartDAVEnv(experiments.DAVEnvOptions{Persistent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(env.Close)
+	body := bytes.Repeat([]byte{0x42}, 1800*1024)
+	if _, err := env.Client.PutBytes("/big", body, ""); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("uncached", func(b *testing.B) {
+		b.SetBytes(int64(len(body)))
+		for i := 0; i < b.N; i++ {
+			if _, err := env.Client.Get("/big"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cc := davclient.NewCaching(env.Client, 0)
+		if _, err := cc.Get("/big"); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(body)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cc.Get("/big"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: the full Table 1 run as a single measured unit (what
+// cmd/eccebench prints), useful for regression tracking.
+func BenchmarkAblation_Table1EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(experiments.Table1Options{
+			Docs: 20, Props: 20, ValueBytes: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 6 {
+			b.Fatal("short table")
+		}
+	}
+}

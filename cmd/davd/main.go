@@ -1,0 +1,95 @@
+// Command davd is the WebDAV server daemon — the Apache/mod_dav
+// equivalent in the reproduced architecture. It serves a filesystem
+// store (documents as plain files, properties in per-resource DBM
+// databases) over the RFC 2518 method set, with optional HTTP basic
+// authentication.
+//
+// Usage:
+//
+//	davd -addr :8080 -root /srv/ecce -flavour gdbm [-users users.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/auth"
+	"repro/internal/davserver"
+	"repro/internal/dbm"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		root     = flag.String("root", "./davroot", "store root directory")
+		flavour  = flag.String("flavour", "gdbm", "property database flavour: gdbm or sdbm")
+		usersArg = flag.String("users", "", "basic-auth credentials file (see davd -help-users); empty disables auth")
+		realm    = flag.String("realm", "Ecce", "basic-auth realm")
+		prefix   = flag.String("prefix", "", "URL path prefix to serve under (e.g. /dav)")
+		maxProp  = flag.Int("max-prop-bytes", davserver.DefaultMaxPropBytes,
+			"per-property size limit in bytes (the paper's production setting is 10 MB); -1 = unlimited")
+		connsPerMin = flag.Int("max-conn-per-min", 100,
+			"accepted connections per minute (the paper's Apache setting); 0 = unlimited")
+		quiet = flag.Bool("quiet", false, "suppress request error logging")
+	)
+	flag.Parse()
+
+	var fl dbm.Flavour
+	switch *flavour {
+	case "gdbm":
+		fl = dbm.GDBM
+	case "sdbm":
+		fl = dbm.SDBM
+	default:
+		log.Fatalf("davd: unknown flavour %q (want gdbm or sdbm)", *flavour)
+	}
+
+	fs, err := store.NewFSStore(*root, fl)
+	if err != nil {
+		log.Fatalf("davd: open store: %v", err)
+	}
+	defer fs.Close()
+
+	opts := &davserver.Options{MaxPropBytes: *maxProp, Prefix: *prefix}
+	if !*quiet {
+		opts.Logger = log.New(os.Stderr, "davd: ", log.LstdFlags)
+	}
+	handler := http.Handler(davserver.NewHandler(fs, opts))
+
+	if *usersArg != "" {
+		users, err := auth.Load(*usersArg)
+		if err != nil {
+			log.Fatalf("davd: load users: %v", err)
+		}
+		handler = auth.Basic(handler, *realm, users)
+		log.Printf("davd: basic authentication enabled (%d users)", len(users.Names()))
+	}
+
+	// The paper's server accepted persistent connections with "15
+	// seconds between requests" and "100 connections per minute".
+	srv := &http.Server{Handler: handler, IdleTimeout: davserver.KeepAliveTimeout}
+	listener, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("davd: listen: %v", err)
+	}
+	limited := davserver.LimitConnections(listener, *connsPerMin)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("davd: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Printf("davd: serving %s (%s properties) on http://%s%s\n", fs.Root(), fl, limited.Addr(), *prefix)
+	if err := srv.Serve(limited); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("davd: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Command eccebench regenerates every table and experiment in the
+// paper's evaluation, printing measured numbers next to the published
+// ones.
+//
+// Usage:
+//
+//	eccebench [flags] <table1|table2|table3|robust|disk|ablation|all>
+//
+// By default the paper's full workload sizes are used for table1 and
+// table3; table2, robust and disk default to scaled sizes unless -full
+// is given (the full sizes move hundreds of megabytes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		full  = flag.Bool("full", false, "use the paper's full sizes everywhere (slow: moves 100s of MB)")
+		docs  = flag.Int("docs", 50, "table1: number of documents")
+		props = flag.Int("props", 50, "table1: properties per document")
+		size  = flag.Int("propsize", 1024, "table1: property value bytes")
+		calcs = flag.Int("calcs", 64, "disk: calculations to migrate (paper: 259)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|ablation|all>")
+		os.Exit(2)
+	}
+	which := flag.Arg(0)
+	run := func(name string, fn func() error) {
+		if which == name || which == "all" {
+			if err := fn(); err != nil {
+				log.Fatalf("eccebench %s: %v", name, err)
+			}
+		}
+	}
+
+	run("table1", func() error {
+		res, err := experiments.RunTable1(experiments.Table1Options{
+			Docs: *docs, Props: *props, ValueBytes: *size,
+		})
+		if err != nil {
+			return err
+		}
+		res.Table().Fprint(os.Stdout)
+		return nil
+	})
+
+	run("table2", func() error {
+		sizes := []int{20}
+		if *full {
+			sizes = []int{20, 200}
+		}
+		res, err := experiments.RunTable2(experiments.Table2Options{SizesMB: sizes})
+		if err != nil {
+			return err
+		}
+		res.Table().Fprint(os.Stdout)
+		return nil
+	})
+
+	run("table3", func() error {
+		res, err := experiments.RunTable3(experiments.DefaultTable3Options())
+		if err != nil {
+			return err
+		}
+		for _, t := range res.Tables() {
+			t.Fprint(os.Stdout)
+		}
+		return nil
+	})
+
+	run("robust", func() error {
+		opts := experiments.RobustOptions{PropMB: 16, DocMB: 32, Repeats: 3}
+		if *full {
+			opts = experiments.DefaultRobustOptions() // 100 MB props, 200 MB docs
+		}
+		res, err := experiments.RunRobust(opts)
+		if err != nil {
+			return err
+		}
+		res.Table().Fprint(os.Stdout)
+		if !res.Passed() {
+			return fmt.Errorf("robustness checks failed")
+		}
+		return nil
+	})
+
+	run("disk", func() error {
+		opts := experiments.DefaultDiskOptions()
+		opts.Calculations = *calcs
+		if *full {
+			opts.Calculations = 259 // the paper's corpus size
+		}
+		res, err := experiments.RunDisk(opts)
+		if err != nil {
+			return err
+		}
+		res.Table().Fprint(os.Stdout)
+		return nil
+	})
+
+	run("ablation", runAblations)
+
+	switch which {
+	case "table1", "table2", "table3", "robust", "disk", "ablation", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+}
+
+// runAblations measures the design-choice axes the paper discusses:
+// DOM vs SAX parsing, persistent vs per-request connections.
+func runAblations() error {
+	t := bench.NewTable("Ablations: Table 1(c) bulk PROPFIND under design variants",
+		"variant", "elapsed", "cpu")
+	t.Note = "50 objects x 5 of 50 properties, depth=1; the paper predicts SAX removes most client-side cost"
+	variants := []struct {
+		label string
+		opts  experiments.Table1Options
+	}{
+		{"DOM, reconnect per request (paper config)", experiments.Table1Options{}},
+		{"DOM, persistent connections", experiments.Table1Options{Persistent: true}},
+		{"SAX, reconnect per request", experiments.Table1Options{SAX: true}},
+		{"SAX, persistent connections", experiments.Table1Options{SAX: true, Persistent: true}},
+	}
+	for _, v := range variants {
+		opts := v.opts
+		opts.Docs, opts.Props, opts.ValueBytes = 50, 50, 1024
+		res, err := experiments.RunTable1(opts)
+		if err != nil {
+			return err
+		}
+		// Row 2 is the depth=1 bulk query (Table 1c).
+		row := res.Rows[2]
+		t.AddRow(v.label, bench.Seconds(row.Timing.Elapsed), bench.Seconds(row.Timing.CPU))
+	}
+	t.Fprint(os.Stdout)
+
+	t2, err := experiments.RunSearchAblation()
+	if err != nil {
+		return err
+	}
+	t2.Fprint(os.Stdout)
+	return nil
+}

@@ -1,0 +1,53 @@
+// Command oodbd runs the baseline object database server (the Ecce 1.5
+// persistence layer). Clients must present the matching schema
+// fingerprint at connect time; by default the server uses the
+// fingerprint of the current Ecce calculation model, and -schema lets
+// experiments simulate an evolved (incompatible) schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/oodb"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:9090", "listen address")
+		dir    = flag.String("dir", "./oodbdata", "database directory")
+		schema = flag.String("schema", "", "schema fingerprint override (default: current Ecce model)")
+	)
+	flag.Parse()
+
+	fingerprint := *schema
+	if fingerprint == "" {
+		fingerprint = core.SchemaFingerprint()
+	}
+
+	db, err := oodb.OpenDB(*dir)
+	if err != nil {
+		log.Fatalf("oodbd: open: %v", err)
+	}
+	defer db.Close()
+
+	srv := oodb.NewServer(db, fingerprint)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("oodbd: listen: %v", err)
+	}
+	st, _ := db.Stats()
+	fmt.Printf("oodbd: serving %s on %s (schema %s, %d objects, %d bytes)\n",
+		*dir, bound, fingerprint, st.Objects, st.FileBytes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("oodbd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of "A Web-based Data
+// Architecture for Problem Solving Environments: Application of
+// Distributed Authoring and Versioning to the Extensible Computational
+// Chemistry Environment" (Schuchardt, Myers, Stephan; HPDC 2001).
+//
+// The system inventory lives in DESIGN.md, the experiment results in
+// EXPERIMENTS.md. The implementation is organized as:
+//
+//   - internal/core — the paper's contribution: the open,
+//     metadata-driven data access architecture (Figure 2) with the
+//     Figure 4 object→DAV mapping, plus the OODB baseline binding;
+//   - internal/davserver, davclient, davproto, xmldom, store, dbm,
+//     auth — the WebDAV stack (the Apache/mod_dav + SDBM/GDBM + Xerabs
+//     equivalent), built on the standard library only;
+//   - internal/oodb — the Ecce 1.5 object-database baseline;
+//   - internal/chem, model, tools — the computational-chemistry data
+//     model and the six Ecce tools of Table 3;
+//   - internal/ftp — the binary-FTP baseline of Table 2;
+//   - internal/migrate, agent — the Section 3.2.4 migration and the
+//     Discussion-section annotation agent;
+//   - internal/experiments — regeneration of every table and figure;
+//   - cmd/davd, dav, oodbd, eccemigrate, eccebench — the binaries;
+//   - examples — runnable end-to-end scenarios.
+//
+// The benchmarks in bench_test.go map one-to-one onto the paper's
+// tables; run them with:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,89 @@
+// Agent demonstrates the paper's Discussion-section scenario: a
+// third-party feature-analysis agent that discovers molecule documents
+// through metadata, computes new science (thermodynamic estimates),
+// and attaches the results as metadata in its own namespace — while
+// Ecce's schema, code and data remain untouched.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/agent"
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/davclient"
+	"repro/internal/davserver"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+func main() {
+	// An in-memory DAV repository with a few stored molecules.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	srv := &http.Server{Handler: davserver.NewHandler(store.NewMemStore(), nil)}
+	go srv.Serve(l)
+	defer srv.Close()
+	c, err := davclient.New(davclient.Config{
+		BaseURL: fmt.Sprintf("http://%s", l.Addr()), Persistent: true})
+	check(err)
+	s := core.NewDAVStorage(c)
+	defer s.Close()
+
+	check(s.CreateProject("/chem", model.Project{Name: "chem"}))
+	molecules := map[string]*chem.Molecule{
+		"water":    chem.MakeWater(),
+		"uranyl-2": chem.MakeUO2nH2O(2),
+		"uranyl-8": chem.MakeUO2nH2O(8),
+	}
+	for name, mol := range molecules {
+		calcPath := "/chem/" + name
+		check(s.CreateCalculation(calcPath, model.Calculation{Name: name}))
+		check(s.SaveMolecule(calcPath, mol, chem.FormatXYZ))
+	}
+	fmt.Printf("Ecce stored %d molecules\n", len(molecules))
+
+	// The agent knows nothing about Ecce beyond two metadata names: it
+	// discovers molecules via ecce:formula and writes its findings in
+	// its own namespace.
+	a := &agent.ThermoAgent{S: s}
+	res, err := a.Sweep("/chem")
+	check(err)
+	fmt.Printf("agent sweep: discovered=%d annotated=%d skipped=%d\n",
+		res.Discovered, res.Annotated, res.Skipped)
+
+	// A second sweep is a no-op (version-stamped annotations).
+	res, err = a.Sweep("/chem")
+	check(err)
+	fmt.Printf("second sweep: annotated=%d skipped=%d\n", res.Annotated, res.Skipped)
+
+	// Any DAV client (here: Ecce's own storage layer acting as a
+	// generic browser) can now see the agent's results next to Ecce's
+	// metadata.
+	for name := range molecules {
+		molPath := "/chem/" + name + "/molecule"
+		formula, _, err := s.ReadAnnotation(molPath, core.PropFormula)
+		check(err)
+		h, _, err := s.ReadAnnotation(molPath, agent.PropEnthalpy)
+		check(err)
+		entropy, _, err := s.ReadAnnotation(molPath, agent.PropEntropy)
+		check(err)
+		fmt.Printf("  %-10s formula=%-8s enthalpy=%s kJ/mol entropy=%s J/mol-K\n",
+			name, formula, h, entropy)
+	}
+
+	// And Ecce itself still reads its molecules exactly as before.
+	mol, err := s.LoadMolecule("/chem/water")
+	check(err)
+	fmt.Printf("Ecce unaffected: water still loads as %s with %d atoms\n",
+		mol.Formula(), mol.AtomCount())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

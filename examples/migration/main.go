@@ -1,0 +1,127 @@
+// Migration is a self-contained run of the paper's Section 3.2.4
+// conversion: populate an OODB (the Ecce 1.5 store), migrate everything
+// to WebDAV servers backed by both DBM flavours, verify the copies, and
+// compare disk footprints — reproducing the paper's +10 % (SDBM) and
+// +25 % (GDBM) observation in shape.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/davclient"
+	"repro/internal/davserver"
+	"repro/internal/dbm"
+	"repro/internal/migrate"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/store"
+)
+
+const calculations = 24
+
+func main() {
+	// Source: the OODB baseline with a populated project tree.
+	oodbDir, err := os.MkdirTemp("", "migration-oodb-*")
+	check(err)
+	defer os.RemoveAll(oodbDir)
+	db, err := oodb.OpenDB(oodbDir)
+	check(err)
+	defer db.Close()
+	osrv := oodb.NewServer(db, core.SchemaFingerprint())
+	addr, err := osrv.Listen("127.0.0.1:0")
+	check(err)
+	defer osrv.Close()
+	oc, err := oodb.Dial(addr, core.SchemaFingerprint())
+	check(err)
+	src, err := core.NewOODBStorage(oc)
+	check(err)
+	defer src.Close()
+
+	populate(src)
+	st, err := src.Client().Stat()
+	check(err)
+	fmt.Printf("source OODB: %d calculations, %d objects, %d bytes on disk\n",
+		calculations, st.Objects, st.FileBytes)
+
+	// Destinations: one DAV server per DBM flavour.
+	for _, flavour := range []dbm.Flavour{dbm.SDBM, dbm.GDBM} {
+		davDir, err := os.MkdirTemp("", "migration-dav-*")
+		check(err)
+		defer os.RemoveAll(davDir)
+		fs, err := store.NewFSStore(davDir, flavour)
+		check(err)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		check(err)
+		srv := &http.Server{Handler: davserver.NewHandler(fs, nil)}
+		go srv.Serve(l)
+		c, err := davclient.New(davclient.Config{
+			BaseURL: fmt.Sprintf("http://%s", l.Addr()), Persistent: true})
+		check(err)
+		dst := core.NewDAVStorage(c)
+
+		rep, err := migrate.Migrate(src, dst, "/")
+		check(err)
+		check(migrate.Verify(src, dst, "/"))
+		used, err := store.DiskUsage(davDir)
+		check(err)
+		overhead := 100 * (float64(used)/float64(st.FileBytes) - 1)
+		fmt.Printf("DAV + %s: migrated %s\n", flavour, rep)
+		fmt.Printf("DAV + %s: %d bytes on disk (%+.0f%% vs OODB; paper: %s)\n",
+			flavour, used, overhead, paperRef(flavour))
+
+		dst.Close()
+		srv.Close()
+		fs.Close()
+	}
+	fmt.Println("\nnote: with these deliberately tiny chemical systems the fixed per-resource")
+	fmt.Println("DBM file sizes dominate, so overheads exceed the paper's +10%/+25% — the paper")
+	fmt.Println("makes the same caveat; `eccebench disk` uses realistic output sizes and lands")
+	fmt.Println("in the paper's range. The ordering (SDBM < GDBM) holds either way.")
+}
+
+func paperRef(f dbm.Flavour) string {
+	if f == dbm.SDBM {
+		return "+10%"
+	}
+	return "+25%"
+}
+
+// populate creates small chemical systems, as in the paper's source
+// databases.
+func populate(s core.DataStorage) {
+	check(s.CreateProject("/converted", model.Project{
+		Name: "converted", Description: "pre-DAV data"}))
+	runner := model.SyntheticRunner{GridPoints: 8}
+	for i := 0; i < calculations; i++ {
+		calcPath := fmt.Sprintf("/converted/calc%03d", i)
+		mol := chem.MakeWater()
+		if i%3 == 0 {
+			mol = chem.MakeUO2nH2O(i%4 + 1)
+		}
+		check(s.CreateCalculation(calcPath, model.Calculation{
+			Name: fmt.Sprintf("calc %d", i), Theory: "SCF", State: model.StateComplete}))
+		check(s.SaveMolecule(calcPath, mol, chem.FormatXYZ))
+		deck, err := model.GenerateInputDeck(&model.Calculation{Theory: "SCF"}, mol, nil,
+			&model.Task{Kind: model.TaskEnergy})
+		check(err)
+		check(s.SaveTask(calcPath, model.Task{Name: "energy", Kind: model.TaskEnergy,
+			Sequence: 1, InputDeck: deck}))
+		for _, p := range runner.Run(mol, model.TaskEnergy) {
+			check(s.SaveProperty(calcPath, p))
+		}
+		check(s.SaveRawFile(calcPath, "run.out",
+			[]byte("converged\n"), "text/plain"))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

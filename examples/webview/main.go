@@ -1,0 +1,149 @@
+// Webview is the paper's thin-client scenario: "Relatively simple cgi
+// scripts or servlets can quickly be developed to provide thin-client
+// access to many of the features currently provided by heavy
+// UNIX/Motif clients." This servlet-equivalent renders the Ecce
+// repository as HTML — project tree, calculation states, molecule
+// formulas, job records — by speaking plain DAV to the data server.
+//
+// By default it populates a demo repository, fetches its own page once
+// and prints it; pass -listen :8099 to keep serving for a browser.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/davclient"
+	"repro/internal/davserver"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve the web view on this address (empty: fetch once and exit)")
+	flag.Parse()
+
+	// The data server (in-process for the demo; point the storage at
+	// any davd URL in real use).
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	dataSrv := &http.Server{Handler: davserver.NewHandler(store.NewMemStore(), nil)}
+	go dataSrv.Serve(l)
+	defer dataSrv.Close()
+	c, err := davclient.New(davclient.Config{
+		BaseURL: fmt.Sprintf("http://%s", l.Addr()), Persistent: true})
+	check(err)
+	s := core.NewDAVStorage(c)
+	defer s.Close()
+	populate(s)
+
+	// The thin client: one handler, no Ecce code beyond the core API.
+	view := &webView{storage: s}
+	if *listen != "" {
+		fmt.Printf("webview: http://%s/\n", *listen)
+		check(http.ListenAndServe(*listen, view))
+		return
+	}
+	viewL, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	viewSrv := &http.Server{Handler: view}
+	go viewSrv.Serve(viewL)
+	defer viewSrv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/", viewL.Addr()))
+	check(err)
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	check(err)
+	fmt.Printf("rendered %d bytes of HTML; excerpt:\n\n", len(page))
+	for _, line := range strings.Split(string(page), "\n") {
+		if strings.Contains(line, "<li>") || strings.Contains(line, "<h") {
+			fmt.Println(strings.TrimSpace(line))
+		}
+	}
+}
+
+// webView renders the repository tree.
+type webView struct {
+	storage *core.DAVStorage
+}
+
+func (v *webView) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintln(w, "<html><head><title>Ecce repository</title></head><body>")
+	fmt.Fprintln(w, "<h1>Ecce repository</h1>")
+	entries, err := v.storage.List("/")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	for _, e := range entries {
+		if e.Type != core.TypeProject {
+			continue
+		}
+		proj, err := v.storage.LoadProject(e.Path)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "<h2>%s</h2>\n<p>%s</p>\n<ul>\n",
+			html.EscapeString(proj.Name), html.EscapeString(proj.Description))
+		calcs, err := v.storage.List(e.Path)
+		if err != nil {
+			continue
+		}
+		for _, ce := range calcs {
+			if ce.Type != core.TypeCalculation {
+				continue
+			}
+			v.renderCalc(w, ce.Path)
+		}
+		fmt.Fprintln(w, "</ul>")
+	}
+	fmt.Fprintln(w, "</body></html>")
+}
+
+func (v *webView) renderCalc(w http.ResponseWriter, calcPath string) {
+	calc, err := v.storage.LoadCalculation(calcPath)
+	if err != nil {
+		return
+	}
+	detail := fmt.Sprintf("%s [%s, %s]", calc.Name, calc.Theory, calc.State)
+	if mol, err := v.storage.LoadMolecule(calcPath); err == nil {
+		detail += fmt.Sprintf(" — %s, %d atoms, mass %.1f",
+			mol.Formula(), mol.AtomCount(), mol.Mass())
+	}
+	if job, err := v.storage.LoadJob(calcPath); err == nil {
+		detail += fmt.Sprintf(" — job on %s (%s)", job.Host, job.Status)
+	}
+	fmt.Fprintf(w, "<li>%s</li>\n", html.EscapeString(detail))
+}
+
+func populate(s *core.DAVStorage) {
+	check(s.CreateProject("/aqueous", model.Project{
+		Name: "Aqueous Actinides", Description: "uranyl hydration series"}))
+	for i, waters := range []int{2, 8, 15} {
+		calcPath := fmt.Sprintf("/aqueous/uo2-%dh2o", waters)
+		mol := chem.MakeUO2nH2O(waters)
+		check(s.CreateCalculation(calcPath, model.Calculation{
+			Name: mol.Name, Theory: "DFT",
+			State: []model.State{model.StateComplete, model.StateRunning, model.StateReady}[i]}))
+		check(s.SaveMolecule(calcPath, mol, chem.FormatXYZ))
+		if i == 0 {
+			check(s.SaveJob(calcPath, model.Job{Host: "mpp2.emsl.pnl.gov", Status: model.JobDone}))
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

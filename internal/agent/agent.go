@@ -1,0 +1,131 @@
+// Package agent implements the feature-analysis agent scenario from
+// the paper's Discussion section: an application that "can
+// independently discover objects in the data store (3D structures, for
+// example), apply feature analysis algorithms, and attach their
+// discoveries to the objects as new metadata" — all without Ecce's
+// schema changing or Ecce even knowing the agent exists.
+//
+// The ThermoAgent discovers molecule documents by their ecce:formula
+// metadata, estimates thermodynamic quantities from the stored
+// geometry, and appends the estimates as metadata under its own
+// namespace.
+package agent
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math"
+	"path"
+	"strconv"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+)
+
+// NS is the agent's own metadata namespace — deliberately not the ecce
+// namespace, demonstrating that no naming agreement is needed.
+const NS = "urn:thermo-agent"
+
+// Metadata the agent attaches.
+var (
+	PropEnthalpy = xml.Name{Space: NS, Local: "enthalpy-kj-mol"}
+	PropEntropy  = xml.Name{Space: NS, Local: "entropy-j-mol-k"}
+	PropCp       = xml.Name{Space: NS, Local: "heat-capacity-j-mol-k"}
+	PropVersion  = xml.Name{Space: NS, Local: "agent-version"}
+)
+
+// Version is written with every annotation so re-sweeps can skip
+// already-processed molecules.
+const Version = "thermo-agent/1.0"
+
+// OpenStorage is what the agent needs: discovery, annotation, and
+// ordinary reads. Only the DAV architecture satisfies it.
+type OpenStorage interface {
+	core.DataStorage
+	core.Annotator
+	core.Finder
+}
+
+// ThermoAgent estimates thermodynamic properties of stored molecules.
+type ThermoAgent struct {
+	S OpenStorage
+	// Force re-annotates molecules that already carry this agent
+	// version's metadata.
+	Force bool
+}
+
+// Result describes one sweep.
+type Result struct {
+	Discovered int // molecule documents found
+	Annotated  int // newly annotated this sweep
+	Skipped    int // already annotated
+}
+
+// Sweep discovers every molecule under root and annotates it.
+func (a *ThermoAgent) Sweep(root string) (Result, error) {
+	var res Result
+	hits, err := a.S.FindByMetadata(root, core.PropFormula, nil)
+	if err != nil {
+		return res, err
+	}
+	res.Discovered = len(hits)
+	for _, molPath := range hits {
+		if !a.Force {
+			if v, ok, err := a.S.ReadAnnotation(molPath, PropVersion); err != nil {
+				return res, err
+			} else if ok && v == Version {
+				res.Skipped++
+				continue
+			}
+		}
+		// The molecule document lives inside its calculation; the
+		// typed loader takes the calculation path.
+		mol, err := a.S.LoadMolecule(path.Dir(molPath))
+		if err != nil {
+			return res, fmt.Errorf("agent: %s: %w", molPath, err)
+		}
+		h, s, cp := Estimate(mol)
+		for _, ann := range []struct {
+			name  xml.Name
+			value string
+		}{
+			{PropEnthalpy, strconv.FormatFloat(h, 'f', 2, 64)},
+			{PropEntropy, strconv.FormatFloat(s, 'f', 2, 64)},
+			{PropCp, strconv.FormatFloat(cp, 'f', 2, 64)},
+			{PropVersion, Version},
+		} {
+			if err := a.S.Annotate(molPath, ann.name, ann.value); err != nil {
+				return res, fmt.Errorf("agent: annotate %s: %w", molPath, err)
+			}
+		}
+		res.Annotated++
+	}
+	return res, nil
+}
+
+// Estimate produces synthetic but deterministic thermodynamic
+// estimates (kJ/mol, J/mol·K, J/mol·K) from a geometry: a bond-energy
+// sum for the enthalpy and degree-of-freedom counting for entropy and
+// heat capacity. Like the synthetic runner, this preserves the data
+// flow of the paper's scenario without real quantum chemistry.
+func Estimate(mol *chem.Molecule) (enthalpy, entropy, cp float64) {
+	bonds := mol.PerceiveBonds(1.2)
+	// Bond-energy-like sum weighted by the bonded elements.
+	for _, b := range bonds {
+		za, zb := atomicNumber(mol.Atoms[b.A].Symbol), atomicNumber(mol.Atoms[b.B].Symbol)
+		d := mol.Distance(b.A, b.B)
+		enthalpy -= 40 * math.Sqrt(float64(za*zb)) / math.Max(d, 0.3)
+	}
+	n := float64(mol.AtomCount())
+	// Translational + rotational + per-mode vibrational contributions.
+	entropy = 108 + 30*math.Log(1+mol.Mass()/18) + 3*n
+	cp = 20 + 8*n
+	return enthalpy, entropy, cp
+}
+
+func atomicNumber(sym string) int {
+	if e, ok := chem.LookupElement(sym); ok {
+		return e.Number
+	}
+	return 0
+}

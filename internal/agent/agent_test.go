@@ -1,0 +1,130 @@
+package agent
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/davclient"
+	"repro/internal/davserver"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+func newStorage(t *testing.T) *core.DAVStorage {
+	t.Helper()
+	srv := httptest.NewServer(davserver.NewHandler(store.NewMemStore(), nil))
+	t.Cleanup(srv.Close)
+	c, err := davclient.New(davclient.Config{BaseURL: srv.URL, Persistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewDAVStorage(c)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func seedMolecules(t *testing.T, s *core.DAVStorage, n int) {
+	t.Helper()
+	if err := s.CreateProject("/p", model.Project{Name: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		calcPath := "/p/calc" + strconv.Itoa(i)
+		if err := s.CreateCalculation(calcPath, model.Calculation{Name: calcPath}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SaveMolecule(calcPath, chem.MakeUO2nH2O(i+1), chem.FormatXYZ); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSweepAnnotatesAllMolecules(t *testing.T) {
+	s := newStorage(t)
+	seedMolecules(t, s, 4)
+	a := &ThermoAgent{S: s}
+	res, err := a.Sweep("/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discovered != 4 || res.Annotated != 4 || res.Skipped != 0 {
+		t.Fatalf("sweep = %+v", res)
+	}
+	// Annotations are readable and plausible.
+	v, ok, err := s.ReadAnnotation("/p/calc0/molecule", PropEnthalpy)
+	if err != nil || !ok {
+		t.Fatalf("enthalpy = (%q, %v, %v)", v, ok, err)
+	}
+	h, err := strconv.ParseFloat(v, 64)
+	if err != nil || h >= 0 {
+		t.Fatalf("enthalpy %q should be a negative number", v)
+	}
+	ver, ok, _ := s.ReadAnnotation("/p/calc0/molecule", PropVersion)
+	if !ok || ver != Version {
+		t.Fatalf("version = (%q, %v)", ver, ok)
+	}
+	// Ecce's own view of the molecule is unchanged.
+	mol, err := s.LoadMolecule("/p/calc0")
+	if err != nil || mol.Formula() != chem.MakeUO2nH2O(1).Formula() {
+		t.Fatalf("molecule after sweep = (%v, %v)", mol, err)
+	}
+}
+
+func TestSweepIsIdempotent(t *testing.T) {
+	s := newStorage(t)
+	seedMolecules(t, s, 3)
+	a := &ThermoAgent{S: s}
+	if _, err := a.Sweep("/p"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Sweep("/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Annotated != 0 || res.Skipped != 3 {
+		t.Fatalf("second sweep = %+v", res)
+	}
+	// Force re-annotates.
+	a.Force = true
+	res, err = a.Sweep("/p")
+	if err != nil || res.Annotated != 3 {
+		t.Fatalf("forced sweep = (%+v, %v)", res, err)
+	}
+}
+
+func TestSweepPicksUpNewMolecules(t *testing.T) {
+	s := newStorage(t)
+	seedMolecules(t, s, 1)
+	a := &ThermoAgent{S: s}
+	a.Sweep("/p")
+	// A new calculation appears (e.g. another scientist's work).
+	s.CreateCalculation("/p/late", model.Calculation{Name: "late"})
+	s.SaveMolecule("/p/late", chem.MakeWater(), chem.FormatXYZ)
+	res, err := a.Sweep("/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Annotated != 1 || res.Skipped != 1 {
+		t.Fatalf("incremental sweep = %+v", res)
+	}
+}
+
+func TestEstimatesScaleWithSize(t *testing.T) {
+	hSmall, sSmall, cpSmall := Estimate(chem.MakeWater())
+	hBig, sBig, cpBig := Estimate(chem.MakeUO2nH2O(15))
+	if hBig >= hSmall {
+		t.Fatalf("larger system should have lower (more negative) enthalpy: %f vs %f", hBig, hSmall)
+	}
+	if sBig <= sSmall || cpBig <= cpSmall {
+		t.Fatalf("entropy/cp should grow with size: s %f vs %f, cp %f vs %f",
+			sBig, sSmall, cpBig, cpSmall)
+	}
+	// Deterministic.
+	h2, s2, cp2 := Estimate(chem.MakeWater())
+	if h2 != hSmall || s2 != sSmall || cp2 != cpSmall {
+		t.Fatal("estimates nondeterministic")
+	}
+}

@@ -1,0 +1,153 @@
+// Package auth provides the HTTP Basic authentication layer the paper
+// configured on its Apache/mod_dav test servers ("configured to use
+// basic authentication"). Credentials are stored as salted SHA-256
+// digests in an htpasswd-like file.
+package auth
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Users holds a credential table. The zero value is empty; an empty
+// table authenticates nobody (use a nil *Users to disable auth).
+type Users struct {
+	mu      sync.RWMutex
+	entries map[string]entry // user -> salted digest
+}
+
+type entry struct {
+	salt   string
+	digest string // hex(sha256(salt + ":" + password))
+}
+
+// NewUsers returns an empty credential table.
+func NewUsers() *Users {
+	return &Users{entries: map[string]entry{}}
+}
+
+func digest(salt, password string) string {
+	sum := sha256.Sum256([]byte(salt + ":" + password))
+	return hex.EncodeToString(sum[:])
+}
+
+// Set adds or replaces a user's password.
+func (u *Users) Set(user, password string) error {
+	if user == "" || strings.ContainsAny(user, ":\n") {
+		return fmt.Errorf("auth: invalid user name %q", user)
+	}
+	var sb [8]byte
+	if _, err := rand.Read(sb[:]); err != nil {
+		return err
+	}
+	salt := hex.EncodeToString(sb[:])
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.entries[user] = entry{salt: salt, digest: digest(salt, password)}
+	return nil
+}
+
+// Remove deletes a user.
+func (u *Users) Remove(user string) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	delete(u.entries, user)
+}
+
+// Check verifies a user/password pair in constant time with respect to
+// the stored digest.
+func (u *Users) Check(user, password string) bool {
+	u.mu.RLock()
+	e, ok := u.entries[user]
+	u.mu.RUnlock()
+	if !ok {
+		// Burn comparable time to avoid a user-existence oracle.
+		subtle.ConstantTimeCompare([]byte(digest("x", password)), []byte(digest("x", "y")))
+		return false
+	}
+	want := digest(e.salt, password)
+	return subtle.ConstantTimeCompare([]byte(want), []byte(e.digest)) == 1
+}
+
+// Names returns the sorted user names.
+func (u *Users) Names() []string {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	names := make([]string, 0, len(u.entries))
+	for n := range u.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Save writes the table in "user:salt:digest" lines.
+func (u *Users) Save(path string) error {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	var sb strings.Builder
+	names := make([]string, 0, len(u.entries))
+	for n := range u.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := u.entries[n]
+		fmt.Fprintf(&sb, "%s:%s:%s\n", n, e.salt, e.digest)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o600)
+}
+
+// Load reads a table written by Save.
+func Load(path string) (*Users, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	u := NewUsers()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("auth: %s:%d: malformed entry", path, lineNo)
+		}
+		u.entries[parts[0]] = entry{salt: parts[1], digest: parts[2]}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// Basic wraps h with HTTP Basic authentication against users. A nil
+// users table disables authentication.
+func Basic(h http.Handler, realm string, users *Users) http.Handler {
+	if users == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		user, pass, ok := r.BasicAuth()
+		if !ok || !users.Check(user, pass) {
+			w.Header().Set("WWW-Authenticate", fmt.Sprintf("Basic realm=%q", realm))
+			http.Error(w, "authentication required", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,138 @@
+package auth
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetCheck(t *testing.T) {
+	u := NewUsers()
+	if err := u.Set("karen", "pw1"); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Check("karen", "pw1") {
+		t.Fatal("valid credentials rejected")
+	}
+	if u.Check("karen", "pw2") || u.Check("nobody", "pw1") || u.Check("", "") {
+		t.Fatal("invalid credentials accepted")
+	}
+	// Replacing a password invalidates the old one.
+	u.Set("karen", "pw2")
+	if u.Check("karen", "pw1") || !u.Check("karen", "pw2") {
+		t.Fatal("password replacement broken")
+	}
+	u.Remove("karen")
+	if u.Check("karen", "pw2") {
+		t.Fatal("removed user accepted")
+	}
+}
+
+func TestInvalidUserNames(t *testing.T) {
+	u := NewUsers()
+	for _, bad := range []string{"", "a:b", "a\nb"} {
+		if err := u.Set(bad, "pw"); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	u := NewUsers()
+	u.Set("alice", "a")
+	u.Set("bob", "b")
+	path := filepath.Join(t.TempDir(), "users")
+	if err := u.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(u2.Names(), []string{"alice", "bob"}) {
+		t.Fatalf("Names = %v", u2.Names())
+	}
+	if !u2.Check("alice", "a") || !u2.Check("bob", "b") || u2.Check("alice", "b") {
+		t.Fatal("loaded table mismatch")
+	}
+}
+
+func TestLoadMalformed(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := writeFile(bad, "justonefield\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+	// Comments and blank lines are fine.
+	good := filepath.Join(dir, "good")
+	if err := writeFile(good, "# comment\n\nu:salt:digest\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(good); err != nil {
+		t.Fatalf("comments rejected: %v", err)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o600)
+}
+
+func TestBasicMiddleware(t *testing.T) {
+	users := NewUsers()
+	users.Set("u", "p")
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	})
+	srv := httptest.NewServer(Basic(inner, "realm", users))
+	defer srv.Close()
+
+	resp, _ := http.Get(srv.URL)
+	if resp.StatusCode != 401 {
+		t.Fatalf("unauthenticated = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	req.SetBasicAuth("u", "p")
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("authenticated = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestBasicNilUsersDisablesAuth(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	})
+	srv := httptest.NewServer(Basic(inner, "realm", nil))
+	defer srv.Close()
+	resp, _ := http.Get(srv.URL)
+	if resp.StatusCode != 200 {
+		t.Fatalf("nil users = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestQuickOnlyExactPasswordChecks: for arbitrary password pairs, Check
+// succeeds iff the password matches exactly.
+func TestQuickOnlyExactPasswordChecks(t *testing.T) {
+	u := NewUsers()
+	check := func(pw, attempt string) bool {
+		if err := u.Set("quser", pw); err != nil {
+			return false
+		}
+		got := u.Check("quser", attempt)
+		return got == (pw == attempt)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureElapsed(t *testing.T) {
+	timing, err := Measure(func() error {
+		time.Sleep(20 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Elapsed < 15*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 15ms", timing.Elapsed)
+	}
+	// Sleeping burns almost no CPU.
+	if timing.CPU > timing.Elapsed {
+		t.Fatalf("cpu %v > elapsed %v for a sleep", timing.CPU, timing.Elapsed)
+	}
+}
+
+func TestMeasureCPU(t *testing.T) {
+	timing, err := Measure(func() error {
+		x := 0.0
+		for i := 0; i < 20_000_000; i++ {
+			x += float64(i) * 1.0000001
+		}
+		if x == 0 {
+			return errors.New("impossible")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.CPU <= 0 {
+		t.Fatalf("cpu = %v, want > 0 for a busy loop", timing.CPU)
+	}
+}
+
+func TestMeasurePropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Measure(func() error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRepeatReturnsFastest(t *testing.T) {
+	n := 0
+	timing, err := Repeat(3, func() error {
+		n++
+		if n == 2 {
+			time.Sleep(30 * time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if timing.Elapsed > 20*time.Millisecond {
+		t.Fatalf("Repeat did not pick the fast run: %v", timing.Elapsed)
+	}
+	// Errors abort.
+	sentinel := errors.New("x")
+	if _, err := Repeat(5, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSecondsFormat(t *testing.T) {
+	if s := Seconds(68 * time.Millisecond); s != "0.068 s" {
+		t.Fatalf("Seconds = %q", s)
+	}
+	if s := Seconds(3 * time.Second); s != "3.000 s" {
+		t.Fatalf("Seconds = %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table 1. Performance results", "op", "elapsed", "paper")
+	tbl.Note = "elapsed and CPU time"
+	tbl.AddRow("get all metadata", "0.010 s", "0.068 s")
+	tbl.AddRow("copy hierarchy", "1.234 s", "3.482 s")
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"Table 1", "elapsed and CPU time", "get all metadata",
+		"0.068 s", "copy hierarchy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: every data row has the op column padded to the
+	// same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "copy hierarchy    ") {
+		t.Fatalf("row not padded: %q", last)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	tbl.AddRow("only-one")
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	if !strings.Contains(sb.String(), "only-one") {
+		t.Fatal("short row dropped")
+	}
+}

@@ -1,0 +1,211 @@
+package chem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Primitive is one Gaussian primitive in a contracted shell.
+type Primitive struct {
+	Exponent    float64
+	Coefficient float64
+}
+
+// Shell is a contracted Gaussian shell of a given angular momentum.
+type Shell struct {
+	Type       string // "S", "P", "SP", "D", "F"
+	Primitives []Primitive
+}
+
+// ElementBasis is the basis for one element.
+type ElementBasis struct {
+	Symbol string
+	Shells []Shell
+}
+
+// BasisSet is a named Gaussian basis — the content of the paper's
+// Molecular Basisset document ("where standards do not currently
+// exist, plain text ... is applied to the data, as is done for the
+// Molecular Basisset document").
+type BasisSet struct {
+	Name     string
+	Elements []ElementBasis
+}
+
+// ForElement returns the element block for a symbol, if present.
+func (b *BasisSet) ForElement(symbol string) (ElementBasis, bool) {
+	symbol = NormalizeSymbol(symbol)
+	for _, e := range b.Elements {
+		if e.Symbol == symbol {
+			return e, true
+		}
+	}
+	return ElementBasis{}, false
+}
+
+// Covers reports whether the basis defines every element in mol.
+func (b *BasisSet) Covers(mol *Molecule) bool {
+	for sym := range mol.ElementCounts() {
+		if _, ok := b.ForElement(sym); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FunctionCount returns the number of contracted shells the basis
+// assigns to mol (a rough size measure used by the tools).
+func (b *BasisSet) FunctionCount(mol *Molecule) int {
+	total := 0
+	for sym, n := range mol.ElementCounts() {
+		if eb, ok := b.ForElement(sym); ok {
+			total += n * len(eb.Shells)
+		}
+	}
+	return total
+}
+
+// Encode renders the basis in an NWChem-like plain-text block format:
+//
+//	basis "STO-3G"
+//	H S
+//	  3.42525091  0.15432897
+//	  ...
+//	end
+func (b *BasisSet) Encode() []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "basis %q\n", b.Name)
+	for _, e := range b.Elements {
+		for _, sh := range e.Shells {
+			fmt.Fprintf(&sb, "%s %s\n", e.Symbol, sh.Type)
+			for _, p := range sh.Primitives {
+				fmt.Fprintf(&sb, "  %16.8f %16.8f\n", p.Exponent, p.Coefficient)
+			}
+		}
+	}
+	sb.WriteString("end\n")
+	return []byte(sb.String())
+}
+
+// ParseBasis reads the format written by Encode.
+func ParseBasis(r io.Reader) (*BasisSet, error) {
+	sc := bufio.NewScanner(r)
+	bs := &BasisSet{}
+	var curElem *ElementBasis
+	var curShell *Shell
+	flushShell := func() {
+		if curElem != nil && curShell != nil {
+			curElem.Shells = append(curElem.Shells, *curShell)
+			curShell = nil
+		}
+	}
+	flushElem := func() {
+		flushShell()
+		if curElem != nil {
+			bs.Elements = append(bs.Elements, *curElem)
+			curElem = nil
+		}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "basis"):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "basis"))
+			bs.Name = strings.Trim(name, `"`)
+		case line == "end":
+			flushElem()
+			return bs, nil
+		default:
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+					// "Symbol ShellType" header line.
+					sym := NormalizeSymbol(fields[0])
+					if curElem == nil || curElem.Symbol != sym {
+						flushElem()
+						curElem = &ElementBasis{Symbol: sym}
+					} else {
+						flushShell()
+					}
+					curShell = &Shell{Type: strings.ToUpper(fields[1])}
+					continue
+				}
+				// Primitive line.
+				if curShell == nil {
+					return nil, fmt.Errorf("chem: basis line %d: primitive outside a shell", lineNo)
+				}
+				exp, err1 := strconv.ParseFloat(fields[0], 64)
+				coef, err2 := strconv.ParseFloat(fields[1], 64)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("chem: basis line %d: bad primitive %q", lineNo, line)
+				}
+				curShell.Primitives = append(curShell.Primitives, Primitive{Exponent: exp, Coefficient: coef})
+				continue
+			}
+			return nil, fmt.Errorf("chem: basis line %d: unparseable %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("chem: basis input missing end marker")
+}
+
+// ParseBasisBytes parses an encoded basis held in memory.
+func ParseBasisBytes(b []byte) (*BasisSet, error) {
+	return ParseBasis(strings.NewReader(string(b)))
+}
+
+// STO3G returns the minimal STO-3G basis for the light elements the
+// examples use, with published exponents/coefficients for H and O, and
+// a documented synthetic effective-core block for U (real uranium
+// basis sets are proprietary-sized; the stand-in preserves the data
+// shapes the storage layer must handle).
+func STO3G() *BasisSet {
+	return &BasisSet{
+		Name: "STO-3G",
+		Elements: []ElementBasis{
+			{Symbol: "H", Shells: []Shell{
+				{Type: "S", Primitives: []Primitive{
+					{3.42525091, 0.15432897},
+					{0.62391373, 0.53532814},
+					{0.16885540, 0.44463454},
+				}},
+			}},
+			{Symbol: "O", Shells: []Shell{
+				{Type: "S", Primitives: []Primitive{
+					{130.70932000, 0.15432897},
+					{23.80886100, 0.53532814},
+					{6.44360830, 0.44463454},
+				}},
+				{Type: "SP", Primitives: []Primitive{
+					{5.03315130, -0.09996723},
+					{1.16959610, 0.39951283},
+					{0.38038900, 0.70011547},
+				}},
+			}},
+			{Symbol: "U", Shells: []Shell{
+				// Synthetic ECP-like valence block (see DESIGN.md
+				// substitutions): preserves record shape, not physics.
+				{Type: "S", Primitives: []Primitive{
+					{12.5, 0.21}, {3.9, 0.54}, {1.1, 0.37},
+				}},
+				{Type: "P", Primitives: []Primitive{
+					{8.2, 0.18}, {2.4, 0.51}, {0.7, 0.41},
+				}},
+				{Type: "D", Primitives: []Primitive{
+					{4.6, 0.25}, {1.3, 0.58},
+				}},
+				{Type: "F", Primitives: []Primitive{
+					{2.9, 0.33}, {0.8, 0.61},
+				}},
+			}},
+		},
+	}
+}

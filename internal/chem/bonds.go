@@ -1,0 +1,86 @@
+package chem
+
+// Covalent radii in Ångström (Cordero et al. 2008 values for the
+// common elements, single-bond radii), used for distance-based bond
+// perception — what Ecce's Builder does to draw a molecule.
+var covalentRadii = map[string]float64{
+	"H": 0.31, "He": 0.28,
+	"Li": 1.28, "Be": 0.96, "B": 0.84, "C": 0.76, "N": 0.71, "O": 0.66,
+	"F": 0.57, "Ne": 0.58,
+	"Na": 1.66, "Mg": 1.41, "Al": 1.21, "Si": 1.11, "P": 1.07, "S": 1.05,
+	"Cl": 1.02, "Ar": 1.06,
+	"K": 2.03, "Ca": 1.76, "Ti": 1.60, "Cr": 1.39, "Mn": 1.39, "Fe": 1.32,
+	"Co": 1.26, "Ni": 1.24, "Cu": 1.32, "Zn": 1.22, "Br": 1.20,
+	"Mo": 1.54, "Ru": 1.46, "Pd": 1.39, "Ag": 1.45, "I": 1.39, "Xe": 1.40,
+	"Pt": 1.36, "Au": 1.36, "Hg": 1.32, "Pb": 1.46,
+	"Th": 2.06, "U": 1.96, "Pu": 1.87,
+}
+
+// CovalentRadius returns the covalent radius for a symbol; unknown
+// elements default to 1.5 Å.
+func CovalentRadius(symbol string) float64 {
+	if r, ok := covalentRadii[NormalizeSymbol(symbol)]; ok {
+		return r
+	}
+	return 1.5
+}
+
+// Bond is an edge between two atom indices.
+type Bond struct {
+	A, B int
+}
+
+// PerceiveBonds infers bonds by the standard distance criterion: two
+// atoms are bonded when their separation is below tolerance times the
+// sum of their covalent radii. A tolerance of 1.2 is conventional.
+func (m *Molecule) PerceiveBonds(tolerance float64) []Bond {
+	if tolerance <= 0 {
+		tolerance = 1.2
+	}
+	var bonds []Bond
+	for i := 0; i < len(m.Atoms); i++ {
+		ri := CovalentRadius(m.Atoms[i].Symbol)
+		for j := i + 1; j < len(m.Atoms); j++ {
+			cutoff := tolerance * (ri + CovalentRadius(m.Atoms[j].Symbol))
+			if m.Distance(i, j) <= cutoff {
+				bonds = append(bonds, Bond{A: i, B: j})
+			}
+		}
+	}
+	return bonds
+}
+
+// ConnectedFragments partitions atoms into bonded fragments and
+// returns the atom indices of each fragment.
+func (m *Molecule) ConnectedFragments(tolerance float64) [][]int {
+	n := len(m.Atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, b := range m.PerceiveBonds(tolerance) {
+		union(b.A, b.B)
+	}
+	groups := map[int][]int{}
+	var order []int
+	for i := 0; i < n; i++ {
+		root := find(i)
+		if _, seen := groups[root]; !seen {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, root := range order {
+		out = append(out, groups[root])
+	}
+	return out
+}

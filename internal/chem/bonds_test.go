@@ -1,0 +1,55 @@
+package chem
+
+import "testing"
+
+func TestPerceiveBondsWater(t *testing.T) {
+	w := MakeWater()
+	bonds := w.PerceiveBonds(1.2)
+	if len(bonds) != 2 {
+		t.Fatalf("water bonds = %d, want 2 (O-H, O-H)", len(bonds))
+	}
+	for _, b := range bonds {
+		if b.A != 0 && b.B != 0 {
+			t.Fatalf("bond %v does not involve oxygen", b)
+		}
+	}
+}
+
+func TestPerceiveBondsNoFalsePositives(t *testing.T) {
+	far := &Molecule{Atoms: []Atom{
+		{Symbol: "H"}, {Symbol: "H", X: 10},
+	}}
+	if bonds := far.PerceiveBonds(1.2); len(bonds) != 0 {
+		t.Fatalf("distant atoms bonded: %v", bonds)
+	}
+}
+
+func TestConnectedFragments(t *testing.T) {
+	// UO2 + n waters: 1 uranyl fragment + n water fragments (the
+	// waters are placed well away from each other and the core).
+	m := MakeUO2nH2O(5)
+	frags := m.ConnectedFragments(1.2)
+	if len(frags) != 6 {
+		t.Fatalf("fragments = %d, want 6", len(frags))
+	}
+	// First fragment is the 3-atom uranyl; the rest are 3-atom waters.
+	total := 0
+	for _, f := range frags {
+		if len(f) != 3 {
+			t.Fatalf("fragment size = %d, want 3", len(f))
+		}
+		total += len(f)
+	}
+	if total != m.AtomCount() {
+		t.Fatalf("fragments cover %d atoms of %d", total, m.AtomCount())
+	}
+}
+
+func TestCovalentRadiusFallback(t *testing.T) {
+	if CovalentRadius("U") == 1.5 {
+		t.Fatal("U radius should be tabulated")
+	}
+	if CovalentRadius("Zz") != 1.5 {
+		t.Fatal("unknown element should fall back to 1.5")
+	}
+}

@@ -1,0 +1,348 @@
+package chem
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupElement(t *testing.T) {
+	for _, sym := range []string{"H", "h", " U ", "fe"} {
+		if _, ok := LookupElement(sym); !ok {
+			t.Errorf("LookupElement(%q) missed", sym)
+		}
+	}
+	if _, ok := LookupElement("Xx"); ok {
+		t.Error("unknown element accepted")
+	}
+	u, _ := LookupElement("U")
+	if u.Number != 92 || u.Mass < 238 || u.Mass > 239 {
+		t.Errorf("U = %+v", u)
+	}
+}
+
+func TestHillOrder(t *testing.T) {
+	cases := []struct {
+		in, want []string
+	}{
+		{[]string{"O", "H", "C"}, []string{"C", "H", "O"}},
+		{[]string{"U", "H", "O"}, []string{"H", "O", "U"}}, // no carbon: alphabetical
+		{[]string{"N", "C", "Cl", "H"}, []string{"C", "H", "Cl", "N"}},
+	}
+	for _, c := range cases {
+		if got := HillOrder(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("HillOrder(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormulas(t *testing.T) {
+	water := MakeWater()
+	if f := water.Formula(); f != "H2O" {
+		t.Errorf("water formula = %q", f)
+	}
+	methane := &Molecule{Atoms: []Atom{
+		{Symbol: "C"}, {Symbol: "H"}, {Symbol: "H"}, {Symbol: "H"}, {Symbol: "H"},
+	}}
+	if f := methane.Formula(); f != "CH4" {
+		t.Errorf("methane formula = %q", f)
+	}
+}
+
+func TestUO215H2OMatchesPaper(t *testing.T) {
+	// The paper describes "a molecule of Uranium Oxide surrounded by
+	// 15 water molecules (UO2-15H2O) for a total of 50 atoms". Note
+	// that UO2 + 15 x H2O is arithmetically 48 atoms; we keep the
+	// chemically faithful count ("a total of 50" appears to be the
+	// paper rounding or a slightly different coordination sphere).
+	m := MakeUO2nH2O(15)
+	if m.AtomCount() != 48 {
+		t.Fatalf("atoms = %d, want 48 (3 + 15*3)", m.AtomCount())
+	}
+	if m.CountOf("U") != 1 || m.CountOf("O") != 17 || m.CountOf("H") != 30 {
+		t.Fatalf("composition U=%d O=%d H=%d", m.CountOf("U"), m.CountOf("O"), m.CountOf("H"))
+	}
+	if f := m.Formula(); f != "H30O17U" {
+		t.Fatalf("formula = %q", f)
+	}
+	if m.Charge != 2 {
+		t.Fatalf("charge = %d", m.Charge)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Waters must not sit on top of the uranyl: all O-U distances of
+	// water oxygens > 2 Å.
+	for i := 3; i < len(m.Atoms); i++ {
+		if d := m.Distance(0, i); d < 2.0 {
+			t.Fatalf("atom %d only %.2f Å from U", i, d)
+		}
+	}
+}
+
+func TestMassAndElectrons(t *testing.T) {
+	w := MakeWater()
+	if m := w.Mass(); math.Abs(m-18.015) > 0.01 {
+		t.Errorf("water mass = %f", m)
+	}
+	if e := w.Electrons(); e != 10 {
+		t.Errorf("water electrons = %d", e)
+	}
+	uo2 := &Molecule{Charge: 2, Atoms: []Atom{{Symbol: "U"}, {Symbol: "O"}, {Symbol: "O"}}}
+	if e := uo2.Electrons(); e != 92+16-2 {
+		t.Errorf("uranyl electrons = %d", e)
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	w := MakeWater()
+	// O-H bond length as constructed.
+	if d := w.Distance(0, 1); math.Abs(d-0.9572) > 1e-9 {
+		t.Errorf("O-H distance = %f", d)
+	}
+	before := w.Atoms[0]
+	w.Translate(1, 2, 3)
+	after := w.Atoms[0]
+	if after.X-before.X != 1 || after.Y-before.Y != 2 || after.Z-before.Z != 3 {
+		t.Error("Translate failed")
+	}
+	c := w.Clone()
+	c.Atoms[0].X = 99
+	if w.Atoms[0].X == 99 {
+		t.Error("Clone is shallow")
+	}
+}
+
+func TestXYZRoundTrip(t *testing.T) {
+	m := MakeUO2nH2O(3)
+	data := EncodeXYZ(m)
+	back, err := ParseXYZBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.AtomCount() != m.AtomCount() || back.Formula() != m.Formula() || back.Charge != m.Charge {
+		t.Fatalf("round trip: %d atoms %q charge %d", back.AtomCount(), back.Formula(), back.Charge)
+	}
+	for i := range m.Atoms {
+		if math.Abs(back.Atoms[i].X-m.Atoms[i].X) > 1e-6 {
+			t.Fatalf("atom %d x drifted", i)
+		}
+	}
+}
+
+func TestXYZErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"notanumber\ncomment\n",
+		"2\ncomment\nH 0 0 0\n", // truncated
+		"1\ncomment\nH zero 0 0\n",
+		"1\ncomment\nH\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseXYZBytes([]byte(c)); err == nil {
+			t.Errorf("ParseXYZ(%q) succeeded", c)
+		}
+	}
+}
+
+func TestPDBRoundTrip(t *testing.T) {
+	m := MakeUO2nH2O(2)
+	data := EncodePDB(m)
+	back, err := ParsePDBBytes(data)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, data)
+	}
+	if back.AtomCount() != m.AtomCount() || back.Formula() != m.Formula() || back.Charge != 2 {
+		t.Fatalf("round trip: %d atoms %q charge %d", back.AtomCount(), back.Formula(), back.Charge)
+	}
+	// PDB fixed columns keep 3 decimals.
+	for i := range m.Atoms {
+		if math.Abs(back.Atoms[i].X-m.Atoms[i].X) > 1e-3+1e-9 {
+			t.Fatalf("atom %d x drifted: %f vs %f", i, back.Atoms[i].X, m.Atoms[i].X)
+		}
+	}
+}
+
+func TestParsePDBRealWorldStyle(t *testing.T) {
+	pdb := `HEADER    test molecule
+HETATM    1  O   HOH     1       0.000   0.000   0.000  1.00  0.00           O
+HETATM    2  H1  HOH     1       0.957   0.000   0.000  1.00  0.00           H
+HETATM    3  H2  HOH     1      -0.240   0.927   0.000  1.00  0.00           H
+END
+`
+	m, err := ParsePDB(strings.NewReader(pdb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Formula() != "H2O" {
+		t.Fatalf("formula = %q", m.Formula())
+	}
+	if m.Atoms[1].X != 0.957 {
+		t.Fatalf("x = %f", m.Atoms[1].X)
+	}
+}
+
+func TestParsePDBNoAtoms(t *testing.T) {
+	if _, err := ParsePDB(strings.NewReader("HEADER x\n")); err == nil {
+		t.Fatal("empty PDB accepted")
+	}
+}
+
+func TestEncodeDecodeDispatch(t *testing.T) {
+	m := MakeWater()
+	for _, format := range []string{FormatXYZ, FormatPDB} {
+		data, err := Encode(m, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(data, format)
+		if err != nil || back.Formula() != "H2O" {
+			t.Fatalf("%s: %v %q", format, err, back.Formula())
+		}
+	}
+	if _, err := Encode(m, "cml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := Decode(nil, "cml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestBasisRoundTrip(t *testing.T) {
+	bs := STO3G()
+	data := bs.Encode()
+	back, err := ParseBasisBytes(data)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, data)
+	}
+	if back.Name != "STO-3G" || len(back.Elements) != len(bs.Elements) {
+		t.Fatalf("basis = %q with %d elements", back.Name, len(back.Elements))
+	}
+	for i, e := range bs.Elements {
+		be := back.Elements[i]
+		if be.Symbol != e.Symbol || len(be.Shells) != len(e.Shells) {
+			t.Fatalf("element %d = %+v", i, be)
+		}
+		for j, sh := range e.Shells {
+			bsh := be.Shells[j]
+			if bsh.Type != sh.Type || len(bsh.Primitives) != len(sh.Primitives) {
+				t.Fatalf("shell %d/%d mismatch", i, j)
+			}
+			for k, p := range sh.Primitives {
+				if math.Abs(bsh.Primitives[k].Exponent-p.Exponent) > 1e-7 {
+					t.Fatalf("primitive %d/%d/%d exponent drifted", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestBasisCoverage(t *testing.T) {
+	bs := STO3G()
+	if !bs.Covers(MakeWater()) {
+		t.Fatal("STO-3G should cover water")
+	}
+	if !bs.Covers(MakeUO2nH2O(15)) {
+		t.Fatal("STO-3G stand-in should cover the uranyl system")
+	}
+	iron := &Molecule{Atoms: []Atom{{Symbol: "Fe"}}}
+	if bs.Covers(iron) {
+		t.Fatal("STO-3G should not cover Fe")
+	}
+	if n := bs.FunctionCount(MakeWater()); n != 2+2*1 {
+		t.Fatalf("function count = %d", n)
+	}
+}
+
+func TestBasisParseErrors(t *testing.T) {
+	cases := []string{
+		"basis \"x\"\n1.0 2.0\nend\n",         // primitive outside shell
+		"basis \"x\"\nH S\n",                  // missing end
+		"basis \"x\"\nH S extra\nendticket\n", // unparseable
+	}
+	for _, c := range cases {
+		if _, err := ParseBasisBytes([]byte(c)); err == nil {
+			t.Errorf("ParseBasis(%q) succeeded", c)
+		}
+	}
+}
+
+// TestQuickXYZRoundTrip: arbitrary generated molecules survive XYZ
+// encode/parse.
+func TestQuickXYZRoundTrip(t *testing.T) {
+	syms := KnownSymbols()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Molecule{Name: "q", Charge: rng.Intn(7) - 3, Multiplicity: 1}
+		for i := rng.Intn(30) + 1; i > 0; i-- {
+			m.Atoms = append(m.Atoms, Atom{
+				Symbol: syms[rng.Intn(len(syms))],
+				X:      (rng.Float64() - 0.5) * 100,
+				Y:      (rng.Float64() - 0.5) * 100,
+				Z:      (rng.Float64() - 0.5) * 100,
+			})
+		}
+		back, err := ParseXYZBytes(EncodeXYZ(m))
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		if back.AtomCount() != m.AtomCount() || back.Formula() != m.Formula() || back.Charge != m.Charge {
+			return false
+		}
+		for i := range m.Atoms {
+			if back.Atoms[i].Symbol != m.Atoms[i].Symbol ||
+				math.Abs(back.Atoms[i].X-m.Atoms[i].X) > 1e-6 ||
+				math.Abs(back.Atoms[i].Y-m.Atoms[i].Y) > 1e-6 ||
+				math.Abs(back.Atoms[i].Z-m.Atoms[i].Z) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFormulaInvariants: formulas are permutation-invariant and
+// atom counts always match.
+func TestQuickFormulaInvariants(t *testing.T) {
+	syms := []string{"C", "H", "O", "N", "U"}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var atoms []Atom
+		for i := rng.Intn(20) + 1; i > 0; i-- {
+			atoms = append(atoms, Atom{Symbol: syms[rng.Intn(len(syms))]})
+		}
+		m1 := &Molecule{Atoms: atoms}
+		shuffled := append([]Atom(nil), atoms...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		m2 := &Molecule{Atoms: shuffled}
+		return m1.Formula() == m2.Formula()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteToBuffers(t *testing.T) {
+	var xyz, pdb bytes.Buffer
+	m := MakeWater()
+	if err := WriteXYZ(&xyz, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePDB(&pdb, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(xyz.String(), "3\n") {
+		t.Fatalf("xyz header: %q", xyz.String()[:10])
+	}
+	if !strings.HasPrefix(pdb.String(), "HEADER") {
+		t.Fatalf("pdb header: %q", pdb.String()[:10])
+	}
+}

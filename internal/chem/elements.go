@@ -1,0 +1,147 @@
+// Package chem provides the computational-chemistry data types the
+// Ecce model is built from: molecules with 3D geometries, the XYZ and
+// PDB interchange formats the paper maps molecule documents onto,
+// empirical formulas (Hill convention), and Gaussian basis sets. The
+// UO2·nH2O generator reproduces the paper's benchmark chemical system
+// (a uranium oxide molecule surrounded by 15 water molecules, 50 atoms
+// in total).
+package chem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Element describes one chemical element.
+type Element struct {
+	Symbol string
+	Number int     // atomic number
+	Mass   float64 // standard atomic weight, u
+}
+
+// elements covers the species Ecce workloads touch plus the common
+// main-group set.
+var elements = map[string]Element{
+	"H":  {"H", 1, 1.008},
+	"He": {"He", 2, 4.0026},
+	"Li": {"Li", 3, 6.94},
+	"Be": {"Be", 4, 9.0122},
+	"B":  {"B", 5, 10.81},
+	"C":  {"C", 6, 12.011},
+	"N":  {"N", 7, 14.007},
+	"O":  {"O", 8, 15.999},
+	"F":  {"F", 9, 18.998},
+	"Ne": {"Ne", 10, 20.180},
+	"Na": {"Na", 11, 22.990},
+	"Mg": {"Mg", 12, 24.305},
+	"Al": {"Al", 13, 26.982},
+	"Si": {"Si", 14, 28.085},
+	"P":  {"P", 15, 30.974},
+	"S":  {"S", 16, 32.06},
+	"Cl": {"Cl", 17, 35.45},
+	"Ar": {"Ar", 18, 39.948},
+	"K":  {"K", 19, 39.098},
+	"Ca": {"Ca", 20, 40.078},
+	"Ti": {"Ti", 22, 47.867},
+	"Cr": {"Cr", 24, 51.996},
+	"Mn": {"Mn", 25, 54.938},
+	"Fe": {"Fe", 26, 55.845},
+	"Co": {"Co", 27, 58.933},
+	"Ni": {"Ni", 28, 58.693},
+	"Cu": {"Cu", 29, 63.546},
+	"Zn": {"Zn", 30, 65.38},
+	"Br": {"Br", 35, 79.904},
+	"Mo": {"Mo", 42, 95.95},
+	"Ru": {"Ru", 44, 101.07},
+	"Pd": {"Pd", 46, 106.42},
+	"Ag": {"Ag", 47, 107.87},
+	"I":  {"I", 53, 126.90},
+	"Xe": {"Xe", 54, 131.29},
+	"Pt": {"Pt", 78, 195.08},
+	"Au": {"Au", 79, 196.97},
+	"Hg": {"Hg", 80, 200.59},
+	"Pb": {"Pb", 82, 207.2},
+	"Th": {"Th", 90, 232.04},
+	"U":  {"U", 92, 238.03},
+	"Pu": {"Pu", 94, 244.0},
+}
+
+// LookupElement returns the element for a symbol (case-normalized).
+func LookupElement(symbol string) (Element, bool) {
+	e, ok := elements[NormalizeSymbol(symbol)]
+	return e, ok
+}
+
+// NormalizeSymbol canonicalizes an element symbol's case ("FE" → "Fe").
+func NormalizeSymbol(symbol string) string {
+	s := strings.TrimSpace(symbol)
+	if s == "" {
+		return s
+	}
+	s = strings.ToUpper(s[:1]) + strings.ToLower(s[1:])
+	return s
+}
+
+// KnownSymbols returns the supported element symbols, sorted.
+func KnownSymbols() []string {
+	out := make([]string, 0, len(elements))
+	for s := range elements {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HillOrder sorts element symbols by the Hill convention: carbon
+// first, hydrogen second, then everything alphabetically; without
+// carbon, strictly alphabetical.
+func HillOrder(symbols []string) []string {
+	out := append([]string(nil), symbols...)
+	hasC := false
+	for _, s := range out {
+		if s == "C" {
+			hasC = true
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		rank := func(s string) int {
+			if hasC {
+				switch s {
+				case "C":
+					return 0
+				case "H":
+					return 1
+				}
+				return 2
+			}
+			return 2
+		}
+		ri, rj := rank(out[i]), rank(out[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// FormatFormula renders counts as an empirical formula in Hill order
+// ("CH4", "H30O17U").
+func FormatFormula(counts map[string]int) string {
+	symbols := make([]string, 0, len(counts))
+	for s, n := range counts {
+		if n > 0 {
+			symbols = append(symbols, s)
+		}
+	}
+	var sb strings.Builder
+	for _, s := range HillOrder(symbols) {
+		sb.WriteString(s)
+		if counts[s] > 1 {
+			fmt.Fprintf(&sb, "%d", counts[s])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,52 @@
+package chem_test
+
+import (
+	"fmt"
+
+	"repro/internal/chem"
+)
+
+func ExampleMolecule_Formula() {
+	water := chem.MakeWater()
+	fmt.Println(water.Formula())
+
+	uranyl := chem.MakeUO2nH2O(15)
+	fmt.Println(uranyl.Formula())
+	// Output:
+	// H2O
+	// H30O17U
+}
+
+func ExampleMakeUO2nH2O() {
+	mol := chem.MakeUO2nH2O(15)
+	fmt.Printf("%s: %d atoms, charge %+d, %d fragments\n",
+		mol.Name, mol.AtomCount(), mol.Charge, len(mol.ConnectedFragments(1.2)))
+	// Output:
+	// UO2-15H2O: 48 atoms, charge +2, 16 fragments
+}
+
+func ExampleParseXYZBytes() {
+	xyz := []byte(`3
+water charge=0
+O   0.00000000  0.00000000  0.00000000
+H   0.75716000  0.00000000  0.58626000
+H  -0.75716000  0.00000000  0.58626000
+`)
+	mol, err := chem.ParseXYZBytes(xyz)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s with %d bonds\n", mol.Formula(), len(mol.PerceiveBonds(1.2)))
+	// Output:
+	// H2O with 2 bonds
+}
+
+func ExampleBasisSet_Covers() {
+	bs := chem.STO3G()
+	fmt.Println(bs.Covers(chem.MakeWater()))
+	iron := &chem.Molecule{Atoms: []chem.Atom{{Symbol: "Fe"}}}
+	fmt.Println(bs.Covers(iron))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,219 @@
+package chem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format names used in the ecce:format metadata property (the paper
+// maps the Molecule object to "a Protein Data Bank (PDB), simple XYZ,
+// or custom encoded molecular geometry with metadata encoding the
+// format of the raw data").
+const (
+	FormatXYZ = "xyz"
+	FormatPDB = "pdb"
+)
+
+// WriteXYZ renders the standard XYZ interchange format: atom count,
+// comment line, then "symbol x y z" rows.
+func WriteXYZ(w io.Writer, m *Molecule) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", len(m.Atoms))
+	comment := m.Name
+	if comment == "" {
+		comment = m.Formula()
+	}
+	fmt.Fprintf(bw, "%s charge=%d\n", comment, m.Charge)
+	for _, a := range m.Atoms {
+		fmt.Fprintf(bw, "%-2s %14.8f %14.8f %14.8f\n", a.Symbol, a.X, a.Y, a.Z)
+	}
+	return bw.Flush()
+}
+
+// EncodeXYZ renders a molecule to an XYZ byte slice.
+func EncodeXYZ(m *Molecule) []byte {
+	var sb strings.Builder
+	WriteXYZ(&sb, m)
+	return []byte(sb.String())
+}
+
+// ParseXYZ reads the XYZ format. The comment line's "charge=N" token,
+// if present, populates Charge.
+func ParseXYZ(r io.Reader) (*Molecule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("chem: empty XYZ input")
+	}
+	count, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+	if err != nil || count < 0 {
+		return nil, fmt.Errorf("chem: bad XYZ atom count %q", sc.Text())
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("chem: XYZ missing comment line")
+	}
+	mol := &Molecule{Multiplicity: 1}
+	comment := sc.Text()
+	for _, tok := range strings.Fields(comment) {
+		if v, ok := strings.CutPrefix(tok, "charge="); ok {
+			if c, err := strconv.Atoi(v); err == nil {
+				mol.Charge = c
+			}
+		} else if mol.Name == "" {
+			mol.Name = tok
+		}
+	}
+	for i := 0; i < count; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("chem: XYZ truncated at atom %d of %d", i, count)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("chem: bad XYZ atom line %q", sc.Text())
+		}
+		x, err1 := strconv.ParseFloat(fields[1], 64)
+		y, err2 := strconv.ParseFloat(fields[2], 64)
+		z, err3 := strconv.ParseFloat(fields[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("chem: bad XYZ coordinates %q", sc.Text())
+		}
+		mol.Atoms = append(mol.Atoms, Atom{Symbol: NormalizeSymbol(fields[0]), X: x, Y: y, Z: z})
+	}
+	return mol, sc.Err()
+}
+
+// ParseXYZBytes parses XYZ data held in memory.
+func ParseXYZBytes(b []byte) (*Molecule, error) {
+	return ParseXYZ(strings.NewReader(string(b)))
+}
+
+// WritePDB renders HETATM records per the PDB format the paper cites
+// (columns per the 2.2 guide: serial 7-11, name 13-16, resName 18-20,
+// x 31-38, y 39-46, z 47-54, element 77-78).
+func WritePDB(w io.Writer, m *Molecule) error {
+	bw := bufio.NewWriter(w)
+	name := m.Name
+	if name == "" {
+		name = m.Formula()
+	}
+	fmt.Fprintf(bw, "HEADER    %s\n", name)
+	fmt.Fprintf(bw, "REMARK   1 CHARGE %d\n", m.Charge)
+	for i, a := range m.Atoms {
+		sym := NormalizeSymbol(a.Symbol)
+		fmt.Fprintf(bw, "HETATM%5d %-4s MOL     1    %8.3f%8.3f%8.3f  1.00  0.00          %2s\n",
+			i+1, sym, a.X, a.Y, a.Z, strings.ToUpper(sym))
+	}
+	fmt.Fprintf(bw, "END\n")
+	return bw.Flush()
+}
+
+// EncodePDB renders a molecule to a PDB byte slice.
+func EncodePDB(m *Molecule) []byte {
+	var sb strings.Builder
+	WritePDB(&sb, m)
+	return []byte(sb.String())
+}
+
+// ParsePDB reads ATOM/HETATM records, tolerating the column drift of
+// real-world files by using fixed columns when the line is long enough
+// and whitespace fields otherwise.
+func ParsePDB(r io.Reader) (*Molecule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	mol := &Molecule{Multiplicity: 1}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "HEADER"):
+			mol.Name = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "REMARK") && strings.Contains(line, "CHARGE"):
+			fields := strings.Fields(line)
+			if c, err := strconv.Atoi(fields[len(fields)-1]); err == nil {
+				mol.Charge = c
+			}
+		case strings.HasPrefix(line, "ATOM") || strings.HasPrefix(line, "HETATM"):
+			atom, err := parsePDBAtom(line)
+			if err != nil {
+				return nil, fmt.Errorf("chem: PDB line %d: %w", lineNo, err)
+			}
+			mol.Atoms = append(mol.Atoms, atom)
+		case strings.HasPrefix(line, "END"):
+			return mol, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(mol.Atoms) == 0 {
+		return nil, fmt.Errorf("chem: PDB input contains no atoms")
+	}
+	return mol, nil
+}
+
+func parsePDBAtom(line string) (Atom, error) {
+	if len(line) >= 54 {
+		x, err1 := strconv.ParseFloat(strings.TrimSpace(line[30:38]), 64)
+		y, err2 := strconv.ParseFloat(strings.TrimSpace(line[38:46]), 64)
+		z, err3 := strconv.ParseFloat(strings.TrimSpace(line[46:54]), 64)
+		if err1 == nil && err2 == nil && err3 == nil {
+			sym := ""
+			if len(line) >= 78 {
+				sym = strings.TrimSpace(line[76:78])
+			}
+			if sym == "" {
+				sym = strings.TrimSpace(line[12:16])
+				sym = strings.TrimRight(sym, "0123456789")
+			}
+			if sym == "" {
+				return Atom{}, fmt.Errorf("no element symbol")
+			}
+			return Atom{Symbol: NormalizeSymbol(sym), X: x, Y: y, Z: z}, nil
+		}
+	}
+	// Fall back to whitespace splitting for non-conforming writers.
+	fields := strings.Fields(line)
+	if len(fields) < 7 {
+		return Atom{}, fmt.Errorf("unparseable atom record %q", line)
+	}
+	x, err1 := strconv.ParseFloat(fields[len(fields)-5], 64)
+	y, err2 := strconv.ParseFloat(fields[len(fields)-4], 64)
+	z, err3 := strconv.ParseFloat(fields[len(fields)-3], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Atom{}, fmt.Errorf("unparseable coordinates %q", line)
+	}
+	return Atom{Symbol: NormalizeSymbol(fields[2]), X: x, Y: y, Z: z}, nil
+}
+
+// ParsePDBBytes parses PDB data held in memory.
+func ParsePDBBytes(b []byte) (*Molecule, error) {
+	return ParsePDB(strings.NewReader(string(b)))
+}
+
+// Encode renders a molecule in the named format.
+func Encode(m *Molecule, format string) ([]byte, error) {
+	switch format {
+	case FormatXYZ:
+		return EncodeXYZ(m), nil
+	case FormatPDB:
+		return EncodePDB(m), nil
+	default:
+		return nil, fmt.Errorf("chem: unknown format %q", format)
+	}
+}
+
+// Decode parses a molecule in the named format.
+func Decode(b []byte, format string) (*Molecule, error) {
+	switch format {
+	case FormatXYZ:
+		return ParseXYZBytes(b)
+	case FormatPDB:
+		return ParsePDBBytes(b)
+	default:
+		return nil, fmt.Errorf("chem: unknown format %q", format)
+	}
+}

@@ -1,0 +1,606 @@
+package core
+
+import (
+	"encoding/xml"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/chem"
+	"repro/internal/davclient"
+	"repro/internal/davproto"
+	"repro/internal/model"
+)
+
+// Well-known member names within a calculation collection (Figure 4:
+// "objects recognizable by domain scientists were mapped to separate
+// DAV documents").
+const (
+	memberMolecule   = "molecule"
+	memberBasis      = "basis"
+	memberTasks      = "tasks"
+	memberJob        = "job"
+	memberProperties = "properties"
+)
+
+// Additional job time properties.
+var (
+	propJobSubmit = EcceName("jobsubmit")
+	propJobStart  = EcceName("jobstart")
+	propJobEnd    = EcceName("jobend")
+)
+
+// DAVStorage implements DataStorage over a WebDAV repository — the
+// Ecce 2.0 architecture. Object paths map 1:1 to resource paths, so
+// every object is independently addressable, carries its own metadata,
+// and remains visible to non-Ecce DAV clients.
+type DAVStorage struct {
+	c *davclient.Client
+}
+
+var (
+	_ DataStorage = (*DAVStorage)(nil)
+	_ Annotator   = (*DAVStorage)(nil)
+	_ Finder      = (*DAVStorage)(nil)
+)
+
+// NewDAVStorage wraps a DAV client whose base URL is the repository
+// root.
+func NewDAVStorage(c *davclient.Client) *DAVStorage { return &DAVStorage{c: c} }
+
+// Client exposes the underlying DAV client (benchmarks, tooling).
+func (s *DAVStorage) Client() *davclient.Client { return s.c }
+
+// Close implements DataStorage.
+func (s *DAVStorage) Close() error {
+	s.c.Close()
+	return nil
+}
+
+// mapErr converts transport errors to core errors.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case davclient.IsStatus(err, http.StatusNotFound):
+		return fmt.Errorf("%w: %v", ErrNotFound, err)
+	case davclient.IsStatus(err, http.StatusMethodNotAllowed),
+		davclient.IsStatus(err, http.StatusPreconditionFailed):
+		return fmt.Errorf("%w: %v", ErrExists, err)
+	default:
+		return err
+	}
+}
+
+// textProp builds an ecce text property.
+func textProp(name xml.Name, value string) davproto.Property {
+	return davproto.NewTextProperty(name.Space, name.Local, value)
+}
+
+// CreateProject implements DataStorage.
+func (s *DAVStorage) CreateProject(p string, proj model.Project) error {
+	if err := mapErr(s.c.Mkcol(p)); err != nil {
+		return err
+	}
+	created := proj.Created
+	if created.IsZero() {
+		created = time.Now()
+	}
+	return mapErr(s.c.SetProps(p,
+		textProp(PropObjectType, string(TypeProject)),
+		textProp(PropDescription, proj.Description),
+		textProp(EcceName("name"), proj.Name),
+		textProp(PropCreatedAt, created.UTC().Format(time.RFC3339Nano)),
+	))
+}
+
+// LoadProject implements DataStorage.
+func (s *DAVStorage) LoadProject(p string) (model.Project, error) {
+	props, err := s.propsOf(p, PropObjectType, PropDescription, EcceName("name"), PropCreatedAt)
+	if err != nil {
+		return model.Project{}, err
+	}
+	if props[PropObjectType] != string(TypeProject) {
+		return model.Project{}, fmt.Errorf("%w: %s is not a project", ErrNotFound, p)
+	}
+	proj := model.Project{Name: props[EcceName("name")], Description: props[PropDescription]}
+	if t, err := time.Parse(time.RFC3339Nano, props[PropCreatedAt]); err == nil {
+		proj.Created = t
+	}
+	return proj, nil
+}
+
+// propsOf fetches selected properties of one resource as text.
+func (s *DAVStorage) propsOf(p string, names ...xml.Name) (map[xml.Name]string, error) {
+	ms, err := s.c.PropFindSelected(p, davproto.Depth0, names...)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if len(ms.Responses) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	out := map[xml.Name]string{}
+	for name, prop := range davproto.PropsByName(ms.Responses[0].Propstats) {
+		out[name] = prop.Text()
+	}
+	return out, nil
+}
+
+// List implements DataStorage.
+func (s *DAVStorage) List(p string) ([]Entry, error) {
+	ms, err := s.c.PropFindSelected(p, davproto.Depth1, PropObjectType, davproto.PropResourceType)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	base := strings.TrimSuffix(p, "/")
+	var entries []Entry
+	for _, r := range ms.Responses {
+		href := strings.TrimSuffix(r.Href, "/")
+		if href == base || href == "" {
+			continue // the container itself
+		}
+		props := davproto.PropsByName(r.Propstats)
+		typ := TypeDocument
+		if ot, ok := props[PropObjectType]; ok && ot.Text() != "" {
+			typ = ObjectType(ot.Text())
+		}
+		entries = append(entries, Entry{Name: path.Base(href), Path: href, Type: typ})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Path < entries[j].Path })
+	return entries, nil
+}
+
+// CreateCalculation implements DataStorage.
+func (s *DAVStorage) CreateCalculation(p string, c model.Calculation) error {
+	if err := mapErr(s.c.Mkcol(p)); err != nil {
+		return err
+	}
+	return s.SaveCalculation(p, c)
+}
+
+// SaveCalculation implements DataStorage.
+func (s *DAVStorage) SaveCalculation(p string, c model.Calculation) error {
+	created := c.Created
+	if created.IsZero() {
+		created = time.Now()
+	}
+	return mapErr(s.c.SetProps(p,
+		textProp(PropObjectType, string(TypeCalculation)),
+		textProp(EcceName("name"), c.Name),
+		textProp(PropState, c.State.String()),
+		textProp(PropTheory, c.Theory),
+		textProp(PropAnnotation, c.Annotation),
+		textProp(PropCreatedAt, created.UTC().Format(time.RFC3339Nano)),
+	))
+}
+
+// LoadCalculation implements DataStorage.
+func (s *DAVStorage) LoadCalculation(p string) (model.Calculation, error) {
+	props, err := s.propsOf(p, PropObjectType, EcceName("name"), PropState,
+		PropTheory, PropAnnotation, PropCreatedAt)
+	if err != nil {
+		return model.Calculation{}, err
+	}
+	if props[PropObjectType] != string(TypeCalculation) {
+		return model.Calculation{}, fmt.Errorf("%w: %s is not a calculation", ErrNotFound, p)
+	}
+	c := model.Calculation{
+		Name:       props[EcceName("name")],
+		Theory:     props[PropTheory],
+		Annotation: props[PropAnnotation],
+	}
+	if st, err := model.ParseState(props[PropState]); err == nil {
+		c.State = st
+	}
+	if t, err := time.Parse(time.RFC3339Nano, props[PropCreatedAt]); err == nil {
+		c.Created = t
+	}
+	return c, nil
+}
+
+// SaveMolecule implements DataStorage: the molecule document holds the
+// open-format geometry while formula/symmetry/charge/format become
+// metadata so other applications can discover it "without
+// understanding the rest of the Ecce schema".
+func (s *DAVStorage) SaveMolecule(calcPath string, mol *chem.Molecule, format string) error {
+	body, err := chem.Encode(mol, format)
+	if err != nil {
+		return err
+	}
+	docPath := path.Join(calcPath, memberMolecule)
+	ctype := "chemical/x-xyz"
+	if format == chem.FormatPDB {
+		ctype = "chemical/x-pdb"
+	}
+	if _, err := s.c.PutBytes(docPath, body, ctype); err != nil {
+		return mapErr(err)
+	}
+	return mapErr(s.c.SetProps(docPath,
+		textProp(PropObjectType, string(TypeMolecule)),
+		textProp(PropFormat, format),
+		textProp(PropFormula, mol.Formula()),
+		textProp(PropSymmetry, mol.Symmetry),
+		textProp(PropCharge, strconv.Itoa(mol.Charge)),
+		textProp(EcceName("name"), mol.Name),
+	))
+}
+
+// LoadMolecule implements DataStorage.
+func (s *DAVStorage) LoadMolecule(calcPath string) (*chem.Molecule, error) {
+	docPath := path.Join(calcPath, memberMolecule)
+	props, err := s.propsOf(docPath, PropFormat, PropSymmetry, PropCharge, EcceName("name"))
+	if err != nil {
+		return nil, err
+	}
+	body, err := s.c.Get(docPath)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	format := props[PropFormat]
+	if format == "" {
+		format = chem.FormatXYZ
+	}
+	mol, err := chem.Decode(body, format)
+	if err != nil {
+		return nil, err
+	}
+	// Metadata is authoritative for the attributes it carries.
+	if props[EcceName("name")] != "" {
+		mol.Name = props[EcceName("name")]
+	}
+	mol.Symmetry = props[PropSymmetry]
+	if c, err := strconv.Atoi(props[PropCharge]); err == nil {
+		mol.Charge = c
+	}
+	return mol, nil
+}
+
+// SaveBasis implements DataStorage.
+func (s *DAVStorage) SaveBasis(calcPath string, bs *chem.BasisSet) error {
+	docPath := path.Join(calcPath, memberBasis)
+	if _, err := s.c.PutBytes(docPath, bs.Encode(), "text/plain"); err != nil {
+		return mapErr(err)
+	}
+	return mapErr(s.c.SetProps(docPath,
+		textProp(PropObjectType, string(TypeBasisSet)),
+		textProp(PropBasisName, bs.Name),
+	))
+}
+
+// LoadBasis implements DataStorage.
+func (s *DAVStorage) LoadBasis(calcPath string) (*chem.BasisSet, error) {
+	body, err := s.c.Get(path.Join(calcPath, memberBasis))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return chem.ParseBasisBytes(body)
+}
+
+// taskDocName renders the sequence-ordered document name for a task.
+func taskDocName(t model.Task) string {
+	name := slugify(t.Name)
+	if name == "" {
+		name = string(t.Kind)
+	}
+	return fmt.Sprintf("%02d-%s", t.Sequence, name)
+}
+
+// SaveTask implements DataStorage. Tasks live in a tasks collection;
+// the paper locates the task list "through the collection mechanism".
+func (s *DAVStorage) SaveTask(calcPath string, t model.Task) error {
+	tasksPath := path.Join(calcPath, memberTasks)
+	if err := s.c.Mkcol(tasksPath); err != nil && !davclient.IsStatus(err, http.StatusMethodNotAllowed) {
+		return mapErr(err)
+	}
+	docPath := path.Join(tasksPath, taskDocName(t))
+	if _, err := s.c.PutBytes(docPath, []byte(t.InputDeck), "text/plain"); err != nil {
+		return mapErr(err)
+	}
+	return mapErr(s.c.SetProps(docPath,
+		textProp(PropObjectType, string(TypeTask)),
+		textProp(EcceName("name"), t.Name),
+		textProp(PropTaskKind, string(t.Kind)),
+		textProp(PropSequence, strconv.Itoa(t.Sequence)),
+	))
+}
+
+// LoadTasks implements DataStorage, returning tasks ordered by
+// sequence.
+func (s *DAVStorage) LoadTasks(calcPath string) ([]model.Task, error) {
+	tasksPath := path.Join(calcPath, memberTasks)
+	ms, err := s.c.PropFindSelected(tasksPath, davproto.Depth1,
+		PropObjectType, EcceName("name"), PropTaskKind, PropSequence)
+	if err != nil {
+		if davclient.IsStatus(err, http.StatusNotFound) {
+			return nil, nil // no tasks yet
+		}
+		return nil, mapErr(err)
+	}
+	var tasks []model.Task
+	for _, r := range ms.Responses {
+		props := davproto.PropsByName(r.Propstats)
+		if ot, ok := props[PropObjectType]; !ok || ot.Text() != string(TypeTask) {
+			continue
+		}
+		t := model.Task{
+			Name: props[EcceName("name")].Text(),
+			Kind: model.TaskKind(props[PropTaskKind].Text()),
+		}
+		if seq, err := strconv.Atoi(props[PropSequence].Text()); err == nil {
+			t.Sequence = seq
+		}
+		deck, err := s.c.Get(strings.TrimSuffix(r.Href, "/"))
+		if err != nil {
+			return nil, mapErr(err)
+		}
+		t.InputDeck = string(deck)
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].Sequence < tasks[j].Sequence })
+	return tasks, nil
+}
+
+// SaveJob implements DataStorage: the job is a pure-metadata document.
+func (s *DAVStorage) SaveJob(calcPath string, j model.Job) error {
+	docPath := path.Join(calcPath, memberJob)
+	if _, err := s.c.PutBytes(docPath, nil, "text/plain"); err != nil {
+		return mapErr(err)
+	}
+	fmtTime := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	return mapErr(s.c.SetProps(docPath,
+		textProp(PropObjectType, string(TypeJob)),
+		textProp(PropJobHost, j.Host),
+		textProp(PropJobQueue, j.Queue),
+		textProp(PropJobBatchID, j.BatchID),
+		textProp(PropJobNodes, strconv.Itoa(j.NodeCount)),
+		textProp(PropJobStatus, string(j.Status)),
+		textProp(propJobSubmit, fmtTime(j.SubmitTime)),
+		textProp(propJobStart, fmtTime(j.StartTime)),
+		textProp(propJobEnd, fmtTime(j.EndTime)),
+	))
+}
+
+// LoadJob implements DataStorage.
+func (s *DAVStorage) LoadJob(calcPath string) (model.Job, error) {
+	docPath := path.Join(calcPath, memberJob)
+	props, err := s.propsOf(docPath, PropObjectType, PropJobHost, PropJobQueue,
+		PropJobBatchID, PropJobNodes, PropJobStatus, propJobSubmit, propJobStart, propJobEnd)
+	if err != nil {
+		return model.Job{}, err
+	}
+	if props[PropObjectType] != string(TypeJob) {
+		return model.Job{}, fmt.Errorf("%w: %s is not a job", ErrNotFound, docPath)
+	}
+	j := model.Job{
+		Host:    props[PropJobHost],
+		Queue:   props[PropJobQueue],
+		BatchID: props[PropJobBatchID],
+		Status:  model.JobStatus(props[PropJobStatus]),
+	}
+	if n, err := strconv.Atoi(props[PropJobNodes]); err == nil {
+		j.NodeCount = n
+	}
+	parse := func(s string) time.Time {
+		t, _ := time.Parse(time.RFC3339Nano, s)
+		return t
+	}
+	j.SubmitTime = parse(props[propJobSubmit])
+	j.StartTime = parse(props[propJobStart])
+	j.EndTime = parse(props[propJobEnd])
+	return j, nil
+}
+
+// slugify renders a path-safe lowercase token.
+func slugify(s string) string {
+	var sb strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				sb.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(sb.String(), "-")
+}
+
+// propDocName derives a stable, collision-resistant document name for
+// an output property.
+func propDocName(name string) string {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	slug := slugify(name)
+	if slug == "" {
+		slug = "prop"
+	}
+	return fmt.Sprintf("%s-%08x", slug, h.Sum32())
+}
+
+// SaveProperty implements DataStorage: one document per property with
+// discoverable metadata.
+func (s *DAVStorage) SaveProperty(calcPath string, p model.Property) error {
+	propsPath := path.Join(calcPath, memberProperties)
+	if err := s.c.Mkcol(propsPath); err != nil && !davclient.IsStatus(err, http.StatusMethodNotAllowed) {
+		return mapErr(err)
+	}
+	body, err := EncodeProperty(&p)
+	if err != nil {
+		return err
+	}
+	docPath := path.Join(propsPath, propDocName(p.Name))
+	if _, err := s.c.PutBytes(docPath, body, "application/octet-stream"); err != nil {
+		return mapErr(err)
+	}
+	dims := make([]string, len(p.Dims))
+	for i, d := range p.Dims {
+		dims[i] = strconv.Itoa(d)
+	}
+	return mapErr(s.c.SetProps(docPath,
+		textProp(PropObjectType, string(TypeProperty)),
+		textProp(PropPropName, p.Name),
+		textProp(PropUnits, p.Units),
+		textProp(PropDims, strings.Join(dims, " ")),
+	))
+}
+
+// LoadProperty implements DataStorage.
+func (s *DAVStorage) LoadProperty(calcPath, name string) (model.Property, error) {
+	docPath := path.Join(calcPath, memberProperties, propDocName(name))
+	body, err := s.c.Get(docPath)
+	if err != nil {
+		return model.Property{}, mapErr(err)
+	}
+	return DecodeProperty(body)
+}
+
+// LoadProperties implements DataStorage.
+func (s *DAVStorage) LoadProperties(calcPath string) ([]model.Property, error) {
+	propsPath := path.Join(calcPath, memberProperties)
+	ms, err := s.c.PropFindSelected(propsPath, davproto.Depth1, PropObjectType)
+	if err != nil {
+		if davclient.IsStatus(err, http.StatusNotFound) {
+			return nil, nil
+		}
+		return nil, mapErr(err)
+	}
+	var out []model.Property
+	for _, r := range ms.Responses {
+		props := davproto.PropsByName(r.Propstats)
+		if ot, ok := props[PropObjectType]; !ok || ot.Text() != string(TypeProperty) {
+			continue
+		}
+		body, err := s.c.Get(strings.TrimSuffix(r.Href, "/"))
+		if err != nil {
+			return nil, mapErr(err)
+		}
+		p, err := DecodeProperty(body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// SaveRawFile implements DataStorage.
+func (s *DAVStorage) SaveRawFile(calcPath, name string, data []byte, contentType string) error {
+	docPath := path.Join(calcPath, name)
+	if _, err := s.c.PutBytes(docPath, data, contentType); err != nil {
+		return mapErr(err)
+	}
+	return mapErr(s.c.SetProps(docPath, textProp(PropObjectType, string(TypeDocument))))
+}
+
+// LoadRawFile implements DataStorage.
+func (s *DAVStorage) LoadRawFile(calcPath, name string) ([]byte, error) {
+	body, err := s.c.Get(path.Join(calcPath, name))
+	return body, mapErr(err)
+}
+
+// Copy implements DataStorage via server-side COPY (Table 1's "copy
+// hierarchy" runs entirely on the server).
+func (s *DAVStorage) Copy(src, dst string) error {
+	return mapErr(s.c.Copy(src, dst, davproto.DepthInfinity, false))
+}
+
+// Delete implements DataStorage.
+func (s *DAVStorage) Delete(p string) error {
+	return mapErr(s.c.Delete(p))
+}
+
+// Annotate implements Annotator: any application can attach new
+// metadata without Ecce's involvement.
+func (s *DAVStorage) Annotate(p string, name xml.Name, value string) error {
+	return mapErr(s.c.SetProps(p, davproto.NewTextProperty(name.Space, name.Local, value)))
+}
+
+// ReadAnnotation implements Annotator.
+func (s *DAVStorage) ReadAnnotation(p string, name xml.Name) (string, bool, error) {
+	prop, ok, err := s.c.GetProp(p, name)
+	if err != nil {
+		return "", false, mapErr(err)
+	}
+	if !ok {
+		return "", false, nil
+	}
+	return prop.Text(), true, nil
+}
+
+// FindByMetadata implements Finder. It prefers a server-side DASL
+// SEARCH (the paper's anticipated optimization, which returns only
+// resources carrying the property) and falls back to a depth-infinity
+// PROPFIND walk against servers without SEARCH support.
+func (s *DAVStorage) FindByMetadata(root string, name xml.Name, pred func(string) bool) ([]string, error) {
+	ms, err := s.c.Search(davproto.BasicSearch{
+		Select: []xml.Name{name},
+		Scope:  root,
+		Depth:  davproto.DepthInfinity,
+		Where:  davproto.IsDefinedExpr{Prop: name},
+	})
+	if err != nil {
+		if !davclient.IsStatus(err, http.StatusMethodNotAllowed) &&
+			!davclient.IsStatus(err, http.StatusNotImplemented) &&
+			!davclient.IsStatus(err, http.StatusBadRequest) {
+			return nil, mapErr(err)
+		}
+		// No SEARCH support: walk with PROPFIND instead.
+		if ms, err = s.c.PropFindSelected(root, davproto.DepthInfinity, name); err != nil {
+			return nil, mapErr(err)
+		}
+	}
+	return filterHits(ms, name, pred), nil
+}
+
+// FindWhere runs an arbitrary DASL expression server-side, returning
+// matching paths (no PROPFIND fallback: rich expressions cannot be
+// evaluated client-side without fetching everything).
+func (s *DAVStorage) FindWhere(root string, where davproto.SearchExpr, selectName xml.Name) ([]string, error) {
+	ms, err := s.c.Search(davproto.BasicSearch{
+		Select: []xml.Name{selectName},
+		Scope:  root,
+		Depth:  davproto.DepthInfinity,
+		Where:  where,
+	})
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	var hits []string
+	for _, r := range ms.Responses {
+		hits = append(hits, strings.TrimSuffix(r.Href, "/"))
+	}
+	sort.Strings(hits)
+	return hits, nil
+}
+
+// filterHits keeps responses whose property satisfies pred.
+func filterHits(ms davproto.Multistatus, name xml.Name, pred func(string) bool) []string {
+	var hits []string
+	for _, r := range ms.Responses {
+		props := davproto.PropsByName(r.Propstats)
+		prop, ok := props[name]
+		if !ok {
+			continue
+		}
+		if pred == nil || pred(prop.Text()) {
+			hits = append(hits, strings.TrimSuffix(r.Href, "/"))
+		}
+	}
+	sort.Strings(hits)
+	return hits
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/chem"
+	"repro/internal/model"
+)
+
+// Federation: the paper's introduction motivates "federated access to
+// multiple data stores at multiple locations ... to provide
+// multi-scale and/or cross-disciplinary capabilities", which it calls
+// "difficult and costly" with closed architectures. With the open
+// architecture it is a routing table: FederatedStorage mounts any
+// number of DataStorage backends under path prefixes and presents them
+// as one repository. Because the interface is protocol-neutral, a
+// federation can mix DAV servers at different sites with a legacy OODB
+// during a gradual migration.
+//
+// Cross-store operations (Copy between mounts) are routed through the
+// generic interface, so they work — at copy-over-the-wire cost —
+// between any pair of backends.
+
+// Mount binds a path prefix to a backend.
+type Mount struct {
+	// Prefix is the federation-visible root, e.g. "/pnnl" or "/ornl".
+	Prefix string
+	// Storage serves every path under Prefix.
+	Storage DataStorage
+}
+
+// FederatedStorage is a DataStorage routing to mounted backends. It
+// also implements Finder and Annotator: discovery fans out across
+// every mount that supports it, and annotation routes to the owning
+// mount.
+type FederatedStorage struct {
+	mounts []Mount // sorted by descending prefix length (longest match wins)
+}
+
+var _ DataStorage = (*FederatedStorage)(nil)
+var _ Finder = (*FederatedStorage)(nil)
+var _ Annotator = (*FederatedStorage)(nil)
+
+// NewFederation builds a federation from mounts. Prefixes must be
+// clean ("/name"), unique, and non-nested.
+func NewFederation(mounts ...Mount) (*FederatedStorage, error) {
+	if len(mounts) == 0 {
+		return nil, fmt.Errorf("core: federation needs at least one mount")
+	}
+	seen := map[string]bool{}
+	for i, m := range mounts {
+		if !strings.HasPrefix(m.Prefix, "/") || strings.HasSuffix(m.Prefix, "/") || m.Prefix == "/" {
+			return nil, fmt.Errorf("core: bad mount prefix %q", m.Prefix)
+		}
+		if m.Storage == nil {
+			return nil, fmt.Errorf("core: mount %q has no storage", m.Prefix)
+		}
+		if seen[m.Prefix] {
+			return nil, fmt.Errorf("core: duplicate mount %q", m.Prefix)
+		}
+		seen[m.Prefix] = true
+		for j, other := range mounts {
+			if i != j && strings.HasPrefix(m.Prefix+"/", other.Prefix+"/") {
+				return nil, fmt.Errorf("core: nested mounts %q and %q", m.Prefix, other.Prefix)
+			}
+		}
+	}
+	fs := &FederatedStorage{mounts: append([]Mount(nil), mounts...)}
+	sort.Slice(fs.mounts, func(i, j int) bool {
+		return len(fs.mounts[i].Prefix) > len(fs.mounts[j].Prefix)
+	})
+	return fs, nil
+}
+
+// Mounts returns the mount table, sorted by prefix.
+func (f *FederatedStorage) Mounts() []Mount {
+	out := append([]Mount(nil), f.mounts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// route resolves a federation path to (backend, backend-local path).
+func (f *FederatedStorage) route(p string) (DataStorage, string, error) {
+	for _, m := range f.mounts {
+		if p == m.Prefix {
+			return m.Storage, "/", nil
+		}
+		if strings.HasPrefix(p, m.Prefix+"/") {
+			return m.Storage, p[len(m.Prefix):], nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: no mount serves %s", ErrNotFound, p)
+}
+
+// rebase maps a backend-local path back into federation space.
+func rebase(prefix, local string) string {
+	if local == "/" {
+		return prefix
+	}
+	return prefix + local
+}
+
+// List implements DataStorage. Listing "/" enumerates the mounts
+// themselves; anything else routes.
+func (f *FederatedStorage) List(p string) ([]Entry, error) {
+	if p == "/" || p == "" {
+		entries := make([]Entry, 0, len(f.mounts))
+		for _, m := range f.Mounts() {
+			entries = append(entries, Entry{
+				Name: strings.TrimPrefix(m.Prefix, "/"),
+				Path: m.Prefix,
+				Type: TypeProject, // mounts present as top-level containers
+			})
+		}
+		return entries, nil
+	}
+	s, local, err := f.route(p)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := s.List(local)
+	if err != nil {
+		return nil, err
+	}
+	prefix := p[:len(p)-len(local)]
+	if local == "/" {
+		prefix = p
+	}
+	out := make([]Entry, len(entries))
+	for i, e := range entries {
+		out[i] = Entry{Name: e.Name, Path: rebase(prefix, e.Path), Type: e.Type}
+	}
+	return out, nil
+}
+
+// The remaining methods route 1:1.
+
+// CreateProject implements DataStorage.
+func (f *FederatedStorage) CreateProject(p string, proj model.Project) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	return s.CreateProject(local, proj)
+}
+
+// LoadProject implements DataStorage.
+func (f *FederatedStorage) LoadProject(p string) (model.Project, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return model.Project{}, err
+	}
+	return s.LoadProject(local)
+}
+
+// CreateCalculation implements DataStorage.
+func (f *FederatedStorage) CreateCalculation(p string, c model.Calculation) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	return s.CreateCalculation(local, c)
+}
+
+// SaveCalculation implements DataStorage.
+func (f *FederatedStorage) SaveCalculation(p string, c model.Calculation) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	return s.SaveCalculation(local, c)
+}
+
+// LoadCalculation implements DataStorage.
+func (f *FederatedStorage) LoadCalculation(p string) (model.Calculation, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return model.Calculation{}, err
+	}
+	return s.LoadCalculation(local)
+}
+
+// SaveMolecule implements DataStorage.
+func (f *FederatedStorage) SaveMolecule(p string, mol *chem.Molecule, format string) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	return s.SaveMolecule(local, mol, format)
+}
+
+// LoadMolecule implements DataStorage.
+func (f *FederatedStorage) LoadMolecule(p string) (*chem.Molecule, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.LoadMolecule(local)
+}
+
+// SaveBasis implements DataStorage.
+func (f *FederatedStorage) SaveBasis(p string, bs *chem.BasisSet) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	return s.SaveBasis(local, bs)
+}
+
+// LoadBasis implements DataStorage.
+func (f *FederatedStorage) LoadBasis(p string) (*chem.BasisSet, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.LoadBasis(local)
+}
+
+// SaveTask implements DataStorage.
+func (f *FederatedStorage) SaveTask(p string, t model.Task) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	return s.SaveTask(local, t)
+}
+
+// LoadTasks implements DataStorage.
+func (f *FederatedStorage) LoadTasks(p string) ([]model.Task, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.LoadTasks(local)
+}
+
+// SaveJob implements DataStorage.
+func (f *FederatedStorage) SaveJob(p string, j model.Job) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	return s.SaveJob(local, j)
+}
+
+// LoadJob implements DataStorage.
+func (f *FederatedStorage) LoadJob(p string) (model.Job, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return model.Job{}, err
+	}
+	return s.LoadJob(local)
+}
+
+// SaveProperty implements DataStorage.
+func (f *FederatedStorage) SaveProperty(p string, prop model.Property) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	return s.SaveProperty(local, prop)
+}
+
+// LoadProperty implements DataStorage.
+func (f *FederatedStorage) LoadProperty(p, name string) (model.Property, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return model.Property{}, err
+	}
+	return s.LoadProperty(local, name)
+}
+
+// LoadProperties implements DataStorage.
+func (f *FederatedStorage) LoadProperties(p string) ([]model.Property, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.LoadProperties(local)
+}
+
+// SaveRawFile implements DataStorage.
+func (f *FederatedStorage) SaveRawFile(p, name string, data []byte, contentType string) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	return s.SaveRawFile(local, name, data, contentType)
+}
+
+// LoadRawFile implements DataStorage.
+func (f *FederatedStorage) LoadRawFile(p, name string) ([]byte, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.LoadRawFile(local, name)
+}
+
+// Copy implements DataStorage. Same-mount copies stay server-side;
+// cross-mount copies are materialized through the generic interface —
+// the cross-site capability the paper's federation scenario wants.
+func (f *FederatedStorage) Copy(src, dst string) error {
+	ss, slocal, err := f.route(src)
+	if err != nil {
+		return err
+	}
+	ds, dlocal, err := f.route(dst)
+	if err != nil {
+		return err
+	}
+	if ss == ds {
+		return ss.Copy(slocal, dlocal)
+	}
+	return crossCopy(ss, slocal, ds, dlocal)
+}
+
+// crossCopy replicates one object subtree between backends using only
+// the DataStorage interface.
+func crossCopy(src DataStorage, srcPath string, dst DataStorage, dstPath string) error {
+	// Try each typed object in turn; the first loader that succeeds
+	// determines the type.
+	if proj, err := src.LoadProject(srcPath); err == nil {
+		if err := dst.CreateProject(dstPath, proj); err != nil {
+			return err
+		}
+		entries, err := src.List(srcPath)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := crossCopy(src, e.Path, dst, dstPath+"/"+e.Name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if calc, err := src.LoadCalculation(srcPath); err == nil {
+		if err := dst.CreateCalculation(dstPath, calc); err != nil {
+			return err
+		}
+		if mol, err := src.LoadMolecule(srcPath); err == nil {
+			if err := dst.SaveMolecule(dstPath, mol, chem.FormatXYZ); err != nil {
+				return err
+			}
+		}
+		if bs, err := src.LoadBasis(srcPath); err == nil {
+			if err := dst.SaveBasis(dstPath, bs); err != nil {
+				return err
+			}
+		}
+		tasks, _ := src.LoadTasks(srcPath)
+		for _, t := range tasks {
+			if err := dst.SaveTask(dstPath, t); err != nil {
+				return err
+			}
+		}
+		if job, err := src.LoadJob(srcPath); err == nil {
+			if err := dst.SaveJob(dstPath, job); err != nil {
+				return err
+			}
+		}
+		props, _ := src.LoadProperties(srcPath)
+		for _, p := range props {
+			if err := dst.SaveProperty(dstPath, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: cannot cross-copy %s (not a project or calculation)", ErrUnsupported, srcPath)
+}
+
+// Delete implements DataStorage.
+func (f *FederatedStorage) Delete(p string) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	if local == "/" {
+		return fmt.Errorf("%w: cannot delete a mount root", ErrUnsupported)
+	}
+	return s.Delete(local)
+}
+
+// Close implements DataStorage, closing every backend.
+func (f *FederatedStorage) Close() error {
+	var first error
+	for _, m := range f.mounts {
+		if err := m.Storage.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// FindByMetadata implements Finder by fanning out to every mount that
+// supports discovery; mounts that do not (the OODB) are skipped — they
+// are opaque to federation-wide queries, which is the paper's point.
+func (f *FederatedStorage) FindByMetadata(root string, name xml.Name, pred func(string) bool) ([]string, error) {
+	if root == "/" || root == "" {
+		var all []string
+		for _, m := range f.Mounts() {
+			finder, ok := m.Storage.(Finder)
+			if !ok {
+				continue
+			}
+			hits, err := finder.FindByMetadata("/", name, pred)
+			if err != nil {
+				return nil, fmt.Errorf("core: mount %s: %w", m.Prefix, err)
+			}
+			for _, h := range hits {
+				all = append(all, rebase(m.Prefix, h))
+			}
+		}
+		sort.Strings(all)
+		return all, nil
+	}
+	s, local, err := f.route(root)
+	if err != nil {
+		return nil, err
+	}
+	finder, ok := s.(Finder)
+	if !ok {
+		return nil, fmt.Errorf("%w: mount serving %s does not support discovery", ErrUnsupported, root)
+	}
+	hits, err := finder.FindByMetadata(local, name, pred)
+	if err != nil {
+		return nil, err
+	}
+	prefix := root[:len(root)-len(local)]
+	if local == "/" {
+		prefix = root
+	}
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = rebase(prefix, h)
+	}
+	return out, nil
+}
+
+// Annotate implements Annotator by routing.
+func (f *FederatedStorage) Annotate(p string, name xml.Name, value string) error {
+	s, local, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	ann, ok := s.(Annotator)
+	if !ok {
+		return fmt.Errorf("%w: mount serving %s does not support annotation", ErrUnsupported, p)
+	}
+	return ann.Annotate(local, name, value)
+}
+
+// ReadAnnotation implements Annotator by routing.
+func (f *FederatedStorage) ReadAnnotation(p string, name xml.Name) (string, bool, error) {
+	s, local, err := f.route(p)
+	if err != nil {
+		return "", false, err
+	}
+	ann, ok := s.(Annotator)
+	if !ok {
+		return "", false, fmt.Errorf("%w: mount serving %s does not support annotation", ErrUnsupported, p)
+	}
+	return ann.ReadAnnotation(local, name)
+}

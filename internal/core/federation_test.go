@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/model"
+)
+
+// newFederation builds a two-site federation: a DAV mount per site,
+// plus optionally a legacy OODB mount.
+func newFederation(t *testing.T, withLegacy bool) *FederatedStorage {
+	t.Helper()
+	mounts := []Mount{
+		{Prefix: "/pnnl", Storage: newDAVStorage(t)},
+		{Prefix: "/ornl", Storage: newDAVStorage(t)},
+	}
+	if withLegacy {
+		mounts = append(mounts, Mount{Prefix: "/legacy", Storage: newOODBStorage(t)})
+	}
+	f, err := NewFederation(mounts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFederationValidation(t *testing.T) {
+	dav := newDAVStorage(t)
+	cases := [][]Mount{
+		{},                              // empty
+		{{Prefix: "bad", Storage: dav}}, // no leading slash
+		{{Prefix: "/", Storage: dav}},   // root prefix
+		{{Prefix: "/a/", Storage: dav}}, // trailing slash
+		{{Prefix: "/a", Storage: nil}},  // nil storage
+		{{Prefix: "/a", Storage: dav}, {Prefix: "/a", Storage: dav}},   // duplicate
+		{{Prefix: "/a", Storage: dav}, {Prefix: "/a/b", Storage: dav}}, // nested
+	}
+	for i, m := range cases {
+		if _, err := NewFederation(m...); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFederationRoutingAndListing(t *testing.T) {
+	f := newFederation(t, false)
+	// Work lands on the right site.
+	if err := f.CreateProject("/pnnl/aqueous", model.Project{Name: "aqueous"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CreateProject("/ornl/solids", model.Project{Name: "solids"}); err != nil {
+		t.Fatal(err)
+	}
+	// Root listing shows the mounts.
+	entries, err := f.List("/")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("root list = (%v, %v)", entries, err)
+	}
+	if entries[0].Path != "/ornl" || entries[1].Path != "/pnnl" {
+		t.Fatalf("mounts = %v", entries)
+	}
+	// Mount listing rebases paths into federation space.
+	entries, err = f.List("/pnnl")
+	if err != nil || len(entries) != 1 || entries[0].Path != "/pnnl/aqueous" {
+		t.Fatalf("/pnnl list = (%v, %v)", entries, err)
+	}
+	// And deeper.
+	if err := f.CreateCalculation("/pnnl/aqueous/c1", model.Calculation{Name: "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = f.List("/pnnl/aqueous")
+	if err != nil || len(entries) != 1 || entries[0].Path != "/pnnl/aqueous/c1" {
+		t.Fatalf("project list = (%v, %v)", entries, err)
+	}
+	// The sites are isolated.
+	if _, err := f.LoadProject("/ornl/aqueous"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cross-site read = %v", err)
+	}
+	// Unmounted paths rejected.
+	if _, err := f.LoadProject("/lanl/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unmounted path = %v", err)
+	}
+}
+
+func TestFederationFullObjectModel(t *testing.T) {
+	f := newFederation(t, false)
+	f.CreateProject("/pnnl/p", model.Project{Name: "p"})
+	calcPath := "/pnnl/p/c"
+	if err := f.CreateCalculation(calcPath, model.Calculation{Name: "c", Theory: "SCF"}); err != nil {
+		t.Fatal(err)
+	}
+	mol := chem.MakeUO2nH2O(2)
+	if err := f.SaveMolecule(calcPath, mol, chem.FormatXYZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SaveBasis(calcPath, chem.STO3G()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SaveTask(calcPath, model.Task{Name: "e", Kind: model.TaskEnergy, Sequence: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SaveJob(calcPath, model.Job{Host: "h", Status: model.JobDone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SaveProperty(calcPath, model.Property{Name: "e", Values: []float64{-1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SaveRawFile(calcPath, "run.out", []byte("ok"), ""); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(f, calcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Molecule == nil || b.Basis == nil || b.Job == nil || len(b.Tasks) != 1 || len(b.Properties) != 1 {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if raw, err := f.LoadRawFile(calcPath, "run.out"); err != nil || string(raw) != "ok" {
+		t.Fatalf("raw = (%q, %v)", raw, err)
+	}
+	if _, err := f.LoadProperty(calcPath, "e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(calcPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadCalculation(calcPath); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted calc = %v", err)
+	}
+	if err := f.Delete("/pnnl"); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("mount-root delete = %v", err)
+	}
+}
+
+func TestFederationCrossSiteCopy(t *testing.T) {
+	f := newFederation(t, false)
+	f.CreateProject("/pnnl/p", model.Project{Name: "p", Description: "origin"})
+	calcPath := "/pnnl/p/c"
+	f.CreateCalculation(calcPath, model.Calculation{Name: "c", Theory: "DFT"})
+	f.SaveMolecule(calcPath, chem.MakeWater(), chem.FormatXYZ)
+	f.SaveTask(calcPath, model.Task{Name: "e", Kind: model.TaskEnergy, Sequence: 1, InputDeck: "deck"})
+	f.SaveProperty(calcPath, model.Property{Name: "energy", Values: []float64{-76}})
+
+	// Same-site copy stays native.
+	if err := f.Copy(calcPath, "/pnnl/p/c2"); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-site copy replicates the whole project through the
+	// interface.
+	if err := f.Copy("/pnnl/p", "/ornl/p-replica"); err != nil {
+		t.Fatal(err)
+	}
+	proj, err := f.LoadProject("/ornl/p-replica")
+	if err != nil || proj.Description != "origin" {
+		t.Fatalf("replica project = (%+v, %v)", proj, err)
+	}
+	mol, err := f.LoadMolecule("/ornl/p-replica/c")
+	if err != nil || mol.Formula() != "H2O" {
+		t.Fatalf("replica molecule = (%v, %v)", mol, err)
+	}
+	tasks, err := f.LoadTasks("/ornl/p-replica/c")
+	if err != nil || len(tasks) != 1 || tasks[0].InputDeck != "deck" {
+		t.Fatalf("replica tasks = (%v, %v)", tasks, err)
+	}
+	p, err := f.LoadProperty("/ornl/p-replica/c", "energy")
+	if err != nil || p.Values[0] != -76 {
+		t.Fatalf("replica property = (%+v, %v)", p, err)
+	}
+	// The copied nested calculation came along too.
+	if _, err := f.LoadCalculation("/ornl/p-replica/c2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFederationDiscoveryFansOut(t *testing.T) {
+	f := newFederation(t, true)
+	for _, site := range []string{"/pnnl", "/ornl"} {
+		f.CreateProject(site+"/chem", model.Project{Name: "chem"})
+		f.CreateCalculation(site+"/chem/c", model.Calculation{Name: "c"})
+		f.SaveMolecule(site+"/chem/c", chem.MakeWater(), chem.FormatXYZ)
+	}
+	// The legacy OODB mount holds a molecule too — invisible to
+	// discovery.
+	f.CreateProject("/legacy/old", model.Project{Name: "old"})
+	f.CreateCalculation("/legacy/old/c", model.Calculation{Name: "c"})
+	f.SaveMolecule("/legacy/old/c", chem.MakeWater(), chem.FormatXYZ)
+
+	hits, err := f.FindByMetadata("/", PropFormula, func(v string) bool { return v == "H2O" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v (legacy mount must be opaque)", hits)
+	}
+	for _, h := range hits {
+		if !strings.HasPrefix(h, "/pnnl/") && !strings.HasPrefix(h, "/ornl/") {
+			t.Fatalf("hit outside DAV mounts: %s", h)
+		}
+		// The discovered path is usable through the federation.
+		if _, ok, err := f.ReadAnnotation(h, PropFormula); err != nil || !ok {
+			t.Fatalf("annotation via %s: ok=%v err=%v", h, ok, err)
+		}
+	}
+	// Scoped discovery inside one mount.
+	hits, err = f.FindByMetadata("/pnnl", PropFormula, nil)
+	if err != nil || len(hits) != 1 || !strings.HasPrefix(hits[0], "/pnnl/") {
+		t.Fatalf("scoped hits = (%v, %v)", hits, err)
+	}
+	// Discovery scoped to the opaque mount is refused.
+	if _, err := f.FindByMetadata("/legacy", PropFormula, nil); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("legacy discovery = %v", err)
+	}
+	// Annotation routes to the owning (open) mount and is refused on
+	// the opaque one.
+	if err := f.Annotate(hits[0], EcceName("note"), "checked"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Annotate("/legacy/old/c", EcceName("note"), "x"); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("legacy annotate = %v", err)
+	}
+}
+
+func TestFederationMigrationScenario(t *testing.T) {
+	// The gradual-migration story: a federation over the legacy OODB
+	// and a new DAV site lets the same tool code read both while data
+	// moves across.
+	f := newFederation(t, true)
+	f.CreateProject("/legacy/old", model.Project{Name: "old"})
+	f.CreateCalculation("/legacy/old/c", model.Calculation{Name: "c", Theory: "SCF"})
+	f.SaveMolecule("/legacy/old/c", chem.MakeUO2nH2O(1), chem.FormatXYZ)
+
+	// Cross-mount copy = migration of one project.
+	if err := f.Copy("/legacy/old", "/pnnl/old"); err != nil {
+		t.Fatal(err)
+	}
+	mol, err := f.LoadMolecule("/pnnl/old/c")
+	if err != nil || mol.CountOf("U") != 1 {
+		t.Fatalf("migrated molecule = (%v, %v)", mol, err)
+	}
+	// After migration the data participates in discovery.
+	hits, err := f.FindByMetadata("/pnnl", PropFormula, nil)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("hits = (%v, %v)", hits, err)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Output-property document codec. Each n-dimensional property becomes
+// its own DAV document (the paper's lowest-granularity mapping) with a
+// compact binary body — the values — while name, units and shape are
+// duplicated into metadata so agents can discover them without
+// fetching the body.
+//
+// Layout (little endian):
+//
+//	magic   "EPRP1\n"
+//	nameLen uint16, name bytes
+//	unitLen uint16, unit bytes
+//	ndims   uint16, dims []uint32
+//	count   uint64, values []float64
+
+const propMagic = "EPRP1\n"
+
+// EncodeProperty renders a property document body.
+func EncodeProperty(p *model.Property) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Name) > math.MaxUint16 || len(p.Units) > math.MaxUint16 || len(p.Dims) > math.MaxUint16 {
+		return nil, fmt.Errorf("core: property %q header fields too large", p.Name)
+	}
+	size := len(propMagic) + 2 + len(p.Name) + 2 + len(p.Units) + 2 + 4*len(p.Dims) + 8 + 8*len(p.Values)
+	buf := make([]byte, 0, size)
+	buf = append(buf, propMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Name)))
+	buf = append(buf, p.Name...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Units)))
+	buf = append(buf, p.Units...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Dims)))
+	for _, d := range p.Dims {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(p.Values)))
+	for _, v := range p.Values {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// DecodeProperty parses a property document body.
+func DecodeProperty(data []byte) (model.Property, error) {
+	var p model.Property
+	if len(data) < len(propMagic) || string(data[:len(propMagic)]) != propMagic {
+		return p, fmt.Errorf("core: not a property document")
+	}
+	rest := data[len(propMagic):]
+	readBytes := func(n int) ([]byte, error) {
+		if len(rest) < n {
+			return nil, fmt.Errorf("core: truncated property document")
+		}
+		out := rest[:n]
+		rest = rest[n:]
+		return out, nil
+	}
+	readU16 := func() (int, error) {
+		b, err := readBytes(2)
+		if err != nil {
+			return 0, err
+		}
+		return int(binary.LittleEndian.Uint16(b)), nil
+	}
+
+	n, err := readU16()
+	if err != nil {
+		return p, err
+	}
+	name, err := readBytes(n)
+	if err != nil {
+		return p, err
+	}
+	p.Name = string(name)
+
+	n, err = readU16()
+	if err != nil {
+		return p, err
+	}
+	units, err := readBytes(n)
+	if err != nil {
+		return p, err
+	}
+	p.Units = string(units)
+
+	ndims, err := readU16()
+	if err != nil {
+		return p, err
+	}
+	for i := 0; i < ndims; i++ {
+		b, err := readBytes(4)
+		if err != nil {
+			return p, err
+		}
+		p.Dims = append(p.Dims, int(binary.LittleEndian.Uint32(b)))
+	}
+
+	cb, err := readBytes(8)
+	if err != nil {
+		return p, err
+	}
+	count := binary.LittleEndian.Uint64(cb)
+	if count > uint64(len(rest)/8) {
+		return p, fmt.Errorf("core: property document claims %d values, body holds %d", count, len(rest)/8)
+	}
+	p.Values = make([]float64, count)
+	for i := range p.Values {
+		b, _ := readBytes(8)
+		p.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	if err := p.Validate(); err != nil {
+		return p, fmt.Errorf("core: decoded property inconsistent: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/xml"
+	"path"
+
+	"repro/internal/davproto"
+)
+
+// Schema translation (Discussion section): a third-party application
+// built against its own vocabulary (say, CML names) reads and writes
+// the repository through a TranslatedView, driven by a mapping
+// document that lives in the repository itself — "encode the mapping
+// between their object schemas external to their applications in a
+// dynamically evolvable form". Updating the stored mapping changes the
+// integration without touching either application.
+
+// MappingsCollection is the conventional location for mapping
+// documents.
+const MappingsCollection = "/mappings"
+
+// SaveMapping stores a mapping document at path (creating the
+// conventional collection if the path is inside it).
+func (s *DAVStorage) SaveMapping(p string, m *davproto.Mapping) error {
+	if path.Dir(p) == MappingsCollection {
+		if err := s.c.MkcolAll(MappingsCollection); err != nil {
+			return mapErr(err)
+		}
+	}
+	if _, err := s.c.PutBytes(p, m.Marshal(), "text/xml"); err != nil {
+		return mapErr(err)
+	}
+	return mapErr(s.c.SetProps(p, textProp(PropObjectType, "schemamapping")))
+}
+
+// LoadMapping fetches and parses a stored mapping document.
+func (s *DAVStorage) LoadMapping(p string) (*davproto.Mapping, error) {
+	body, err := s.c.Get(p)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return davproto.ParseMappingBytes(body)
+}
+
+// TranslatedView presents a DAV repository under a foreign schema.
+// Queries are posed with foreign names; results and annotations are
+// translated through the mapping in both directions.
+type TranslatedView struct {
+	s *DAVStorage
+	m *davproto.Mapping
+}
+
+var (
+	_ Finder    = (*TranslatedView)(nil)
+	_ Annotator = (*TranslatedView)(nil)
+)
+
+// NewTranslatedView builds a view of s under mapping m.
+func NewTranslatedView(s *DAVStorage, m *davproto.Mapping) *TranslatedView {
+	return &TranslatedView{s: s, m: m}
+}
+
+// OpenTranslatedView loads the mapping document at mappingPath and
+// returns the view — the "install a mapping, get interoperability"
+// workflow.
+func OpenTranslatedView(s *DAVStorage, mappingPath string) (*TranslatedView, error) {
+	m, err := s.LoadMapping(mappingPath)
+	if err != nil {
+		return nil, err
+	}
+	return NewTranslatedView(s, m), nil
+}
+
+// translate maps a foreign name to the stored name (identity when
+// unmapped).
+func (v *TranslatedView) translate(name xml.Name) xml.Name {
+	if to, ok := v.m.Lookup(name); ok {
+		return to
+	}
+	return name
+}
+
+// FindByMetadata implements Finder in the foreign schema.
+func (v *TranslatedView) FindByMetadata(root string, name xml.Name, pred func(string) bool) ([]string, error) {
+	return v.s.FindByMetadata(root, v.translate(name), pred)
+}
+
+// FindWhere runs a foreign-schema DASL expression by rewriting the
+// property names it references.
+func (v *TranslatedView) FindWhere(root string, where davproto.SearchExpr, selectName xml.Name) ([]string, error) {
+	return v.s.FindWhere(root, v.translateExpr(where), v.translate(selectName))
+}
+
+func (v *TranslatedView) translateExpr(e davproto.SearchExpr) davproto.SearchExpr {
+	switch t := e.(type) {
+	case davproto.AndExpr:
+		out := davproto.AndExpr{}
+		for _, c := range t.Children {
+			out.Children = append(out.Children, v.translateExpr(c))
+		}
+		return out
+	case davproto.OrExpr:
+		out := davproto.OrExpr{}
+		for _, c := range t.Children {
+			out.Children = append(out.Children, v.translateExpr(c))
+		}
+		return out
+	case davproto.NotExpr:
+		return davproto.NotExpr{Child: v.translateExpr(t.Child)}
+	case davproto.CompareExpr:
+		t.Prop = v.translate(t.Prop)
+		return t
+	case davproto.IsDefinedExpr:
+		t.Prop = v.translate(t.Prop)
+		return t
+	default:
+		return e
+	}
+}
+
+// ReadAnnotation implements Annotator in the foreign schema.
+func (v *TranslatedView) ReadAnnotation(p string, name xml.Name) (string, bool, error) {
+	return v.s.ReadAnnotation(p, v.translate(name))
+}
+
+// Annotate implements Annotator: a write under a foreign name lands
+// under the mapped stored name, so both applications see one value.
+func (v *TranslatedView) Annotate(p string, name xml.Name, value string) error {
+	return v.s.Annotate(p, v.translate(name), value)
+}

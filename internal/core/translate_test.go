@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/davproto"
+	"repro/internal/model"
+)
+
+// cmlNS is a stand-in for the Chemical Markup Language vocabulary the
+// paper cites.
+const cmlNS = "http://www.xml-cml.org/schema"
+
+func cmlMapping() *davproto.Mapping {
+	return &davproto.Mapping{Rules: []davproto.MappingRule{
+		{From: xml.Name{Space: cmlNS, Local: "formula"}, To: PropFormula},
+		{From: xml.Name{Space: cmlNS, Local: "formalCharge"}, To: PropCharge},
+		{From: xml.Name{Space: cmlNS, Local: "comment"}, To: EcceName("annotation")},
+	}}
+}
+
+func TestMappingDocumentRoundTrip(t *testing.T) {
+	m := cmlMapping()
+	back, err := davproto.ParseMappingBytes(m.Marshal())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, m.Marshal())
+	}
+	if len(back.Rules) != 3 {
+		t.Fatalf("rules = %d", len(back.Rules))
+	}
+	for i, r := range m.Rules {
+		if back.Rules[i] != r {
+			t.Fatalf("rule %d = %+v, want %+v", i, back.Rules[i], r)
+		}
+	}
+}
+
+func TestMappingValidation(t *testing.T) {
+	cases := []string{
+		`<x/>`,
+		`<m:mapping xmlns:m="urn:repro-dav:mapping"/>`,                                                                     // no rules
+		`<m:mapping xmlns:m="urn:repro-dav:mapping"><m:rule><m:from ns="a" local="x"/></m:rule></m:mapping>`,               // no to
+		`<m:mapping xmlns:m="urn:repro-dav:mapping"><m:rule><m:from ns="a"/><m:to ns="b" local="y"/></m:rule></m:mapping>`, // from missing local
+	}
+	for i, c := range cases {
+		if _, err := davproto.ParseMappingBytes([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Duplicate sources/targets are ambiguous.
+	dupFrom := &davproto.Mapping{Rules: []davproto.MappingRule{
+		{From: xml.Name{Space: "a", Local: "x"}, To: xml.Name{Space: "b", Local: "y"}},
+		{From: xml.Name{Space: "a", Local: "x"}, To: xml.Name{Space: "b", Local: "z"}},
+	}}
+	if _, err := davproto.ParseMappingBytes(dupFrom.Marshal()); err == nil {
+		t.Error("duplicate From accepted")
+	}
+}
+
+func TestMappingTranslateMultistatus(t *testing.T) {
+	m := cmlMapping()
+	ms := davproto.Multistatus{Responses: []davproto.Response{{
+		Href: "/x",
+		Propstats: []davproto.Propstat{{Status: 200, Props: []davproto.Property{
+			davproto.NewTextProperty(PropFormula.Space, PropFormula.Local, "H2O"),
+			davproto.NewTextProperty("other:", "untouched", "v"),
+		}}},
+	}}}
+	out := m.TranslateMultistatus(ms)
+	props := davproto.PropsByName(out.Responses[0].Propstats)
+	if p, ok := props[xml.Name{Space: cmlNS, Local: "formula"}]; !ok || p.Text() != "H2O" {
+		t.Fatalf("translated prop = %+v ok=%v", p, ok)
+	}
+	if _, ok := props[xml.Name{Space: "other:", Local: "untouched"}]; !ok {
+		t.Fatal("unmapped property dropped")
+	}
+	// The original is untouched (deep copy).
+	orig := davproto.PropsByName(ms.Responses[0].Propstats)
+	if _, ok := orig[PropFormula]; !ok {
+		t.Fatal("translation mutated the original")
+	}
+}
+
+// TestCMLApplicationScenario is the Discussion-section workflow: the
+// mapping lives IN the repository; a CML-speaking application installs
+// a view over it and reads/writes Ecce data in its own vocabulary.
+func TestCMLApplicationScenario(t *testing.T) {
+	s := newDAVStorage(t)
+	// Ecce writes its data as usual.
+	s.CreateProject("/chem", model.Project{Name: "chem"})
+	s.CreateCalculation("/chem/c", model.Calculation{Name: "c"})
+	s.SaveMolecule("/chem/c", chem.MakeUO2nH2O(2), chem.FormatXYZ)
+
+	// Someone installs the CML mapping into the store.
+	if err := s.SaveMapping("/mappings/cml.xml", cmlMapping()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The CML application opens a translated view from the stored
+	// mapping and works entirely in its own names.
+	view, err := OpenTranslatedView(s, "/mappings/cml.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmlFormula := xml.Name{Space: cmlNS, Local: "formula"}
+	hits, err := view.FindByMetadata("/chem", cmlFormula, nil)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("hits = (%v, %v)", hits, err)
+	}
+	formula, ok, err := view.ReadAnnotation(hits[0], cmlFormula)
+	if err != nil || !ok || formula != "H4O4U" {
+		t.Fatalf("formula = (%q, %v, %v)", formula, ok, err)
+	}
+	charge, ok, err := view.ReadAnnotation(hits[0],
+		xml.Name{Space: cmlNS, Local: "formalCharge"})
+	if err != nil || !ok || charge != "2" {
+		t.Fatalf("charge = (%q, %v, %v)", charge, ok, err)
+	}
+
+	// A CML-side write lands under the Ecce name.
+	if err := view.Annotate(hits[0], xml.Name{Space: cmlNS, Local: "comment"},
+		"verified geometry"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.ReadAnnotation(hits[0], EcceName("annotation"))
+	if err != nil || !ok || v != "verified geometry" {
+		t.Fatalf("stored annotation = (%q, %v, %v)", v, ok, err)
+	}
+
+	// Rich queries translate too.
+	found, err := view.FindWhere("/chem", davproto.CompareExpr{
+		Op: davproto.OpGte, Prop: xml.Name{Space: cmlNS, Local: "formalCharge"}, Literal: "2",
+	}, cmlFormula)
+	if err != nil || len(found) != 1 {
+		t.Fatalf("FindWhere = (%v, %v)", found, err)
+	}
+
+	// Updating the stored mapping re-routes the integration without
+	// code changes: comment now maps to a different Ecce property.
+	m2 := cmlMapping()
+	m2.Rules[2].To = EcceName("description")
+	if err := s.SaveMapping("/mappings/cml.xml", m2); err != nil {
+		t.Fatal(err)
+	}
+	view2, err := OpenTranslatedView(s, "/mappings/cml.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := view2.Annotate(hits[0], xml.Name{Space: cmlNS, Local: "comment"}, "re-routed"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = s.ReadAnnotation(hits[0], EcceName("description"))
+	if !ok || v != "re-routed" {
+		t.Fatalf("re-routed annotation = (%q, %v)", v, ok)
+	}
+}
+
+func TestTranslatedExprComposite(t *testing.T) {
+	view := NewTranslatedView(nil, cmlMapping())
+	expr := davproto.AndExpr{Children: []davproto.SearchExpr{
+		davproto.OrExpr{Children: []davproto.SearchExpr{
+			davproto.CompareExpr{Op: davproto.OpEq,
+				Prop: xml.Name{Space: cmlNS, Local: "formula"}, Literal: "H2O"},
+			davproto.IsDefinedExpr{Prop: xml.Name{Space: cmlNS, Local: "formalCharge"}},
+		}},
+		davproto.NotExpr{Child: davproto.CompareExpr{Op: davproto.OpLike,
+			Prop: xml.Name{Space: "other:", Local: "x"}, Literal: "%"}},
+	}}
+	got := view.translateExpr(expr)
+	var rendered bytes.Buffer
+	rendered.Write(davproto.MarshalSearch(davproto.BasicSearch{
+		Scope: "/", Where: got}))
+	out := rendered.String()
+	if !strings.Contains(out, "ecce:") {
+		t.Fatalf("translated expression lost target namespace:\n%s", out)
+	}
+	if strings.Contains(out, cmlNS) {
+		t.Fatalf("translated expression kept foreign namespace:\n%s", out)
+	}
+	if !strings.Contains(out, "other:") {
+		t.Fatalf("unmapped name should pass through:\n%s", out)
+	}
+}

@@ -1,0 +1,217 @@
+package davclient
+
+import (
+	"bytes"
+	"container/list"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/davproto"
+)
+
+// CachingClient adds the client-side cache the paper anticipated ("it
+// would be relatively straightforward to add a cache to the layered
+// client architecture of Figure 2"). Document bodies are cached by
+// path and revalidated with ETags (If-None-Match), so a cache hit
+// still costs one round trip but no body transfer or re-parse; local
+// writes through this client invalidate their entries eagerly.
+//
+// The cache is bounded by total body bytes with LRU eviction.
+type CachingClient struct {
+	*Client
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+	bytes   int
+	maxByte int
+
+	hits        int64 // served after a 304 revalidation
+	misses      int64 // full fetches
+	invalidates int64
+}
+
+type cacheEntry struct {
+	path string
+	etag string
+	body []byte
+}
+
+// DefaultCacheBytes bounds the cache at 64 MiB unless configured.
+const DefaultCacheBytes = 64 << 20
+
+// NewCaching wraps c with a body cache of at most maxBytes (0 uses
+// DefaultCacheBytes).
+func NewCaching(c *Client, maxBytes int) *CachingClient {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &CachingClient{
+		Client:  c,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+		maxByte: maxBytes,
+	}
+}
+
+// CacheStats reports hit/miss/invalidation counts.
+func (cc *CachingClient) CacheStats() (hits, misses, invalidates int64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits, cc.misses, cc.invalidates
+}
+
+// CachedBytes reports the current cache footprint.
+func (cc *CachingClient) CachedBytes() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.bytes
+}
+
+// lookup returns a copy of the cached entry for p, if any.
+func (cc *CachingClient) lookup(p string) (etag string, body []byte, ok bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	el, ok := cc.entries[p]
+	if !ok {
+		return "", nil, false
+	}
+	cc.lru.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.etag, e.body, true
+}
+
+// storeEntry caches a body, evicting LRU entries to stay within the
+// byte budget. Bodies larger than the budget are not cached.
+func (cc *CachingClient) storeEntry(p, etag string, body []byte) {
+	if etag == "" || len(body) > cc.maxByte {
+		return
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if el, ok := cc.entries[p]; ok {
+		old := el.Value.(*cacheEntry)
+		cc.bytes -= len(old.body)
+		cc.lru.Remove(el)
+		delete(cc.entries, p)
+	}
+	for cc.bytes+len(body) > cc.maxByte && cc.lru.Len() > 0 {
+		back := cc.lru.Back()
+		old := back.Value.(*cacheEntry)
+		cc.bytes -= len(old.body)
+		cc.lru.Remove(back)
+		delete(cc.entries, old.path)
+	}
+	e := &cacheEntry{path: p, etag: etag, body: append([]byte(nil), body...)}
+	cc.entries[p] = cc.lru.PushFront(e)
+	cc.bytes += len(body)
+}
+
+// invalidate drops the entry for p (and, for collection operations,
+// every entry under p).
+func (cc *CachingClient) invalidate(p string, subtree bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	drop := func(key string) {
+		if el, ok := cc.entries[key]; ok {
+			e := el.Value.(*cacheEntry)
+			cc.bytes -= len(e.body)
+			cc.lru.Remove(el)
+			delete(cc.entries, key)
+			cc.invalidates++
+		}
+	}
+	drop(p)
+	if subtree {
+		prefix := p + "/"
+		for key := range cc.entries {
+			if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+				drop(key)
+			}
+		}
+	}
+}
+
+// Get fetches a document body, revalidating any cached copy with
+// If-None-Match.
+func (cc *CachingClient) Get(p string) ([]byte, error) {
+	etag, cached, ok := cc.lookup(p)
+	headers := map[string]string{}
+	if ok {
+		headers["If-None-Match"] = etag
+	}
+	resp, err := cc.do(http.MethodGet, p, headers, nil, http.StatusOK, http.StatusNotModified)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		io.Copy(io.Discard, resp.Body)
+		cc.mu.Lock()
+		cc.hits++
+		cc.mu.Unlock()
+		return append([]byte(nil), cached...), nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	cc.misses++
+	cc.mu.Unlock()
+	cc.storeEntry(p, resp.Header.Get("ETag"), body)
+	return body, nil
+}
+
+// GetTo streams through the cache.
+func (cc *CachingClient) GetTo(p string, w io.Writer) (int64, error) {
+	body, err := cc.Get(p)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(w, bytes.NewReader(body))
+	return n, err
+}
+
+// Put writes through and invalidates the cached body.
+func (cc *CachingClient) Put(p string, body io.Reader, contentType string) (bool, error) {
+	created, err := cc.Client.Put(p, body, contentType)
+	if err == nil {
+		cc.invalidate(p, false)
+	}
+	return created, err
+}
+
+// PutBytes writes through and invalidates.
+func (cc *CachingClient) PutBytes(p string, body []byte, contentType string) (bool, error) {
+	return cc.Put(p, bytes.NewReader(body), contentType)
+}
+
+// Delete removes the resource and its cached subtree.
+func (cc *CachingClient) Delete(p string) error {
+	err := cc.Client.Delete(p)
+	if err == nil {
+		cc.invalidate(p, true)
+	}
+	return err
+}
+
+// Move invalidates both ends.
+func (cc *CachingClient) Move(src, dst string, overwrite bool) error {
+	err := cc.Client.Move(src, dst, overwrite)
+	if err == nil {
+		cc.invalidate(src, true)
+		cc.invalidate(dst, true)
+	}
+	return err
+}
+
+// Copy invalidates the destination subtree.
+func (cc *CachingClient) Copy(src, dst string, depth davproto.Depth, overwrite bool) error {
+	err := cc.Client.Copy(src, dst, depth, overwrite)
+	if err == nil {
+		cc.invalidate(dst, true)
+	}
+	return err
+}

@@ -1,0 +1,170 @@
+package davclient
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/davproto"
+)
+
+func newCachingPair(t *testing.T, maxBytes int) *CachingClient {
+	t.Helper()
+	c := newPair(t, Config{Persistent: true})
+	return NewCaching(c, maxBytes)
+}
+
+func TestCacheHitAfterRevalidation(t *testing.T) {
+	cc := newCachingPair(t, 0)
+	cc.PutBytes("/doc", []byte("version one"), "")
+
+	// First read: miss, full fetch.
+	b, err := cc.Get("/doc")
+	if err != nil || string(b) != "version one" {
+		t.Fatalf("Get = (%q, %v)", b, err)
+	}
+	// Second read: 304 revalidation, served from cache.
+	b, err = cc.Get("/doc")
+	if err != nil || string(b) != "version one" {
+		t.Fatalf("cached Get = (%q, %v)", b, err)
+	}
+	hits, misses, _ := cc.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = hits %d misses %d", hits, misses)
+	}
+}
+
+func TestCacheSeesForeignWrites(t *testing.T) {
+	// Unlike the OODB's cache-forward staleness, ETag revalidation
+	// notices writes made by OTHER clients.
+	cc := newCachingPair(t, 0)
+	cc.PutBytes("/shared", []byte("old"), "")
+	if _, err := cc.Get("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	// Another client updates the document behind our back.
+	other, err := New(Config{BaseURL: cc.Client.base.String(), Persistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, err := other.PutBytes("/shared", []byte("new contents"), ""); err != nil {
+		t.Fatal(err)
+	}
+	b, err := cc.Get("/shared")
+	if err != nil || string(b) != "new contents" {
+		t.Fatalf("Get after foreign write = (%q, %v)", b, err)
+	}
+	hits, misses, _ := cc.CacheStats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("stats = hits %d misses %d (expected revalidation miss)", hits, misses)
+	}
+}
+
+func TestCacheInvalidationOnLocalWrites(t *testing.T) {
+	cc := newCachingPair(t, 0)
+	cc.PutBytes("/w", []byte("v1"), "")
+	cc.Get("/w")
+	// A local Put invalidates; the next Get must fetch the new body.
+	cc.PutBytes("/w", []byte("v2"), "")
+	b, _ := cc.Get("/w")
+	if string(b) != "v2" {
+		t.Fatalf("Get after local write = %q", b)
+	}
+	_, _, inv := cc.CacheStats()
+	if inv != 1 {
+		t.Fatalf("invalidates = %d", inv)
+	}
+}
+
+func TestCacheDeleteInvalidatesSubtree(t *testing.T) {
+	cc := newCachingPair(t, 0)
+	cc.Mkcol("/tree")
+	cc.PutBytes("/tree/a", []byte("a"), "")
+	cc.PutBytes("/tree/b", []byte("b"), "")
+	cc.Get("/tree/a")
+	cc.Get("/tree/b")
+	if cc.CachedBytes() == 0 {
+		t.Fatal("nothing cached")
+	}
+	if err := cc.Delete("/tree"); err != nil {
+		t.Fatal(err)
+	}
+	if cc.CachedBytes() != 0 {
+		t.Fatalf("cache not emptied after subtree delete: %d bytes", cc.CachedBytes())
+	}
+}
+
+func TestCacheMoveAndCopyInvalidate(t *testing.T) {
+	cc := newCachingPair(t, 0)
+	cc.PutBytes("/src", []byte("payload"), "")
+	cc.PutBytes("/dst", []byte("old dst"), "")
+	cc.Get("/src")
+	cc.Get("/dst")
+	if err := cc.Copy("/src", "/dst", davproto.DepthInfinity, true); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cc.Get("/dst")
+	if string(b) != "payload" {
+		t.Fatalf("dst after copy = %q", b)
+	}
+	if err := cc.Move("/dst", "/moved", false); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = cc.Get("/moved")
+	if string(b) != "payload" {
+		t.Fatalf("moved = %q", b)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	cc := newCachingPair(t, 3000)
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf("/d%d", i)
+		cc.PutBytes(p, bytes.Repeat([]byte{byte('a' + i)}, 1000), "")
+		if _, err := cc.Get(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cc.CachedBytes() > 3000 {
+		t.Fatalf("cache over budget: %d", cc.CachedBytes())
+	}
+	// The most recent entries are cached (hit); the oldest are not
+	// (miss on re-read).
+	_, missesBefore, _ := cc.CacheStats()
+	cc.Get("/d4") // should revalidate from cache
+	hits, _, _ := cc.CacheStats()
+	if hits == 0 {
+		t.Fatal("most recent entry evicted unexpectedly")
+	}
+	cc.Get("/d0") // long evicted
+	_, missesAfter, _ := cc.CacheStats()
+	if missesAfter != missesBefore+1 {
+		t.Fatalf("expected a miss for evicted entry: %d -> %d", missesBefore, missesAfter)
+	}
+}
+
+func TestCacheOversizeBodiesBypass(t *testing.T) {
+	cc := newCachingPair(t, 100)
+	big := bytes.Repeat([]byte{'x'}, 1000)
+	cc.PutBytes("/big", big, "")
+	cc.Get("/big")
+	if cc.CachedBytes() != 0 {
+		t.Fatalf("oversize body cached: %d", cc.CachedBytes())
+	}
+	// Still correct, just uncached.
+	b, err := cc.Get("/big")
+	if err != nil || !bytes.Equal(b, big) {
+		t.Fatalf("oversize Get = (%d bytes, %v)", len(b), err)
+	}
+}
+
+func TestCacheGetTo(t *testing.T) {
+	cc := newCachingPair(t, 0)
+	cc.PutBytes("/s", []byte("stream me"), "")
+	var buf bytes.Buffer
+	n, err := cc.GetTo("/s", &buf)
+	if err != nil || n != 9 || buf.String() != "stream me" {
+		t.Fatalf("GetTo = (%d, %v, %q)", n, err, buf.String())
+	}
+}

@@ -1,0 +1,52 @@
+package davclient_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/davclient"
+	"repro/internal/davproto"
+	"repro/internal/davserver"
+	"repro/internal/store"
+)
+
+// Example shows the core loop of the open data architecture: store a
+// document, attach self-describing metadata, and query it back —
+// nothing here knows anything about chemistry or any other schema.
+func Example() {
+	srv := httptest.NewServer(davserver.NewHandler(store.NewMemStore(), nil))
+	defer srv.Close()
+
+	c, err := davclient.New(davclient.Config{BaseURL: srv.URL, Persistent: true})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	if err := c.Mkcol("/results"); err != nil {
+		panic(err)
+	}
+	if _, err := c.PutBytes("/results/run1.out", []byte("converged"), "text/plain"); err != nil {
+		panic(err)
+	}
+	if err := c.SetProps("/results/run1.out",
+		davproto.NewTextProperty("ecce:", "status", "complete")); err != nil {
+		panic(err)
+	}
+
+	prop, ok, err := c.GetProp("/results/run1.out",
+		davproto.NewTextProperty("ecce:", "status", "").Name())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ok, prop.Text())
+
+	body, err := c.Get("/results/run1.out")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(body))
+	// Output:
+	// true complete
+	// converged
+}

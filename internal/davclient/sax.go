@@ -1,0 +1,134 @@
+package davclient
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/davproto"
+	"repro/internal/xmldom"
+)
+
+// parseMultistatusSAX parses a 207 body in one streaming pass,
+// building only the davproto structures (no intermediate document
+// tree). This is the optimization the paper predicted when it
+// attributed the client-side cost of bulk PROPFINDs to DOM parsing.
+func parseMultistatusSAX(r io.Reader) (davproto.Multistatus, error) {
+	var (
+		ms davproto.Multistatus
+
+		inResponse bool
+		resp       davproto.Response
+		inPropstat bool
+		ps         davproto.Propstat
+		inProp     bool
+
+		// Property subtrees are reconstructed directly while
+		// streaming.
+		propRoot *xmldom.Node
+		propCur  *xmldom.Node
+
+		text bytes.Buffer
+		path []xml.Name
+	)
+	isDAV := func(n xml.Name, local string) bool {
+		return n.Space == davproto.NS && n.Local == local
+	}
+
+	h := xmldom.SAXHandler{
+		StartElement: func(name xml.Name, attrs []xml.Attr) error {
+			path = append(path, name)
+			// Flush text accumulated before a child element so mixed
+			// content inside property values is preserved.
+			if propRoot != nil {
+				propCur.Text += text.String()
+			}
+			text.Reset()
+			switch {
+			case propRoot != nil:
+				// Inside a property value subtree.
+				child := &xmldom.Node{Name: name, Attrs: attrs}
+				propCur.AppendChild(child)
+				propCur = child
+			case inProp:
+				// A new property element.
+				propRoot = &xmldom.Node{Name: name, Attrs: attrs}
+				propCur = propRoot
+			case isDAV(name, "response"):
+				inResponse = true
+				resp = davproto.Response{}
+			case inResponse && isDAV(name, "propstat"):
+				inPropstat = true
+				ps = davproto.Propstat{}
+			case inPropstat && isDAV(name, "prop"):
+				inProp = true
+			}
+			return nil
+		},
+		EndElement: func(name xml.Name) error {
+			defer func() {
+				path = path[:len(path)-1]
+				text.Reset()
+			}()
+			switch {
+			case propRoot != nil:
+				propCur.Text += text.String()
+				if propCur == propRoot {
+					// Property complete.
+					ps.Props = append(ps.Props, davproto.Property{XML: propRoot})
+					propRoot, propCur = nil, nil
+					return nil
+				}
+				propCur = propCur.Parent
+			case inProp && isDAV(name, "prop"):
+				inProp = false
+			case inPropstat && isDAV(name, "status"):
+				code, err := davproto.ParseStatusLine(text.String())
+				if err != nil {
+					return err
+				}
+				ps.Status = code
+			case inPropstat && isDAV(name, "propstat"):
+				inPropstat = false
+				resp.Propstats = append(resp.Propstats, ps)
+			case inResponse && isDAV(name, "href"):
+				resp.Href = strings.TrimSpace(text.String())
+			case inResponse && isDAV(name, "status"):
+				// Response-level status (no propstats).
+				code, err := davproto.ParseStatusLine(text.String())
+				if err != nil {
+					return err
+				}
+				resp.Status = code
+			case isDAV(name, "response"):
+				inResponse = false
+				ms.Responses = append(ms.Responses, resp)
+			}
+			return nil
+		},
+		CharData: func(data []byte) error {
+			text.Write(data)
+			return nil
+		},
+	}
+	if err := xmldom.ScanSAX(r, h); err != nil {
+		return davproto.Multistatus{}, fmt.Errorf("davclient: sax multistatus: %w", err)
+	}
+	return ms, nil
+}
+
+// parseLockXML extracts the active lock from a LOCK response body
+// (<D:prop><D:lockdiscovery><D:activelock>...).
+func parseLockXML(body []byte) (davproto.ActiveLock, error) {
+	root, err := xmldom.ParseBytes(body)
+	if err != nil {
+		return davproto.ActiveLock{}, fmt.Errorf("davclient: bad lock response: %w", err)
+	}
+	al := root.FindPath("DAV:|lockdiscovery", "DAV:|activelock")
+	if al == nil {
+		return davproto.ActiveLock{}, fmt.Errorf("davclient: lock response missing activelock")
+	}
+	return davproto.ActiveLockFromXML(al)
+}

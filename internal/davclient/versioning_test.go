@@ -1,0 +1,69 @@
+package davclient
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestVersionControlWorkflow(t *testing.T) {
+	c := newPair(t, Config{Persistent: true})
+	c.PutBytes("/deck.nw", []byte("geometry v1"), "")
+	if err := c.VersionControl("/deck.nw"); err != nil {
+		t.Fatal(err)
+	}
+	// Three edits → versions 2..4.
+	for i := 2; i <= 4; i++ {
+		if _, err := c.PutBytes("/deck.nw", []byte(fmt.Sprintf("geometry v%d", i)), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	versions, err := c.VersionTree("/deck.nw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 4 {
+		t.Fatalf("versions = %d, want 4", len(versions))
+	}
+	for i, v := range versions {
+		if v.Name != fmt.Sprint(i+1) {
+			t.Fatalf("version %d name = %q", i, v.Name)
+		}
+		body, err := c.Get(v.Href)
+		if err != nil {
+			t.Fatalf("GET %s: %v", v.Href, err)
+		}
+		want := fmt.Sprintf("geometry v%d", i+1)
+		if string(body) != want {
+			t.Fatalf("version %d body = %q, want %q", i+1, body, want)
+		}
+		if v.Size != int64(len(want)) {
+			t.Fatalf("version %d size = %d", i+1, v.Size)
+		}
+	}
+}
+
+func TestVersionTreeOnUncontrolled(t *testing.T) {
+	c := newPair(t, Config{})
+	c.PutBytes("/plain", []byte("x"), "")
+	if _, err := c.VersionTree("/plain"); err == nil {
+		t.Fatal("VersionTree on uncontrolled resource should fail")
+	}
+	if err := c.VersionControl("/missing"); err == nil {
+		t.Fatal("VersionControl on missing resource should fail")
+	}
+}
+
+func TestVersionControlIdempotentClient(t *testing.T) {
+	c := newPair(t, Config{})
+	c.PutBytes("/v", []byte("x"), "")
+	if err := c.VersionControl("/v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VersionControl("/v"); err != nil {
+		t.Fatal(err)
+	}
+	versions, err := c.VersionTree("/v")
+	if err != nil || len(versions) != 1 {
+		t.Fatalf("versions = (%v, %v)", versions, err)
+	}
+}

@@ -1,0 +1,341 @@
+package davproto
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmldom"
+)
+
+// DAV Searching and Locating (DASL) basicsearch subset. The paper
+// lists DASL among the "extensions to DAV … currently under
+// development [that] promise additional PSE-relevant capabilities";
+// this implements the draft's core: a SEARCH method whose body selects
+// properties, scopes a subtree, and filters with a boolean expression
+// over property values.
+//
+// Supported grammar:
+//
+//	<searchrequest><basicsearch>
+//	  <select><prop>…</prop></select>
+//	  <from><scope><href>/path</href><depth>infinity</depth></scope></from>
+//	  <where> EXPR </where>              (optional)
+//	</basicsearch></searchrequest>
+//
+//	EXPR := <and>EXPR+</and> | <or>EXPR+</or> | <not>EXPR</not>
+//	      | <eq|lt|gt|lte|gte><prop><X/></prop><literal>v</literal></…>
+//	      | <like><prop><X/></prop><literal>pat%tern</literal></like>
+//	      | <is-defined><prop><X/></prop></is-defined>
+
+// SearchOp is a comparison operator.
+type SearchOp string
+
+// Comparison operators.
+const (
+	OpEq  SearchOp = "eq"
+	OpLt  SearchOp = "lt"
+	OpGt  SearchOp = "gt"
+	OpLte SearchOp = "lte"
+	OpGte SearchOp = "gte"
+	// OpLike matches with SQL-style % wildcards.
+	OpLike SearchOp = "like"
+)
+
+// SearchExpr is a node of the where-clause tree.
+type SearchExpr interface {
+	// Eval evaluates the expression given a property resolver that
+	// returns a property's text value and whether it exists.
+	Eval(lookup func(xml.Name) (string, bool)) bool
+	toXML() *xmldom.Node
+}
+
+// AndExpr is true when every child is true.
+type AndExpr struct{ Children []SearchExpr }
+
+// OrExpr is true when any child is true.
+type OrExpr struct{ Children []SearchExpr }
+
+// NotExpr negates its child.
+type NotExpr struct{ Child SearchExpr }
+
+// CompareExpr compares a property value against a literal.
+type CompareExpr struct {
+	Op      SearchOp
+	Prop    xml.Name
+	Literal string
+}
+
+// IsDefinedExpr is true when the property exists.
+type IsDefinedExpr struct{ Prop xml.Name }
+
+// Eval implements SearchExpr.
+func (e AndExpr) Eval(lookup func(xml.Name) (string, bool)) bool {
+	for _, c := range e.Children {
+		if !c.Eval(lookup) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval implements SearchExpr.
+func (e OrExpr) Eval(lookup func(xml.Name) (string, bool)) bool {
+	for _, c := range e.Children {
+		if c.Eval(lookup) {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval implements SearchExpr.
+func (e NotExpr) Eval(lookup func(xml.Name) (string, bool)) bool {
+	return !e.Child.Eval(lookup)
+}
+
+// Eval implements SearchExpr.
+func (e IsDefinedExpr) Eval(lookup func(xml.Name) (string, bool)) bool {
+	_, ok := lookup(e.Prop)
+	return ok
+}
+
+// Eval implements SearchExpr. Ordered comparisons are numeric when
+// both sides parse as floats, lexicographic otherwise (the DASL draft
+// left typing to the server).
+func (e CompareExpr) Eval(lookup func(xml.Name) (string, bool)) bool {
+	val, ok := lookup(e.Prop)
+	if !ok {
+		return false
+	}
+	switch e.Op {
+	case OpEq:
+		return val == e.Literal
+	case OpLike:
+		return likeMatch(e.Literal, val)
+	}
+	cmp := compareValues(val, e.Literal)
+	switch e.Op {
+	case OpLt:
+		return cmp < 0
+	case OpGt:
+		return cmp > 0
+	case OpLte:
+		return cmp <= 0
+	case OpGte:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// compareValues compares numerically when possible.
+func compareValues(a, b string) int {
+	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+// likeMatch implements SQL LIKE with % wildcards (no escapes).
+func likeMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "%")
+	if len(parts) == 1 {
+		return s == pattern
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for i := 1; i < len(parts)-1; i++ {
+		idx := strings.Index(s, parts[i])
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(parts[i]):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+// BasicSearch is a parsed SEARCH request.
+type BasicSearch struct {
+	// Select lists the properties to return for each match.
+	Select []xml.Name
+	// Scope is the subtree root; Depth bounds the walk.
+	Scope string
+	Depth Depth
+	// Where is the filter; nil matches every resource.
+	Where SearchExpr
+}
+
+// MarshalSearch renders the request body.
+func MarshalSearch(bs BasicSearch) []byte {
+	root := xmldom.NewElement(NS, "searchrequest")
+	basic := root.Add(NS, "basicsearch")
+	sel := basic.Add(NS, "select").Add(NS, "prop")
+	for _, n := range bs.Select {
+		sel.Add(n.Space, n.Local)
+	}
+	scope := basic.Add(NS, "from").Add(NS, "scope")
+	scope.AddText(NS, "href", bs.Scope)
+	scope.AddText(NS, "depth", bs.Depth.String())
+	if bs.Where != nil {
+		basic.Add(NS, "where").AppendChild(bs.Where.toXML())
+	}
+	return xmldom.MarshalDocument(root)
+}
+
+func (e AndExpr) toXML() *xmldom.Node {
+	n := xmldom.NewElement(NS, "and")
+	for _, c := range e.Children {
+		n.AppendChild(c.toXML())
+	}
+	return n
+}
+
+func (e OrExpr) toXML() *xmldom.Node {
+	n := xmldom.NewElement(NS, "or")
+	for _, c := range e.Children {
+		n.AppendChild(c.toXML())
+	}
+	return n
+}
+
+func (e NotExpr) toXML() *xmldom.Node {
+	n := xmldom.NewElement(NS, "not")
+	n.AppendChild(e.Child.toXML())
+	return n
+}
+
+func (e IsDefinedExpr) toXML() *xmldom.Node {
+	n := xmldom.NewElement(NS, "is-defined")
+	n.Add(NS, "prop").Add(e.Prop.Space, e.Prop.Local)
+	return n
+}
+
+func (e CompareExpr) toXML() *xmldom.Node {
+	n := xmldom.NewElement(NS, string(e.Op))
+	n.Add(NS, "prop").Add(e.Prop.Space, e.Prop.Local)
+	n.AddText(NS, "literal", e.Literal)
+	return n
+}
+
+// ParseSearch parses a SEARCH request body.
+func ParseSearch(r io.Reader) (BasicSearch, error) {
+	root, err := xmldom.Parse(r)
+	if err != nil {
+		return BasicSearch{}, fmt.Errorf("davproto: bad search body: %w", err)
+	}
+	if root.Name.Space != NS || root.Name.Local != "searchrequest" {
+		return BasicSearch{}, fmt.Errorf("davproto: expected DAV:searchrequest, got %s", root.Name.Local)
+	}
+	basic := root.Find(NS, "basicsearch")
+	if basic == nil {
+		return BasicSearch{}, fmt.Errorf("davproto: only basicsearch is supported")
+	}
+	var bs BasicSearch
+	if sel := basic.FindPath("DAV:|select", "DAV:|prop"); sel != nil {
+		for _, c := range sel.Children {
+			bs.Select = append(bs.Select, c.Name)
+		}
+	}
+	scope := basic.FindPath("DAV:|from", "DAV:|scope")
+	if scope == nil {
+		return BasicSearch{}, fmt.Errorf("davproto: basicsearch without from/scope")
+	}
+	if href := scope.Find(NS, "href"); href != nil {
+		bs.Scope = strings.TrimSpace(href.TextContent())
+	}
+	if bs.Scope == "" {
+		return BasicSearch{}, fmt.Errorf("davproto: scope without href")
+	}
+	depth := DepthInfinity
+	if d := scope.Find(NS, "depth"); d != nil {
+		depth, err = ParseDepth(strings.TrimSpace(d.TextContent()), DepthInfinity)
+		if err != nil {
+			return BasicSearch{}, err
+		}
+	}
+	bs.Depth = depth
+	if where := basic.Find(NS, "where"); where != nil {
+		if len(where.Children) != 1 {
+			return BasicSearch{}, fmt.Errorf("davproto: where must have exactly one expression")
+		}
+		bs.Where, err = parseExpr(where.Children[0])
+		if err != nil {
+			return BasicSearch{}, err
+		}
+	}
+	return bs, nil
+}
+
+func parseExpr(n *xmldom.Node) (SearchExpr, error) {
+	if n.Name.Space != NS {
+		return nil, fmt.Errorf("davproto: unknown search operator {%s}%s", n.Name.Space, n.Name.Local)
+	}
+	switch n.Name.Local {
+	case "and", "or":
+		var children []SearchExpr
+		for _, c := range n.Children {
+			e, err := parseExpr(c)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, e)
+		}
+		if len(children) == 0 {
+			return nil, fmt.Errorf("davproto: empty %s", n.Name.Local)
+		}
+		if n.Name.Local == "and" {
+			return AndExpr{Children: children}, nil
+		}
+		return OrExpr{Children: children}, nil
+	case "not":
+		if len(n.Children) != 1 {
+			return nil, fmt.Errorf("davproto: not requires exactly one child")
+		}
+		child, err := parseExpr(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{Child: child}, nil
+	case "is-defined":
+		prop, err := exprProp(n)
+		if err != nil {
+			return nil, err
+		}
+		return IsDefinedExpr{Prop: prop}, nil
+	case "eq", "lt", "gt", "lte", "gte", "like":
+		prop, err := exprProp(n)
+		if err != nil {
+			return nil, err
+		}
+		lit := n.Find(NS, "literal")
+		if lit == nil {
+			return nil, fmt.Errorf("davproto: %s without literal", n.Name.Local)
+		}
+		return CompareExpr{Op: SearchOp(n.Name.Local), Prop: prop,
+			Literal: lit.TextContent()}, nil
+	default:
+		return nil, fmt.Errorf("davproto: unknown search operator %s", n.Name.Local)
+	}
+}
+
+func exprProp(n *xmldom.Node) (xml.Name, error) {
+	prop := n.Find(NS, "prop")
+	if prop == nil || len(prop.Children) != 1 {
+		return xml.Name{}, fmt.Errorf("davproto: %s requires a single prop", n.Name.Local)
+	}
+	return prop.Children[0].Name, nil
+}

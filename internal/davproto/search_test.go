@@ -1,0 +1,194 @@
+package davproto
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func name(local string) xml.Name { return xml.Name{Space: "ecce:", Local: local} }
+
+// lookupFrom builds a resolver over a map.
+func lookupFrom(m map[string]string) func(xml.Name) (string, bool) {
+	return func(n xml.Name) (string, bool) {
+		v, ok := m[n.Local]
+		return v, ok
+	}
+}
+
+func TestCompareExprEval(t *testing.T) {
+	props := lookupFrom(map[string]string{
+		"formula": "H2O",
+		"charge":  "2",
+		"energy":  "-76.4",
+	})
+	cases := []struct {
+		expr SearchExpr
+		want bool
+	}{
+		{CompareExpr{OpEq, name("formula"), "H2O"}, true},
+		{CompareExpr{OpEq, name("formula"), "CO2"}, false},
+		{CompareExpr{OpEq, name("missing"), "x"}, false},
+		{CompareExpr{OpLt, name("energy"), "0"}, true}, // numeric -76.4 < 0
+		{CompareExpr{OpGt, name("charge"), "1"}, true}, // numeric 2 > 1
+		{CompareExpr{OpGte, name("charge"), "2"}, true},
+		{CompareExpr{OpLte, name("charge"), "1"}, false},
+		{CompareExpr{OpLt, name("formula"), "ZZZ"}, true}, // lexicographic
+		{CompareExpr{OpLike, name("formula"), "H%"}, true},
+		{CompareExpr{OpLike, name("formula"), "%2O"}, true},
+		{CompareExpr{OpLike, name("formula"), "H%O"}, true},
+		{CompareExpr{OpLike, name("formula"), "C%"}, false},
+		{CompareExpr{OpLike, name("formula"), "H2O"}, true}, // no wildcard = equality
+		{IsDefinedExpr{name("formula")}, true},
+		{IsDefinedExpr{name("missing")}, false},
+	}
+	for i, c := range cases {
+		if got := c.expr.Eval(props); got != c.want {
+			t.Errorf("case %d: Eval = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBooleanExprEval(t *testing.T) {
+	props := lookupFrom(map[string]string{"a": "1", "b": "2"})
+	tru := IsDefinedExpr{name("a")}
+	fls := IsDefinedExpr{name("z")}
+	cases := []struct {
+		expr SearchExpr
+		want bool
+	}{
+		{AndExpr{[]SearchExpr{tru, tru}}, true},
+		{AndExpr{[]SearchExpr{tru, fls}}, false},
+		{OrExpr{[]SearchExpr{fls, tru}}, true},
+		{OrExpr{[]SearchExpr{fls, fls}}, false},
+		{NotExpr{fls}, true},
+		{NotExpr{tru}, false},
+		{AndExpr{[]SearchExpr{tru, NotExpr{fls}, OrExpr{[]SearchExpr{fls, tru}}}}, true},
+	}
+	for i, c := range cases {
+		if got := c.expr.Eval(props); got != c.want {
+			t.Errorf("case %d: Eval = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%", "", true},
+		{"%", "anything", true},
+		{"a%", "abc", true},
+		{"%c", "abc", true},
+		{"a%c", "abc", true},
+		{"a%c", "ac", true},
+		{"a%b%c", "aXbYc", true},
+		{"a%b%c", "acb", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"%uran%", "the uranyl ion", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestSearchMarshalParseRoundTrip(t *testing.T) {
+	bs := BasicSearch{
+		Select: []xml.Name{name("formula"), PropGetContentLength},
+		Scope:  "/chem",
+		Depth:  Depth1,
+		Where: AndExpr{[]SearchExpr{
+			CompareExpr{OpEq, name("formula"), "H2O"},
+			NotExpr{IsDefinedExpr{name("archived")}},
+			OrExpr{[]SearchExpr{
+				CompareExpr{OpLike, name("topic"), "%hydration%"},
+				CompareExpr{OpGte, name("charge"), "2"},
+			}},
+		}},
+	}
+	got, err := ParseSearch(bytes.NewReader(MarshalSearch(bs)))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, MarshalSearch(bs))
+	}
+	if got.Scope != "/chem" || got.Depth != Depth1 || len(got.Select) != 2 {
+		t.Fatalf("header round trip: %+v", got)
+	}
+	// Evaluate both trees against the same resolvers to confirm the
+	// expression survived structurally.
+	resolvers := []map[string]string{
+		{"formula": "H2O", "topic": "uranyl hydration shells"},
+		{"formula": "H2O", "charge": "3"},
+		{"formula": "H2O", "archived": "yes", "charge": "3"},
+		{"formula": "CO2", "charge": "3"},
+		{"formula": "H2O"},
+	}
+	for i, m := range resolvers {
+		a := bs.Where.Eval(lookupFrom(m))
+		b := got.Where.Eval(lookupFrom(m))
+		if a != b {
+			t.Fatalf("resolver %d: original %v, reparsed %v", i, a, b)
+		}
+	}
+}
+
+func TestSearchNilWhereMatchesAll(t *testing.T) {
+	bs := BasicSearch{Scope: "/", Depth: DepthInfinity}
+	got, err := ParseSearch(bytes.NewReader(MarshalSearch(bs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Where != nil {
+		t.Fatalf("where = %+v, want nil", got.Where)
+	}
+}
+
+func TestParseSearchErrors(t *testing.T) {
+	cases := []string{
+		`<D:propfind xmlns:D="DAV:"/>`,
+		`<D:searchrequest xmlns:D="DAV:"/>`,                                  // no basicsearch
+		`<D:searchrequest xmlns:D="DAV:"><D:basicsearch/></D:searchrequest>`, // no scope
+		`<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+		   <D:from><D:scope><D:href>/x</D:href></D:scope></D:from>
+		   <D:where><D:eq><D:prop><a xmlns=""/></D:prop></D:eq></D:where>
+		 </D:basicsearch></D:searchrequest>`, // eq without literal
+		`<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+		   <D:from><D:scope><D:href>/x</D:href></D:scope></D:from>
+		   <D:where><D:and/></D:where>
+		 </D:basicsearch></D:searchrequest>`, // empty and
+		`<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+		   <D:from><D:scope><D:href>/x</D:href></D:scope></D:from>
+		   <D:where><D:frobnicate/></D:where>
+		 </D:basicsearch></D:searchrequest>`, // unknown operator
+	}
+	for i, c := range cases {
+		if _, err := ParseSearch(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestQuickLikeMatchConsistency: an exact pattern (no %) matches only
+// itself, and "%" + s + "%" always matches any string containing s.
+func TestQuickLikeMatchConsistency(t *testing.T) {
+	check := func(s, extra string) bool {
+		if strings.Contains(s, "%") || strings.Contains(extra, "%") {
+			return true // skip inputs containing the wildcard itself
+		}
+		if !likeMatch(s, s) {
+			return false
+		}
+		if !likeMatch("%"+s+"%", extra+s+extra) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

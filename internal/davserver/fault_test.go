@@ -1,0 +1,173 @@
+package davserver
+
+import (
+	"encoding/xml"
+	"errors"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/davproto"
+	"repro/internal/store"
+)
+
+// faultyStore wraps a Store and fails selected operations after a
+// countdown — storage-layer failure injection for the server's error
+// and rollback paths.
+type faultyStore struct {
+	store.Store
+	propPutsUntilFail atomic.Int64 // fail PropPut when counter reaches zero
+	propGetFails      atomic.Bool
+}
+
+var errInjected = errors.New("injected storage failure")
+
+func (f *faultyStore) PropPut(p string, name xml.Name, value []byte) error {
+	if f.propPutsUntilFail.Add(-1) == -1 {
+		return errInjected
+	}
+	return f.Store.PropPut(p, name, value)
+}
+
+func (f *faultyStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
+	if f.propGetFails.Load() {
+		return nil, false, errInjected
+	}
+	return f.Store.PropGet(p, name)
+}
+
+func newFaultyServer(t *testing.T) (*httptest.Server, *faultyStore) {
+	t.Helper()
+	fs := &faultyStore{Store: store.NewMemStore()}
+	fs.propPutsUntilFail.Store(1 << 30)
+	srv := httptest.NewServer(NewHandler(fs, nil))
+	t.Cleanup(srv.Close)
+	return srv, fs
+}
+
+func TestProppatchRollbackOnStorageFailure(t *testing.T) {
+	srv, fs := newFaultyServer(t)
+	do(t, "PUT", srv.URL+"/doc", nil, "x")
+	// Seed an existing property so rollback has something to restore.
+	wantStatus(t, do(t, "PROPPATCH", srv.URL+"/doc", nil,
+		proppatchBody(map[string]string{"keep": "original"})), 207)
+
+	// Now arrange for the SECOND PropPut of the batch to fail: the
+	// batch sets "keep" (overwriting) then "fresh" (new).
+	fs.propPutsUntilFail.Store(1)
+	ops := []davproto.PatchOp{
+		{Prop: davproto.NewTextProperty("ecce:", "keep", "overwritten")},
+		{Prop: davproto.NewTextProperty("ecce:", "fresh", "value")},
+	}
+	resp := do(t, "PROPPATCH", srv.URL+"/doc", nil, string(davproto.MarshalProppatch(ops)))
+	wantStatus(t, resp, 207)
+	ms := parseMS(t, resp)
+	statuses := map[string]int{}
+	for _, ps := range ms.Responses[0].Propstats {
+		for _, p := range ps.Props {
+			statuses[p.Name().Local] = ps.Status
+		}
+	}
+	if statuses["fresh"] != 500 {
+		t.Fatalf("failed prop status = %d, want 500", statuses["fresh"])
+	}
+	if statuses["keep"] != 424 {
+		t.Fatalf("sibling prop status = %d, want 424", statuses["keep"])
+	}
+
+	// Rollback restored the original value of "keep".
+	fs.propPutsUntilFail.Store(1 << 30)
+	resp = do(t, "PROPFIND", srv.URL+"/doc", map[string]string{"Depth": "0"},
+		propfindBody("keep", "fresh"))
+	ms = parseMS(t, resp)
+	props := davproto.PropsByName(ms.Responses[0].Propstats)
+	keep, ok := props[xml.Name{Space: "ecce:", Local: "keep"}]
+	if !ok || keep.Text() != "original" {
+		t.Fatalf("keep after rollback = %+v ok=%v, want original", keep, ok)
+	}
+	if _, ok := props[xml.Name{Space: "ecce:", Local: "fresh"}]; ok {
+		t.Fatal("fresh should not exist after rollback")
+	}
+}
+
+func TestProppatchSnapshotFailure(t *testing.T) {
+	// When even the undo snapshot (PropGet) fails, nothing is applied
+	// and the response reports the failure.
+	srv, fs := newFaultyServer(t)
+	do(t, "PUT", srv.URL+"/doc", nil, "x")
+	fs.propGetFails.Store(true)
+	resp := do(t, "PROPPATCH", srv.URL+"/doc", nil,
+		proppatchBody(map[string]string{"p": "v"}))
+	wantStatus(t, resp, 207)
+	ms := parseMS(t, resp)
+	if ms.Responses[0].Propstats[0].Status != 500 {
+		t.Fatalf("status = %d, want 500", ms.Responses[0].Propstats[0].Status)
+	}
+	fs.propGetFails.Store(false)
+	resp = do(t, "PROPFIND", srv.URL+"/doc", map[string]string{"Depth": "0"}, propfindBody("p"))
+	ms = parseMS(t, resp)
+	if ms.Responses[0].Propstats[0].Status != 404 {
+		t.Fatal("property applied despite snapshot failure")
+	}
+}
+
+func TestSearchSurvivesUndecodableProperty(t *testing.T) {
+	// A corrupt stored property must not break SEARCH; the resource is
+	// simply invisible for that name.
+	srv, fs := newFaultyServer(t)
+	do(t, "PUT", srv.URL+"/doc", nil, "x")
+	// Write garbage directly into the store, bypassing the protocol.
+	name := xml.Name{Space: "ecce:", Local: "broken"}
+	if err := fs.Store.PropPut("/doc", name, []byte("not xml at all <<<")); err != nil {
+		t.Fatal(err)
+	}
+	bs := davproto.BasicSearch{
+		Scope: "/", Depth: davproto.DepthInfinity,
+		Where: davproto.IsDefinedExpr{Prop: name},
+	}
+	resp := do(t, "SEARCH", srv.URL+"/", nil, string(davproto.MarshalSearch(bs)))
+	wantStatus(t, resp, 207)
+	ms := parseMS(t, resp)
+	if len(ms.Responses) != 0 {
+		t.Fatalf("corrupt property matched: %+v", ms.Responses)
+	}
+}
+
+func TestPropfindSkipsUndecodableInAllprop(t *testing.T) {
+	srv, fs := newFaultyServer(t)
+	do(t, "PUT", srv.URL+"/doc", nil, "x")
+	fs.Store.PropPut("/doc", xml.Name{Space: "e:", Local: "bad"}, []byte("<unclosed"))
+	fs.Store.PropPut("/doc", xml.Name{Space: "e:", Local: "good"},
+		davproto.NewTextProperty("e:", "good", "v").Encode())
+	resp := do(t, "PROPFIND", srv.URL+"/doc", map[string]string{"Depth": "0"}, "")
+	wantStatus(t, resp, 207)
+	ms := parseMS(t, resp)
+	props := davproto.PropsByName(ms.Responses[0].Propstats)
+	if _, ok := props[xml.Name{Space: "e:", Local: "good"}]; !ok {
+		t.Fatal("good property lost")
+	}
+	if _, ok := props[xml.Name{Space: "e:", Local: "bad"}]; ok {
+		t.Fatal("undecodable property leaked into allprop")
+	}
+}
+
+func proppatchBodyPairs(pairs ...[2]string) string {
+	var ops []davproto.PatchOp
+	for _, kv := range pairs {
+		ops = append(ops, davproto.PatchOp{Prop: davproto.NewTextProperty("ecce:", kv[0], kv[1])})
+	}
+	return string(davproto.MarshalProppatch(ops))
+}
+
+func TestFaultInjectionHelperSanity(t *testing.T) {
+	// The wrapper passes through when no fault is armed.
+	srv, _ := newFaultyServer(t)
+	do(t, "PUT", srv.URL+"/ok", nil, "x")
+	wantStatus(t, do(t, "PROPPATCH", srv.URL+"/ok", nil,
+		proppatchBodyPairs([2]string{"a", "1"}, [2]string{"b", "2"})), 207)
+	resp := do(t, "PROPFIND", srv.URL+"/ok", map[string]string{"Depth": "0"}, propfindBody("a", "b"))
+	ms := parseMS(t, resp)
+	if got := len(davproto.PropsByName(ms.Responses[0].Propstats)); got != 2 {
+		t.Fatalf("props = %d, want 2", got)
+	}
+}

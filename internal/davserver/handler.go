@@ -1,0 +1,843 @@
+package davserver
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"html"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/davproto"
+	"repro/internal/store"
+	"repro/internal/xmldom"
+)
+
+// DefaultMaxPropBytes is the per-property size limit. The paper set a
+// 10 MB limit after its robustness testing, noting that production
+// systems should set it "as low as possible for a given application".
+const DefaultMaxPropBytes = 10 << 20
+
+// Options tunes a Handler.
+type Options struct {
+	// MaxPropBytes caps the encoded size of a single dead property.
+	// Zero means DefaultMaxPropBytes; negative means unlimited (used
+	// by the robustness experiment to reproduce the paper's 100 MB
+	// property test).
+	MaxPropBytes int
+	// Prefix is stripped from request URL paths before they are
+	// interpreted as resource paths (e.g. "/dav").
+	Prefix string
+	// Logger receives request errors; nil discards them.
+	Logger *log.Logger
+}
+
+// Handler serves the WebDAV protocol over a Store.
+type Handler struct {
+	store store.Store
+	locks *LockManager
+	opts  Options
+}
+
+// NewHandler builds a Handler over s.
+func NewHandler(s store.Store, opts *Options) *Handler {
+	h := &Handler{store: s, locks: NewLockManager()}
+	if opts != nil {
+		h.opts = *opts
+	}
+	if h.opts.MaxPropBytes == 0 {
+		h.opts.MaxPropBytes = DefaultMaxPropBytes
+	}
+	return h
+}
+
+// Locks exposes the lock manager (tests, tooling).
+func (h *Handler) Locks() *LockManager { return h.locks }
+
+// Store exposes the underlying store (tooling).
+func (h *Handler) Store() store.Store { return h.store }
+
+func (h *Handler) logf(format string, args ...any) {
+	if h.opts.Logger != nil {
+		h.opts.Logger.Printf(format, args...)
+	}
+}
+
+// resourcePath maps a request URL path to a canonical store path.
+func (h *Handler) resourcePath(urlPath string) (string, error) {
+	p := urlPath
+	if h.opts.Prefix != "" {
+		var ok bool
+		p, ok = strings.CutPrefix(p, h.opts.Prefix)
+		if !ok {
+			return "", fmt.Errorf("%w: outside prefix %q", store.ErrBadPath, h.opts.Prefix)
+		}
+	}
+	if unescaped, err := url.PathUnescape(p); err == nil {
+		p = unescaped
+	}
+	return store.CleanPath(p)
+}
+
+// ServeHTTP dispatches one DAV request.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p, err := h.resourcePath(r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := guardVersionStore(r.Method, p); err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	switch r.Method {
+	case http.MethodOptions:
+		h.handleOptions(w, r)
+	case http.MethodGet, http.MethodHead:
+		h.handleGet(w, r, p)
+	case http.MethodPut:
+		h.handlePut(w, r, p)
+	case http.MethodDelete:
+		h.handleDelete(w, r, p)
+	case "MKCOL":
+		h.handleMkcol(w, r, p)
+	case "COPY", "MOVE":
+		h.handleCopyMove(w, r, p)
+	case "PROPFIND":
+		h.handlePropfind(w, r, p)
+	case "PROPPATCH":
+		h.handleProppatch(w, r, p)
+	case "LOCK":
+		h.handleLock(w, r, p)
+	case "UNLOCK":
+		h.handleUnlock(w, r, p)
+	case "SEARCH":
+		h.handleSearch(w, r, p)
+	case "VERSION-CONTROL":
+		h.handleVersionControl(w, r, p)
+	case "REPORT":
+		h.handleReport(w, r, p)
+	default:
+		w.Header().Set("Allow", allowHeader)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+const allowHeader = "OPTIONS, GET, HEAD, PUT, DELETE, MKCOL, COPY, MOVE, PROPFIND, PROPPATCH, LOCK, UNLOCK, SEARCH, VERSION-CONTROL, REPORT"
+
+func (h *Handler) handleOptions(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("DAV", "1,2,version-control")
+	// Advertise the DASL basicsearch capability (SEARCH method).
+	w.Header().Set("DASL", "<DAV:basicsearch>")
+	w.Header().Set("MS-Author-Via", "DAV")
+	w.Header().Set("Allow", allowHeader)
+	w.WriteHeader(http.StatusOK)
+}
+
+// statusForErr maps store and lock errors to HTTP statuses.
+func statusForErr(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrExists):
+		return http.StatusMethodNotAllowed
+	case errors.Is(err, store.ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, store.ErrIsCollection), errors.Is(err, store.ErrNotCollection):
+		return http.StatusConflict
+	case errors.Is(err, store.ErrBadPath):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrLocked):
+		return http.StatusLocked
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (h *Handler) fail(w http.ResponseWriter, r *http.Request, err error) {
+	code := statusForErr(err)
+	if code == http.StatusInternalServerError {
+		h.logf("dav: %s %s: %v", r.Method, r.URL.Path, err)
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// submittedTokens extracts lock tokens from the If header.
+func submittedTokens(r *http.Request) []string {
+	return davproto.ParseIfTokens(r.Header.Get("If"))
+}
+
+// checkWrite enforces locks on a state-changing request.
+func (h *Handler) checkWrite(r *http.Request, p string) error {
+	if h.locks.CanWrite(p, submittedTokens(r)) {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrLocked, p)
+}
+
+func (h *Handler) handleGet(w http.ResponseWriter, r *http.Request, p string) {
+	ri, err := h.store.Stat(p)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if ri.IsCollection {
+		h.serveCollectionIndex(w, r, p)
+		return
+	}
+	if match := r.Header.Get("If-None-Match"); match != "" && match == ri.ETag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", ri.ContentType)
+	w.Header().Set("Content-Length", strconv.FormatInt(ri.Size, 10))
+	w.Header().Set("ETag", ri.ETag)
+	w.Header().Set("Last-Modified", ri.ModTime.UTC().Format(http.TimeFormat))
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	rc, _, err := h.store.Get(p)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	defer rc.Close()
+	if _, err := io.Copy(w, rc); err != nil {
+		h.logf("dav: GET %s: %v", p, err)
+	}
+}
+
+// serveCollectionIndex renders a minimal HTML listing, supporting the
+// paper's "users can run standard Web browsers to surf the Ecce
+// database" scenario.
+func (h *Handler) serveCollectionIndex(w http.ResponseWriter, r *http.Request, p string) {
+	members, err := h.store.List(p)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if visible(p) {
+		members = filterVersionStore(members)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<html><head><title>Index of %s</title></head><body>\n", html.EscapeString(p))
+	fmt.Fprintf(&sb, "<h1>Index of %s</h1>\n<ul>\n", html.EscapeString(p))
+	if p != "/" {
+		fmt.Fprintf(&sb, `<li><a href="%s">..</a></li>`+"\n",
+			html.EscapeString(h.opts.Prefix+store.ParentPath(p)))
+	}
+	for _, m := range members {
+		name := m.Name()
+		if m.IsCollection {
+			name += "/"
+		}
+		fmt.Fprintf(&sb, `<li><a href="%s">%s</a> (%d bytes)</li>`+"\n",
+			html.EscapeString(h.opts.Prefix+m.Path), html.EscapeString(name), m.Size)
+	}
+	sb.WriteString("</ul></body></html>\n")
+	io.WriteString(w, sb.String())
+}
+
+func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
+	if err := h.checkWrite(r, p); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if ri, err := h.store.Stat(p); err == nil && ri.IsCollection {
+		http.Error(w, "cannot PUT to a collection", http.StatusMethodNotAllowed)
+		return
+	}
+	created, err := h.store.Put(p, r.Body, r.Header.Get("Content-Type"))
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	// Auto-versioning: a write to a version-controlled document
+	// appends a new version snapshot.
+	if !created {
+		if err := h.autoVersionAfterPut(p); err != nil {
+			h.logf("dav: auto-version %s: %v", p, err)
+		}
+	}
+	if created {
+		w.WriteHeader(http.StatusCreated)
+	} else {
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request, p string) {
+	if p == "/" {
+		http.Error(w, "cannot delete the root collection", http.StatusForbidden)
+		return
+	}
+	if err := h.checkWrite(r, p); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if err := h.store.Delete(p); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	h.locks.ReleaseTree(p)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *Handler) handleMkcol(w http.ResponseWriter, r *http.Request, p string) {
+	// RFC 2518: a request body is allowed to be rejected as
+	// unsupported.
+	if body, _ := io.ReadAll(io.LimitReader(r.Body, 1)); len(body) > 0 {
+		http.Error(w, "MKCOL request bodies are not supported", http.StatusUnsupportedMediaType)
+		return
+	}
+	if err := h.checkWrite(r, p); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if err := h.checkWrite(r, store.ParentPath(p)); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if err := h.store.Mkcol(p); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+// parseDestination resolves the Destination header to a store path.
+func (h *Handler) parseDestination(r *http.Request) (string, error) {
+	dest := r.Header.Get("Destination")
+	if dest == "" {
+		return "", fmt.Errorf("%w: missing Destination header", store.ErrBadPath)
+	}
+	u, err := url.Parse(dest)
+	if err != nil {
+		return "", fmt.Errorf("%w: bad Destination %q", store.ErrBadPath, dest)
+	}
+	if u.Host != "" && r.Host != "" && u.Host != r.Host {
+		return "", fmt.Errorf("%w: cross-server Destination %q", store.ErrBadPath, dest)
+	}
+	return h.resourcePath(u.Path)
+}
+
+func (h *Handler) handleCopyMove(w http.ResponseWriter, r *http.Request, src string) {
+	dst, err := h.parseDestination(r)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	// The Destination header must not target the read-only version
+	// store either.
+	if err := guardVersionStore(r.Method, dst); err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	if dst == src {
+		http.Error(w, "source and destination are the same resource", http.StatusForbidden)
+		return
+	}
+	if store.IsAncestor(src, dst) || store.IsAncestor(dst, src) {
+		http.Error(w, "source and destination overlap", http.StatusForbidden)
+		return
+	}
+	depth, err := davproto.ParseDepth(r.Header.Get("Depth"), davproto.DepthInfinity)
+	if err != nil || depth == davproto.Depth1 {
+		http.Error(w, "Depth must be 0 or infinity", http.StatusBadRequest)
+		return
+	}
+	if r.Method == "MOVE" {
+		if depth != davproto.DepthInfinity {
+			http.Error(w, "MOVE requires Depth: infinity", http.StatusBadRequest)
+			return
+		}
+		if err := h.checkWrite(r, src); err != nil {
+			h.fail(w, r, err)
+			return
+		}
+	}
+	if err := h.checkWrite(r, dst); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if _, err := h.store.Stat(src); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+
+	overwrite := true
+	switch strings.ToUpper(strings.TrimSpace(r.Header.Get("Overwrite"))) {
+	case "", "T":
+	case "F":
+		overwrite = false
+	default:
+		http.Error(w, "bad Overwrite header", http.StatusBadRequest)
+		return
+	}
+	replaced := false
+	if _, err := h.store.Stat(dst); err == nil {
+		if !overwrite {
+			http.Error(w, "destination exists", http.StatusPreconditionFailed)
+			return
+		}
+		if err := h.store.Delete(dst); err != nil {
+			h.fail(w, r, err)
+			return
+		}
+		h.locks.ReleaseTree(dst)
+		replaced = true
+	}
+
+	if r.Method == "COPY" {
+		err = store.CopyTree(h.store, src, dst, store.CopyOptions{Recurse: depth == davproto.DepthInfinity})
+	} else {
+		err = store.MoveTree(h.store, src, dst)
+	}
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if r.Method == "MOVE" {
+		h.locks.ReleaseTree(src)
+	}
+	if replaced {
+		w.WriteHeader(http.StatusNoContent)
+	} else {
+		w.WriteHeader(http.StatusCreated)
+	}
+}
+
+// liveProp computes a live property for a resource, reporting ok=false
+// for properties that do not apply (e.g. getcontentlength on a
+// collection).
+func (h *Handler) liveProp(ri store.ResourceInfo, name xml.Name) (davproto.Property, bool) {
+	switch name {
+	case davproto.PropCreationDate:
+		return davproto.NewTextProperty(name.Space, name.Local,
+			ri.CreateTime.UTC().Format(time.RFC3339)), true
+	case davproto.PropDisplayName:
+		return davproto.NewTextProperty(name.Space, name.Local, ri.Name()), true
+	case davproto.PropGetLastModified:
+		return davproto.NewTextProperty(name.Space, name.Local,
+			ri.ModTime.UTC().Format(http.TimeFormat)), true
+	case davproto.PropResourceType:
+		n := xmldom.NewElement(davproto.NS, "resourcetype")
+		if ri.IsCollection {
+			n.Add(davproto.NS, "collection")
+		}
+		return davproto.Property{XML: n}, true
+	case davproto.PropGetContentLength:
+		if ri.IsCollection {
+			return davproto.Property{}, false
+		}
+		return davproto.NewTextProperty(name.Space, name.Local,
+			strconv.FormatInt(ri.Size, 10)), true
+	case davproto.PropGetContentType:
+		if ri.IsCollection {
+			return davproto.Property{}, false
+		}
+		return davproto.NewTextProperty(name.Space, name.Local, ri.ContentType), true
+	case davproto.PropGetETag:
+		if ri.IsCollection {
+			return davproto.Property{}, false
+		}
+		return davproto.NewTextProperty(name.Space, name.Local, ri.ETag), true
+	case davproto.PropSupportedLock:
+		n := xmldom.NewElement(davproto.NS, "supportedlock")
+		for _, scope := range []string{"exclusive", "shared"} {
+			le := n.Add(davproto.NS, "lockentry")
+			le.Add(davproto.NS, "lockscope").Add(davproto.NS, scope)
+			le.Add(davproto.NS, "locktype").Add(davproto.NS, "write")
+		}
+		return davproto.Property{XML: n}, true
+	case davproto.PropLockDiscovery:
+		n := xmldom.NewElement(davproto.NS, "lockdiscovery")
+		for _, al := range h.locks.LocksOn(ri.Path) {
+			n.AppendChild(al.ToXML())
+		}
+		return davproto.Property{XML: n}, true
+	default:
+		return davproto.Property{}, false
+	}
+}
+
+// deadProps loads and decodes a resource's dead properties.
+func (h *Handler) deadProps(p string) ([]davproto.Property, error) {
+	raw, err := h.store.PropAll(p)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]xml.Name, 0, len(raw))
+	for n := range raw {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if names[i].Space != names[j].Space {
+			return names[i].Space < names[j].Space
+		}
+		return names[i].Local < names[j].Local
+	})
+	props := make([]davproto.Property, 0, len(names))
+	for _, n := range names {
+		prop, err := davproto.DecodeProperty(raw[n])
+		if err != nil {
+			h.logf("dav: undecodable stored property %v on %s: %v", n, p, err)
+			continue
+		}
+		props = append(props, prop)
+	}
+	return props, nil
+}
+
+func (h *Handler) handlePropfind(w http.ResponseWriter, r *http.Request, p string) {
+	depth, err := davproto.ParseDepth(r.Header.Get("Depth"), davproto.DepthInfinity)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pf, err := davproto.ParsePropfind(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ri, err := h.store.Stat(p)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+
+	var targets []store.ResourceInfo
+	switch depth {
+	case davproto.Depth0:
+		targets = []store.ResourceInfo{ri}
+	case davproto.Depth1:
+		targets = []store.ResourceInfo{ri}
+		if ri.IsCollection {
+			members, err := h.store.List(p)
+			if err != nil {
+				h.fail(w, r, err)
+				return
+			}
+			targets = append(targets, filterVersionStore(members)...)
+		}
+	default:
+		err = store.Walk(h.store, p, func(m store.ResourceInfo) error {
+			if visible(m.Path) || !visible(p) {
+				targets = append(targets, m)
+			}
+			return nil
+		})
+		if err != nil {
+			h.fail(w, r, err)
+			return
+		}
+	}
+
+	var ms davproto.Multistatus
+	for _, t := range targets {
+		resp, err := h.propfindResponse(t, pf)
+		if err != nil {
+			h.fail(w, r, err)
+			return
+		}
+		ms.Responses = append(ms.Responses, resp)
+	}
+	h.writeMultistatus(w, ms)
+}
+
+// propfindResponse builds one resource's multistatus entry.
+func (h *Handler) propfindResponse(ri store.ResourceInfo, pf davproto.Propfind) (davproto.Response, error) {
+	resp := davproto.Response{Href: h.opts.Prefix + ri.Path}
+	switch pf.Kind {
+	case davproto.PropfindAllProp, davproto.PropfindPropName:
+		var found []davproto.Property
+		for _, name := range davproto.LiveProps {
+			if prop, ok := h.liveProp(ri, name); ok {
+				found = append(found, prop)
+			}
+		}
+		dead, err := h.deadProps(ri.Path)
+		if err != nil {
+			return davproto.Response{}, err
+		}
+		found = append(found, dead...)
+		if pf.Kind == davproto.PropfindPropName {
+			for i, prop := range found {
+				found[i] = davproto.Property{
+					XML: xmldom.NewElement(prop.Name().Space, prop.Name().Local),
+				}
+			}
+		}
+		resp.Propstats = []davproto.Propstat{{Props: found, Status: http.StatusOK}}
+	case davproto.PropfindProps:
+		var found, missing []davproto.Property
+		for _, name := range pf.Props {
+			if davproto.IsLiveProp(name) {
+				if prop, ok := h.liveProp(ri, name); ok {
+					found = append(found, prop)
+					continue
+				}
+				missing = append(missing, davproto.Property{XML: xmldom.NewElement(name.Space, name.Local)})
+				continue
+			}
+			raw, ok, err := h.store.PropGet(ri.Path, name)
+			if err != nil {
+				return davproto.Response{}, err
+			}
+			if !ok {
+				missing = append(missing, davproto.Property{XML: xmldom.NewElement(name.Space, name.Local)})
+				continue
+			}
+			prop, err := davproto.DecodeProperty(raw)
+			if err != nil {
+				return davproto.Response{}, err
+			}
+			found = append(found, prop)
+		}
+		if len(found) > 0 {
+			resp.Propstats = append(resp.Propstats, davproto.Propstat{Props: found, Status: http.StatusOK})
+		}
+		if len(missing) > 0 {
+			resp.Propstats = append(resp.Propstats, davproto.Propstat{Props: missing, Status: http.StatusNotFound})
+		}
+		if len(resp.Propstats) == 0 {
+			resp.Propstats = []davproto.Propstat{{Status: http.StatusOK}}
+		}
+	}
+	return resp, nil
+}
+
+func (h *Handler) handleProppatch(w http.ResponseWriter, r *http.Request, p string) {
+	if err := h.checkWrite(r, p); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if _, err := h.store.Stat(p); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	ops, err := davproto.ParseProppatch(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Phase 1: validate. RFC 2518 makes PROPPATCH atomic: if any
+	// instruction fails, none are applied and the others report 424
+	// (Failed Dependency).
+	statuses := make([]int, len(ops))
+	anyFailed := false
+	for i, op := range ops {
+		switch {
+		case davproto.IsLiveProp(op.Prop.Name()):
+			statuses[i] = http.StatusConflict // protected property
+			anyFailed = true
+		case op.Prop.Name().Space == vcNS:
+			// Versioning bookkeeping is server-managed.
+			statuses[i] = http.StatusConflict
+			anyFailed = true
+		case !op.Remove && h.opts.MaxPropBytes > 0 && len(op.Prop.Encode()) > h.opts.MaxPropBytes:
+			// The configurable limit the paper recommends (10 MB
+			// default).
+			statuses[i] = http.StatusInsufficientStorage
+			anyFailed = true
+		default:
+			statuses[i] = http.StatusOK
+		}
+	}
+	if anyFailed {
+		for i, st := range statuses {
+			if st == http.StatusOK {
+				statuses[i] = http.StatusFailedDependency
+			}
+		}
+		h.writeProppatchResult(w, p, ops, statuses)
+		return
+	}
+
+	// Phase 2: apply, with rollback on unexpected storage errors.
+	type undo struct {
+		name    xml.Name
+		had     bool
+		prev    []byte
+		applied bool
+	}
+	undos := make([]undo, len(ops))
+	applyErr := error(nil)
+	failedAt := -1
+	for i, op := range ops {
+		name := op.Prop.Name()
+		prev, had, err := h.store.PropGet(p, name)
+		if err != nil {
+			applyErr, failedAt = err, i
+			break
+		}
+		undos[i] = undo{name: name, had: had, prev: prev}
+		if op.Remove {
+			err = h.store.PropDelete(p, name)
+		} else {
+			err = h.store.PropPut(p, name, op.Prop.Encode())
+		}
+		if err != nil {
+			applyErr, failedAt = err, i
+			break
+		}
+		undos[i].applied = true
+	}
+	if applyErr != nil {
+		for i := failedAt - 1; i >= 0; i-- {
+			u := undos[i]
+			if !u.applied {
+				continue
+			}
+			if u.had {
+				h.store.PropPut(p, u.name, u.prev)
+			} else {
+				h.store.PropDelete(p, u.name)
+			}
+		}
+		h.logf("dav: PROPPATCH %s: %v", p, applyErr)
+		for i := range statuses {
+			if i == failedAt {
+				statuses[i] = http.StatusInternalServerError
+			} else {
+				statuses[i] = http.StatusFailedDependency
+			}
+		}
+	}
+	h.writeProppatchResult(w, p, ops, statuses)
+}
+
+// writeProppatchResult renders the per-property multistatus.
+func (h *Handler) writeProppatchResult(w http.ResponseWriter, p string, ops []davproto.PatchOp, statuses []int) {
+	byStatus := map[int][]davproto.Property{}
+	var order []int
+	for i, op := range ops {
+		st := statuses[i]
+		if _, seen := byStatus[st]; !seen {
+			order = append(order, st)
+		}
+		name := op.Prop.Name()
+		byStatus[st] = append(byStatus[st], davproto.Property{
+			XML: xmldom.NewElement(name.Space, name.Local),
+		})
+	}
+	sort.Ints(order)
+	resp := davproto.Response{Href: h.opts.Prefix + p}
+	for _, st := range order {
+		resp.Propstats = append(resp.Propstats, davproto.Propstat{Props: byStatus[st], Status: st})
+	}
+	h.writeMultistatus(w, davproto.Multistatus{Responses: []davproto.Response{resp}})
+}
+
+func (h *Handler) handleLock(w http.ResponseWriter, r *http.Request, p string) {
+	timeout, err := davproto.ParseTimeout(r.Header.Get("Timeout"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	li, hasBody, err := davproto.ParseLockInfo(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if !hasBody {
+		// Lock refresh: the token arrives in the If header.
+		tokens := submittedTokens(r)
+		if len(tokens) == 0 {
+			http.Error(w, "refresh requires a lock token in the If header", http.StatusBadRequest)
+			return
+		}
+		al, err := h.locks.Refresh(tokens[0], timeout)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusPreconditionFailed)
+			return
+		}
+		h.writeLockResponse(w, al, http.StatusOK)
+		return
+	}
+
+	depth, err := davproto.ParseDepth(r.Header.Get("Depth"), davproto.DepthInfinity)
+	if err != nil || depth == davproto.Depth1 {
+		http.Error(w, "LOCK Depth must be 0 or infinity", http.StatusBadRequest)
+		return
+	}
+	created := false
+	if _, err := h.store.Stat(p); errors.Is(err, store.ErrNotFound) {
+		// RFC 2518: locking an unmapped URL creates a (lock-null)
+		// resource; we model it as an empty document.
+		if _, err := h.store.Put(p, strings.NewReader(""), ""); err != nil {
+			h.fail(w, r, err)
+			return
+		}
+		created = true
+	} else if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	al, err := h.locks.Lock(p, li.Scope, depth, li.Owner, timeout)
+	if err != nil {
+		if errors.Is(err, ErrLocked) {
+			http.Error(w, err.Error(), http.StatusLocked)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	w.Header().Set("Lock-Token", "<"+al.Token+">")
+	h.writeLockResponse(w, al, code)
+}
+
+// writeLockResponse renders <D:prop><D:lockdiscovery> with the active
+// lock.
+func (h *Handler) writeLockResponse(w http.ResponseWriter, al davproto.ActiveLock, code int) {
+	prop := xmldom.NewElement(davproto.NS, "prop")
+	prop.Add(davproto.NS, "lockdiscovery").AppendChild(al.ToXML())
+	body := xmldom.MarshalDocument(prop)
+	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func (h *Handler) handleUnlock(w http.ResponseWriter, r *http.Request, _ string) {
+	token := strings.TrimSpace(r.Header.Get("Lock-Token"))
+	token = strings.TrimPrefix(token, "<")
+	token = strings.TrimSuffix(token, ">")
+	if token == "" {
+		http.Error(w, "missing Lock-Token header", http.StatusBadRequest)
+		return
+	}
+	if err := h.locks.Unlock(token); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeMultistatus renders a 207 response.
+func (h *Handler) writeMultistatus(w http.ResponseWriter, ms davproto.Multistatus) {
+	body := ms.Marshal()
+	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusMultiStatus)
+	w.Write(body)
+}

@@ -1,0 +1,101 @@
+package davserver
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// fakeClock is a settable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (fc *fakeClock) now() time.Time {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.t
+}
+
+func (fc *fakeClock) advance(d time.Duration) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.t = fc.t.Add(d)
+}
+
+// dialOK reports whether a fresh connection can complete one request.
+func dialOK(t *testing.T, addr string) bool {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	if _, err := io.WriteString(conn, "OPTIONS / HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"); err != nil {
+		return false
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	return err == nil && n > 0
+}
+
+func TestRateLimitedListener(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := LimitConnections(inner, 3)
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	rl.SetClock(fc.now)
+
+	srv := &http.Server{Handler: NewHandler(store.NewMemStore(), nil),
+		IdleTimeout: KeepAliveTimeout}
+	go srv.Serve(rl)
+	defer srv.Close()
+	addr := rl.Addr().String()
+
+	// The first three connections in the window succeed.
+	for i := 0; i < 3; i++ {
+		if !dialOK(t, addr) {
+			t.Fatalf("connection %d refused under the limit", i)
+		}
+	}
+	// The fourth is dropped.
+	if dialOK(t, addr) {
+		t.Fatal("connection over the limit succeeded")
+	}
+	if rl.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", rl.Dropped())
+	}
+	// After the window slides, connections are admitted again.
+	fc.advance(61 * time.Second)
+	if !dialOK(t, addr) {
+		t.Fatal("connection refused after window reset")
+	}
+}
+
+func TestRateLimitDisabled(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := LimitConnections(inner, 0)
+	srv := &http.Server{Handler: NewHandler(store.NewMemStore(), nil)}
+	go srv.Serve(rl)
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		if !dialOK(t, rl.Addr().String()) {
+			t.Fatalf("unlimited listener refused connection %d", i)
+		}
+	}
+	if rl.Dropped() != 0 {
+		t.Fatalf("dropped = %d", rl.Dropped())
+	}
+}

@@ -1,0 +1,158 @@
+package davserver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/davproto"
+)
+
+func TestLockManagerExclusiveConflicts(t *testing.T) {
+	lm := NewLockManager()
+	al, err := lm.Lock("/a", davproto.LockExclusive, davproto.Depth0, "o1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lm.Lock("/a", davproto.LockExclusive, davproto.Depth0, "o2", 0); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second exclusive = %v, want ErrLocked", err)
+	}
+	if _, err := lm.Lock("/a", davproto.LockShared, davproto.Depth0, "o2", 0); !errors.Is(err, ErrLocked) {
+		t.Fatalf("shared over exclusive = %v, want ErrLocked", err)
+	}
+	// Sibling path is free.
+	if _, err := lm.Lock("/b", davproto.LockExclusive, davproto.Depth0, "o2", 0); err != nil {
+		t.Fatalf("sibling lock: %v", err)
+	}
+	if err := lm.Unlock(al.Token); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lm.Lock("/a", davproto.LockExclusive, davproto.Depth0, "o2", 0); err != nil {
+		t.Fatalf("lock after unlock: %v", err)
+	}
+}
+
+func TestLockManagerSharedCoexist(t *testing.T) {
+	lm := NewLockManager()
+	a, err := lm.Lock("/s", davproto.LockShared, davproto.Depth0, "o1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lm.Lock("/s", davproto.LockShared, davproto.Depth0, "o2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Token == b.Token {
+		t.Fatal("tokens must differ")
+	}
+	if got := len(lm.LocksOn("/s")); got != 2 {
+		t.Fatalf("LocksOn = %d, want 2", got)
+	}
+}
+
+func TestLockDepthInfinityCoverage(t *testing.T) {
+	lm := NewLockManager()
+	al, err := lm.Lock("/proj", davproto.LockExclusive, davproto.DepthInfinity, "o", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.CanWrite("/proj/deep/doc", nil) {
+		t.Fatal("descendant writable without token")
+	}
+	if !lm.CanWrite("/proj/deep/doc", []string{al.Token}) {
+		t.Fatal("token should authorize descendant write")
+	}
+	// A new lock anywhere under the tree conflicts.
+	if _, err := lm.Lock("/proj/deep", davproto.LockExclusive, davproto.Depth0, "x", 0); !errors.Is(err, ErrLocked) {
+		t.Fatalf("descendant lock = %v, want ErrLocked", err)
+	}
+	// Depth-infinity request over an existing descendant lock
+	// conflicts too.
+	lm2 := NewLockManager()
+	if _, err := lm2.Lock("/p/child", davproto.LockExclusive, davproto.Depth0, "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lm2.Lock("/p", davproto.LockExclusive, davproto.DepthInfinity, "b", 0); !errors.Is(err, ErrLocked) {
+		t.Fatalf("ancestor infinity lock = %v, want ErrLocked", err)
+	}
+}
+
+func TestLockDepth0DoesNotCoverChildren(t *testing.T) {
+	lm := NewLockManager()
+	if _, err := lm.Lock("/proj", davproto.LockExclusive, davproto.Depth0, "o", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !lm.CanWrite("/proj/doc", nil) {
+		t.Fatal("depth-0 lock must not cover members")
+	}
+}
+
+func TestLockDepth1Rejected(t *testing.T) {
+	lm := NewLockManager()
+	if _, err := lm.Lock("/x", davproto.LockExclusive, davproto.Depth1, "o", 0); err == nil {
+		t.Fatal("Depth 1 lock should be rejected")
+	}
+}
+
+func TestLockExpiry(t *testing.T) {
+	lm := NewLockManager()
+	now := time.Unix(1000, 0)
+	lm.SetClock(func() time.Time { return now })
+	al, err := lm.Lock("/e", davproto.LockExclusive, davproto.Depth0, "o", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.CanWrite("/e", nil) {
+		t.Fatal("locked resource writable")
+	}
+	now = now.Add(31 * time.Second)
+	if !lm.CanWrite("/e", nil) {
+		t.Fatal("expired lock still enforced")
+	}
+	if err := lm.Unlock(al.Token); !errors.Is(err, ErrNoSuchLock) {
+		t.Fatalf("unlock expired = %v, want ErrNoSuchLock", err)
+	}
+}
+
+func TestLockRefreshExtends(t *testing.T) {
+	lm := NewLockManager()
+	now := time.Unix(1000, 0)
+	lm.SetClock(func() time.Time { return now })
+	al, _ := lm.Lock("/r", davproto.LockExclusive, davproto.Depth0, "o", 30*time.Second)
+	now = now.Add(20 * time.Second)
+	if _, err := lm.Refresh(al.Token, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(50 * time.Second) // would have expired without refresh
+	if lm.CanWrite("/r", nil) {
+		t.Fatal("refreshed lock not enforced")
+	}
+	if _, err := lm.Refresh("opaquelocktoken:nope", time.Second); !errors.Is(err, ErrNoSuchLock) {
+		t.Fatalf("refresh unknown = %v", err)
+	}
+}
+
+func TestReleaseTree(t *testing.T) {
+	lm := NewLockManager()
+	lm.Lock("/t/a", davproto.LockExclusive, davproto.Depth0, "o", 0)
+	lm.Lock("/t/b", davproto.LockExclusive, davproto.Depth0, "o", 0)
+	keep, _ := lm.Lock("/other", davproto.LockExclusive, davproto.Depth0, "o", 0)
+	lm.ReleaseTree("/t")
+	if !lm.CanWrite("/t/a", nil) || !lm.CanWrite("/t/b", nil) {
+		t.Fatal("tree locks survived ReleaseTree")
+	}
+	if lm.CanWrite("/other", nil) {
+		t.Fatal("unrelated lock released")
+	}
+	_ = keep
+}
+
+func TestTokenFormat(t *testing.T) {
+	tok := newToken()
+	if len(tok) < len("opaquelocktoken:")+30 || tok[:16] != "opaquelocktoken:" {
+		t.Fatalf("token = %q", tok)
+	}
+	if tok == newToken() {
+		t.Fatal("tokens must be unique")
+	}
+}

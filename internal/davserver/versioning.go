@@ -1,0 +1,242 @@
+package davserver
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/davproto"
+	"repro/internal/store"
+	"repro/internal/xmldom"
+)
+
+// Versioning: a DeltaV-flavoured extension implementing the paper's
+// title capability ("Distributed Authoring and Versioning"; the paper
+// cites the then-draft WebDAV versioning goals as anticipated
+// functionality).
+//
+// Model (auto-versioning, the simplest DeltaV mode):
+//
+//   - VERSION-CONTROL on a document starts its history: the current
+//     state becomes version 1.
+//   - Every subsequent successful PUT to the document appends a new
+//     version snapshot (body + dead properties).
+//   - REPORT with a DAV:version-tree body lists the history as a 207
+//     multistatus; each version is an ordinary read-only resource under
+//     the hidden /.davversions tree, so old states are fetched with
+//     plain GET.
+//   - The version tree is invisible to PROPFIND/GET listings of the
+//     live tree and rejects client writes.
+//
+// Versioning state is kept in dead properties under a private
+// namespace so any Store implementation supports it unchanged.
+
+// versionRoot is the hidden subtree holding version snapshots.
+const versionRoot = "/.davversions"
+
+// vcNS is the private namespace for version bookkeeping properties.
+const vcNS = "urn:repro-dav:versioning"
+
+var (
+	propVCControlled = xml.Name{Space: vcNS, Local: "version-controlled"}
+	propVCCount      = xml.Name{Space: vcNS, Local: "version-count"}
+)
+
+// visible reports whether a path belongs to the live tree (true) or
+// the hidden version store (false).
+func visible(p string) bool {
+	return p != versionRoot && !store.IsAncestor(versionRoot, p)
+}
+
+// isVersionControlled checks the bookkeeping property.
+func (h *Handler) isVersionControlled(p string) (bool, int, error) {
+	v, ok, err := h.store.PropGet(p, propVCControlled)
+	if err != nil || !ok || string(v) != "1" {
+		return false, 0, err
+	}
+	cv, ok, err := h.store.PropGet(p, propVCCount)
+	if err != nil {
+		return false, 0, err
+	}
+	count := 0
+	if ok {
+		count, _ = strconv.Atoi(string(cv))
+	}
+	return true, count, nil
+}
+
+// versionPath is where version n of resource p is snapshotted.
+func versionPath(p string, n int) string {
+	return versionRoot + p + "/" + strconv.Itoa(n)
+}
+
+// snapshotVersion copies the current state of p into the version tree
+// as version n.
+func (h *Handler) snapshotVersion(p string, n int) error {
+	dst := versionPath(p, n)
+	// Ensure the version container chain exists.
+	parent := store.ParentPath(dst)
+	var missing []string
+	for at := parent; at != "/"; at = store.ParentPath(at) {
+		if _, err := h.store.Stat(at); err == nil {
+			break
+		}
+		missing = append([]string{at}, missing...)
+	}
+	for _, dir := range missing {
+		if err := h.store.Mkcol(dir); err != nil && !errors.Is(err, store.ErrExists) {
+			return err
+		}
+	}
+	if _, err := h.store.Stat(dst); err == nil {
+		if err := h.store.Delete(dst); err != nil {
+			return err
+		}
+	}
+	if err := store.CopyTree(h.store, p, dst, store.CopyOptions{}); err != nil {
+		return err
+	}
+	// The snapshot's own bookkeeping props would be misleading; drop
+	// them from the copy.
+	h.store.PropDelete(dst, propVCControlled)
+	h.store.PropDelete(dst, propVCCount)
+	return nil
+}
+
+// handleVersionControl implements the VERSION-CONTROL method: the
+// resource's current state becomes version 1. Idempotent on already
+// controlled resources (DeltaV semantics).
+func (h *Handler) handleVersionControl(w http.ResponseWriter, r *http.Request, p string) {
+	if !visible(p) {
+		http.Error(w, "the version store is read-only", http.StatusForbidden)
+		return
+	}
+	ri, err := h.store.Stat(p)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if ri.IsCollection {
+		http.Error(w, "collections cannot be version-controlled", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := h.checkWrite(r, p); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	controlled, _, err := h.isVersionControlled(p)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if controlled {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if err := h.snapshotVersion(p, 1); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if err := h.store.PropPut(p, propVCControlled, []byte("1")); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if err := h.store.PropPut(p, propVCCount, []byte("1")); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// autoVersionAfterPut appends a new version after a successful write
+// to a version-controlled document.
+func (h *Handler) autoVersionAfterPut(p string) error {
+	controlled, count, err := h.isVersionControlled(p)
+	if err != nil || !controlled {
+		return err
+	}
+	next := count + 1
+	if err := h.snapshotVersion(p, next); err != nil {
+		return err
+	}
+	return h.store.PropPut(p, propVCCount, []byte(strconv.Itoa(next)))
+}
+
+// handleReport implements the REPORT method for DAV:version-tree: a
+// multistatus with one response per version, newest last, carrying
+// version-name plus the standard live properties.
+func (h *Handler) handleReport(w http.ResponseWriter, r *http.Request, p string) {
+	root, err := xmldom.Parse(r.Body)
+	if err != nil {
+		http.Error(w, "bad report body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if root.Name.Space != davproto.NS || root.Name.Local != "version-tree" {
+		http.Error(w, "only DAV:version-tree reports are supported", http.StatusForbidden)
+		return
+	}
+	if _, err := h.store.Stat(p); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	controlled, count, err := h.isVersionControlled(p)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if !controlled {
+		http.Error(w, "resource is not version-controlled", http.StatusConflict)
+		return
+	}
+	var ms davproto.Multistatus
+	for n := 1; n <= count; n++ {
+		vp := versionPath(p, n)
+		ri, err := h.store.Stat(vp)
+		if err != nil {
+			continue // pruned version
+		}
+		props := []davproto.Property{
+			davproto.NewTextProperty(davproto.NS, "version-name", strconv.Itoa(n)),
+		}
+		for _, name := range []xml.Name{davproto.PropGetContentLength,
+			davproto.PropGetLastModified, davproto.PropGetETag} {
+			if prop, ok := h.liveProp(ri, name); ok {
+				props = append(props, prop)
+			}
+		}
+		ms.Responses = append(ms.Responses, davproto.Response{
+			Href:      h.opts.Prefix + vp,
+			Propstats: []davproto.Propstat{{Props: props, Status: http.StatusOK}},
+		})
+	}
+	h.writeMultistatus(w, ms)
+}
+
+// guardVersionStore rejects client mutations inside the version tree.
+// Reads (GET/HEAD/PROPFIND) are allowed so old versions stay
+// retrievable.
+func guardVersionStore(method, p string) error {
+	if visible(p) {
+		return nil
+	}
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodOptions, "PROPFIND":
+		return nil
+	default:
+		return fmt.Errorf("the version store is read-only")
+	}
+}
+
+// filterVersionStore removes version-store entries from listings of
+// the live tree.
+func filterVersionStore(infos []store.ResourceInfo) []store.ResourceInfo {
+	out := infos[:0]
+	for _, ri := range infos {
+		if visible(ri.Path) {
+			out = append(out, ri)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package davserver
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/davproto"
+)
+
+const versionTreeBody = `<D:version-tree xmlns:D="DAV:"/>`
+
+// versionHrefs runs a version-tree REPORT and returns the hrefs.
+func versionHrefs(t *testing.T, url, p string) []string {
+	t.Helper()
+	resp := do(t, "REPORT", url+p, nil, versionTreeBody)
+	wantStatus(t, resp, 207)
+	ms := parseMS(t, resp)
+	var hrefs []string
+	for _, r := range ms.Responses {
+		hrefs = append(hrefs, r.Href)
+	}
+	return hrefs
+}
+
+func TestVersionControlAndHistory(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	do(t, "PUT", srv.URL+"/paper.txt", nil, "draft one")
+	wantStatus(t, do(t, "VERSION-CONTROL", srv.URL+"/paper.txt", nil, ""), 200)
+
+	// Two more writes create versions 2 and 3.
+	wantStatus(t, do(t, "PUT", srv.URL+"/paper.txt", nil, "draft two"), 204)
+	wantStatus(t, do(t, "PUT", srv.URL+"/paper.txt", nil, "draft three, final"), 204)
+
+	hrefs := versionHrefs(t, srv.URL, "/paper.txt")
+	if len(hrefs) != 3 {
+		t.Fatalf("versions = %v", hrefs)
+	}
+	// Every old state is retrievable with a plain GET.
+	wantBodies := []string{"draft one", "draft two", "draft three, final"}
+	for i, href := range hrefs {
+		resp := do(t, "GET", srv.URL+href, nil, "")
+		wantStatus(t, resp, 200)
+		b, _ := io.ReadAll(resp.Body)
+		if string(b) != wantBodies[i] {
+			t.Fatalf("version %d body = %q, want %q", i+1, b, wantBodies[i])
+		}
+	}
+	// The live resource holds the newest state.
+	resp := do(t, "GET", srv.URL+"/paper.txt", nil, "")
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "draft three, final" {
+		t.Fatalf("live body = %q", b)
+	}
+}
+
+func TestVersionControlIdempotent(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	do(t, "PUT", srv.URL+"/v.txt", nil, "x")
+	wantStatus(t, do(t, "VERSION-CONTROL", srv.URL+"/v.txt", nil, ""), 200)
+	wantStatus(t, do(t, "VERSION-CONTROL", srv.URL+"/v.txt", nil, ""), 200)
+	if got := versionHrefs(t, srv.URL, "/v.txt"); len(got) != 1 {
+		t.Fatalf("versions after double VERSION-CONTROL = %v", got)
+	}
+}
+
+func TestVersioningErrors(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	// VERSION-CONTROL on a missing resource.
+	wantStatus(t, do(t, "VERSION-CONTROL", srv.URL+"/nope", nil, ""), 404)
+	// ... on a collection.
+	do(t, "MKCOL", srv.URL+"/col", nil, "")
+	wantStatus(t, do(t, "VERSION-CONTROL", srv.URL+"/col", nil, ""), 405)
+	// REPORT on an uncontrolled resource.
+	do(t, "PUT", srv.URL+"/plain.txt", nil, "x")
+	wantStatus(t, do(t, "REPORT", srv.URL+"/plain.txt", nil, versionTreeBody), 409)
+	// Unsupported report type.
+	do(t, "VERSION-CONTROL", srv.URL+"/plain.txt", nil, "")
+	wantStatus(t, do(t, "REPORT", srv.URL+"/plain.txt", nil,
+		`<D:expand-property xmlns:D="DAV:"/>`), 403)
+	// Garbage body.
+	wantStatus(t, do(t, "REPORT", srv.URL+"/plain.txt", nil, "not xml"), 400)
+}
+
+func TestVersionStoreIsReadOnly(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	do(t, "PUT", srv.URL+"/doc", nil, "v1")
+	do(t, "VERSION-CONTROL", srv.URL+"/doc", nil, "")
+	hrefs := versionHrefs(t, srv.URL, "/doc")
+	vh := hrefs[0]
+	// Reads allowed.
+	wantStatus(t, do(t, "GET", srv.URL+vh, nil, ""), 200)
+	wantStatus(t, do(t, "PROPFIND", srv.URL+vh, map[string]string{"Depth": "0"}, ""), 207)
+	// Writes rejected.
+	wantStatus(t, do(t, "PUT", srv.URL+vh, nil, "tamper"), 403)
+	wantStatus(t, do(t, "DELETE", srv.URL+vh, nil, ""), 403)
+	wantStatus(t, do(t, "PROPPATCH", srv.URL+vh, nil,
+		proppatchBody(map[string]string{"k": "v"})), 403)
+	wantStatus(t, do(t, "MKCOL", srv.URL+"/.davversions/evil", nil, ""), 403)
+	wantStatus(t, do(t, "COPY", srv.URL+"/doc",
+		map[string]string{"Destination": srv.URL + vh}, ""), 403)
+}
+
+func TestVersionStoreHiddenFromLiveTree(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	do(t, "PUT", srv.URL+"/doc", nil, "v1")
+	do(t, "VERSION-CONTROL", srv.URL+"/doc", nil, "")
+	do(t, "PUT", srv.URL+"/doc", nil, "v2")
+
+	// Depth-1 PROPFIND of the root shows /doc but not /.davversions.
+	resp := do(t, "PROPFIND", srv.URL+"/", map[string]string{"Depth": "1"}, "")
+	ms := parseMS(t, resp)
+	for _, r := range ms.Responses {
+		if strings.Contains(r.Href, ".davversions") {
+			t.Fatalf("version store leaked into PROPFIND: %s", r.Href)
+		}
+	}
+	// Depth-infinity likewise.
+	resp = do(t, "PROPFIND", srv.URL+"/", map[string]string{"Depth": "infinity"}, "")
+	ms = parseMS(t, resp)
+	for _, r := range ms.Responses {
+		if strings.Contains(r.Href, ".davversions") {
+			t.Fatalf("version store leaked into deep PROPFIND: %s", r.Href)
+		}
+	}
+	// HTML index likewise.
+	resp = do(t, "GET", srv.URL+"/", nil, "")
+	b, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(b), ".davversions") {
+		t.Fatalf("version store leaked into index:\n%s", b)
+	}
+	// SEARCH over the live tree likewise.
+	bs := davproto.BasicSearch{Scope: "/", Depth: davproto.DepthInfinity}
+	resp = do(t, "SEARCH", srv.URL+"/", nil, string(davproto.MarshalSearch(bs)))
+	ms = parseMS(t, resp)
+	for _, r := range ms.Responses {
+		if strings.Contains(r.Href, ".davversions") {
+			t.Fatalf("version store leaked into SEARCH: %s", r.Href)
+		}
+	}
+	// But an explicit PROPFIND inside the version store still works
+	// (reads allowed).
+	resp = do(t, "PROPFIND", srv.URL+"/.davversions", map[string]string{"Depth": "infinity"}, "")
+	ms = parseMS(t, resp)
+	if len(ms.Responses) < 2 {
+		t.Fatalf("explicit version-store PROPFIND = %d responses", len(ms.Responses))
+	}
+}
+
+func TestVersionSnapshotsCaptureProperties(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	do(t, "PUT", srv.URL+"/m", nil, "geom v1")
+	do(t, "PROPPATCH", srv.URL+"/m", nil, proppatchBody(map[string]string{"formula": "H2O"}))
+	do(t, "VERSION-CONTROL", srv.URL+"/m", nil, "")
+	// Change body and metadata.
+	do(t, "PUT", srv.URL+"/m", nil, "geom v2")
+	do(t, "PROPPATCH", srv.URL+"/m", nil, proppatchBody(map[string]string{"formula": "D2O"}))
+
+	hrefs := versionHrefs(t, srv.URL, "/m")
+	if len(hrefs) != 2 {
+		t.Fatalf("versions = %v", hrefs)
+	}
+	// Version 1 carries the original property value.
+	resp := do(t, "PROPFIND", srv.URL+hrefs[0], map[string]string{"Depth": "0"},
+		propfindBody("formula"))
+	ms := parseMS(t, resp)
+	props := davproto.PropsByName(ms.Responses[0].Propstats)
+	if p, ok := props[eccFormula()]; !ok || p.Text() != "H2O" {
+		t.Fatalf("v1 formula = %+v ok=%v", p, ok)
+	}
+	// Bookkeeping props are not copied into snapshots.
+	resp = do(t, "PROPFIND", srv.URL+hrefs[0], map[string]string{"Depth": "0"}, "")
+	ms = parseMS(t, resp)
+	for name := range davproto.PropsByName(ms.Responses[0].Propstats) {
+		if name.Space == vcNS {
+			t.Fatalf("bookkeeping prop %v leaked into snapshot", name)
+		}
+	}
+}
+
+func eccFormula() xml.Name {
+	return xml.Name{Space: "ecce:", Local: "formula"}
+}
+
+func TestVersioningBookkeepingProtected(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	do(t, "PUT", srv.URL+"/d", nil, "x")
+	ops := []davproto.PatchOp{{Prop: davproto.NewTextProperty(vcNS, "version-controlled", "1")}}
+	resp := do(t, "PROPPATCH", srv.URL+"/d", nil, string(davproto.MarshalProppatch(ops)))
+	wantStatus(t, resp, 207)
+	ms := parseMS(t, resp)
+	if ms.Responses[0].Propstats[0].Status != 409 {
+		t.Fatalf("bookkeeping prop write = %d, want 409", ms.Responses[0].Propstats[0].Status)
+	}
+}
+
+func TestReportVersionNamesAndSizes(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	do(t, "PUT", srv.URL+"/r", nil, "1")
+	do(t, "VERSION-CONTROL", srv.URL+"/r", nil, "")
+	do(t, "PUT", srv.URL+"/r", nil, "22")
+	resp := do(t, "REPORT", srv.URL+"/r", nil, versionTreeBody)
+	ms := parseMS(t, resp)
+	if len(ms.Responses) != 2 {
+		t.Fatalf("responses = %d", len(ms.Responses))
+	}
+	for i, r := range ms.Responses {
+		props := davproto.PropsByName(r.Propstats)
+		vn, ok := props[davproto.PropGetContentLength]
+		if !ok {
+			t.Fatalf("version %d missing getcontentlength", i+1)
+		}
+		if wantLen := []string{"1", "2"}[i]; vn.Text() != wantLen {
+			t.Fatalf("version %d length = %s, want %s", i+1, vn.Text(), wantLen)
+		}
+		name, ok := props[xml.Name{Space: "DAV:", Local: "version-name"}]
+		if !ok || name.Text() != []string{"1", "2"}[i] {
+			t.Fatalf("version %d name = %+v", i+1, name)
+		}
+	}
+}

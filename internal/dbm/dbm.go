@@ -1,0 +1,616 @@
+// Package dbm implements a small on-disk hash-table database in the
+// style of the classic SDBM and GDBM libraries that Apache mod_dav used
+// for WebDAV dead-property storage.
+//
+// The design mirrors the two properties of those libraries that the
+// HPDC 2001 Ecce paper measures:
+//
+//   - each database preallocates a minimum file size (8 KB for the SDBM
+//     flavour, 25 KB for GDBM), so a store holding many small databases
+//     pays a fixed per-resource disk overhead; and
+//   - deleting or replacing a value only tombstones the old record —
+//     dead space is reclaimed exclusively by an explicit Compact call
+//     ("manual garbage collection utilities" in the paper).
+//
+// The SDBM flavour additionally enforces the historical 1 KB limit on
+// an individual value; GDBM imposes no limit.
+//
+// On-disk layout:
+//
+//	header   : magic "GODBM1\n\x00", flavour byte, 3 pad bytes,
+//	           bucketCount uint32, liveBytes uint64, deadBytes uint64
+//	buckets  : bucketCount × uint64 — file offset of newest record in
+//	           the bucket's chain (0 = empty)
+//	records  : appended sequentially; each record is
+//	           prev uint64 (older record in same bucket, 0 = none)
+//	           flags byte (bit 0: tombstone)
+//	           keyLen uint32, valLen uint32, key, value
+//
+// Lookups hash the key to a bucket and walk the chain newest-first, so
+// an overwritten value is shadowed by its replacement. Put appends a
+// record and repoints the bucket head; Delete tombstones in place.
+package dbm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Flavour selects the emulated DBM variant.
+type Flavour byte
+
+const (
+	// GDBM: unlimited values, 25 KB initial file size, 512 buckets.
+	// It is the zero value because it is the paper's primary
+	// configuration and imposes no value-size limit.
+	GDBM Flavour = iota
+	// SDBM: 1 KB value limit, 8 KB initial file size, 128 buckets.
+	SDBM
+)
+
+// String returns the conventional library name for the flavour.
+func (f Flavour) String() string {
+	switch f {
+	case SDBM:
+		return "SDBM"
+	case GDBM:
+		return "GDBM"
+	default:
+		return fmt.Sprintf("Flavour(%d)", byte(f))
+	}
+}
+
+// params returns the tuning constants for the flavour.
+func (f Flavour) params() (maxValue int, initialSize int64, buckets uint32) {
+	switch f {
+	case SDBM:
+		return 1024, 8 * 1024, 128
+	default:
+		return 0, 25 * 1024, 512
+	}
+}
+
+const (
+	magic      = "GODBM1\n\x00"
+	headerSize = int64(len(magic)) + 1 + 3 + 4 + 8 + 8
+	recHdrSize = 8 + 1 + 4 + 4
+
+	flagDeleted = 0x01
+)
+
+// Errors reported by the package.
+var (
+	// ErrValueTooLarge is returned by Put when the value exceeds the
+	// flavour's per-value limit (SDBM: 1 KB).
+	ErrValueTooLarge = errors.New("dbm: value exceeds flavour limit")
+	// ErrClosed is returned by operations on a closed database.
+	ErrClosed = errors.New("dbm: database is closed")
+	// ErrCorrupt is returned when the file fails validation.
+	ErrCorrupt = errors.New("dbm: corrupt database file")
+)
+
+// Stats describes the storage accounting of a database.
+type Stats struct {
+	Keys      int   // live key count
+	LiveBytes int64 // bytes held by live records (incl. headers)
+	DeadBytes int64 // bytes held by tombstoned/shadowed records
+	FileSize  int64 // size of the backing file
+}
+
+// DB is an open database. It is safe for concurrent use.
+type DB struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	flavour Flavour
+
+	buckets []int64 // in-memory copy of the bucket table
+	nkeys   int
+	live    int64
+	dead    int64
+	end     int64 // append offset
+	closed  bool
+
+	maxValue    int
+	initialSize int64
+}
+
+// Open opens or creates the database at path with the given flavour.
+// Opening an existing database with a different flavour than it was
+// created with is an error.
+func Open(path string, flavour Flavour) (*DB, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{f: f, path: path, flavour: flavour}
+	db.maxValue, db.initialSize, _ = flavour.params()
+
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		if err := db.initialize(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return db, nil
+	}
+	if err := db.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// initialize writes a fresh header and bucket table and preallocates
+// the flavour's minimum file size.
+func (db *DB) initialize() error {
+	_, _, nb := db.flavour.params()
+	db.buckets = make([]int64, nb)
+	db.end = headerSize + int64(nb)*8
+	if err := db.writeHeader(); err != nil {
+		return err
+	}
+	zero := make([]byte, int64(nb)*8)
+	if _, err := db.f.WriteAt(zero, headerSize); err != nil {
+		return err
+	}
+	if db.end < db.initialSize {
+		if err := db.f.Truncate(db.initialSize); err != nil {
+			return err
+		}
+	}
+	return db.f.Sync()
+}
+
+// load reads the header and bucket table and computes the append
+// offset by scanning the record area.
+func (db *DB) load() error {
+	hdr := make([]byte, headerSize)
+	if _, err := db.f.ReadAt(hdr, 0); err != nil {
+		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if Flavour(hdr[len(magic)]) != db.flavour {
+		return fmt.Errorf("dbm: %s opened as %s but created as %s",
+			db.path, db.flavour, Flavour(hdr[len(magic)]))
+	}
+	off := len(magic) + 4
+	nb := binary.LittleEndian.Uint32(hdr[off:])
+	db.live = int64(binary.LittleEndian.Uint64(hdr[off+4:]))
+	db.dead = int64(binary.LittleEndian.Uint64(hdr[off+12:]))
+	if nb == 0 || nb > 1<<20 {
+		return fmt.Errorf("%w: implausible bucket count %d", ErrCorrupt, nb)
+	}
+	db.buckets = make([]int64, nb)
+	tbl := make([]byte, int64(nb)*8)
+	if _, err := db.f.ReadAt(tbl, headerSize); err != nil {
+		return fmt.Errorf("%w: short bucket table: %v", ErrCorrupt, err)
+	}
+	for i := range db.buckets {
+		db.buckets[i] = int64(binary.LittleEndian.Uint64(tbl[i*8:]))
+	}
+	// Recover the append offset and key count by walking every chain.
+	db.end = headerSize + int64(nb)*8
+	db.nkeys = 0
+	for _, head := range db.buckets {
+		seen := map[string]bool{}
+		for at := head; at != 0; {
+			rec, err := db.readRecord(at)
+			if err != nil {
+				return err
+			}
+			if rend := at + recHdrSize + int64(len(rec.key)) + int64(rec.valLen); rend > db.end {
+				db.end = rend
+			}
+			// Only the newest record per key determines liveness;
+			// older shadowed versions are dead space.
+			if !seen[string(rec.key)] {
+				seen[string(rec.key)] = true
+				if rec.flags&flagDeleted == 0 {
+					db.nkeys++
+				}
+			}
+			at = rec.prev
+		}
+	}
+	return nil
+}
+
+func (db *DB) writeHeader() error {
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic)
+	hdr[len(magic)] = byte(db.flavour)
+	off := len(magic) + 4
+	binary.LittleEndian.PutUint32(hdr[off:], uint32(len(db.buckets)))
+	binary.LittleEndian.PutUint64(hdr[off+4:], uint64(db.live))
+	binary.LittleEndian.PutUint64(hdr[off+12:], uint64(db.dead))
+	_, err := db.f.WriteAt(hdr, 0)
+	return err
+}
+
+// fnv1a hashes a key to a bucket index.
+func (db *DB) bucketOf(key []byte) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(len(db.buckets)))
+}
+
+type record struct {
+	prev   int64
+	flags  byte
+	valLen uint32
+	key    []byte
+}
+
+// readRecord reads the header and key (not the value) at offset at.
+func (db *DB) readRecord(at int64) (record, error) {
+	hdr := make([]byte, recHdrSize)
+	if _, err := db.f.ReadAt(hdr, at); err != nil {
+		return record{}, fmt.Errorf("%w: record header at %d: %v", ErrCorrupt, at, err)
+	}
+	var r record
+	r.prev = int64(binary.LittleEndian.Uint64(hdr))
+	r.flags = hdr[8]
+	keyLen := binary.LittleEndian.Uint32(hdr[9:])
+	r.valLen = binary.LittleEndian.Uint32(hdr[13:])
+	if keyLen > 1<<24 || r.valLen > 1<<31 {
+		return record{}, fmt.Errorf("%w: implausible lengths at %d", ErrCorrupt, at)
+	}
+	r.key = make([]byte, keyLen)
+	if _, err := db.f.ReadAt(r.key, at+recHdrSize); err != nil {
+		return record{}, fmt.Errorf("%w: record key at %d: %v", ErrCorrupt, at, err)
+	}
+	return r, nil
+}
+
+// findLocked returns the offset and record of the newest live record
+// for key, or 0 if absent. Caller holds db.mu.
+func (db *DB) findLocked(key []byte) (int64, record, error) {
+	for at := db.buckets[db.bucketOf(key)]; at != 0; {
+		rec, err := db.readRecord(at)
+		if err != nil {
+			return 0, record{}, err
+		}
+		if string(rec.key) == string(key) {
+			if rec.flags&flagDeleted != 0 {
+				return 0, record{}, nil // tombstone shadows older versions
+			}
+			return at, rec, nil
+		}
+		at = rec.prev
+	}
+	return 0, record{}, nil
+}
+
+// Get returns the value stored for key, and whether it was present.
+// The returned slice is a fresh copy owned by the caller.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	at, rec, err := db.findLocked(key)
+	if err != nil || at == 0 {
+		return nil, false, err
+	}
+	val := make([]byte, rec.valLen)
+	if _, err := db.f.ReadAt(val, at+recHdrSize+int64(len(rec.key))); err != nil {
+		return nil, false, fmt.Errorf("%w: record value: %v", ErrCorrupt, err)
+	}
+	return val, true, nil
+}
+
+// Has reports whether key is present.
+func (db *DB) Has(key []byte) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false, ErrClosed
+	}
+	at, _, err := db.findLocked(key)
+	return at != 0, err
+}
+
+// Put stores value under key, replacing any existing value. The old
+// record, if any, becomes dead space until Compact is called.
+func (db *DB) Put(key, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if len(key) == 0 {
+		return errors.New("dbm: empty key")
+	}
+	if db.maxValue > 0 && len(value) > db.maxValue {
+		return fmt.Errorf("%w: %d > %d (%s)", ErrValueTooLarge, len(value), db.maxValue, db.flavour)
+	}
+	// Shadow any existing record: chains are walked newest-first, so
+	// simply appending a new head suffices, but we must move the old
+	// record's bytes from the live to the dead account.
+	oldAt, oldRec, err := db.findLocked(key)
+	if err != nil {
+		return err
+	}
+	b := db.bucketOf(key)
+	rec := make([]byte, recHdrSize+len(key)+len(value))
+	binary.LittleEndian.PutUint64(rec, uint64(db.buckets[b]))
+	rec[8] = 0
+	binary.LittleEndian.PutUint32(rec[9:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[13:], uint32(len(value)))
+	copy(rec[recHdrSize:], key)
+	copy(rec[recHdrSize+len(key):], value)
+	at := db.end
+	if _, err := db.f.WriteAt(rec, at); err != nil {
+		return err
+	}
+	db.end = at + int64(len(rec))
+	if err := db.setBucketHead(b, at); err != nil {
+		return err
+	}
+	db.live += int64(len(rec))
+	if oldAt != 0 {
+		sz := recHdrSize + int64(len(oldRec.key)) + int64(oldRec.valLen)
+		db.live -= sz
+		db.dead += sz
+	} else {
+		db.nkeys++
+	}
+	return nil
+}
+
+// setBucketHead updates a bucket head both in memory and on disk.
+func (db *DB) setBucketHead(b int, at int64) error {
+	db.buckets[b] = at
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(at))
+	_, err := db.f.WriteAt(buf[:], headerSize+int64(b)*8)
+	return err
+}
+
+// Delete removes key, reporting whether it was present. The record is
+// tombstoned in place; its space is reclaimed only by Compact.
+func (db *DB) Delete(key []byte) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false, ErrClosed
+	}
+	at, rec, err := db.findLocked(key)
+	if err != nil || at == 0 {
+		return false, err
+	}
+	if _, err := db.f.WriteAt([]byte{rec.flags | flagDeleted}, at+8); err != nil {
+		return false, err
+	}
+	sz := recHdrSize + int64(len(rec.key)) + int64(rec.valLen)
+	db.live -= sz
+	db.dead += sz
+	db.nkeys--
+	return true, nil
+}
+
+// ForEach calls fn for every live key/value pair. Iteration order is
+// unspecified. If fn returns a non-nil error, iteration stops and the
+// error is returned. fn must not call back into the database.
+func (db *DB) ForEach(fn func(key, value []byte) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.forEachLocked(fn)
+}
+
+func (db *DB) forEachLocked(fn func(key, value []byte) error) error {
+	for _, head := range db.buckets {
+		seen := map[string]bool{}
+		for at := head; at != 0; {
+			rec, err := db.readRecord(at)
+			if err != nil {
+				return err
+			}
+			if !seen[string(rec.key)] {
+				seen[string(rec.key)] = true
+				if rec.flags&flagDeleted == 0 {
+					val := make([]byte, rec.valLen)
+					if _, err := db.f.ReadAt(val, at+recHdrSize+int64(len(rec.key))); err != nil {
+						return fmt.Errorf("%w: record value: %v", ErrCorrupt, err)
+					}
+					if err := fn(append([]byte(nil), rec.key...), val); err != nil {
+						return err
+					}
+				}
+			}
+			at = rec.prev
+		}
+	}
+	return nil
+}
+
+// Keys returns every live key. The order is unspecified.
+func (db *DB) Keys() ([]string, error) {
+	var keys []string
+	err := db.ForEach(func(k, _ []byte) error {
+		keys = append(keys, string(k))
+		return nil
+	})
+	return keys, err
+}
+
+// Len returns the number of live keys.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.nkeys
+}
+
+// Stats returns the storage accounting for the database.
+func (db *DB) Stats() (Stats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return Stats{}, ErrClosed
+	}
+	fi, err := db.f.Stat()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Keys: db.nkeys, LiveBytes: db.live, DeadBytes: db.dead, FileSize: fi.Size()}, nil
+}
+
+// Compact rewrites the database, dropping tombstones and shadowed
+// records — the manual garbage-collection step the paper describes for
+// SDBM/GDBM. The file shrinks to the live data (never below the
+// flavour's initial size).
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	tmpPath := db.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath)
+
+	ndb := &DB{f: tmp, path: tmpPath, flavour: db.flavour}
+	ndb.maxValue, ndb.initialSize, _ = db.flavour.params()
+	if err := ndb.initialize(); err != nil {
+		tmp.Close()
+		return err
+	}
+	err = db.forEachLocked(func(k, v []byte) error {
+		return ndb.putUnlocked(k, v)
+	})
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := ndb.writeHeader(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, db.path); err != nil {
+		return err
+	}
+	old := db.f
+	f, err := os.OpenFile(db.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	old.Close()
+	db.f = f
+	db.buckets = ndb.buckets
+	db.nkeys = ndb.nkeys
+	db.live = ndb.live
+	db.dead = 0
+	db.end = ndb.end
+	return nil
+}
+
+// putUnlocked is Put without locking, for use while building a fresh
+// database that no other goroutine can see.
+func (db *DB) putUnlocked(key, value []byte) error {
+	b := db.bucketOf(key)
+	rec := make([]byte, recHdrSize+len(key)+len(value))
+	binary.LittleEndian.PutUint64(rec, uint64(db.buckets[b]))
+	binary.LittleEndian.PutUint32(rec[9:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[13:], uint32(len(value)))
+	copy(rec[recHdrSize:], key)
+	copy(rec[recHdrSize+len(key):], value)
+	at := db.end
+	if _, err := db.f.WriteAt(rec, at); err != nil {
+		return err
+	}
+	db.end = at + int64(len(rec))
+	if err := db.setBucketHead(b, at); err != nil {
+		return err
+	}
+	db.live += int64(len(rec))
+	db.nkeys++
+	return nil
+}
+
+// Sync flushes the header accounting and file contents to stable
+// storage.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.writeHeader(); err != nil {
+		return err
+	}
+	return db.f.Sync()
+}
+
+// Close syncs and closes the database. Further operations return
+// ErrClosed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	err1 := db.writeHeader()
+	err2 := db.f.Sync()
+	err3 := db.f.Close()
+	if err1 != nil {
+		return err1
+	}
+	if err2 != nil {
+		return err2
+	}
+	return err3
+}
+
+// Path returns the backing file path.
+func (db *DB) Path() string { return db.path }
+
+// FlavourOf reads the flavour byte from an existing database file
+// without opening it fully.
+func FlavourOf(path string) (Flavour, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	return Flavour(hdr[len(magic)]), nil
+}

@@ -1,0 +1,152 @@
+package dbm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHasAndPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.db")
+	db, err := Open(path, GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Path() != path {
+		t.Fatalf("Path = %q", db.Path())
+	}
+	if ok, err := db.Has([]byte("k")); ok || err != nil {
+		t.Fatalf("Has missing = (%v, %v)", ok, err)
+	}
+	db.Put([]byte("k"), []byte("v"))
+	if ok, err := db.Has([]byte("k")); !ok || err != nil {
+		t.Fatalf("Has present = (%v, %v)", ok, err)
+	}
+	db.Delete([]byte("k"))
+	if ok, _ := db.Has([]byte("k")); ok {
+		t.Fatal("Has after delete")
+	}
+}
+
+func TestSyncPersistsAccounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.db")
+	db, err := Open(path, GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("a"), bytes.Repeat([]byte{'x'}, 500))
+	db.Put([]byte("a"), bytes.Repeat([]byte{'y'}, 500)) // shadow
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := db.Stats()
+	db.Close()
+	db2, err := Open(path, GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	after, _ := db2.Stats()
+	if after.LiveBytes != before.LiveBytes || after.DeadBytes != before.DeadBytes {
+		t.Fatalf("accounting drifted: %+v vs %+v", before, after)
+	}
+}
+
+func TestValueTooLargeErrorMentionsFlavour(t *testing.T) {
+	db := openTemp(t, SDBM)
+	err := db.Put([]byte("k"), make([]byte, 4096))
+	if !errors.Is(err, ErrValueTooLarge) || !strings.Contains(err.Error(), "SDBM") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFlavourStringUnknown(t *testing.T) {
+	if got := Flavour(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("String = %q", got)
+	}
+	if SDBM.String() != "SDBM" || GDBM.String() != "GDBM" {
+		t.Fatal("flavour names")
+	}
+}
+
+func TestCompactSDBMKeepsLimit(t *testing.T) {
+	// Compact on an SDBM database preserves the flavour (and its
+	// limits) across the rewrite.
+	path := filepath.Join(t.TempDir(), "c.db")
+	db, err := Open(path, SDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	db.Put([]byte("k"), []byte("v2"))
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("big"), make([]byte, 2048)); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("limit lost after Compact: %v", err)
+	}
+	fl, err := FlavourOf(path)
+	if err != nil || fl != SDBM {
+		t.Fatalf("FlavourOf after Compact = (%v, %v)", fl, err)
+	}
+}
+
+func TestTruncatedRecordDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.db")
+	db, err := Open(path, GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("key-one"), bytes.Repeat([]byte{'v'}, 512))
+	recordStart := headerSize + int64(len(db.buckets))*8
+	db.Close()
+	// Chop the file mid-record (inside the value area). The file is
+	// preallocated past the data, so cut at a computed offset.
+	cut := recordStart + recHdrSize + int64(len("key-one")) + 100
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	// Either open fails with corruption, or the damaged record is
+	// unreadable — never a silent wrong answer.
+	db2, err := Open(path, GDBM)
+	if err != nil {
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open error = %v, want ErrCorrupt", err)
+		}
+		return
+	}
+	defer db2.Close()
+	if v, ok, err := db2.Get([]byte("key-one")); err == nil && ok && len(v) == 512 {
+		t.Fatal("truncated record read back whole")
+	}
+}
+
+func TestManyKeysAcrossBuckets(t *testing.T) {
+	// Exceed the bucket count so chains definitely collide.
+	db := openTemp(t, SDBM) // 128 buckets
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Len() != n {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	for i := 0; i < n; i += 97 {
+		v, ok, err := db.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get %d = (%q, %v, %v)", i, v, ok, err)
+		}
+	}
+	keys, err := db.Keys()
+	if err != nil || len(keys) != n {
+		t.Fatalf("Keys = (%d, %v)", len(keys), err)
+	}
+}

@@ -1,0 +1,556 @@
+package dbm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, fl Flavour) *DB {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "test.db"), fl)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for _, fl := range []Flavour{SDBM, GDBM} {
+		t.Run(fl.String(), func(t *testing.T) {
+			db := openTemp(t, fl)
+			if err := db.Put([]byte("alpha"), []byte("one")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			v, ok, err := db.Get([]byte("alpha"))
+			if err != nil || !ok {
+				t.Fatalf("Get: ok=%v err=%v", ok, err)
+			}
+			if string(v) != "one" {
+				t.Fatalf("Get = %q, want %q", v, "one")
+			}
+		})
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	db := openTemp(t, GDBM)
+	v, ok, err := db.Get([]byte("nope"))
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if ok || v != nil {
+		t.Fatalf("Get missing = (%q, %v), want (nil, false)", v, ok)
+	}
+}
+
+func TestOverwriteShadowsOldValue(t *testing.T) {
+	db := openTemp(t, GDBM)
+	for i := 0; i < 5; i++ {
+		if err := db.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put #%d: %v", i, err)
+		}
+	}
+	v, ok, _ := db.Get([]byte("k"))
+	if !ok || string(v) != "v4" {
+		t.Fatalf("Get = (%q, %v), want (v4, true)", v, ok)
+	}
+	if n := db.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	st, _ := db.Stats()
+	if st.DeadBytes == 0 {
+		t.Fatal("overwrites should accumulate dead bytes until Compact")
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	db := openTemp(t, GDBM)
+	db.Put([]byte("k"), []byte("v"))
+	ok, err := db.Delete([]byte("k"))
+	if err != nil || !ok {
+		t.Fatalf("Delete: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := db.Get([]byte("k")); ok {
+		t.Fatal("Get after Delete should miss")
+	}
+	// Deleting again reports absence.
+	ok, err = db.Delete([]byte("k"))
+	if err != nil || ok {
+		t.Fatalf("second Delete: ok=%v err=%v, want false, nil", ok, err)
+	}
+	st, _ := db.Stats()
+	if st.DeadBytes == 0 {
+		t.Fatal("tombstone should count as dead bytes")
+	}
+	if st.Keys != 0 {
+		t.Fatalf("Keys = %d, want 0", st.Keys)
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	db := openTemp(t, GDBM)
+	db.Put([]byte("k"), []byte("old"))
+	db.Delete([]byte("k"))
+	if err := db.Put([]byte("k"), []byte("new")); err != nil {
+		t.Fatalf("Put after Delete: %v", err)
+	}
+	v, ok, _ := db.Get([]byte("k"))
+	if !ok || string(v) != "new" {
+		t.Fatalf("Get = (%q, %v), want (new, true)", v, ok)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+}
+
+func TestSDBMValueLimit(t *testing.T) {
+	db := openTemp(t, SDBM)
+	if err := db.Put([]byte("k"), make([]byte, 1024)); err != nil {
+		t.Fatalf("1024-byte value should fit in SDBM: %v", err)
+	}
+	err := db.Put([]byte("k2"), make([]byte, 1025))
+	if !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("Put 1025 bytes = %v, want ErrValueTooLarge", err)
+	}
+}
+
+func TestGDBMLargeValue(t *testing.T) {
+	db := openTemp(t, GDBM)
+	big := bytes.Repeat([]byte{0xAB}, 4<<20)
+	if err := db.Put([]byte("big"), big); err != nil {
+		t.Fatalf("Put 4 MB: %v", err)
+	}
+	v, ok, err := db.Get([]byte("big"))
+	if err != nil || !ok || !bytes.Equal(v, big) {
+		t.Fatalf("large value round trip failed: ok=%v err=%v len=%d", ok, err, len(v))
+	}
+}
+
+func TestInitialFileSizes(t *testing.T) {
+	cases := []struct {
+		fl   Flavour
+		want int64
+	}{{SDBM, 8 * 1024}, {GDBM, 25 * 1024}}
+	for _, c := range cases {
+		t.Run(c.fl.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "sz.db")
+			db, err := Open(path, c.fl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size() < c.want {
+				t.Fatalf("initial size = %d, want >= %d", fi.Size(), c.want)
+			}
+		})
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	db, err := Open(path, GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k, v := fmt.Sprintf("key-%03d", i), fmt.Sprintf("val-%03d", i)
+		want[k] = v
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite some, delete some.
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		want[k] = "updated"
+		db.Put([]byte(k), []byte("updated"))
+	}
+	for i := 150; i < 200; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		delete(want, k)
+		db.Delete([]byte(k))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, GDBM)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if db2.Len() != len(want) {
+		t.Fatalf("Len after reopen = %d, want %d", db2.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok, err := db2.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%q) = (%q, %v, %v), want %q", k, got, ok, err, v)
+		}
+	}
+}
+
+func TestFlavourMismatchOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fl.db")
+	db, err := Open(path, SDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("k"), []byte("v"))
+	db.Close()
+	if _, err := Open(path, GDBM); err == nil {
+		t.Fatal("opening SDBM file as GDBM should fail")
+	}
+	fl, err := FlavourOf(path)
+	if err != nil || fl != SDBM {
+		t.Fatalf("FlavourOf = (%v, %v), want (SDBM, nil)", fl, err)
+	}
+}
+
+func TestCompactReclaimsDeadSpace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gc.db")
+	db, err := Open(path, GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	val := bytes.Repeat([]byte{'x'}, 2048)
+	for i := 0; i < 100; i++ {
+		db.Put([]byte("churn"), val) // 99 shadowed copies
+	}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("dead-%d", i)
+		db.Put([]byte(k), val)
+		db.Delete([]byte(k))
+	}
+	db.Put([]byte("keep"), []byte("kept"))
+
+	before, _ := db.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatal("expected dead bytes before compaction")
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, _ := db.Stats()
+	if after.DeadBytes != 0 {
+		t.Fatalf("DeadBytes after Compact = %d, want 0", after.DeadBytes)
+	}
+	if after.FileSize >= before.FileSize {
+		t.Fatalf("FileSize did not shrink: %d -> %d", before.FileSize, after.FileSize)
+	}
+	// Contents survive.
+	v, ok, _ := db.Get([]byte("churn"))
+	if !ok || !bytes.Equal(v, val) {
+		t.Fatal("churn key lost by Compact")
+	}
+	v, ok, _ = db.Get([]byte("keep"))
+	if !ok || string(v) != "kept" {
+		t.Fatal("keep key lost by Compact")
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len())
+	}
+	// And survive a reopen (Compact rewrote the file).
+	db.Close()
+	db2, err := Open(path, GDBM)
+	if err != nil {
+		t.Fatalf("reopen after Compact: %v", err)
+	}
+	defer db2.Close()
+	if db2.Len() != 2 {
+		t.Fatalf("Len after reopen = %d, want 2", db2.Len())
+	}
+}
+
+func TestForEachVisitsLiveOnce(t *testing.T) {
+	db := openTemp(t, GDBM)
+	for i := 0; i < 30; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	db.Put([]byte("k0"), []byte("v2")) // shadowed older version must not be revisited
+	db.Delete([]byte("k1"))
+	seen := map[string]int{}
+	err := db.ForEach(func(k, v []byte) error {
+		seen[string(k)]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 29 {
+		t.Fatalf("visited %d keys, want 29", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %q visited %d times", k, n)
+		}
+	}
+	if seen["k1"] != 0 {
+		t.Fatal("deleted key visited")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	db := openTemp(t, GDBM)
+	for i := 0; i < 10; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	sentinel := errors.New("stop")
+	n := 0
+	err := db.ForEach(func(k, v []byte) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("ForEach err = %v, want sentinel", err)
+	}
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	db := openTemp(t, GDBM)
+	if err := db.Put(nil, []byte("v")); err == nil {
+		t.Fatal("empty key should be rejected")
+	}
+}
+
+func TestClosedOperations(t *testing.T) {
+	db := openTemp(t, GDBM)
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := db.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+	if _, err := db.Delete([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after Close = %v, want ErrClosed", err)
+	}
+	if err := db.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCorruptFileDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.db")
+	if err := os.WriteFile(path, []byte("this is not a dbm file at all, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, GDBM); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open corrupt = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBinaryKeysAndValues(t *testing.T) {
+	db := openTemp(t, GDBM)
+	key := []byte{0, 1, 2, 0xFF, 0, 'k'}
+	val := []byte{0xDE, 0xAD, 0, 0xBE, 0xEF}
+	if err := db.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := db.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("binary round trip failed: %v %v %x", ok, err, got)
+	}
+}
+
+// TestQuickMapEquivalence drives the database with a random operation
+// sequence and checks it agrees with a plain map at every step.
+func TestQuickMapEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := openTemp(t, GDBM)
+		ref := map[string]string{}
+		keys := []string{"a", "b", "c", "dd", "ee", "ff", "longer-key-name", "k8"}
+		for i := 0; i < 300; i++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0: // put
+				v := fmt.Sprintf("v%d", rng.Intn(1000))
+				if err := db.Put([]byte(k), []byte(v)); err != nil {
+					t.Logf("Put: %v", err)
+					return false
+				}
+				ref[k] = v
+			case 1: // delete
+				ok, err := db.Delete([]byte(k))
+				if err != nil {
+					t.Logf("Delete: %v", err)
+					return false
+				}
+				if _, exists := ref[k]; exists != ok {
+					t.Logf("Delete(%q) ok=%v, ref says %v", k, ok, exists)
+					return false
+				}
+				delete(ref, k)
+			case 2: // get
+				v, ok, err := db.Get([]byte(k))
+				if err != nil {
+					t.Logf("Get: %v", err)
+					return false
+				}
+				want, exists := ref[k]
+				if ok != exists || (ok && string(v) != want) {
+					t.Logf("Get(%q) = (%q,%v), ref (%q,%v)", k, v, ok, want, exists)
+					return false
+				}
+			}
+		}
+		if db.Len() != len(ref) {
+			t.Logf("Len=%d ref=%d", db.Len(), len(ref))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRoundTripAfterCompactAndReopen: for any set of key/value
+// pairs, Put-all → Compact → reopen → Get-all is the identity.
+func TestQuickRoundTripAfterCompactAndReopen(t *testing.T) {
+	check := func(pairs map[string]string) bool {
+		path := filepath.Join(t.TempDir(), "q.db")
+		db, err := Open(path, GDBM)
+		if err != nil {
+			t.Logf("Open: %v", err)
+			return false
+		}
+		n := 0
+		for k, v := range pairs {
+			if k == "" {
+				continue
+			}
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Logf("Put: %v", err)
+				return false
+			}
+			n++
+		}
+		if err := db.Compact(); err != nil {
+			t.Logf("Compact: %v", err)
+			return false
+		}
+		if err := db.Close(); err != nil {
+			t.Logf("Close: %v", err)
+			return false
+		}
+		db2, err := Open(path, GDBM)
+		if err != nil {
+			t.Logf("reopen: %v", err)
+			return false
+		}
+		defer db2.Close()
+		if db2.Len() != n {
+			t.Logf("Len=%d want %d", db2.Len(), n)
+			return false
+		}
+		for k, v := range pairs {
+			if k == "" {
+				continue
+			}
+			got, ok, err := db2.Get([]byte(k))
+			if err != nil || !ok || string(got) != v {
+				t.Logf("Get(%q)=(%q,%v,%v) want %q", k, got, ok, err, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := openTemp(t, GDBM)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var err error
+			for i := 0; i < 50 && err == nil; i++ {
+				k := []byte(fmt.Sprintf("g%d-k%d", g, i))
+				if err = db.Put(k, []byte("v")); err != nil {
+					break
+				}
+				_, _, err = db.Get(k)
+			}
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent worker: %v", err)
+		}
+	}
+	if db.Len() != 8*50 {
+		t.Fatalf("Len = %d, want %d", db.Len(), 8*50)
+	}
+}
+
+func BenchmarkPut1KB(b *testing.B) {
+	for _, fl := range []Flavour{SDBM, GDBM} {
+		b.Run(fl.String(), func(b *testing.B) {
+			db, err := Open(filepath.Join(b.TempDir(), "b.db"), fl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			val := bytes.Repeat([]byte{'x'}, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key-%d", i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGet1KB(b *testing.B) {
+	for _, fl := range []Flavour{SDBM, GDBM} {
+		b.Run(fl.String(), func(b *testing.B) {
+			db, err := Open(filepath.Join(b.TempDir(), "b.db"), fl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			val := bytes.Repeat([]byte{'x'}, 1024)
+			const n = 512
+			for i := 0; i < n; i++ {
+				db.Put([]byte(fmt.Sprintf("key-%d", i)), val)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := db.Get([]byte(fmt.Sprintf("key-%d", i%n))); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})
+	}
+}

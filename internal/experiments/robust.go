@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"repro/internal/bench"
+	"repro/internal/davproto"
+	"repro/internal/davserver"
+)
+
+// RobustOptions sizes the Section 3.2.1 robustness tests: "metadata
+// values as large as 100 MB and documents as large as 200 MB were
+// created repeatedly without problems".
+type RobustOptions struct {
+	// PropMB is the large-property size (paper: 100).
+	PropMB int
+	// DocMB is the large-document size (paper: 200).
+	DocMB int
+	// Repeats is how many times each large object is re-created
+	// ("created repeatedly").
+	Repeats int
+}
+
+// DefaultRobustOptions returns the paper's sizes.
+func DefaultRobustOptions() RobustOptions {
+	return RobustOptions{PropMB: 100, DocMB: 200, Repeats: 3}
+}
+
+// RobustRow is one robustness check.
+type RobustRow struct {
+	Label  string
+	Timing bench.Timing
+	OK     bool
+	Detail string
+}
+
+// RobustResult is the experiment outcome.
+type RobustResult struct {
+	Options RobustOptions
+	Rows    []RobustRow
+}
+
+// RunRobust exercises the large-object paths and the configurable
+// property cap.
+func RunRobust(opts RobustOptions) (RobustResult, error) {
+	if opts.PropMB == 0 {
+		opts = DefaultRobustOptions()
+	}
+	res := RobustResult{Options: opts}
+
+	// An uncapped server for the large-value tests (the paper ran its
+	// size probes before choosing the 10 MB production cap).
+	env, err := StartDAVEnv(DAVEnvOptions{Persistent: true, MaxPropBytes: -1})
+	if err != nil {
+		return res, err
+	}
+	defer env.Close()
+	c := env.Client
+	if err := c.Mkcol("/robust"); err != nil {
+		return res, err
+	}
+
+	// Large metadata values, created repeatedly.
+	propVal := bytes.Repeat([]byte{'P'}, opts.PropMB<<20)
+	timing, err := bench.Measure(func() error {
+		for i := 0; i < opts.Repeats; i++ {
+			prop := davproto.NewTextProperty("ecce:", "hugeprop", string(propVal))
+			if err := c.SetProps("/robust", prop); err != nil {
+				return err
+			}
+		}
+		// Read it back once.
+		got, ok, err := c.GetProp("/robust", davproto.NewTextProperty("ecce:", "hugeprop", "").Name())
+		if err != nil || !ok {
+			return fmt.Errorf("read-back failed: ok=%v err=%v", ok, err)
+		}
+		if len(got.Text()) != len(propVal) {
+			return fmt.Errorf("read-back length %d, want %d", len(got.Text()), len(propVal))
+		}
+		return nil
+	})
+	res.Rows = append(res.Rows, RobustRow{
+		Label:  fmt.Sprintf("%d MB metadata value x%d (paper: 100 MB)", opts.PropMB, opts.Repeats),
+		Timing: timing, OK: err == nil, Detail: errString(err),
+	})
+
+	// Large documents, created repeatedly.
+	docVal := bytes.Repeat([]byte{'D'}, opts.DocMB<<20)
+	timing, err = bench.Measure(func() error {
+		for i := 0; i < opts.Repeats; i++ {
+			if _, err := c.PutBytes("/robust/hugedoc", docVal, "application/octet-stream"); err != nil {
+				return err
+			}
+		}
+		got, err := c.Get("/robust/hugedoc")
+		if err != nil {
+			return err
+		}
+		if len(got) != len(docVal) {
+			return fmt.Errorf("read-back length %d, want %d", len(got), len(docVal))
+		}
+		return nil
+	})
+	res.Rows = append(res.Rows, RobustRow{
+		Label:  fmt.Sprintf("%d MB document x%d (paper: 200 MB)", opts.DocMB, opts.Repeats),
+		Timing: timing, OK: err == nil, Detail: errString(err),
+	})
+
+	// The production 10 MB property cap: oversized writes must be
+	// refused with 507 while smaller ones pass.
+	capEnv, err := StartDAVEnv(DAVEnvOptions{Persistent: true,
+		MaxPropBytes: davserver.DefaultMaxPropBytes})
+	if err != nil {
+		return res, err
+	}
+	defer capEnv.Close()
+	cc := capEnv.Client
+	if err := cc.Mkcol("/capped"); err != nil {
+		return res, err
+	}
+	timing, err = bench.Measure(func() error {
+		over := davproto.NewTextProperty("ecce:", "over", string(bytes.Repeat([]byte{'x'}, 11<<20)))
+		ms, err := cc.PropPatch("/capped", []davproto.PatchOp{{Prop: over}})
+		if err != nil {
+			return err
+		}
+		if st := ms.Responses[0].Propstats[0].Status; st != http.StatusInsufficientStorage {
+			return fmt.Errorf("11 MB property got %d, want 507", st)
+		}
+		under := davproto.NewTextProperty("ecce:", "under", string(bytes.Repeat([]byte{'x'}, 9<<20)))
+		return cc.SetProps("/capped", under)
+	})
+	res.Rows = append(res.Rows, RobustRow{
+		Label:  "10 MB property cap enforced (11 MB refused with 507, 9 MB accepted)",
+		Timing: timing, OK: err == nil, Detail: errString(err),
+	})
+
+	return res, nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}
+
+// Table renders the result.
+func (r RobustResult) Table() *bench.Table {
+	t := bench.NewTable("Robustness tests (Section 3.2.1)", "check", "elapsed", "result")
+	t.Note = "the paper reports 100 MB metadata and 200 MB documents created repeatedly without problems"
+	for _, row := range r.Rows {
+		t.AddRow(row.Label, bench.Seconds(row.Timing.Elapsed), row.Detail)
+	}
+	return t
+}
+
+// Passed reports whether every check succeeded.
+func (r RobustResult) Passed() bool {
+	for _, row := range r.Rows {
+		if !row.OK {
+			return false
+		}
+	}
+	return true
+}

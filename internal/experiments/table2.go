@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/ftp"
+)
+
+// Table2Options sizes the FTP-vs-HTTP transfer comparison. The paper
+// transfers 20 MB and 200 MB files from a local file to a server-side
+// file.
+type Table2Options struct {
+	// SizesMB lists transfer sizes in MiB (default {20, 200}; pass a
+	// scaled list for quick runs).
+	SizesMB []int
+}
+
+// DefaultTable2Options returns the paper's sizes.
+func DefaultTable2Options() Table2Options { return Table2Options{SizesMB: []int{20, 200}} }
+
+// Table2Row is one measured transfer.
+type Table2Row struct {
+	Protocol     string // "FTP" or "HTTP put"
+	SizeMB       int
+	Timing       bench.Timing
+	PaperSeconds float64 // negative = paper has no matching row
+}
+
+// Table2Result is the experiment outcome.
+type Table2Result struct {
+	Options Table2Options
+	Rows    []Table2Row
+}
+
+// paperTable2 holds the published numbers (Enterprise 450, local file
+// to local file over 150 Mbit/s).
+var paperTable2 = map[string]map[int]float64{
+	"FTP":      {20: 3.3, 200: 30},
+	"HTTP put": {20: 3.0, 200: 30},
+}
+
+// RunTable2 measures binary FTP STOR against DAV HTTP PUT for each
+// size, local file to server-side file, like the paper.
+func RunTable2(opts Table2Options) (Table2Result, error) {
+	if len(opts.SizesMB) == 0 {
+		opts = DefaultTable2Options()
+	}
+	res := Table2Result{Options: opts}
+
+	workDir, err := os.MkdirTemp("", "table2-src-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(workDir)
+
+	// FTP server.
+	ftpRoot, err := os.MkdirTemp("", "table2-ftp-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(ftpRoot)
+	ftpSrv := ftp.NewServer(ftpRoot)
+	ftpAddr, err := ftpSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer ftpSrv.Close()
+	ftpClient, err := ftp.Dial(ftpAddr)
+	if err != nil {
+		return res, err
+	}
+	defer ftpClient.Quit()
+	if err := ftpClient.Login("", ""); err != nil {
+		return res, err
+	}
+
+	// DAV server.
+	env, err := StartDAVEnv(DAVEnvOptions{Persistent: true})
+	if err != nil {
+		return res, err
+	}
+	defer env.Close()
+
+	for _, sizeMB := range opts.SizesMB {
+		srcPath := filepath.Join(workDir, fmt.Sprintf("payload-%dmb.bin", sizeMB))
+		if err := writeRandomFile(srcPath, int64(sizeMB)<<20); err != nil {
+			return res, err
+		}
+
+		// FTP local file → server file.
+		timing, err := bench.Measure(func() error {
+			f, err := os.Open(srcPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return ftpClient.Stor(fmt.Sprintf("/stor-%dmb.bin", sizeMB), f)
+		})
+		if err != nil {
+			return res, fmt.Errorf("table2 FTP %d MB: %w", sizeMB, err)
+		}
+		res.Rows = append(res.Rows, Table2Row{Protocol: "FTP", SizeMB: sizeMB,
+			Timing: timing, PaperSeconds: paperRef("FTP", sizeMB)})
+
+		// HTTP PUT local file → server file.
+		timing, err = bench.Measure(func() error {
+			f, err := os.Open(srcPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = env.Client.Put(fmt.Sprintf("/put-%dmb.bin", sizeMB), f, "application/octet-stream")
+			return err
+		})
+		if err != nil {
+			return res, fmt.Errorf("table2 PUT %d MB: %w", sizeMB, err)
+		}
+		res.Rows = append(res.Rows, Table2Row{Protocol: "HTTP put", SizeMB: sizeMB,
+			Timing: timing, PaperSeconds: paperRef("HTTP put", sizeMB)})
+
+		os.Remove(srcPath)
+	}
+	return res, nil
+}
+
+func paperRef(protocol string, sizeMB int) float64 {
+	if v, ok := paperTable2[protocol][sizeMB]; ok {
+		return v
+	}
+	return -1
+}
+
+// writeRandomFile fills path with size pseudo-random bytes (random so
+// no layer can cheat with compression or sparse files).
+func writeRandomFile(path string, size int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 1<<20)
+	if _, err := rand.Read(buf); err != nil {
+		return err
+	}
+	var written int64
+	for written < size {
+		n := int64(len(buf))
+		if size-written < n {
+			n = size - written
+		}
+		if _, err := f.Write(buf[:n]); err != nil {
+			return err
+		}
+		written += n
+	}
+	return f.Sync()
+}
+
+// Table renders the result with throughput and paper references.
+func (r Table2Result) Table() *bench.Table {
+	t := bench.NewTable(
+		"Table 2. Performance of binary FTP vs HTTP/put (local file to server file)",
+		"transfer", "elapsed", "MB/s", "paper")
+	t.Note = "paper: Sun Enterprise 450, 150 Mbit/s network (~18 MB/s ceiling); loopback here"
+	for _, row := range r.Rows {
+		mbps := float64(row.SizeMB) / row.Timing.Elapsed.Seconds()
+		paper := "n/a"
+		if row.PaperSeconds >= 0 {
+			paper = fmt.Sprintf("%.1f s", row.PaperSeconds)
+		}
+		t.AddRow(fmt.Sprintf("%s %d MB", row.Protocol, row.SizeMB),
+			bench.Seconds(row.Timing.Elapsed),
+			fmt.Sprintf("%.0f", mbps),
+			paper)
+	}
+	return t
+}

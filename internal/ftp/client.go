@@ -1,0 +1,223 @@
+package ftp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Client is a binary-mode, passive-only FTP client matching the server
+// subset.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	host string
+}
+
+// Dial connects to an FTP server and consumes the greeting.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn)}
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		host = "127.0.0.1"
+	}
+	c.host = host
+	if _, _, err := c.expect(220); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// cmd sends one command line and reads the reply.
+func (c *Client) cmd(format string, args ...any) (int, string, error) {
+	if _, err := fmt.Fprintf(c.conn, format+"\r\n", args...); err != nil {
+		return 0, "", err
+	}
+	return c.readReply()
+}
+
+func (c *Client) readReply() (int, string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if len(line) < 4 {
+		return 0, "", fmt.Errorf("ftp: short reply %q", line)
+	}
+	code, err := strconv.Atoi(line[:3])
+	if err != nil {
+		return 0, "", fmt.Errorf("ftp: bad reply %q", line)
+	}
+	return code, line[4:], nil
+}
+
+func (c *Client) expect(want int) (int, string, error) {
+	code, msg, err := c.readReply()
+	if err != nil {
+		return 0, "", err
+	}
+	if code != want {
+		return code, msg, fmt.Errorf("ftp: expected %d, got %d %s", want, code, msg)
+	}
+	return code, msg, nil
+}
+
+// Login authenticates; pass empty strings for servers without auth.
+func (c *Client) Login(user, pass string) error {
+	if user == "" {
+		user = "anonymous"
+	}
+	code, msg, err := c.cmd("USER %s", user)
+	if err != nil {
+		return err
+	}
+	if code == 331 {
+		code, msg, err = c.cmd("PASS %s", pass)
+		if err != nil {
+			return err
+		}
+	}
+	if code != 230 {
+		return fmt.Errorf("ftp: login failed: %d %s", code, msg)
+	}
+	// Binary mode, as in the paper's comparison.
+	if code, msg, err = c.cmd("TYPE I"); err != nil || code != 200 {
+		return fmt.Errorf("ftp: TYPE I failed: %d %s %v", code, msg, err)
+	}
+	return nil
+}
+
+// pasv opens a passive data connection.
+func (c *Client) pasv() (net.Conn, error) {
+	code, msg, err := c.cmd("PASV")
+	if err != nil {
+		return nil, err
+	}
+	if code != 227 {
+		return nil, fmt.Errorf("ftp: PASV failed: %d %s", code, msg)
+	}
+	open := strings.Index(msg, "(")
+	close := strings.Index(msg, ")")
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("ftp: bad PASV reply %q", msg)
+	}
+	parts := strings.Split(msg[open+1:close], ",")
+	if len(parts) != 6 {
+		return nil, fmt.Errorf("ftp: bad PASV reply %q", msg)
+	}
+	nums := make([]int, 6)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("ftp: bad PASV reply %q", msg)
+		}
+		nums[i] = n
+	}
+	addr := fmt.Sprintf("%d.%d.%d.%d:%d", nums[0], nums[1], nums[2], nums[3], nums[4]<<8|nums[5])
+	return net.Dial("tcp", addr)
+}
+
+// Stor uploads r to the remote path (binary mode).
+func (c *Client) Stor(remote string, r io.Reader) error {
+	data, err := c.pasv()
+	if err != nil {
+		return err
+	}
+	code, msg, err := c.cmd("STOR %s", remote)
+	if err != nil {
+		data.Close()
+		return err
+	}
+	if code != 150 {
+		data.Close()
+		return fmt.Errorf("ftp: STOR refused: %d %s", code, msg)
+	}
+	if _, err := io.Copy(data, r); err != nil {
+		data.Close()
+		return err
+	}
+	if err := data.Close(); err != nil {
+		return err
+	}
+	if _, _, err := c.expect(226); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Retr downloads the remote path into w, returning the byte count.
+func (c *Client) Retr(remote string, w io.Writer) (int64, error) {
+	data, err := c.pasv()
+	if err != nil {
+		return 0, err
+	}
+	code, msg, err := c.cmd("RETR %s", remote)
+	if err != nil {
+		data.Close()
+		return 0, err
+	}
+	if code != 150 {
+		data.Close()
+		return 0, fmt.Errorf("ftp: RETR refused: %d %s", code, msg)
+	}
+	n, err := io.Copy(w, data)
+	data.Close()
+	if err != nil {
+		return n, err
+	}
+	if _, _, err := c.expect(226); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Size returns the remote file's size.
+func (c *Client) Size(remote string) (int64, error) {
+	code, msg, err := c.cmd("SIZE %s", remote)
+	if err != nil {
+		return 0, err
+	}
+	if code != 213 {
+		return 0, fmt.Errorf("ftp: SIZE failed: %d %s", code, msg)
+	}
+	return strconv.ParseInt(strings.TrimSpace(msg), 10, 64)
+}
+
+// Delete removes a remote file.
+func (c *Client) Delete(remote string) error {
+	code, msg, err := c.cmd("DELE %s", remote)
+	if err != nil {
+		return err
+	}
+	if code != 250 {
+		return fmt.Errorf("ftp: DELE failed: %d %s", code, msg)
+	}
+	return nil
+}
+
+// Mkdir creates a remote directory.
+func (c *Client) Mkdir(remote string) error {
+	code, msg, err := c.cmd("MKD %s", remote)
+	if err != nil {
+		return err
+	}
+	if code != 257 {
+		return fmt.Errorf("ftp: MKD failed: %d %s", code, msg)
+	}
+	return nil
+}
+
+// Quit logs out and closes the control connection.
+func (c *Client) Quit() error {
+	c.cmd("QUIT")
+	return c.conn.Close()
+}

@@ -1,0 +1,252 @@
+package ftp
+
+import (
+	"bytes"
+	"crypto/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/auth"
+)
+
+// startServer returns a connected, logged-in client over a fresh root.
+func startServer(t *testing.T, users *auth.Users) (*Client, string) {
+	t.Helper()
+	root := t.TempDir()
+	srv := NewServer(root)
+	srv.Users = users
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Quit() })
+	return c, root
+}
+
+func TestStorRetrRoundTrip(t *testing.T) {
+	c, root := startServer(t, nil)
+	if err := c.Login("", ""); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<20)
+	rand.Read(payload)
+	if err := c.Stor("/data.bin", bytes.NewReader(payload)); err != nil {
+		t.Fatalf("Stor: %v", err)
+	}
+	// File landed on disk.
+	onDisk, err := os.ReadFile(filepath.Join(root, "data.bin"))
+	if err != nil || !bytes.Equal(onDisk, payload) {
+		t.Fatalf("disk contents mismatch: %d bytes, %v", len(onDisk), err)
+	}
+	// SIZE agrees.
+	sz, err := c.Size("/data.bin")
+	if err != nil || sz != int64(len(payload)) {
+		t.Fatalf("Size = (%d, %v)", sz, err)
+	}
+	// RETR returns identical bytes.
+	var buf bytes.Buffer
+	n, err := c.Retr("/data.bin", &buf)
+	if err != nil || n != int64(len(payload)) || !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatalf("Retr = (%d, %v)", n, err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	c, _ := startServer(t, nil)
+	c.Login("", "")
+	c.Stor("/f", bytes.NewReader([]byte("first version")))
+	c.Stor("/f", bytes.NewReader([]byte("second")))
+	var buf bytes.Buffer
+	c.Retr("/f", &buf)
+	if buf.String() != "second" {
+		t.Fatalf("overwritten contents = %q", buf.String())
+	}
+}
+
+func TestMkdirCwdAndRelativePaths(t *testing.T) {
+	c, root := startServer(t, nil)
+	c.Login("", "")
+	if err := c.Mkdir("/sub/deep"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stor("/sub/deep/f.bin", bytes.NewReader([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "sub", "deep", "f.bin")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c, _ := startServer(t, nil)
+	c.Login("", "")
+	c.Stor("/gone", bytes.NewReader([]byte("x")))
+	if err := c.Delete("/gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Size("/gone"); err == nil {
+		t.Fatal("deleted file still has a size")
+	}
+	if err := c.Delete("/gone"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	users := auth.NewUsers()
+	users.Set("eric", "pw")
+	c, _ := startServer(t, users)
+	// Wrong password.
+	if err := c.Login("eric", "wrong"); err == nil {
+		t.Fatal("bad login accepted")
+	}
+	// Commands refused before login.
+	if err := c.Stor("/x", bytes.NewReader([]byte("x"))); err == nil {
+		t.Fatal("STOR without login accepted")
+	}
+	if err := c.Login("eric", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stor("/x", bytes.NewReader([]byte("x"))); err != nil {
+		t.Fatalf("STOR after login: %v", err)
+	}
+}
+
+func TestPathEscapeRejected(t *testing.T) {
+	c, _ := startServer(t, nil)
+	c.Login("", "")
+	if err := c.Stor("/../../etc/evil", bytes.NewReader([]byte("x"))); err == nil {
+		t.Fatal("path escape accepted")
+	}
+	if _, err := c.Size("../secret"); err == nil {
+		t.Fatal("relative escape accepted")
+	}
+}
+
+func TestRetrMissingFile(t *testing.T) {
+	c, _ := startServer(t, nil)
+	c.Login("", "")
+	var buf bytes.Buffer
+	if _, err := c.Retr("/nope", &buf); err == nil {
+		t.Fatal("RETR of missing file succeeded")
+	}
+	// The control connection stays usable afterwards.
+	if err := c.Stor("/ok", bytes.NewReader([]byte("x"))); err != nil {
+		t.Fatalf("connection dead after failed RETR: %v", err)
+	}
+}
+
+func TestMultipleTransfersOneSession(t *testing.T) {
+	c, _ := startServer(t, nil)
+	c.Login("", "")
+	for i := 0; i < 5; i++ {
+		body := bytes.Repeat([]byte{byte('a' + i)}, 1000*(i+1))
+		name := string(rune('a'+i)) + ".bin"
+		if err := c.Stor("/"+name, bytes.NewReader(body)); err != nil {
+			t.Fatalf("Stor %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if _, err := c.Retr("/"+name, &buf); err != nil || !bytes.Equal(buf.Bytes(), body) {
+			t.Fatalf("Retr %d mismatch: %v", i, err)
+		}
+	}
+}
+
+func TestControlCommands(t *testing.T) {
+	c, _ := startServer(t, nil)
+	if err := c.Login("", ""); err != nil {
+		t.Fatal(err)
+	}
+	// SYST / NOOP / PWD keep the session healthy.
+	for _, cmdline := range []string{"SYST", "NOOP", "PWD"} {
+		code, _, err := c.cmd(cmdline)
+		if err != nil || code >= 400 {
+			t.Fatalf("%s = (%d, %v)", cmdline, code, err)
+		}
+	}
+	// TYPE A is accepted (treated as binary), junk types refused.
+	if code, _, _ := c.cmd("TYPE A"); code != 200 {
+		t.Fatalf("TYPE A = %d", code)
+	}
+	if code, _, _ := c.cmd("TYPE X"); code != 504 {
+		t.Fatalf("TYPE X = %d", code)
+	}
+	// Unknown command.
+	if code, _, _ := c.cmd("FROBNICATE"); code != 502 {
+		t.Fatalf("unknown command = %d", code)
+	}
+}
+
+func TestCwdAndRelativeTransfers(t *testing.T) {
+	c, root := startServer(t, nil)
+	c.Login("", "")
+	if err := c.Mkdir("/results"); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := c.cmd("CWD /results"); code != 250 {
+		t.Fatalf("CWD = %d", code)
+	}
+	if code, msg, _ := c.cmd("PWD"); code != 257 || !strings.Contains(msg, "/results") {
+		t.Fatalf("PWD = (%d, %q)", code, msg)
+	}
+	// A relative STOR lands inside the new working directory.
+	if err := c.Stor("rel.bin", bytes.NewReader([]byte("relative"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "results", "rel.bin")); err != nil {
+		t.Fatal(err)
+	}
+	// CWD to a missing directory fails and leaves the cwd unchanged.
+	if code, _, _ := c.cmd("CWD /nowhere"); code != 550 {
+		t.Fatalf("CWD missing = %d", code)
+	}
+	if code, msg, _ := c.cmd("PWD"); code != 257 || !strings.Contains(msg, "/results") {
+		t.Fatalf("PWD after failed CWD = (%d, %q)", code, msg)
+	}
+}
+
+func TestStorWithoutPasv(t *testing.T) {
+	c, _ := startServer(t, nil)
+	c.Login("", "")
+	// Bypass the client's automatic PASV to exercise the server check.
+	code, _, err := c.cmd("STOR /x")
+	if err != nil || code != 425 {
+		t.Fatalf("STOR without PASV = (%d, %v)", code, err)
+	}
+}
+
+func TestEPSV(t *testing.T) {
+	c, _ := startServer(t, nil)
+	c.Login("", "")
+	code, msg, err := c.cmd("EPSV")
+	if err != nil || code != 229 || !strings.Contains(msg, "|||") {
+		t.Fatalf("EPSV = (%d, %q, %v)", code, msg, err)
+	}
+}
+
+func TestServerCloseDropsSessions(t *testing.T) {
+	root := t.TempDir()
+	srv := NewServer(root)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Login("", "")
+	srv.Close()
+	// The control connection is dead now.
+	if _, _, err := c.cmd("NOOP"); err == nil {
+		t.Fatal("command succeeded after server close")
+	}
+	c.Quit()
+}

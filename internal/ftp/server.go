@@ -1,0 +1,342 @@
+// Package ftp implements the minimal binary-mode FTP subset (RFC 959)
+// that Table 2 of the paper uses as the baseline for HTTP PUT
+// performance: USER/PASS login, passive-mode data connections, STOR,
+// RETR and SIZE. Active (PORT) mode and ASCII translation are out of
+// scope — the paper's comparison is explicitly against a binary-mode
+// FTP client.
+package ftp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/auth"
+)
+
+// Server is a minimal FTP server rooted at a directory.
+type Server struct {
+	// Root is the directory served. All paths are confined to it.
+	Root string
+	// Users authenticates logins; nil accepts any user (including
+	// anonymous).
+	Users *auth.Users
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer returns a server rooted at dir.
+func NewServer(dir string) *Server {
+	return &Server{Root: dir, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0")
+// and returns the bound address. Serving happens on background
+// goroutines; call Close to stop.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the server and drops open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	return err
+}
+
+// session is one control-connection's state.
+type session struct {
+	srv      *Server
+	conn     net.Conn
+	r        *bufio.Reader
+	user     string
+	authed   bool
+	cwd      string // virtual path, "/"-rooted
+	dataList net.Listener
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sess := &session{srv: s, conn: conn, r: bufio.NewReader(conn), cwd: "/"}
+	defer sess.closeData()
+	sess.reply(220, "repro FTP service ready")
+	for {
+		line, err := sess.r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		cmd, arg, _ := strings.Cut(line, " ")
+		if quit := sess.dispatch(strings.ToUpper(cmd), arg); quit {
+			return
+		}
+	}
+}
+
+func (ss *session) reply(code int, msg string) {
+	fmt.Fprintf(ss.conn, "%d %s\r\n", code, msg)
+}
+
+func (ss *session) closeData() {
+	if ss.dataList != nil {
+		ss.dataList.Close()
+		ss.dataList = nil
+	}
+}
+
+// resolve maps a client path to a filesystem path under Root.
+func (ss *session) resolve(p string) (string, error) {
+	if !strings.HasPrefix(p, "/") {
+		p = path.Join(ss.cwd, p)
+	}
+	clean := path.Clean(p)
+	if strings.Contains(clean, "..") {
+		return "", errors.New("path escapes root")
+	}
+	return filepath.Join(ss.srv.Root, filepath.FromSlash(clean)), nil
+}
+
+// needAuth guards commands that require a completed login.
+func (ss *session) needAuth() bool {
+	if ss.authed {
+		return false
+	}
+	ss.reply(530, "please login with USER and PASS")
+	return true
+}
+
+func (ss *session) dispatch(cmd, arg string) (quit bool) {
+	switch cmd {
+	case "USER":
+		ss.user = arg
+		if ss.srv.Users == nil {
+			ss.authed = true
+			ss.reply(230, "login ok")
+		} else {
+			ss.reply(331, "password required")
+		}
+	case "PASS":
+		if ss.srv.Users == nil || ss.srv.Users.Check(ss.user, arg) {
+			ss.authed = true
+			ss.reply(230, "login ok")
+		} else {
+			ss.authed = false
+			ss.reply(530, "login incorrect")
+		}
+	case "SYST":
+		ss.reply(215, "UNIX Type: L8")
+	case "NOOP":
+		ss.reply(200, "ok")
+	case "TYPE":
+		switch strings.ToUpper(arg) {
+		case "I", "L 8":
+			ss.reply(200, "type set to I")
+		case "A":
+			ss.reply(200, "type set to A (treated as binary)")
+		default:
+			ss.reply(504, "unsupported type")
+		}
+	case "PWD":
+		ss.reply(257, fmt.Sprintf("%q is the current directory", ss.cwd))
+	case "CWD":
+		if ss.needAuth() {
+			return false
+		}
+		dst, err := ss.resolve(arg)
+		if err != nil {
+			ss.reply(550, err.Error())
+			return false
+		}
+		fi, err := os.Stat(dst)
+		if err != nil || !fi.IsDir() {
+			ss.reply(550, "no such directory")
+			return false
+		}
+		if strings.HasPrefix(arg, "/") {
+			ss.cwd = path.Clean(arg)
+		} else {
+			ss.cwd = path.Join(ss.cwd, arg)
+		}
+		ss.reply(250, "directory changed")
+	case "MKD":
+		if ss.needAuth() {
+			return false
+		}
+		dst, err := ss.resolve(arg)
+		if err != nil {
+			ss.reply(550, err.Error())
+			return false
+		}
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			ss.reply(550, err.Error())
+			return false
+		}
+		ss.reply(257, "created")
+	case "PASV", "EPSV":
+		if ss.needAuth() {
+			return false
+		}
+		ss.closeData()
+		host := ss.conn.LocalAddr().(*net.TCPAddr).IP
+		l, err := net.Listen("tcp", net.JoinHostPort(host.String(), "0"))
+		if err != nil {
+			ss.reply(425, "cannot open data port")
+			return false
+		}
+		ss.dataList = l
+		port := l.Addr().(*net.TCPAddr).Port
+		if cmd == "EPSV" {
+			ss.reply(229, fmt.Sprintf("entering extended passive mode (|||%d|)", port))
+		} else {
+			ip4 := host.To4()
+			if ip4 == nil {
+				ip4 = net.IPv4(127, 0, 0, 1).To4()
+			}
+			ss.reply(227, fmt.Sprintf("entering passive mode (%d,%d,%d,%d,%d,%d)",
+				ip4[0], ip4[1], ip4[2], ip4[3], port>>8, port&0xFF))
+		}
+	case "SIZE":
+		if ss.needAuth() {
+			return false
+		}
+		dst, err := ss.resolve(arg)
+		if err != nil {
+			ss.reply(550, err.Error())
+			return false
+		}
+		fi, err := os.Stat(dst)
+		if err != nil || fi.IsDir() {
+			ss.reply(550, "no such file")
+			return false
+		}
+		ss.reply(213, fmt.Sprint(fi.Size()))
+	case "STOR":
+		ss.transfer(arg, true)
+	case "RETR":
+		ss.transfer(arg, false)
+	case "DELE":
+		if ss.needAuth() {
+			return false
+		}
+		dst, err := ss.resolve(arg)
+		if err != nil {
+			ss.reply(550, err.Error())
+			return false
+		}
+		if err := os.Remove(dst); err != nil {
+			ss.reply(550, "delete failed")
+			return false
+		}
+		ss.reply(250, "deleted")
+	case "QUIT":
+		ss.reply(221, "goodbye")
+		return true
+	default:
+		ss.reply(502, "command not implemented")
+	}
+	return false
+}
+
+// transfer performs a STOR (upload) or RETR (download) over the
+// pending passive data connection.
+func (ss *session) transfer(arg string, upload bool) {
+	if ss.needAuth() {
+		return
+	}
+	if ss.dataList == nil {
+		ss.reply(425, "use PASV first")
+		return
+	}
+	dst, err := ss.resolve(arg)
+	if err != nil {
+		ss.reply(550, err.Error())
+		return
+	}
+	var file *os.File
+	if upload {
+		file, err = os.Create(dst)
+	} else {
+		file, err = os.Open(dst)
+	}
+	if err != nil {
+		ss.reply(550, err.Error())
+		return
+	}
+	defer file.Close()
+
+	ss.reply(150, "opening binary mode data connection")
+	data, err := ss.dataList.Accept()
+	ss.closeData()
+	if err != nil {
+		ss.reply(425, "data connection failed")
+		return
+	}
+	defer data.Close()
+	if upload {
+		_, err = io.Copy(file, data)
+	} else {
+		_, err = io.Copy(data, file)
+	}
+	if err != nil {
+		ss.reply(451, "transfer aborted: "+err.Error())
+		return
+	}
+	if upload {
+		if err := file.Sync(); err != nil {
+			ss.reply(451, "sync failed")
+			return
+		}
+	}
+	data.Close()
+	ss.reply(226, "transfer complete")
+}

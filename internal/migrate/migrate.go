@@ -1,0 +1,321 @@
+// Package migrate converts an existing Ecce repository between
+// storage architectures — the OODB → DAV conversion of Section 3.2.4.
+// The migration runs in the paper's two stages: first the object data
+// (projects, calculations, molecules, basis sets, tasks, jobs,
+// properties), then the raw calculation files that Ecce 1.5 kept
+// outside the OODB. A verification pass and disk-usage accounting
+// support the disk-overhead experiment.
+//
+// Migrate is written against core.DataStorage, so it can convert in
+// either direction (and between two DAV servers), but the paper's
+// scenario is OODB source → DAV destination.
+package migrate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Report tallies one migration.
+type Report struct {
+	Projects     int
+	Calculations int
+	Molecules    int
+	BasisSets    int
+	Tasks        int
+	Jobs         int
+	Properties   int
+	RawFiles     int
+	RawBytes     int64
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%d projects, %d calculations (%d molecules, %d bases, %d tasks, %d jobs, %d properties), %d raw files (%d bytes)",
+		r.Projects, r.Calculations, r.Molecules, r.BasisSets, r.Tasks, r.Jobs,
+		r.Properties, r.RawFiles, r.RawBytes)
+}
+
+// calcMembers are the typed member names handled by the object stage;
+// anything else inside a calculation is a raw file.
+var calcMembers = map[string]bool{
+	"molecule": true, "basis": true, "tasks": true, "job": true, "properties": true,
+}
+
+// Migrate copies the entire tree under root (use "/") from src to dst.
+func Migrate(src, dst core.DataStorage, root string) (Report, error) {
+	var r Report
+	if err := migrateContainer(src, dst, root, &r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// migrateContainer recurses over projects.
+func migrateContainer(src, dst core.DataStorage, p string, r *Report) error {
+	entries, err := src.List(p)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		switch e.Type {
+		case core.TypeProject:
+			proj, err := src.LoadProject(e.Path)
+			if err != nil {
+				return err
+			}
+			if err := dst.CreateProject(e.Path, proj); err != nil {
+				return err
+			}
+			r.Projects++
+			if err := migrateContainer(src, dst, e.Path, r); err != nil {
+				return err
+			}
+		case core.TypeCalculation:
+			if err := migrateCalculation(src, dst, e.Path, r); err != nil {
+				return err
+			}
+		case core.TypeDocument:
+			data, err := src.LoadRawFile(p, e.Name)
+			if err != nil {
+				return err
+			}
+			if err := dst.SaveRawFile(p, e.Name, data, ""); err != nil {
+				return err
+			}
+			r.RawFiles++
+			r.RawBytes += int64(len(data))
+		default:
+			// Unknown container types are ignored; the open schema
+			// tolerates objects this tool does not understand.
+		}
+	}
+	return nil
+}
+
+// migrateCalculation performs both stages for one calculation.
+func migrateCalculation(src, dst core.DataStorage, calcPath string, r *Report) error {
+	calc, err := src.LoadCalculation(calcPath)
+	if err != nil {
+		return err
+	}
+	if err := dst.CreateCalculation(calcPath, calc); err != nil {
+		return err
+	}
+	r.Calculations++
+
+	// Stage 1: object data.
+	if mol, err := src.LoadMolecule(calcPath); err == nil {
+		if err := dst.SaveMolecule(calcPath, mol, chem.FormatXYZ); err != nil {
+			return err
+		}
+		r.Molecules++
+	} else if !isNotFound(err) {
+		return err
+	}
+	if bs, err := src.LoadBasis(calcPath); err == nil {
+		if err := dst.SaveBasis(calcPath, bs); err != nil {
+			return err
+		}
+		r.BasisSets++
+	} else if !isNotFound(err) {
+		return err
+	}
+	tasks, err := src.LoadTasks(calcPath)
+	if err != nil && !isNotFound(err) {
+		return err
+	}
+	for _, t := range tasks {
+		if err := dst.SaveTask(calcPath, t); err != nil {
+			return err
+		}
+		r.Tasks++
+	}
+	if job, err := src.LoadJob(calcPath); err == nil {
+		if err := dst.SaveJob(calcPath, job); err != nil {
+			return err
+		}
+		r.Jobs++
+	} else if !isNotFound(err) {
+		return err
+	}
+	props, err := src.LoadProperties(calcPath)
+	if err != nil && !isNotFound(err) {
+		return err
+	}
+	for _, p := range props {
+		if err := dst.SaveProperty(calcPath, p); err != nil {
+			return err
+		}
+		r.Properties++
+	}
+
+	// Stage 2: raw files (the input/output decks Ecce 1.5 referenced
+	// from users' local disks).
+	entries, err := src.List(calcPath)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if calcMembers[e.Name] || e.Type != core.TypeDocument {
+			continue
+		}
+		data, err := src.LoadRawFile(calcPath, e.Name)
+		if err != nil {
+			return err
+		}
+		if err := dst.SaveRawFile(calcPath, e.Name, data, ""); err != nil {
+			return err
+		}
+		r.RawFiles++
+		r.RawBytes += int64(len(data))
+	}
+	return nil
+}
+
+func isNotFound(err error) bool {
+	return errors.Is(err, core.ErrNotFound)
+}
+
+// Verify compares the trees under root in src and dst, returning the
+// first discrepancy.
+func Verify(src, dst core.DataStorage, root string) error {
+	entries, err := src.List(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		switch e.Type {
+		case core.TypeProject:
+			sp, err := src.LoadProject(e.Path)
+			if err != nil {
+				return err
+			}
+			dp, err := dst.LoadProject(e.Path)
+			if err != nil {
+				return fmt.Errorf("migrate: project %s missing in destination: %w", e.Path, err)
+			}
+			if sp.Name != dp.Name || sp.Description != dp.Description {
+				return fmt.Errorf("migrate: project %s metadata differs", e.Path)
+			}
+			if err := Verify(src, dst, e.Path); err != nil {
+				return err
+			}
+		case core.TypeCalculation:
+			if err := verifyCalculation(src, dst, e.Path); err != nil {
+				return err
+			}
+		case core.TypeDocument:
+			if err := verifyRaw(src, dst, root, e.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func verifyCalculation(src, dst core.DataStorage, calcPath string) error {
+	sb, err := core.LoadBundle(src, calcPath)
+	if err != nil {
+		return err
+	}
+	db, err := core.LoadBundle(dst, calcPath)
+	if err != nil {
+		return fmt.Errorf("migrate: calculation %s missing in destination: %w", calcPath, err)
+	}
+	if sb.Calc.Name != db.Calc.Name || sb.Calc.Theory != db.Calc.Theory || sb.Calc.State != db.Calc.State {
+		return fmt.Errorf("migrate: %s calculation metadata differs", calcPath)
+	}
+	switch {
+	case (sb.Molecule == nil) != (db.Molecule == nil):
+		return fmt.Errorf("migrate: %s molecule presence differs", calcPath)
+	case sb.Molecule != nil:
+		if sb.Molecule.Formula() != db.Molecule.Formula() ||
+			sb.Molecule.AtomCount() != db.Molecule.AtomCount() ||
+			sb.Molecule.Charge != db.Molecule.Charge {
+			return fmt.Errorf("migrate: %s molecule differs", calcPath)
+		}
+		for i := range sb.Molecule.Atoms {
+			if dist(sb.Molecule.Atoms[i], db.Molecule.Atoms[i]) > 1e-6 {
+				return fmt.Errorf("migrate: %s atom %d moved", calcPath, i)
+			}
+		}
+	}
+	if (sb.Basis == nil) != (db.Basis == nil) ||
+		(sb.Basis != nil && sb.Basis.Name != db.Basis.Name) {
+		return fmt.Errorf("migrate: %s basis differs", calcPath)
+	}
+	if len(sb.Tasks) != len(db.Tasks) {
+		return fmt.Errorf("migrate: %s task count differs (%d vs %d)", calcPath, len(sb.Tasks), len(db.Tasks))
+	}
+	for i := range sb.Tasks {
+		if sb.Tasks[i].InputDeck != db.Tasks[i].InputDeck || sb.Tasks[i].Kind != db.Tasks[i].Kind {
+			return fmt.Errorf("migrate: %s task %d differs", calcPath, i)
+		}
+	}
+	if (sb.Job == nil) != (db.Job == nil) ||
+		(sb.Job != nil && (sb.Job.Host != db.Job.Host || sb.Job.Status != db.Job.Status)) {
+		return fmt.Errorf("migrate: %s job differs", calcPath)
+	}
+	if len(sb.Properties) != len(db.Properties) {
+		return fmt.Errorf("migrate: %s property count differs", calcPath)
+	}
+	for i := range sb.Properties {
+		if err := compareProps(&sb.Properties[i], &db.Properties[i]); err != nil {
+			return fmt.Errorf("migrate: %s: %w", calcPath, err)
+		}
+	}
+	// Raw files.
+	entries, err := src.List(calcPath)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if calcMembers[e.Name] || e.Type != core.TypeDocument {
+			continue
+		}
+		if err := verifyRaw(src, dst, calcPath, e.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyRaw(src, dst core.DataStorage, parent, name string) error {
+	sd, err := src.LoadRawFile(parent, name)
+	if err != nil {
+		return err
+	}
+	dd, err := dst.LoadRawFile(parent, name)
+	if err != nil {
+		return fmt.Errorf("migrate: raw file %s/%s missing in destination: %w", parent, name, err)
+	}
+	if !bytes.Equal(sd, dd) {
+		return fmt.Errorf("migrate: raw file %s/%s contents differ", parent, name)
+	}
+	return nil
+}
+
+func compareProps(a, b *model.Property) error {
+	if a.Name != b.Name || a.Units != b.Units || len(a.Values) != len(b.Values) {
+		return fmt.Errorf("property %q header differs", a.Name)
+	}
+	for i := range a.Values {
+		x, y := a.Values[i], b.Values[i]
+		if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+			return fmt.Errorf("property %q value %d differs", a.Name, i)
+		}
+	}
+	return nil
+}
+
+func dist(a, b chem.Atom) float64 {
+	dx, dy, dz := a.X-b.X, a.Y-b.Y, a.Z-b.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}

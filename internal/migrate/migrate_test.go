@@ -1,0 +1,300 @@
+package migrate
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/davclient"
+	"repro/internal/davserver"
+	"repro/internal/dbm"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/store"
+)
+
+func newOODB(t *testing.T) core.DataStorage {
+	t.Helper()
+	db, err := oodb.OpenDB(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := oodb.NewServer(db, core.SchemaFingerprint())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); db.Close() })
+	c, err := oodb.Dial(addr, core.SchemaFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewOODBStorage(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func newDAV(t *testing.T, flavour dbm.Flavour) (core.DataStorage, string) {
+	t.Helper()
+	dir := t.TempDir()
+	fs, err := store.NewFSStore(dir, flavour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(davserver.NewHandler(fs, nil))
+	t.Cleanup(func() { srv.Close(); fs.Close() })
+	c, err := davclient.New(davclient.Config{BaseURL: srv.URL, Persistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewDAVStorage(c)
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+// populate fills a storage with nCalcs calculations across two
+// projects, including raw files.
+func populate(t *testing.T, s core.DataStorage, nCalcs int) {
+	t.Helper()
+	runner := model.SyntheticRunner{GridPoints: 6}
+	for pi := 0; pi < 2; pi++ {
+		projPath := fmt.Sprintf("/proj%d", pi)
+		if err := s.CreateProject(projPath, model.Project{
+			Name: fmt.Sprintf("project %d", pi), Description: "migration source"}); err != nil {
+			t.Fatal(err)
+		}
+		for ci := 0; ci < nCalcs/2; ci++ {
+			calcPath := fmt.Sprintf("%s/calc%d", projPath, ci)
+			if err := s.CreateCalculation(calcPath, model.Calculation{
+				Name: fmt.Sprintf("calc %d.%d", pi, ci), Theory: "SCF",
+				State: model.StateComplete}); err != nil {
+				t.Fatal(err)
+			}
+			mol := chem.MakeUO2nH2O(1 + ci%4)
+			if err := s.SaveMolecule(calcPath, mol, chem.FormatXYZ); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SaveBasis(calcPath, chem.STO3G()); err != nil {
+				t.Fatal(err)
+			}
+			deck, _ := model.GenerateInputDeck(&model.Calculation{Theory: "SCF"}, mol,
+				chem.STO3G(), &model.Task{Kind: model.TaskEnergy})
+			if err := s.SaveTask(calcPath, model.Task{Name: "energy", Kind: model.TaskEnergy,
+				Sequence: 1, InputDeck: deck}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SaveJob(calcPath, model.Job{Host: "mpp2", Status: model.JobDone}); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range runner.Run(mol, model.TaskEnergy) {
+				if err := s.SaveProperty(calcPath, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Raw output file (stage 2 material).
+			if err := s.SaveRawFile(calcPath, "run.out",
+				[]byte(strings.Repeat("output line\n", 50)), "text/plain"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestMigrateOODBToDAV(t *testing.T) {
+	src := newOODB(t)
+	dst, _ := newDAV(t, dbm.GDBM)
+	populate(t, src, 6)
+
+	rep, err := Migrate(src, dst, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Projects != 2 || rep.Calculations != 6 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Molecules != 6 || rep.BasisSets != 6 || rep.Tasks != 6 || rep.Jobs != 6 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Properties != 6*3 { // energy, dipole, density per calc
+		t.Fatalf("properties = %d", rep.Properties)
+	}
+	if rep.RawFiles != 6 || rep.RawBytes == 0 {
+		t.Fatalf("raw = %d files %d bytes", rep.RawFiles, rep.RawBytes)
+	}
+	if err := Verify(src, dst, "/"); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestMigrateReverseDirection(t *testing.T) {
+	// The migration is architecture-neutral: DAV → OODB also works.
+	src, _ := newDAV(t, dbm.GDBM)
+	dst := newOODB(t)
+	populate(t, src, 2)
+	if _, err := Migrate(src, dst, "/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(src, dst, "/"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDetectsDrift(t *testing.T) {
+	src := newOODB(t)
+	dst, _ := newDAV(t, dbm.GDBM)
+	populate(t, src, 2)
+	if _, err := Migrate(src, dst, "/"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one destination molecule.
+	other := chem.MakeWater()
+	if err := dst.SaveMolecule("/proj0/calc0", other, chem.FormatXYZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(src, dst, "/"); err == nil {
+		t.Fatal("verify missed a molecule substitution")
+	}
+}
+
+func TestDiskOverheadDirection(t *testing.T) {
+	// The §3.2.4 disk experiment shape: DAV+SDBM overhead < DAV+GDBM
+	// overhead (per-resource database minimum sizes 8 KB vs 25 KB).
+	src := newOODB(t)
+	populate(t, src, 4)
+
+	sdbmDst, sdbmDir := newDAV(t, dbm.SDBM)
+	gdbmDst, gdbmDir := newDAV(t, dbm.GDBM)
+	if _, err := Migrate(src, sdbmDst, "/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Migrate(src, gdbmDst, "/"); err != nil {
+		t.Fatal(err)
+	}
+	sdbmBytes, err := store.DiskUsage(sdbmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdbmBytes, err := store.DiskUsage(gdbmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdbmBytes >= gdbmBytes {
+		t.Fatalf("SDBM store (%d) should be smaller than GDBM store (%d)", sdbmBytes, gdbmBytes)
+	}
+}
+
+func TestMigrateEmptyTree(t *testing.T) {
+	src := newOODB(t)
+	dst, _ := newDAV(t, dbm.GDBM)
+	rep, err := Migrate(src, dst, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Projects != 0 || rep.Calculations != 0 {
+		t.Fatalf("empty migration report = %+v", rep)
+	}
+	if err := Verify(src, dst, "/"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Projects: 1, Calculations: 2, RawFiles: 3, RawBytes: 400}
+	s := r.String()
+	for _, want := range []string{"1 projects", "2 calculations", "3 raw files", "400 bytes"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestVerifyDetectsEachKindOfDrift(t *testing.T) {
+	mk := func() (core.DataStorage, core.DataStorage) {
+		src := newOODB(t)
+		dst, _ := newDAV(t, dbm.GDBM)
+		populate(t, src, 2)
+		if _, err := Migrate(src, dst, "/"); err != nil {
+			t.Fatal(err)
+		}
+		return src, dst
+	}
+
+	t.Run("calc-metadata", func(t *testing.T) {
+		src, dst := mk()
+		calc, _ := dst.LoadCalculation("/proj0/calc0")
+		calc.Theory = "MP2"
+		dst.SaveCalculation("/proj0/calc0", calc)
+		if err := Verify(src, dst, "/"); err == nil {
+			t.Fatal("theory drift missed")
+		}
+	})
+	t.Run("missing-calc", func(t *testing.T) {
+		src, dst := mk()
+		dst.Delete("/proj0/calc0")
+		if err := Verify(src, dst, "/"); err == nil {
+			t.Fatal("missing calculation missed")
+		}
+	})
+	t.Run("task-drift", func(t *testing.T) {
+		src, dst := mk()
+		dst.SaveTask("/proj0/calc0", model.Task{Name: "energy", Kind: model.TaskEnergy,
+			Sequence: 1, InputDeck: "tampered"})
+		if err := Verify(src, dst, "/"); err == nil {
+			t.Fatal("task drift missed")
+		}
+	})
+	t.Run("property-drift", func(t *testing.T) {
+		src, dst := mk()
+		props, _ := dst.LoadProperties("/proj0/calc0")
+		p := props[0]
+		p.Values[0] += 1
+		dst.SaveProperty("/proj0/calc0", p)
+		if err := Verify(src, dst, "/"); err == nil {
+			t.Fatal("property drift missed")
+		}
+	})
+	t.Run("raw-drift", func(t *testing.T) {
+		src, dst := mk()
+		dst.SaveRawFile("/proj0/calc0", "run.out", []byte("tampered"), "")
+		if err := Verify(src, dst, "/"); err == nil {
+			t.Fatal("raw drift missed")
+		}
+	})
+	t.Run("job-drift", func(t *testing.T) {
+		src, dst := mk()
+		dst.SaveJob("/proj0/calc0", model.Job{Host: "other", Status: model.JobFailed})
+		if err := Verify(src, dst, "/"); err == nil {
+			t.Fatal("job drift missed")
+		}
+	})
+	t.Run("project-metadata", func(t *testing.T) {
+		src, dst := mk()
+		// Rewrite the project description on the destination only.
+		davDst := dst.(*core.DAVStorage)
+		if err := davDst.Annotate("/proj0", core.PropDescription, "edited"); err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(src, dst, "/"); err == nil {
+			t.Fatal("project drift missed")
+		}
+	})
+}
+
+func TestMigrateIntoNonEmptyDestinationFails(t *testing.T) {
+	src := newOODB(t)
+	dst, _ := newDAV(t, dbm.GDBM)
+	populate(t, src, 2)
+	if _, err := Migrate(src, dst, "/"); err != nil {
+		t.Fatal(err)
+	}
+	// A second migration collides with the existing projects.
+	if _, err := Migrate(src, dst, "/"); err == nil {
+		t.Fatal("re-migration into a populated destination should fail")
+	}
+}

@@ -1,0 +1,247 @@
+// Package model implements the Ecce calculation object model of
+// Figure 3: a study subject (Molecule) on which the Task of an
+// Experiment (Calculation) is performed, producing a series of
+// n-dimensional output Properties, with the Job capturing distributed
+// execution and the BasisSet parameterizing the theory. All the
+// information needed to reproduce a calculation and provide historical
+// context is captured, as the paper requires.
+//
+// The model is storage-neutral: package core maps it onto DAV
+// constructs (Figure 4) and onto the OODB baseline.
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chem"
+)
+
+// State is the calculation lifecycle state Ecce tracks from setup
+// through post-run analysis.
+type State int
+
+// Calculation lifecycle states.
+const (
+	StateCreated   State = iota // object exists, no input yet
+	StateReady                  // input deck generated
+	StateSubmitted              // handed to a compute host
+	StateRunning                // executing
+	StateComplete               // outputs stored
+	StateFailed                 // terminated abnormally
+)
+
+var stateNames = [...]string{"created", "ready", "submitted", "running", "complete", "failed"}
+
+// String returns the lower-case state name.
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// ParseState reverses String.
+func ParseState(name string) (State, error) {
+	for i, n := range stateNames {
+		if n == name {
+			return State(i), nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown state %q", name)
+}
+
+// validTransitions encodes the workflow the Ecce tools enforce.
+var validTransitions = map[State][]State{
+	StateCreated:   {StateReady},
+	StateReady:     {StateSubmitted, StateReady},
+	StateSubmitted: {StateRunning, StateFailed},
+	StateRunning:   {StateComplete, StateFailed},
+	StateFailed:    {StateReady}, // edit and resubmit
+}
+
+// CanTransition reports whether from → to is a legal lifecycle step.
+func CanTransition(from, to State) bool {
+	for _, t := range validTransitions[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Project groups calculations, mapping to a DAV collection.
+type Project struct {
+	Name        string
+	Description string
+	Created     time.Time
+}
+
+// TaskKind is the type of computational task.
+type TaskKind string
+
+// Task kinds Ecce schedules.
+const (
+	TaskEnergy    TaskKind = "energy"
+	TaskOptimize  TaskKind = "optimize"
+	TaskFrequency TaskKind = "frequency"
+)
+
+// Task is one step in a calculation's task sequence ("the list of
+// tasks in a calculation is located through the collection
+// mechanism").
+type Task struct {
+	Name     string
+	Kind     TaskKind
+	Sequence int
+	// InputDeck is the generated simulation input (raw calculation
+	// data in the paper's terms).
+	InputDeck string
+}
+
+// Calculation is the Experiment subclass the paper's Figure 3 centres
+// on.
+type Calculation struct {
+	Name       string
+	State      State
+	Theory     string // e.g. "SCF", "DFT/B3LYP"
+	Created    time.Time
+	Annotation string
+}
+
+// JobStatus is the execution status of a submitted job.
+type JobStatus string
+
+// Job statuses.
+const (
+	JobPending JobStatus = "pending"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+	JobKilled  JobStatus = "killed"
+	JobUnknown JobStatus = "unknown"
+)
+
+// Job captures distributed execution metadata.
+type Job struct {
+	Host       string
+	Queue      string
+	BatchID    string
+	NodeCount  int
+	Status     JobStatus
+	SubmitTime time.Time
+	StartTime  time.Time
+	EndTime    time.Time
+}
+
+// Property is an n-dimensional output property ("the results of which
+// are a series of n-dimensional output Properties"). Values are
+// stored flat in row-major order; Dims gives the shape. Scalar
+// properties have Dims == nil and one value.
+type Property struct {
+	Name   string
+	Units  string
+	Dims   []int
+	Values []float64
+}
+
+// Len returns the expected number of values given Dims.
+func (p *Property) Len() int {
+	if len(p.Dims) == 0 {
+		return 1
+	}
+	n := 1
+	for _, d := range p.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Validate checks shape consistency.
+func (p *Property) Validate() error {
+	for _, d := range p.Dims {
+		if d <= 0 {
+			return fmt.Errorf("model: property %q has non-positive dimension %d", p.Name, d)
+		}
+	}
+	if len(p.Values) != p.Len() {
+		return fmt.Errorf("model: property %q has %d values, shape wants %d",
+			p.Name, len(p.Values), p.Len())
+	}
+	return nil
+}
+
+// At indexes an n-dimensional property.
+func (p *Property) At(idx ...int) (float64, error) {
+	if len(idx) != len(p.Dims) {
+		return 0, fmt.Errorf("model: property %q indexed with %d subscripts, has %d dims",
+			p.Name, len(idx), len(p.Dims))
+	}
+	flat := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= p.Dims[i] {
+			return 0, fmt.Errorf("model: property %q index %d out of range", p.Name, ix)
+		}
+		flat = flat*p.Dims[i] + ix
+	}
+	return p.Values[flat], nil
+}
+
+// CalculationBundle is the full in-memory state of one calculation —
+// what the object/factory layer assembles from storage for the tools.
+type CalculationBundle struct {
+	Calc       Calculation
+	Molecule   *chem.Molecule
+	Basis      *chem.BasisSet
+	Tasks      []Task
+	Job        *Job
+	Properties []Property
+}
+
+// Validate cross-checks the bundle.
+func (b *CalculationBundle) Validate() error {
+	if b.Molecule == nil {
+		return fmt.Errorf("model: calculation %q has no molecule", b.Calc.Name)
+	}
+	if err := b.Molecule.Validate(); err != nil {
+		return err
+	}
+	if b.Basis != nil && !b.Basis.Covers(b.Molecule) {
+		return fmt.Errorf("model: basis %q does not cover molecule %q",
+			b.Basis.Name, b.Molecule.Formula())
+	}
+	for i := range b.Properties {
+		if err := b.Properties[i].Validate(); err != nil {
+			return err
+		}
+	}
+	seq := map[int]bool{}
+	for _, task := range b.Tasks {
+		if seq[task.Sequence] {
+			return fmt.Errorf("model: duplicate task sequence %d", task.Sequence)
+		}
+		seq[task.Sequence] = true
+	}
+	return nil
+}
+
+// ClassDescriptors lists the persistent classes in the form consumed
+// by oodb.SchemaHash — the 70-class Ecce schema reduced to the
+// calculation-model subset the paper's Figure 3 shows. Changing any
+// entry changes the schema fingerprint and (deliberately) breaks OODB
+// client/server compatibility.
+func ClassDescriptors() []string {
+	return []string{
+		"Project(name:string,description:string,created:time)",
+		"Calculation(name:string,state:int,theory:string,created:time,annotation:string)",
+		"Task(name:string,kind:string,sequence:int,inputdeck:string)",
+		"Job(host:string,queue:string,batchid:string,nodecount:int,status:string,submit:time,start:time,end:time)",
+		"Property(name:string,units:string,dims:[]int,values:[]float64)",
+		"Molecule(name:string,atoms:[]Atom,charge:int,multiplicity:int,symmetry:string)",
+		"Atom(symbol:string,x:float64,y:float64,z:float64)",
+		"BasisSet(name:string,elements:[]ElementBasis)",
+		"ElementBasis(symbol:string,shells:[]Shell)",
+		"Shell(type:string,primitives:[]Primitive)",
+		"Primitive(exponent:float64,coefficient:float64)",
+	}
+}

@@ -1,0 +1,174 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// NWChem-like output text. The real Ecce parsed computational-code
+// output files to extract properties for the data store; the synthetic
+// runner's results can be rendered to a plausible output listing and
+// parsed back, so the repository exercises the same parse-and-store
+// flow (the "raw calculation data" the paper migrates in stage 2 of
+// §3.2.4).
+//
+// The listing format borrows NWChem's sign-posts:
+//
+//	Total SCF energy =     -76.02663157
+//	Dipole moment (debye)  X  0.0000  Y  0.0000  Z  2.1000
+//	Normal mode frequencies (cm-1):
+//	    1649.23   3832.17   3942.57
+//
+// Only scalar energies, the dipole and the frequency list are carried
+// in text; grid properties stay in their binary documents, as Ecce
+// kept large data out of parsed summaries.
+
+// FormatOutput renders a run's properties as an output listing.
+func FormatOutput(calcName string, props []Property) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "          Synthetic Computational Chemistry Package\n")
+	fmt.Fprintf(&sb, "          ------------------------------------------\n\n")
+	fmt.Fprintf(&sb, " Calculation: %s\n\n", calcName)
+	for _, p := range props {
+		switch p.Name {
+		case "total energy":
+			fmt.Fprintf(&sb, " Total SCF energy = %20.8f\n\n", p.Values[0])
+		case "dipole moment":
+			if len(p.Values) == 3 {
+				fmt.Fprintf(&sb, " Dipole moment (debye)  X %10.4f  Y %10.4f  Z %10.4f\n\n",
+					p.Values[0], p.Values[1], p.Values[2])
+			}
+		case "vibrational frequencies":
+			fmt.Fprintf(&sb, " Normal mode frequencies (cm-1):\n")
+			for i, v := range p.Values {
+				fmt.Fprintf(&sb, " %9.2f", v)
+				if (i+1)%6 == 0 {
+					sb.WriteByte('\n')
+				}
+			}
+			if len(p.Values)%6 != 0 {
+				sb.WriteByte('\n')
+			}
+			sb.WriteByte('\n')
+		case "optimization trace":
+			fmt.Fprintf(&sb, " Geometry optimization energies (hartree):\n")
+			for _, v := range p.Values {
+				fmt.Fprintf(&sb, "   step energy = %18.8f\n", v)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&sb, " Task completed\n")
+	return sb.String()
+}
+
+// ParseOutput extracts the textual properties back out of a listing
+// produced by FormatOutput (or a sufficiently NWChem-shaped file).
+// Unrecognized lines are skipped; a listing without a terminal "Task
+// completed" marker is reported as truncated.
+func ParseOutput(r io.Reader) ([]Property, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 8<<20)
+	var props []Property
+	var complete bool
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Total SCF energy"):
+			_, after, ok := strings.Cut(line, "=")
+			if !ok {
+				return nil, fmt.Errorf("model: malformed energy line %q", line)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(after), 64)
+			if err != nil {
+				return nil, fmt.Errorf("model: bad energy %q", after)
+			}
+			props = append(props, Property{Name: "total energy", Units: "hartree",
+				Values: []float64{v}})
+		case strings.HasPrefix(line, "Dipole moment"):
+			fields := strings.Fields(line)
+			var xyz []float64
+			for i := 0; i < len(fields)-1; i++ {
+				switch fields[i] {
+				case "X", "Y", "Z":
+					v, err := strconv.ParseFloat(fields[i+1], 64)
+					if err != nil {
+						return nil, fmt.Errorf("model: bad dipole component %q", fields[i+1])
+					}
+					xyz = append(xyz, v)
+				}
+			}
+			if len(xyz) != 3 {
+				return nil, fmt.Errorf("model: dipole line %q has %d components", line, len(xyz))
+			}
+			props = append(props, Property{Name: "dipole moment", Units: "debye",
+				Dims: []int{3}, Values: xyz})
+		case strings.HasPrefix(line, "Normal mode frequencies"):
+			values, err := parseFloatBlock(sc)
+			if err != nil {
+				return nil, err
+			}
+			props = append(props, Property{Name: "vibrational frequencies", Units: "cm-1",
+				Dims: []int{len(values)}, Values: values})
+		case strings.HasPrefix(line, "Geometry optimization energies"):
+			var trace []float64
+			for sc.Scan() {
+				l := strings.TrimSpace(sc.Text())
+				rest, ok := strings.CutPrefix(l, "step energy =")
+				if !ok {
+					break
+				}
+				v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+				if err != nil {
+					return nil, fmt.Errorf("model: bad trace energy %q", rest)
+				}
+				trace = append(trace, v)
+			}
+			props = append(props, Property{Name: "optimization trace", Units: "hartree",
+				Dims: []int{len(trace)}, Values: trace})
+		case strings.HasPrefix(line, "Task completed"):
+			complete = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !complete {
+		return props, fmt.Errorf("model: output listing is truncated (no completion marker)")
+	}
+	return props, nil
+}
+
+// parseFloatBlock consumes subsequent lines of whitespace-separated
+// floats until a non-numeric line.
+func parseFloatBlock(sc *bufio.Scanner) ([]float64, error) {
+	var values []float64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			break
+		}
+		fields := strings.Fields(line)
+		lineVals := make([]float64, 0, len(fields))
+		numeric := true
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			lineVals = append(lineVals, v)
+		}
+		if !numeric {
+			break
+		}
+		values = append(values, lineVals...)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("model: empty numeric block")
+	}
+	return values, nil
+}

@@ -1,0 +1,141 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chem"
+)
+
+func TestFormatParseOutputRoundTrip(t *testing.T) {
+	mol := chem.MakeUO2nH2O(2)
+	props := SyntheticRunner{GridPoints: 4}.Run(mol, TaskFrequency)
+	text := FormatOutput("uranyl freq", props)
+	parsed, err := ParseOutput(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	byName := map[string]Property{}
+	for _, p := range parsed {
+		byName[p.Name] = p
+	}
+	// Energy and dipole round-trip at the printed precision.
+	var wantEnergy, wantDipole, wantFreqs Property
+	for _, p := range props {
+		switch p.Name {
+		case "total energy":
+			wantEnergy = p
+		case "dipole moment":
+			wantDipole = p
+		case "vibrational frequencies":
+			wantFreqs = p
+		}
+	}
+	if got := byName["total energy"]; math.Abs(got.Values[0]-wantEnergy.Values[0]) > 1e-7 {
+		t.Fatalf("energy = %v, want %v", got.Values[0], wantEnergy.Values[0])
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(byName["dipole moment"].Values[i]-wantDipole.Values[i]) > 1e-3 {
+			t.Fatalf("dipole[%d] drifted", i)
+		}
+	}
+	gotF := byName["vibrational frequencies"]
+	if len(gotF.Values) != len(wantFreqs.Values) {
+		t.Fatalf("freqs = %d, want %d", len(gotF.Values), len(wantFreqs.Values))
+	}
+	for i := range gotF.Values {
+		if math.Abs(gotF.Values[i]-wantFreqs.Values[i]) > 5e-3 {
+			t.Fatalf("freq %d = %v, want %v", i, gotF.Values[i], wantFreqs.Values[i])
+		}
+	}
+	// The grid property is deliberately not in the listing.
+	if _, ok := byName["electron density"]; ok {
+		t.Fatal("grid property leaked into the text listing")
+	}
+}
+
+func TestParseOutputOptimizeTrace(t *testing.T) {
+	mol := chem.MakeWater()
+	props := SyntheticRunner{GridPoints: 4}.Run(mol, TaskOptimize)
+	text := FormatOutput("opt", props)
+	parsed, err := ParseOutput(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace Property
+	for _, p := range parsed {
+		if p.Name == "optimization trace" {
+			trace = p
+		}
+	}
+	if len(trace.Values) != 10 {
+		t.Fatalf("trace = %d steps", len(trace.Values))
+	}
+	for i := 1; i < len(trace.Values); i++ {
+		if trace.Values[i] >= trace.Values[i-1] {
+			t.Fatal("parsed trace not decreasing")
+		}
+	}
+}
+
+func TestParseOutputTruncated(t *testing.T) {
+	mol := chem.MakeWater()
+	props := SyntheticRunner{GridPoints: 4}.Run(mol, TaskEnergy)
+	text := FormatOutput("x", props)
+	// Chop off the completion marker, as a crashed run would.
+	cut := strings.Index(text, "Task completed")
+	if _, err := ParseOutput(strings.NewReader(text[:cut])); err == nil {
+		t.Fatal("truncated listing accepted")
+	}
+}
+
+func TestParseOutputMalformed(t *testing.T) {
+	cases := []string{
+		" Total SCF energy = not-a-number\n Task completed\n",
+		" Dipole moment (debye)  X 1.0  Y two  Z 3.0\n Task completed\n",
+		" Dipole moment (debye)  X 1.0\n Task completed\n",
+		" Normal mode frequencies (cm-1):\n no numbers here\n Task completed\n",
+	}
+	for i, c := range cases {
+		if _, err := ParseOutput(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseOutputIgnoresNoise(t *testing.T) {
+	text := `          Synthetic Computational Chemistry Package
+ random banner line
+ Total SCF energy =        -76.02663157
+ some diagnostic chatter 1 2 3
+ Task completed
+`
+	props, err := ParseOutput(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 1 || props[0].Name != "total energy" {
+		t.Fatalf("props = %+v", props)
+	}
+}
+
+// TestQuickOutputEnergyRoundTrip: arbitrary energies survive the text
+// round trip at printed precision.
+func TestQuickOutputEnergyRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := (rng.Float64() - 0.5) * 1e6
+		props := []Property{{Name: "total energy", Units: "hartree", Values: []float64{e}}}
+		parsed, err := ParseOutput(strings.NewReader(FormatOutput("q", props)))
+		if err != nil || len(parsed) != 1 {
+			return false
+		}
+		return math.Abs(parsed[0].Values[0]-e) < 1e-7*math.Max(1, math.Abs(e))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

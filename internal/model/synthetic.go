@@ -1,0 +1,164 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/chem"
+)
+
+// SyntheticRunner stands in for NWChem (see DESIGN.md substitutions):
+// it produces deterministic, plausibly shaped output properties for a
+// calculation without real quantum chemistry. The property set and
+// sizes mirror the paper's workload — "individual output properties up
+// to 1.8 MB in size" for the UO2·15H2O system.
+type SyntheticRunner struct {
+	// GridPoints sets the edge length of the synthetic electron
+	// density grid; the default of 61 yields a 61³ float64 property
+	// (~1.8 MB), matching the paper's largest output.
+	GridPoints int
+}
+
+// DefaultGridPoints produces an electron-density property of about
+// 1.8 MB (61^3 float64 values ≈ 1.74 MiB), the paper's quoted maximum.
+const DefaultGridPoints = 61
+
+// Run produces the output property set for a task on mol. Results are
+// deterministic functions of the geometry, so repeated runs agree and
+// tests can assert on exact values.
+func (r SyntheticRunner) Run(mol *chem.Molecule, kind TaskKind) []Property {
+	grid := r.GridPoints
+	if grid <= 0 {
+		grid = DefaultGridPoints
+	}
+	var props []Property
+
+	energy := syntheticEnergy(mol)
+	props = append(props, Property{Name: "total energy", Units: "hartree", Values: []float64{energy}})
+	props = append(props, Property{Name: "dipole moment", Units: "debye", Dims: []int{3},
+		Values: syntheticDipole(mol)})
+
+	switch kind {
+	case TaskOptimize:
+		// An optimization trace: 10 steps of monotonically decreasing
+		// energy.
+		trace := make([]float64, 10)
+		for i := range trace {
+			trace[i] = energy + 0.05*math.Exp(-float64(i))
+		}
+		props = append(props, Property{Name: "optimization trace", Units: "hartree",
+			Dims: []int{len(trace)}, Values: trace})
+	case TaskFrequency:
+		props = append(props, Property{Name: "vibrational frequencies", Units: "cm-1",
+			Dims: []int{vibModes(mol)}, Values: syntheticFrequencies(mol)})
+	}
+
+	// The big one: an electron-density grid.
+	props = append(props, syntheticDensity(mol, grid))
+	return props
+}
+
+// syntheticEnergy is a simple pairwise potential: enough structure to
+// be geometry-sensitive and deterministic.
+func syntheticEnergy(mol *chem.Molecule) float64 {
+	e := 0.0
+	for i := range mol.Atoms {
+		zi := atomicNumber(mol.Atoms[i].Symbol)
+		e -= float64(zi) * 0.5 // crude per-atom contribution
+		for j := i + 1; j < len(mol.Atoms); j++ {
+			d := mol.Distance(i, j)
+			if d < 1e-9 {
+				continue
+			}
+			zj := atomicNumber(mol.Atoms[j].Symbol)
+			e += float64(zi*zj) / (d * 1000) // weak repulsion
+		}
+	}
+	return e
+}
+
+func atomicNumber(sym string) int {
+	if e, ok := chem.LookupElement(sym); ok {
+		return e.Number
+	}
+	return 0
+}
+
+// syntheticDipole is the classical point-charge dipole using atomic
+// numbers as charges (deterministic, not physical).
+func syntheticDipole(mol *chem.Molecule) []float64 {
+	var dx, dy, dz float64
+	for _, a := range mol.Atoms {
+		z := float64(atomicNumber(a.Symbol))
+		dx += z * a.X
+		dy += z * a.Y
+		dz += z * a.Z
+	}
+	const scale = 1e-2
+	return []float64{dx * scale, dy * scale, dz * scale}
+}
+
+// vibModes is 3N-6 (or 3N-5 for linear systems; we ignore linearity
+// detection and floor at 1).
+func vibModes(mol *chem.Molecule) int {
+	n := 3*mol.AtomCount() - 6
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// syntheticFrequencies yields 3N-6 positive wavenumbers.
+func syntheticFrequencies(mol *chem.Molecule) []float64 {
+	n := vibModes(mol)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 100 + 3500*float64(i)/float64(n) + 10*math.Sin(float64(i))
+	}
+	return out
+}
+
+// syntheticDensity builds a grid³ "electron density" from Gaussian
+// blobs at atom sites.
+func syntheticDensity(mol *chem.Molecule, grid int) Property {
+	values := make([]float64, grid*grid*grid)
+	// Bounding box with 2 Å margin.
+	minX, minY, minZ := math.Inf(1), math.Inf(1), math.Inf(1)
+	maxX, maxY, maxZ := math.Inf(-1), math.Inf(-1), math.Inf(-1)
+	for _, a := range mol.Atoms {
+		minX, maxX = math.Min(minX, a.X), math.Max(maxX, a.X)
+		minY, maxY = math.Min(minY, a.Y), math.Max(maxY, a.Y)
+		minZ, maxZ = math.Min(minZ, a.Z), math.Max(maxZ, a.Z)
+	}
+	if len(mol.Atoms) == 0 {
+		minX, minY, minZ, maxX, maxY, maxZ = 0, 0, 0, 1, 1, 1
+	}
+	const margin = 2.0
+	minX, minY, minZ = minX-margin, minY-margin, minZ-margin
+	maxX, maxY, maxZ = maxX+margin, maxY+margin, maxZ+margin
+	step := func(lo, hi float64, i int) float64 {
+		if grid == 1 {
+			return (lo + hi) / 2
+		}
+		return lo + (hi-lo)*float64(i)/float64(grid-1)
+	}
+	idx := 0
+	for ix := 0; ix < grid; ix++ {
+		x := step(minX, maxX, ix)
+		for iy := 0; iy < grid; iy++ {
+			y := step(minY, maxY, iy)
+			for iz := 0; iz < grid; iz++ {
+				z := step(minZ, maxZ, iz)
+				var rho float64
+				for _, a := range mol.Atoms {
+					dx, dy, dz := x-a.X, y-a.Y, z-a.Z
+					r2 := dx*dx + dy*dy + dz*dz
+					rho += float64(atomicNumber(a.Symbol)) * math.Exp(-r2)
+				}
+				values[idx] = rho
+				idx++
+			}
+		}
+	}
+	return Property{Name: "electron density", Units: "e/bohr^3",
+		Dims: []int{grid, grid, grid}, Values: values}
+}

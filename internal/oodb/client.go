@@ -1,0 +1,271 @@
+package oodb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a cache-forward OODB client: every fetched object is kept
+// in a local object cache and served from memory on re-access, the
+// architecture the paper compares the DAV request/response model
+// against.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	cache  map[OID][]byte
+	useCch bool
+	hits   int64
+	misses int64
+	closed bool
+}
+
+// Dial connects, performs the schema handshake, and returns a client
+// with the cache enabled.
+func Dial(addr, schemaHash string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:   conn,
+		r:      bufio.NewReader(conn),
+		w:      bufio.NewWriter(conn),
+		cache:  map[OID][]byte{},
+		useCch: true,
+	}
+	if _, err := c.call(opHello, []byte(schemaHash)); err != nil {
+		conn.Close()
+		if errors.Is(err, errRemote) {
+			return nil, fmt.Errorf("%w: %v", ErrSchemaMismatch, err)
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// errRemote tags server-reported errors.
+var errRemote = errors.New("oodb: server error")
+
+// call sends one request and returns the reply payload.
+func (c *Client) call(kind op, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if err := writeFrame(c.w, byte(kind), payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	status, reply, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if status != 0 {
+		msg := string(reply)
+		if msg == ErrNotFound.Error() || len(msg) > len(ErrNotFound.Error()) && msg[:len(ErrNotFound.Error())] == ErrNotFound.Error() {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, msg)
+		}
+		return nil, fmt.Errorf("%w: %s", errRemote, msg)
+	}
+	return reply, nil
+}
+
+// SetCache enables or disables the cache-forward object cache.
+func (c *Client) SetCache(enabled bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.useCch = enabled
+	if !enabled {
+		c.cache = map[OID][]byte{}
+	}
+}
+
+// CacheStats returns cache hit/miss counters.
+func (c *Client) CacheStats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Fetch returns an object's payload, from cache when possible.
+func (c *Client) Fetch(oid OID) ([]byte, error) {
+	c.mu.Lock()
+	if c.useCch {
+		if data, ok := c.cache[oid]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return append([]byte(nil), data...), nil
+		}
+		c.misses++
+	}
+	c.mu.Unlock()
+
+	req := make([]byte, 8)
+	putOID(req, oid)
+	data, err := c.call(opFetch, req)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.useCch {
+		c.cache[oid] = append([]byte(nil), data...)
+	}
+	c.mu.Unlock()
+	return data, nil
+}
+
+// Store writes payload under oid (0 allocates) and returns the OID.
+func (c *Client) Store(oid OID, payload []byte) (OID, error) {
+	req := make([]byte, 8+len(payload))
+	putOID(req, oid)
+	copy(req[8:], payload)
+	reply, err := c.call(opStore, req)
+	if err != nil {
+		return 0, err
+	}
+	if len(reply) != 8 {
+		return 0, fmt.Errorf("oodb: bad store reply")
+	}
+	newOID := getOID(reply)
+	c.mu.Lock()
+	if c.useCch {
+		c.cache[newOID] = append([]byte(nil), payload...)
+	}
+	c.mu.Unlock()
+	return newOID, nil
+}
+
+// Delete removes an object (and evicts it from the cache).
+func (c *Client) Delete(oid OID) error {
+	req := make([]byte, 8)
+	putOID(req, oid)
+	if _, err := c.call(opDelete, req); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.cache, oid)
+	c.mu.Unlock()
+	return nil
+}
+
+// SetRoot binds a named root.
+func (c *Client) SetRoot(name string, oid OID) error {
+	req := putString(nil, name)
+	var ob [8]byte
+	putOID(ob[:], oid)
+	_, err := c.call(opSetRoot, append(req, ob[:]...))
+	return err
+}
+
+// GetRoot resolves a named root.
+func (c *Client) GetRoot(name string) (OID, error) {
+	reply, err := c.call(opGetRoot, putString(nil, name))
+	if err != nil {
+		return 0, err
+	}
+	return getOID(reply), nil
+}
+
+// Roots returns the full root table.
+func (c *Client) Roots() (map[string]OID, error) {
+	reply, err := c.call(opListRoots, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply) < 4 {
+		return nil, fmt.Errorf("oodb: bad roots reply")
+	}
+	n := binary.LittleEndian.Uint32(reply)
+	rest := reply[4:]
+	out := make(map[string]OID, n)
+	for i := uint32(0); i < n; i++ {
+		var name string
+		name, rest, err = getString(rest)
+		if err != nil || len(rest) < 8 {
+			return nil, fmt.Errorf("oodb: bad roots reply")
+		}
+		out[name] = getOID(rest)
+		rest = rest[8:]
+	}
+	return out, nil
+}
+
+// OIDs lists every live object, ascending.
+func (c *Client) OIDs() ([]OID, error) {
+	reply, err := c.call(opListOIDs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply) < 4 {
+		return nil, fmt.Errorf("oodb: bad oids reply")
+	}
+	n := binary.LittleEndian.Uint32(reply)
+	if len(reply) != int(4+8*n) {
+		return nil, fmt.Errorf("oodb: bad oids reply")
+	}
+	oids := make([]OID, n)
+	for i := range oids {
+		oids[i] = getOID(reply[4+8*i:])
+	}
+	return oids, nil
+}
+
+// Stat returns the server's storage accounting.
+func (c *Client) Stat() (Stats, error) {
+	reply, err := c.call(opStat, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	if len(reply) != 24 {
+		return Stats{}, fmt.Errorf("oodb: bad stat reply")
+	}
+	return Stats{
+		Objects:   int(binary.LittleEndian.Uint64(reply)),
+		LiveBytes: int64(binary.LittleEndian.Uint64(reply[8:])),
+		FileBytes: int64(binary.LittleEndian.Uint64(reply[16:])),
+	}, nil
+}
+
+// StoreObj gob-encodes v (the proprietary binary format) and stores
+// it, returning the allocated OID.
+func (c *Client) StoreObj(oid OID, v any) (OID, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return 0, fmt.Errorf("oodb: encode: %w", err)
+	}
+	return c.Store(oid, buf.Bytes())
+}
+
+// FetchObj fetches and gob-decodes an object into out (a pointer).
+func (c *Client) FetchObj(oid OID, out any) error {
+	data, err := c.Fetch(oid)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return fmt.Errorf("oodb: decode %s: %w", oid, err)
+	}
+	return nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

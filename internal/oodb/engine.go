@@ -1,0 +1,314 @@
+package oodb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// segmentSize is the extent preallocation unit — the "hidden segments"
+// overhead.
+const segmentSize = 64 * 1024
+
+const tombstoneLen = 0xFFFFFFFF
+
+// DB is the storage engine: an extent file of [oid, len, payload]
+// records with an in-memory index, plus a named-root table persisted
+// beside it. It is safe for concurrent use.
+type DB struct {
+	mu     sync.Mutex
+	f      *os.File
+	dir    string
+	index  map[OID]recRef
+	roots  map[string]OID
+	next   OID
+	end    int64 // append offset
+	live   int64 // live payload bytes
+	closed bool
+}
+
+type recRef struct {
+	off int64
+	len uint32
+}
+
+// OpenDB opens or creates a database in dir.
+func OpenDB(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "extents.dat"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{f: f, dir: dir, index: map[OID]recRef{}, roots: map[string]OID{}, next: 1}
+	if err := db.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// load rebuilds the index by scanning the extent file and reads the
+// root table.
+func (db *DB) load() error {
+	r := bufio.NewReader(io.NewSectionReader(db.f, 0, 1<<62))
+	var off int64
+	hdr := make([]byte, 12)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			break // EOF or trailing preallocated zeroes
+		}
+		oid := OID(binary.LittleEndian.Uint64(hdr))
+		length := binary.LittleEndian.Uint32(hdr[8:])
+		if oid == 0 {
+			break // preallocated zero region
+		}
+		if length == tombstoneLen {
+			if ref, ok := db.index[oid]; ok {
+				db.live -= int64(ref.len)
+				delete(db.index, oid)
+			}
+			off += 12
+		} else {
+			if old, ok := db.index[oid]; ok {
+				db.live -= int64(old.len)
+			}
+			db.index[oid] = recRef{off: off + 12, len: length}
+			db.live += int64(length)
+			if _, err := r.Discard(int(length)); err != nil {
+				return fmt.Errorf("oodb: truncated record at %d: %w", off, err)
+			}
+			off += 12 + int64(length)
+		}
+		if oid >= db.next {
+			db.next = oid + 1
+		}
+	}
+	db.end = off
+
+	rf, err := os.Open(filepath.Join(db.dir, "roots.gob"))
+	if err == nil {
+		defer rf.Close()
+		if err := gob.NewDecoder(rf).Decode(&db.roots); err != nil {
+			return fmt.Errorf("oodb: bad root table: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// saveRootsLocked rewrites the root table. Caller holds db.mu.
+func (db *DB) saveRootsLocked() error {
+	tmp := filepath.Join(db.dir, "roots.gob.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(db.roots); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(db.dir, "roots.gob"))
+}
+
+// appendLocked writes a record and grows the file to the next segment
+// boundary (the hidden-segment overhead). Caller holds db.mu.
+func (db *DB) appendLocked(oid OID, payload []byte, tombstone bool) error {
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint64(hdr, uint64(oid))
+	if tombstone {
+		binary.LittleEndian.PutUint32(hdr[8:], tombstoneLen)
+	} else {
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	}
+	if _, err := db.f.WriteAt(hdr, db.end); err != nil {
+		return err
+	}
+	if !tombstone {
+		if _, err := db.f.WriteAt(payload, db.end+12); err != nil {
+			return err
+		}
+		db.end += 12 + int64(len(payload))
+	} else {
+		db.end += 12
+	}
+	// Preallocate to the segment boundary.
+	want := (db.end + segmentSize - 1) / segmentSize * segmentSize
+	fi, err := db.f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() < want {
+		if err := db.f.Truncate(want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Store writes payload under oid; oid 0 allocates a fresh OID. The
+// (possibly new) OID is returned.
+func (db *DB) Store(oid OID, payload []byte) (OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	if oid == 0 {
+		oid = db.next
+		db.next++
+	} else if oid >= db.next {
+		db.next = oid + 1
+	}
+	off := db.end + 12
+	if err := db.appendLocked(oid, payload, false); err != nil {
+		return 0, err
+	}
+	if old, ok := db.index[oid]; ok {
+		db.live -= int64(old.len)
+	}
+	db.index[oid] = recRef{off: off, len: uint32(len(payload))}
+	db.live += int64(len(payload))
+	return oid, nil
+}
+
+// Fetch returns the payload for oid.
+func (db *DB) Fetch(oid OID) ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	ref, ok := db.index[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
+	}
+	buf := make([]byte, ref.len)
+	if _, err := db.f.ReadAt(buf, ref.off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Delete removes oid.
+func (db *DB) Delete(oid OID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	ref, ok := db.index[oid]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, oid)
+	}
+	if err := db.appendLocked(oid, nil, true); err != nil {
+		return err
+	}
+	delete(db.index, oid)
+	db.live -= int64(ref.len)
+	return nil
+}
+
+// SetRoot binds a name to an OID.
+func (db *DB) SetRoot(name string, oid OID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.roots[name] = oid
+	return db.saveRootsLocked()
+}
+
+// GetRoot resolves a named root.
+func (db *DB) GetRoot(name string) (OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	oid, ok := db.roots[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: root %q", ErrNotFound, name)
+	}
+	return oid, nil
+}
+
+// Roots returns the root table, sorted by name.
+func (db *DB) Roots() (map[string]OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	out := make(map[string]OID, len(db.roots))
+	for k, v := range db.roots {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// OIDs returns every live OID in ascending order.
+func (db *DB) OIDs() ([]OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	oids := make([]OID, 0, len(db.index))
+	for oid := range db.index {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids, nil
+}
+
+// Stats reports storage accounting including hidden-segment overhead.
+func (db *DB) Stats() (Stats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return Stats{}, ErrClosed
+	}
+	fi, err := db.f.Stat()
+	if err != nil {
+		return Stats{}, err
+	}
+	rootsSize := int64(0)
+	if rfi, err := os.Stat(filepath.Join(db.dir, "roots.gob")); err == nil {
+		rootsSize = rfi.Size()
+	}
+	return Stats{
+		Objects:   len(db.index),
+		LiveBytes: db.live,
+		FileBytes: fi.Size() + rootsSize,
+	}, nil
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.f.Sync(); err != nil {
+		db.f.Close()
+		return err
+	}
+	return db.f.Close()
+}

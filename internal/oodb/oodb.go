@@ -1,0 +1,66 @@
+// Package oodb is a small object-oriented database management system
+// standing in for the commercial OODBMS that Ecce 1.5 was built on. It
+// deliberately reproduces the properties the paper criticises:
+//
+//   - a proprietary binary object format (encoding/gob);
+//   - tight schema/application coupling — client and server exchange a
+//     schema fingerprint at connect time and refuse to talk across
+//     versions, modelling the "schema evolution process made painful
+//     by outdated schema/application compilation cycles";
+//   - a cache-forward architecture — the client keeps fetched objects
+//     in a local cache, the design the paper compares DAV against;
+//   - hidden storage segments — extents are preallocated in fixed-size
+//     segments, so the on-disk footprint exceeds the live data ("our
+//     OODBMS also creates its own overhead, using hidden segments to
+//     optimize performance").
+//
+// Objects are opaque byte payloads addressed by 64-bit OIDs, with a
+// named-root table for entry points. The migration tool walks LISTOIDS
+// to convert databases to the DAV store.
+package oodb
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors shared by client and server.
+var (
+	// ErrSchemaMismatch is returned when client and server schema
+	// fingerprints differ.
+	ErrSchemaMismatch = errors.New("oodb: schema fingerprint mismatch")
+	// ErrNotFound is returned for unknown OIDs or roots.
+	ErrNotFound = errors.New("oodb: object not found")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("oodb: closed")
+)
+
+// OID identifies a stored object. OID 0 is never allocated.
+type OID uint64
+
+// String formats the OID the way the tooling prints it.
+func (o OID) String() string { return fmt.Sprintf("oid:%016x", uint64(o)) }
+
+// SchemaHash fingerprints a schema from class descriptors of the form
+// "ClassName(field:type,field:type,...)". Order is normalized, so two
+// applications compiled against the same class set agree — and any
+// drift (added field, renamed class) changes the fingerprint, which
+// makes the server refuse the connection, exactly the coupling failure
+// the paper complains about.
+func SchemaHash(classes []string) string {
+	sorted := append([]string(nil), classes...)
+	sort.Strings(sorted)
+	sum := sha256.Sum256([]byte(strings.Join(sorted, ";")))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Stats summarizes a database's storage accounting.
+type Stats struct {
+	Objects   int   // live objects
+	LiveBytes int64 // payload bytes (excluding record headers)
+	FileBytes int64 // bytes occupied on disk, including hidden segments
+}

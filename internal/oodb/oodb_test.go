@@ -1,0 +1,456 @@
+package oodb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func openEngine(t *testing.T) *DB {
+	t.Helper()
+	db, err := OpenDB(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestEngineStoreFetchDelete(t *testing.T) {
+	db := openEngine(t)
+	oid, err := db.Store(0, []byte("object one"))
+	if err != nil || oid == 0 {
+		t.Fatalf("Store = (%v, %v)", oid, err)
+	}
+	data, err := db.Fetch(oid)
+	if err != nil || string(data) != "object one" {
+		t.Fatalf("Fetch = (%q, %v)", data, err)
+	}
+	// Overwrite.
+	if _, err := db.Store(oid, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = db.Fetch(oid)
+	if string(data) != "v2" {
+		t.Fatalf("overwritten Fetch = %q", data)
+	}
+	if err := db.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Fetch(oid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Fetch deleted = %v", err)
+	}
+	if err := db.Delete(oid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestEngineOIDsAreUnique(t *testing.T) {
+	db := openEngine(t)
+	seen := map[OID]bool{}
+	for i := 0; i < 100; i++ {
+		oid, err := db.Store(0, []byte{byte(i)})
+		if err != nil || seen[oid] {
+			t.Fatalf("Store %d: oid=%v err=%v dup=%v", i, oid, err, seen[oid])
+		}
+		seen[oid] = true
+	}
+	oids, _ := db.OIDs()
+	if len(oids) != 100 {
+		t.Fatalf("OIDs = %d", len(oids))
+	}
+	// Ascending.
+	for i := 1; i < len(oids); i++ {
+		if oids[i] <= oids[i-1] {
+			t.Fatal("OIDs not ascending")
+		}
+	}
+}
+
+func TestEnginePersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[OID][]byte{}
+	for i := 0; i < 50; i++ {
+		oid, _ := db.Store(0, []byte(fmt.Sprintf("payload-%d", i)))
+		want[oid] = []byte(fmt.Sprintf("payload-%d", i))
+	}
+	// Overwrite and delete a few.
+	var someOID OID
+	for oid := range want {
+		someOID = oid
+		break
+	}
+	db.Store(someOID, []byte("updated"))
+	want[someOID] = []byte("updated")
+	for oid := range want {
+		if oid != someOID {
+			db.Delete(oid)
+			delete(want, oid)
+			break
+		}
+	}
+	db.SetRoot("projects", someOID)
+	db.Close()
+
+	db2, err := OpenDB(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	oids, _ := db2.OIDs()
+	if len(oids) != len(want) {
+		t.Fatalf("reopened OIDs = %d, want %d", len(oids), len(want))
+	}
+	for oid, v := range want {
+		got, err := db2.Fetch(oid)
+		if err != nil || !bytes.Equal(got, v) {
+			t.Fatalf("Fetch(%v) = (%q, %v), want %q", oid, got, err, v)
+		}
+	}
+	root, err := db2.GetRoot("projects")
+	if err != nil || root != someOID {
+		t.Fatalf("GetRoot = (%v, %v)", root, err)
+	}
+	// New OIDs don't collide with old ones.
+	fresh, _ := db2.Store(0, []byte("new"))
+	if _, exists := want[fresh]; exists {
+		t.Fatal("OID reuse after reopen")
+	}
+}
+
+func TestEngineHiddenSegmentOverhead(t *testing.T) {
+	db := openEngine(t)
+	db.Store(0, []byte("tiny"))
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FileBytes < segmentSize {
+		t.Fatalf("FileBytes = %d, want >= one segment (%d)", st.FileBytes, segmentSize)
+	}
+	if st.LiveBytes != 4 || st.Objects != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSchemaHashStableAndOrderIndependent(t *testing.T) {
+	a := SchemaHash([]string{"Molecule(atoms:[]Atom)", "Calc(id:string)"})
+	b := SchemaHash([]string{"Calc(id:string)", "Molecule(atoms:[]Atom)"})
+	if a != b {
+		t.Fatal("SchemaHash should be order independent")
+	}
+	c := SchemaHash([]string{"Calc(id:string,extra:int)", "Molecule(atoms:[]Atom)"})
+	if a == c {
+		t.Fatal("schema drift should change the hash")
+	}
+}
+
+// startServer returns a connected client with the given schema hash.
+func startServer(t *testing.T, serverSchema string) (string, *DB) {
+	t.Helper()
+	db, err := OpenDB(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db, serverSchema)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return addr, db
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	addr, _ := startServer(t, "schema-v1")
+	c, err := Dial(addr, "schema-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	oid, err := c.Store(0, []byte("remote object"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.Fetch(oid)
+	if err != nil || string(data) != "remote object" {
+		t.Fatalf("Fetch = (%q, %v)", data, err)
+	}
+	if err := c.SetRoot("top", oid); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetRoot("top")
+	if err != nil || got != oid {
+		t.Fatalf("GetRoot = (%v, %v)", got, err)
+	}
+	roots, err := c.Roots()
+	if err != nil || roots["top"] != oid {
+		t.Fatalf("Roots = (%v, %v)", roots, err)
+	}
+	oids, err := c.OIDs()
+	if err != nil || len(oids) != 1 || oids[0] != oid {
+		t.Fatalf("OIDs = (%v, %v)", oids, err)
+	}
+	st, err := c.Stat()
+	if err != nil || st.Objects != 1 {
+		t.Fatalf("Stat = (%+v, %v)", st, err)
+	}
+	if err := c.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(oid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Fetch deleted = %v", err)
+	}
+}
+
+func TestSchemaMismatchRefused(t *testing.T) {
+	addr, _ := startServer(t, "schema-v1")
+	if _, err := Dial(addr, "schema-v2"); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("Dial with wrong schema = %v, want ErrSchemaMismatch", err)
+	}
+	// Matching schema still works afterwards.
+	c, err := Dial(addr, "schema-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestCacheForward(t *testing.T) {
+	addr, db := startServer(t, "s")
+	c, err := Dial(addr, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	oid, _ := c.Store(0, []byte("cached"))
+	// Store primes the cache, so the first Fetch is already a hit.
+	if _, err := c.Fetch(oid); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.CacheStats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("stats after fetch = (%d, %d)", hits, misses)
+	}
+	// Even if the server-side object changes behind our back, the
+	// cache-forward client serves the stale copy (the coupling/staleness
+	// trade-off of this architecture).
+	db.Store(oid, []byte("changed on server"))
+	data, _ := c.Fetch(oid)
+	if string(data) != "cached" {
+		t.Fatalf("cache-forward fetch = %q, want stale %q", data, "cached")
+	}
+	// With the cache disabled every fetch hits the server.
+	c.SetCache(false)
+	data, _ = c.Fetch(oid)
+	if string(data) != "changed on server" {
+		t.Fatalf("uncached fetch = %q", data)
+	}
+}
+
+type testMolecule struct {
+	Formula string
+	Charge  int
+	Coords  [][3]float64
+}
+
+func TestStoreFetchObjGob(t *testing.T) {
+	addr, _ := startServer(t, "s")
+	c, err := Dial(addr, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in := testMolecule{Formula: "H2O", Charge: 0, Coords: [][3]float64{{0, 0, 0}, {0.96, 0, 0}}}
+	oid, err := c.StoreObj(0, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out testMolecule
+	if err := c.FetchObj(oid, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("gob round trip: %+v vs %+v", in, out)
+	}
+}
+
+func TestLargeObject(t *testing.T) {
+	addr, _ := startServer(t, "s")
+	c, _ := Dial(addr, "s")
+	defer c.Close()
+	big := bytes.Repeat([]byte{0xCD}, 2<<20)
+	oid, err := c.Store(0, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCache(false)
+	got, err := c.Fetch(oid)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("large fetch: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _ := startServer(t, "s")
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			c, err := Dial(addr, "s")
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 25; i++ {
+				oid, err := c.Store(0, []byte(fmt.Sprintf("g%d-i%d", g, i)))
+				if err != nil {
+					done <- err
+					return
+				}
+				if _, err := c.Fetch(oid); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQuickEngineMapEquivalence drives the engine with random ops and
+// compares against a reference map.
+func TestQuickEngineMapEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := openEngine(t)
+		ref := map[OID][]byte{}
+		var oids []OID
+		for i := 0; i < 150; i++ {
+			switch rng.Intn(4) {
+			case 0, 1: // store new
+				payload := []byte(fmt.Sprintf("v%d", rng.Intn(1000)))
+				oid, err := db.Store(0, payload)
+				if err != nil {
+					return false
+				}
+				ref[oid] = payload
+				oids = append(oids, oid)
+			case 2: // overwrite
+				if len(oids) == 0 {
+					continue
+				}
+				oid := oids[rng.Intn(len(oids))]
+				if _, live := ref[oid]; !live {
+					continue
+				}
+				payload := []byte(fmt.Sprintf("u%d", rng.Intn(1000)))
+				if _, err := db.Store(oid, payload); err != nil {
+					return false
+				}
+				ref[oid] = payload
+			case 3: // delete
+				if len(oids) == 0 {
+					continue
+				}
+				oid := oids[rng.Intn(len(oids))]
+				_, live := ref[oid]
+				err := db.Delete(oid)
+				if live != (err == nil) {
+					return false
+				}
+				delete(ref, oid)
+			}
+		}
+		got, err := db.OIDs()
+		if err != nil || len(got) != len(ref) {
+			return false
+		}
+		for oid, want := range ref {
+			data, err := db.Fetch(oid)
+			if err != nil || !bytes.Equal(data, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRejectsGarbageFrames(t *testing.T) {
+	addr, _ := startServer(t, "s")
+	// A raw connection that never sends a valid HELLO.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")) // wrong protocol entirely
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 64)
+	// The server must drop the connection without replying OK.
+	n, _ := conn.Read(buf)
+	if n > 0 && buf[0] == 0 {
+		t.Fatalf("server accepted garbage handshake: % x", buf[:n])
+	}
+	conn.Close()
+	// The server still serves well-formed clients afterwards.
+	c, err := Dial(addr, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Store(0, []byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientClosedOperations(t *testing.T) {
+	addr, _ := startServer(t, "s")
+	c, err := Dial(addr, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Fetch(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Fetch after close = %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestOversizeFrameRefused(t *testing.T) {
+	// A frame header claiming more than the sanity bound must error
+	// out rather than allocate.
+	var buf bytes.Buffer
+	hdr := make([]byte, 5)
+	hdr[0] = byte(opFetch)
+	binary.LittleEndian.PutUint32(hdr[1:], maxFrame+1)
+	buf.Write(hdr)
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}

@@ -1,0 +1,233 @@
+package oodb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Server exposes a DB over the binary wire protocol. The schema
+// fingerprint supplied at construction is enforced on every
+// connection's HELLO — the schema/application coupling the paper
+// criticises.
+type Server struct {
+	db     *DB
+	schema string
+
+	mu       sync.Mutex
+	listener net.Listener
+	addr     string
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer wraps db with the given schema fingerprint.
+func NewServer(db *DB, schemaHash string) *Server {
+	return &Server{db: db, schema: schemaHash, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen binds addr and serves in the background, returning the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.addr = l.Addr().String()
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			go s.serveConn(conn)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Close stops the server (the DB is left open; close it separately).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	reply := func(ok bool, payload []byte) bool {
+		status := byte(0)
+		if !ok {
+			status = 1
+		}
+		if err := writeFrame(w, status, payload); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	fail := func(err error) bool { return reply(false, []byte(err.Error())) }
+
+	// The first frame must be HELLO with a matching schema hash.
+	kind, payload, err := readFrame(r)
+	if err != nil || op(kind) != opHello {
+		return
+	}
+	if string(payload) != s.schema {
+		fail(ErrSchemaMismatch)
+		return
+	}
+	if !reply(true, nil) {
+		return
+	}
+
+	for {
+		kind, payload, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		var ok bool
+		switch op(kind) {
+		case opFetch:
+			if len(payload) != 8 {
+				ok = fail(ErrNotFound)
+				break
+			}
+			data, err := s.db.Fetch(getOID(payload))
+			if err != nil {
+				ok = fail(err)
+			} else {
+				ok = reply(true, data)
+			}
+		case opStore:
+			if len(payload) < 8 {
+				ok = fail(ErrNotFound)
+				break
+			}
+			oid, err := s.db.Store(getOID(payload), payload[8:])
+			if err != nil {
+				ok = fail(err)
+			} else {
+				out := make([]byte, 8)
+				putOID(out, oid)
+				ok = reply(true, out)
+			}
+		case opDelete:
+			if err := s.db.Delete(getOID(payload)); err != nil {
+				ok = fail(err)
+			} else {
+				ok = reply(true, nil)
+			}
+		case opSetRoot:
+			name, rest, err := getString(payload)
+			if err != nil || len(rest) != 8 {
+				ok = fail(ErrNotFound)
+				break
+			}
+			if err := s.db.SetRoot(name, getOID(rest)); err != nil {
+				ok = fail(err)
+			} else {
+				ok = reply(true, nil)
+			}
+		case opGetRoot:
+			name, _, err := getString(payload)
+			if err != nil {
+				ok = fail(ErrNotFound)
+				break
+			}
+			oid, err := s.db.GetRoot(name)
+			if err != nil {
+				ok = fail(err)
+			} else {
+				out := make([]byte, 8)
+				putOID(out, oid)
+				ok = reply(true, out)
+			}
+		case opListRoots:
+			roots, err := s.db.Roots()
+			if err != nil {
+				ok = fail(err)
+				break
+			}
+			names := make([]string, 0, len(roots))
+			for n := range roots {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			var out []byte
+			var cnt [4]byte
+			binary.LittleEndian.PutUint32(cnt[:], uint32(len(names)))
+			out = append(out, cnt[:]...)
+			for _, n := range names {
+				out = putString(out, n)
+				var ob [8]byte
+				putOID(ob[:], roots[n])
+				out = append(out, ob[:]...)
+			}
+			ok = reply(true, out)
+		case opListOIDs:
+			oids, err := s.db.OIDs()
+			if err != nil {
+				ok = fail(err)
+				break
+			}
+			out := make([]byte, 4+8*len(oids))
+			binary.LittleEndian.PutUint32(out, uint32(len(oids)))
+			for i, oid := range oids {
+				putOID(out[4+8*i:], oid)
+			}
+			ok = reply(true, out)
+		case opStat:
+			st, err := s.db.Stats()
+			if err != nil {
+				ok = fail(err)
+				break
+			}
+			out := make([]byte, 24)
+			binary.LittleEndian.PutUint64(out, uint64(st.Objects))
+			binary.LittleEndian.PutUint64(out[8:], uint64(st.LiveBytes))
+			binary.LittleEndian.PutUint64(out[16:], uint64(st.FileBytes))
+			ok = reply(true, out)
+		default:
+			ok = fail(ErrNotFound)
+		}
+		if !ok {
+			return
+		}
+	}
+}

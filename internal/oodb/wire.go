@@ -1,0 +1,80 @@
+package oodb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: each message is [op byte][len uint32][payload].
+// Replies are [status byte][len uint32][payload], status 0 = OK,
+// 1 = error (payload is the message). This is deliberately a custom
+// binary protocol — the kind of access mechanism the paper calls
+// "incompatible" and "non-discoverable".
+
+type op byte
+
+const (
+	opHello op = iota + 1
+	opFetch
+	opStore
+	opDelete
+	opSetRoot
+	opGetRoot
+	opListRoots
+	opListOIDs
+	opStat
+)
+
+const maxFrame = 1 << 30 // 1 GiB sanity bound
+
+// writeFrame sends one framed message.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	hdr := make([]byte, 5)
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one framed message.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("oodb: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+func putOID(b []byte, oid OID) { binary.LittleEndian.PutUint64(b, uint64(oid)) }
+func getOID(b []byte) OID      { return OID(binary.LittleEndian.Uint64(b)) }
+
+// putString appends a length-prefixed string.
+func putString(b []byte, s string) []byte {
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(s)))
+	return append(append(b, l[:]...), s...)
+}
+
+// getString reads a length-prefixed string, returning it and the rest.
+func getString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("oodb: short string header")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if int(n) > len(b)-4 {
+		return "", nil, fmt.Errorf("oodb: short string body")
+	}
+	return string(b[4 : 4+n]), b[4+n:], nil
+}

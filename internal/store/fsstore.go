@@ -1,0 +1,606 @@
+package store
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"io/fs"
+	"mime"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dbm"
+)
+
+// propDirName is the per-directory metadata directory, mirroring
+// mod_dav's ".DAV" working directory. It is invisible to DAV clients.
+const propDirName = ".DAV"
+
+// collectionPropsFile holds the properties of the directory itself.
+const collectionPropsFile = ".dirprops"
+
+// propsExt is the extension of per-member property databases.
+const propsExt = ".props"
+
+// Internal DBM keys.
+const ikeyContentType = "ctype"
+
+// FSStore is the mod_dav-style store: documents are files, collections
+// are directories, and each resource that has metadata owns a DBM
+// database file under its parent's .DAV directory. Raw data therefore
+// stays directly visible in the filesystem, as the paper requires.
+type FSStore struct {
+	root    string
+	flavour dbm.Flavour
+	mu      sync.RWMutex
+}
+
+var _ Store = (*FSStore)(nil)
+var _ Renamer = (*FSStore)(nil)
+
+// NewFSStore opens (creating if needed) a store rooted at dir, using
+// the given DBM flavour for property databases.
+func NewFSStore(dir string, flavour dbm.Flavour) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &FSStore{root: abs, flavour: flavour}, nil
+}
+
+// Root returns the store's root directory on disk.
+func (s *FSStore) Root() string { return s.root }
+
+// Flavour returns the DBM flavour used for property databases.
+func (s *FSStore) Flavour() dbm.Flavour { return s.flavour }
+
+// Close releases the store. Property databases are opened per
+// operation (as mod_dav did), so there is nothing to flush.
+func (s *FSStore) Close() error { return nil }
+
+// diskPath maps a canonical resource path to a filesystem path,
+// rejecting paths that use the reserved metadata directory name.
+func (s *FSStore) diskPath(p string) (string, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return "", err
+	}
+	if cp != "/" {
+		for _, seg := range strings.Split(cp[1:], "/") {
+			if seg == propDirName {
+				return "", fmt.Errorf("%w: %q is reserved", ErrBadPath, propDirName)
+			}
+		}
+	}
+	return filepath.Join(s.root, filepath.FromSlash(cp)), nil
+}
+
+// propsPath returns the property database path for resource p and
+// whether its parent .DAV directory exists yet.
+func (s *FSStore) propsPath(p string) (string, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return "", err
+	}
+	dp, err := s.diskPath(cp)
+	if err != nil {
+		return "", err
+	}
+	fi, err := os.Stat(dp)
+	if err != nil {
+		return "", mapFSErr(err, cp)
+	}
+	if fi.IsDir() {
+		return filepath.Join(dp, propDirName, collectionPropsFile+propsExt), nil
+	}
+	return filepath.Join(filepath.Dir(dp), propDirName, path.Base(cp)+propsExt), nil
+}
+
+func mapFSErr(err error, p string) error {
+	switch {
+	case err == nil:
+		return nil
+	case os.IsNotExist(err):
+		return fmt.Errorf("%w: %s", ErrNotFound, p)
+	case os.IsExist(err):
+		return fmt.Errorf("%w: %s", ErrExists, p)
+	default:
+		return err
+	}
+}
+
+// Stat implements Store.
+func (s *FSStore) Stat(p string) (ResourceInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.statLocked(p)
+}
+
+func (s *FSStore) statLocked(p string) (ResourceInfo, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return ResourceInfo{}, err
+	}
+	dp, err := s.diskPath(cp)
+	if err != nil {
+		return ResourceInfo{}, err
+	}
+	fi, err := os.Stat(dp)
+	if err != nil {
+		return ResourceInfo{}, mapFSErr(err, cp)
+	}
+	return s.infoFor(cp, fi), nil
+}
+
+func (s *FSStore) infoFor(cp string, fi fs.FileInfo) ResourceInfo {
+	ri := ResourceInfo{
+		Path:         cp,
+		IsCollection: fi.IsDir(),
+		ModTime:      fi.ModTime(),
+		CreateTime:   fi.ModTime(),
+	}
+	if !fi.IsDir() {
+		ri.Size = fi.Size()
+		ri.ETag = fmt.Sprintf(`"%x-%x"`, fi.Size(), fi.ModTime().UnixNano())
+		ri.ContentType = inferContentType(cp)
+		// An explicitly supplied content type overrides the inferred
+		// one; like mod_dav, this is the one piece of system metadata
+		// kept in the property database.
+		if ct, ok := s.internalGet(cp, ikeyContentType); ok && len(ct) > 0 {
+			ri.ContentType = string(ct)
+		}
+	}
+	return ri
+}
+
+// internalGet reads an internal bookkeeping key; misses (including a
+// missing database) are reported as ok=false.
+func (s *FSStore) internalGet(cp, key string) ([]byte, bool) {
+	pp, err := s.propsPath(cp)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := os.Stat(pp); err != nil {
+		return nil, false
+	}
+	db, err := dbm.Open(pp, s.flavour)
+	if err != nil {
+		return nil, false
+	}
+	defer db.Close()
+	v, ok, err := db.Get(internalKey(key))
+	if err != nil {
+		return nil, false
+	}
+	return v, ok
+}
+
+// internalPut writes an internal bookkeeping key, creating the
+// property database if needed.
+func (s *FSStore) internalPut(cp, key string, value []byte) error {
+	return s.withPropsDB(cp, true, func(db *dbm.DB) error {
+		return db.Put(internalKey(key), value)
+	})
+}
+
+// withPropsDB opens the resource's property database, creating it if
+// create is true. When create is false and the database does not
+// exist, fn is not called and the result is nil (empty database
+// semantics).
+func (s *FSStore) withPropsDB(cp string, create bool, fn func(*dbm.DB) error) error {
+	pp, err := s.propsPath(cp)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(pp); err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		if !create {
+			return nil
+		}
+		if err := os.MkdirAll(filepath.Dir(pp), 0o755); err != nil {
+			return err
+		}
+	}
+	db, err := dbm.Open(pp, s.flavour)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	return fn(db)
+}
+
+// List implements Store.
+func (s *FSStore) List(p string) ([]ResourceInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := s.diskPath(cp)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(dp)
+	if err != nil {
+		return nil, mapFSErr(err, cp)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("%w: %s", ErrNotCollection, cp)
+	}
+	ents, err := os.ReadDir(dp)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]ResourceInfo, 0, len(ents))
+	for _, e := range ents {
+		if e.Name() == propDirName {
+			continue
+		}
+		efi, err := e.Info()
+		if err != nil {
+			continue // raced with deletion
+		}
+		child := path.Join(cp, e.Name())
+		infos = append(infos, s.infoFor(child, efi))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Path < infos[j].Path })
+	return infos, nil
+}
+
+// Mkcol implements Store.
+func (s *FSStore) Mkcol(p string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp, err := CleanPath(p)
+	if err != nil {
+		return err
+	}
+	if cp == "/" {
+		return fmt.Errorf("%w: /", ErrExists)
+	}
+	dp, err := s.diskPath(cp)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(dp); err == nil {
+		return fmt.Errorf("%w: %s", ErrExists, cp)
+	}
+	parent := filepath.Dir(dp)
+	pfi, err := os.Stat(parent)
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
+	}
+	if !pfi.IsDir() {
+		return fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
+	}
+	if err := os.Mkdir(dp, 0o755); err != nil {
+		return mapFSErr(err, cp)
+	}
+	return nil
+}
+
+// Put implements Store. The body is staged to a temporary file and
+// renamed into place so concurrent readers never observe a torn
+// document.
+func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return false, err
+	}
+	if cp == "/" {
+		return false, fmt.Errorf("%w: cannot PUT to /", ErrIsCollection)
+	}
+	dp, err := s.diskPath(cp)
+	if err != nil {
+		return false, err
+	}
+
+	s.mu.RLock()
+	parentFI, perr := os.Stat(filepath.Dir(dp))
+	fi, ferr := os.Stat(dp)
+	s.mu.RUnlock()
+	if perr != nil || !parentFI.IsDir() {
+		return false, fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
+	}
+	created := ferr != nil
+	if ferr == nil && fi.IsDir() {
+		return false, fmt.Errorf("%w: %s", ErrIsCollection, cp)
+	}
+
+	tmp, err := os.CreateTemp(filepath.Dir(dp), ".put-*")
+	if err != nil {
+		return false, err
+	}
+	tmpName := tmp.Name()
+	if _, err := io.Copy(tmp, r); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return false, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Rename(tmpName, dp); err != nil {
+		os.Remove(tmpName)
+		return false, err
+	}
+	// mod_dav only materializes a property database for resources that
+	// carry metadata (the disk-overhead experiment depends on this), so
+	// the content type is persisted only when it cannot be re-derived
+	// from the file extension.
+	if contentType != "" && contentType != inferContentType(cp) {
+		if err := s.internalPut(cp, ikeyContentType, []byte(contentType)); err != nil {
+			return created, err
+		}
+	}
+	return created, nil
+}
+
+// inferContentType derives a document's content type from its
+// extension, as mod_dav-era servers did.
+func inferContentType(cp string) string {
+	if ct := mime.TypeByExtension(path.Ext(cp)); ct != "" {
+		return ct
+	}
+	return "application/octet-stream"
+}
+
+// Get implements Store.
+func (s *FSStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ri, err := s.statLocked(p)
+	if err != nil {
+		return nil, ResourceInfo{}, err
+	}
+	if ri.IsCollection {
+		return nil, ResourceInfo{}, fmt.Errorf("%w: %s", ErrIsCollection, ri.Path)
+	}
+	dp, err := s.diskPath(ri.Path)
+	if err != nil {
+		return nil, ResourceInfo{}, err
+	}
+	f, err := os.Open(dp)
+	if err != nil {
+		return nil, ResourceInfo{}, mapFSErr(err, ri.Path)
+	}
+	return f, ri, nil
+}
+
+// Delete implements Store.
+func (s *FSStore) Delete(p string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp, err := CleanPath(p)
+	if err != nil {
+		return err
+	}
+	if cp == "/" {
+		return fmt.Errorf("%w: cannot delete /", ErrBadPath)
+	}
+	dp, err := s.diskPath(cp)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(dp)
+	if err != nil {
+		return mapFSErr(err, cp)
+	}
+	if fi.IsDir() {
+		// Directory properties live inside the directory; one
+		// RemoveAll covers body, members, and all metadata.
+		return os.RemoveAll(dp)
+	}
+	if err := os.Remove(dp); err != nil {
+		return mapFSErr(err, cp)
+	}
+	// Drop the member's property database, if any.
+	pp := filepath.Join(filepath.Dir(dp), propDirName, path.Base(cp)+propsExt)
+	if err := os.Remove(pp); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Rename implements the MOVE fast path: an atomic filesystem rename
+// plus relocation of the member property database.
+func (s *FSStore) Rename(src, dst string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	csrc, err := CleanPath(src)
+	if err != nil {
+		return err
+	}
+	cdst, err := CleanPath(dst)
+	if err != nil {
+		return err
+	}
+	if csrc == "/" || cdst == "/" || csrc == cdst || IsAncestor(csrc, cdst) {
+		return fmt.Errorf("%w: rename %q -> %q", ErrBadPath, src, dst)
+	}
+	sp, err := s.diskPath(csrc)
+	if err != nil {
+		return err
+	}
+	tp, err := s.diskPath(cdst)
+	if err != nil {
+		return err
+	}
+	sfi, err := os.Stat(sp)
+	if err != nil {
+		return mapFSErr(err, csrc)
+	}
+	if _, err := os.Stat(tp); err == nil {
+		return fmt.Errorf("%w: %s", ErrExists, cdst)
+	}
+	if pfi, err := os.Stat(filepath.Dir(tp)); err != nil || !pfi.IsDir() {
+		return fmt.Errorf("%w: %s", ErrConflict, ParentPath(cdst))
+	}
+	if err := os.Rename(sp, tp); err != nil {
+		return err
+	}
+	if !sfi.IsDir() {
+		// Move the member property database alongside.
+		spp := filepath.Join(filepath.Dir(sp), propDirName, path.Base(csrc)+propsExt)
+		if _, err := os.Stat(spp); err == nil {
+			tpp := filepath.Join(filepath.Dir(tp), propDirName, path.Base(cdst)+propsExt)
+			if err := os.MkdirAll(filepath.Dir(tpp), 0o755); err != nil {
+				return err
+			}
+			if err := os.Rename(spp, tpp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PropPut implements Store.
+func (s *FSStore) PropPut(p string, name xml.Name, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp, err := CleanPath(p)
+	if err != nil {
+		return err
+	}
+	if _, err := s.statLocked(cp); err != nil {
+		return err
+	}
+	return s.withPropsDB(cp, true, func(db *dbm.DB) error {
+		return db.Put(propKey(name), value)
+	})
+}
+
+// PropGet implements Store.
+func (s *FSStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp, err := CleanPath(p)
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := s.statLocked(cp); err != nil {
+		return nil, false, err
+	}
+	var val []byte
+	var ok bool
+	err = s.withPropsDB(cp, false, func(db *dbm.DB) error {
+		var e error
+		val, ok, e = db.Get(propKey(name))
+		return e
+	})
+	return val, ok, err
+}
+
+// PropDelete implements Store.
+func (s *FSStore) PropDelete(p string, name xml.Name) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp, err := CleanPath(p)
+	if err != nil {
+		return err
+	}
+	if _, err := s.statLocked(cp); err != nil {
+		return err
+	}
+	return s.withPropsDB(cp, false, func(db *dbm.DB) error {
+		_, err := db.Delete(propKey(name))
+		return err
+	})
+}
+
+// PropNames implements Store.
+func (s *FSStore) PropNames(p string) ([]xml.Name, error) {
+	all, err := s.PropAll(p)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]xml.Name, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if names[i].Space != names[j].Space {
+			return names[i].Space < names[j].Space
+		}
+		return names[i].Local < names[j].Local
+	})
+	return names, nil
+}
+
+// PropAll implements Store.
+func (s *FSStore) PropAll(p string) (map[xml.Name][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.statLocked(cp); err != nil {
+		return nil, err
+	}
+	out := map[xml.Name][]byte{}
+	err = s.withPropsDB(cp, false, func(db *dbm.DB) error {
+		return db.ForEach(func(k, v []byte) error {
+			if name, ok := parsePropKey(k); ok {
+				out[name] = v
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DiskUsage sums the sizes of all regular files under dir — used by
+// the migration experiment to compare storage footprints.
+func DiskUsage(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			fi, err := d.Info()
+			if err != nil {
+				return err
+			}
+			total += fi.Size()
+		}
+		return nil
+	})
+	return total, err
+}
+
+// ContentHash returns the SHA-1 of a document's body, used by tests
+// and the migration verifier.
+func ContentHash(s Store, p string) (string, error) {
+	rc, _, err := s.Get(p)
+	if err != nil {
+		return "", err
+	}
+	defer rc.Close()
+	h := sha1.New()
+	if _, err := io.Copy(h, rc); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,316 @@
+package store
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemStore is an in-memory Store used by tests and micro-benchmarks
+// that want to exclude filesystem noise.
+type MemStore struct {
+	mu  sync.RWMutex
+	res map[string]*memResource
+	now func() time.Time
+}
+
+type memResource struct {
+	isCollection bool
+	data         []byte
+	contentType  string
+	props        map[xml.Name][]byte
+	modTime      time.Time
+	createTime   time.Time
+	version      int64 // bumped on body change, feeds the ETag
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty store containing only the root
+// collection.
+func NewMemStore() *MemStore {
+	s := &MemStore{res: map[string]*memResource{}, now: time.Now}
+	s.res["/"] = &memResource{isCollection: true, props: map[xml.Name][]byte{},
+		modTime: s.now(), createTime: s.now()}
+	return s
+}
+
+// SetClock substitutes the time source (tests).
+func (s *MemStore) SetClock(now func() time.Time) { s.now = now }
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+func (s *MemStore) infoFor(p string, r *memResource) ResourceInfo {
+	ri := ResourceInfo{
+		Path:         p,
+		IsCollection: r.isCollection,
+		ModTime:      r.modTime,
+		CreateTime:   r.createTime,
+	}
+	if !r.isCollection {
+		ri.Size = int64(len(r.data))
+		ri.ContentType = r.contentType
+		if ri.ContentType == "" {
+			ri.ContentType = "application/octet-stream"
+		}
+		ri.ETag = fmt.Sprintf(`"%x-%x"`, len(r.data), r.version)
+	}
+	return ri
+}
+
+// Stat implements Store.
+func (s *MemStore) Stat(p string) (ResourceInfo, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return ResourceInfo{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.res[cp]
+	if !ok {
+		return ResourceInfo{}, fmt.Errorf("%w: %s", ErrNotFound, cp)
+	}
+	return s.infoFor(cp, r), nil
+}
+
+// List implements Store.
+func (s *MemStore) List(p string) ([]ResourceInfo, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.res[cp]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, cp)
+	}
+	if !r.isCollection {
+		return nil, fmt.Errorf("%w: %s", ErrNotCollection, cp)
+	}
+	prefix := cp
+	if prefix != "/" {
+		prefix += "/"
+	}
+	var out []ResourceInfo
+	for q, qr := range s.res {
+		if q == cp || !strings.HasPrefix(q, prefix) {
+			continue
+		}
+		if strings.Contains(q[len(prefix):], "/") {
+			continue // grandchild
+		}
+		out = append(out, s.infoFor(q, qr))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// parentOK reports whether p's parent exists and is a collection.
+// Caller holds s.mu.
+func (s *MemStore) parentOK(p string) bool {
+	parent, ok := s.res[ParentPath(p)]
+	return ok && parent.isCollection
+}
+
+// Mkcol implements Store.
+func (s *MemStore) Mkcol(p string) error {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.res[cp]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, cp)
+	}
+	if !s.parentOK(cp) {
+		return fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
+	}
+	now := s.now()
+	s.res[cp] = &memResource{isCollection: true, props: map[xml.Name][]byte{},
+		modTime: now, createTime: now}
+	return nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(p string, r io.Reader, contentType string) (bool, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return false, err
+	}
+	if cp == "/" {
+		return false, fmt.Errorf("%w: cannot PUT to /", ErrIsCollection)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	existing, ok := s.res[cp]
+	if ok && existing.isCollection {
+		return false, fmt.Errorf("%w: %s", ErrIsCollection, cp)
+	}
+	if !s.parentOK(cp) {
+		return false, fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
+	}
+	now := s.now()
+	if ok {
+		existing.data = data
+		existing.modTime = now
+		existing.version++
+		if contentType != "" {
+			existing.contentType = contentType
+		}
+		return false, nil
+	}
+	s.res[cp] = &memResource{data: data, contentType: contentType,
+		props: map[xml.Name][]byte{}, modTime: now, createTime: now}
+	return true, nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return nil, ResourceInfo{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.res[cp]
+	if !ok {
+		return nil, ResourceInfo{}, fmt.Errorf("%w: %s", ErrNotFound, cp)
+	}
+	if r.isCollection {
+		return nil, ResourceInfo{}, fmt.Errorf("%w: %s", ErrIsCollection, cp)
+	}
+	return io.NopCloser(bytes.NewReader(r.data)), s.infoFor(cp, r), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(p string) error {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return err
+	}
+	if cp == "/" {
+		return fmt.Errorf("%w: cannot delete /", ErrBadPath)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.res[cp]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, cp)
+	}
+	delete(s.res, cp)
+	if r.isCollection {
+		prefix := cp + "/"
+		for q := range s.res {
+			if strings.HasPrefix(q, prefix) {
+				delete(s.res, q)
+			}
+		}
+	}
+	return nil
+}
+
+// withResource looks up a resource under the appropriate lock.
+func (s *MemStore) withResource(p string, write bool, fn func(*memResource) error) error {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return err
+	}
+	if write {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	r, ok := s.res[cp]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, cp)
+	}
+	return fn(r)
+}
+
+// PropPut implements Store.
+func (s *MemStore) PropPut(p string, name xml.Name, value []byte) error {
+	return s.withResource(p, true, func(r *memResource) error {
+		r.props[name] = append([]byte(nil), value...)
+		return nil
+	})
+}
+
+// PropGet implements Store.
+func (s *MemStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
+	var val []byte
+	var ok bool
+	err := s.withResource(p, false, func(r *memResource) error {
+		v, present := r.props[name]
+		if present {
+			val = append([]byte(nil), v...)
+			ok = true
+		}
+		return nil
+	})
+	return val, ok, err
+}
+
+// PropDelete implements Store.
+func (s *MemStore) PropDelete(p string, name xml.Name) error {
+	return s.withResource(p, true, func(r *memResource) error {
+		delete(r.props, name)
+		return nil
+	})
+}
+
+// PropNames implements Store.
+func (s *MemStore) PropNames(p string) ([]xml.Name, error) {
+	var names []xml.Name
+	err := s.withResource(p, false, func(r *memResource) error {
+		for n := range r.props {
+			names = append(names, n)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if names[i].Space != names[j].Space {
+			return names[i].Space < names[j].Space
+		}
+		return names[i].Local < names[j].Local
+	})
+	return names, nil
+}
+
+// PropAll implements Store.
+func (s *MemStore) PropAll(p string) (map[xml.Name][]byte, error) {
+	out := map[xml.Name][]byte{}
+	err := s.withResource(p, false, func(r *memResource) error {
+		for n, v := range r.props {
+			out[n] = append([]byte(nil), v...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Len returns the number of resources (root included), for tests.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.res)
+}

@@ -1,0 +1,293 @@
+// Package store defines the resource store behind the WebDAV server: a
+// hierarchy of collections and documents, each of which may carry
+// arbitrary dead properties.
+//
+// Two implementations are provided. FSStore reproduces the mod_dav
+// layout the paper measured — documents are plain files, collections
+// are directories, and each resource that has metadata gets its own
+// DBM database file — so the raw data remains directly accessible to
+// users, one of the paper's stated goals. MemStore keeps everything in
+// memory for tests and micro-benchmarks.
+package store
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Errors reported by store implementations.
+var (
+	ErrNotFound      = errors.New("store: resource not found")
+	ErrExists        = errors.New("store: resource already exists")
+	ErrNotCollection = errors.New("store: not a collection")
+	ErrIsCollection  = errors.New("store: is a collection")
+	ErrConflict      = errors.New("store: parent collection does not exist")
+	ErrBadPath       = errors.New("store: invalid path")
+)
+
+// ResourceInfo describes one resource.
+type ResourceInfo struct {
+	Path         string // canonical path, "/"-rooted
+	IsCollection bool
+	Size         int64
+	ModTime      time.Time
+	CreateTime   time.Time
+	ContentType  string
+	ETag         string
+}
+
+// Name returns the last path segment (the display name).
+func (ri ResourceInfo) Name() string {
+	if ri.Path == "/" {
+		return "/"
+	}
+	return path.Base(ri.Path)
+}
+
+// Store is the persistence contract the DAV server runs against. All
+// paths are canonical per CleanPath. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Stat describes the resource at p.
+	Stat(p string) (ResourceInfo, error)
+	// List returns the members of the collection at p, sorted by path.
+	List(p string) ([]ResourceInfo, error)
+	// Mkcol creates a collection. The parent must exist (ErrConflict
+	// otherwise); the path must be free (ErrExists otherwise).
+	Mkcol(p string) error
+	// Put creates or replaces the document at p with the contents of
+	// r, recording contentType if non-empty. It reports whether the
+	// document was newly created.
+	Put(p string, r io.Reader, contentType string) (created bool, err error)
+	// Get opens the document at p for reading.
+	Get(p string) (io.ReadCloser, ResourceInfo, error)
+	// Delete removes the resource at p and, if it is a collection, its
+	// entire subtree, including all properties.
+	Delete(p string) error
+
+	// PropPut stores the encoded dead property value under name.
+	PropPut(p string, name xml.Name, value []byte) error
+	// PropGet retrieves a dead property value.
+	PropGet(p string, name xml.Name) ([]byte, bool, error)
+	// PropDelete removes a dead property; absent properties are not an
+	// error (RFC 2518 treats removing a non-existent property as
+	// success).
+	PropDelete(p string, name xml.Name) error
+	// PropNames lists the dead property names on the resource.
+	PropNames(p string) ([]xml.Name, error)
+	// PropAll returns every dead property on the resource.
+	PropAll(p string) (map[xml.Name][]byte, error)
+
+	// Close releases resources held by the store.
+	Close() error
+}
+
+// CleanPath canonicalizes a resource path: forces a leading slash,
+// removes trailing slashes (except the root), resolves "." and "..",
+// and rejects paths that escape the root or contain NUL bytes.
+func CleanPath(p string) (string, error) {
+	if strings.ContainsRune(p, 0) {
+		return "", fmt.Errorf("%w: NUL in %q", ErrBadPath, p)
+	}
+	if p == "" {
+		p = "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	cp := path.Clean(p)
+	if cp != "/" && strings.HasSuffix(cp, "/") {
+		cp = strings.TrimRight(cp, "/")
+	}
+	// path.Clean resolves "..", but a path like "/../x" cleans to
+	// "/x"; that is acceptable (cannot escape). Reject any remaining
+	// ".." (cannot occur after Clean on a rooted path, but keep the
+	// guard for defense in depth).
+	for _, seg := range strings.Split(cp, "/") {
+		if seg == ".." {
+			return "", fmt.Errorf("%w: %q escapes root", ErrBadPath, p)
+		}
+	}
+	return cp, nil
+}
+
+// ParentPath returns the parent collection path of p ("/" for
+// top-level resources and for the root itself).
+func ParentPath(p string) string {
+	if p == "/" {
+		return "/"
+	}
+	dir := path.Dir(p)
+	if dir == "." {
+		return "/"
+	}
+	return dir
+}
+
+// IsAncestor reports whether a is a strict ancestor collection of p.
+func IsAncestor(a, p string) bool {
+	if a == p {
+		return false
+	}
+	if a == "/" {
+		return true
+	}
+	return strings.HasPrefix(p, a+"/")
+}
+
+// propKey encodes a property name as a DBM key. Keys are tagged with a
+// leading 'P' to separate them from internal bookkeeping keys; XML
+// names cannot contain NUL, so it is an unambiguous separator between
+// namespace and local name.
+func propKey(name xml.Name) []byte {
+	return []byte("P" + name.Space + "\x00" + name.Local)
+}
+
+// internalKey names a store-internal DBM entry (content type,
+// creation date, ...).
+func internalKey(name string) []byte { return []byte("I" + name) }
+
+// parsePropKey reverses propKey; non-property keys yield ok=false.
+func parsePropKey(key []byte) (xml.Name, bool) {
+	s := string(key)
+	if !strings.HasPrefix(s, "P") {
+		return xml.Name{}, false
+	}
+	s = s[1:]
+	i := strings.IndexByte(s, 0)
+	if i < 0 {
+		return xml.Name{}, false
+	}
+	return xml.Name{Space: s[:i], Local: s[i+1:]}, true
+}
+
+// Walk visits p and, if it is a collection, every descendant.
+// Collections are visited before their members (pre-order). If fn
+// returns a non-nil error the walk stops and returns it.
+func Walk(s Store, p string, fn func(ResourceInfo) error) error {
+	ri, err := s.Stat(p)
+	if err != nil {
+		return err
+	}
+	if err := fn(ri); err != nil {
+		return err
+	}
+	if !ri.IsCollection {
+		return nil
+	}
+	members, err := s.List(p)
+	if err != nil {
+		return err
+	}
+	for _, m := range members {
+		if err := Walk(s, m.Path, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CopyOptions controls CopyTree.
+type CopyOptions struct {
+	// Recurse copies collection members (Depth: infinity). When false
+	// only the collection resource itself (and its properties) is
+	// copied (Depth: 0).
+	Recurse bool
+}
+
+// CopyTree copies the resource at src to dst within one store,
+// including dead properties, creating dst's resource type to match
+// src. The destination must not already exist (the server resolves
+// Overwrite by deleting first). Descendant failures abort the copy.
+func CopyTree(s Store, src, dst string, opts CopyOptions) error {
+	if src == dst || IsAncestor(src, dst) {
+		return fmt.Errorf("%w: cannot copy %q into itself", ErrBadPath, src)
+	}
+	ri, err := s.Stat(src)
+	if err != nil {
+		return err
+	}
+	if err := copyResource(s, ri, dst); err != nil {
+		return err
+	}
+	if !ri.IsCollection || !opts.Recurse {
+		return nil
+	}
+	members, err := s.List(src)
+	if err != nil {
+		return err
+	}
+	for _, m := range members {
+		rel := strings.TrimPrefix(m.Path, src)
+		if err := CopyTree(s, m.Path, dst+rel, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyResource copies a single resource (body + properties).
+func copyResource(s Store, src ResourceInfo, dst string) error {
+	if src.IsCollection {
+		if err := s.Mkcol(dst); err != nil {
+			return err
+		}
+	} else {
+		rc, _, err := s.Get(src.Path)
+		if err != nil {
+			return err
+		}
+		_, err = s.Put(dst, rc, src.ContentType)
+		rc.Close()
+		if err != nil {
+			return err
+		}
+	}
+	props, err := s.PropAll(src.Path)
+	if err != nil {
+		return err
+	}
+	names := make([]xml.Name, 0, len(props))
+	for n := range props {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if names[i].Space != names[j].Space {
+			return names[i].Space < names[j].Space
+		}
+		return names[i].Local < names[j].Local
+	})
+	for _, n := range names {
+		if err := s.PropPut(dst, n, props[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MoveTree moves src to dst: a recursive copy followed by a recursive
+// delete, which is the generic RFC 2518 semantics. Stores that can
+// rename natively may implement the Renamer fast path.
+func MoveTree(s Store, src, dst string) error {
+	if r, ok := s.(Renamer); ok {
+		if err := r.Rename(src, dst); err == nil {
+			return nil
+		}
+		// Fall back to copy+delete on any rename failure.
+	}
+	if err := CopyTree(s, src, dst, CopyOptions{Recurse: true}); err != nil {
+		return err
+	}
+	return s.Delete(src)
+}
+
+// Renamer is an optional Store fast path for MOVE.
+type Renamer interface {
+	Rename(src, dst string) error
+}

@@ -1,0 +1,780 @@
+package store
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dbm"
+)
+
+// eachStore runs fn against every Store implementation.
+func eachStore(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("Mem", func(t *testing.T) { fn(t, NewMemStore()) })
+	t.Run("FS-GDBM", func(t *testing.T) {
+		s, err := NewFSStore(t.TempDir(), dbm.GDBM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		fn(t, s)
+	})
+	t.Run("FS-SDBM", func(t *testing.T) {
+		s, err := NewFSStore(t.TempDir(), dbm.SDBM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		fn(t, s)
+	})
+}
+
+func mustPut(t *testing.T, s Store, p, body string) {
+	t.Helper()
+	if _, err := s.Put(p, strings.NewReader(body), ""); err != nil {
+		t.Fatalf("Put %s: %v", p, err)
+	}
+}
+
+func mustMkcol(t *testing.T, s Store, p string) {
+	t.Helper()
+	if err := s.Mkcol(p); err != nil {
+		t.Fatalf("Mkcol %s: %v", p, err)
+	}
+}
+
+func readBody(t *testing.T, s Store, p string) string {
+	t.Helper()
+	rc, _, err := s.Get(p)
+	if err != nil {
+		t.Fatalf("Get %s: %v", p, err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("read %s: %v", p, err)
+	}
+	return string(b)
+}
+
+func TestCleanPath(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"", "/", true},
+		{"/", "/", true},
+		{"a/b", "/a/b", true},
+		{"/a/b/", "/a/b", true},
+		{"/a//b", "/a/b", true},
+		{"/a/./b", "/a/b", true},
+		{"/a/x/../b", "/a/b", true},
+		{"/../a", "/a", true}, // cannot escape a rooted path
+		{"/a\x00b", "", false},
+	}
+	for _, c := range cases {
+		got, err := CleanPath(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("CleanPath(%q) = (%q, %v), want (%q, ok=%v)", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestParentAndAncestor(t *testing.T) {
+	if ParentPath("/a/b") != "/a" || ParentPath("/a") != "/" || ParentPath("/") != "/" {
+		t.Fatal("ParentPath mismatch")
+	}
+	if !IsAncestor("/", "/a") || !IsAncestor("/a", "/a/b/c") {
+		t.Fatal("IsAncestor false negative")
+	}
+	if IsAncestor("/a", "/a") || IsAncestor("/a", "/ab") || IsAncestor("/a/b", "/a") {
+		t.Fatal("IsAncestor false positive")
+	}
+}
+
+func TestRootExists(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		ri, err := s.Stat("/")
+		if err != nil || !ri.IsCollection {
+			t.Fatalf("Stat / = %+v, %v", ri, err)
+		}
+	})
+}
+
+func TestPutGetDocument(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		created, err := s.Put("/doc.txt", strings.NewReader("hello"), "text/plain")
+		if err != nil || !created {
+			t.Fatalf("Put: created=%v err=%v", created, err)
+		}
+		if got := readBody(t, s, "/doc.txt"); got != "hello" {
+			t.Fatalf("body = %q", got)
+		}
+		ri, err := s.Stat("/doc.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.IsCollection || ri.Size != 5 || ri.ContentType != "text/plain" {
+			t.Fatalf("info = %+v", ri)
+		}
+		if ri.ETag == "" {
+			t.Fatal("missing ETag")
+		}
+		// Replace is not a create.
+		created, err = s.Put("/doc.txt", strings.NewReader("bye!"), "")
+		if err != nil || created {
+			t.Fatalf("replace: created=%v err=%v", created, err)
+		}
+		if got := readBody(t, s, "/doc.txt"); got != "bye!" {
+			t.Fatalf("replaced body = %q", got)
+		}
+		// Content type sticks from the first Put when not re-supplied.
+		ri2, _ := s.Stat("/doc.txt")
+		if ri2.ContentType != "text/plain" {
+			t.Fatalf("content type after replace = %q", ri2.ContentType)
+		}
+	})
+}
+
+func TestETagChangesOnWrite(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustPut(t, s, "/e.txt", "one one one")
+		ri1, _ := s.Stat("/e.txt")
+		s.Put("/e.txt", strings.NewReader("two two two two"), "")
+		ri2, _ := s.Stat("/e.txt")
+		if ri1.ETag == ri2.ETag {
+			t.Fatalf("ETag unchanged across write: %s", ri1.ETag)
+		}
+	})
+}
+
+func TestMkcolSemantics(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustMkcol(t, s, "/proj")
+		ri, err := s.Stat("/proj")
+		if err != nil || !ri.IsCollection {
+			t.Fatalf("Stat /proj = %+v, %v", ri, err)
+		}
+		if err := s.Mkcol("/proj"); !errors.Is(err, ErrExists) {
+			t.Fatalf("duplicate Mkcol = %v, want ErrExists", err)
+		}
+		if err := s.Mkcol("/no/such/parent"); !errors.Is(err, ErrConflict) {
+			t.Fatalf("orphan Mkcol = %v, want ErrConflict", err)
+		}
+		mustPut(t, s, "/doc", "x")
+		if err := s.Mkcol("/doc/sub"); !errors.Is(err, ErrConflict) {
+			t.Fatalf("Mkcol under document = %v, want ErrConflict", err)
+		}
+	})
+}
+
+func TestPutRequiresParent(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		if _, err := s.Put("/a/b/c.txt", strings.NewReader("x"), ""); !errors.Is(err, ErrConflict) {
+			t.Fatalf("Put without parent = %v, want ErrConflict", err)
+		}
+		if _, err := s.Put("/", strings.NewReader("x"), ""); err == nil {
+			t.Fatal("Put to / should fail")
+		}
+		mustMkcol(t, s, "/a")
+		if _, err := s.Put("/a", strings.NewReader("x"), ""); !errors.Is(err, ErrIsCollection) {
+			t.Fatalf("Put over collection = %v, want ErrIsCollection", err)
+		}
+	})
+}
+
+func TestGetErrors(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		if _, _, err := s.Get("/missing"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get missing = %v, want ErrNotFound", err)
+		}
+		mustMkcol(t, s, "/col")
+		if _, _, err := s.Get("/col"); !errors.Is(err, ErrIsCollection) {
+			t.Fatalf("Get collection = %v, want ErrIsCollection", err)
+		}
+	})
+}
+
+func TestListSortedAndScoped(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustMkcol(t, s, "/c")
+		mustPut(t, s, "/c/zebra", "z")
+		mustPut(t, s, "/c/apple", "a")
+		mustMkcol(t, s, "/c/mid")
+		mustPut(t, s, "/c/mid/nested", "n") // must not appear at depth 1
+		mustPut(t, s, "/other", "o")
+
+		members, err := s.List("/c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, m := range members {
+			names = append(names, m.Path)
+		}
+		want := []string{"/c/apple", "/c/mid", "/c/zebra"}
+		if !reflect.DeepEqual(names, want) {
+			t.Fatalf("List = %v, want %v", names, want)
+		}
+		if _, err := s.List("/c/apple"); !errors.Is(err, ErrNotCollection) {
+			t.Fatalf("List document = %v, want ErrNotCollection", err)
+		}
+		if _, err := s.List("/nope"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("List missing = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestDeleteDocumentAndTree(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustMkcol(t, s, "/t")
+		mustPut(t, s, "/t/a", "1")
+		mustMkcol(t, s, "/t/sub")
+		mustPut(t, s, "/t/sub/b", "2")
+		s.PropPut("/t/sub/b", xml.Name{Space: "ecce:", Local: "x"}, []byte("<x/>"))
+
+		if err := s.Delete("/t/a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Stat("/t/a"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted doc Stat = %v", err)
+		}
+		if err := s.Delete("/t"); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []string{"/t", "/t/sub", "/t/sub/b"} {
+			if _, err := s.Stat(p); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Stat %s after tree delete = %v", p, err)
+			}
+		}
+		if err := s.Delete("/t"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("double delete = %v", err)
+		}
+		if err := s.Delete("/"); err == nil {
+			t.Fatal("deleting / should fail")
+		}
+	})
+}
+
+func TestPropLifecycle(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustPut(t, s, "/m.xyz", "geometry")
+		name := xml.Name{Space: "ecce:", Local: "formula"}
+		val := []byte(`<formula xmlns="ecce:">UO2H30O15</formula>`)
+
+		// Absent property.
+		if _, ok, err := s.PropGet("/m.xyz", name); ok || err != nil {
+			t.Fatalf("PropGet absent = ok=%v err=%v", ok, err)
+		}
+		// Removing an absent property succeeds (RFC 2518).
+		if err := s.PropDelete("/m.xyz", name); err != nil {
+			t.Fatalf("PropDelete absent: %v", err)
+		}
+		if err := s.PropPut("/m.xyz", name, val); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := s.PropGet("/m.xyz", name)
+		if err != nil || !ok || !bytes.Equal(got, val) {
+			t.Fatalf("PropGet = (%q, %v, %v)", got, ok, err)
+		}
+		// Overwrite.
+		val2 := []byte(`<formula xmlns="ecce:">H2O</formula>`)
+		s.PropPut("/m.xyz", name, val2)
+		got, _, _ = s.PropGet("/m.xyz", name)
+		if !bytes.Equal(got, val2) {
+			t.Fatalf("overwritten PropGet = %q", got)
+		}
+		// Names and All.
+		name2 := xml.Name{Space: "ecce:", Local: "charge"}
+		s.PropPut("/m.xyz", name2, []byte("<c>2</c>"))
+		names, err := s.PropNames("/m.xyz")
+		if err != nil || len(names) != 2 {
+			t.Fatalf("PropNames = %v, %v", names, err)
+		}
+		all, err := s.PropAll("/m.xyz")
+		if err != nil || len(all) != 2 || !bytes.Equal(all[name], val2) {
+			t.Fatalf("PropAll = %v, %v", all, err)
+		}
+		// Delete.
+		if err := s.PropDelete("/m.xyz", name); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := s.PropGet("/m.xyz", name); ok {
+			t.Fatal("property survived delete")
+		}
+	})
+}
+
+func TestPropsOnMissingResource(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		name := xml.Name{Space: "e:", Local: "x"}
+		if err := s.PropPut("/gone", name, []byte("v")); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("PropPut missing = %v", err)
+		}
+		if _, _, err := s.PropGet("/gone", name); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("PropGet missing = %v", err)
+		}
+		if _, err := s.PropAll("/gone"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("PropAll missing = %v", err)
+		}
+	})
+}
+
+func TestPropsOnCollections(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustMkcol(t, s, "/proj")
+		name := xml.Name{Space: "ecce:", Local: "description"}
+		if err := s.PropPut("/proj", name, []byte("<d>study</d>")); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := s.PropGet("/proj", name)
+		if err != nil || !ok || string(v) != "<d>study</d>" {
+			t.Fatalf("collection prop = (%q, %v, %v)", v, ok, err)
+		}
+	})
+}
+
+func TestCopyTreeDocumentWithProps(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustPut(t, s, "/src.txt", "body")
+		name := xml.Name{Space: "e:", Local: "k"}
+		s.PropPut("/src.txt", name, []byte("v"))
+		if err := CopyTree(s, "/src.txt", "/dst.txt", CopyOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if got := readBody(t, s, "/dst.txt"); got != "body" {
+			t.Fatalf("copied body = %q", got)
+		}
+		v, ok, _ := s.PropGet("/dst.txt", name)
+		if !ok || string(v) != "v" {
+			t.Fatalf("copied prop = (%q, %v)", v, ok)
+		}
+		// Source intact.
+		if got := readBody(t, s, "/src.txt"); got != "body" {
+			t.Fatal("source mutated by copy")
+		}
+	})
+}
+
+func TestCopyTreeRecursive(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustMkcol(t, s, "/a")
+		mustMkcol(t, s, "/a/sub")
+		mustPut(t, s, "/a/doc", "d")
+		mustPut(t, s, "/a/sub/deep", "x")
+		s.PropPut("/a", xml.Name{Space: "e:", Local: "p"}, []byte("cv"))
+
+		if err := CopyTree(s, "/a", "/b", CopyOptions{Recurse: true}); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []string{"/b", "/b/sub", "/b/doc", "/b/sub/deep"} {
+			if _, err := s.Stat(p); err != nil {
+				t.Fatalf("Stat %s after copy: %v", p, err)
+			}
+		}
+		v, ok, _ := s.PropGet("/b", xml.Name{Space: "e:", Local: "p"})
+		if !ok || string(v) != "cv" {
+			t.Fatal("collection property not copied")
+		}
+		// Depth 0: only the collection itself.
+		if err := CopyTree(s, "/a", "/shallow", CopyOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Stat("/shallow/doc"); !errors.Is(err, ErrNotFound) {
+			t.Fatal("depth-0 copy copied members")
+		}
+	})
+}
+
+func TestCopyIntoSelfRejected(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustMkcol(t, s, "/a")
+		if err := CopyTree(s, "/a", "/a/inside", CopyOptions{Recurse: true}); !errors.Is(err, ErrBadPath) {
+			t.Fatalf("copy into self = %v, want ErrBadPath", err)
+		}
+		if err := CopyTree(s, "/a", "/a", CopyOptions{}); !errors.Is(err, ErrBadPath) {
+			t.Fatalf("copy onto self = %v, want ErrBadPath", err)
+		}
+	})
+}
+
+func TestMoveTree(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustMkcol(t, s, "/m")
+		mustPut(t, s, "/m/doc", "payload")
+		s.PropPut("/m/doc", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+		if err := MoveTree(s, "/m", "/moved"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Stat("/m"); !errors.Is(err, ErrNotFound) {
+			t.Fatal("source survived move")
+		}
+		if got := readBody(t, s, "/moved/doc"); got != "payload" {
+			t.Fatalf("moved body = %q", got)
+		}
+		v, ok, _ := s.PropGet("/moved/doc", xml.Name{Space: "e:", Local: "k"})
+		if !ok || string(v) != "v" {
+			t.Fatal("moved property lost")
+		}
+	})
+}
+
+func TestMoveDocumentRenameKeepsProps(t *testing.T) {
+	// Exercises FSStore's Rename fast path for a single document.
+	s, err := NewFSStore(t.TempDir(), dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustPut(t, s, "/one.txt", "1")
+	s.PropPut("/one.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+	if err := MoveTree(s, "/one.txt", "/two.txt"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.PropGet("/two.txt", xml.Name{Space: "e:", Local: "k"})
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("prop after rename = (%q, %v, %v)", v, ok, err)
+	}
+}
+
+func TestWalkPreOrder(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustMkcol(t, s, "/w")
+		mustPut(t, s, "/w/a", "1")
+		mustMkcol(t, s, "/w/d")
+		mustPut(t, s, "/w/d/b", "2")
+		var visited []string
+		err := Walk(s, "/w", func(ri ResourceInfo) error {
+			visited = append(visited, ri.Path)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"/w", "/w/a", "/w/d", "/w/d/b"}
+		if !reflect.DeepEqual(visited, want) {
+			t.Fatalf("walk = %v, want %v", visited, want)
+		}
+	})
+}
+
+func TestFSStoreHidesPropDir(t *testing.T) {
+	s, err := NewFSStore(t.TempDir(), dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustPut(t, s, "/d.txt", "x")
+	s.PropPut("/d.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+	members, err := s.List("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members {
+		if strings.Contains(m.Path, propDirName) {
+			t.Fatalf("List leaked %s", m.Path)
+		}
+	}
+	if len(members) != 1 {
+		t.Fatalf("List = %v", members)
+	}
+	// The reserved name cannot be addressed.
+	if _, err := s.Stat("/" + propDirName); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("Stat .DAV = %v, want ErrBadPath", err)
+	}
+	if err := s.Mkcol("/sub/" + propDirName); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("Mkcol .DAV = %v, want ErrBadPath", err)
+	}
+}
+
+func TestFSStorePropsPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir, dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "/p.txt", "x")
+	name := xml.Name{Space: "ecce:", Local: "formula"}
+	s.PropPut("/p.txt", name, []byte("<f>H2O</f>"))
+	s.Close()
+
+	s2, err := NewFSStore(dir, dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, ok, err := s2.PropGet("/p.txt", name)
+	if err != nil || !ok || string(v) != "<f>H2O</f>" {
+		t.Fatalf("prop after reopen = (%q, %v, %v)", v, ok, err)
+	}
+}
+
+func TestFSStoreRawDataDirectlyVisible(t *testing.T) {
+	// The paper's "direct access to raw data" requirement: documents
+	// are plain files a user can read without going through DAV.
+	dir := t.TempDir()
+	s, err := NewFSStore(dir, dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustMkcol(t, s, "/calc")
+	mustPut(t, s, "/calc/input.nw", "geometry units angstrom")
+	raw, err := os.ReadFile(filepath.Join(dir, "calc", "input.nw"))
+	if err != nil || string(raw) != "geometry units angstrom" {
+		t.Fatalf("raw file = (%q, %v)", raw, err)
+	}
+}
+
+func TestFSStorePerResourcePropertyDatabases(t *testing.T) {
+	// The disk-overhead experiment depends on one DBM file per
+	// resource that has metadata.
+	dir := t.TempDir()
+	s, err := NewFSStore(dir, dbm.SDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		p := fmt.Sprintf("/doc%d", i)
+		mustPut(t, s, p, "x")
+		s.PropPut(p, xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+	}
+	mustPut(t, s, "/bare", "no props")
+
+	ents, err := os.ReadDir(filepath.Join(dir, propDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 {
+		t.Fatalf("prop databases = %d, want 3 (no database for the bare document)", len(ents))
+	}
+	// Each database is at least SDBM's initial size.
+	for _, e := range ents {
+		fi, _ := e.Info()
+		if fi.Size() < 8*1024 {
+			t.Fatalf("props db %s = %d bytes, want >= 8192", e.Name(), fi.Size())
+		}
+	}
+}
+
+func TestContentHashAndDiskUsage(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir, dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustPut(t, s, "/h", "hello world")
+	h1, err := ContentHash(s, "/h")
+	if err != nil || len(h1) != 40 {
+		t.Fatalf("ContentHash = (%q, %v)", h1, err)
+	}
+	mustPut(t, s, "/h", "changed")
+	h2, _ := ContentHash(s, "/h")
+	if h1 == h2 {
+		t.Fatal("hash unchanged after write")
+	}
+	du, err := DiskUsage(dir)
+	if err != nil || du < int64(len("changed")) {
+		t.Fatalf("DiskUsage = (%d, %v)", du, err)
+	}
+}
+
+// TestQuickPropRoundTrip: for arbitrary names and values, PropPut
+// followed by PropGet returns the value, on both stores.
+func TestQuickPropRoundTrip(t *testing.T) {
+	fsDir := t.TempDir()
+	fsStore, err := NewFSStore(fsDir, dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsStore.Close()
+	memStore := NewMemStore()
+	for _, s := range []Store{memStore, fsStore} {
+		if _, err := s.Put("/target", strings.NewReader("x"), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	locals := []string{"a", "formula", "charge", "long-local-name", "z9"}
+	spaces := []string{"ecce:", "DAV:", "urn:x", "http://example.org/ns#"}
+	check := func(seed int64, val []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		name := xml.Name{Space: spaces[rng.Intn(len(spaces))], Local: locals[rng.Intn(len(locals))]}
+		for _, s := range []Store{memStore, fsStore} {
+			if err := s.PropPut("/target", name, val); err != nil {
+				t.Logf("PropPut: %v", err)
+				return false
+			}
+			got, ok, err := s.PropGet("/target", name)
+			if err != nil || !ok || !bytes.Equal(got, val) {
+				t.Logf("PropGet = (%q, %v, %v), want %q", got, ok, err, val)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCopyPreservesTree: copying a randomly built tree yields an
+// identical structure with identical bodies and properties.
+func TestQuickCopyPreservesTree(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewMemStore()
+		s.Mkcol("/src")
+		var paths []string
+		for i := 0; i < 12; i++ {
+			parent := "/src"
+			if len(paths) > 0 && rng.Intn(2) == 0 {
+				p := paths[rng.Intn(len(paths))]
+				if ri, _ := s.Stat(p); ri.IsCollection {
+					parent = p
+				}
+			}
+			child := fmt.Sprintf("%s/n%d", parent, i)
+			if rng.Intn(2) == 0 {
+				if err := s.Mkcol(child); err != nil {
+					continue
+				}
+			} else {
+				if _, err := s.Put(child, strings.NewReader(fmt.Sprintf("body%d", i)), ""); err != nil {
+					continue
+				}
+			}
+			s.PropPut(child, xml.Name{Space: "e:", Local: "id"}, []byte(fmt.Sprintf("<id>%d</id>", i)))
+			paths = append(paths, child)
+		}
+		if err := CopyTree(s, "/src", "/dst", CopyOptions{Recurse: true}); err != nil {
+			t.Logf("copy: %v", err)
+			return false
+		}
+		ok := true
+		Walk(s, "/src", func(ri ResourceInfo) error {
+			dstPath := "/dst" + strings.TrimPrefix(ri.Path, "/src")
+			dri, err := s.Stat(dstPath)
+			if err != nil || dri.IsCollection != ri.IsCollection {
+				t.Logf("missing or mismatched %s: %v", dstPath, err)
+				ok = false
+				return nil
+			}
+			sp, _ := s.PropAll(ri.Path)
+			dp, _ := s.PropAll(dstPath)
+			if len(sp) != len(dp) {
+				ok = false
+			}
+			for n, v := range sp {
+				if !bytes.Equal(dp[n], v) {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentTypeSurvivesCopy(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		if _, err := s.Put("/m.dat", strings.NewReader("geom"), "chemical/x-xyz"); err != nil {
+			t.Fatal(err)
+		}
+		if err := CopyTree(s, "/m.dat", "/copy.dat", CopyOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		ri, err := s.Stat("/copy.dat")
+		if err != nil || ri.ContentType != "chemical/x-xyz" {
+			t.Fatalf("copied content type = (%q, %v)", ri.ContentType, err)
+		}
+	})
+}
+
+// nonRenamer hides the FSStore Renamer fast path, forcing MoveTree's
+// generic copy+delete fallback.
+type nonRenamer struct{ Store }
+
+func TestMoveTreeWithoutRenamer(t *testing.T) {
+	fs, err := NewFSStore(t.TempDir(), dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	s := nonRenamer{fs}
+	mustMkcol(t, s, "/m")
+	mustPut(t, s, "/m/doc", "payload")
+	s.PropPut("/m/doc", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+	if err := MoveTree(s, "/m", "/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat("/m"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("source survived generic move")
+	}
+	if got := readBody(t, s, "/moved/doc"); got != "payload" {
+		t.Fatalf("moved body = %q", got)
+	}
+	v, ok, _ := s.PropGet("/moved/doc", xml.Name{Space: "e:", Local: "k"})
+	if !ok || string(v) != "v" {
+		t.Fatal("moved property lost in fallback path")
+	}
+}
+
+func TestRenameFastPathErrors(t *testing.T) {
+	fs, err := NewFSStore(t.TempDir(), dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	mustPut(t, fs, "/a", "1")
+	mustPut(t, fs, "/b", "2")
+	// Rename onto an existing target must refuse (never clobber).
+	if err := fs.Rename("/a", "/b"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto existing = %v", err)
+	}
+	if err := fs.Rename("/missing", "/c"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rename of missing = %v", err)
+	}
+	if err := fs.Rename("/a", "/no/parent/x"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("rename without parent = %v", err)
+	}
+	if err := fs.Rename("/a", "/a"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("rename onto self = %v", err)
+	}
+}
+
+// TestQuickCleanPathIdempotent: CleanPath is idempotent and always
+// yields a rooted path without trailing slash.
+func TestQuickCleanPathIdempotent(t *testing.T) {
+	check := func(p string) bool {
+		cp, err := CleanPath(p)
+		if err != nil {
+			return strings.ContainsRune(p, 0) // only NULs are rejected
+		}
+		if !strings.HasPrefix(cp, "/") {
+			return false
+		}
+		if cp != "/" && strings.HasSuffix(cp, "/") {
+			return false
+		}
+		again, err := CleanPath(cp)
+		return err == nil && again == cp
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,376 @@
+// Package tools implements headless analogues of the six Ecce tools
+// that Table 3 measures — Builder, Basis Tool, Calculation Editor,
+// Calculation Viewer, Calculation Manager and Job Launcher. Each tool
+// has the two phases the paper times: Startup (loading the tool's own
+// resources) and Load (pulling one calculation's data from storage).
+//
+// Crucially, every tool depends only on core.DataStorage: the same
+// tool code runs against the OODB baseline (Ecce 1.5) and the DAV
+// architecture (Ecce 2.0), which is how the Table 3 comparison is able
+// to isolate the storage layer.
+package tools
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Tool is one Ecce application.
+type Tool interface {
+	// Name is the Table 3 row label.
+	Name() string
+	// Startup performs the tool's own initialization (the "Cold/Warm
+	// Start" column).
+	Startup() error
+	// Load pulls one calculation's data (the "UO2-15H2O" column). The
+	// returned summary is what the tool would render.
+	Load(calcPath string) (string, error)
+}
+
+// All returns the six tools of Table 3, in the paper's column order.
+func All(s core.DataStorage) []Tool {
+	return []Tool{
+		NewBuilder(s),
+		NewBasisTool(s),
+		NewCalcEditor(s),
+		NewCalcViewer(s),
+		NewCalcManager(s),
+		NewJobLauncher(s),
+	}
+}
+
+// Builder is the molecule construction tool: on load it fetches the
+// study subject and rebuilds the rendering model (bonds, fragments).
+type Builder struct {
+	s         core.DataStorage
+	fragments map[string]*chem.Molecule
+}
+
+// NewBuilder returns a Builder over s.
+func NewBuilder(s core.DataStorage) *Builder { return &Builder{s: s} }
+
+// Name implements Tool.
+func (b *Builder) Name() string { return "Builder" }
+
+// Startup loads the fragment library the Builder's palette offers.
+func (b *Builder) Startup() error {
+	b.fragments = map[string]*chem.Molecule{
+		"water":  chem.MakeWater(),
+		"uranyl": {Name: "uranyl", Charge: 2, Atoms: []chem.Atom{{Symbol: "U"}, {Symbol: "O", Z: 1.76}, {Symbol: "O", Z: -1.76}}},
+	}
+	for n := 1; n <= 8; n++ {
+		b.fragments[fmt.Sprintf("uo2-%dh2o", n)] = chem.MakeUO2nH2O(n)
+	}
+	// Touch the element table so it is resident, as the real Builder
+	// would have its periodic table loaded.
+	for _, sym := range chem.KnownSymbols() {
+		if _, ok := chem.LookupElement(sym); !ok {
+			return fmt.Errorf("builder: element table inconsistent at %s", sym)
+		}
+	}
+	return nil
+}
+
+// Load implements Tool.
+func (b *Builder) Load(calcPath string) (string, error) {
+	mol, err := b.s.LoadMolecule(calcPath)
+	if err != nil {
+		return "", err
+	}
+	bonds := mol.PerceiveBonds(1.2)
+	frags := mol.ConnectedFragments(1.2)
+	return fmt.Sprintf("%s: %d atoms, %d bonds, %d fragments, mass %.2f",
+		mol.Formula(), mol.AtomCount(), len(bonds), len(frags), mol.Mass()), nil
+}
+
+// BasisTool manages Gaussian basis sets.
+type BasisTool struct {
+	s       core.DataStorage
+	library map[string]*chem.BasisSet
+}
+
+// NewBasisTool returns a BasisTool over s.
+func NewBasisTool(s core.DataStorage) *BasisTool { return &BasisTool{s: s} }
+
+// Name implements Tool.
+func (b *BasisTool) Name() string { return "BasisTool" }
+
+// Startup loads the basis library. The real tool reads hundreds of
+// sets; we synthesize scaled variants of STO-3G to model that cost.
+func (b *BasisTool) Startup() error {
+	b.library = map[string]*chem.BasisSet{"STO-3G": chem.STO3G()}
+	for i := 2; i <= 40; i++ {
+		v := chem.STO3G()
+		v.Name = fmt.Sprintf("SYN-%d", i)
+		for e := range v.Elements {
+			for sh := range v.Elements[e].Shells {
+				for p := range v.Elements[e].Shells[sh].Primitives {
+					v.Elements[e].Shells[sh].Primitives[p].Exponent *= 1 + 0.01*float64(i)
+				}
+			}
+		}
+		// Round-trip through the text codec, as the real tool parses
+		// its library files at startup.
+		parsed, err := chem.ParseBasisBytes(v.Encode())
+		if err != nil {
+			return fmt.Errorf("basistool: library entry %d: %w", i, err)
+		}
+		b.library[parsed.Name] = parsed
+	}
+	return nil
+}
+
+// Load implements Tool.
+func (b *BasisTool) Load(calcPath string) (string, error) {
+	mol, err := b.s.LoadMolecule(calcPath)
+	if err != nil {
+		return "", err
+	}
+	bs, err := b.s.LoadBasis(calcPath)
+	if err != nil {
+		return "", err
+	}
+	if !bs.Covers(mol) {
+		return "", fmt.Errorf("basistool: %s does not cover %s", bs.Name, mol.Formula())
+	}
+	return fmt.Sprintf("%s on %s: %d contracted shells",
+		bs.Name, mol.Formula(), bs.FunctionCount(mol)), nil
+}
+
+// CalcEditor edits calculation setup: theory, tasks, input decks.
+type CalcEditor struct {
+	s         core.DataStorage
+	templates map[string]string
+}
+
+// NewCalcEditor returns a CalcEditor over s.
+func NewCalcEditor(s core.DataStorage) *CalcEditor { return &CalcEditor{s: s} }
+
+// Name implements Tool.
+func (e *CalcEditor) Name() string { return "Calc Editor" }
+
+// Startup loads the theory templates the editor offers.
+func (e *CalcEditor) Startup() error {
+	e.templates = map[string]string{}
+	for _, theory := range []string{"SCF", "DFT", "MP2", "CCSD", "CCSD(T)"} {
+		for _, kind := range []model.TaskKind{model.TaskEnergy, model.TaskOptimize, model.TaskFrequency} {
+			deck, err := model.GenerateInputDeck(
+				&model.Calculation{Name: "template", Theory: theory},
+				chem.MakeWater(), chem.STO3G(), &model.Task{Kind: kind})
+			if err != nil {
+				return fmt.Errorf("calceditor: template %s/%s: %w", theory, kind, err)
+			}
+			e.templates[theory+"/"+string(kind)] = deck
+		}
+	}
+	return nil
+}
+
+// Load implements Tool: it fetches the calculation, its molecule and
+// tasks, and regenerates the deck preview.
+func (e *CalcEditor) Load(calcPath string) (string, error) {
+	calc, err := e.s.LoadCalculation(calcPath)
+	if err != nil {
+		return "", err
+	}
+	mol, err := e.s.LoadMolecule(calcPath)
+	if err != nil {
+		return "", err
+	}
+	tasks, err := e.s.LoadTasks(calcPath)
+	if err != nil {
+		return "", err
+	}
+	deckLines := 0
+	for _, t := range tasks {
+		deckLines += strings.Count(t.InputDeck, "\n")
+	}
+	return fmt.Sprintf("%s [%s] %s: %d tasks, %d deck lines",
+		calc.Name, calc.State, mol.Formula(), len(tasks), deckLines), nil
+}
+
+// CalcViewer is the post-run analysis tool: it loads everything,
+// including the large output properties.
+type CalcViewer struct {
+	s core.DataStorage
+}
+
+// NewCalcViewer returns a CalcViewer over s.
+func NewCalcViewer(s core.DataStorage) *CalcViewer { return &CalcViewer{s: s} }
+
+// Name implements Tool.
+func (v *CalcViewer) Name() string { return "Calc Viewer" }
+
+// Startup is light: the viewer's palettes are static.
+func (v *CalcViewer) Startup() error { return nil }
+
+// Load implements Tool: the full bundle plus per-property statistics
+// (what the viewer's plots are built from).
+func (v *CalcViewer) Load(calcPath string) (string, error) {
+	b, err := core.LoadBundle(v.s, calcPath)
+	if err != nil {
+		return "", err
+	}
+	if b.Molecule == nil {
+		return "", fmt.Errorf("calcviewer: %s has no molecule", calcPath)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%s): %d properties", b.Calc.Name, b.Molecule.Formula(), len(b.Properties))
+	var totalValues int
+	for _, p := range b.Properties {
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for _, x := range p.Values {
+			minV = math.Min(minV, x)
+			maxV = math.Max(maxV, x)
+		}
+		totalValues += len(p.Values)
+		fmt.Fprintf(&sb, "; %s[%d] %.3g..%.3g", p.Name, len(p.Values), minV, maxV)
+	}
+	fmt.Fprintf(&sb, "; %d values total", totalValues)
+	return sb.String(), nil
+}
+
+// CalcManager browses the project tree (the paper's Table 3 marks its
+// per-calculation load as not applicable; Load here summarizes the
+// enclosing project instead).
+type CalcManager struct {
+	s core.DataStorage
+}
+
+// NewCalcManager returns a CalcManager over s.
+func NewCalcManager(s core.DataStorage) *CalcManager { return &CalcManager{s: s} }
+
+// Name implements Tool.
+func (m *CalcManager) Name() string { return "Calc Manager" }
+
+// Startup is light.
+func (m *CalcManager) Startup() error { return nil }
+
+// Load summarizes the project containing calcPath: entry counts by
+// type and calculation states.
+func (m *CalcManager) Load(calcPath string) (string, error) {
+	projPath := parentPath(calcPath)
+	entries, err := m.s.List(projPath)
+	if err != nil {
+		return "", err
+	}
+	states := map[model.State]int{}
+	calcs := 0
+	for _, e := range entries {
+		if e.Type != core.TypeCalculation {
+			continue
+		}
+		calcs++
+		c, err := m.s.LoadCalculation(e.Path)
+		if err != nil {
+			return "", err
+		}
+		states[c.State]++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d calculations", projPath, calcs)
+	for st := model.StateCreated; st <= model.StateFailed; st++ {
+		if states[st] > 0 {
+			fmt.Fprintf(&sb, ", %d %s", states[st], st)
+		}
+	}
+	return sb.String(), nil
+}
+
+// JobLauncher validates and records job submissions.
+type JobLauncher struct {
+	s        core.DataStorage
+	machines []Machine
+}
+
+// Machine is one compute-host registration, as Ecce's launcher
+// configures.
+type Machine struct {
+	Host     string
+	Queue    string
+	MaxNodes int
+}
+
+// NewJobLauncher returns a JobLauncher over s.
+func NewJobLauncher(s core.DataStorage) *JobLauncher { return &JobLauncher{s: s} }
+
+// Name implements Tool.
+func (j *JobLauncher) Name() string { return "Job Launcher" }
+
+// Startup loads the machine registry.
+func (j *JobLauncher) Startup() error {
+	j.machines = []Machine{
+		{Host: "mpp2.emsl.pnl.gov", Queue: "large", MaxNodes: 512},
+		{Host: "mpp2.emsl.pnl.gov", Queue: "small", MaxNodes: 32},
+		{Host: "colony.emsl.pnl.gov", Queue: "normal", MaxNodes: 128},
+		{Host: "localhost", Queue: "interactive", MaxNodes: 1},
+	}
+	return nil
+}
+
+// Load implements Tool: fetch the calculation and its job record and
+// check launch readiness.
+func (j *JobLauncher) Load(calcPath string) (string, error) {
+	calc, err := j.s.LoadCalculation(calcPath)
+	if err != nil {
+		return "", err
+	}
+	job, err := j.s.LoadJob(calcPath)
+	if err != nil {
+		// No job yet: report readiness from the calculation state.
+		if calc.State == model.StateReady {
+			return fmt.Sprintf("%s: ready to launch (%d machines)", calc.Name, len(j.machines)), nil
+		}
+		return fmt.Sprintf("%s: not launchable in state %s", calc.Name, calc.State), nil
+	}
+	return fmt.Sprintf("%s: job %s on %s/%s (%d nodes) %s",
+		calc.Name, job.BatchID, job.Host, job.Queue, job.NodeCount, job.Status), nil
+}
+
+// Submit validates a submission against the machine registry, records
+// the job, and advances the calculation state.
+func (j *JobLauncher) Submit(calcPath, host, queue string, nodes int) error {
+	var machine *Machine
+	for i := range j.machines {
+		if j.machines[i].Host == host && j.machines[i].Queue == queue {
+			machine = &j.machines[i]
+			break
+		}
+	}
+	if machine == nil {
+		return fmt.Errorf("joblauncher: no machine %s/%s", host, queue)
+	}
+	if nodes < 1 || nodes > machine.MaxNodes {
+		return fmt.Errorf("joblauncher: %d nodes outside 1..%d for %s/%s",
+			nodes, machine.MaxNodes, host, queue)
+	}
+	calc, err := j.s.LoadCalculation(calcPath)
+	if err != nil {
+		return err
+	}
+	if !model.CanTransition(calc.State, model.StateSubmitted) {
+		return fmt.Errorf("joblauncher: cannot submit from state %s", calc.State)
+	}
+	calc.State = model.StateSubmitted
+	if err := j.s.SaveCalculation(calcPath, calc); err != nil {
+		return err
+	}
+	return j.s.SaveJob(calcPath, model.Job{
+		Host: host, Queue: queue, NodeCount: nodes, Status: model.JobPending,
+	})
+}
+
+// parentPath trims the last path segment.
+func parentPath(p string) string {
+	p = strings.TrimSuffix(p, "/")
+	i := strings.LastIndex(p, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}

@@ -1,0 +1,260 @@
+package tools
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/davclient"
+	"repro/internal/davserver"
+	"repro/internal/model"
+	"repro/internal/oodb"
+	"repro/internal/store"
+)
+
+// populate builds the standard UO2·15H2O workload in a storage.
+func populate(t *testing.T, s core.DataStorage) string {
+	t.Helper()
+	if err := s.CreateProject("/aqueous", model.Project{Name: "aqueous"}); err != nil {
+		t.Fatal(err)
+	}
+	calcPath := "/aqueous/uranyl"
+	if err := s.CreateCalculation(calcPath, model.Calculation{
+		Name: "uranyl", Theory: "DFT", State: model.StateReady}); err != nil {
+		t.Fatal(err)
+	}
+	mol := chem.MakeUO2nH2O(15)
+	if err := s.SaveMolecule(calcPath, mol, chem.FormatXYZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveBasis(calcPath, chem.STO3G()); err != nil {
+		t.Fatal(err)
+	}
+	deck, err := model.GenerateInputDeck(&model.Calculation{Name: "uranyl", Theory: "DFT"},
+		mol, chem.STO3G(), &model.Task{Kind: model.TaskEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveTask(calcPath, model.Task{
+		Name: "energy", Kind: model.TaskEnergy, Sequence: 1, InputDeck: deck}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range (model.SyntheticRunner{GridPoints: 8}).Run(mol, model.TaskEnergy) {
+		if err := s.SaveProperty(calcPath, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return calcPath
+}
+
+func newDAV(t *testing.T) core.DataStorage {
+	t.Helper()
+	srv := httptest.NewServer(davserver.NewHandler(store.NewMemStore(), nil))
+	t.Cleanup(srv.Close)
+	c, err := davclient.New(davclient.Config{BaseURL: srv.URL, Persistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewDAVStorage(c)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func newOODB(t *testing.T) core.DataStorage {
+	t.Helper()
+	db, err := oodb.OpenDB(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := oodb.NewServer(db, core.SchemaFingerprint())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); db.Close() })
+	c, err := oodb.Dial(addr, core.SchemaFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewOODBStorage(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestAllToolsOnBothBackends is the Figure 2 integration test: the
+// same tool code, unchanged, runs against both architectures.
+func TestAllToolsOnBothBackends(t *testing.T) {
+	backends := map[string]func(*testing.T) core.DataStorage{
+		"DAV":  newDAV,
+		"OODB": newOODB,
+	}
+	for name, mk := range backends {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			calcPath := populate(t, s)
+			for _, tool := range All(s) {
+				if err := tool.Startup(); err != nil {
+					t.Fatalf("%s startup: %v", tool.Name(), err)
+				}
+				summary, err := tool.Load(calcPath)
+				if err != nil {
+					t.Fatalf("%s load: %v", tool.Name(), err)
+				}
+				if summary == "" {
+					t.Fatalf("%s produced empty summary", tool.Name())
+				}
+				t.Logf("%s: %s", tool.Name(), truncate(summary, 100))
+			}
+		})
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func TestBuilderSummary(t *testing.T) {
+	s := newDAV(t)
+	calcPath := populate(t, s)
+	b := NewBuilder(s)
+	if err := b.Startup(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Load(calcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 atoms, 16 fragments (uranyl + 15 waters).
+	for _, want := range []string{"H30O17U", "48 atoms", "16 fragments"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("builder summary %q missing %q", got, want)
+		}
+	}
+}
+
+func TestBasisToolChecksCoverage(t *testing.T) {
+	s := newDAV(t)
+	s.CreateProject("/p", model.Project{Name: "p"})
+	s.CreateCalculation("/p/c", model.Calculation{Name: "c"})
+	iron := &chem.Molecule{Name: "iron", Atoms: []chem.Atom{{Symbol: "Fe"}}}
+	s.SaveMolecule("/p/c", iron, chem.FormatXYZ)
+	s.SaveBasis("/p/c", chem.STO3G())
+	bt := NewBasisTool(s)
+	if err := bt.Startup(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bt.Load("/p/c"); err == nil {
+		t.Fatal("uncovered molecule accepted")
+	}
+}
+
+func TestCalcViewerReportsProperties(t *testing.T) {
+	s := newDAV(t)
+	calcPath := populate(t, s)
+	v := NewCalcViewer(s)
+	v.Startup()
+	got, err := v.Load(calcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"total energy", "dipole moment", "electron density"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("viewer summary missing %q: %s", want, got)
+		}
+	}
+}
+
+func TestCalcManagerCountsStates(t *testing.T) {
+	s := newDAV(t)
+	calcPath := populate(t, s)
+	s.CreateCalculation("/aqueous/second", model.Calculation{Name: "second"})
+	m := NewCalcManager(s)
+	m.Startup()
+	got, err := m.Load(calcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2 calculations", "1 ready", "1 created"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("manager summary missing %q: %s", want, got)
+		}
+	}
+}
+
+func TestJobLauncherSubmitWorkflow(t *testing.T) {
+	s := newDAV(t)
+	calcPath := populate(t, s)
+	j := NewJobLauncher(s)
+	if err := j.Startup(); err != nil {
+		t.Fatal(err)
+	}
+	// Before submission the tool reports readiness.
+	got, _ := j.Load(calcPath)
+	if !strings.Contains(got, "ready to launch") {
+		t.Fatalf("pre-submit summary: %s", got)
+	}
+	// Bad machine, bad node count.
+	if err := j.Submit(calcPath, "nowhere", "none", 1); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if err := j.Submit(calcPath, "mpp2.emsl.pnl.gov", "small", 999); err == nil {
+		t.Fatal("oversize request accepted")
+	}
+	// Good submission.
+	if err := j.Submit(calcPath, "mpp2.emsl.pnl.gov", "large", 64); err != nil {
+		t.Fatal(err)
+	}
+	calc, _ := s.LoadCalculation(calcPath)
+	if calc.State != model.StateSubmitted {
+		t.Fatalf("state after submit = %v", calc.State)
+	}
+	got, _ = j.Load(calcPath)
+	if !strings.Contains(got, "mpp2.emsl.pnl.gov/large") || !strings.Contains(got, "64 nodes") {
+		t.Fatalf("post-submit summary: %s", got)
+	}
+	// Double submission is rejected by the lifecycle.
+	if err := j.Submit(calcPath, "mpp2.emsl.pnl.gov", "large", 64); err == nil {
+		t.Fatal("double submit accepted")
+	}
+}
+
+func TestCalcEditorRegeneratesDecks(t *testing.T) {
+	s := newDAV(t)
+	calcPath := populate(t, s)
+	e := NewCalcEditor(s)
+	if err := e.Startup(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.templates) != 15 {
+		t.Fatalf("templates = %d, want 15 (5 theories x 3 kinds)", len(e.templates))
+	}
+	got, err := e.Load(calcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "1 tasks") || !strings.Contains(got, "H30O17U") {
+		t.Fatalf("editor summary: %s", got)
+	}
+}
+
+func TestLoadMissingCalculation(t *testing.T) {
+	s := newDAV(t)
+	populate(t, s)
+	for _, tool := range All(s) {
+		tool.Startup()
+		if tool.Name() == "Calc Manager" {
+			continue // manager summarizes the parent, which exists
+		}
+		if _, err := tool.Load("/aqueous/ghost"); err == nil {
+			t.Fatalf("%s loaded a missing calculation", tool.Name())
+		}
+	}
+}
