@@ -2,7 +2,9 @@
 // equivalent in the reproduced architecture. It serves a filesystem
 // store (documents as plain files, properties in per-resource DBM
 // databases) over the RFC 2518 method set, with optional HTTP basic
-// authentication.
+// authentication, and runs behind the hardened lifecycle: panic
+// recovery, optional request timeouts and body limits, /healthz and
+// /readyz probes, and graceful shutdown with connection draining.
 //
 // Usage:
 //
@@ -10,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/auth"
 	"repro/internal/davserver"
@@ -37,7 +41,14 @@ func main() {
 			"per-property size limit in bytes (the paper's production setting is 10 MB); -1 = unlimited")
 		connsPerMin = flag.Int("max-conn-per-min", 100,
 			"accepted connections per minute (the paper's Apache setting); 0 = unlimited")
-		quiet = flag.Bool("quiet", false, "suppress request error logging")
+		reqTimeout = flag.Duration("request-timeout", 0,
+			"per-request handling timeout; 0 disables (leave off when serving very large documents)")
+		maxBody = flag.Int64("max-body-bytes", 0,
+			"request body size limit in bytes; 0 = unlimited (the paper PUTs 200 MB documents)")
+		grace = flag.Duration("shutdown-grace", 15*time.Second,
+			"how long to drain in-flight requests on SIGINT/SIGTERM before forcing exit")
+		noHealth = flag.Bool("no-health", false, "disable the /healthz and /readyz probe endpoints")
+		quiet    = flag.Bool("quiet", false, "suppress request error logging")
 	)
 	flag.Parse()
 
@@ -58,8 +69,10 @@ func main() {
 	defer fs.Close()
 
 	opts := &davserver.Options{MaxPropBytes: *maxProp, Prefix: *prefix}
+	var logger *log.Logger
 	if !*quiet {
-		opts.Logger = log.New(os.Stderr, "davd: ", log.LstdFlags)
+		logger = log.New(os.Stderr, "davd: ", log.LstdFlags)
+		opts.Logger = logger
 	}
 	handler := http.Handler(davserver.NewHandler(fs, opts))
 
@@ -72,24 +85,61 @@ func main() {
 		log.Printf("davd: basic authentication enabled (%d users)", len(users.Names()))
 	}
 
+	// Hardened lifecycle: panic recovery, request timeout, body limit.
+	handler = davserver.Harden(handler, davserver.HardenOptions{
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+	})
+
+	// Probe endpoints live outside the auth wrapper so orchestrators
+	// can poll them without credentials; they shadow same-named DAV
+	// resources only when no prefix isolates the DAV tree.
+	health := davserver.NewHealth(fs)
+	mux := http.NewServeMux()
+	if !*noHealth {
+		health.Register(mux)
+	}
+	mux.Handle("/", handler)
+
 	// The paper's server accepted persistent connections with "15
 	// seconds between requests" and "100 connections per minute".
-	srv := &http.Server{Handler: handler, IdleTimeout: davserver.KeepAliveTimeout}
+	srv := &http.Server{Handler: mux, IdleTimeout: davserver.KeepAliveTimeout}
 	listener, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("davd: listen: %v", err)
 	}
 	limited := davserver.LimitConnections(listener, *connsPerMin)
+
+	// Graceful shutdown: on the first signal, flip readiness so load
+	// balancers drain us, then let in-flight requests finish within the
+	// grace window. A second signal, or an expired window, forces exit.
+	done := make(chan struct{})
 	go func() {
-		sig := make(chan os.Signal, 1)
+		defer close(done)
+		sig := make(chan os.Signal, 2)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("davd: shutting down")
-		srv.Close()
+		log.Printf("davd: draining (up to %s); signal again to force exit", *grace)
+		health.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		go func() {
+			<-sig
+			log.Printf("davd: forced exit")
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("davd: drain incomplete: %v", err)
+			srv.Close()
+		} else {
+			log.Printf("davd: drained cleanly")
+		}
 	}()
 
 	fmt.Printf("davd: serving %s (%s properties) on http://%s%s\n", fs.Root(), fl, limited.Addr(), *prefix)
 	if err := srv.Serve(limited); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("davd: %v", err)
 	}
+	<-done
 }

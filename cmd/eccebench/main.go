@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eccebench [flags] <table1|table2|table3|robust|disk|ablation|all>
+//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|all>
 //
 // By default the paper's full workload sizes are used for table1 and
 // table3; table2, robust and disk default to scaled sizes unless -full
@@ -31,7 +31,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|ablation|all>")
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -108,10 +108,22 @@ func main() {
 		return nil
 	})
 
+	run("chaos", func() error {
+		res, err := experiments.RunChaos(experiments.DefaultChaosOptions())
+		if err != nil {
+			return err
+		}
+		res.Table().Fprint(os.Stdout)
+		if !res.Passed() {
+			return fmt.Errorf("chaos workload leaked errors through the retry layer")
+		}
+		return nil
+	})
+
 	run("ablation", runAblations)
 
 	switch which {
-	case "table1", "table2", "table3", "robust", "disk", "ablation", "all":
+	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
 		os.Exit(2)

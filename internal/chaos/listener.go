@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+)
+
+// Listener wraps a net.Listener with per-connection fault injection.
+// One decision is drawn per accepted connection and shapes that
+// connection's whole lifetime:
+//
+//   - Reset closes the socket immediately (the client sees a reset on
+//     first use — a full accept queue being recycled),
+//   - Truncate closes the connection after TruncateAfter bytes have
+//     been written back to the client (a mid-response crash),
+//   - Stall blocks the first server-side read until the peer gives up,
+//   - Latency delays the first read (a slow peer).
+type Listener struct {
+	net.Listener
+	// Injector decides per-connection faults; nil disables injection.
+	Injector *Injector
+}
+
+// Wrap returns a fault-injecting listener over l.
+func Wrap(l net.Listener, in *Injector) *Listener {
+	return &Listener{Listener: l, Injector: in}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.Injector == nil {
+			return conn, nil
+		}
+		switch k := l.Injector.Next(); k {
+		case Reset:
+			conn.Close()
+			continue // the client owns the failure; keep serving others
+		case None:
+			return conn, nil
+		default:
+			return &Conn{Conn: conn, kind: k, in: l.Injector}, nil
+		}
+	}
+}
+
+// Conn is a net.Conn carrying one assigned fault.
+type Conn struct {
+	net.Conn
+	kind Kind
+	in   *Injector
+
+	mu      sync.Mutex
+	written int64
+	tripped bool
+	stalled bool
+	delayed bool
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	switch c.kind {
+	case Latency:
+		c.mu.Lock()
+		first := !c.delayed
+		c.delayed = true
+		c.mu.Unlock()
+		if first {
+			c.in.doSleep()
+		}
+	case Stall:
+		c.mu.Lock()
+		first := !c.stalled
+		c.stalled = true
+		c.mu.Unlock()
+		if first {
+			// Swallow the request bytes and hang up without answering:
+			// the peer experiences a server that accepted the
+			// connection and went silent until it closed.
+			buf := make([]byte, 4096)
+			for {
+				if _, err := c.Conn.Read(buf); err != nil {
+					break
+				}
+			}
+			c.Conn.Close()
+			return 0, net.ErrClosed
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn; Truncate connections die after the
+// configured number of response bytes.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.kind != Truncate {
+		return c.Conn.Write(p)
+	}
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	limit := c.in.truncateAfter()
+	remain := limit - c.written
+	trip := int64(len(p)) >= remain
+	if trip {
+		p = p[:remain]
+	}
+	c.written += int64(len(p))
+	c.tripped = trip
+	c.mu.Unlock()
+
+	n, err := c.Conn.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if trip {
+		c.Conn.Close()
+		return n, net.ErrClosed
+	}
+	return n, nil
+}

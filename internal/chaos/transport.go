@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// ErrReset is the error returned by Transport for injected connection
+// resets. It wraps syscall.ECONNRESET so callers classifying transport
+// failures with errors.Is see the same shape as a real reset.
+var ErrReset = fmt.Errorf("chaos: injected connection reset: %w", syscall.ECONNRESET)
+
+// Transport is a fault-injecting http.RoundTripper. Faults fire before
+// the request reaches Base, except Truncate and Stall, which let the
+// request through and corrupt the response body.
+type Transport struct {
+	// Base performs real round trips (nil means
+	// http.DefaultTransport).
+	Base http.RoundTripper
+	// Injector decides which calls fail; nil disables injection.
+	Injector *Injector
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Injector == nil {
+		return t.base().RoundTrip(req)
+	}
+	switch k := t.Injector.Next(); k {
+	case Reset:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrReset
+	case Err5xx:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return t.synthesize(req), nil
+	case Latency:
+		t.Injector.doSleep()
+		return t.base().RoundTrip(req)
+	case Truncate:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// Keep the advertised Content-Length but cut the stream, so
+		// readers hit io.ErrUnexpectedEOF exactly as they would when a
+		// peer dies mid-body.
+		resp.Body = &truncatedBody{rc: resp.Body, remain: t.Injector.truncateAfter()}
+		return resp, nil
+	case Stall:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &stalledBody{rc: resp.Body, done: req.Context().Done()}
+		return resp, nil
+	default:
+		return t.base().RoundTrip(req)
+	}
+}
+
+// synthesize fabricates a 5xx (or 429) response without any network
+// traffic, mimicking an overloaded front end.
+func (t *Transport) synthesize(req *http.Request) *http.Response {
+	code := t.Injector.pickStatus()
+	body := fmt.Sprintf("chaos: injected %d %s\n", code, http.StatusText(code))
+	resp := &http.Response{
+		StatusCode:    code,
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        make(http.Header),
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+	resp.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	if ra := t.Injector.retryAfterSec(); ra > 0 &&
+		(code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests) {
+		resp.Header.Set("Retry-After", strconv.Itoa(ra))
+	}
+	return resp
+}
+
+func (in *Injector) truncateAfter() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.plan.TruncateAfter
+}
+
+func (in *Injector) retryAfterSec() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.plan.RetryAfterSec
+}
+
+// truncatedBody passes through remain bytes and then reports EOF,
+// leaving the response shorter than its Content-Length.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// stalledBody blocks every read until the request context is done,
+// modelling a peer that accepts the request and then goes silent.
+type stalledBody struct {
+	rc   io.ReadCloser
+	done <-chan struct{}
+}
+
+func (b *stalledBody) Read([]byte) (int, error) {
+	if b.done == nil {
+		return 0, fmt.Errorf("chaos: stalled read on request without cancellation")
+	}
+	<-b.done
+	return 0, fmt.Errorf("chaos: stalled read aborted: %w", io.ErrUnexpectedEOF)
+}
+
+func (b *stalledBody) Close() error { return b.rc.Close() }

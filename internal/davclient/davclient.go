@@ -10,7 +10,9 @@ package davclient
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -51,6 +53,14 @@ type Config struct {
 	Parser ParserKind
 	// Timeout bounds each request; zero means no timeout.
 	Timeout time.Duration
+	// Retry enables automatic retries of idempotent requests on
+	// transient failures; nil disables them (every request gets one
+	// attempt, the pre-resilience behaviour).
+	Retry *RetryPolicy
+	// Transport overrides the underlying round tripper. When set,
+	// Persistent is ignored; the chaos harness uses this to inject
+	// transport faults between client and server.
+	Transport http.RoundTripper
 }
 
 // Client is a WebDAV client. It is safe for concurrent use.
@@ -58,7 +68,9 @@ type Client struct {
 	base     *url.URL
 	cfg      Config
 	http     *http.Client
-	requests atomic.Int64
+	requests *atomic.Int64
+	retry    *retrier
+	ctx      context.Context // default per-request context; nil = Background
 }
 
 // StatusError reports an unexpected HTTP status.
@@ -67,6 +79,9 @@ type StatusError struct {
 	Path   string
 	Code   int
 	Body   string // first KB of the response body
+	// RetryAfter is the parsed Retry-After delay from the response, if
+	// any — the retry layer honors it for 429/503 rejections.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -74,10 +89,20 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("davclient: %s %s: %d %s", e.Method, e.Path, e.Code, http.StatusText(e.Code))
 }
 
-// IsStatus reports whether err is a StatusError with the given code.
+// Is lets errors.Is match two StatusErrors by code alone, so callers
+// can compare against &StatusError{Code: 404} without knowing the
+// method or path.
+func (e *StatusError) Is(target error) bool {
+	t, ok := target.(*StatusError)
+	return ok && t.Code == e.Code
+}
+
+// IsStatus reports whether err is, or wraps, a StatusError with the
+// given code. It sees through fmt.Errorf("%w") wrapping — including
+// the retry layer's attempt annotations — via errors.As.
 func IsStatus(err error, code int) bool {
-	se, ok := err.(*StatusError)
-	return ok && se.Code == code
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
 }
 
 // New builds a client from cfg.
@@ -90,28 +115,62 @@ func New(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("davclient: base URL %q must be absolute", cfg.BaseURL)
 	}
 	base.Path = strings.TrimSuffix(base.Path, "/")
-	tr := &http.Transport{
+	var tr http.RoundTripper = &http.Transport{
 		DisableKeepAlives:   !cfg.Persistent,
 		MaxIdleConns:        8,
 		MaxIdleConnsPerHost: 8,
 		IdleConnTimeout:     15 * time.Second, // the paper's keepalive window
 	}
+	if cfg.Transport != nil {
+		tr = cfg.Transport
+	}
 	return &Client{
-		base: base,
-		cfg:  cfg,
-		http: &http.Client{Transport: tr, Timeout: cfg.Timeout},
+		base:     base,
+		cfg:      cfg,
+		http:     &http.Client{Transport: tr, Timeout: cfg.Timeout},
+		requests: &atomic.Int64{},
+		retry:    newRetrier(cfg.Retry),
 	}, nil
 }
 
 // Close releases idle connections.
 func (c *Client) Close() {
-	if tr, ok := c.http.Transport.(*http.Transport); ok {
+	type idleCloser interface{ CloseIdleConnections() }
+	if tr, ok := c.http.Transport.(idleCloser); ok {
 		tr.CloseIdleConnections()
 	}
 }
 
-// RequestCount returns the number of HTTP requests issued.
+// RequestCount returns the number of HTTP requests issued, including
+// retries.
 func (c *Client) RequestCount() int64 { return c.requests.Load() }
+
+// RetryCount returns how many automatic retries this client has
+// performed (zero when no RetryPolicy is configured).
+func (c *Client) RetryCount() int64 {
+	if c.retry == nil {
+		return 0
+	}
+	return c.retry.retries.Load()
+}
+
+// WithContext returns a shallow copy of the client whose requests run
+// under ctx: cancellation aborts in-flight requests and pending retry
+// backoffs. The copy shares the transport, counters, and retry budget
+// with its parent.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	c2 := *c
+	c2.ctx = ctx
+	return &c2
+}
+
+// context resolves the per-request context.
+func (c *Client) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
 
 // urlFor resolves a resource path against the base URL.
 func (c *Client) urlFor(p string) string {
@@ -123,9 +182,40 @@ func (c *Client) urlFor(p string) string {
 	return u.String()
 }
 
-// do issues one request and enforces the expected status codes.
+// do issues a request, enforcing the expected status codes. With a
+// RetryPolicy configured, idempotent requests whose bodies can be
+// rewound are retried on transient failures; the final error is
+// annotated with the attempt count but still matches IsStatus /
+// errors.As classification.
 func (c *Client) do(method, p string, headers map[string]string, body io.Reader, want ...int) (*http.Response, error) {
-	req, err := http.NewRequest(method, c.urlFor(p), body)
+	ctx := c.context()
+	rw, rewindable := newRewinder(body)
+	attempts := c.retry.attemptsFor(method, rewindable)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			if err := rw.rewind(); err != nil {
+				return nil, fmt.Errorf("davclient: %s %s: rewind for retry: %w", method, p, err)
+			}
+		}
+		resp, err := c.once(ctx, method, p, headers, body, want)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= attempts || !c.retry.retryableErr(err) || !c.retry.takeBudget() {
+			break
+		}
+		if err := c.retry.policy.Sleep(ctx, c.retry.delay(attempt, lastErr)); err != nil {
+			break // context cancelled while backing off
+		}
+	}
+	return nil, lastErr
+}
+
+// once issues exactly one HTTP request.
+func (c *Client) once(ctx context.Context, method, p string, headers map[string]string, body io.Reader, want []int) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.urlFor(p), body)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +237,28 @@ func (c *Client) do(method, p string, headers map[string]string, body io.Reader,
 	}
 	excerpt, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
 	resp.Body.Close()
-	return nil, &StatusError{Method: method, Path: p, Code: resp.StatusCode, Body: string(excerpt)}
+	return nil, &StatusError{
+		Method: method, Path: p, Code: resp.StatusCode, Body: string(excerpt),
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	}
+}
+
+// parseRetryAfter reads a Retry-After header: delta-seconds or an HTTP
+// date. Unparseable or absent values yield zero.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // discard drains and closes a response body so the connection can be

@@ -1,0 +1,214 @@
+package davclient
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy makes a Client retry idempotent requests on transient
+// failures: network errors and 429/502/503/504 responses. Backoff is
+// exponential with full jitter; a Retry-After header on a rejected
+// response overrides the computed delay (capped at MaxDelay). A
+// client-wide retry budget bounds the extra load a misbehaving server
+// can induce.
+//
+// Only idempotent DAV methods are retried (OPTIONS, GET, HEAD, PUT,
+// DELETE, PROPFIND, PROPPATCH, MKCOL, SEARCH, REPORT). LOCK — in
+// particular a lock refresh — is never replayed: a duplicated refresh
+// arriving after a competing steal could resurrect a lock the caller
+// no longer holds. Requests whose body cannot be rewound (a non-seeking
+// io.Reader) get a single attempt regardless of policy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4; values below 2 disable retrying).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps both backoff and honored Retry-After waits
+	// (default 2 s).
+	MaxDelay time.Duration
+	// Budget caps the total number of retries (not first attempts)
+	// this client may spend over its lifetime; 0 means unlimited.
+	Budget int64
+	// RetryOn lists the HTTP statuses treated as transient (default
+	// 429, 502, 503, 504).
+	RetryOn []int
+	// Seed feeds the jitter RNG so tests can pin delays.
+	Seed int64
+	// Sleep waits between attempts; nil uses a context-aware timer
+	// sleep. Tests substitute an instant recorder.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultRetryPolicy returns the production defaults described above.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	}
+}
+
+// retryableMethods are the idempotent methods the policy may replay.
+var retryableMethods = map[string]bool{
+	http.MethodOptions: true,
+	http.MethodGet:     true,
+	http.MethodHead:    true,
+	http.MethodPut:     true,
+	http.MethodDelete:  true,
+	"PROPFIND":         true,
+	"PROPPATCH":        true,
+	"MKCOL":            true,
+	"SEARCH":           true,
+	"REPORT":           true,
+}
+
+// retrier is the per-client runtime state behind a RetryPolicy.
+type retrier struct {
+	policy  RetryPolicy
+	mu      sync.Mutex
+	rng     *rand.Rand
+	spent   atomic.Int64 // retries consumed against the budget
+	retries atomic.Int64 // total retries performed (metrics)
+}
+
+func newRetrier(p *RetryPolicy) *retrier {
+	if p == nil {
+		return nil
+	}
+	pol := *p
+	if pol.MaxAttempts == 0 {
+		pol.MaxAttempts = 4
+	}
+	if pol.BaseDelay <= 0 {
+		pol.BaseDelay = 50 * time.Millisecond
+	}
+	if pol.MaxDelay <= 0 {
+		pol.MaxDelay = 2 * time.Second
+	}
+	if len(pol.RetryOn) == 0 {
+		pol.RetryOn = []int{
+			http.StatusTooManyRequests,
+			http.StatusBadGateway,
+			http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout,
+		}
+	}
+	if pol.Sleep == nil {
+		pol.Sleep = ctxSleep
+	}
+	return &retrier{policy: pol, rng: rand.New(rand.NewSource(pol.Seed))}
+}
+
+// ctxSleep waits for d or until ctx is done.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attemptsFor reports how many attempts a request may make.
+func (rt *retrier) attemptsFor(method string, rewindable bool) int {
+	if rt == nil || !retryableMethods[method] || !rewindable || rt.policy.MaxAttempts < 2 {
+		return 1
+	}
+	return rt.policy.MaxAttempts
+}
+
+// retryableErr reports whether err is transient: a retryable status or
+// a network-level failure that is not a context cancellation.
+func (rt *retrier) retryableErr(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		for _, code := range rt.policy.RetryOn {
+			if se.Code == code {
+				return true
+			}
+		}
+		return false
+	}
+	// Anything else from http.Client.Do is a transport failure
+	// (refused, reset, broken pipe, unexpected EOF, ...).
+	return true
+}
+
+// takeBudget consumes one retry from the budget, reporting false when
+// the budget is exhausted.
+func (rt *retrier) takeBudget() bool {
+	if rt.policy.Budget > 0 && rt.spent.Add(1) > rt.policy.Budget {
+		return false
+	}
+	rt.retries.Add(1)
+	return true
+}
+
+// delay computes the wait before the given retry (1-based). A server
+// Retry-After hint wins over computed backoff; both are capped at
+// MaxDelay.
+func (rt *retrier) delay(retry int, err error) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		if se.RetryAfter > rt.policy.MaxDelay {
+			return rt.policy.MaxDelay
+		}
+		return se.RetryAfter
+	}
+	ceil := rt.policy.BaseDelay << (retry - 1)
+	if ceil > rt.policy.MaxDelay || ceil <= 0 {
+		ceil = rt.policy.MaxDelay
+	}
+	// Full jitter: uniform in [0, ceil).
+	rt.mu.Lock()
+	d := time.Duration(rt.rng.Int63n(int64(ceil)))
+	rt.mu.Unlock()
+	return d
+}
+
+// rewinder captures how to reset a request body between attempts.
+type rewinder struct {
+	seeker io.Seeker
+	start  int64
+}
+
+// newRewinder inspects body; ok is false when body exists but cannot
+// be replayed.
+func newRewinder(body io.Reader) (rw rewinder, ok bool) {
+	if body == nil {
+		return rewinder{}, true
+	}
+	s, isSeeker := body.(io.Seeker)
+	if !isSeeker {
+		return rewinder{}, false
+	}
+	off, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return rewinder{}, false
+	}
+	return rewinder{seeker: s, start: off}, true
+}
+
+// rewind resets the body to its first-attempt position.
+func (rw rewinder) rewind() error {
+	if rw.seeker == nil {
+		return nil
+	}
+	_, err := rw.seeker.Seek(rw.start, io.SeekStart)
+	return err
+}

@@ -2,44 +2,20 @@ package davserver
 
 import (
 	"encoding/xml"
-	"errors"
 	"net/http/httptest"
-	"sync/atomic"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/davproto"
 	"repro/internal/store"
 )
 
-// faultyStore wraps a Store and fails selected operations after a
-// countdown — storage-layer failure injection for the server's error
-// and rollback paths.
-type faultyStore struct {
-	store.Store
-	propPutsUntilFail atomic.Int64 // fail PropPut when counter reaches zero
-	propGetFails      atomic.Bool
-}
-
-var errInjected = errors.New("injected storage failure")
-
-func (f *faultyStore) PropPut(p string, name xml.Name, value []byte) error {
-	if f.propPutsUntilFail.Add(-1) == -1 {
-		return errInjected
-	}
-	return f.Store.PropPut(p, name, value)
-}
-
-func (f *faultyStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
-	if f.propGetFails.Load() {
-		return nil, false, errInjected
-	}
-	return f.Store.PropGet(p, name)
-}
-
-func newFaultyServer(t *testing.T) (*httptest.Server, *faultyStore) {
+// newFaultyServer boots a handler over a chaos-wrapped store —
+// storage-layer failure injection for the server's error and rollback
+// paths.
+func newFaultyServer(t *testing.T) (*httptest.Server, *chaos.FaultyStore) {
 	t.Helper()
-	fs := &faultyStore{Store: store.NewMemStore()}
-	fs.propPutsUntilFail.Store(1 << 30)
+	fs := chaos.NewFaultyStore(store.NewMemStore())
 	srv := httptest.NewServer(NewHandler(fs, nil))
 	t.Cleanup(srv.Close)
 	return srv, fs
@@ -53,8 +29,9 @@ func TestProppatchRollbackOnStorageFailure(t *testing.T) {
 		proppatchBody(map[string]string{"keep": "original"})), 207)
 
 	// Now arrange for the SECOND PropPut of the batch to fail: the
-	// batch sets "keep" (overwriting) then "fresh" (new).
-	fs.propPutsUntilFail.Store(1)
+	// batch sets "keep" (overwriting) then "fresh" (new). The
+	// rollback's own restoring PropPut (the third call) must pass.
+	fs.FailNth(chaos.OpPropPut, 2)
 	ops := []davproto.PatchOp{
 		{Prop: davproto.NewTextProperty("ecce:", "keep", "overwritten")},
 		{Prop: davproto.NewTextProperty("ecce:", "fresh", "value")},
@@ -76,7 +53,7 @@ func TestProppatchRollbackOnStorageFailure(t *testing.T) {
 	}
 
 	// Rollback restored the original value of "keep".
-	fs.propPutsUntilFail.Store(1 << 30)
+	fs.Clear(chaos.OpPropPut)
 	resp = do(t, "PROPFIND", srv.URL+"/doc", map[string]string{"Depth": "0"},
 		propfindBody("keep", "fresh"))
 	ms = parseMS(t, resp)
@@ -95,7 +72,7 @@ func TestProppatchSnapshotFailure(t *testing.T) {
 	// and the response reports the failure.
 	srv, fs := newFaultyServer(t)
 	do(t, "PUT", srv.URL+"/doc", nil, "x")
-	fs.propGetFails.Store(true)
+	fs.FailAll(chaos.OpPropGet)
 	resp := do(t, "PROPPATCH", srv.URL+"/doc", nil,
 		proppatchBody(map[string]string{"p": "v"}))
 	wantStatus(t, resp, 207)
@@ -103,7 +80,7 @@ func TestProppatchSnapshotFailure(t *testing.T) {
 	if ms.Responses[0].Propstats[0].Status != 500 {
 		t.Fatalf("status = %d, want 500", ms.Responses[0].Propstats[0].Status)
 	}
-	fs.propGetFails.Store(false)
+	fs.Clear(chaos.OpPropGet)
 	resp = do(t, "PROPFIND", srv.URL+"/doc", map[string]string{"Depth": "0"}, propfindBody("p"))
 	ms = parseMS(t, resp)
 	if ms.Responses[0].Propstats[0].Status != 404 {

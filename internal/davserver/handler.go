@@ -142,9 +142,14 @@ func (h *Handler) handleOptions(w http.ResponseWriter, _ *http.Request) {
 
 // statusForErr maps store and lock errors to HTTP statuses.
 func statusForErr(err error) int {
+	var tooBig *http.MaxBytesError
 	switch {
 	case err == nil:
 		return http.StatusOK
+	case errors.As(err, &tooBig):
+		// The BodyLimit middleware tripped mid-read (e.g. a chunked
+		// upload with no Content-Length to reject up front).
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, store.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, store.ErrExists):

@@ -1,0 +1,114 @@
+package davserver
+
+import (
+	"testing"
+	"time"
+)
+
+// White-box tests of the sliding-window admission logic, driven
+// directly through admit() with an injected clock — no sockets, no
+// sleeps, exact counts.
+
+func TestAdmitBurstThenDrain(t *testing.T) {
+	rl := &RateLimitedListener{limit: 5}
+	fc := &fakeClock{t: time.Unix(2000, 0)}
+	rl.SetClock(fc.now)
+
+	// A burst at one instant: exactly the limit is admitted.
+	admitted := 0
+	for i := 0; i < 20; i++ {
+		if rl.admit() {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("burst admitted = %d, want 5", admitted)
+	}
+	if rl.Dropped() != 15 {
+		t.Fatalf("dropped = %d, want 15", rl.Dropped())
+	}
+
+	// Half a window later the stamps are still inside the window.
+	fc.advance(30 * time.Second)
+	if rl.admit() {
+		t.Fatal("admitted while window still full")
+	}
+	if rl.Dropped() != 16 {
+		t.Fatalf("dropped = %d, want 16", rl.Dropped())
+	}
+
+	// Once the burst's stamps age past one minute the window drains and
+	// a fresh burst is re-admitted in full.
+	fc.advance(31 * time.Second)
+	admitted = 0
+	for i := 0; i < 5; i++ {
+		if rl.admit() {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("post-drain admitted = %d, want 5", admitted)
+	}
+	if rl.admit() {
+		t.Fatal("sixth connection admitted after drain refill")
+	}
+	if rl.Dropped() != 17 {
+		t.Fatalf("dropped = %d, want 17", rl.Dropped())
+	}
+}
+
+func TestAdmitWindowSlidesIncrementally(t *testing.T) {
+	// Stamps spread across the window are evicted one by one as the
+	// window slides, admitting exactly one new connection per eviction.
+	rl := &RateLimitedListener{limit: 3}
+	fc := &fakeClock{t: time.Unix(3000, 0)}
+	rl.SetClock(fc.now)
+
+	// Fill the window at t=0s, t=20s, t=40s.
+	for i := 0; i < 3; i++ {
+		if !rl.admit() {
+			t.Fatalf("fill admit %d refused", i)
+		}
+		if i < 2 {
+			fc.advance(20 * time.Second)
+		}
+	}
+	// t=59s: all three stamps are younger than a minute — full.
+	fc.advance(19 * time.Second)
+	if rl.admit() {
+		t.Fatal("admitted while three stamps in window")
+	}
+	// t=60s: the t=0 stamp is exactly a minute old and evicted (the
+	// window keeps only stamps strictly after the cutoff), freeing
+	// exactly one slot.
+	fc.advance(time.Second)
+	if !rl.admit() {
+		t.Fatal("slot not freed after oldest stamp aged out")
+	}
+	if rl.admit() {
+		t.Fatal("second admit with only one slot freed")
+	}
+	// t=80s: the t=20 stamp ages out; again exactly one slot.
+	fc.advance(20 * time.Second)
+	if !rl.admit() {
+		t.Fatal("slot not freed after second stamp aged out")
+	}
+	if rl.admit() {
+		t.Fatal("over-admission after second eviction")
+	}
+	if rl.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", rl.Dropped())
+	}
+}
+
+func TestAdmitUnlimited(t *testing.T) {
+	rl := &RateLimitedListener{limit: 0}
+	for i := 0; i < 1000; i++ {
+		if !rl.admit() {
+			t.Fatalf("unlimited listener refused admit %d", i)
+		}
+	}
+	if rl.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", rl.Dropped())
+	}
+}

@@ -1,0 +1,135 @@
+package davserver
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// This file is the hardened server lifecycle: middleware that keeps a
+// misbehaving request from taking the daemon down (panic recovery,
+// request timeouts, body size limits) and the liveness/readiness
+// probes a load balancer needs to drain a dying instance. The paper's
+// robustness story stops at surviving large inputs; a production PSE
+// also has to survive failures.
+
+// HardenOptions configures Harden.
+type HardenOptions struct {
+	// RequestTimeout bounds each request's total handling time; zero
+	// disables the limit. Note the timeout handler buffers responses,
+	// so pair a non-zero value with workloads whose responses fit in
+	// memory (the 200 MB document GET path should leave it disabled or
+	// generous).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request body sizes; zero means unlimited (the
+	// paper PUTs 200 MB documents, so there is no default cap).
+	MaxBodyBytes int64
+	// Logger receives recovered panics; nil discards them.
+	Logger *log.Logger
+}
+
+// Harden wraps next with the full protection stack: panic recovery
+// outermost, then the request timeout, then the body limit.
+func Harden(next http.Handler, opts HardenOptions) http.Handler {
+	h := next
+	if opts.MaxBodyBytes > 0 {
+		h = BodyLimit(opts.MaxBodyBytes, h)
+	}
+	if opts.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, opts.RequestTimeout,
+			fmt.Sprintf("request exceeded the %s server timeout", opts.RequestTimeout))
+	}
+	return Recoverer(opts.Logger, h)
+}
+
+// Recoverer converts handler panics into 500 responses instead of
+// letting net/http kill the connection, and logs the stack so the
+// fault is diagnosable. The daemon keeps serving other requests.
+func Recoverer(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// Deliberate connection abort; propagate.
+				panic(rec)
+			}
+			if logger != nil {
+				logger.Printf("dav: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			}
+			// Best effort: if the handler already wrote, this is a
+			// no-op and the client sees a torn response.
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// BodyLimit rejects request bodies larger than n bytes. Handlers
+// reading past the limit get an error and the client a 413 via
+// http.MaxBytesReader's machinery.
+func BodyLimit(n int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.ContentLength > n {
+			http.Error(w, fmt.Sprintf("request body exceeds the %d-byte limit", n),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, n)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Health serves liveness and readiness probes for a DAV deployment.
+// Liveness answers 200 whenever the process can run a handler.
+// Readiness also requires the backing store to answer a Stat of the
+// root, and reports 503 once draining begins so load balancers stop
+// routing new work during graceful shutdown.
+type Health struct {
+	store    store.Store
+	draining atomic.Bool
+}
+
+// NewHealth builds probes over s.
+func NewHealth(s store.Store) *Health {
+	return &Health{store: s}
+}
+
+// SetDraining flips readiness to 503 (true) or restores it (false).
+func (h *Health) SetDraining(on bool) { h.draining.Store(on) }
+
+// Draining reports whether the instance is draining.
+func (h *Health) Draining() bool { return h.draining.Load() }
+
+// ServeLive is the /healthz liveness probe.
+func (h *Health) ServeLive(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// ServeReady is the /readyz readiness probe.
+func (h *Health) ServeReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if h.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if _, err := h.store.Stat("/"); err != nil {
+		http.Error(w, "store unavailable: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// Register mounts the probes on mux at /healthz and /readyz.
+func (h *Health) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", h.ServeLive)
+	mux.HandleFunc("/readyz", h.ServeReady)
+}

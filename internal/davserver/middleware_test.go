@@ -1,0 +1,200 @@
+package davserver
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/store"
+)
+
+func TestRecovererTurnsPanicInto500(t *testing.T) {
+	var logged strings.Builder
+	logger := log.New(&logged, "", 0)
+	h := Recoverer(logger, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("panic killed the connection: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(logged.String(), "boom") {
+		t.Fatal("panic not logged")
+	}
+	// The server must keep serving after the panic.
+	resp2, err := http.Get(srv.URL + "/y")
+	if err != nil {
+		t.Fatalf("server dead after panic: %v", err)
+	}
+	resp2.Body.Close()
+}
+
+func TestBodyLimit(t *testing.T) {
+	h := Harden(NewHandler(store.NewMemStore(), nil), HardenOptions{MaxBodyBytes: 10})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	small, err := http.NewRequest(http.MethodPut, srv.URL+"/ok", strings.NewReader("tiny"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("small PUT = %d, want 201", resp.StatusCode)
+	}
+
+	big, err := http.NewRequest(http.MethodPut, srv.URL+"/big", strings.NewReader(strings.Repeat("x", 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestBodyLimitWithoutContentLength(t *testing.T) {
+	// Chunked uploads bypass the ContentLength fast path; the
+	// MaxBytesReader must still stop them.
+	h := Harden(NewHandler(store.NewMemStore(), nil), HardenOptions{MaxBodyBytes: 10})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write([]byte(strings.Repeat("y", 1000)))
+		pw.Close()
+	}()
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/chunked", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("chunked oversized PUT = %d, want 413", resp.StatusCode)
+		}
+	}
+	// An error is also acceptable: the server may reset the stream
+	// mid-upload. Either way the document must not exist complete.
+}
+
+func TestRequestTimeout(t *testing.T) {
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(30 * time.Second):
+		}
+	})
+	srv := httptest.NewServer(Harden(slow, HardenOptions{RequestTimeout: 50 * time.Millisecond}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 from the timeout handler", resp.StatusCode)
+	}
+}
+
+func TestHealthProbes(t *testing.T) {
+	fs := chaos.NewFaultyStore(store.NewMemStore())
+	health := NewHealth(fs)
+	mux := http.NewServeMux()
+	health.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(p string) int {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if got := get("/healthz"); got != 200 {
+		t.Fatalf("healthz = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != 200 {
+		t.Fatalf("readyz = %d, want 200", got)
+	}
+
+	// A failing store flips readiness but not liveness.
+	fs.FailAll(chaos.OpStat)
+	if got := get("/healthz"); got != 200 {
+		t.Fatalf("healthz with broken store = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != 503 {
+		t.Fatalf("readyz with broken store = %d, want 503", got)
+	}
+	fs.Clear(chaos.OpStat)
+	if got := get("/readyz"); got != 200 {
+		t.Fatalf("readyz after recovery = %d, want 200", got)
+	}
+
+	// Draining reports 503 regardless of store health.
+	health.SetDraining(true)
+	if got := get("/readyz"); got != 503 {
+		t.Fatalf("readyz while draining = %d, want 503", got)
+	}
+	health.SetDraining(false)
+	if got := get("/readyz"); got != 200 {
+		t.Fatalf("readyz after drain cleared = %d, want 200", got)
+	}
+}
+
+func TestHardenedStackServesDAV(t *testing.T) {
+	// The full stack must stay transparent for well-behaved requests.
+	s := store.NewMemStore()
+	h := Harden(NewHandler(s, nil), HardenOptions{
+		RequestTimeout: 10 * time.Second,
+		MaxBodyBytes:   1 << 20,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/doc", strings.NewReader("payload"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT through hardened stack = %d, want 201", resp.StatusCode)
+	}
+	got, err := http.Get(srv.URL + "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(got.Body)
+	got.Body.Close()
+	if string(body) != "payload" {
+		t.Fatalf("GET through hardened stack = %q", body)
+	}
+}

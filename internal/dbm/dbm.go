@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -520,6 +521,13 @@ func (db *DB) Compact() error {
 	}
 	if err := os.Rename(tmpPath, db.path); err != nil {
 		return err
+	}
+	// Make the rename durable: fsync the directory entry. Best effort —
+	// some filesystems refuse to sync directories, and the compaction
+	// already succeeded.
+	if d, err := os.Open(filepath.Dir(db.path)); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	old := db.f
 	f, err := os.OpenFile(db.path, os.O_RDWR, 0o644)

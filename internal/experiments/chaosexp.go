@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/chaos"
+	"repro/internal/davclient"
+	"repro/internal/davproto"
+)
+
+// The chaos experiment is the resilience-layer counterpart of the
+// Section 3.2.1 robustness tests: where the paper probes survival of
+// large inputs, this probes survival of infrastructure failure. A
+// PROPFIND/PUT workload runs through a transport that injects
+// connection resets and 503 bursts at fixed seeded rates; the same
+// fault schedule is replayed once with the default retry policy and
+// once without, so the table shows retries absorbing every injected
+// fault that would otherwise surface to the application.
+
+// ChaosOptions sizes the fault-injection workload.
+type ChaosOptions struct {
+	// Iterations is the number of PUT+PROPFIND pairs (default 200).
+	Iterations int
+	// ResetRate is the injected connection-reset probability (default 0.10).
+	ResetRate float64
+	// Err5xxRate is the injected 503 probability (default 0.05).
+	Err5xxRate float64
+	// Seed fixes the fault schedule so runs are reproducible.
+	Seed int64
+}
+
+// DefaultChaosOptions returns the acceptance workload: 200 iterations
+// at 10% resets and 5% 503s.
+func DefaultChaosOptions() ChaosOptions {
+	return ChaosOptions{Iterations: 200, ResetRate: 0.10, Err5xxRate: 0.05, Seed: 7}
+}
+
+// ChaosRow is one workload run.
+type ChaosRow struct {
+	Label    string
+	Timing   bench.Timing
+	Requests int64 // HTTP requests actually sent (including retries)
+	Retries  int64
+	Faults   int64 // faults the injector fired
+	Errors   int   // errors that reached the application
+}
+
+// ChaosResult is the experiment outcome.
+type ChaosResult struct {
+	Options ChaosOptions
+	Rows    []ChaosRow
+}
+
+// RunChaos replays the same seeded fault schedule with and without the
+// retrying client.
+func RunChaos(opts ChaosOptions) (ChaosResult, error) {
+	if opts.Iterations == 0 {
+		opts = DefaultChaosOptions()
+	}
+	res := ChaosResult{Options: opts}
+
+	env, err := StartDAVEnv(DAVEnvOptions{InMemory: true, Persistent: true})
+	if err != nil {
+		return res, err
+	}
+	defer env.Close()
+	if err := env.Client.Mkcol("/chaos"); err != nil {
+		return res, err
+	}
+
+	plan := chaos.Plan{
+		Seed: opts.Seed,
+		Rates: map[chaos.Kind]float64{
+			chaos.Reset:  opts.ResetRate,
+			chaos.Err5xx: opts.Err5xxRate,
+		},
+		StatusCodes: []int{503},
+	}
+
+	run := func(label string, policy *davclient.RetryPolicy) error {
+		in := chaos.NewInjector(plan)
+		c, err := davclient.New(davclient.Config{
+			BaseURL:    env.URL,
+			Persistent: true,
+			Timeout:    time.Minute,
+			Transport:  &chaos.Transport{Injector: in},
+			Retry:      policy,
+		})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+
+		errs := 0
+		timing, err := bench.Measure(func() error {
+			for i := 0; i < opts.Iterations; i++ {
+				p := fmt.Sprintf("/chaos/doc-%03d", i%20)
+				if _, err := c.PutBytes(p, []byte(fmt.Sprintf("rev %d", i)), "text/plain"); err != nil {
+					errs++
+				}
+				if _, err := c.PropFindAll(p, davproto.Depth0); err != nil {
+					errs++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, ChaosRow{
+			Label:    label,
+			Timing:   timing,
+			Requests: c.RequestCount(),
+			Retries:  c.RetryCount(),
+			Faults:   in.Total(),
+			Errors:   errs,
+		})
+		return nil
+	}
+
+	policy := davclient.DefaultRetryPolicy()
+	policy.Seed = 1
+	if err := run(fmt.Sprintf("%d PUT+PROPFIND pairs, retrying client", opts.Iterations), policy); err != nil {
+		return res, err
+	}
+	if err := run(fmt.Sprintf("%d PUT+PROPFIND pairs, no retries", opts.Iterations), nil); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r ChaosResult) Table() *bench.Table {
+	t := bench.NewTable(
+		fmt.Sprintf("Chaos workload (%.0f%% resets, %.0f%% 503s, seed %d)",
+			r.Options.ResetRate*100, r.Options.Err5xxRate*100, r.Options.Seed),
+		"run", "elapsed", "requests", "retries", "faults", "app errors")
+	t.Note = "same seeded fault schedule per run; retries must absorb every injected fault"
+	for _, row := range r.Rows {
+		t.AddRow(row.Label, bench.Seconds(row.Timing.Elapsed),
+			fmt.Sprint(row.Requests), fmt.Sprint(row.Retries),
+			fmt.Sprint(row.Faults), fmt.Sprint(row.Errors))
+	}
+	return t
+}
+
+// Passed reports the acceptance condition: zero application-visible
+// errors with retries, and the no-retry control actually provoked
+// failures (proving the faults were live).
+func (r ChaosResult) Passed() bool {
+	if len(r.Rows) != 2 {
+		return false
+	}
+	return r.Rows[0].Errors == 0 && r.Rows[0].Retries > 0 && r.Rows[1].Errors > 0
+}

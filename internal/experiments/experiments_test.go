@@ -111,6 +111,30 @@ func TestRobustSmall(t *testing.T) {
 	}
 }
 
+func TestChaosWorkload(t *testing.T) {
+	// Full acceptance sizes: seeded, so this is deterministic, and the
+	// retry delays are the only real time spent.
+	res, err := RunChaos(DefaultChaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		out := renderToString(t, func(sb *strings.Builder) { res.Table().Fprint(sb) })
+		t.Fatalf("chaos acceptance failed:\n%s", out)
+	}
+	with, without := res.Rows[0], res.Rows[1]
+	if with.Faults == 0 {
+		t.Fatal("injector fired no faults")
+	}
+	if with.Requests <= int64(res.Options.Iterations*2) {
+		t.Fatalf("retrying run sent %d requests for %d operations — no retries happened",
+			with.Requests, res.Options.Iterations*2)
+	}
+	if without.Retries != 0 {
+		t.Fatalf("no-retry control reported %d retries", without.Retries)
+	}
+}
+
 func TestDiskSmall(t *testing.T) {
 	res, err := RunDisk(DiskOptions{Calculations: 8, GridPoints: 5})
 	if err != nil {

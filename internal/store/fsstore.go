@@ -329,6 +329,15 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 		os.Remove(tmpName)
 		return false, err
 	}
+	// Flush the staged bytes before the rename: without it a crash
+	// after the rename can leave the final name pointing at a file
+	// whose contents never reached disk — torn data under the atomic
+	// promise this function makes.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return false, err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return false, err
@@ -340,6 +349,9 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 		os.Remove(tmpName)
 		return false, err
 	}
+	// The rename itself is only durable once the parent directory's
+	// entry is on disk.
+	syncDir(filepath.Dir(dp))
 	// mod_dav only materializes a property database for resources that
 	// carry metadata (the disk-overhead experiment depends on this), so
 	// the content type is persisted only when it cannot be re-derived
@@ -350,6 +362,19 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 		}
 	}
 	return created, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a
+// crash. Best effort: some filesystems (and non-POSIX platforms)
+// refuse to open or sync directories, and a failure there must not
+// fail the write that already succeeded.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // inferContentType derives a document's content type from its
