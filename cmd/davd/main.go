@@ -6,18 +6,29 @@
 // recovery, optional request timeouts and body limits, /healthz and
 // /readyz probes, and graceful shutdown with connection draining.
 //
+// Every request is traced and measured: an X-Request-ID is echoed (or
+// minted), one structured access-log line is emitted per request, and
+// per-method latency/size histograms, store-operation timings, and
+// lock/limiter gauges accumulate in a metrics registry. The optional
+// -admin listener serves that registry at /metrics (Prometheus text
+// format), /debug/vars (expvar), and the net/http/pprof profiling
+// surface — on a separate port so operators never expose it with the
+// DAV tree.
+//
 // Usage:
 //
-//	davd -addr :8080 -root /srv/ecce -flavour gdbm [-users users.txt]
+//	davd -addr :8080 -root /srv/ecce -flavour gdbm [-users users.txt] [-admin 127.0.0.1:8081]
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,6 +37,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/davserver"
 	"repro/internal/dbm"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -47,10 +59,19 @@ func main() {
 			"request body size limit in bytes; 0 = unlimited (the paper PUTs 200 MB documents)")
 		grace = flag.Duration("shutdown-grace", 15*time.Second,
 			"how long to drain in-flight requests on SIGINT/SIGTERM before forcing exit")
-		noHealth = flag.Bool("no-health", false, "disable the /healthz and /readyz probe endpoints")
-		quiet    = flag.Bool("quiet", false, "suppress request error logging")
+		adminAddr = flag.String("admin", "",
+			"admin listener address serving /metrics, /debug/vars and /debug/pprof; empty disables")
+		noHealth    = flag.Bool("no-health", false, "disable the /healthz and /readyz probe endpoints")
+		noAccessLog = flag.Bool("no-access-log", false, "suppress per-request access log lines")
+		quiet       = flag.Bool("quiet", false, "suppress request error logging")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	var fl dbm.Flavour
 	switch *flavour {
@@ -59,43 +80,62 @@ func main() {
 	case "sdbm":
 		fl = dbm.SDBM
 	default:
-		log.Fatalf("davd: unknown flavour %q (want gdbm or sdbm)", *flavour)
+		fatalf("davd: unknown flavour %q (want gdbm or sdbm)", *flavour)
 	}
 
 	fs, err := store.NewFSStore(*root, fl)
 	if err != nil {
-		log.Fatalf("davd: open store: %v", err)
+		fatalf("davd: open store: %v", err)
 	}
 	defer fs.Close()
 
+	// Telemetry: one registry feeds the DAV middleware, the store
+	// wrapper, the lock/limiter gauges, and the admin endpoints.
+	metrics := davserver.NewMetrics(obs.NewRegistry())
+	obs.RegisterRuntime(metrics.Registry)
+	st := store.Instrument(fs, metrics.StoreObserver())
+
 	opts := &davserver.Options{MaxPropBytes: *maxProp, Prefix: *prefix}
-	var logger *log.Logger
 	if !*quiet {
-		logger = log.New(os.Stderr, "davd: ", log.LstdFlags)
 		opts.Logger = logger
 	}
-	handler := http.Handler(davserver.NewHandler(fs, opts))
+	dav := davserver.NewHandler(st, opts)
+	metrics.TrackLocks(dav.Locks())
+	handler := http.Handler(dav)
 
 	if *usersArg != "" {
 		users, err := auth.Load(*usersArg)
 		if err != nil {
-			log.Fatalf("davd: load users: %v", err)
+			fatalf("davd: load users: %v", err)
 		}
 		handler = auth.Basic(handler, *realm, users)
-		log.Printf("davd: basic authentication enabled (%d users)", len(users.Names()))
+		logger.Info("basic authentication enabled", "users", len(users.Names()))
 	}
 
 	// Hardened lifecycle: panic recovery, request timeout, body limit.
+	var panicLog *slog.Logger
+	if !*quiet {
+		panicLog = logger
+	}
 	handler = davserver.Harden(handler, davserver.HardenOptions{
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
-		Logger:         logger,
+		Logger:         panicLog,
+		Metrics:        metrics,
 	})
+
+	// Telemetry outermost so the recorded status and access log include
+	// timeouts, recovered panics, and rejected credentials.
+	var accessLog *slog.Logger
+	if !*noAccessLog {
+		accessLog = logger
+	}
+	handler = davserver.Instrument(handler, metrics, accessLog)
 
 	// Probe endpoints live outside the auth wrapper so orchestrators
 	// can poll them without credentials; they shadow same-named DAV
 	// resources only when no prefix isolates the DAV tree.
-	health := davserver.NewHealth(fs)
+	health := davserver.NewHealth(st)
 	mux := http.NewServeMux()
 	if !*noHealth {
 		health.Register(mux)
@@ -107,9 +147,38 @@ func main() {
 	srv := &http.Server{Handler: mux, IdleTimeout: davserver.KeepAliveTimeout}
 	listener, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("davd: listen: %v", err)
+		fatalf("davd: listen: %v", err)
 	}
 	limited := davserver.LimitConnections(listener, *connsPerMin)
+	metrics.TrackLimiter(limited)
+
+	// Admin surface on its own port: Prometheus exposition, expvar,
+	// and pprof. Never mounted on the DAV listener.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		metrics.Registry.PublishExpvar("dav")
+		amux := http.NewServeMux()
+		amux.Handle("/metrics", metrics.Registry.Handler())
+		amux.Handle("/debug/vars", expvar.Handler())
+		amux.HandleFunc("/debug/pprof/", pprof.Index)
+		amux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		amux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		amux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		amux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		adminListener, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatalf("davd: admin listen: %v", err)
+		}
+		adminSrv = &http.Server{Handler: amux}
+		go func() {
+			if err := adminSrv.Serve(adminListener); err != nil && err != http.ErrServerClosed {
+				logger.Error("admin listener failed", "err", err)
+			}
+		}()
+		logger.Info("admin endpoints enabled",
+			"addr", adminListener.Addr().String(),
+			"paths", "/metrics /debug/vars /debug/pprof/")
+	}
 
 	// Graceful shutdown: on the first signal, flip readiness so load
 	// balancers drain us, then let in-flight requests finish within the
@@ -120,26 +189,29 @@ func main() {
 		sig := make(chan os.Signal, 2)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("davd: draining (up to %s); signal again to force exit", *grace)
+		logger.Info("draining; signal again to force exit", "grace", grace.String())
 		health.SetDraining(true)
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		go func() {
 			<-sig
-			log.Printf("davd: forced exit")
+			logger.Warn("forced exit")
 			cancel()
 		}()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("davd: drain incomplete: %v", err)
+			logger.Warn("drain incomplete", "err", err)
 			srv.Close()
 		} else {
-			log.Printf("davd: drained cleanly")
+			logger.Info("drained cleanly")
+		}
+		if adminSrv != nil {
+			adminSrv.Close()
 		}
 	}()
 
 	fmt.Printf("davd: serving %s (%s properties) on http://%s%s\n", fs.Root(), fl, limited.Addr(), *prefix)
 	if err := srv.Serve(limited); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("davd: %v", err)
+		fatalf("davd: %v", err)
 	}
 	<-done
 }

@@ -4,41 +4,61 @@
 //
 // Usage:
 //
-//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|all>
+//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|all>
 //
 // By default the paper's full workload sizes are used for table1 and
 // table3; table2, robust and disk default to scaled sizes unless -full
 // is given (the full sizes move hundreds of megabytes).
+//
+// With -metrics, telemetry is enabled on every in-process server and
+// client, and a Prometheus-format snapshot of the accumulated registry
+// is printed after each experiment. The smoke command runs a tiny
+// instrumented workload and validates the exposition — CI uses it to
+// guarantee the telemetry path stays alive.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		full  = flag.Bool("full", false, "use the paper's full sizes everywhere (slow: moves 100s of MB)")
-		docs  = flag.Int("docs", 50, "table1: number of documents")
-		props = flag.Int("props", 50, "table1: properties per document")
-		size  = flag.Int("propsize", 1024, "table1: property value bytes")
-		calcs = flag.Int("calcs", 64, "disk: calculations to migrate (paper: 259)")
+		full        = flag.Bool("full", false, "use the paper's full sizes everywhere (slow: moves 100s of MB)")
+		docs        = flag.Int("docs", 50, "table1: number of documents")
+		props       = flag.Int("props", 50, "table1: properties per document")
+		size        = flag.Int("propsize", 1024, "table1: property value bytes")
+		calcs       = flag.Int("calcs", 64, "disk: calculations to migrate (paper: 259)")
+		withMetrics = flag.Bool("metrics", false,
+			"instrument servers/clients and print a Prometheus metrics snapshot after each experiment")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|all>")
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
+	if *withMetrics {
+		experiments.EnableMetrics()
+	}
 	run := func(name string, fn func() error) {
 		if which == name || which == "all" {
 			if err := fn(); err != nil {
 				log.Fatalf("eccebench %s: %v", name, err)
+			}
+			if *withMetrics {
+				fmt.Printf("\n--- metrics after %s ---\n", name)
+				if err := experiments.EnableMetrics().Registry.WritePrometheus(os.Stdout); err != nil {
+					log.Fatalf("eccebench %s: metrics snapshot: %v", name, err)
+				}
 			}
 		}
 	}
@@ -122,12 +142,55 @@ func main() {
 
 	run("ablation", runAblations)
 
+	// smoke runs a tiny instrumented workload and fails unless the
+	// resulting exposition is present and well formed. It is the CI
+	// guard for the telemetry path and is excluded from "all".
+	if which == "smoke" {
+		if err := runSmoke(); err != nil {
+			log.Fatalf("eccebench smoke: %v", err)
+		}
+	}
+
 	switch which {
-	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "all":
+	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
 		os.Exit(2)
 	}
+}
+
+// runSmoke drives a minimal Table 1 workload with telemetry enabled and
+// validates the metrics exposition end to end.
+func runSmoke() error {
+	m := experiments.EnableMetrics()
+	if _, err := experiments.RunTable1(experiments.Table1Options{
+		Docs: 3, Props: 3, ValueBytes: 64,
+	}); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := m.Registry.WritePrometheus(&buf); err != nil {
+		return err
+	}
+	if err := obs.CheckExposition(buf.Bytes()); err != nil {
+		return fmt.Errorf("exposition invalid: %w", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dav_requests_total",
+		"dav_store_op_duration_seconds",
+		"davclient_requests_total",
+	} {
+		if !strings.Contains(out, want) {
+			return fmt.Errorf("exposition missing %s", want)
+		}
+	}
+	if n := strings.Count(out, "dav_request_duration_seconds_bucket"); n < 8 {
+		return fmt.Errorf("latency histogram has %d bucket samples, want >= 8", n)
+	}
+	fmt.Printf("smoke: metrics exposition OK (%d bytes, %d series lines)\n",
+		buf.Len(), strings.Count(out, "\n"))
+	return nil
 }
 
 // runAblations measures the design-choice axes the paper discusses:

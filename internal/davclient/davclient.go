@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/davproto"
+	"repro/internal/obs"
 	"repro/internal/xmldom"
 )
 
@@ -61,6 +62,10 @@ type Config struct {
 	// Persistent is ignored; the chaos harness uses this to inject
 	// transport faults between client and server.
 	Transport http.RoundTripper
+	// Metrics, when set, records client-side telemetry into the given
+	// registry: requests issued, retries, backoff sleeps, and retry
+	// budget exhaustion.
+	Metrics *obs.Registry
 }
 
 // Client is a WebDAV client. It is safe for concurrent use.
@@ -70,6 +75,7 @@ type Client struct {
 	http     *http.Client
 	requests *atomic.Int64
 	retry    *retrier
+	met      *clientMetrics
 	ctx      context.Context // default per-request context; nil = Background
 }
 
@@ -130,6 +136,7 @@ func New(cfg Config) (*Client, error) {
 		http:     &http.Client{Transport: tr, Timeout: cfg.Timeout},
 		requests: &atomic.Int64{},
 		retry:    newRetrier(cfg.Retry),
+		met:      newClientMetrics(cfg.Metrics),
 	}, nil
 }
 
@@ -187,8 +194,17 @@ func (c *Client) urlFor(p string) string {
 // rewound are retried on transient failures; the final error is
 // annotated with the attempt count but still matches IsStatus /
 // errors.As classification.
+//
+// Every attempt of one logical operation shares a single X-Request-ID
+// — taken from the context when the caller stamped one with
+// obs.WithRequestID, freshly generated otherwise — so the operation is
+// traceable end-to-end through the server's access log.
 func (c *Client) do(method, p string, headers map[string]string, body io.Reader, want ...int) (*http.Response, error) {
 	ctx := c.context()
+	reqID := obs.RequestIDFrom(ctx)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
 	rw, rewindable := newRewinder(body)
 	attempts := c.retry.attemptsFor(method, rewindable)
 	var lastErr error
@@ -198,15 +214,22 @@ func (c *Client) do(method, p string, headers map[string]string, body io.Reader,
 				return nil, fmt.Errorf("davclient: %s %s: rewind for retry: %w", method, p, err)
 			}
 		}
-		resp, err := c.once(ctx, method, p, headers, body, want)
+		resp, err := c.once(ctx, method, p, reqID, headers, body, want)
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
-		if attempt >= attempts || !c.retry.retryableErr(err) || !c.retry.takeBudget() {
+		if attempt >= attempts || !c.retry.retryableErr(err) {
 			break
 		}
-		if err := c.retry.policy.Sleep(ctx, c.retry.delay(attempt, lastErr)); err != nil {
+		if !c.retry.takeBudget() {
+			c.met.countBudgetExhausted()
+			break
+		}
+		c.met.countRetry()
+		delay := c.retry.delay(attempt, lastErr)
+		c.met.observeBackoff(delay)
+		if err := c.retry.policy.Sleep(ctx, delay); err != nil {
 			break // context cancelled while backing off
 		}
 	}
@@ -214,11 +237,12 @@ func (c *Client) do(method, p string, headers map[string]string, body io.Reader,
 }
 
 // once issues exactly one HTTP request.
-func (c *Client) once(ctx context.Context, method, p string, headers map[string]string, body io.Reader, want []int) (*http.Response, error) {
+func (c *Client) once(ctx context.Context, method, p, reqID string, headers map[string]string, body io.Reader, want []int) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.urlFor(p), body)
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set(obs.RequestIDHeader, reqID)
 	for k, v := range headers {
 		req.Header.Set(k, v)
 	}
@@ -226,6 +250,7 @@ func (c *Client) once(ctx context.Context, method, p string, headers map[string]
 		req.SetBasicAuth(c.cfg.Username, c.cfg.Password)
 	}
 	c.requests.Add(1)
+	c.met.countRequest()
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("davclient: %s %s: %w", method, p, err)

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"html"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -34,8 +34,9 @@ type Options struct {
 	// Prefix is stripped from request URL paths before they are
 	// interpreted as resource paths (e.g. "/dav").
 	Prefix string
-	// Logger receives request errors; nil discards them.
-	Logger *log.Logger
+	// Logger receives request errors; nil discards them. Call sites
+	// still holding a *log.Logger can adapt it with obs.Slogify.
+	Logger *slog.Logger
 }
 
 // Handler serves the WebDAV protocol over a Store.
@@ -65,7 +66,7 @@ func (h *Handler) Store() store.Store { return h.store }
 
 func (h *Handler) logf(format string, args ...any) {
 	if h.opts.Logger != nil {
-		h.opts.Logger.Printf(format, args...)
+		h.opts.Logger.Error(fmt.Sprintf(format, args...))
 	}
 }
 

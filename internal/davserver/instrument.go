@@ -1,0 +1,165 @@
+package davserver
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// This file is the server's telemetry surface: an Instrument middleware
+// recording per-DAV-method latency and status-class counters plus a
+// structured access log, a store.OpObserver wiring store-operation
+// timings into the same registry, and gauges over the lock table and
+// the connection limiter. Together they make the paper's Tables 1–3
+// questions — how long does each method take, how big are the bodies,
+// where does the store spend its time — answerable on a live server.
+
+// Metric help strings, shared by exposition and docs.
+const (
+	helpRequests  = "DAV requests served, by method and status class."
+	helpDuration  = "DAV request handling latency in seconds, by method."
+	helpReqBytes  = "Request body sizes in bytes, by method."
+	helpRespBytes = "Response body sizes in bytes, by method."
+	helpStoreOps  = "Store operation latency in seconds, by operation."
+	helpStoreErrs = "Store operations that returned an error, by operation."
+	helpLocks     = "Active entries in the in-memory lock table."
+	helpDropped   = "Connections dropped by the per-minute rate limiter (cumulative)."
+	helpInflight  = "DAV requests currently being handled."
+	helpPanics    = "Handler panics recovered by the hardening middleware."
+)
+
+// Metrics bundles a registry with the server's instrument points. One
+// Metrics may be shared by several handlers (counters then aggregate).
+type Metrics struct {
+	Registry *obs.Registry
+	inflight *obs.Gauge
+	panics   *obs.Counter
+}
+
+// NewMetrics builds server metrics over reg (nil creates a fresh
+// registry, exposed via the Registry field).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		Registry: reg,
+		inflight: reg.Gauge("dav_inflight_requests", helpInflight, nil),
+		panics:   reg.Counter("dav_panics_total", helpPanics, nil),
+	}
+}
+
+// knownMethods bounds the method label's cardinality to the DAV method
+// set; anything else (scanners, typos) collapses into "OTHER".
+var knownMethods = map[string]bool{
+	http.MethodOptions: true, http.MethodGet: true, http.MethodHead: true,
+	http.MethodPut: true, http.MethodDelete: true, "MKCOL": true,
+	"COPY": true, "MOVE": true, "PROPFIND": true, "PROPPATCH": true,
+	"LOCK": true, "UNLOCK": true, "SEARCH": true, "VERSION-CONTROL": true,
+	"REPORT": true,
+}
+
+func methodLabel(m string) string {
+	if knownMethods[m] {
+		return m
+	}
+	return "OTHER"
+}
+
+// observeRequest records one completed request.
+func (m *Metrics) observeRequest(method string, status int, d time.Duration, reqBytes, respBytes int64) {
+	r := m.Registry
+	lm := methodLabel(method)
+	r.Counter("dav_requests_total", helpRequests,
+		obs.Labels{"method": lm, "class": obs.StatusClass(status)}).Inc()
+	r.Histogram("dav_request_duration_seconds", helpDuration,
+		obs.Labels{"method": lm}, obs.DefBuckets).Observe(d.Seconds())
+	if reqBytes >= 0 {
+		r.Histogram("dav_request_body_bytes", helpReqBytes,
+			obs.Labels{"method": lm}, obs.SizeBuckets).Observe(float64(reqBytes))
+	}
+	r.Histogram("dav_response_body_bytes", helpRespBytes,
+		obs.Labels{"method": lm}, obs.SizeBuckets).Observe(float64(respBytes))
+}
+
+// StoreObserver returns a store.OpObserver that records each store
+// operation's latency (and errors) in the registry; pass it to
+// store.Instrument around the Store the Handler serves.
+func (m *Metrics) StoreObserver() store.OpObserver {
+	return func(op string, d time.Duration, err error) {
+		m.Registry.Histogram("dav_store_op_duration_seconds", helpStoreOps,
+			obs.Labels{"op": op}, obs.DefBuckets).Observe(d.Seconds())
+		if err != nil {
+			m.Registry.Counter("dav_store_op_errors_total", helpStoreErrs,
+				obs.Labels{"op": op}).Inc()
+		}
+	}
+}
+
+// TrackLocks exposes the lock table's size as the dav_locks_active
+// gauge, read at scrape time.
+func (m *Metrics) TrackLocks(lm *LockManager) {
+	m.Registry.GaugeFunc("dav_locks_active", helpLocks, nil,
+		func() float64 { return float64(lm.Len()) })
+}
+
+// TrackLimiter exposes the listener's cumulative drop count as the
+// dav_limiter_dropped_total gauge, so rejected connections are visible
+// on every scrape instead of only to code that polls Dropped().
+func (m *Metrics) TrackLimiter(rl *RateLimitedListener) {
+	m.Registry.GaugeFunc("dav_limiter_dropped_total", helpDropped, nil,
+		func() float64 { return float64(rl.Dropped()) })
+	m.Registry.GaugeFunc("dav_limiter_limit_per_minute",
+		"Configured connections-per-minute cap (0 = unlimited).", nil,
+		func() float64 { return float64(rl.Limit()) })
+}
+
+// CountPanic records one recovered handler panic.
+func (m *Metrics) CountPanic() {
+	if m != nil {
+		m.panics.Inc()
+	}
+}
+
+// Instrument wraps next with the telemetry middleware: it resolves the
+// request's trace ID (inbound X-Request-ID or generated) and echoes it
+// on the response, records per-method latency/status/size metrics into
+// m, and emits one structured access-log line per request to accessLog
+// with method, path, Depth, status, bytes, duration and the request ID.
+// Either m or accessLog may be nil to disable that half.
+//
+// Place it outside Harden so the recorded status includes timeouts and
+// recovered panics, and outside auth so rejected credentials still
+// appear in the access log.
+func Instrument(next http.Handler, m *Metrics, accessLog *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, id := obs.EnsureRequestID(r)
+		w.Header().Set(obs.RequestIDHeader, id)
+		rr := obs.NewResponseRecorder(w)
+		if m != nil {
+			m.inflight.Add(1)
+		}
+		start := time.Now()
+		next.ServeHTTP(rr, req)
+		d := time.Since(start)
+		if m != nil {
+			m.inflight.Add(-1)
+			m.observeRequest(req.Method, rr.Status(), d, req.ContentLength, rr.Bytes())
+		}
+		if accessLog != nil {
+			accessLog.LogAttrs(req.Context(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", req.Method),
+				slog.String("path", req.URL.Path),
+				slog.String("depth", req.Header.Get("Depth")),
+				slog.Int("status", rr.Status()),
+				slog.Int64("bytes", rr.Bytes()),
+				slog.Duration("duration", d),
+				slog.String("remote", req.RemoteAddr),
+			)
+		}
+	})
+}

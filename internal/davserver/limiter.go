@@ -45,12 +45,18 @@ func (rl *RateLimitedListener) SetClock(now func() time.Time) {
 	rl.now = now
 }
 
-// Dropped reports how many connections were refused.
+// Dropped reports how many connections were refused. The same count is
+// exported as the dav_limiter_dropped_total gauge when the listener is
+// registered with Metrics.TrackLimiter, so operators need not poll.
 func (rl *RateLimitedListener) Dropped() int64 {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	return rl.dropped
 }
+
+// Limit reports the configured connections-per-minute cap (zero or
+// less means unlimited).
+func (rl *RateLimitedListener) Limit() int { return rl.limit }
 
 // admit records an accept attempt and reports whether it is within the
 // window's budget.

@@ -150,6 +150,15 @@ func (lm *LockManager) Unlock(token string) error {
 	return nil
 }
 
+// Len reports the number of live (unexpired) locks — the lock-table
+// size gauge.
+func (lm *LockManager) Len() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.purgeLocked()
+	return len(lm.byToken)
+}
+
 // LocksOn returns every active lock covering p, direct or inherited
 // from a depth-infinity ancestor lock.
 func (lm *LockManager) LocksOn(p string) []davproto.ActiveLock {

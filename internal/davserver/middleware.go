@@ -1,13 +1,15 @@
 package davserver
 
 import (
+	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -29,8 +31,11 @@ type HardenOptions struct {
 	// MaxBodyBytes caps request body sizes; zero means unlimited (the
 	// paper PUTs 200 MB documents, so there is no default cap).
 	MaxBodyBytes int64
-	// Logger receives recovered panics; nil discards them.
-	Logger *log.Logger
+	// Logger receives recovered panics; nil discards them. Call sites
+	// still holding a *log.Logger can adapt it with obs.Slogify.
+	Logger *slog.Logger
+	// Metrics, when set, counts recovered panics (dav_panics_total).
+	Metrics *Metrics
 }
 
 // Harden wraps next with the full protection stack: panic recovery
@@ -44,13 +49,19 @@ func Harden(next http.Handler, opts HardenOptions) http.Handler {
 		h = http.TimeoutHandler(h, opts.RequestTimeout,
 			fmt.Sprintf("request exceeded the %s server timeout", opts.RequestTimeout))
 	}
-	return Recoverer(opts.Logger, h)
+	return recoverer(opts.Logger, opts.Metrics, h)
 }
 
 // Recoverer converts handler panics into 500 responses instead of
-// letting net/http kill the connection, and logs the stack so the
-// fault is diagnosable. The daemon keeps serving other requests.
-func Recoverer(logger *log.Logger, next http.Handler) http.Handler {
+// letting net/http kill the connection, and logs the request ID and
+// stack at ERROR so the fault is diagnosable and traceable. The daemon
+// keeps serving other requests.
+func Recoverer(logger *slog.Logger, next http.Handler) http.Handler {
+	return recoverer(logger, nil, next)
+}
+
+// recoverer is Recoverer plus an optional panic counter.
+func recoverer(logger *slog.Logger, m *Metrics, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			rec := recover()
@@ -61,8 +72,15 @@ func Recoverer(logger *log.Logger, next http.Handler) http.Handler {
 				// Deliberate connection abort; propagate.
 				panic(rec)
 			}
+			m.CountPanic()
 			if logger != nil {
-				logger.Printf("dav: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				logger.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+					slog.String("id", obs.RequestIDFrom(r.Context())),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", rec),
+					slog.String("stack", string(debug.Stack())),
+				)
 			}
 			// Best effort: if the handler already wrote, this is a
 			// no-op and the client sees a torn response.
@@ -91,7 +109,8 @@ func BodyLimit(n int64, next http.Handler) http.Handler {
 // Liveness answers 200 whenever the process can run a handler.
 // Readiness also requires the backing store to answer a Stat of the
 // root, and reports 503 once draining begins so load balancers stop
-// routing new work during graceful shutdown.
+// routing new work during graceful shutdown. /readyz bodies are JSON
+// with per-check detail (see ReadyStatus).
 type Health struct {
 	store    store.Store
 	draining atomic.Bool
@@ -114,18 +133,54 @@ func (h *Health) ServeLive(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// ServeReady is the /readyz readiness probe.
-func (h *Health) ServeReady(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+// ReadyCheck is one named probe inside a ReadyStatus.
+type ReadyCheck struct {
+	OK        bool    `json:"ok"`
+	LatencyMS float64 `json:"latency_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// ReadyStatus is the /readyz response body.
+type ReadyStatus struct {
+	// Status is "ready", "draining", or "unavailable".
+	Status   string                `json:"status"`
+	Draining bool                  `json:"draining"`
+	Checks   map[string]ReadyCheck `json:"checks"`
+}
+
+// Ready runs the readiness checks and reports the status plus whether
+// the instance should receive traffic.
+func (h *Health) Ready() (ReadyStatus, bool) {
+	st := ReadyStatus{Status: "ready", Checks: map[string]ReadyCheck{}}
+
+	start := time.Now()
+	_, err := h.store.Stat("/")
+	probe := ReadyCheck{OK: err == nil, LatencyMS: float64(time.Since(start).Microseconds()) / 1000}
+	if err != nil {
+		probe.Error = err.Error()
+		st.Status = "unavailable"
+	}
+	st.Checks["store"] = probe
+
 	if h.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+		st.Draining = true
+		st.Status = "draining"
 	}
-	if _, err := h.store.Stat("/"); err != nil {
-		http.Error(w, "store unavailable: "+err.Error(), http.StatusServiceUnavailable)
-		return
+	return st, st.Status == "ready"
+}
+
+// ServeReady is the /readyz readiness probe: 200 with a JSON body when
+// ready, 503 with the same shape when draining or the store probe
+// fails.
+func (h *Health) ServeReady(w http.ResponseWriter, _ *http.Request) {
+	st, ok := h.Ready()
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	fmt.Fprintln(w, "ready")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
 }
 
 // Register mounts the probes on mux at /healthz and /readyz.

@@ -1,6 +1,7 @@
 package davserver
 
 import (
+	"encoding/json"
 	"io"
 	"log"
 	"net/http"
@@ -10,12 +11,15 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
 func TestRecovererTurnsPanicInto500(t *testing.T) {
+	// The std logger goes through the obs.Slogify compatibility shim —
+	// the migration path for pre-slog call sites.
 	var logged strings.Builder
-	logger := log.New(&logged, "", 0)
+	logger := obs.Slogify(log.New(&logged, "", 0))
 	h := Recoverer(logger, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom")
 	}))
@@ -166,6 +170,56 @@ func TestHealthProbes(t *testing.T) {
 	health.SetDraining(false)
 	if got := get("/readyz"); got != 200 {
 		t.Fatalf("readyz after drain cleared = %d, want 200", got)
+	}
+}
+
+// TestReadyzJSONShape pins the per-check JSON detail of /readyz,
+// including the draining flag during graceful drain.
+func TestReadyzJSONShape(t *testing.T) {
+	health := NewHealth(store.NewMemStore())
+	mux := http.NewServeMux()
+	health.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	fetch := func() (int, ReadyStatus) {
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+			t.Fatalf("Content-Type = %q, want application/json", ct)
+		}
+		var st ReadyStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding /readyz body: %v", err)
+		}
+		return resp.StatusCode, st
+	}
+
+	code, st := fetch()
+	if code != 200 || st.Status != "ready" || st.Draining {
+		t.Fatalf("healthy readyz = %d %+v, want 200/ready", code, st)
+	}
+	probe, ok := st.Checks["store"]
+	if !ok || !probe.OK || probe.LatencyMS < 0 {
+		t.Fatalf("store check = %+v (present %v), want ok with non-negative latency", probe, ok)
+	}
+
+	// Graceful drain: same shape, 503, draining flag set, store check
+	// still reported so operators can tell drain from store failure.
+	health.SetDraining(true)
+	code, st = fetch()
+	if code != 503 || st.Status != "draining" || !st.Draining {
+		t.Fatalf("draining readyz = %d %+v, want 503/draining", code, st)
+	}
+	if probe, ok := st.Checks["store"]; !ok || !probe.OK {
+		t.Fatalf("store check during drain = %+v (present %v), want ok", probe, ok)
+	}
+	health.SetDraining(false)
+	if code, _ := fetch(); code != 200 {
+		t.Fatalf("readyz after drain cleared = %d, want 200", code)
 	}
 }
 

@@ -16,13 +16,43 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/davclient"
 	"repro/internal/davserver"
 	"repro/internal/dbm"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
+
+// Shared telemetry for every environment started after EnableMetrics.
+// Experiments boot many short-lived servers; one registry accumulates
+// across all of them so a whole benchmark run can be inspected at the
+// end. Gauge callbacks (lock table size) track the most recent
+// environment — registry replacement semantics make re-registration
+// safe.
+var (
+	metricsMu sync.Mutex
+	metrics   *davserver.Metrics
+)
+
+// EnableMetrics switches on telemetry for all subsequently started DAV
+// environments and returns the shared metrics (idempotent).
+func EnableMetrics() *davserver.Metrics {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	if metrics == nil {
+		metrics = davserver.NewMetrics(obs.NewRegistry())
+	}
+	return metrics
+}
+
+func enabledMetrics() *davserver.Metrics {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	return metrics
+}
 
 // DAVEnv is a running DAV server plus a connected client.
 type DAVEnv struct {
@@ -74,7 +104,18 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 		}
 		env.Store = fs
 	}
+	m := enabledMetrics()
+	if m != nil {
+		env.Store = store.Instrument(env.Store, m.StoreObserver())
+	}
 	env.Handler = davserver.NewHandler(env.Store, &davserver.Options{MaxPropBytes: opts.MaxPropBytes})
+	serverHandler := http.Handler(env.Handler)
+	var clientReg *obs.Registry
+	if m != nil {
+		m.TrackLocks(env.Handler.Locks())
+		serverHandler = davserver.Instrument(serverHandler, m, nil)
+		clientReg = m.Registry
+	}
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -83,7 +124,7 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 	}
 	env.listener = l
 	env.URL = fmt.Sprintf("http://%s", l.Addr())
-	env.server = &http.Server{Handler: env.Handler}
+	env.server = &http.Server{Handler: serverHandler}
 	go env.server.Serve(l)
 
 	env.Client, err = davclient.New(davclient.Config{
@@ -91,6 +132,7 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 		Persistent: opts.Persistent,
 		Parser:     opts.Parser,
 		Timeout:    10 * time.Minute,
+		Metrics:    clientReg,
 	})
 	if err != nil {
 		env.cleanup()
@@ -101,11 +143,16 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 
 // NewClient opens an extra client against the same server.
 func (e *DAVEnv) NewClient(persistent bool, parser davclient.ParserKind) (*davclient.Client, error) {
+	var clientReg *obs.Registry
+	if m := enabledMetrics(); m != nil {
+		clientReg = m.Registry
+	}
 	return davclient.New(davclient.Config{
 		BaseURL:    e.URL,
 		Persistent: persistent,
 		Parser:     parser,
 		Timeout:    10 * time.Minute,
+		Metrics:    clientReg,
 	})
 }
 

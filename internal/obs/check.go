@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text-format payload: it must
+// be non-empty, every sample line must parse as `name[{labels}] value`,
+// and at least one TYPE comment and one sample must be present. The CI
+// smoke job uses this to fail a build whose /metrics output regresses
+// to empty or malformed.
+func CheckExposition(data []byte) error {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return fmt.Errorf("obs: exposition is empty")
+	}
+	sawType, samples := false, 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, "# TYPE "):
+			rest := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+			if len(rest) != 2 {
+				return fmt.Errorf("obs: line %d: malformed TYPE comment %q", line, text)
+			}
+			switch rest[1] {
+			case kindCounter, kindGauge, kindHistogram, "summary", "untyped":
+			default:
+				return fmt.Errorf("obs: line %d: unknown metric type %q", line, rest[1])
+			}
+			sawType = true
+		case strings.HasPrefix(text, "#"):
+			continue
+		default:
+			if err := checkSample(text); err != nil {
+				return fmt.Errorf("obs: line %d: %w", line, err)
+			}
+			samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	if !sawType {
+		return fmt.Errorf("obs: exposition has no TYPE comments")
+	}
+	if samples == 0 {
+		return fmt.Errorf("obs: exposition has no samples")
+	}
+	return nil
+}
+
+// checkSample validates one `name[{labels}] value` line.
+func checkSample(text string) error {
+	i := strings.LastIndexByte(text, ' ')
+	if i < 0 {
+		return fmt.Errorf("sample %q has no value", text)
+	}
+	name, val := strings.TrimSpace(text[:i]), text[i+1:]
+	if val != "+Inf" && val != "-Inf" && val != "NaN" {
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("sample %q: bad value %q", text, val)
+		}
+	}
+	if j := strings.IndexByte(name, '{'); j >= 0 {
+		if !strings.HasSuffix(name, "}") {
+			return fmt.Errorf("sample %q: unterminated label set", text)
+		}
+		name = name[:j]
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("sample %q: bad metric name %q", text, name)
+	}
+	return nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the inclusive-le semantics: an
+// observation equal to a bound lands in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	cases := []struct {
+		v      float64
+		bucket int // index into counts
+	}{
+		{0.5, 0}, // below first bound
+		{1, 0},   // exactly on a bound is inside it
+		{1.001, 1},
+		{2, 1},
+		{4.999, 2},
+		{5, 2},
+		{5.001, 3}, // +Inf overflow bucket
+		{1e9, 3},
+	}
+	for _, c := range cases {
+		before := h.counts[c.bucket].Load()
+		h.Observe(c.v)
+		if got := h.counts[c.bucket].Load(); got != before+1 {
+			t.Errorf("Observe(%v): bucket %d count = %d, want %d", c.v, c.bucket, got, before+1)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+	wantSum := 0.0
+	for _, c := range cases {
+		wantSum += c.v
+	}
+	if h.Sum() != wantSum {
+		t.Errorf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestConcurrentRecording exercises every metric kind from many
+// goroutines while a scraper renders, for the race detector.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			method := fmt.Sprintf("M%d", w%3)
+			for i := 0; i < iters; i++ {
+				r.Counter("reqs_total", "", Labels{"method": method}).Inc()
+				r.Gauge("inflight", "", nil).Add(1)
+				r.Histogram("latency_seconds", "", Labels{"method": method}, DefBuckets).
+					Observe(float64(i) / 1000)
+				r.Gauge("inflight", "", nil).Add(-1)
+			}
+		}(w)
+	}
+	// Concurrent scrapes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	total := int64(0)
+	for _, m := range []string{"M0", "M1", "M2"} {
+		total += r.Counter("reqs_total", "", Labels{"method": m}).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %d, want %d", total, workers*iters)
+	}
+	if g := r.Gauge("inflight", "", nil).Value(); g != 0 {
+		t.Errorf("inflight after quiesce = %v, want 0", g)
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition rendering.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dav_requests_total", "DAV requests served.", Labels{"method": "GET", "class": "2xx"}).Add(3)
+	r.Counter("dav_requests_total", "DAV requests served.", Labels{"method": "PUT", "class": "5xx"}).Inc()
+	r.Gauge("dav_inflight_requests", "In-flight requests.", nil).Set(2)
+	r.GaugeFunc("dav_locks_active", "Lock table size.", nil, func() float64 { return 4 })
+	h := r.Histogram("dav_request_duration_seconds", "Request latency.", Labels{"method": "GET"}, []float64{0.1, 0.5, 2.5})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP dav_inflight_requests In-flight requests.`,
+		`# TYPE dav_inflight_requests gauge`,
+		`dav_inflight_requests 2`,
+		`# HELP dav_locks_active Lock table size.`,
+		`# TYPE dav_locks_active gauge`,
+		`dav_locks_active 4`,
+		`# HELP dav_request_duration_seconds Request latency.`,
+		`# TYPE dav_request_duration_seconds histogram`,
+		`dav_request_duration_seconds_bucket{method="GET",le="0.1"} 1`,
+		`dav_request_duration_seconds_bucket{method="GET",le="0.5"} 2`,
+		`dav_request_duration_seconds_bucket{method="GET",le="2.5"} 2`,
+		`dav_request_duration_seconds_bucket{method="GET",le="+Inf"} 3`,
+		`dav_request_duration_seconds_sum{method="GET"} 3.55`,
+		`dav_request_duration_seconds_count{method="GET"} 3`,
+		`# HELP dav_requests_total DAV requests served.`,
+		`# TYPE dav_requests_total counter`,
+		`dav_requests_total{class="2xx",method="GET"} 3`,
+		`dav_requests_total{class="5xx",method="PUT"} 1`,
+		``,
+	}, "\n")
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want)
+	}
+	if err := CheckExposition([]byte(sb.String())); err != nil {
+		t.Errorf("golden exposition fails CheckExposition: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", Labels{"path": "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `c_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped label missing; got:\n%s", sb.String())
+	}
+	if err := CheckExposition([]byte(sb.String())); err != nil {
+		t.Errorf("CheckExposition: %v", err)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "", nil)
+}
+
+func TestDefBucketsHaveAtLeastEight(t *testing.T) {
+	// The acceptance criteria require latency histograms with >= 8
+	// buckets; the defaults must satisfy that with room to spare.
+	if len(DefBuckets) < 8 {
+		t.Fatalf("DefBuckets has %d buckets, want >= 8", len(DefBuckets))
+	}
+	if len(SizeBuckets) < 8 {
+		t.Fatalf("SizeBuckets has %d buckets, want >= 8", len(SizeBuckets))
+	}
+}
+
+func TestCheckExposition(t *testing.T) {
+	bad := []string{
+		"",
+		"   \n\n",
+		"# TYPE x counter\n",                     // no samples
+		"x_total 1\n",                            // no TYPE
+		"# TYPE x counter\nx_total notanumber\n", // bad value
+		"# TYPE x counter\n1bad{a=\"b\"} 1\n",    // bad name
+		"# TYPE x counter\nx_total{a=\"b\" 1\n",  // unterminated labels
+		"# TYPE x wat\nx_total 1\n",              // unknown kind
+	}
+	for _, c := range bad {
+		if err := CheckExposition([]byte(c)); err == nil {
+			t.Errorf("CheckExposition(%q) = nil, want error", c)
+		}
+	}
+	good := "# HELP x_total things\n# TYPE x counter\nx_total{a=\"b\"} 1\nx_sum 2.5\n"
+	if err := CheckExposition([]byte(good)); err != nil {
+		t.Errorf("CheckExposition(good) = %v", err)
+	}
+}

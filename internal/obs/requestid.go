@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strings"
+)
+
+// RequestIDHeader is the header carrying a request's trace ID. Clients
+// send it, servers echo it, and access logs record it, so one client
+// operation is traceable end-to-end through server logs.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen caps accepted inbound IDs so a hostile client cannot
+// bloat logs.
+const maxRequestIDLen = 64
+
+type requestIDKey struct{}
+
+// NewRequestID mints a random 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; an ID of
+		// zeros still traces a single request within one log window.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID from ctx ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// sanitizeRequestID strips header injection material (control bytes)
+// and truncates oversized IDs; an empty result means "generate one".
+func sanitizeRequestID(id string) string {
+	id = strings.TrimSpace(id)
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	clean := strings.Map(func(r rune) rune {
+		if r < 0x20 || r == 0x7f {
+			return -1
+		}
+		return r
+	}, id)
+	return clean
+}
+
+// EnsureRequestID resolves the request's trace ID — the inbound
+// X-Request-ID header, the request context, or a freshly generated one,
+// in that order — and returns the request with the ID installed in its
+// context.
+func EnsureRequestID(r *http.Request) (*http.Request, string) {
+	id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+	if id == "" {
+		id = RequestIDFrom(r.Context())
+	}
+	if id == "" {
+		id = NewRequestID()
+	}
+	return r.WithContext(WithRequestID(r.Context(), id)), id
+}

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"encoding/xml"
+	"errors"
+	"io"
+	"time"
+)
+
+// OpObserver receives one store operation's name, wall-clock duration,
+// and error (nil on success). Implementations must be safe for
+// concurrent use; the telemetry layer supplies one that records
+// latency histograms and error counters.
+type OpObserver func(op string, d time.Duration, err error)
+
+// Instrument wraps s so every Store operation is timed and reported to
+// obs. Get timings cover opening the document, not streaming its body
+// (the HTTP layer's response-size histograms cover transfer). The
+// wrapper preserves the Renamer fast path when the underlying store
+// has one. A nil observer returns s unchanged.
+func Instrument(s Store, obs OpObserver) Store {
+	if obs == nil {
+		return s
+	}
+	return &instrumentedStore{s: s, obs: obs}
+}
+
+type instrumentedStore struct {
+	s   Store
+	obs OpObserver
+}
+
+// observe reports one finished operation.
+func (is *instrumentedStore) observe(op string, start time.Time, err error) {
+	is.obs(op, time.Since(start), err)
+}
+
+func (is *instrumentedStore) Stat(p string) (ResourceInfo, error) {
+	start := time.Now()
+	ri, err := is.s.Stat(p)
+	is.observe("stat", start, err)
+	return ri, err
+}
+
+func (is *instrumentedStore) List(p string) ([]ResourceInfo, error) {
+	start := time.Now()
+	members, err := is.s.List(p)
+	is.observe("list", start, err)
+	return members, err
+}
+
+func (is *instrumentedStore) Mkcol(p string) error {
+	start := time.Now()
+	err := is.s.Mkcol(p)
+	is.observe("mkcol", start, err)
+	return err
+}
+
+func (is *instrumentedStore) Put(p string, r io.Reader, contentType string) (bool, error) {
+	start := time.Now()
+	created, err := is.s.Put(p, r, contentType)
+	is.observe("put", start, err)
+	return created, err
+}
+
+func (is *instrumentedStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
+	start := time.Now()
+	rc, ri, err := is.s.Get(p)
+	is.observe("get", start, err)
+	return rc, ri, err
+}
+
+func (is *instrumentedStore) Delete(p string) error {
+	start := time.Now()
+	err := is.s.Delete(p)
+	is.observe("delete", start, err)
+	return err
+}
+
+func (is *instrumentedStore) PropPut(p string, name xml.Name, value []byte) error {
+	start := time.Now()
+	err := is.s.PropPut(p, name, value)
+	is.observe("prop_put", start, err)
+	return err
+}
+
+func (is *instrumentedStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
+	start := time.Now()
+	v, ok, err := is.s.PropGet(p, name)
+	is.observe("prop_get", start, err)
+	return v, ok, err
+}
+
+func (is *instrumentedStore) PropDelete(p string, name xml.Name) error {
+	start := time.Now()
+	err := is.s.PropDelete(p, name)
+	is.observe("prop_delete", start, err)
+	return err
+}
+
+func (is *instrumentedStore) PropNames(p string) ([]xml.Name, error) {
+	start := time.Now()
+	names, err := is.s.PropNames(p)
+	is.observe("prop_names", start, err)
+	return names, err
+}
+
+func (is *instrumentedStore) PropAll(p string) (map[xml.Name][]byte, error) {
+	start := time.Now()
+	props, err := is.s.PropAll(p)
+	is.observe("prop_all", start, err)
+	return props, err
+}
+
+func (is *instrumentedStore) Close() error {
+	start := time.Now()
+	err := is.s.Close()
+	is.observe("close", start, err)
+	return err
+}
+
+// errNoRename makes MoveTree fall back to copy+delete when the wrapped
+// store has no native rename.
+var errNoRename = errors.New("store: underlying store does not support rename")
+
+// Rename implements the Renamer fast path by delegating to the wrapped
+// store when it supports one.
+func (is *instrumentedStore) Rename(src, dst string) error {
+	r, ok := is.s.(Renamer)
+	if !ok {
+		return errNoRename
+	}
+	start := time.Now()
+	err := r.Rename(src, dst)
+	is.observe("rename", start, err)
+	return err
+}
+
+// Unwrap exposes the wrapped store (tests, tooling).
+func (is *instrumentedStore) Unwrap() Store { return is.s }

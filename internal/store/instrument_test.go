@@ -1,0 +1,124 @@
+package store
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// opRecorder collects observed operations.
+type opRecorder struct {
+	mu   sync.Mutex
+	ops  []string
+	errs map[string]int
+}
+
+func newOpRecorder() *opRecorder { return &opRecorder{errs: map[string]int{}} }
+
+func (r *opRecorder) observe(op string, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d < 0 {
+		panic("negative duration")
+	}
+	r.ops = append(r.ops, op)
+	if err != nil {
+		r.errs[op]++
+	}
+}
+
+func (r *opRecorder) count(op string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, o := range r.ops {
+		if o == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestInstrumentObservesOpsAndErrors(t *testing.T) {
+	rec := newOpRecorder()
+	s := Instrument(NewMemStore(), rec.observe)
+
+	if _, err := s.Put("/doc", strings.NewReader("hello"), "text/plain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat("/doc"); err != nil {
+		t.Fatal(err)
+	}
+	rc, _, err := s.Get("/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	if err := s.Mkcol("/col"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.List("/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat("/missing"); err == nil {
+		t.Fatal("expected ErrNotFound")
+	}
+
+	for op, want := range map[string]int{"put": 1, "stat": 2, "get": 1, "mkcol": 1, "list": 1} {
+		if got := rec.count(op); got != want {
+			t.Errorf("op %q observed %d times, want %d", op, got, want)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.errs["stat"] != 1 {
+		t.Errorf("stat errors = %d, want 1", rec.errs["stat"])
+	}
+}
+
+func TestInstrumentNilObserverIsPassThrough(t *testing.T) {
+	ms := NewMemStore()
+	if got := Instrument(ms, nil); got != Store(ms) {
+		t.Fatal("nil observer should return the store unchanged")
+	}
+}
+
+func TestInstrumentRenameFallback(t *testing.T) {
+	// MemStore has no Renamer; MoveTree through the wrapper must fall
+	// back to copy+delete rather than fail.
+	rec := newOpRecorder()
+	s := Instrument(NewMemStore(), rec.observe)
+	if _, err := s.Put("/src", strings.NewReader("body"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := MoveTree(s, "/src", "/dst"); err != nil {
+		t.Fatalf("MoveTree through instrumented store: %v", err)
+	}
+	if _, err := s.Stat("/dst"); err != nil {
+		t.Fatalf("dst missing after move: %v", err)
+	}
+	if _, err := s.Stat("/src"); err == nil {
+		t.Fatal("src still exists after move")
+	}
+}
+
+func TestInstrumentRenameDelegates(t *testing.T) {
+	// FSStore supports Rename; the wrapper must use and observe it.
+	fs, err := NewFSStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	rec := newOpRecorder()
+	s := Instrument(fs, rec.observe)
+	if _, err := s.Put("/src", strings.NewReader("body"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := MoveTree(s, "/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count("rename") == 0 {
+		t.Error("rename fast path not observed")
+	}
+}
