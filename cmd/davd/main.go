@@ -38,6 +38,7 @@ import (
 	"repro/internal/davserver"
 	"repro/internal/dbm"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/store"
 )
 
@@ -60,10 +61,16 @@ func main() {
 		grace = flag.Duration("shutdown-grace", 15*time.Second,
 			"how long to drain in-flight requests on SIGINT/SIGTERM before forcing exit")
 		adminAddr = flag.String("admin", "",
-			"admin listener address serving /metrics, /debug/vars and /debug/pprof; empty disables")
+			"admin listener address serving /metrics, /debug/vars, /debug/pprof and /debug/traces; empty disables")
 		noHealth    = flag.Bool("no-health", false, "disable the /healthz and /readyz probe endpoints")
 		noAccessLog = flag.Bool("no-access-log", false, "suppress per-request access log lines")
 		quiet       = flag.Bool("quiet", false, "suppress request error logging")
+		slowThresh  = flag.Duration("slow-threshold", 500*time.Millisecond,
+			"requests at or above this duration get a WARN log line and are always retained by the trace flight recorder; 0 disables the warning and slow-retention")
+		traceOut = flag.String("trace-out", "",
+			"file to write retained traces to as JSONL on shutdown; empty disables")
+		traceSample = flag.Float64("trace-sample", 0.01,
+			"fraction of fast, error-free traces retained at random in addition to slow/errored ones")
 	)
 	flag.Parse()
 
@@ -90,9 +97,20 @@ func main() {
 	defer fs.Close()
 
 	// Telemetry: one registry feeds the DAV middleware, the store
-	// wrapper, the lock/limiter gauges, and the admin endpoints.
+	// wrapper, the lock/limiter gauges, and the admin endpoints. The
+	// tracer's flight recorder shares the slow threshold with the
+	// middleware's WARN log, so every warned request has a trace.
 	metrics := davserver.NewMetrics(obs.NewRegistry())
 	obs.RegisterRuntime(metrics.Registry)
+	slowForRecorder := *slowThresh
+	if slowForRecorder == 0 {
+		slowForRecorder = -1 // 0 disables slow retention; the recorder treats negatives as off
+	}
+	recorder := trace.NewRecorder(trace.RecorderConfig{
+		SlowThreshold: slowForRecorder,
+		SampleRate:    *traceSample,
+	})
+	tracer := trace.New(trace.Config{Recorder: recorder})
 	st := store.Instrument(fs, metrics.StoreObserver())
 
 	opts := &davserver.Options{MaxPropBytes: *maxProp, Prefix: *prefix}
@@ -130,7 +148,13 @@ func main() {
 	if !*noAccessLog {
 		accessLog = logger
 	}
-	handler = davserver.Instrument(handler, metrics, accessLog)
+	handler = davserver.InstrumentWith(handler, davserver.InstrumentOptions{
+		Metrics:       metrics,
+		AccessLog:     accessLog,
+		Tracer:        tracer,
+		SlowThreshold: *slowThresh,
+		SlowLog:       logger, // slow-request warnings survive -no-access-log
+	})
 
 	// Probe endpoints live outside the auth wrapper so orchestrators
 	// can poll them without credentials; they shadow same-named DAV
@@ -165,6 +189,7 @@ func main() {
 		amux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		amux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		amux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		amux.Handle("/debug/traces", recorder.Handler())
 		adminListener, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
 			fatalf("davd: admin listen: %v", err)
@@ -177,7 +202,7 @@ func main() {
 		}()
 		logger.Info("admin endpoints enabled",
 			"addr", adminListener.Addr().String(),
-			"paths", "/metrics /debug/vars /debug/pprof/")
+			"paths", "/metrics /debug/vars /debug/pprof/ /debug/traces")
 	}
 
 	// Graceful shutdown: on the first signal, flip readiness so load
@@ -214,4 +239,21 @@ func main() {
 		fatalf("davd: %v", err)
 	}
 	<-done
+
+	// Flush the flight recorder after the drain so the export includes
+	// every request that completed before shutdown.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("davd: create trace export: %v", err)
+		}
+		if err := recorder.WriteJSONL(f); err != nil {
+			f.Close()
+			fatalf("davd: write trace export: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("davd: close trace export: %v", err)
+		}
+		logger.Info("traces exported", "file", *traceOut, "traces", recorder.Len())
+	}
 }

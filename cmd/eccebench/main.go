@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|all>
+//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|all>
 //
 // By default the paper's full workload sizes are used for table1 and
 // table3; table2, robust and disk default to scaled sizes unless -full
@@ -19,6 +19,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -39,10 +40,13 @@ func main() {
 		calcs       = flag.Int("calcs", 64, "disk: calculations to migrate (paper: 259)")
 		withMetrics = flag.Bool("metrics", false,
 			"instrument servers/clients and print a Prometheus metrics snapshot after each experiment")
+		benchOut = flag.String("out", "BENCH_PR3.json",
+			"bench-pr3: output file for the traced benchmark result")
+		benchOps = flag.Int("ops", 40, "bench-pr3: measured operations per experiment")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|all>")
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -151,8 +155,18 @@ func main() {
 		}
 	}
 
+	// bench-pr3 runs the traced benchmark trajectory, writes the JSON
+	// result, and re-validates the written file against the schema —
+	// the CI trace smoke. Excluded from "all" (it re-enables tracing
+	// globally, which would perturb the plain table runs).
+	if which == "bench-pr3" {
+		if err := runBenchPR3(*benchOut, *benchOps); err != nil {
+			log.Fatalf("eccebench bench-pr3: %v", err)
+		}
+	}
+
 	switch which {
-	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "all":
+	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
 		os.Exit(2)
@@ -190,6 +204,40 @@ func runSmoke() error {
 	}
 	fmt.Printf("smoke: metrics exposition OK (%d bytes, %d series lines)\n",
 		buf.Len(), strings.Count(out, "\n"))
+	return nil
+}
+
+// runBenchPR3 runs the traced benchmark trajectory, writes the result
+// as JSON, and validates what was actually written — asserting, among
+// other things, that at least one trace was sampled and every
+// experiment has a server-side breakdown.
+func runBenchPR3(outPath string, ops int) error {
+	res, err := experiments.RunBenchPR3(experiments.BenchPR3Options{Ops: ops})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBenchPR3(written); err != nil {
+		return fmt.Errorf("written %s failed validation: %w", outPath, err)
+	}
+	for _, e := range res.Experiments {
+		fmt.Printf("bench-pr3: %-28s p50=%7.2fms p90=%7.2fms p99=%7.2fms  "+
+			"breakdown(handler/store/dbm)=%.1f/%.1f/%.1fms over %d traces\n",
+			e.Name, e.P50Ms, e.P90Ms, e.P99Ms,
+			e.Breakdown.HandlerMs, e.Breakdown.StoreMs, e.Breakdown.DBMMs, e.Breakdown.Traces)
+	}
+	fmt.Printf("bench-pr3: %d traces sampled; result written to %s\n", res.SampledTraces, outPath)
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/davproto"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/xmldom"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	// registry: requests issued, retries, backoff sleeps, and retry
 	// budget exhaustion.
 	Metrics *obs.Registry
+	// Tracer, when set, opens one root span per logical operation
+	// ("dav.client <METHOD>", spanning every retry attempt, each of
+	// which gets a child span) and propagates the trace to the server
+	// via the traceparent header.
+	Tracer *trace.Tracer
 }
 
 // Client is a WebDAV client. It is safe for concurrent use.
@@ -199,23 +205,49 @@ func (c *Client) urlFor(p string) string {
 // — taken from the context when the caller stamped one with
 // obs.WithRequestID, freshly generated otherwise — so the operation is
 // traceable end-to-end through the server's access log.
+//
+// With a Tracer configured, the whole logical operation is one root
+// span covering every retry attempt and backoff sleep; each attempt is
+// a child span, and the traceparent header carries the trace to the
+// server. When the caller supplied no request ID, it is minted from the
+// trace ID, so access-log lines and traces join on one identifier.
 func (c *Client) do(method, p string, headers map[string]string, body io.Reader, want ...int) (*http.Response, error) {
 	ctx := c.context()
+	var root *trace.Span
+	if c.cfg.Tracer != nil {
+		ctx, root = c.cfg.Tracer.Start(ctx, "dav.client "+method,
+			trace.Str("method", method), trace.Str("path", p))
+	}
 	reqID := obs.RequestIDFrom(ctx)
+	if reqID == "" && root != nil {
+		reqID = root.TraceID().String()
+	}
 	if reqID == "" {
 		reqID = obs.NewRequestID()
 	}
 	rw, rewindable := newRewinder(body)
 	attempts := c.retry.attemptsFor(method, rewindable)
 	var lastErr error
+	finalAttempt := 1
 	for attempt := 1; ; attempt++ {
+		finalAttempt = attempt
 		if attempt > 1 {
 			if err := rw.rewind(); err != nil {
-				return nil, fmt.Errorf("davclient: %s %s: rewind for retry: %w", method, p, err)
+				lastErr = fmt.Errorf("davclient: %s %s: rewind for retry: %w", method, p, err)
+				break
 			}
 		}
-		resp, err := c.once(ctx, method, p, reqID, headers, body, want)
+		attemptCtx := ctx
+		var att *trace.Span
+		if root != nil {
+			attemptCtx, att = trace.Child(ctx, "dav.client.attempt",
+				trace.Int("attempt", int64(attempt)))
+		}
+		resp, err := c.once(attemptCtx, method, p, reqID, headers, body, want)
+		att.EndErr(err)
 		if err == nil {
+			root.SetAttr(trace.Int("attempts", int64(attempt)))
+			root.End()
 			return resp, nil
 		}
 		lastErr = err
@@ -233,6 +265,8 @@ func (c *Client) do(method, p string, headers map[string]string, body io.Reader,
 			break // context cancelled while backing off
 		}
 	}
+	root.SetAttr(trace.Int("attempts", int64(finalAttempt)))
+	root.EndErr(lastErr)
 	return nil, lastErr
 }
 
@@ -243,6 +277,7 @@ func (c *Client) once(ctx context.Context, method, p, reqID string, headers map[
 		return nil, err
 	}
 	req.Header.Set(obs.RequestIDHeader, reqID)
+	trace.Inject(ctx, req.Header)
 	for k, v := range headers {
 		req.Header.Set(k, v)
 	}

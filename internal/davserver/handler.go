@@ -88,6 +88,15 @@ func (h *Handler) resourcePath(urlPath string) (string, error) {
 
 // ServeHTTP dispatches one DAV request.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Bind the store to the request context so store-layer trace spans
+	// (see store.ContextBinder) attach to this request's trace. The
+	// handler is shallow-copied — dispatch below reads h.store — while
+	// locks and options stay shared.
+	if bound := store.BindContext(h.store, r.Context()); bound != h.store {
+		h2 := *h
+		h2.store = bound
+		h = &h2
+	}
 	p, err := h.resourcePath(r.URL.Path)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

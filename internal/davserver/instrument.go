@@ -1,11 +1,13 @@
 package davserver
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/store"
 )
 
@@ -124,6 +126,29 @@ func (m *Metrics) CountPanic() {
 	}
 }
 
+// InstrumentOptions configures InstrumentWith. Every field may be left
+// zero; the middleware then degrades to request-ID handling only.
+type InstrumentOptions struct {
+	// Metrics receives per-method latency/status/size observations.
+	Metrics *Metrics
+	// AccessLog receives one structured line per request.
+	AccessLog *slog.Logger
+	// Tracer, when set, opens a server span per request ("dav.server
+	// <METHOD>"), continuing the trace carried by a valid inbound
+	// traceparent header. The span's duration — measured once, on the
+	// tracer's clock — is the same value the metrics histogram and the
+	// access log record.
+	Tracer *trace.Tracer
+	// SlowThreshold emits a WARN line (to SlowLog, falling back to
+	// AccessLog) for requests at or above this duration. Zero disables.
+	// Point it at the same value as the flight recorder's threshold so
+	// every warned request also has a retained trace.
+	SlowThreshold time.Duration
+	// SlowLog receives slow-request warnings; nil falls back to
+	// AccessLog.
+	SlowLog *slog.Logger
+}
+
 // Instrument wraps next with the telemetry middleware: it resolves the
 // request's trace ID (inbound X-Request-ID or generated) and echoes it
 // on the response, records per-method latency/status/size metrics into
@@ -131,35 +156,89 @@ func (m *Metrics) CountPanic() {
 // with method, path, Depth, status, bytes, duration and the request ID.
 // Either m or accessLog may be nil to disable that half.
 //
+// It is shorthand for InstrumentWith without tracing; see
+// InstrumentOptions for the full surface.
+func Instrument(next http.Handler, m *Metrics, accessLog *slog.Logger) http.Handler {
+	return InstrumentWith(next, InstrumentOptions{Metrics: m, AccessLog: accessLog})
+}
+
+// InstrumentWith wraps next with the full telemetry middleware:
+// request-ID resolution and echo, optional distributed tracing,
+// metrics, access logging, and slow-request warnings.
+//
 // Place it outside Harden so the recorded status includes timeouts and
 // recovered panics, and outside auth so rejected credentials still
 // appear in the access log.
-func Instrument(next http.Handler, m *Metrics, accessLog *slog.Logger) http.Handler {
+func InstrumentWith(next http.Handler, o InstrumentOptions) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var span *trace.Span
+		if o.Tracer != nil {
+			// A malformed traceparent is discarded by Extract: the
+			// request then starts a fresh trace rather than continuing
+			// an attacker-chosen one.
+			ctx, _ := trace.Extract(r.Context(), r)
+			ctx, span = o.Tracer.Start(ctx, "dav.server "+methodLabel(r.Method),
+				trace.Str("method", r.Method), trace.Str("path", r.URL.Path))
+			// With no usable inbound request ID, derive one from the
+			// trace so logs and traces join on a single identifier.
+			if obs.CleanRequestID(r.Header.Get(obs.RequestIDHeader)) == "" &&
+				obs.RequestIDFrom(ctx) == "" {
+				ctx = obs.WithRequestID(ctx, span.TraceID().String())
+			}
+			r = r.WithContext(ctx)
+		}
 		req, id := obs.EnsureRequestID(r)
 		w.Header().Set(obs.RequestIDHeader, id)
 		rr := obs.NewResponseRecorder(w)
+		m := o.Metrics
 		if m != nil {
 			m.inflight.Add(1)
 		}
-		start := time.Now()
+		start := o.Tracer.Now() // nil-safe: time.Now()
 		next.ServeHTTP(rr, req)
-		d := time.Since(start)
+		var d time.Duration
+		if span != nil {
+			var err error
+			if rr.Status() >= 500 {
+				err = fmt.Errorf("status %d", rr.Status())
+			}
+			span.SetAttr(trace.Int("status", int64(rr.Status())),
+				trace.Int("resp_bytes", rr.Bytes()))
+			// One measurement: the span's duration is what metrics and
+			// logs report, so the three surfaces cannot disagree.
+			d = span.EndErr(err)
+		} else {
+			d = time.Since(start)
+		}
 		if m != nil {
 			m.inflight.Add(-1)
 			m.observeRequest(req.Method, rr.Status(), d, req.ContentLength, rr.Bytes())
 		}
-		if accessLog != nil {
-			accessLog.LogAttrs(req.Context(), slog.LevelInfo, "request",
-				slog.String("id", id),
-				slog.String("method", req.Method),
-				slog.String("path", req.URL.Path),
-				slog.String("depth", req.Header.Get("Depth")),
-				slog.Int("status", rr.Status()),
-				slog.Int64("bytes", rr.Bytes()),
-				slog.Duration("duration", d),
-				slog.String("remote", req.RemoteAddr),
-			)
+		attrs := []slog.Attr{
+			slog.String("id", id),
+			slog.String("method", req.Method),
+			slog.String("path", req.URL.Path),
+			slog.String("depth", req.Header.Get("Depth")),
+			slog.Int("status", rr.Status()),
+			slog.Int64("bytes", rr.Bytes()),
+			slog.Duration("duration", d),
+			slog.String("remote", req.RemoteAddr),
+		}
+		if span != nil {
+			attrs = append(attrs, slog.String("trace", span.TraceID().String()))
+		}
+		if o.AccessLog != nil {
+			o.AccessLog.LogAttrs(req.Context(), slog.LevelInfo, "request", attrs...)
+		}
+		if o.SlowThreshold > 0 && d >= o.SlowThreshold {
+			slowLog := o.SlowLog
+			if slowLog == nil {
+				slowLog = o.AccessLog
+			}
+			if slowLog != nil {
+				slowLog.LogAttrs(req.Context(), slog.LevelWarn, "slow request",
+					append(attrs, slog.Duration("threshold", o.SlowThreshold))...)
+			}
 		}
 	})
 }

@@ -32,6 +32,7 @@
 package dbm
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -108,6 +109,7 @@ type DB struct {
 	f       *os.File
 	path    string
 	flavour Flavour
+	ctx     context.Context // trace binding from OpenContext; nil = untraced
 
 	buckets []int64 // in-memory copy of the bucket table
 	nkeys   int
@@ -302,7 +304,8 @@ func (db *DB) findLocked(key []byte) (int64, record, error) {
 
 // Get returns the value stored for key, and whether it was present.
 // The returned slice is a fresh copy owned by the caller.
-func (db *DB) Get(key []byte) ([]byte, bool, error) {
+func (db *DB) Get(key []byte) (val []byte, found bool, err error) {
+	defer db.opSpan("dbm.get")(&err)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -312,7 +315,7 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 	if err != nil || at == 0 {
 		return nil, false, err
 	}
-	val := make([]byte, rec.valLen)
+	val = make([]byte, rec.valLen)
 	if _, err := db.f.ReadAt(val, at+recHdrSize+int64(len(rec.key))); err != nil {
 		return nil, false, fmt.Errorf("%w: record value: %v", ErrCorrupt, err)
 	}
@@ -332,7 +335,8 @@ func (db *DB) Has(key []byte) (bool, error) {
 
 // Put stores value under key, replacing any existing value. The old
 // record, if any, becomes dead space until Compact is called.
-func (db *DB) Put(key, value []byte) error {
+func (db *DB) Put(key, value []byte) (err error) {
+	defer db.opSpan("dbm.put")(&err)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -389,7 +393,8 @@ func (db *DB) setBucketHead(b int, at int64) error {
 
 // Delete removes key, reporting whether it was present. The record is
 // tombstoned in place; its space is reclaimed only by Compact.
-func (db *DB) Delete(key []byte) (bool, error) {
+func (db *DB) Delete(key []byte) (found bool, err error) {
+	defer db.opSpan("dbm.delete")(&err)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -412,7 +417,8 @@ func (db *DB) Delete(key []byte) (bool, error) {
 // ForEach calls fn for every live key/value pair. Iteration order is
 // unspecified. If fn returns a non-nil error, iteration stops and the
 // error is returned. fn must not call back into the database.
-func (db *DB) ForEach(fn func(key, value []byte) error) error {
+func (db *DB) ForEach(fn func(key, value []byte) error) (err error) {
+	defer db.opSpan("dbm.foreach")(&err)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -482,7 +488,8 @@ func (db *DB) Stats() (Stats, error) {
 // records — the manual garbage-collection step the paper describes for
 // SDBM/GDBM. The file shrinks to the live data (never below the
 // flavour's initial size).
-func (db *DB) Compact() error {
+func (db *DB) Compact() (err error) {
+	defer db.opSpan("dbm.compact")(&err)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

@@ -1,0 +1,41 @@
+// Trace integration: a database opened with OpenContext attributes its
+// open and every subsequent operation to the trace carried by the
+// context, producing "dbm.*" spans nested under the store-layer spans.
+// Databases opened with plain Open record nothing and pay nothing.
+package dbm
+
+import (
+	"context"
+	"path/filepath"
+
+	"repro/internal/obs/trace"
+)
+
+// OpenContext opens the database like Open and binds ctx to it. When
+// ctx carries an active trace span, the open itself becomes a
+// "dbm.open" child span and each operation on the returned DB becomes
+// a "dbm.get"/"dbm.put"/... child span. The binding is read-only after
+// Open, so the DB remains safe for concurrent use.
+func OpenContext(ctx context.Context, path string, flavour Flavour) (*DB, error) {
+	_, end := trace.Region(ctx, "dbm.open",
+		trace.Str("file", filepath.Base(path)), trace.Str("flavour", flavour.String()))
+	db, err := Open(path, flavour)
+	end(err)
+	if db != nil {
+		db.ctx = ctx
+	}
+	return db, err
+}
+
+// opSpan starts the per-operation span and returns the finisher to
+// defer. The error pointer indirection lets one deferred call close
+// the span with whichever error the operation ultimately returned.
+func (db *DB) opSpan(op string) func(*error) {
+	if db.ctx == nil {
+		return nopSpanEnd
+	}
+	_, end := trace.Region(db.ctx, op, trace.Str("file", filepath.Base(db.path)))
+	return func(errp *error) { end(*errp) }
+}
+
+func nopSpanEnd(*error) {}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/davserver"
 	"repro/internal/dbm"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/store"
 )
 
@@ -52,6 +53,36 @@ func enabledMetrics() *davserver.Metrics {
 	metricsMu.Lock()
 	defer metricsMu.Unlock()
 	return metrics
+}
+
+// Shared tracer for every environment started after EnableTracing.
+// Client and server deliberately share one tracer: an in-process
+// benchmark then records the whole client → server → store → dbm span
+// tree in a single flight recorder.
+var (
+	tracingMu sync.Mutex
+	tracer    *trace.Tracer
+	recorder  *trace.Recorder
+)
+
+// EnableTracing switches on span tracing for all subsequently started
+// DAV environments and returns the shared tracer and its flight
+// recorder. The first call's cfg wins; later calls are idempotent and
+// ignore cfg.
+func EnableTracing(cfg trace.RecorderConfig) (*trace.Tracer, *trace.Recorder) {
+	tracingMu.Lock()
+	defer tracingMu.Unlock()
+	if tracer == nil {
+		recorder = trace.NewRecorder(cfg)
+		tracer = trace.New(trace.Config{Recorder: recorder})
+	}
+	return tracer, recorder
+}
+
+func enabledTracer() *trace.Tracer {
+	tracingMu.Lock()
+	defer tracingMu.Unlock()
+	return tracer
 }
 
 // DAVEnv is a running DAV server plus a connected client.
@@ -105,16 +136,26 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 		env.Store = fs
 	}
 	m := enabledMetrics()
-	if m != nil {
+	tr := enabledTracer()
+	switch {
+	case m != nil:
 		env.Store = store.Instrument(env.Store, m.StoreObserver())
+	case tr != nil:
+		// Tracing without metrics still needs the wrapper: it is what
+		// opens the store.<op> spans.
+		env.Store = store.Instrument(env.Store, store.NopObserver)
 	}
 	env.Handler = davserver.NewHandler(env.Store, &davserver.Options{MaxPropBytes: opts.MaxPropBytes})
 	serverHandler := http.Handler(env.Handler)
 	var clientReg *obs.Registry
 	if m != nil {
 		m.TrackLocks(env.Handler.Locks())
-		serverHandler = davserver.Instrument(serverHandler, m, nil)
 		clientReg = m.Registry
+	}
+	if m != nil || tr != nil {
+		serverHandler = davserver.InstrumentWith(serverHandler, davserver.InstrumentOptions{
+			Metrics: m, Tracer: tr,
+		})
 	}
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -133,6 +174,7 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 		Parser:     opts.Parser,
 		Timeout:    10 * time.Minute,
 		Metrics:    clientReg,
+		Tracer:     tr,
 	})
 	if err != nil {
 		env.cleanup()
@@ -153,6 +195,7 @@ func (e *DAVEnv) NewClient(persistent bool, parser davclient.ParserKind) (*davcl
 		Parser:     parser,
 		Timeout:    10 * time.Minute,
 		Metrics:    clientReg,
+		Tracer:     enabledTracer(),
 	})
 }
 

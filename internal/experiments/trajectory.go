@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/davproto"
+	"repro/internal/obs/trace"
+)
+
+// This file is the PR 3 benchmark trajectory: the paper's Table 1/2/3
+// workload shapes re-run with span tracing enabled, so every measured
+// operation carries a full client → server → store → dbm span tree in
+// the flight recorder. The output (BENCH_PR3.json) reports client-side
+// latency percentiles per experiment plus the traced server-side
+// breakdown — how much of each request the HTTP handler, the store
+// layer, and the DBM property databases account for.
+
+// BenchPR3Schema identifies the BENCH_PR3.json format.
+const BenchPR3Schema = "bench_pr3/v1"
+
+// BenchBreakdown is the server-side time split derived from retained
+// traces. Spans nest (dbm inside store inside server), so each tier
+// reports its exclusive time: HandlerMs is server-span time not spent
+// in store spans, StoreMs is store-span time not spent in dbm spans.
+type BenchBreakdown struct {
+	Traces    int     `json:"traces"`
+	HandlerMs float64 `json:"handler_ms"`
+	StoreMs   float64 `json:"store_ms"`
+	DBMMs     float64 `json:"dbm_ms"`
+}
+
+// BenchPR3Experiment is one traced workload's result.
+type BenchPR3Experiment struct {
+	Name      string         `json:"name"`
+	Table     string         `json:"table"` // the paper table whose shape it reproduces
+	Ops       int            `json:"ops"`
+	P50Ms     float64        `json:"p50_ms"`
+	P90Ms     float64        `json:"p90_ms"`
+	P99Ms     float64        `json:"p99_ms"`
+	MaxMs     float64        `json:"max_ms"`
+	Breakdown BenchBreakdown `json:"breakdown"`
+}
+
+// BenchPR3Result is the full trajectory outcome.
+type BenchPR3Result struct {
+	Schema          string               `json:"schema"`
+	GoVersion       string               `json:"go"`
+	SlowThresholdMs float64              `json:"slow_threshold_ms"`
+	SampledTraces   int                  `json:"sampled_traces"`
+	Experiments     []BenchPR3Experiment `json:"experiments"`
+}
+
+// BenchPR3Options sizes the trajectory.
+type BenchPR3Options struct {
+	// Ops is the measured operation count per experiment (default 40).
+	Ops int
+	// SlowThreshold feeds the flight recorder (default 500ms).
+	SlowThreshold time.Duration
+}
+
+// RunBenchPR3 runs the traced benchmark trajectory. Tracing is enabled
+// with SampleRate 1 so every operation's trace is retained and the
+// breakdown covers the whole run, not a sample.
+func RunBenchPR3(opts BenchPR3Options) (BenchPR3Result, error) {
+	if opts.Ops <= 0 {
+		opts.Ops = 40
+	}
+	if opts.SlowThreshold == 0 {
+		opts.SlowThreshold = 500 * time.Millisecond
+	}
+	_, rec := EnableTracing(trace.RecorderConfig{
+		Capacity:      8192,
+		SlowThreshold: opts.SlowThreshold,
+		SampleRate:    1,
+	})
+
+	res := BenchPR3Result{
+		Schema:          BenchPR3Schema,
+		GoVersion:       runtime.Version(),
+		SlowThresholdMs: float64(opts.SlowThreshold) / float64(time.Millisecond),
+	}
+
+	experiments := []struct {
+		name, table string
+		run         func(env *DAVEnv, op int) error
+		setup       func(env *DAVEnv) error
+	}{
+		{
+			// Table 1 shape: metadata reads against a document carrying
+			// the paper's 50 × 1 KB properties.
+			name: "propfind_allprop_depth0", table: "table1",
+			setup: func(env *DAVEnv) error { return benchSeedProps(env, 50, 1024) },
+			run: func(env *DAVEnv, _ int) error {
+				_, err := env.Client.PropFindAll("/bench/doc", davproto.Depth0)
+				return err
+			},
+		},
+		{
+			// Table 2 shape: document transfer via PUT.
+			name: "put_document_64k", table: "table2",
+			setup: func(env *DAVEnv) error { return env.Client.Mkcol("/bench") },
+			run: func(env *DAVEnv, op int) error {
+				body := bytes.Repeat([]byte{'d'}, 64<<10)
+				_, err := env.Client.PutBytes(fmt.Sprintf("/bench/doc%03d", op), body, "application/octet-stream")
+				return err
+			},
+		},
+		{
+			// Table 3 shape: the tool-startup read mix — fetch the
+			// document body, then one selected property.
+			name: "get_body_and_prop", table: "table3",
+			setup: func(env *DAVEnv) error { return benchSeedProps(env, 10, 1024) },
+			run: func(env *DAVEnv, _ int) error {
+				if _, err := env.Client.Get("/bench/doc"); err != nil {
+					return err
+				}
+				_, _, err := env.Client.GetProp("/bench/doc", table1PropName(0))
+				return err
+			},
+		},
+	}
+
+	for _, ex := range experiments {
+		exp, err := runBenchExperiment(rec, ex.name, ex.table, opts.Ops, ex.setup, ex.run)
+		if err != nil {
+			return res, fmt.Errorf("bench-pr3 %s: %w", ex.name, err)
+		}
+		res.Experiments = append(res.Experiments, exp)
+	}
+	res.SampledTraces = rec.Len()
+	return res, nil
+}
+
+// benchSeedProps creates /bench/doc with n properties of valueBytes
+// each.
+func benchSeedProps(env *DAVEnv, n, valueBytes int) error {
+	if err := env.Client.Mkcol("/bench"); err != nil {
+		return err
+	}
+	if _, err := env.Client.PutBytes("/bench/doc", []byte("document body"), "text/plain"); err != nil {
+		return err
+	}
+	value := strings.Repeat("m", valueBytes)
+	props := make([]davproto.Property, n)
+	for i := range props {
+		nm := table1PropName(i)
+		props[i] = davproto.NewTextProperty(nm.Space, nm.Local, value)
+	}
+	return env.Client.SetProps("/bench/doc", props...)
+}
+
+// runBenchExperiment boots a fresh environment, runs setup and then ops
+// measured operations, and derives percentiles and the traced breakdown
+// from the traces the run added to the recorder.
+func runBenchExperiment(rec *trace.Recorder, name, table string, ops int,
+	setup func(*DAVEnv) error, run func(*DAVEnv, int) error) (BenchPR3Experiment, error) {
+	env, err := StartDAVEnv(DAVEnvOptions{})
+	if err != nil {
+		return BenchPR3Experiment{}, err
+	}
+	defer env.Close()
+	if setup != nil {
+		if err := setup(env); err != nil {
+			return BenchPR3Experiment{}, err
+		}
+	}
+
+	before := rec.Len()
+	durations := make([]time.Duration, 0, ops)
+	for op := 0; op < ops; op++ {
+		start := time.Now()
+		if err := run(env, op); err != nil {
+			return BenchPR3Experiment{}, err
+		}
+		durations = append(durations, time.Since(start))
+	}
+
+	exp := BenchPR3Experiment{Name: name, Table: table, Ops: ops}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	exp.P50Ms = ms(percentile(durations, 0.50))
+	exp.P90Ms = ms(percentile(durations, 0.90))
+	exp.P99Ms = ms(percentile(durations, 0.99))
+	exp.MaxMs = ms(durations[len(durations)-1])
+
+	// The run's traces are the ones retained since `before` (the
+	// snapshot is taken after setup, so priming traffic is excluded);
+	// Traces() is newest-first.
+	added := rec.Len() - before
+	for _, t := range rec.Traces()[:added] {
+		var server, store, dbmT time.Duration
+		for _, s := range t.Spans {
+			switch {
+			case strings.HasPrefix(s.Name, "dav.server"):
+				server += s.Duration
+			case strings.HasPrefix(s.Name, "store."):
+				store += s.Duration
+			case strings.HasPrefix(s.Name, "dbm."):
+				dbmT += s.Duration
+			}
+		}
+		if server == 0 {
+			continue // client-only trace (should not happen, but keep the math honest)
+		}
+		exp.Breakdown.Traces++
+		exp.Breakdown.HandlerMs += ms(maxDur(server-store, 0))
+		exp.Breakdown.StoreMs += ms(maxDur(store-dbmT, 0))
+		exp.Breakdown.DBMMs += ms(dbmT)
+	}
+	return exp, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// percentile reads the p'th percentile from sorted samples (nearest
+// rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ValidateBenchPR3 checks a serialized BENCH_PR3.json against the
+// schema the CI trace smoke asserts: the schema tag, at least three
+// experiments, monotonic percentiles, at least one sampled trace, and a
+// traced breakdown behind every experiment.
+func ValidateBenchPR3(data []byte) error {
+	var r BenchPR3Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("bench-pr3: unparseable: %w", err)
+	}
+	if r.Schema != BenchPR3Schema {
+		return fmt.Errorf("bench-pr3: schema %q, want %q", r.Schema, BenchPR3Schema)
+	}
+	if len(r.Experiments) < 3 {
+		return fmt.Errorf("bench-pr3: %d experiments, want >= 3", len(r.Experiments))
+	}
+	if r.SampledTraces < 1 {
+		return fmt.Errorf("bench-pr3: no sampled traces")
+	}
+	for _, e := range r.Experiments {
+		if e.Name == "" || e.Ops <= 0 {
+			return fmt.Errorf("bench-pr3: experiment %q has no measured ops", e.Name)
+		}
+		if e.P50Ms < 0 || e.P50Ms > e.P90Ms || e.P90Ms > e.P99Ms || e.P99Ms > e.MaxMs {
+			return fmt.Errorf("bench-pr3: %s percentiles not monotonic: p50=%v p90=%v p99=%v max=%v",
+				e.Name, e.P50Ms, e.P90Ms, e.P99Ms, e.MaxMs)
+		}
+		if e.Breakdown.Traces < 1 {
+			return fmt.Errorf("bench-pr3: %s has no traced breakdown", e.Name)
+		}
+		if e.Breakdown.HandlerMs < 0 || e.Breakdown.StoreMs < 0 || e.Breakdown.DBMMs < 0 {
+			return fmt.Errorf("bench-pr3: %s has negative breakdown", e.Name)
+		}
+	}
+	return nil
+}

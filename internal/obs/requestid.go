@@ -41,28 +41,36 @@ func RequestIDFrom(ctx context.Context) string {
 	return id
 }
 
-// sanitizeRequestID strips header injection material (control bytes)
-// and truncates oversized IDs; an empty result means "generate one".
-func sanitizeRequestID(id string) string {
+// CleanRequestID validates an inbound request ID before it is echoed
+// into logs and responses. The value is attacker-controlled, so the
+// policy is strict: 1 to 64 characters drawn from [A-Za-z0-9._-], or
+// the whole value is rejected ("" — the caller mints a fresh ID rather
+// than propagating any part of a malformed header). Truncating or
+// stripping would still echo attacker-chosen bytes, so malformed input
+// is discarded outright.
+func CleanRequestID(id string) string {
 	id = strings.TrimSpace(id)
-	if len(id) > maxRequestIDLen {
-		id = id[:maxRequestIDLen]
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
 	}
-	clean := strings.Map(func(r rune) rune {
-		if r < 0x20 || r == 0x7f {
-			return -1
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
 		}
-		return r
-	}, id)
-	return clean
+	}
+	return id
 }
 
-// EnsureRequestID resolves the request's trace ID — the inbound
-// X-Request-ID header, the request context, or a freshly generated one,
-// in that order — and returns the request with the ID installed in its
-// context.
+// EnsureRequestID resolves the request's trace ID — the validated
+// inbound X-Request-ID header, the request context, or a freshly
+// generated one, in that order — and returns the request with the ID
+// installed in its context.
 func EnsureRequestID(r *http.Request) (*http.Request, string) {
-	id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+	id := CleanRequestID(r.Header.Get(RequestIDHeader))
 	if id == "" {
 		id = RequestIDFrom(r.Context())
 	}

@@ -50,17 +50,53 @@ func TestEnsureRequestIDPrecedence(t *testing.T) {
 }
 
 func TestEnsureRequestIDSanitizes(t *testing.T) {
-	r := httptest.NewRequest("GET", "/x", nil)
-	r.Header.Set(RequestIDHeader, "ok\x07"+strings.Repeat("z", 200))
-	_, id := EnsureRequestID(r)
-	if strings.ContainsRune(id, 0x07) {
-		t.Fatalf("control byte survived in %q", id)
+	// Malformed inbound IDs are rejected outright and a fresh ID is
+	// minted — no attacker-controlled bytes are echoed, not even a
+	// "clean" prefix of them.
+	for _, bad := range []string{
+		"ok\x07evil",                 // control byte
+		strings.Repeat("z", 200),     // oversized
+		"with space",                 // forbidden charset
+		"semi;colon",                 // header-injection material
+		"new\nline",                  // CRLF injection
+		"\"quoted\"",                 // log-forgery material
+		"ünïcode",                    // non-ASCII
+		"0af7651916cd43dd8448eb211c", // fine, see below
+	} {
+		r := httptest.NewRequest("GET", "/x", nil)
+		r.Header.Set(RequestIDHeader, bad)
+		_, id := EnsureRequestID(r)
+		if bad == "0af7651916cd43dd8448eb211c" {
+			if id != bad {
+				t.Fatalf("well-formed id %q rejected (got %q)", bad, id)
+			}
+			continue
+		}
+		if len(id) != 16 {
+			t.Fatalf("replacement for %q is %q, want a fresh 16-hex id", bad, id)
+		}
+		if strings.Contains(bad, id) {
+			t.Fatalf("replacement %q echoes part of malformed input %q", id, bad)
+		}
 	}
-	if len(id) > maxRequestIDLen {
-		t.Fatalf("id length %d exceeds cap %d", len(id), maxRequestIDLen)
-	}
-	if !strings.HasPrefix(id, "ok") {
-		t.Fatalf("id %q lost its legitimate prefix", id)
+}
+
+func TestCleanRequestIDPolicy(t *testing.T) {
+	for in, want := range map[string]string{
+		"abc123":                "abc123",
+		"A-b_c.9":               "A-b_c.9",
+		"  padded  ":            "padded", // surrounding whitespace is not identity
+		"":                      "",
+		"has space":             "",
+		"a\x00b":                "",
+		"trailing\r":            "trailing", // outer whitespace trimmed, like padded
+		"inner\rcr":             "",
+		strings.Repeat("x", 64): strings.Repeat("x", 64),
+		strings.Repeat("x", 65): "",
+	} {
+		if got := CleanRequestID(in); got != want {
+			t.Errorf("CleanRequestID(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

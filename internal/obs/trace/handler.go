@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler serves the flight recorder on the admin listener (mount at
+// /debug/traces):
+//
+//	GET /debug/traces               HTML index of retained traces
+//	GET /debug/traces?id=<hex>      one trace as an indented span tree
+//	GET /debug/traces?format=jsonl  the full JSONL export
+//	GET /debug/traces?format=stats  recorder counters as JSON
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch {
+		case req.URL.Query().Get("format") == "jsonl":
+			w.Header().Set("Content-Type", "application/jsonl")
+			r.WriteJSONL(w)
+		case req.URL.Query().Get("format") == "stats":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(r.Stats())
+		case req.URL.Query().Get("id") != "":
+			r.serveOne(w, req.URL.Query().Get("id"))
+		default:
+			r.serveIndex(w)
+		}
+	})
+}
+
+// serveIndex renders the retained-trace table, newest first.
+func (r *Recorder) serveIndex(w http.ResponseWriter) {
+	traces := r.Traces()
+	st := r.Stats()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("<html><head><title>traces</title></head><body>\n<h1>Flight recorder</h1>\n")
+	fmt.Fprintf(&b, "<p>%d retained, %d active, %d decided, %d kept, %d dropped "+
+		"(<a href=\"?format=jsonl\">jsonl</a>, <a href=\"?format=stats\">stats</a>)</p>\n",
+		st.Retained, st.Active, st.Decided, st.Kept, st.Dropped)
+	b.WriteString("<table border=1 cellpadding=4>\n<tr><th>trace</th><th>root</th>" +
+		"<th>duration</th><th>spans</th><th>reason</th><th>start</th><th>error</th></tr>\n")
+	for _, t := range traces {
+		errText := ""
+		for _, s := range t.Spans {
+			if s.Err != "" {
+				errText = s.Err
+				break
+			}
+		}
+		fmt.Fprintf(&b, "<tr><td><a href=\"?id=%s\"><code>%s</code></a></td>"+
+			"<td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			t.ID, t.ID, html.EscapeString(t.Root.Name), t.Root.Duration.Round(time.Microsecond),
+			len(t.Spans), t.Reason, t.Root.Start.UTC().Format(time.RFC3339Nano),
+			html.EscapeString(errText))
+	}
+	b.WriteString("</table></body></html>\n")
+	w.Write([]byte(b.String()))
+}
+
+// serveOne renders a single trace as an indented plain-text span tree.
+func (r *Recorder) serveOne(w http.ResponseWriter, id string) {
+	t := r.Find(id)
+	if t == nil {
+		http.Error(w, "trace not found (evicted or never sampled)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "trace %s  root=%s  duration=%s  reason=%s  spans=%d\n\n",
+		t.ID, t.Root.Name, t.Root.Duration.Round(time.Microsecond), t.Reason, len(t.Spans))
+	var render func(depth int, spans []jsonSpan)
+	render = func(depth int, spans []jsonSpan) {
+		for _, s := range spans {
+			line := fmt.Sprintf("%s%-30s %9dus  +%dus", strings.Repeat("  ", depth),
+				s.Name, s.DurUS, s.StartUS)
+			if len(s.Attrs) > 0 {
+				attrs, _ := json.Marshal(s.Attrs)
+				line += "  " + string(attrs)
+			}
+			if s.Err != "" {
+				line += "  ERROR: " + s.Err
+			}
+			fmt.Fprintln(w, line)
+			render(depth+1, s.Children)
+		}
+	}
+	render(0, t.Tree())
+}

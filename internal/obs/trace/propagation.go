@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+)
+
+// TraceParentHeader is the W3C Trace Context header carrying trace
+// continuation across the client/server hop.
+const TraceParentHeader = "traceparent"
+
+// traceparent wire format: version "00", 32 lowercase hex trace ID, 16
+// lowercase hex parent span ID, 2 hex flags, dash separated.
+const traceParentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// flagSampled is the only defined trace-flags bit.
+const flagSampled = 0x01
+
+// SpanContext is the wire-visible identity of a span: what traceparent
+// carries between processes.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// IsValid reports whether both IDs are non-zero, per the W3C spec.
+func (sc SpanContext) IsValid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// FormatTraceParent renders sc in the W3C traceparent format.
+func FormatTraceParent(sc SpanContext) string {
+	flags := byte(0)
+	if sc.Sampled {
+		flags = flagSampled
+	}
+	return fmt.Sprintf("00-%s-%s-%02x", sc.TraceID, sc.SpanID, flags)
+}
+
+// ParseTraceParent validates and parses a traceparent header value.
+// Validation is strict — exact length, lowercase hex only, non-zero
+// IDs, known version — because the value is attacker-controlled: a
+// malformed header must be rejected (and a fresh trace minted) rather
+// than echoed into logs, responses, or the flight recorder.
+func ParseTraceParent(v string) (SpanContext, error) {
+	if len(v) != traceParentLen {
+		return SpanContext{}, fmt.Errorf("trace: traceparent length %d, want %d", len(v), traceParentLen)
+	}
+	if v[0] != '0' || v[1] != '0' {
+		return SpanContext{}, fmt.Errorf("trace: unsupported traceparent version %q", v[:2])
+	}
+	if v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return SpanContext{}, fmt.Errorf("trace: malformed traceparent separators")
+	}
+	if !isLowerHex(v[3:35]) || !isLowerHex(v[36:52]) || !isLowerHex(v[53:55]) {
+		return SpanContext{}, fmt.Errorf("trace: traceparent contains non-hex characters")
+	}
+	var sc SpanContext
+	hex.Decode(sc.TraceID[:], []byte(v[3:35]))
+	hex.Decode(sc.SpanID[:], []byte(v[36:52]))
+	if !sc.IsValid() {
+		return SpanContext{}, fmt.Errorf("trace: traceparent has all-zero IDs")
+	}
+	var flags [1]byte
+	hex.Decode(flags[:], []byte(v[53:55]))
+	sc.Sampled = flags[0]&flagSampled != 0
+	return sc, nil
+}
+
+// isLowerHex reports whether s is entirely lowercase hexadecimal.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// remoteKey carries a remote (wire-propagated) parent span context.
+type remoteKey struct{}
+
+// ContextWithRemote installs a remote parent: the next Tracer.Start
+// under ctx continues sc's trace instead of minting a new one.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// RemoteFromContext returns the remote parent installed by
+// ContextWithRemote (zero when absent).
+func RemoteFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(remoteKey{}).(SpanContext)
+	return sc
+}
+
+// Inject stamps the active span in ctx into h as a traceparent header.
+// Without an active span the header is left untouched.
+func Inject(ctx context.Context, h http.Header) {
+	sp := SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	h.Set(TraceParentHeader, FormatTraceParent(SpanContext{
+		TraceID: sp.traceID, SpanID: sp.spanID, Sampled: true,
+	}))
+}
+
+// Extract validates the inbound traceparent header on r and, when
+// well formed, returns a context with the remote parent installed plus
+// true. Malformed or absent headers return ctx unchanged and false —
+// the caller then starts a fresh root rather than propagating
+// attacker-controlled bytes.
+func Extract(ctx context.Context, r *http.Request) (context.Context, bool) {
+	v := r.Header.Get(TraceParentHeader)
+	if v == "" {
+		return ctx, false
+	}
+	sc, err := ParseTraceParent(v)
+	if err != nil {
+		return ctx, false
+	}
+	return ContextWithRemote(ctx, sc), true
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTailDecisionRules(t *testing.T) {
+	// Slow traces are always kept; errored traces are kept; fast clean
+	// traces are dropped when SampleRate is 0.
+	rec := NewRecorder(RecorderConfig{SlowThreshold: 40 * time.Millisecond})
+	tr := New(Config{Clock: stepClock(epoch, 10*time.Millisecond), IDSource: &seqReader{}, Recorder: rec})
+
+	_, fast := tr.Start(context.Background(), "fast") // dur 10ms < 40ms
+	fast.End()
+	_, slow := tr.Start(context.Background(), "slow")
+	tr.Now() // burn clock ticks: start .. +3 ticks
+	tr.Now()
+	tr.Now()
+	slow.End() // dur 40ms >= threshold
+	_, errd := tr.Start(context.Background(), "errored")
+	errd.EndErr(errors.New("boom")) // dur 10ms but errored
+
+	if rec.Len() != 2 {
+		t.Fatalf("retained %d, want 2 (slow + errored)", rec.Len())
+	}
+	reasons := map[string]string{}
+	for _, tc := range rec.Traces() {
+		reasons[tc.Root.Name] = tc.Reason
+	}
+	if reasons["slow"] != ReasonSlow {
+		t.Fatalf("slow trace reason = %q", reasons["slow"])
+	}
+	if reasons["errored"] != ReasonError {
+		t.Fatalf("errored trace reason = %q", reasons["errored"])
+	}
+	st := rec.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (the fast trace)", st.Dropped)
+	}
+}
+
+func TestNegativeSlowThresholdDisablesSlowRule(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{SlowThreshold: -1})
+	tr := New(Config{Clock: stepClock(epoch, time.Hour), IDSource: &seqReader{}, Recorder: rec})
+	_, sp := tr.Start(context.Background(), "glacial")
+	sp.End() // one hour long, but the slow rule is off and SampleRate is 0
+	if rec.Len() != 0 {
+		t.Fatal("slow rule fired despite negative threshold")
+	}
+}
+
+func TestRecorderEvictionAtCapacity(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 2, SampleRate: 1, Seed: 7})
+	tr := New(Config{Clock: stepClock(epoch, time.Millisecond), IDSource: &seqReader{}, Recorder: rec})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, sp := tr.Start(context.Background(), fmt.Sprintf("op%d", i))
+		ids = append(ids, sp.TraceID().String())
+		sp.End()
+	}
+	if rec.Len() != 2 {
+		t.Fatalf("retained %d, want capacity 2", rec.Len())
+	}
+	// Only the two newest survive the ring.
+	for _, old := range ids[:3] {
+		if rec.Find(old) != nil {
+			t.Fatalf("evicted trace %s still retained", old)
+		}
+	}
+	for _, fresh := range ids[3:] {
+		if rec.Find(fresh) == nil {
+			t.Fatalf("fresh trace %s missing", fresh)
+		}
+	}
+	if got := rec.Traces()[0].Root.Name; got != "op4" {
+		t.Fatalf("newest retained trace is %q, want op4", got)
+	}
+}
+
+func TestActiveTraceCapEvictsUndecided(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{MaxActive: 2, SampleRate: 1, Seed: 1})
+	tr := New(Config{Clock: stepClock(epoch, time.Millisecond), IDSource: &seqReader{}, Recorder: rec})
+	// Three roots open concurrently: the first must be evicted undecided.
+	_, a := tr.Start(context.Background(), "a")
+	_, b := tr.Start(context.Background(), "b")
+	_, c := tr.Start(context.Background(), "c")
+	a.End() // its buffer is gone; this span arrives late
+	b.End()
+	c.End()
+	st := rec.Stats()
+	if st.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", st.Evicted)
+	}
+	if st.LateSpans != 1 {
+		t.Fatalf("late spans = %d, want 1 (root a ended after eviction)", st.LateSpans)
+	}
+	if rec.Len() != 2 {
+		t.Fatalf("retained %d, want 2 (b and c)", rec.Len())
+	}
+}
+
+func TestMaxSpansPerTraceTruncates(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{MaxSpansPerTrace: 3, SampleRate: 1, Seed: 1})
+	tr := New(Config{Clock: stepClock(epoch, time.Millisecond), IDSource: &seqReader{}, Recorder: rec})
+	ctx, root := tr.Start(context.Background(), "root")
+	for i := 0; i < 5; i++ {
+		_, sp := Child(ctx, fmt.Sprintf("child%d", i))
+		sp.End()
+	}
+	root.End()
+	got := rec.Traces()[0]
+	if len(got.Spans) != 3 {
+		t.Fatalf("stored %d spans, want 3", len(got.Spans))
+	}
+	if got.Truncated != 3 {
+		// 5 children + 1 root = 6 finished spans; 3 stored, 3 dropped.
+		t.Fatalf("truncated = %d, want 3", got.Truncated)
+	}
+}
+
+// TestGoldenJSONLExport locks the JSONL span-tree format: deterministic
+// clock and ID source, one trace, exact expected output.
+func TestGoldenJSONLExport(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{SampleRate: 1, Seed: 1})
+	tr := New(Config{Clock: stepClock(epoch, 10*time.Millisecond), IDSource: &seqReader{}, Recorder: rec})
+
+	ctx, root := tr.Start(context.Background(), "dav.client PUT", Str("path", "/d/x")) // t=0
+	cctx, child := Child(ctx, "store.put")                                             // t=10ms
+	_, grand := Child(cctx, "dbm.put")                                                 // t=20ms
+	grand.End()                                                                        // t=30ms, dur 10ms
+	child.EndErr(errors.New("disk full"))                                              // t=40ms, dur 30ms
+	root.End()                                                                         // t=50ms, dur 50ms
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	const want = `{"trace_id":"0102030405060708090a0b0c0d0e0f10","root":"dav.client PUT","start":"2001-07-01T12:00:00Z","duration_us":50000,"reason":"error","span_count":3,"spans":[{"name":"dav.client PUT","span_id":"1112131415161718","start_us":0,"duration_us":50000,"attrs":{"path":"/d/x"},"children":[{"name":"store.put","span_id":"191a1b1c1d1e1f20","parent_id":"1112131415161718","start_us":10000,"duration_us":30000,"error":"disk full","children":[{"name":"dbm.put","span_id":"2122232425262728","parent_id":"191a1b1c1d1e1f20","start_us":20000,"duration_us":10000}]}]}]}` + "\n"
+	if got != want {
+		t.Fatalf("JSONL mismatch:\n got: %s\nwant: %s", got, want)
+	}
+	// The export must stay parseable line by line.
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		var decoded map[string]any
+		if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+			t.Fatalf("line not valid JSON: %v\n%s", err, line)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha1"
 	"encoding/hex"
 	"encoding/xml"
@@ -38,11 +39,15 @@ const ikeyContentType = "ctype"
 type FSStore struct {
 	root    string
 	flavour dbm.Flavour
-	mu      sync.RWMutex
+	// mu is shared by pointer so WithContext views synchronize with
+	// the original store.
+	mu  *sync.RWMutex
+	ctx context.Context // request binding; Background when unbound
 }
 
 var _ Store = (*FSStore)(nil)
 var _ Renamer = (*FSStore)(nil)
+var _ ContextBinder = (*FSStore)(nil)
 
 // NewFSStore opens (creating if needed) a store rooted at dir, using
 // the given DBM flavour for property databases.
@@ -54,7 +59,16 @@ func NewFSStore(dir string, flavour dbm.Flavour) (*FSStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FSStore{root: abs, flavour: flavour}, nil
+	return &FSStore{root: abs, flavour: flavour, mu: new(sync.RWMutex), ctx: context.Background()}, nil
+}
+
+// WithContext implements ContextBinder: the returned view shares the
+// store's lock and data but attributes property-database opens and
+// operations (the "dbm.*" spans) to ctx.
+func (s *FSStore) WithContext(ctx context.Context) Store {
+	c := *s
+	c.ctx = ctx
+	return &c
 }
 
 // Root returns the store's root directory on disk.
@@ -172,7 +186,7 @@ func (s *FSStore) internalGet(cp, key string) ([]byte, bool) {
 	if _, err := os.Stat(pp); err != nil {
 		return nil, false
 	}
-	db, err := dbm.Open(pp, s.flavour)
+	db, err := dbm.OpenContext(s.ctx, pp, s.flavour)
 	if err != nil {
 		return nil, false
 	}
@@ -212,7 +226,7 @@ func (s *FSStore) withPropsDB(cp string, create bool, fn func(*dbm.DB) error) er
 			return err
 		}
 	}
-	db, err := dbm.Open(pp, s.flavour)
+	db, err := dbm.OpenContext(s.ctx, pp, s.flavour)
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,13 @@
 package store
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"io"
 	"time"
+
+	"repro/internal/obs/trace"
 )
 
 // OpObserver receives one store operation's name, wall-clock duration,
@@ -13,109 +16,137 @@ import (
 // latency histograms and error counters.
 type OpObserver func(op string, d time.Duration, err error)
 
+// NopObserver discards observations. Pass it to Instrument when only
+// tracing (not metrics) is wanted: the wrapper still creates spans.
+var NopObserver OpObserver = func(string, time.Duration, error) {}
+
 // Instrument wraps s so every Store operation is timed and reported to
-// obs. Get timings cover opening the document, not streaming its body
-// (the HTTP layer's response-size histograms cover transfer). The
-// wrapper preserves the Renamer fast path when the underlying store
-// has one. A nil observer returns s unchanged.
+// obs, and — when the wrapper has been bound to a request context
+// carrying an active trace span (see ContextBinder) — recorded as a
+// child span named "store.<op>". The span and the observer see the
+// same duration, measured once on the tracer's clock, so a trace and
+// the latency histogram can never disagree about one operation.
+//
+// Get timings cover opening the document, not streaming its body (the
+// HTTP layer's response-size histograms cover transfer). The wrapper
+// preserves the Renamer fast path when the underlying store has one.
+// A nil observer returns s unchanged.
 func Instrument(s Store, obs OpObserver) Store {
 	if obs == nil {
 		return s
 	}
-	return &instrumentedStore{s: s, obs: obs}
+	return &instrumentedStore{s: s, obs: obs, ctx: context.Background()}
 }
 
 type instrumentedStore struct {
 	s   Store
 	obs OpObserver
+	ctx context.Context // request binding; Background when unbound
 }
 
-// observe reports one finished operation.
-func (is *instrumentedStore) observe(op string, start time.Time, err error) {
-	is.obs(op, time.Since(start), err)
+// WithContext implements ContextBinder: the returned view attributes
+// every operation (and its span) to ctx.
+func (is *instrumentedStore) WithContext(ctx context.Context) Store {
+	c := *is
+	c.ctx = ctx
+	return &c
+}
+
+// begin opens the "store.<op>" span and returns the store to run the
+// operation against — the underlying store re-bound to the span's
+// context, so deeper layers (FSStore's DBM calls) nest under it — plus
+// the finish function reporting one shared duration to span and
+// observer alike.
+func (is *instrumentedStore) begin(op string, attrs ...trace.Attr) (Store, func(err error)) {
+	ctx, end := trace.Region(is.ctx, "store."+op, attrs...)
+	s := is.s
+	if ctx != is.ctx {
+		s = BindContext(s, ctx)
+	}
+	return s, func(err error) { is.obs(op, end(err), err) }
 }
 
 func (is *instrumentedStore) Stat(p string) (ResourceInfo, error) {
-	start := time.Now()
-	ri, err := is.s.Stat(p)
-	is.observe("stat", start, err)
+	s, done := is.begin("stat", trace.Str("path", p))
+	ri, err := s.Stat(p)
+	done(err)
 	return ri, err
 }
 
 func (is *instrumentedStore) List(p string) ([]ResourceInfo, error) {
-	start := time.Now()
-	members, err := is.s.List(p)
-	is.observe("list", start, err)
+	s, done := is.begin("list", trace.Str("path", p))
+	members, err := s.List(p)
+	done(err)
 	return members, err
 }
 
 func (is *instrumentedStore) Mkcol(p string) error {
-	start := time.Now()
-	err := is.s.Mkcol(p)
-	is.observe("mkcol", start, err)
+	s, done := is.begin("mkcol", trace.Str("path", p))
+	err := s.Mkcol(p)
+	done(err)
 	return err
 }
 
 func (is *instrumentedStore) Put(p string, r io.Reader, contentType string) (bool, error) {
-	start := time.Now()
-	created, err := is.s.Put(p, r, contentType)
-	is.observe("put", start, err)
+	s, done := is.begin("put", trace.Str("path", p))
+	created, err := s.Put(p, r, contentType)
+	done(err)
 	return created, err
 }
 
 func (is *instrumentedStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
-	start := time.Now()
-	rc, ri, err := is.s.Get(p)
-	is.observe("get", start, err)
+	s, done := is.begin("get", trace.Str("path", p))
+	rc, ri, err := s.Get(p)
+	done(err)
 	return rc, ri, err
 }
 
 func (is *instrumentedStore) Delete(p string) error {
-	start := time.Now()
-	err := is.s.Delete(p)
-	is.observe("delete", start, err)
+	s, done := is.begin("delete", trace.Str("path", p))
+	err := s.Delete(p)
+	done(err)
 	return err
 }
 
 func (is *instrumentedStore) PropPut(p string, name xml.Name, value []byte) error {
-	start := time.Now()
-	err := is.s.PropPut(p, name, value)
-	is.observe("prop_put", start, err)
+	s, done := is.begin("prop_put", trace.Str("path", p), trace.Int("bytes", int64(len(value))))
+	err := s.PropPut(p, name, value)
+	done(err)
 	return err
 }
 
 func (is *instrumentedStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
-	start := time.Now()
-	v, ok, err := is.s.PropGet(p, name)
-	is.observe("prop_get", start, err)
+	s, done := is.begin("prop_get", trace.Str("path", p))
+	v, ok, err := s.PropGet(p, name)
+	done(err)
 	return v, ok, err
 }
 
 func (is *instrumentedStore) PropDelete(p string, name xml.Name) error {
-	start := time.Now()
-	err := is.s.PropDelete(p, name)
-	is.observe("prop_delete", start, err)
+	s, done := is.begin("prop_delete", trace.Str("path", p))
+	err := s.PropDelete(p, name)
+	done(err)
 	return err
 }
 
 func (is *instrumentedStore) PropNames(p string) ([]xml.Name, error) {
-	start := time.Now()
-	names, err := is.s.PropNames(p)
-	is.observe("prop_names", start, err)
+	s, done := is.begin("prop_names", trace.Str("path", p))
+	names, err := s.PropNames(p)
+	done(err)
 	return names, err
 }
 
 func (is *instrumentedStore) PropAll(p string) (map[xml.Name][]byte, error) {
-	start := time.Now()
-	props, err := is.s.PropAll(p)
-	is.observe("prop_all", start, err)
+	s, done := is.begin("prop_all", trace.Str("path", p))
+	props, err := s.PropAll(p)
+	done(err)
 	return props, err
 }
 
 func (is *instrumentedStore) Close() error {
-	start := time.Now()
-	err := is.s.Close()
-	is.observe("close", start, err)
+	s, done := is.begin("close")
+	err := s.Close()
+	done(err)
 	return err
 }
 
@@ -126,13 +157,12 @@ var errNoRename = errors.New("store: underlying store does not support rename")
 // Rename implements the Renamer fast path by delegating to the wrapped
 // store when it supports one.
 func (is *instrumentedStore) Rename(src, dst string) error {
-	r, ok := is.s.(Renamer)
-	if !ok {
+	if _, ok := is.s.(Renamer); !ok {
 		return errNoRename
 	}
-	start := time.Now()
-	err := r.Rename(src, dst)
-	is.observe("rename", start, err)
+	s, done := is.begin("rename", trace.Str("src", src), trace.Str("dst", dst))
+	err := s.(Renamer).Rename(src, dst)
+	done(err)
 	return err
 }
 

@@ -11,6 +11,7 @@
 package store
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -290,4 +291,24 @@ func MoveTree(s Store, src, dst string) error {
 // Renamer is an optional Store fast path for MOVE.
 type Renamer interface {
 	Rename(src, dst string) error
+}
+
+// ContextBinder is an optional Store capability: WithContext returns a
+// view of the store whose operations run under ctx. The Store
+// interface predates context plumbing (its methods carry none), so
+// request-scoped concerns — trace spans, above all — reach the store
+// and DBM layers through a per-request bound view instead. The
+// returned view shares all state with the original; binding is cheap
+// (one shallow copy) and the original remains valid.
+type ContextBinder interface {
+	WithContext(ctx context.Context) Store
+}
+
+// BindContext returns s bound to ctx when s supports it, and s
+// unchanged otherwise.
+func BindContext(s Store, ctx context.Context) Store {
+	if cb, ok := s.(ContextBinder); ok {
+		return cb.WithContext(ctx)
+	}
+	return s
 }
