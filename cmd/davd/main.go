@@ -47,6 +47,8 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
 		root     = flag.String("root", "./davroot", "store root directory")
 		flavour  = flag.String("flavour", "gdbm", "property database flavour: gdbm or sdbm")
+		dbmCache = flag.Int("dbm-cache", store.DefaultHandleCacheSize,
+			"open property databases kept cached (one per directory or document with dead properties); raise for wide trees under concurrent PROPFIND, negative to open per operation")
 		usersArg = flag.String("users", "", "basic-auth credentials file (see davd -help-users); empty disables auth")
 		realm    = flag.String("realm", "Ecce", "basic-auth realm")
 		prefix   = flag.String("prefix", "", "URL path prefix to serve under (e.g. /dav)")
@@ -90,7 +92,7 @@ func main() {
 		fatalf("davd: unknown flavour %q (want gdbm or sdbm)", *flavour)
 	}
 
-	fs, err := store.NewFSStore(*root, fl)
+	fs, err := store.NewFSStoreWith(*root, fl, store.FSOptions{HandleCacheSize: *dbmCache})
 	if err != nil {
 		fatalf("davd: open store: %v", err)
 	}
@@ -111,6 +113,7 @@ func main() {
 		SampleRate:    *traceSample,
 	})
 	tracer := trace.New(trace.Config{Recorder: recorder})
+	metrics.TrackStore(fs)
 	st := store.Instrument(fs, metrics.StoreObserver())
 
 	opts := &davserver.Options{MaxPropBytes: *maxProp, Prefix: *prefix}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|all>
+//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|all>
 //
 // By default the paper's full workload sizes are used for table1 and
 // table3; table2, robust and disk default to scaled sizes unless -full
@@ -43,10 +43,13 @@ func main() {
 		benchOut = flag.String("out", "BENCH_PR3.json",
 			"bench-pr3: output file for the traced benchmark result")
 		benchOps = flag.Int("ops", 40, "bench-pr3: measured operations per experiment")
+		bench4Out = flag.String("out4", "BENCH_PR4.json",
+			"bench-pr4: output file for the concurrency benchmark result")
+		bench4Ops = flag.Int("ops4", 30, "bench-pr4: measured iterations per worker")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|all>")
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -165,8 +168,19 @@ func main() {
 		}
 	}
 
+	// bench-pr4 measures parallel-mix throughput of the concurrent
+	// storage stack against the serialized PR 3 baseline, writes the
+	// JSON result, and re-validates the written file — the CI
+	// concurrency smoke. Excluded from "all" (it boots eight servers
+	// and its numbers are only meaningful on a quiet machine).
+	if which == "bench-pr4" {
+		if err := runBenchPR4(*bench4Out, *bench4Ops); err != nil {
+			log.Fatalf("eccebench bench-pr4: %v", err)
+		}
+	}
+
 	switch which {
-	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "all":
+	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
 		os.Exit(2)
@@ -238,6 +252,45 @@ func runBenchPR3(outPath string, ops int) error {
 			e.Breakdown.HandlerMs, e.Breakdown.StoreMs, e.Breakdown.DBMMs, e.Breakdown.Traces)
 	}
 	fmt.Printf("bench-pr3: %d traces sampled; result written to %s\n", res.SampledTraces, outPath)
+	return nil
+}
+
+// runBenchPR4 runs the concurrency benchmark (parallel
+// PROPFIND/PUT/PROPPATCH mix, serialized baseline vs concurrent
+// stack), writes the result as JSON, and validates what was actually
+// written — asserting the parallel runs beat the serialized baseline.
+func runBenchPR4(outPath string, opsPerWorker int) error {
+	res, err := experiments.RunBenchPR4(experiments.BenchPR4Options{
+		OpsPerWorker: opsPerWorker,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBenchPR4(written); err != nil {
+		return fmt.Errorf("written %s failed validation: %w", outPath, err)
+	}
+	for _, a := range res.Archs {
+		for _, c := range a.Cells {
+			fmt.Printf("bench-pr4: %-10s workers=%d  %6d ops in %8.1fms  %8.1f ops/s\n",
+				a.Name, c.Workers, c.Ops, c.WallMs, c.OpsPerSec)
+		}
+	}
+	fmt.Printf("bench-pr4: parallel speedup %.2fx; cache hit rate %.1f%%; "+
+		"lock waits %d/%d; result written to %s\n",
+		res.SpeedupParallel, 100*res.Concurrency.CacheHitRate,
+		res.Concurrency.LockContended, res.Concurrency.LockAcquisitions, outPath)
 	return nil
 }
 

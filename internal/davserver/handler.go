@@ -267,13 +267,55 @@ func (h *Handler) serveCollectionIndex(w http.ResponseWriter, r *http.Request, p
 	io.WriteString(w, sb.String())
 }
 
+// etagListMatches reports whether an If-Match/If-None-Match header
+// value matches etag. "*" matches any existing representation; weak
+// validators compare by their opaque part (weak comparison is
+// sufficient for both headers' use on state-changing methods here).
+func etagListMatches(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		t := strings.TrimPrefix(strings.TrimSpace(part), "W/")
+		if t != "" && t == strings.TrimPrefix(etag, "W/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPreconditions evaluates If-Match / If-None-Match against the
+// target's current state for state-changing methods, per RFC 7232:
+// If-Match fails on a missing resource or an unlisted ETag, If-None-Match
+// fails when a listed (or, with "*", any) representation exists. It
+// reports ok=false when the request must fail with 412.
+func checkPreconditions(r *http.Request, ri store.ResourceInfo, exists bool) bool {
+	if im := r.Header.Get("If-Match"); im != "" {
+		if !exists || !etagListMatches(im, ri.ETag) {
+			return false
+		}
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if exists && etagListMatches(inm, ri.ETag) {
+			return false
+		}
+	}
+	return true
+}
+
 func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
 	if err := h.checkWrite(r, p); err != nil {
 		h.fail(w, r, err)
 		return
 	}
-	if ri, err := h.store.Stat(p); err == nil && ri.IsCollection {
+	ri, statErr := h.store.Stat(p)
+	exists := statErr == nil
+	if exists && ri.IsCollection {
 		http.Error(w, "cannot PUT to a collection", http.StatusMethodNotAllowed)
+		return
+	}
+	if !checkPreconditions(r, ri, exists) {
+		http.Error(w, "precondition failed", http.StatusPreconditionFailed)
 		return
 	}
 	created, err := h.store.Put(p, r.Body, r.Header.Get("Content-Type"))
@@ -303,6 +345,13 @@ func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request, p string)
 	if err := h.checkWrite(r, p); err != nil {
 		h.fail(w, r, err)
 		return
+	}
+	if r.Header.Get("If-Match") != "" || r.Header.Get("If-None-Match") != "" {
+		ri, statErr := h.store.Stat(p)
+		if !checkPreconditions(r, ri, statErr == nil) {
+			http.Error(w, "precondition failed", http.StatusPreconditionFailed)
+			return
+		}
 	}
 	if err := h.store.Delete(p); err != nil {
 		h.fail(w, r, err)
@@ -490,12 +539,9 @@ func (h *Handler) liveProp(ri store.ResourceInfo, name xml.Name) (davproto.Prope
 	}
 }
 
-// deadProps loads and decodes a resource's dead properties.
-func (h *Handler) deadProps(p string) ([]davproto.Property, error) {
-	raw, err := h.store.PropAll(p)
-	if err != nil {
-		return nil, err
-	}
+// decodeDeadProps decodes a resource's raw property map, sorted by
+// name. Undecodable values are logged and skipped.
+func (h *Handler) decodeDeadProps(p string, raw map[xml.Name][]byte) []davproto.Property {
 	names := make([]xml.Name, 0, len(raw))
 	for n := range raw {
 		names = append(names, n)
@@ -515,9 +561,14 @@ func (h *Handler) deadProps(p string) ([]davproto.Property, error) {
 		}
 		props = append(props, prop)
 	}
-	return props, nil
+	return props
 }
 
+// handlePropfind resolves the target set through the store's batched
+// read path (see store.BatchReader): each resource arrives with its
+// dead properties already loaded, so a Depth:1 listing costs one locked
+// pass through cached property databases instead of one independent
+// lookup per member per property request.
 func (h *Handler) handlePropfind(w http.ResponseWriter, r *http.Request, p string) {
 	depth, err := davproto.ParseDepth(r.Header.Get("Depth"), davproto.DepthInfinity)
 	if err != nil {
@@ -529,29 +580,34 @@ func (h *Handler) handlePropfind(w http.ResponseWriter, r *http.Request, p strin
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ri, err := h.store.Stat(p)
+	ri, props, err := store.StatWithProps(h.store, p)
 	if err != nil {
 		h.fail(w, r, err)
 		return
 	}
+	self := store.MemberProps{Info: ri, Props: props}
 
-	var targets []store.ResourceInfo
+	var targets []store.MemberProps
 	switch depth {
 	case davproto.Depth0:
-		targets = []store.ResourceInfo{ri}
+		targets = []store.MemberProps{self}
 	case davproto.Depth1:
-		targets = []store.ResourceInfo{ri}
+		targets = []store.MemberProps{self}
 		if ri.IsCollection {
-			members, err := h.store.List(p)
+			members, err := store.ListWithProps(h.store, p)
 			if err != nil {
 				h.fail(w, r, err)
 				return
 			}
-			targets = append(targets, filterVersionStore(members)...)
+			for _, m := range members {
+				if visible(m.Info.Path) {
+					targets = append(targets, m)
+				}
+			}
 		}
 	default:
-		err = store.Walk(h.store, p, func(m store.ResourceInfo) error {
-			if visible(m.Path) || !visible(p) {
+		err = store.WalkWithProps(h.store, p, func(m store.MemberProps) error {
+			if visible(m.Info.Path) || !visible(p) {
 				targets = append(targets, m)
 			}
 			return nil
@@ -564,18 +620,15 @@ func (h *Handler) handlePropfind(w http.ResponseWriter, r *http.Request, p strin
 
 	var ms davproto.Multistatus
 	for _, t := range targets {
-		resp, err := h.propfindResponse(t, pf)
-		if err != nil {
-			h.fail(w, r, err)
-			return
-		}
-		ms.Responses = append(ms.Responses, resp)
+		ms.Responses = append(ms.Responses, h.propfindResponse(t, pf))
 	}
 	h.writeMultistatus(w, ms)
 }
 
-// propfindResponse builds one resource's multistatus entry.
-func (h *Handler) propfindResponse(ri store.ResourceInfo, pf davproto.Propfind) (davproto.Response, error) {
+// propfindResponse builds one resource's multistatus entry from its
+// pre-resolved info and properties.
+func (h *Handler) propfindResponse(mp store.MemberProps, pf davproto.Propfind) davproto.Response {
+	ri := mp.Info
 	resp := davproto.Response{Href: h.opts.Prefix + ri.Path}
 	switch pf.Kind {
 	case davproto.PropfindAllProp, davproto.PropfindPropName:
@@ -585,11 +638,7 @@ func (h *Handler) propfindResponse(ri store.ResourceInfo, pf davproto.Propfind) 
 				found = append(found, prop)
 			}
 		}
-		dead, err := h.deadProps(ri.Path)
-		if err != nil {
-			return davproto.Response{}, err
-		}
-		found = append(found, dead...)
+		found = append(found, h.decodeDeadProps(ri.Path, mp.Props)...)
 		if pf.Kind == davproto.PropfindPropName {
 			for i, prop := range found {
 				found[i] = davproto.Property{
@@ -609,17 +658,16 @@ func (h *Handler) propfindResponse(ri store.ResourceInfo, pf davproto.Propfind) 
 				missing = append(missing, davproto.Property{XML: xmldom.NewElement(name.Space, name.Local)})
 				continue
 			}
-			raw, ok, err := h.store.PropGet(ri.Path, name)
-			if err != nil {
-				return davproto.Response{}, err
-			}
+			raw, ok := mp.Props[name]
 			if !ok {
 				missing = append(missing, davproto.Property{XML: xmldom.NewElement(name.Space, name.Local)})
 				continue
 			}
 			prop, err := davproto.DecodeProperty(raw)
 			if err != nil {
-				return davproto.Response{}, err
+				h.logf("dav: undecodable stored property %v on %s: %v", name, ri.Path, err)
+				missing = append(missing, davproto.Property{XML: xmldom.NewElement(name.Space, name.Local)})
+				continue
 			}
 			found = append(found, prop)
 		}
@@ -633,7 +681,7 @@ func (h *Handler) propfindResponse(ri store.ResourceInfo, pf davproto.Propfind) 
 			resp.Propstats = []davproto.Propstat{{Status: http.StatusOK}}
 		}
 	}
-	return resp, nil
+	return resp
 }
 
 func (h *Handler) handleProppatch(w http.ResponseWriter, r *http.Request, p string) {

@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/dbm"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/store"
+	"repro/internal/store/pathlock"
 )
 
 // This file is the server's telemetry surface: an Instrument middleware
@@ -117,6 +119,57 @@ func (m *Metrics) TrackLimiter(rl *RateLimitedListener) {
 	m.Registry.GaugeFunc("dav_limiter_limit_per_minute",
 		"Configured connections-per-minute cap (0 = unlimited).", nil,
 		func() float64 { return float64(rl.Limit()) })
+}
+
+// lockStatser is implemented by stores built on the hierarchical
+// path-lock manager (FSStore, MemStore).
+type lockStatser interface {
+	LockStats() pathlock.Stats
+}
+
+// cacheStatser is implemented by stores with a DBM handle cache
+// (FSStore).
+type cacheStatser interface {
+	CacheStats() dbm.CacheStats
+}
+
+// TrackStore exposes the store's concurrency counters — path-lock
+// acquisitions/contention/wait time and DBM handle-cache
+// hits/misses/evictions — as gauges read at scrape time. Stores without
+// one of the surfaces (or wrapped ones; pass the unwrapped store)
+// contribute only what they have.
+func (m *Metrics) TrackStore(s store.Store) {
+	if ls, ok := s.(lockStatser); ok {
+		m.Registry.GaugeFunc("dav_pathlock_acquisitions_total",
+			"Path-lock acquisitions completed (cumulative).", nil,
+			func() float64 { return float64(ls.LockStats().Acquisitions) })
+		m.Registry.GaugeFunc("dav_pathlock_contended_total",
+			"Path-lock acquisitions that had to wait (cumulative).", nil,
+			func() float64 { return float64(ls.LockStats().Contended) })
+		m.Registry.GaugeFunc("dav_pathlock_wait_seconds_total",
+			"Cumulative time spent blocked on path locks.", nil,
+			func() float64 { return ls.LockStats().WaitTotal.Seconds() })
+		m.Registry.GaugeFunc("dav_pathlock_held",
+			"Path-lock guards currently held.", nil,
+			func() float64 { return float64(ls.LockStats().Held) })
+	}
+	if cs, ok := s.(cacheStatser); ok {
+		m.Registry.GaugeFunc("dav_dbm_cache_hits_total",
+			"DBM handle-cache hits (cumulative).", nil,
+			func() float64 { return float64(cs.CacheStats().Hits) })
+		m.Registry.GaugeFunc("dav_dbm_cache_misses_total",
+			"DBM handle-cache misses, i.e. database opens (cumulative).", nil,
+			func() float64 { return float64(cs.CacheStats().Misses) })
+		m.Registry.GaugeFunc("dav_dbm_cache_evictions_total",
+			"DBM handles closed by LRU pressure (cumulative).", nil,
+			func() float64 { return float64(cs.CacheStats().Evictions) })
+		m.Registry.GaugeFunc("dav_dbm_cache_invalidations_total",
+			"DBM handles closed by delete/rename invalidation (cumulative).", nil,
+			func() float64 { return float64(cs.CacheStats().Invalidations) })
+		m.Registry.GaugeFunc("dav_dbm_cache_open",
+			"DBM handles currently cached.", nil,
+			func() float64 { return float64(cs.CacheStats().Open) })
+	}
 }
 
 // CountPanic records one recovered handler panic.

@@ -1,0 +1,207 @@
+package davserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dbm"
+	"repro/internal/store"
+)
+
+func etagOf(t *testing.T, url string) string {
+	t.Helper()
+	resp := do(t, "HEAD", url, nil, "")
+	wantStatus(t, resp, 200)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on HEAD")
+	}
+	return etag
+}
+
+func TestPutIfMatch(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	url := srv.URL + "/doc.txt"
+	wantStatus(t, do(t, "PUT", url, nil, "v1"), 201)
+	etag := etagOf(t, url)
+
+	// Matching If-Match: the write proceeds.
+	wantStatus(t, do(t, "PUT", url, map[string]string{"If-Match": etag}, "v2"), 204)
+
+	// The old ETag is now stale: a lost-update write is refused.
+	resp := do(t, "PUT", url, map[string]string{"If-Match": etag}, "v3")
+	wantStatus(t, resp, 412)
+	if got := bodyOf(t, url); got != "v2" {
+		t.Fatalf("412 PUT modified the resource: %q", got)
+	}
+
+	// If-Match lists try each candidate.
+	fresh := etagOf(t, url)
+	wantStatus(t, do(t, "PUT", url,
+		map[string]string{"If-Match": etag + ", " + fresh}, "v4"), 204)
+
+	// If-Match: * requires existence.
+	wantStatus(t, do(t, "PUT", url, map[string]string{"If-Match": "*"}, "v5"), 204)
+	wantStatus(t, do(t, "PUT", srv.URL+"/absent.txt",
+		map[string]string{"If-Match": "*"}, "x"), 412)
+}
+
+func TestPutIfNoneMatch(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	url := srv.URL + "/doc.txt"
+
+	// If-None-Match: * means "create only".
+	wantStatus(t, do(t, "PUT", url, map[string]string{"If-None-Match": "*"}, "v1"), 201)
+	resp := do(t, "PUT", url, map[string]string{"If-None-Match": "*"}, "v2")
+	wantStatus(t, resp, 412)
+	if got := bodyOf(t, url); got != "v1" {
+		t.Fatalf("412 PUT modified the resource: %q", got)
+	}
+
+	// A specific non-matching ETag lets the write through.
+	wantStatus(t, do(t, "PUT", url, map[string]string{"If-None-Match": `"nope"`}, "v3"), 204)
+	// The current ETag blocks it.
+	wantStatus(t, do(t, "PUT", url,
+		map[string]string{"If-None-Match": etagOf(t, url)}, "v4"), 412)
+}
+
+func TestDeletePreconditions(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	url := srv.URL + "/doc.txt"
+	wantStatus(t, do(t, "PUT", url, nil, "v1"), 201)
+	etag := etagOf(t, url)
+
+	// Stale ETag refuses the delete; resource survives.
+	wantStatus(t, do(t, "PUT", url, nil, "v2"), 204)
+	wantStatus(t, do(t, "DELETE", url, map[string]string{"If-Match": etag}, ""), 412)
+	wantStatus(t, do(t, "HEAD", url, nil, ""), 200)
+
+	// If-None-Match with the live ETag also refuses.
+	wantStatus(t, do(t, "DELETE", url,
+		map[string]string{"If-None-Match": etagOf(t, url)}, ""), 412)
+
+	// Fresh ETag deletes.
+	wantStatus(t, do(t, "DELETE", url, map[string]string{"If-Match": etagOf(t, url)}, ""), 204)
+	wantStatus(t, do(t, "HEAD", url, nil, ""), 404)
+
+	// If-Match against a now-missing resource: 412, not 404.
+	wantStatus(t, do(t, "DELETE", url, map[string]string{"If-Match": "*"}, ""), 412)
+}
+
+// TestSameSizeOverwriteChangesETagOverHTTP exercises the strengthened
+// document ETag end to end: the If-Match guard must actually catch a
+// same-size overwrite.
+func TestSameSizeOverwriteChangesETagOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	url := srv.URL + "/doc.txt"
+	wantStatus(t, do(t, "PUT", url, nil, "aaaa"), 201)
+	etag := etagOf(t, url)
+	wantStatus(t, do(t, "PUT", url, nil, "bbbb"), 204)
+	if again := etagOf(t, url); again == etag {
+		t.Fatalf("same-size overwrite kept ETag %s", etag)
+	}
+	wantStatus(t, do(t, "PUT", url, map[string]string{"If-Match": etag}, "cccc"), 412)
+}
+
+func bodyOf(t *testing.T, url string) string {
+	t.Helper()
+	resp := do(t, "GET", url, nil, "")
+	wantStatus(t, resp, 200)
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPropfindDepth1UsesHandleCache is the server-level acceptance
+// check for the batched PROPFIND seam: after a warm-up, a Depth:1
+// PROPFIND over a populated collection opens no new property databases
+// and costs exactly one batched store pass.
+func TestPropfindDepth1UsesHandleCache(t *testing.T) {
+	fs, err := store.NewFSStore(t.TempDir(), dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	h := NewHandler(fs, nil)
+	srv := newServerOver(t, h)
+
+	wantStatus(t, do(t, "MKCOL", srv.URL+"/d", nil, ""), 201)
+	for _, n := range []string{"a", "b", "c"} {
+		url := srv.URL + "/d/" + n + ".dat"
+		wantStatus(t, do(t, "PUT", url, nil, "body"), 201)
+		wantStatus(t, do(t, "PROPPATCH", url, nil,
+			`<?xml version="1.0"?><D:propertyupdate xmlns:D="DAV:"><D:set><D:prop>`+
+				`<k xmlns="ns:">v</k></D:prop></D:set></D:propertyupdate>`), 207)
+	}
+
+	propfind := func() {
+		resp := do(t, "PROPFIND", srv.URL+"/d", map[string]string{"Depth": "1"},
+			`<?xml version="1.0"?><D:propfind xmlns:D="DAV:"><D:allprop/></D:propfind>`)
+		wantStatus(t, resp, 207)
+	}
+	propfind() // warm the cache
+	before := fs.CacheStats()
+	propfind()
+	after := fs.CacheStats()
+	if after.Misses != before.Misses {
+		t.Fatalf("warm Depth:1 PROPFIND reopened databases: misses %d -> %d",
+			before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("warm Depth:1 PROPFIND recorded no cache hits")
+	}
+}
+
+// TestTrackStoreExposesConcurrencyGauges checks the metrics wiring for
+// the path-lock and handle-cache counters.
+func TestTrackStoreExposesConcurrencyGauges(t *testing.T) {
+	fs, err := store.NewFSStore(t.TempDir(), dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	m := NewMetrics(nil)
+	m.TrackStore(fs)
+	h := NewHandler(store.Instrument(fs, m.StoreObserver()), nil)
+	srv := newServerOver(t, h)
+
+	wantStatus(t, do(t, "PUT", srv.URL+"/doc.txt", nil, "x"), 201)
+	wantStatus(t, do(t, "PROPPATCH", srv.URL+"/doc.txt", nil,
+		`<?xml version="1.0"?><D:propertyupdate xmlns:D="DAV:"><D:set><D:prop>`+
+			`<k xmlns="ns:">v</k></D:prop></D:set></D:propertyupdate>`), 207)
+
+	scrape := scrapeMetrics(t, m)
+	for _, want := range []string{
+		"dav_pathlock_acquisitions_total",
+		"dav_pathlock_contended_total",
+		"dav_pathlock_wait_seconds_total",
+		"dav_pathlock_held 0",
+		"dav_dbm_cache_misses_total",
+		"dav_dbm_cache_open",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, scrape)
+		}
+	}
+}
+
+// newServerOver serves an already-built handler.
+func newServerOver(t *testing.T, h http.Handler) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// scrapeMetrics renders the registry's exposition text.
+func scrapeMetrics(t *testing.T, m *Metrics) string {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	m.Registry.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	return rr.Body.String()
+}

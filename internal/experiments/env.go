@@ -111,6 +111,14 @@ type DAVEnvOptions struct {
 	// MaxPropBytes forwards to the server (0 = default 10 MB,
 	// negative = unlimited).
 	MaxPropBytes int
+	// HandleCacheSize forwards to store.FSOptions: the bound on cached
+	// DBM handles (0 = store default, negative disables caching).
+	HandleCacheSize int
+	// Serialized wraps the store in one global RWMutex and hides the
+	// batched-read fast path — the PR 3 storage architecture, kept as
+	// the concurrency benchmark's baseline. Combine with
+	// HandleCacheSize < 0 for a faithful open-per-operation baseline.
+	Serialized bool
 }
 
 // StartDAVEnv boots a DAV server on a loopback socket and connects a
@@ -129,11 +137,15 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 			}
 			env.dir = dir
 		}
-		fs, err := store.NewFSStore(dir, opts.Flavour)
+		fs, err := store.NewFSStoreWith(dir, opts.Flavour,
+			store.FSOptions{HandleCacheSize: opts.HandleCacheSize})
 		if err != nil {
 			return nil, err
 		}
 		env.Store = fs
+	}
+	if opts.Serialized {
+		env.Store = serialize(env.Store)
 	}
 	m := enabledMetrics()
 	tr := enabledTracer()

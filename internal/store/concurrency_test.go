@@ -1,0 +1,365 @@
+package store
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dbm"
+)
+
+// seedTree builds a small hierarchy with dead properties on some
+// resources.
+func seedTree(t *testing.T, s Store) {
+	t.Helper()
+	mustMkcol(t, s, "/proj")
+	mustMkcol(t, s, "/proj/calc")
+	mustPut(t, s, "/proj/calc/input.dat", "coords")
+	mustPut(t, s, "/proj/calc/output.log", "energy")
+	mustPut(t, s, "/proj/readme.txt", "hello")
+	for _, p := range []string{"/proj/calc/input.dat", "/proj/readme.txt", "/proj/calc"} {
+		if err := s.PropPut(p, xml.Name{Space: "ecce:", Local: "state"}, []byte("<v>ok</v>")); err != nil {
+			t.Fatalf("PropPut %s: %v", p, err)
+		}
+	}
+}
+
+// TestBatchReadsMatchNarrowReads checks that the batched BatchReader
+// path returns exactly what the narrow Stat/List/PropAll composition
+// would.
+func TestBatchReadsMatchNarrowReads(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		seedTree(t, s)
+		for _, p := range []string{"/", "/proj", "/proj/calc", "/proj/calc/input.dat"} {
+			ri, props, err := StatWithProps(s, p)
+			if err != nil {
+				t.Fatalf("StatWithProps %s: %v", p, err)
+			}
+			wantRI, err := s.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ri, wantRI) {
+				t.Fatalf("StatWithProps info mismatch at %s:\n got %+v\nwant %+v", p, ri, wantRI)
+			}
+			wantProps, err := s.PropAll(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(props) != len(wantProps) {
+				t.Fatalf("StatWithProps props mismatch at %s: got %v want %v", p, props, wantProps)
+			}
+			for n, v := range wantProps {
+				if string(props[n]) != string(v) {
+					t.Fatalf("prop %v at %s: got %q want %q", n, p, props[n], v)
+				}
+			}
+		}
+		for _, p := range []string{"/", "/proj", "/proj/calc"} {
+			members, err := ListWithProps(s, p)
+			if err != nil {
+				t.Fatalf("ListWithProps %s: %v", p, err)
+			}
+			want, err := s.List(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(members) != len(want) {
+				t.Fatalf("ListWithProps %s: %d members, List says %d", p, len(members), len(want))
+			}
+			for i, m := range members {
+				if !reflect.DeepEqual(m.Info, want[i]) {
+					t.Fatalf("member %d info mismatch at %s:\n got %+v\nwant %+v", i, p, m.Info, want[i])
+				}
+				wantProps, err := s.PropAll(m.Info.Path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(m.Props) != len(wantProps) {
+					t.Fatalf("member %s props: got %v want %v", m.Info.Path, m.Props, wantProps)
+				}
+			}
+		}
+		if _, err := ListWithProps(s, "/proj/readme.txt"); !errors.Is(err, ErrNotCollection) {
+			t.Fatalf("ListWithProps on a document: err = %v, want ErrNotCollection", err)
+		}
+		if _, _, err := StatWithProps(s, "/nope"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("StatWithProps on missing: err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+// TestETagDistinguishesSameSizeOverwrite is the regression test for the
+// strengthened document ETag: overwriting a document with same-size
+// content must change the ETag even when the mtime granularity cannot
+// tell the two writes apart.
+func TestETagDistinguishesSameSizeOverwrite(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		mustPut(t, s, "/doc.txt", "aaaa")
+		before, err := s.Stat("/doc.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustPut(t, s, "/doc.txt", "bbbb") // same size
+		after, err := s.Stat("/doc.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before.ETag == after.ETag {
+			t.Fatalf("same-size overwrite kept ETag %s", before.ETag)
+		}
+		mustPut(t, s, "/doc.txt", "cccc")
+		third, err := s.Stat("/doc.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if third.ETag == after.ETag || third.ETag == before.ETag {
+			t.Fatalf("third write reused an earlier ETag: %s vs %s/%s",
+				third.ETag, after.ETag, before.ETag)
+		}
+	})
+}
+
+// TestGenerationLazyMaterialization checks that the ETag generation
+// counter does not materialize a property database on first PUT — the
+// paper's disk-overhead experiment depends on databases existing only
+// for resources that carry metadata.
+func TestGenerationLazyMaterialization(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir, dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustPut(t, s, "/plain.txt", "v1")
+	if _, err := os.Stat(filepath.Join(dir, propDirName)); !os.IsNotExist(err) {
+		t.Fatalf("first PUT materialized %s (err=%v)", propDirName, err)
+	}
+	mustPut(t, s, "/plain.txt", "v2")
+	pp := filepath.Join(dir, propDirName, "plain.txt"+propsExt)
+	if _, err := os.Stat(pp); err != nil {
+		t.Fatalf("overwrite did not persist the generation: %v", err)
+	}
+	ri, err := s.Stat("/plain.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(ri.ETag, "-") != 2 {
+		t.Fatalf("overwritten document ETag %s lacks the generation field", ri.ETag)
+	}
+}
+
+// TestFSStoreListWithPropsOpensEachDBOnce is the acceptance check for
+// the handle cache: resolving a Depth:1 listing must cost at most one
+// database open per distinct property database, and a second resolution
+// of the same listing must be served entirely from cache.
+func TestFSStoreListWithPropsOpensEachDBOnce(t *testing.T) {
+	s, err := NewFSStore(t.TempDir(), dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustMkcol(t, s, "/d")
+	const n = 8
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("/d/f%d.dat", i)
+		mustPut(t, s, p, "body")
+		if err := s.PropPut(p, xml.Name{Space: "ns:", Local: "k"}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drop everything cached by the setup writes to isolate the reads.
+	s.HandleCache().Close()
+	base := s.CacheStats()
+
+	if _, err := ListWithProps(s, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	after := s.CacheStats()
+	if opens := after.Misses - base.Misses; opens != n {
+		t.Fatalf("first listing opened %d databases, want %d (one per member)", opens, n)
+	}
+
+	if _, err := ListWithProps(s, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	final := s.CacheStats()
+	if final.Misses != after.Misses {
+		t.Fatalf("second listing reopened databases: misses %d -> %d", after.Misses, final.Misses)
+	}
+	if final.Hits <= after.Hits {
+		t.Fatal("second listing recorded no cache hits")
+	}
+}
+
+// TestFSStoreRenameInvalidatesCachedHandles ensures cached property
+// databases follow a directory rename instead of pinning the old
+// files.
+func TestFSStoreRenameInvalidatesCachedHandles(t *testing.T) {
+	s, err := NewFSStore(t.TempDir(), dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustMkcol(t, s, "/old")
+	mustPut(t, s, "/old/f.dat", "body")
+	name := xml.Name{Space: "ns:", Local: "k"}
+	if err := s.PropPut("/old/f.dat", name, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.PropGet("/old/f.dat", name); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+	if err := s.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.PropGet("/new/f.dat", name)
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("prop after rename: %q, %v, %v", v, ok, err)
+	}
+	if err := s.PropPut("/new/f.dat", name, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat("/old/f.dat"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("old path still visible: %v", err)
+	}
+}
+
+// failingRenamer wraps MemStore with a Rename that always fails with a
+// configurable error.
+type failingRenamer struct {
+	Store
+	err   error
+	calls int
+}
+
+func (f *failingRenamer) Rename(src, dst string) error {
+	f.calls++
+	return f.err
+}
+
+// TestMoveTreePropagatesPreconditionErrors locks in the Renamer
+// fallback contract: precondition errors surface immediately, other
+// failures degrade to copy+delete.
+func TestMoveTreePropagatesPreconditionErrors(t *testing.T) {
+	for _, sentinel := range []error{ErrNotFound, ErrBadPath} {
+		s := &failingRenamer{Store: NewMemStore(), err: fmt.Errorf("wrap: %w", sentinel)}
+		mustPut(t, s, "/a.txt", "x")
+		if err := MoveTree(s, "/a.txt", "/b.txt"); !errors.Is(err, sentinel) {
+			t.Fatalf("MoveTree with rename failing %v returned %v, want the sentinel", sentinel, err)
+		}
+		if _, err := s.Stat("/a.txt"); err != nil {
+			t.Fatalf("failed precondition move must not have fallen back: %v", err)
+		}
+	}
+	// A non-precondition failure (e.g. EXDEV) falls back and succeeds.
+	s := &failingRenamer{Store: NewMemStore(), err: errors.New("rename: cross-device link")}
+	mustPut(t, s, "/a.txt", "x")
+	if err := MoveTree(s, "/a.txt", "/b.txt"); err != nil {
+		t.Fatalf("MoveTree fallback failed: %v", err)
+	}
+	if s.calls != 1 {
+		t.Fatalf("rename attempted %d times, want 1", s.calls)
+	}
+	if got := readBody(t, s, "/b.txt"); got != "x" {
+		t.Fatalf("fallback move lost the body: %q", got)
+	}
+	if _, err := s.Stat("/a.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("fallback move left the source: %v", err)
+	}
+}
+
+// TestMixedOperationStress hammers both stores with a concurrent mix of
+// reads, writes, property updates, moves and deletes across sibling and
+// nested subtrees. Run with -race; correctness here is "no data race,
+// no deadlock, no structural corruption".
+func TestMixedOperationStress(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		const workers = 8
+		const iters = 60
+		for w := 0; w < workers; w++ {
+			mustMkcol(t, s, fmt.Sprintf("/w%d", w))
+			mustMkcol(t, s, fmt.Sprintf("/w%d/deep", w))
+		}
+		mustMkcol(t, s, "/shared")
+		name := xml.Name{Space: "ns:", Local: "k"}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				home := fmt.Sprintf("/w%d", w)
+				for i := 0; i < iters; i++ {
+					doc := fmt.Sprintf("%s/deep/f%d.dat", home, i%4)
+					if _, err := s.Put(doc, strings.NewReader("body"), ""); err != nil {
+						t.Errorf("Put %s: %v", doc, err)
+						return
+					}
+					if err := s.PropPut(doc, name, []byte(fmt.Sprintf("v%d", i))); err != nil {
+						t.Errorf("PropPut %s: %v", doc, err)
+						return
+					}
+					// Cross-tree reads: list a sibling worker's subtree
+					// and the shared root while it is being mutated.
+					other := fmt.Sprintf("/w%d/deep", (w+1)%workers)
+					if _, err := ListWithProps(s, other); err != nil && !errors.Is(err, ErrNotFound) {
+						t.Errorf("ListWithProps %s: %v", other, err)
+						return
+					}
+					if _, err := s.List("/"); err != nil {
+						t.Errorf("List /: %v", err)
+						return
+					}
+					// Shared collection churn: put, stat, delete.
+					shared := fmt.Sprintf("/shared/w%d-%d.dat", w, i%2)
+					if _, err := s.Put(shared, strings.NewReader("s"), ""); err != nil {
+						t.Errorf("Put %s: %v", shared, err)
+						return
+					}
+					if i%5 == 0 {
+						if err := s.Delete(shared); err != nil && !errors.Is(err, ErrNotFound) {
+							t.Errorf("Delete %s: %v", shared, err)
+							return
+						}
+					}
+					// Periodic subtree move within the worker's own tree
+					// (always disjoint from other workers' moves).
+					if i%10 == 9 {
+						src, dst := home+"/deep", home+"/moved"
+						if err := MoveTree(s, src, dst); err != nil {
+							t.Errorf("MoveTree %s -> %s: %v", src, dst, err)
+							return
+						}
+						if err := MoveTree(s, dst, src); err != nil {
+							t.Errorf("MoveTree %s -> %s: %v", dst, src, err)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Structural sanity after the storm.
+		for w := 0; w < workers; w++ {
+			deep := fmt.Sprintf("/w%d/deep", w)
+			members, err := ListWithProps(s, deep)
+			if err != nil {
+				t.Fatalf("post-stress ListWithProps %s: %v", deep, err)
+			}
+			for _, m := range members {
+				if got := readBody(t, s, m.Info.Path); got != "body" {
+					t.Fatalf("corrupt body at %s: %q", m.Info.Path, got)
+				}
+				if v, ok := m.Props[name]; !ok || !strings.HasPrefix(string(v), "v") {
+					t.Fatalf("lost property at %s: %q %v", m.Info.Path, v, ok)
+				}
+			}
+		}
+	})
+}

@@ -13,10 +13,11 @@ import (
 	"path"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/dbm"
+	"repro/internal/store/pathlock"
 )
 
 // propDirName is the per-directory metadata directory, mirroring
@@ -30,28 +31,62 @@ const collectionPropsFile = ".dirprops"
 const propsExt = ".props"
 
 // Internal DBM keys.
-const ikeyContentType = "ctype"
+const (
+	ikeyContentType = "ctype"
+	// ikeyGeneration is a per-resource counter bumped on every document
+	// overwrite. It feeds the ETag so two overwrites that leave the
+	// same size and the same (nanosecond) mtime still produce distinct
+	// ETags — without it, If-Match could validate a stale ETag.
+	ikeyGeneration = "gen"
+)
+
+// DefaultHandleCacheSize is the default bound on open property-database
+// handles kept by the store's DBM cache.
+const DefaultHandleCacheSize = 256
+
+// FSOptions tunes NewFSStoreWith.
+type FSOptions struct {
+	// HandleCacheSize bounds the shared cache of open property-database
+	// handles. Zero means DefaultHandleCacheSize; negative disables
+	// caching entirely (every property touch opens and closes its
+	// database, the historical mod_dav behaviour — kept as the
+	// benchmark baseline and an operational escape hatch).
+	HandleCacheSize int
+}
 
 // FSStore is the mod_dav-style store: documents are files, collections
 // are directories, and each resource that has metadata owns a DBM
 // database file under its parent's .DAV directory. Raw data therefore
 // stays directly visible in the filesystem, as the paper requires.
+//
+// Concurrency: every operation takes a hierarchical path lock (shared
+// for reads, exclusive for writes) instead of a store-wide mutex, so
+// operations on disjoint subtrees proceed fully in parallel, and an
+// exclusive lock on a collection covers its whole subtree — which is
+// what Delete and Rename rely on. Property databases are reached
+// through a shared refcounted handle cache rather than being opened per
+// operation. Both structures are shared by WithContext views.
 type FSStore struct {
 	root    string
 	flavour dbm.Flavour
-	// mu is shared by pointer so WithContext views synchronize with
-	// the original store.
-	mu  *sync.RWMutex
-	ctx context.Context // request binding; Background when unbound
+	locks   *pathlock.Manager
+	cache   *dbm.Cache
+	ctx     context.Context // request binding; Background when unbound
 }
 
 var _ Store = (*FSStore)(nil)
 var _ Renamer = (*FSStore)(nil)
 var _ ContextBinder = (*FSStore)(nil)
+var _ BatchReader = (*FSStore)(nil)
 
 // NewFSStore opens (creating if needed) a store rooted at dir, using
-// the given DBM flavour for property databases.
+// the given DBM flavour for property databases and default options.
 func NewFSStore(dir string, flavour dbm.Flavour) (*FSStore, error) {
+	return NewFSStoreWith(dir, flavour, FSOptions{})
+}
+
+// NewFSStoreWith is NewFSStore with explicit tuning.
+func NewFSStoreWith(dir string, flavour dbm.Flavour, o FSOptions) (*FSStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -59,12 +94,23 @@ func NewFSStore(dir string, flavour dbm.Flavour) (*FSStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FSStore{root: abs, flavour: flavour, mu: new(sync.RWMutex), ctx: context.Background()}, nil
+	size := o.HandleCacheSize
+	if size == 0 {
+		size = DefaultHandleCacheSize
+	}
+	return &FSStore{
+		root:    abs,
+		flavour: flavour,
+		locks:   pathlock.NewManager(),
+		cache:   dbm.NewCache(size, flavour),
+		ctx:     context.Background(),
+	}, nil
 }
 
 // WithContext implements ContextBinder: the returned view shares the
-// store's lock and data but attributes property-database opens and
-// operations (the "dbm.*" spans) to ctx.
+// store's locks, handle cache and data, but attributes lock waits and
+// property-database operations (the "pathlock.wait" and "dbm.*" spans)
+// to ctx.
 func (s *FSStore) WithContext(ctx context.Context) Store {
 	c := *s
 	c.ctx = ctx
@@ -77,9 +123,21 @@ func (s *FSStore) Root() string { return s.root }
 // Flavour returns the DBM flavour used for property databases.
 func (s *FSStore) Flavour() dbm.Flavour { return s.flavour }
 
-// Close releases the store. Property databases are opened per
-// operation (as mod_dav did), so there is nothing to flush.
-func (s *FSStore) Close() error { return nil }
+// LockStats snapshots the hierarchical path-lock counters.
+func (s *FSStore) LockStats() pathlock.Stats { return s.locks.Stats() }
+
+// CacheStats snapshots the property-database handle-cache counters.
+func (s *FSStore) CacheStats() dbm.CacheStats { return s.cache.Stats() }
+
+// PathLocks exposes the lock manager (tests, metrics wiring).
+func (s *FSStore) PathLocks() *pathlock.Manager { return s.locks }
+
+// HandleCache exposes the DBM handle cache (tests, metrics wiring).
+func (s *FSStore) HandleCache() *dbm.Cache { return s.cache }
+
+// Close releases the store: every cached property database is closed
+// (pinned handles close on their release).
+func (s *FSStore) Close() error { return s.cache.Close() }
 
 // diskPath maps a canonical resource path to a filesystem path,
 // rejecting paths that use the reserved metadata directory name.
@@ -98,8 +156,7 @@ func (s *FSStore) diskPath(p string) (string, error) {
 	return filepath.Join(s.root, filepath.FromSlash(cp)), nil
 }
 
-// propsPath returns the property database path for resource p and
-// whether its parent .DAV directory exists yet.
+// propsPath returns the property database path for resource p.
 func (s *FSStore) propsPath(p string) (string, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
@@ -119,6 +176,12 @@ func (s *FSStore) propsPath(p string) (string, error) {
 	return filepath.Join(filepath.Dir(dp), propDirName, path.Base(cp)+propsExt), nil
 }
 
+// memberPropsPath is propsPath for a known document, without the
+// resource stat (used after the document has been removed).
+func (s *FSStore) memberPropsPath(dp, cp string) string {
+	return filepath.Join(filepath.Dir(dp), propDirName, path.Base(cp)+propsExt)
+}
+
 func mapFSErr(err error, p string) error {
 	switch {
 	case err == nil:
@@ -132,85 +195,11 @@ func mapFSErr(err error, p string) error {
 	}
 }
 
-// Stat implements Store.
-func (s *FSStore) Stat(p string) (ResourceInfo, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.statLocked(p)
-}
-
-func (s *FSStore) statLocked(p string) (ResourceInfo, error) {
-	cp, err := CleanPath(p)
-	if err != nil {
-		return ResourceInfo{}, err
-	}
-	dp, err := s.diskPath(cp)
-	if err != nil {
-		return ResourceInfo{}, err
-	}
-	fi, err := os.Stat(dp)
-	if err != nil {
-		return ResourceInfo{}, mapFSErr(err, cp)
-	}
-	return s.infoFor(cp, fi), nil
-}
-
-func (s *FSStore) infoFor(cp string, fi fs.FileInfo) ResourceInfo {
-	ri := ResourceInfo{
-		Path:         cp,
-		IsCollection: fi.IsDir(),
-		ModTime:      fi.ModTime(),
-		CreateTime:   fi.ModTime(),
-	}
-	if !fi.IsDir() {
-		ri.Size = fi.Size()
-		ri.ETag = fmt.Sprintf(`"%x-%x"`, fi.Size(), fi.ModTime().UnixNano())
-		ri.ContentType = inferContentType(cp)
-		// An explicitly supplied content type overrides the inferred
-		// one; like mod_dav, this is the one piece of system metadata
-		// kept in the property database.
-		if ct, ok := s.internalGet(cp, ikeyContentType); ok && len(ct) > 0 {
-			ri.ContentType = string(ct)
-		}
-	}
-	return ri
-}
-
-// internalGet reads an internal bookkeeping key; misses (including a
-// missing database) are reported as ok=false.
-func (s *FSStore) internalGet(cp, key string) ([]byte, bool) {
-	pp, err := s.propsPath(cp)
-	if err != nil {
-		return nil, false
-	}
-	if _, err := os.Stat(pp); err != nil {
-		return nil, false
-	}
-	db, err := dbm.OpenContext(s.ctx, pp, s.flavour)
-	if err != nil {
-		return nil, false
-	}
-	defer db.Close()
-	v, ok, err := db.Get(internalKey(key))
-	if err != nil {
-		return nil, false
-	}
-	return v, ok
-}
-
-// internalPut writes an internal bookkeeping key, creating the
-// property database if needed.
-func (s *FSStore) internalPut(cp, key string, value []byte) error {
-	return s.withPropsDB(cp, true, func(db *dbm.DB) error {
-		return db.Put(internalKey(key), value)
-	})
-}
-
-// withPropsDB opens the resource's property database, creating it if
-// create is true. When create is false and the database does not
-// exist, fn is not called and the result is nil (empty database
-// semantics).
-func (s *FSStore) withPropsDB(cp string, create bool, fn func(*dbm.DB) error) error {
+// withProps opens the resource's property database through the handle
+// cache, creating it if create is true. When create is false and the
+// database does not exist, fn is not called and the result is nil
+// (empty database semantics). Caller holds the resource's path lock.
+func (s *FSStore) withProps(cp string, create bool, fn func(*dbm.Handle) error) error {
 	pp, err := s.propsPath(cp)
 	if err != nil {
 		return err
@@ -226,38 +215,137 @@ func (s *FSStore) withPropsDB(cp string, create bool, fn func(*dbm.DB) error) er
 			return err
 		}
 	}
-	db, err := dbm.OpenContext(s.ctx, pp, s.flavour)
+	h, err := s.cache.Acquire(s.ctx, pp)
 	if err != nil {
 		return err
 	}
-	defer db.Close()
-	return fn(db)
+	defer h.Close()
+	return fn(h)
+}
+
+// internalMeta reads the internal bookkeeping keys (content type,
+// generation) in one handle acquisition. Missing database or keys yield
+// zero values. Caller holds the resource's path lock.
+func (s *FSStore) internalMeta(cp string) (ctype string, gen int64) {
+	s.withProps(cp, false, func(h *dbm.Handle) error {
+		if v, ok, _ := h.Get(internalKey(ikeyContentType)); ok {
+			ctype = string(v)
+		}
+		if v, ok, _ := h.Get(internalKey(ikeyGeneration)); ok {
+			gen, _ = strconv.ParseInt(string(v), 10, 64)
+		}
+		return nil
+	})
+	return ctype, gen
+}
+
+// Stat implements Store.
+func (s *FSStore) Stat(p string) (ResourceInfo, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return ResourceInfo{}, err
+	}
+	g := s.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	return s.stat(cp)
+}
+
+// stat resolves cp under an already-held lock.
+func (s *FSStore) stat(cp string) (ResourceInfo, error) {
+	dp, err := s.diskPath(cp)
+	if err != nil {
+		return ResourceInfo{}, err
+	}
+	fi, err := os.Stat(dp)
+	if err != nil {
+		return ResourceInfo{}, mapFSErr(err, cp)
+	}
+	return s.infoFor(cp, fi), nil
+}
+
+// infoFor builds a ResourceInfo, reading the internal metadata keys for
+// documents. Caller holds a lock covering cp.
+func (s *FSStore) infoFor(cp string, fi fs.FileInfo) ResourceInfo {
+	ri := ResourceInfo{
+		Path:         cp,
+		IsCollection: fi.IsDir(),
+		ModTime:      fi.ModTime(),
+		CreateTime:   fi.ModTime(),
+	}
+	if !fi.IsDir() {
+		ctype, gen := s.internalMeta(cp)
+		s.fillDocInfo(&ri, fi, ctype, gen)
+	}
+	return ri
+}
+
+// fillDocInfo completes a document's ResourceInfo from its file info
+// and internal metadata.
+func (s *FSStore) fillDocInfo(ri *ResourceInfo, fi fs.FileInfo, ctype string, gen int64) {
+	ri.Size = fi.Size()
+	ri.ETag = etagFor(fi, gen)
+	ri.ContentType = inferContentType(ri.Path)
+	// An explicitly supplied content type overrides the inferred one;
+	// like mod_dav, this is one of the pieces of system metadata kept
+	// in the property database.
+	if ctype != "" {
+		ri.ContentType = ctype
+	}
+}
+
+// etagFor derives a document ETag from size, mtime and the overwrite
+// generation. Resources never overwritten keep the historical
+// size-mtime shape; the generation suffix appears from the first
+// overwrite on and makes same-size same-nanosecond rewrites
+// distinguishable.
+func etagFor(fi fs.FileInfo, gen int64) string {
+	if gen > 0 {
+		return fmt.Sprintf(`"%x-%x-%x"`, fi.Size(), fi.ModTime().UnixNano(), gen)
+	}
+	return fmt.Sprintf(`"%x-%x"`, fi.Size(), fi.ModTime().UnixNano())
 }
 
 // List implements Store.
 func (s *FSStore) List(p string) ([]ResourceInfo, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, err
 	}
+	g := s.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	infos, _, err := s.list(cp, false)
+	return infos, err
+}
+
+// list reads the members of cp under an already-held shared lock. When
+// withProps is true each member's full property map is loaded in the
+// same pass through its (cached) database handle.
+func (s *FSStore) list(cp string, withProps bool) ([]ResourceInfo, []map[xml.Name][]byte, error) {
 	dp, err := s.diskPath(cp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fi, err := os.Stat(dp)
 	if err != nil {
-		return nil, mapFSErr(err, cp)
+		return nil, nil, mapFSErr(err, cp)
 	}
 	if !fi.IsDir() {
-		return nil, fmt.Errorf("%w: %s", ErrNotCollection, cp)
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotCollection, cp)
 	}
 	ents, err := os.ReadDir(dp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	infos := make([]ResourceInfo, 0, len(ents))
+	var props []map[xml.Name][]byte
+	if withProps {
+		props = make([]map[xml.Name][]byte, 0, len(ents))
+	}
+	type memberEntry struct {
+		info ResourceInfo
+		prop map[xml.Name][]byte
+	}
+	members := make([]memberEntry, 0, len(ents))
 	for _, e := range ents {
 		if e.Name() == propDirName {
 			continue
@@ -267,16 +355,100 @@ func (s *FSStore) List(p string) ([]ResourceInfo, error) {
 			continue // raced with deletion
 		}
 		child := path.Join(cp, e.Name())
-		infos = append(infos, s.infoFor(child, efi))
+		var me memberEntry
+		if withProps {
+			me.info, me.prop = s.resolveWithProps(child, efi)
+		} else {
+			me.info = s.infoFor(child, efi)
+		}
+		members = append(members, me)
 	}
-	sort.Slice(infos, func(i, j int) bool { return infos[i].Path < infos[j].Path })
-	return infos, nil
+	sort.Slice(members, func(i, j int) bool { return members[i].info.Path < members[j].info.Path })
+	for _, m := range members {
+		infos = append(infos, m.info)
+		if withProps {
+			props = append(props, m.prop)
+		}
+	}
+	return infos, props, nil
+}
+
+// resolveWithProps builds one resource's info and property map in a
+// single pass over its property database: dead properties and internal
+// metadata come out of the same iteration through one cached handle.
+func (s *FSStore) resolveWithProps(cp string, fi fs.FileInfo) (ResourceInfo, map[xml.Name][]byte) {
+	ri := ResourceInfo{
+		Path:         cp,
+		IsCollection: fi.IsDir(),
+		ModTime:      fi.ModTime(),
+		CreateTime:   fi.ModTime(),
+	}
+	props := map[xml.Name][]byte{}
+	var ctype string
+	var gen int64
+	s.withProps(cp, false, func(h *dbm.Handle) error {
+		return h.ForEach(func(k, v []byte) error {
+			if name, ok := parsePropKey(k); ok {
+				props[name] = v
+				return nil
+			}
+			switch string(k) {
+			case string(internalKey(ikeyContentType)):
+				ctype = string(v)
+			case string(internalKey(ikeyGeneration)):
+				gen, _ = strconv.ParseInt(string(v), 10, 64)
+			}
+			return nil
+		})
+	})
+	if !fi.IsDir() {
+		s.fillDocInfo(&ri, fi, ctype, gen)
+	}
+	return ri, props
+}
+
+// StatWithProps implements BatchReader.
+func (s *FSStore) StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return ResourceInfo{}, nil, err
+	}
+	g := s.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	dp, err := s.diskPath(cp)
+	if err != nil {
+		return ResourceInfo{}, nil, err
+	}
+	fi, err := os.Stat(dp)
+	if err != nil {
+		return ResourceInfo{}, nil, mapFSErr(err, cp)
+	}
+	ri, props := s.resolveWithProps(cp, fi)
+	return ri, props, nil
+}
+
+// ListWithProps implements BatchReader: one shared lock on the
+// collection, one pass per member through cached database handles.
+func (s *FSStore) ListWithProps(p string) ([]MemberProps, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	g := s.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	infos, props, err := s.list(cp, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MemberProps, len(infos))
+	for i := range infos {
+		out[i] = MemberProps{Info: infos[i], Props: props[i]}
+	}
+	return out, nil
 }
 
 // Mkcol implements Store.
 func (s *FSStore) Mkcol(p string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
@@ -284,6 +456,8 @@ func (s *FSStore) Mkcol(p string) error {
 	if cp == "/" {
 		return fmt.Errorf("%w: /", ErrExists)
 	}
+	g := s.locks.Lock(s.ctx, cp)
+	defer g.Release()
 	dp, err := s.diskPath(cp)
 	if err != nil {
 		return err
@@ -307,7 +481,9 @@ func (s *FSStore) Mkcol(p string) error {
 
 // Put implements Store. The body is staged to a temporary file and
 // renamed into place so concurrent readers never observe a torn
-// document.
+// document. The exclusive path lock serializes writers of one document;
+// writers of different documents — even in the same collection —
+// proceed in parallel.
 func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
@@ -321,10 +497,11 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 		return false, err
 	}
 
-	s.mu.RLock()
+	g := s.locks.Lock(s.ctx, cp)
+	defer g.Release()
+
 	parentFI, perr := os.Stat(filepath.Dir(dp))
 	fi, ferr := os.Stat(dp)
-	s.mu.RUnlock()
 	if perr != nil || !parentFI.IsDir() {
 		return false, fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
 	}
@@ -356,9 +533,6 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 		os.Remove(tmpName)
 		return false, err
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := os.Rename(tmpName, dp); err != nil {
 		os.Remove(tmpName)
 		return false, err
@@ -369,13 +543,36 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 	// mod_dav only materializes a property database for resources that
 	// carry metadata (the disk-overhead experiment depends on this), so
 	// the content type is persisted only when it cannot be re-derived
-	// from the file extension.
+	// from the file extension — and the overwrite generation only from
+	// the first overwrite on.
 	if contentType != "" && contentType != inferContentType(cp) {
-		if err := s.internalPut(cp, ikeyContentType, []byte(contentType)); err != nil {
+		if err := s.withProps(cp, true, func(h *dbm.Handle) error {
+			return h.Put(internalKey(ikeyContentType), []byte(contentType))
+		}); err != nil {
+			return created, err
+		}
+	}
+	if !created {
+		if err := s.bumpGeneration(cp); err != nil {
 			return created, err
 		}
 	}
 	return created, nil
+}
+
+// bumpGeneration increments the resource's overwrite counter. Caller
+// holds the exclusive path lock, which makes read-increment-write safe.
+func (s *FSStore) bumpGeneration(cp string) error {
+	return s.withProps(cp, true, func(h *dbm.Handle) error {
+		var gen int64
+		if v, ok, err := h.Get(internalKey(ikeyGeneration)); err != nil {
+			return err
+		} else if ok {
+			gen, _ = strconv.ParseInt(string(v), 10, 64)
+		}
+		return h.Put(internalKey(ikeyGeneration),
+			[]byte(strconv.FormatInt(gen+1, 10)))
+	})
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives a
@@ -402,9 +599,13 @@ func inferContentType(cp string) string {
 
 // Get implements Store.
 func (s *FSStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ri, err := s.statLocked(p)
+	cp, err := CleanPath(p)
+	if err != nil {
+		return nil, ResourceInfo{}, err
+	}
+	g := s.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	ri, err := s.stat(cp)
 	if err != nil {
 		return nil, ResourceInfo{}, err
 	}
@@ -422,10 +623,10 @@ func (s *FSStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
 	return f, ri, nil
 }
 
-// Delete implements Store.
+// Delete implements Store. The exclusive lock on cp covers the whole
+// subtree (descendant operations would need an intent lock on cp), so
+// no per-descendant locking is necessary.
 func (s *FSStore) Delete(p string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
@@ -433,6 +634,8 @@ func (s *FSStore) Delete(p string) error {
 	if cp == "/" {
 		return fmt.Errorf("%w: cannot delete /", ErrBadPath)
 	}
+	g := s.locks.Lock(s.ctx, cp)
+	defer g.Release()
 	dp, err := s.diskPath(cp)
 	if err != nil {
 		return err
@@ -443,25 +646,32 @@ func (s *FSStore) Delete(p string) error {
 	}
 	if fi.IsDir() {
 		// Directory properties live inside the directory; one
-		// RemoveAll covers body, members, and all metadata.
-		return os.RemoveAll(dp)
+		// RemoveAll covers body, members, and all metadata. Every
+		// cached database under the subtree is orphaned by it.
+		if err := os.RemoveAll(dp); err != nil {
+			return err
+		}
+		s.cache.InvalidatePrefix(dp)
+		return nil
 	}
 	if err := os.Remove(dp); err != nil {
 		return mapFSErr(err, cp)
 	}
 	// Drop the member's property database, if any.
-	pp := filepath.Join(filepath.Dir(dp), propDirName, path.Base(cp)+propsExt)
+	pp := s.memberPropsPath(dp, cp)
 	if err := os.Remove(pp); err != nil && !os.IsNotExist(err) {
 		return err
 	}
+	s.cache.Invalidate(pp)
 	return nil
 }
 
 // Rename implements the MOVE fast path: an atomic filesystem rename
-// plus relocation of the member property database.
+// plus relocation of the member property database. Source and
+// destination subtrees are locked exclusively in one ordered
+// acquisition, so the move is atomic with respect to every other store
+// operation and cannot deadlock against a crossing move.
 func (s *FSStore) Rename(src, dst string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	csrc, err := CleanPath(src)
 	if err != nil {
 		return err
@@ -470,9 +680,15 @@ func (s *FSStore) Rename(src, dst string) error {
 	if err != nil {
 		return err
 	}
-	if csrc == "/" || cdst == "/" || csrc == cdst || IsAncestor(csrc, cdst) {
+	if csrc == "/" || cdst == "/" || csrc == cdst ||
+		IsAncestor(csrc, cdst) || IsAncestor(cdst, csrc) {
 		return fmt.Errorf("%w: rename %q -> %q", ErrBadPath, src, dst)
 	}
+	g := s.locks.Acquire(s.ctx,
+		pathlock.Req{Path: csrc, Mode: pathlock.Exclusive},
+		pathlock.Req{Path: cdst, Mode: pathlock.Exclusive})
+	defer g.Release()
+
 	sp, err := s.diskPath(csrc)
 	if err != nil {
 		return err
@@ -494,54 +710,59 @@ func (s *FSStore) Rename(src, dst string) error {
 	if err := os.Rename(sp, tp); err != nil {
 		return err
 	}
-	if !sfi.IsDir() {
-		// Move the member property database alongside.
-		spp := filepath.Join(filepath.Dir(sp), propDirName, path.Base(csrc)+propsExt)
-		if _, err := os.Stat(spp); err == nil {
-			tpp := filepath.Join(filepath.Dir(tp), propDirName, path.Base(cdst)+propsExt)
-			if err := os.MkdirAll(filepath.Dir(tpp), 0o755); err != nil {
-				return err
-			}
-			if err := os.Rename(spp, tpp); err != nil {
-				return err
-			}
+	if sfi.IsDir() {
+		// Every cached database under the old directory now points at
+		// a renamed-away file; drop them so the new paths reopen.
+		s.cache.InvalidatePrefix(sp)
+		return nil
+	}
+	// Move the member property database alongside.
+	spp := s.memberPropsPath(sp, csrc)
+	if _, err := os.Stat(spp); err == nil {
+		tpp := s.memberPropsPath(tp, cdst)
+		if err := os.MkdirAll(filepath.Dir(tpp), 0o755); err != nil {
+			return err
+		}
+		if err := os.Rename(spp, tpp); err != nil {
+			return err
 		}
 	}
+	s.cache.Invalidate(spp)
 	return nil
 }
 
 // PropPut implements Store.
 func (s *FSStore) PropPut(p string, name xml.Name, value []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
 	}
-	if _, err := s.statLocked(cp); err != nil {
+	g := s.locks.Lock(s.ctx, cp)
+	defer g.Release()
+	if _, err := s.stat(cp); err != nil {
 		return err
 	}
-	return s.withPropsDB(cp, true, func(db *dbm.DB) error {
-		return db.Put(propKey(name), value)
+	return s.withProps(cp, true, func(h *dbm.Handle) error {
+		return h.Put(propKey(name), value)
 	})
 }
 
 // PropGet implements Store.
 func (s *FSStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, false, err
 	}
-	if _, err := s.statLocked(cp); err != nil {
+	g := s.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	if _, err := s.stat(cp); err != nil {
 		return nil, false, err
 	}
 	var val []byte
 	var ok bool
-	err = s.withPropsDB(cp, false, func(db *dbm.DB) error {
+	err = s.withProps(cp, false, func(h *dbm.Handle) error {
 		var e error
-		val, ok, e = db.Get(propKey(name))
+		val, ok, e = h.Get(propKey(name))
 		return e
 	})
 	return val, ok, err
@@ -549,17 +770,17 @@ func (s *FSStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
 
 // PropDelete implements Store.
 func (s *FSStore) PropDelete(p string, name xml.Name) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
 	}
-	if _, err := s.statLocked(cp); err != nil {
+	g := s.locks.Lock(s.ctx, cp)
+	defer g.Release()
+	if _, err := s.stat(cp); err != nil {
 		return err
 	}
-	return s.withPropsDB(cp, false, func(db *dbm.DB) error {
-		_, err := db.Delete(propKey(name))
+	return s.withProps(cp, false, func(h *dbm.Handle) error {
+		_, err := h.Delete(propKey(name))
 		return err
 	})
 }
@@ -585,18 +806,18 @@ func (s *FSStore) PropNames(p string) ([]xml.Name, error) {
 
 // PropAll implements Store.
 func (s *FSStore) PropAll(p string) (map[xml.Name][]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := s.statLocked(cp); err != nil {
+	g := s.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	if _, err := s.stat(cp); err != nil {
 		return nil, err
 	}
 	out := map[xml.Name][]byte{}
-	err = s.withPropsDB(cp, false, func(db *dbm.DB) error {
-		return db.ForEach(func(k, v []byte) error {
+	err = s.withProps(cp, false, func(h *dbm.Handle) error {
+		return h.ForEach(func(k, v []byte) error {
 			if name, ok := parsePropKey(k); ok {
 				out[name] = v
 			}

@@ -3,7 +3,6 @@ package store
 import (
 	"context"
 	"encoding/xml"
-	"errors"
 	"io"
 	"time"
 
@@ -143,6 +142,62 @@ func (is *instrumentedStore) PropAll(p string) (map[xml.Name][]byte, error) {
 	return props, err
 }
 
+// StatWithProps implements BatchReader, delegating to the wrapped
+// store's batched path when it has one and composing Stat+PropAll under
+// one span otherwise (so the timing covers the same work either way).
+func (is *instrumentedStore) StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, error) {
+	s, done := is.begin("stat_with_props", trace.Str("path", p))
+	var ri ResourceInfo
+	var props map[xml.Name][]byte
+	var err error
+	if br, ok := is.s.(BatchReader); ok {
+		// Re-dispatch through the rebound view so spans nest under ours.
+		if sbr, ok := s.(BatchReader); ok {
+			br = sbr
+		}
+		ri, props, err = br.StatWithProps(p)
+	} else {
+		ri, err = s.Stat(p)
+		if err == nil {
+			props, err = s.PropAll(p)
+		}
+	}
+	done(err)
+	if err != nil {
+		return ResourceInfo{}, nil, err
+	}
+	return ri, props, nil
+}
+
+// ListWithProps implements BatchReader; see StatWithProps.
+func (is *instrumentedStore) ListWithProps(p string) ([]MemberProps, error) {
+	s, done := is.begin("list_with_props", trace.Str("path", p))
+	var out []MemberProps
+	var err error
+	if br, ok := is.s.(BatchReader); ok {
+		if sbr, ok := s.(BatchReader); ok {
+			br = sbr
+		}
+		out, err = br.ListWithProps(p)
+	} else {
+		var members []ResourceInfo
+		members, err = s.List(p)
+		for _, m := range members {
+			if err != nil {
+				break
+			}
+			var props map[xml.Name][]byte
+			props, err = s.PropAll(m.Path)
+			out = append(out, MemberProps{Info: m, Props: props})
+		}
+	}
+	done(err)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func (is *instrumentedStore) Close() error {
 	s, done := is.begin("close")
 	err := s.Close()
@@ -150,15 +205,12 @@ func (is *instrumentedStore) Close() error {
 	return err
 }
 
-// errNoRename makes MoveTree fall back to copy+delete when the wrapped
-// store has no native rename.
-var errNoRename = errors.New("store: underlying store does not support rename")
-
 // Rename implements the Renamer fast path by delegating to the wrapped
-// store when it supports one.
+// store when it supports one; otherwise ErrRenameUnsupported tells
+// MoveTree to take the generic copy+delete path.
 func (is *instrumentedStore) Rename(src, dst string) error {
 	if _, ok := is.s.(Renamer); !ok {
-		return errNoRename
+		return ErrRenameUnsupported
 	}
 	s, done := is.begin("rename", trace.Str("src", src), trace.Str("dst", dst))
 	err := s.(Renamer).Rename(src, dst)

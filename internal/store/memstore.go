@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -9,14 +10,30 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/store/pathlock"
 )
 
 // MemStore is an in-memory Store used by tests and micro-benchmarks
 // that want to exclude filesystem noise.
+//
+// Concurrency mirrors FSStore: logical isolation comes from the shared
+// hierarchical path-lock manager (readers of one resource proceed
+// together, disjoint subtrees never interact, an exclusive collection
+// lock covers its subtree), while a short internal mutex only guards
+// the physical map structure during each already-locked operation.
 type MemStore struct {
-	mu  sync.RWMutex
-	res map[string]*memResource
-	now func() time.Time
+	state *memState
+	ctx   context.Context // request binding; Background when unbound
+}
+
+// memState is the shared backing of a MemStore and all its WithContext
+// views.
+type memState struct {
+	locks *pathlock.Manager
+	mu    sync.Mutex // guards res and resource contents
+	res   map[string]*memResource
+	now   func() time.Time
 }
 
 type memResource struct {
@@ -30,22 +47,41 @@ type memResource struct {
 }
 
 var _ Store = (*MemStore)(nil)
+var _ ContextBinder = (*MemStore)(nil)
+var _ BatchReader = (*MemStore)(nil)
 
 // NewMemStore returns an empty store containing only the root
 // collection.
 func NewMemStore() *MemStore {
-	s := &MemStore{res: map[string]*memResource{}, now: time.Now}
-	s.res["/"] = &memResource{isCollection: true, props: map[xml.Name][]byte{},
-		modTime: s.now(), createTime: s.now()}
-	return s
+	st := &memState{
+		locks: pathlock.NewManager(),
+		res:   map[string]*memResource{},
+		now:   time.Now,
+	}
+	st.res["/"] = &memResource{isCollection: true, props: map[xml.Name][]byte{},
+		modTime: st.now(), createTime: st.now()}
+	return &MemStore{state: st, ctx: context.Background()}
 }
 
 // SetClock substitutes the time source (tests).
-func (s *MemStore) SetClock(now func() time.Time) { s.now = now }
+func (s *MemStore) SetClock(now func() time.Time) { s.state.now = now }
+
+// WithContext implements ContextBinder; the view shares all state and
+// attributes lock waits to ctx.
+func (s *MemStore) WithContext(ctx context.Context) Store {
+	return &MemStore{state: s.state, ctx: ctx}
+}
+
+// LockStats snapshots the hierarchical path-lock counters.
+func (s *MemStore) LockStats() pathlock.Stats { return s.state.locks.Stats() }
+
+// PathLocks exposes the lock manager (tests, metrics wiring).
+func (s *MemStore) PathLocks() *pathlock.Manager { return s.state.locks }
 
 // Close implements Store.
 func (s *MemStore) Close() error { return nil }
 
+// infoFor builds a ResourceInfo snapshot. Caller holds state.mu.
 func (s *MemStore) infoFor(p string, r *memResource) ResourceInfo {
 	ri := ResourceInfo{
 		Path:         p,
@@ -70,24 +106,24 @@ func (s *MemStore) Stat(p string) (ResourceInfo, error) {
 	if err != nil {
 		return ResourceInfo{}, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.res[cp]
+	g := s.state.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	r, ok := s.state.res[cp]
 	if !ok {
 		return ResourceInfo{}, fmt.Errorf("%w: %s", ErrNotFound, cp)
 	}
 	return s.infoFor(cp, r), nil
 }
 
-// List implements Store.
-func (s *MemStore) List(p string) ([]ResourceInfo, error) {
-	cp, err := CleanPath(p)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.res[cp]
+// list returns the sorted member snapshot of cp. Caller holds the path
+// lock; list takes state.mu itself. With withProps set each member's
+// property map is copied in the same pass.
+func (s *MemStore) list(cp string, withProps bool) ([]MemberProps, error) {
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	r, ok := s.state.res[cp]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, cp)
 	}
@@ -98,24 +134,83 @@ func (s *MemStore) List(p string) ([]ResourceInfo, error) {
 	if prefix != "/" {
 		prefix += "/"
 	}
-	var out []ResourceInfo
-	for q, qr := range s.res {
+	var out []MemberProps
+	for q, qr := range s.state.res {
 		if q == cp || !strings.HasPrefix(q, prefix) {
 			continue
 		}
 		if strings.Contains(q[len(prefix):], "/") {
 			continue // grandchild
 		}
-		out = append(out, s.infoFor(q, qr))
+		mp := MemberProps{Info: s.infoFor(q, qr)}
+		if withProps {
+			mp.Props = copyProps(qr.props)
+		}
+		out = append(out, mp)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	sort.Slice(out, func(i, j int) bool { return out[i].Info.Path < out[j].Info.Path })
 	return out, nil
 }
 
+func copyProps(props map[xml.Name][]byte) map[xml.Name][]byte {
+	out := make(map[xml.Name][]byte, len(props))
+	for n, v := range props {
+		out[n] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// List implements Store.
+func (s *MemStore) List(p string) ([]ResourceInfo, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	g := s.state.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	members, err := s.list(cp, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ResourceInfo, len(members))
+	for i, m := range members {
+		out[i] = m.Info
+	}
+	return out, nil
+}
+
+// StatWithProps implements BatchReader.
+func (s *MemStore) StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return ResourceInfo{}, nil, err
+	}
+	g := s.state.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	r, ok := s.state.res[cp]
+	if !ok {
+		return ResourceInfo{}, nil, fmt.Errorf("%w: %s", ErrNotFound, cp)
+	}
+	return s.infoFor(cp, r), copyProps(r.props), nil
+}
+
+// ListWithProps implements BatchReader.
+func (s *MemStore) ListWithProps(p string) ([]MemberProps, error) {
+	cp, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	g := s.state.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	return s.list(cp, true)
+}
+
 // parentOK reports whether p's parent exists and is a collection.
-// Caller holds s.mu.
+// Caller holds state.mu.
 func (s *MemStore) parentOK(p string) bool {
-	parent, ok := s.res[ParentPath(p)]
+	parent, ok := s.state.res[ParentPath(p)]
 	return ok && parent.isCollection
 }
 
@@ -125,16 +220,21 @@ func (s *MemStore) Mkcol(p string) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.res[cp]; ok {
+	if cp == "/" {
+		return fmt.Errorf("%w: /", ErrExists)
+	}
+	g := s.state.locks.Lock(s.ctx, cp)
+	defer g.Release()
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	if _, ok := s.state.res[cp]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, cp)
 	}
 	if !s.parentOK(cp) {
 		return fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
 	}
-	now := s.now()
-	s.res[cp] = &memResource{isCollection: true, props: map[xml.Name][]byte{},
+	now := s.state.now()
+	s.state.res[cp] = &memResource{isCollection: true, props: map[xml.Name][]byte{},
 		modTime: now, createTime: now}
 	return nil
 }
@@ -152,16 +252,18 @@ func (s *MemStore) Put(p string, r io.Reader, contentType string) (bool, error) 
 	if err != nil {
 		return false, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	existing, ok := s.res[cp]
+	g := s.state.locks.Lock(s.ctx, cp)
+	defer g.Release()
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	existing, ok := s.state.res[cp]
 	if ok && existing.isCollection {
 		return false, fmt.Errorf("%w: %s", ErrIsCollection, cp)
 	}
 	if !s.parentOK(cp) {
 		return false, fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
 	}
-	now := s.now()
+	now := s.state.now()
 	if ok {
 		existing.data = data
 		existing.modTime = now
@@ -171,7 +273,7 @@ func (s *MemStore) Put(p string, r io.Reader, contentType string) (bool, error) 
 		}
 		return false, nil
 	}
-	s.res[cp] = &memResource{data: data, contentType: contentType,
+	s.state.res[cp] = &memResource{data: data, contentType: contentType,
 		props: map[xml.Name][]byte{}, modTime: now, createTime: now}
 	return true, nil
 }
@@ -182,9 +284,11 @@ func (s *MemStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
 	if err != nil {
 		return nil, ResourceInfo{}, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.res[cp]
+	g := s.state.locks.RLock(s.ctx, cp)
+	defer g.Release()
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	r, ok := s.state.res[cp]
 	if !ok {
 		return nil, ResourceInfo{}, fmt.Errorf("%w: %s", ErrNotFound, cp)
 	}
@@ -194,7 +298,8 @@ func (s *MemStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
 	return io.NopCloser(bytes.NewReader(r.data)), s.infoFor(cp, r), nil
 }
 
-// Delete implements Store.
+// Delete implements Store. The exclusive path lock covers the subtree,
+// so the prefix sweep below cannot race any descendant operation.
 func (s *MemStore) Delete(p string) error {
 	cp, err := CleanPath(p)
 	if err != nil {
@@ -203,38 +308,43 @@ func (s *MemStore) Delete(p string) error {
 	if cp == "/" {
 		return fmt.Errorf("%w: cannot delete /", ErrBadPath)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.res[cp]
+	g := s.state.locks.Lock(s.ctx, cp)
+	defer g.Release()
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	r, ok := s.state.res[cp]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, cp)
 	}
-	delete(s.res, cp)
+	delete(s.state.res, cp)
 	if r.isCollection {
 		prefix := cp + "/"
-		for q := range s.res {
+		for q := range s.state.res {
 			if strings.HasPrefix(q, prefix) {
-				delete(s.res, q)
+				delete(s.state.res, q)
 			}
 		}
 	}
 	return nil
 }
 
-// withResource looks up a resource under the appropriate lock.
+// withResource looks up a resource under the appropriate path lock plus
+// the map mutex.
 func (s *MemStore) withResource(p string, write bool, fn func(*memResource) error) error {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
 	}
+	var g *pathlock.Guard
 	if write {
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		g = s.state.locks.Lock(s.ctx, cp)
 	} else {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+		g = s.state.locks.RLock(s.ctx, cp)
 	}
-	r, ok := s.res[cp]
+	defer g.Release()
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	r, ok := s.state.res[cp]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, cp)
 	}
@@ -295,11 +405,9 @@ func (s *MemStore) PropNames(p string) ([]xml.Name, error) {
 
 // PropAll implements Store.
 func (s *MemStore) PropAll(p string) (map[xml.Name][]byte, error) {
-	out := map[xml.Name][]byte{}
+	var out map[xml.Name][]byte
 	err := s.withResource(p, false, func(r *memResource) error {
-		for n, v := range r.props {
-			out[n] = append([]byte(nil), v...)
-		}
+		out = copyProps(r.props)
 		return nil
 	})
 	if err != nil {
@@ -310,7 +418,7 @@ func (s *MemStore) PropAll(p string) (map[xml.Name][]byte, error) {
 
 // Len returns the number of resources (root included), for tests.
 func (s *MemStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.res)
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	return len(s.state.res)
 }

@@ -1,0 +1,340 @@
+// Package pathlock implements hierarchical (multiple-granularity)
+// locking over canonical resource paths, replacing the store-wide
+// RWMutex the storage stack started with.
+//
+// An operation locks its target path in Shared or Exclusive mode; the
+// manager implicitly takes the matching intent mode (IS or IX) on every
+// ancestor collection. The classic compatibility matrix then gives the
+// semantics the DAV method set needs for free:
+//
+//   - two readers of one resource proceed together (S is
+//     self-compatible);
+//   - operations on disjoint subtrees never touch each other's nodes,
+//     so they proceed fully in parallel;
+//   - an Exclusive lock on a collection covers its whole subtree,
+//     because any operation on a descendant must first take an intent
+//     lock on that collection, and no mode is compatible with X. This
+//     is what DELETE, MOVE and COPY Depth:infinity rely on.
+//
+// Deadlock safety comes from ordered acquisition: every Acquire
+// expands its requests into one plan — ancestors' intents plus the
+// target modes, merged per node — sorts the plan by path, and takes the
+// node locks strictly in that order. All acquirers share the same total
+// order, so no wait cycle can form. Lock state is bookkeeping only (the
+// guarded I/O happens after Acquire returns), so a single manager
+// mutex plus one condition variable is enough.
+package pathlock
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs/trace"
+)
+
+// Mode is a lock mode on one node. Only Shared and Exclusive appear in
+// the public API; intent modes are taken implicitly on ancestors, and
+// SIX arises only when one plan needs both S and IX on the same node.
+type Mode uint8
+
+const (
+	// IS — intent to take Shared locks somewhere below this node.
+	IS Mode = iota
+	// IX — intent to take Exclusive locks somewhere below this node.
+	IX
+	// Shared — read the node (and, transitively, its subtree: any
+	// writer below needs IX here, which conflicts).
+	Shared
+	// SIX — Shared on the node plus intent-exclusive below (internal).
+	SIX
+	// Exclusive — write the node; covers the whole subtree.
+	Exclusive
+
+	numModes = 5
+)
+
+// String returns the conventional multi-granularity name.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case Shared:
+		return "S"
+	case SIX:
+		return "SIX"
+	case Exclusive:
+		return "X"
+	default:
+		return "?"
+	}
+}
+
+// compat is the standard multiple-granularity compatibility matrix:
+// compat[held][requested].
+var compat = [numModes][numModes]bool{
+	IS:        {IS: true, IX: true, Shared: true, SIX: true},
+	IX:        {IS: true, IX: true},
+	Shared:    {IS: true, Shared: true},
+	SIX:       {IS: true},
+	Exclusive: {},
+}
+
+// join merges two modes one plan needs on the same node into the
+// weakest single mode that implies both.
+func join(a, b Mode) Mode {
+	if a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	// a < b in declaration order IS < IX < S < SIX < X.
+	if a == IX && b == Shared {
+		return SIX
+	}
+	return b // the lattice is otherwise a chain
+}
+
+// intentFor maps a target mode to the intent its ancestors carry.
+func intentFor(m Mode) Mode {
+	if m == Shared {
+		return IS
+	}
+	return IX
+}
+
+// node is the lock state of one path. Nodes exist only while referenced
+// by at least one plan (held or waiting) and are garbage-collected on
+// the last release.
+type node struct {
+	refs  int // plans referencing this node (held + waiting)
+	holds [numModes]int
+}
+
+// canHold reports whether mode is compatible with every current hold.
+func (n *node) canHold(m Mode) bool {
+	for held := Mode(0); held < numModes; held++ {
+		if n.holds[held] > 0 && !compat[held][m] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a point-in-time snapshot of a manager's counters.
+type Stats struct {
+	// Acquisitions counts completed Acquire calls.
+	Acquisitions int64
+	// Contended counts Acquire calls that had to wait on at least one
+	// node.
+	Contended int64
+	// WaitTotal is the cumulative time spent blocked across all
+	// acquisitions.
+	WaitTotal time.Duration
+	// Held is the number of currently held guards.
+	Held int64
+	// Nodes is the current size of the node table.
+	Nodes int
+}
+
+// Manager hands out hierarchical path locks. The zero value is not
+// usable; call NewManager.
+type Manager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	nodes map[string]*node
+
+	acquisitions atomic.Int64
+	contended    atomic.Int64
+	waitNanos    atomic.Int64
+	held         atomic.Int64
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{nodes: map[string]*node{}}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Req asks for mode on the resource at Path (canonical, "/"-rooted).
+type Req struct {
+	Path string
+	Mode Mode
+}
+
+// planEntry is one node lock the plan will take, in sorted order.
+type planEntry struct {
+	path string
+	mode Mode
+}
+
+// Guard holds the locks of one completed Acquire until Release.
+type Guard struct {
+	m       *Manager
+	entries []planEntry
+	once    sync.Once
+}
+
+// ancestors returns every strict ancestor of p, root first. p must be
+// canonical ("/"-rooted, no trailing slash).
+func ancestors(p string) []string {
+	if p == "/" {
+		return nil
+	}
+	out := []string{"/"}
+	for i := 1; i < len(p); i++ {
+		if p[i] == '/' {
+			out = append(out, p[:i])
+		}
+	}
+	return out
+}
+
+// plan expands reqs into the sorted per-node lock list.
+func plan(reqs []Req) []planEntry {
+	need := make(map[string]Mode, 2*len(reqs)+2)
+	add := func(p string, m Mode) {
+		if cur, ok := need[p]; ok {
+			need[p] = join(cur, m)
+		} else {
+			need[p] = m
+		}
+	}
+	for _, r := range reqs {
+		for _, a := range ancestors(r.Path) {
+			add(a, intentFor(r.Mode))
+		}
+		add(r.Path, r.Mode)
+	}
+	entries := make([]planEntry, 0, len(need))
+	for p, m := range need {
+		entries = append(entries, planEntry{path: p, mode: m})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].path < entries[j].path })
+	return entries
+}
+
+// Acquire takes mode on each requested path (plus the implied intents
+// on ancestors) and returns a Guard releasing all of it. Requests in
+// one call are merged per node, so a caller may lock several targets —
+// e.g. the source and destination of a MOVE — atomically and without
+// deadlock risk against other multi-path acquirers.
+//
+// ctx is used for trace attribution only: when the acquisition has to
+// wait and ctx carries an active span, the blocked time is recorded as
+// a "pathlock.wait" child span. Cancellation does not abort the wait;
+// store operations are short and the guarded section has not begun.
+func (m *Manager) Acquire(ctx context.Context, reqs ...Req) *Guard {
+	entries := plan(reqs)
+	g := &Guard{m: m, entries: entries}
+
+	m.mu.Lock()
+	// Reference every node up front so none is collected while this
+	// plan waits further down the list.
+	for _, e := range entries {
+		n := m.nodes[e.path]
+		if n == nil {
+			n = &node{}
+			m.nodes[e.path] = n
+		}
+		n.refs++
+	}
+	var waited time.Duration
+	for _, e := range entries {
+		n := m.nodes[e.path]
+		if n.canHold(e.mode) {
+			n.holds[e.mode]++
+			continue
+		}
+		// Contended: span the blocked time (nil-safe when ctx carries no
+		// trace). The span bracket drops the manager mutex, which is
+		// safe — this plan's nodes are pinned by the refs taken above,
+		// and the hold is recorded under the same critical section as
+		// the final compatibility check.
+		start := time.Now()
+		m.mu.Unlock()
+		_, end := trace.Region(ctx, "pathlock.wait",
+			trace.Str("path", e.path), trace.Str("mode", e.mode.String()))
+		m.mu.Lock()
+		for !n.canHold(e.mode) {
+			m.cond.Wait()
+		}
+		n.holds[e.mode]++
+		m.mu.Unlock()
+		end(nil)
+		waited += time.Since(start)
+		m.mu.Lock()
+	}
+	m.mu.Unlock()
+
+	m.acquisitions.Add(1)
+	m.held.Add(1)
+	if waited > 0 {
+		m.contended.Add(1)
+		m.waitNanos.Add(int64(waited))
+	}
+	return g
+}
+
+// RLock is shorthand for a single Shared acquisition.
+func (m *Manager) RLock(ctx context.Context, p string) *Guard {
+	return m.Acquire(ctx, Req{Path: p, Mode: Shared})
+}
+
+// Lock is shorthand for a single Exclusive acquisition. The lock covers
+// the entire subtree rooted at p.
+func (m *Manager) Lock(ctx context.Context, p string) *Guard {
+	return m.Acquire(ctx, Req{Path: p, Mode: Exclusive})
+}
+
+// Release drops every lock the guard holds. Safe to call more than
+// once; only the first call has effect.
+func (g *Guard) Release() {
+	g.once.Do(func() {
+		m := g.m
+		m.mu.Lock()
+		for _, e := range g.entries {
+			n := m.nodes[e.path]
+			n.holds[e.mode]--
+			n.refs--
+			if n.refs == 0 {
+				delete(m.nodes, e.path)
+			}
+		}
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		m.held.Add(-1)
+	})
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	nodes := len(m.nodes)
+	m.mu.Unlock()
+	return Stats{
+		Acquisitions: m.acquisitions.Load(),
+		Contended:    m.contended.Load(),
+		WaitTotal:    time.Duration(m.waitNanos.Load()),
+		Held:         m.held.Load(),
+		Nodes:        nodes,
+	}
+}
+
+// Covers reports whether a lock on root in the given mode would cover
+// an operation on p — i.e. p is root or lies in root's subtree. Helper
+// for callers reasoning about subtree exclusivity; not used by the
+// manager itself.
+func Covers(root, p string) bool {
+	if root == p || root == "/" {
+		return true
+	}
+	return strings.HasPrefix(p, root+"/")
+}

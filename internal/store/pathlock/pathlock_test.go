@@ -1,0 +1,258 @@
+package pathlock
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var bg = context.Background()
+
+// tryAcquire runs Acquire in a goroutine and reports whether it
+// completed within the window. On success the guard is sent on the
+// returned channel for the caller to release.
+func tryAcquire(m *Manager, window time.Duration, reqs ...Req) (*Guard, bool) {
+	ch := make(chan *Guard, 1)
+	go func() { ch <- m.Acquire(bg, reqs...) }()
+	select {
+	case g := <-ch:
+		return g, true
+	case <-time.After(window):
+		// Leak-safe: once the blocking lock is released the goroutine
+		// finishes and the guard sits in the buffered channel.
+		go func() {
+			if g := <-ch; g != nil {
+				g.Release()
+			}
+		}()
+		return nil, false
+	}
+}
+
+const blockWindow = 50 * time.Millisecond
+
+func TestSharedSharedCompatible(t *testing.T) {
+	m := NewManager()
+	g1 := m.RLock(bg, "/a/b")
+	defer g1.Release()
+	g2, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b", Mode: Shared})
+	if !ok {
+		t.Fatal("second shared lock on the same path blocked")
+	}
+	g2.Release()
+}
+
+func TestExclusiveBlocksSamePath(t *testing.T) {
+	m := NewManager()
+	g1 := m.Lock(bg, "/a/b")
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b", Mode: Shared}); ok {
+		t.Fatal("shared lock acquired under an exclusive holder")
+	}
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b", Mode: Exclusive}); ok {
+		t.Fatal("second exclusive lock acquired under an exclusive holder")
+	}
+	g1.Release()
+	g2, ok := tryAcquire(m, time.Second, Req{Path: "/a/b", Mode: Exclusive})
+	if !ok {
+		t.Fatal("exclusive lock still blocked after release")
+	}
+	g2.Release()
+}
+
+func TestDisjointSubtreesProceedInParallel(t *testing.T) {
+	m := NewManager()
+	g1 := m.Lock(bg, "/a/b")
+	defer g1.Release()
+	g2, ok := tryAcquire(m, blockWindow, Req{Path: "/a/c", Mode: Exclusive})
+	if !ok {
+		t.Fatal("exclusive lock on a sibling subtree blocked")
+	}
+	defer g2.Release()
+	g3, ok := tryAcquire(m, blockWindow, Req{Path: "/z", Mode: Exclusive})
+	if !ok {
+		t.Fatal("exclusive lock on an unrelated tree blocked")
+	}
+	g3.Release()
+}
+
+func TestSubtreeExclusivity(t *testing.T) {
+	m := NewManager()
+	// X on a collection must exclude every operation below it ...
+	g := m.Lock(bg, "/a")
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b/c", Mode: Shared}); ok {
+		t.Fatal("descendant read proceeded under a subtree-exclusive lock")
+	}
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b", Mode: Exclusive}); ok {
+		t.Fatal("descendant write proceeded under a subtree-exclusive lock")
+	}
+	g.Release()
+
+	// ... and conversely any held descendant lock must block X on the
+	// ancestor (the intent lock on /a conflicts with X).
+	gd := m.RLock(bg, "/a/b/c")
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a", Mode: Exclusive}); ok {
+		t.Fatal("subtree-exclusive lock proceeded over a held descendant lock")
+	}
+	gd.Release()
+}
+
+func TestSharedSubtreeBlocksDescendantWrite(t *testing.T) {
+	m := NewManager()
+	// S on a collection is a consistent read of the subtree: descendant
+	// reads may proceed (IS ~ S), descendant writes may not (IX vs S).
+	g := m.RLock(bg, "/a")
+	defer g.Release()
+	gr, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b", Mode: Shared})
+	if !ok {
+		t.Fatal("descendant read blocked under a shared subtree lock")
+	}
+	gr.Release()
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b", Mode: Exclusive}); ok {
+		t.Fatal("descendant write proceeded under a shared subtree lock")
+	}
+}
+
+func TestIntentIntentCompatible(t *testing.T) {
+	m := NewManager()
+	// Writers under a common ancestor only hold IX there; they must not
+	// serialize on it.
+	g1 := m.Lock(bg, "/a/b")
+	defer g1.Release()
+	g2, ok := tryAcquire(m, blockWindow, Req{Path: "/a/c", Mode: Exclusive})
+	if !ok {
+		t.Fatal("sibling writers serialized on the parent intent lock")
+	}
+	g2.Release()
+}
+
+func TestMultiPathAcquireMergesAndLocksBoth(t *testing.T) {
+	m := NewManager()
+	g := m.Acquire(bg, Req{Path: "/a/src", Mode: Exclusive}, Req{Path: "/a/dst", Mode: Exclusive})
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/src", Mode: Shared}); ok {
+		t.Fatal("src readable during a two-path exclusive acquisition")
+	}
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/dst", Mode: Shared}); ok {
+		t.Fatal("dst readable during a two-path exclusive acquisition")
+	}
+	g.Release()
+}
+
+func TestJoinSIX(t *testing.T) {
+	if got := join(IX, Shared); got != SIX {
+		t.Fatalf("join(IX, S) = %v, want SIX", got)
+	}
+	if got := join(Shared, IX); got != SIX {
+		t.Fatalf("join(S, IX) = %v, want SIX", got)
+	}
+	// SIX blocks other readers of the node but admits IS.
+	if compat[SIX][Shared] || compat[SIX][IX] || compat[SIX][Exclusive] {
+		t.Fatal("SIX must conflict with S, IX and X")
+	}
+	if !compat[SIX][IS] {
+		t.Fatal("SIX must admit IS")
+	}
+}
+
+func TestRootLockCoversEverything(t *testing.T) {
+	m := NewManager()
+	g := m.Lock(bg, "/")
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/x", Mode: Shared}); ok {
+		t.Fatal("operation proceeded under an exclusive root lock")
+	}
+	g.Release()
+}
+
+func TestNodeTableIsGarbageCollected(t *testing.T) {
+	m := NewManager()
+	g := m.Lock(bg, "/a/b/c")
+	if s := m.Stats(); s.Nodes == 0 {
+		t.Fatal("no nodes while a lock is held")
+	}
+	g.Release()
+	g.Release() // idempotent
+	if s := m.Stats(); s.Nodes != 0 {
+		t.Fatalf("node table not collected: %d nodes remain", s.Nodes)
+	}
+}
+
+func TestStatsCountContention(t *testing.T) {
+	m := NewManager()
+	g := m.Lock(bg, "/a")
+	done := make(chan *Guard)
+	go func() { done <- m.RLock(bg, "/a") }()
+	time.Sleep(20 * time.Millisecond)
+	g.Release()
+	(<-done).Release()
+	s := m.Stats()
+	if s.Acquisitions != 2 {
+		t.Fatalf("acquisitions = %d, want 2", s.Acquisitions)
+	}
+	if s.Contended != 1 {
+		t.Fatalf("contended = %d, want 1", s.Contended)
+	}
+	if s.WaitTotal <= 0 {
+		t.Fatal("no wait time recorded for the contended acquisition")
+	}
+	if s.Held != 0 {
+		t.Fatalf("held = %d after all releases", s.Held)
+	}
+}
+
+// TestOrderedAcquisitionNoDeadlock hammers overlapping two-path
+// acquisitions in both orders; ordered acquisition must prevent the
+// classic AB/BA deadlock. Run with -race.
+func TestOrderedAcquisitionNoDeadlock(t *testing.T) {
+	m := NewManager()
+	paths := []string{"/a/1", "/a/2", "/b/1", "/b/2"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := paths[(w+i)%len(paths)]
+				q := paths[(w+i+1)%len(paths)]
+				g := m.Acquire(bg, Req{Path: p, Mode: Exclusive}, Req{Path: q, Mode: Exclusive})
+				g.Release()
+			}
+		}(w)
+	}
+	ok := make(chan struct{})
+	go func() { wg.Wait(); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: overlapping two-path acquisitions did not finish")
+	}
+	if s := m.Stats(); s.Nodes != 0 || s.Held != 0 {
+		t.Fatalf("leaked state after stress: %+v", s)
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	cases := []struct {
+		p    string
+		want []string
+	}{
+		{"/", nil},
+		{"/a", []string{"/"}},
+		{"/a/b/c", []string{"/", "/a", "/a/b"}},
+	}
+	for _, c := range cases {
+		got := ancestors(c.p)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("ancestors(%q) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	if !Covers("/a", "/a/b/c") || !Covers("/a", "/a") || !Covers("/", "/x") {
+		t.Fatal("Covers false negatives")
+	}
+	if Covers("/a", "/ab") || Covers("/a/b", "/a") {
+		t.Fatal("Covers false positives")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"path"
 	"sort"
 	"strings"
@@ -272,15 +273,35 @@ func copyResource(s Store, src ResourceInfo, dst string) error {
 	return nil
 }
 
+// ErrRenameUnsupported is returned by Renamer implementations (wrappers
+// in particular) whose underlying store has no native rename; MoveTree
+// treats it as "use the generic path" without logging.
+var ErrRenameUnsupported = errors.New("store: rename not supported")
+
 // MoveTree moves src to dst: a recursive copy followed by a recursive
 // delete, which is the generic RFC 2518 semantics. Stores that can
 // rename natively may implement the Renamer fast path.
+//
+// A native rename that fails with a store precondition error
+// (ErrNotFound, ErrBadPath) propagates immediately — the copy+delete
+// path would fail the same way, and retrying it would only bury the
+// real error. Any other failure (cross-device rename, permissions, ...)
+// is logged via slog and falls back to copy+delete, so a degraded MOVE
+// is visible in the logs instead of silently slow.
 func MoveTree(s Store, src, dst string) error {
 	if r, ok := s.(Renamer); ok {
-		if err := r.Rename(src, dst); err == nil {
+		err := r.Rename(src, dst)
+		switch {
+		case err == nil:
 			return nil
+		case errors.Is(err, ErrNotFound), errors.Is(err, ErrBadPath):
+			return err
+		case errors.Is(err, ErrRenameUnsupported):
+			// No native rename behind the wrapper; nothing noteworthy.
+		default:
+			slog.Warn("store: native rename failed; falling back to copy+delete",
+				"src", src, "dst", dst, "err", err)
 		}
-		// Fall back to copy+delete on any rename failure.
 	}
 	if err := CopyTree(s, src, dst, CopyOptions{Recurse: true}); err != nil {
 		return err
@@ -291,6 +312,100 @@ func MoveTree(s Store, src, dst string) error {
 // Renamer is an optional Store fast path for MOVE.
 type Renamer interface {
 	Rename(src, dst string) error
+}
+
+// MemberProps couples one resource's metadata with its dead properties,
+// as returned by the batched read path.
+type MemberProps struct {
+	Info ResourceInfo
+	// Props maps property names to their stored encodings; empty (or
+	// nil) when the resource carries no dead properties.
+	Props map[xml.Name][]byte
+}
+
+// BatchReader is an optional Store fast path: resolve a resource (or a
+// collection's members) together with all dead properties in one locked
+// pass. The PROPFIND handler uses it so a Depth:1 listing over N
+// members costs one traversal through cached database handles instead
+// of N+1 independent lookups, each reopening its database. Both
+// built-in stores implement it; StatWithProps/ListWithProps fall back
+// to the narrow interface for stores that do not.
+type BatchReader interface {
+	// StatWithProps is Stat plus PropAll under one resource lock.
+	StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, error)
+	// ListWithProps is List plus each member's PropAll under one
+	// collection lock, sorted by path.
+	ListWithProps(p string) ([]MemberProps, error)
+}
+
+// StatWithProps resolves p's metadata and dead properties, using the
+// store's batched path when it has one.
+func StatWithProps(s Store, p string) (ResourceInfo, map[xml.Name][]byte, error) {
+	if br, ok := s.(BatchReader); ok {
+		return br.StatWithProps(p)
+	}
+	ri, err := s.Stat(p)
+	if err != nil {
+		return ResourceInfo{}, nil, err
+	}
+	props, err := s.PropAll(p)
+	if err != nil {
+		return ResourceInfo{}, nil, err
+	}
+	return ri, props, nil
+}
+
+// ListWithProps resolves the members of the collection at p together
+// with their dead properties, using the store's batched path when it
+// has one.
+func ListWithProps(s Store, p string) ([]MemberProps, error) {
+	if br, ok := s.(BatchReader); ok {
+		return br.ListWithProps(p)
+	}
+	members, err := s.List(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MemberProps, 0, len(members))
+	for _, m := range members {
+		props, err := s.PropAll(m.Path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MemberProps{Info: m, Props: props})
+	}
+	return out, nil
+}
+
+// WalkWithProps visits p and, if it is a collection, every descendant,
+// pre-order, handing each visit the resource's dead properties as well.
+// Collections are resolved through the batched list path, so a deep
+// walk costs one pass per collection rather than one per resource.
+func WalkWithProps(s Store, p string, fn func(MemberProps) error) error {
+	ri, props, err := StatWithProps(s, p)
+	if err != nil {
+		return err
+	}
+	return walkWithProps(s, MemberProps{Info: ri, Props: props}, fn)
+}
+
+func walkWithProps(s Store, mp MemberProps, fn func(MemberProps) error) error {
+	if err := fn(mp); err != nil {
+		return err
+	}
+	if !mp.Info.IsCollection {
+		return nil
+	}
+	members, err := ListWithProps(s, mp.Info.Path)
+	if err != nil {
+		return err
+	}
+	for _, m := range members {
+		if err := walkWithProps(s, m, fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ContextBinder is an optional Store capability: WithContext returns a
