@@ -1,0 +1,55 @@
+package davserver
+
+import "sync"
+
+// writeGate serializes the handler's check-then-act sequences per
+// canonical resource path. PUT and DELETE evaluate If-Match /
+// If-None-Match against a Stat taken before the store mutation; the
+// store's own path locks make each call atomic but not the sequence, so
+// without the gate two conditional writers could both validate the same
+// ETag and both write — the lost update RFC 7232 preconditions exist to
+// prevent. Every PUT and DELETE passes through the gate (not just
+// conditional ones) so an unconditional write cannot slip between
+// another request's check and its write on the same path.
+//
+// The gate covers one path only: COPY/MOVE destinations are serialized
+// by the store's subtree locks, and the handler does not accept entity
+// preconditions on those methods.
+type writeGate struct {
+	mu sync.Mutex
+	m  map[string]*gateEntry
+}
+
+type gateEntry struct {
+	mu   sync.Mutex
+	refs int
+}
+
+func newWriteGate() *writeGate {
+	return &writeGate{m: map[string]*gateEntry{}}
+}
+
+// lock blocks until the caller holds p's gate and returns the release
+// function. Entries are refcounted and collected on last release, so
+// the table tracks in-flight writes, not the namespace.
+func (wg *writeGate) lock(p string) func() {
+	wg.mu.Lock()
+	e := wg.m[p]
+	if e == nil {
+		e = &gateEntry{}
+		wg.m[p] = e
+	}
+	e.refs++
+	wg.mu.Unlock()
+
+	e.mu.Lock()
+	return func() {
+		e.mu.Unlock()
+		wg.mu.Lock()
+		e.refs--
+		if e.refs == 0 {
+			delete(wg.m, p)
+		}
+		wg.mu.Unlock()
+	}
+}

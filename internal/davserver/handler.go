@@ -43,12 +43,13 @@ type Options struct {
 type Handler struct {
 	store store.Store
 	locks *LockManager
+	gate  *writeGate
 	opts  Options
 }
 
 // NewHandler builds a Handler over s.
 func NewHandler(s store.Store, opts *Options) *Handler {
-	h := &Handler{store: s, locks: NewLockManager()}
+	h := &Handler{store: s, locks: NewLockManager(), gate: newWriteGate()}
 	if opts != nil {
 		h.opts = *opts
 	}
@@ -308,6 +309,10 @@ func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
 		h.fail(w, r, err)
 		return
 	}
+	// The gate keeps the precondition check and the write atomic with
+	// respect to every other PUT/DELETE on this path (see writeGate).
+	unlock := h.gate.lock(p)
+	defer unlock()
 	ri, statErr := h.store.Stat(p)
 	exists := statErr == nil
 	if exists && ri.IsCollection {
@@ -346,6 +351,10 @@ func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request, p string)
 		h.fail(w, r, err)
 		return
 	}
+	// Atomic with concurrent PUT/DELETE precondition checks on this
+	// path (see writeGate).
+	unlock := h.gate.lock(p)
+	defer unlock()
 	if r.Header.Get("If-Match") != "" || r.Header.Get("If-None-Match") != "" {
 		ri, statErr := h.store.Stat(p)
 		if !checkPreconditions(r, ri, statErr == nil) {

@@ -1,10 +1,12 @@
 package davserver
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/dbm"
@@ -104,6 +106,62 @@ func TestSameSizeOverwriteChangesETagOverHTTP(t *testing.T) {
 		t.Fatalf("same-size overwrite kept ETag %s", etag)
 	}
 	wantStatus(t, do(t, "PUT", url, map[string]string{"If-Match": etag}, "cccc"), 412)
+}
+
+// TestConditionalPutCheckAndWriteAtomic races conditional PUTs all
+// carrying the same If-Match ETag. The handler's per-path write gate
+// makes the precondition check and the store write one atomic sequence,
+// so exactly one writer may win; every other must observe the winner's
+// new ETag and fail with 412 instead of silently overwriting it (the
+// lost update the precondition exists to prevent). Run with -race.
+func TestConditionalPutCheckAndWriteAtomic(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	url := srv.URL + "/doc.txt"
+	wantStatus(t, do(t, "PUT", url, nil, "v1"), 201)
+	etag := etagOf(t, url)
+
+	const writers = 8
+	codes := make([]int, writers)
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequest("PUT", url, strings.NewReader(fmt.Sprintf("w%d", i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			req.Header.Set("If-Match", etag)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	won, refused := 0, 0
+	for i := 0; i < writers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		switch codes[i] {
+		case http.StatusNoContent:
+			won++
+		case http.StatusPreconditionFailed:
+			refused++
+		default:
+			t.Fatalf("writer %d: unexpected status %d", i, codes[i])
+		}
+	}
+	if won != 1 || refused != writers-1 {
+		t.Fatalf("lost update: %d writers passed the same If-Match (want 1), %d refused", won, refused)
+	}
 }
 
 func bodyOf(t *testing.T, url string) string {

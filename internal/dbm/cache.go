@@ -155,8 +155,11 @@ func (c *Cache) Acquire(ctx context.Context, path string) (*Handle, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	c.trimLocked()
+	toClose := c.trimLocked()
 	c.mu.Unlock()
+	for _, evicted := range toClose {
+		evicted.Close()
+	}
 	return &Handle{db: db, ctx: ctx, cache: c, entry: e}, nil
 }
 
@@ -174,39 +177,43 @@ func (e *cacheEntry) pinLocked(c *Cache) {
 // doomed while pinned.
 func (c *Cache) release(e *cacheEntry) {
 	c.mu.Lock()
+	var toClose []*DB
 	e.refs--
-	var toClose *DB
 	if e.refs == 0 {
 		if e.doomed {
-			toClose = e.db
+			toClose = append(toClose, e.db)
 		} else {
 			e.elem = c.idle.PushFront(e)
-			c.trimLocked()
+			toClose = c.trimLocked()
 		}
 	}
 	c.mu.Unlock()
-	if toClose != nil {
-		toClose.Close()
+	for _, db := range toClose {
+		db.Close()
 	}
 }
 
-// trimLocked evicts idle entries beyond the capacity, oldest first.
-// Pinned entries are not evictable, so the cache may transiently exceed
-// its capacity under heavy pinning. Caller holds c.mu.
-func (c *Cache) trimLocked() {
+// trimLocked unlinks idle entries beyond the capacity, oldest first,
+// and returns their databases for the caller to close after dropping
+// c.mu — a slow Close must never stall unrelated Acquires. Pinned
+// entries are not evictable, so the cache may transiently exceed its
+// capacity under heavy pinning. Caller holds c.mu.
+func (c *Cache) trimLocked() []*DB {
+	var toClose []*DB
 	for len(c.entries) > c.capacity {
 		back := c.idle.Back()
 		if back == nil {
-			return // everything over capacity is pinned
+			break // everything over capacity is pinned
 		}
 		e := back.Value.(*cacheEntry)
 		c.idle.Remove(back)
 		e.elem = nil
 		delete(c.entries, e.path)
 		c.evictions.Add(1)
-		// refs==0 (it was idle): close immediately.
-		e.db.Close()
+		// refs==0 (it was idle): safe to close once the lock is gone.
+		toClose = append(toClose, e.db)
 	}
+	return toClose
 }
 
 // Invalidate removes the entry for path, closing the database once (and

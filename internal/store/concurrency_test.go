@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/dbm"
+	"repro/internal/store/pathlock"
 )
 
 // seedTree builds a small hierarchy with dead properties on some
@@ -273,6 +274,72 @@ func TestMoveTreePropagatesPreconditionErrors(t *testing.T) {
 	if _, err := s.Stat("/a.txt"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("fallback move left the source: %v", err)
 	}
+}
+
+// TestCopyTreeAtomicSnapshot checks that a Depth:infinity COPY through
+// the TreeCopier fast path is a consistent snapshot: a Put racing with
+// the copy must wait for the copy's subtree-shared lock, so the
+// destination always reflects the pre-copy contents. The assertion
+// holds in every legal interleaving (the writer either runs strictly
+// before or strictly after the copy); only a per-resource-locking
+// regression can make the new value leak into the destination.
+func TestCopyTreeAtomicSnapshot(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		ls, ok := s.(interface{ LockStats() pathlock.Stats })
+		if !ok {
+			t.Fatalf("%T does not expose LockStats", s)
+		}
+		if _, ok := s.(TreeCopier); !ok {
+			t.Fatalf("%T does not implement TreeCopier", s)
+		}
+		mustMkcol(t, s, "/src")
+		mustMkcol(t, s, "/src/sub")
+		// Enough members that the copy has real work to do before it
+		// reaches the last-sorting document the writer targets.
+		for i := 0; i < 40; i++ {
+			mustPut(t, s, fmt.Sprintf("/src/f%02d.dat", i), "v1")
+			mustPut(t, s, fmt.Sprintf("/src/sub/g%02d.dat", i), "v1")
+		}
+		mustPut(t, s, "/src/zz-last.dat", "v1")
+
+		if held := ls.LockStats().Held; held != 0 {
+			t.Fatalf("baseline held guards = %d, want 0", held)
+		}
+		done := make(chan error, 1)
+		go func() {
+			done <- CopyTree(s, "/src", "/dst", CopyOptions{Recurse: true})
+		}()
+		// Wait until the copy holds its guard (or has already finished)
+		// so the racing write overlaps the copy as often as possible.
+		for ls.LockStats().Held == 0 {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("CopyTree: %v", err)
+				}
+				done <- nil // re-arm for the drain below
+			default:
+			}
+			if len(done) == 1 {
+				break
+			}
+		}
+		// This Put must block until the copy releases the shared lock on
+		// the /src subtree; it can never interleave mid-copy.
+		mustPut(t, s, "/src/zz-last.dat", "v2")
+		if err := <-done; err != nil {
+			t.Fatalf("CopyTree: %v", err)
+		}
+		if got := readBody(t, s, "/dst/zz-last.dat"); got != "v1" {
+			t.Fatalf("destination saw mid-copy write: %q, want pre-copy %q", got, "v1")
+		}
+		if got := readBody(t, s, "/src/zz-last.dat"); got != "v2" {
+			t.Fatalf("source lost the racing write: %q", got)
+		}
+		if got := readBody(t, s, "/dst/sub/g07.dat"); got != "v1" {
+			t.Fatalf("nested member not copied: %q", got)
+		}
+	})
 }
 
 // TestMixedOperationStress hammers both stores with a concurrent mix of

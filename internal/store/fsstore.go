@@ -78,6 +78,7 @@ var _ Store = (*FSStore)(nil)
 var _ Renamer = (*FSStore)(nil)
 var _ ContextBinder = (*FSStore)(nil)
 var _ BatchReader = (*FSStore)(nil)
+var _ TreeCopier = (*FSStore)(nil)
 
 // NewFSStore opens (creating if needed) a store rooted at dir, using
 // the given DBM flavour for property databases and default options.
@@ -458,6 +459,12 @@ func (s *FSStore) Mkcol(p string) error {
 	}
 	g := s.locks.Lock(s.ctx, cp)
 	defer g.Release()
+	return s.mkcolLocked(cp)
+}
+
+// mkcolLocked is Mkcol's body under an already-held exclusive lock
+// covering cp.
+func (s *FSStore) mkcolLocked(cp string) error {
 	dp, err := s.diskPath(cp)
 	if err != nil {
 		return err
@@ -499,15 +506,31 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 
 	g := s.locks.Lock(s.ctx, cp)
 	defer g.Release()
+	return s.putLocked(cp, dp, r, contentType)
+}
 
+// putLocked is Put's body under an already-held exclusive lock covering
+// cp (dp is cp's disk path).
+func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string) (bool, error) {
 	parentFI, perr := os.Stat(filepath.Dir(dp))
-	fi, ferr := os.Stat(dp)
 	if perr != nil || !parentFI.IsDir() {
 		return false, fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
 	}
-	created := ferr != nil
-	if ferr == nil && fi.IsDir() {
-		return false, fmt.Errorf("%w: %s", ErrIsCollection, cp)
+	fi, ferr := os.Stat(dp)
+	var created bool
+	switch {
+	case ferr == nil:
+		if fi.IsDir() {
+			return false, fmt.Errorf("%w: %s", ErrIsCollection, cp)
+		}
+	case os.IsNotExist(ferr):
+		created = true
+	default:
+		// A transient stat failure on an existing document must not be
+		// mistaken for creation: reporting 201 would be wrong, and
+		// skipping the generation bump would let the overwrite reuse the
+		// replaced document's ETag.
+		return false, ferr
 	}
 
 	tmp, err := os.CreateTemp(filepath.Dir(dp), ".put-*")
@@ -731,6 +754,100 @@ func (s *FSStore) Rename(src, dst string) error {
 	return nil
 }
 
+// CopyTreeAtomic implements TreeCopier: the whole copy runs under one
+// multi-path acquisition — Shared on the source subtree, Exclusive on
+// the destination — so writers cannot mutate the source mid-copy and no
+// reader observes a partially built destination tree.
+func (s *FSStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
+	csrc, err := CleanPath(src)
+	if err != nil {
+		return err
+	}
+	cdst, err := CleanPath(dst)
+	if err != nil {
+		return err
+	}
+	if csrc == cdst || IsAncestor(csrc, cdst) {
+		return fmt.Errorf("%w: cannot copy %q into itself", ErrBadPath, csrc)
+	}
+	g := s.locks.Acquire(s.ctx,
+		pathlock.Req{Path: csrc, Mode: pathlock.Shared},
+		pathlock.Req{Path: cdst, Mode: pathlock.Exclusive})
+	defer g.Release()
+	return s.copyTreeLocked(csrc, cdst, opts.Recurse)
+}
+
+// copyTreeLocked recursively copies csrc to cdst under the already-held
+// subtree locks.
+func (s *FSStore) copyTreeLocked(csrc, cdst string, recurse bool) error {
+	ri, err := s.stat(csrc)
+	if err != nil {
+		return err
+	}
+	if err := s.copyResourceLocked(ri, cdst); err != nil {
+		return err
+	}
+	if !ri.IsCollection || !recurse {
+		return nil
+	}
+	members, _, err := s.list(csrc, false)
+	if err != nil {
+		return err
+	}
+	for _, m := range members {
+		rel := strings.TrimPrefix(m.Path, csrc)
+		if err := s.copyTreeLocked(m.Path, cdst+rel, recurse); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyResourceLocked copies one resource (body + properties) under the
+// already-held subtree locks, mirroring the generic copyResource.
+func (s *FSStore) copyResourceLocked(src ResourceInfo, cdst string) error {
+	if src.IsCollection {
+		if err := s.mkcolLocked(cdst); err != nil {
+			return err
+		}
+	} else {
+		sp, err := s.diskPath(src.Path)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(sp)
+		if err != nil {
+			return mapFSErr(err, src.Path)
+		}
+		dp, err := s.diskPath(cdst)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		_, err = s.putLocked(cdst, dp, f, src.ContentType)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	props, err := s.propAllLocked(src.Path)
+	if err != nil {
+		return err
+	}
+	if len(props) == 0 {
+		return nil
+	}
+	names := sortedPropNames(props)
+	return s.withProps(cdst, true, func(h *dbm.Handle) error {
+		for _, n := range names {
+			if err := h.Put(propKey(n), props[n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // PropPut implements Store.
 func (s *FSStore) PropPut(p string, name xml.Name, value []byte) error {
 	cp, err := CleanPath(p)
@@ -791,17 +908,7 @@ func (s *FSStore) PropNames(p string) ([]xml.Name, error) {
 	if err != nil {
 		return nil, err
 	}
-	names := make([]xml.Name, 0, len(all))
-	for n := range all {
-		names = append(names, n)
-	}
-	sort.Slice(names, func(i, j int) bool {
-		if names[i].Space != names[j].Space {
-			return names[i].Space < names[j].Space
-		}
-		return names[i].Local < names[j].Local
-	})
-	return names, nil
+	return sortedPropNames(all), nil
 }
 
 // PropAll implements Store.
@@ -815,8 +922,14 @@ func (s *FSStore) PropAll(p string) (map[xml.Name][]byte, error) {
 	if _, err := s.stat(cp); err != nil {
 		return nil, err
 	}
+	return s.propAllLocked(cp)
+}
+
+// propAllLocked reads every dead property under an already-held lock
+// covering cp.
+func (s *FSStore) propAllLocked(cp string) (map[xml.Name][]byte, error) {
 	out := map[xml.Name][]byte{}
-	err = s.withProps(cp, false, func(h *dbm.Handle) error {
+	err := s.withProps(cp, false, func(h *dbm.Handle) error {
 		return h.ForEach(func(k, v []byte) error {
 			if name, ok := parsePropKey(k); ok {
 				out[name] = v

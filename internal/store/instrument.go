@@ -205,6 +205,20 @@ func (is *instrumentedStore) Close() error {
 	return err
 }
 
+// CopyTreeAtomic implements the TreeCopier fast path by delegating to
+// the wrapped store when it supports one; otherwise
+// ErrAtomicCopyUnsupported tells CopyTree to take the generic
+// per-resource walk.
+func (is *instrumentedStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
+	if _, ok := is.s.(TreeCopier); !ok {
+		return ErrAtomicCopyUnsupported
+	}
+	s, done := is.begin("copy_tree", trace.Str("src", src), trace.Str("dst", dst))
+	err := s.(TreeCopier).CopyTreeAtomic(src, dst, opts)
+	done(err)
+	return err
+}
+
 // Rename implements the Renamer fast path by delegating to the wrapped
 // store when it supports one; otherwise ErrRenameUnsupported tells
 // MoveTree to take the generic copy+delete path.

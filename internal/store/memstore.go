@@ -49,6 +49,7 @@ type memResource struct {
 var _ Store = (*MemStore)(nil)
 var _ ContextBinder = (*MemStore)(nil)
 var _ BatchReader = (*MemStore)(nil)
+var _ TreeCopier = (*MemStore)(nil)
 
 // NewMemStore returns an empty store containing only the root
 // collection.
@@ -328,6 +329,97 @@ func (s *MemStore) Delete(p string) error {
 	return nil
 }
 
+// CopyTreeAtomic implements TreeCopier: the whole copy runs under one
+// multi-path acquisition — Shared on the source subtree, Exclusive on
+// the destination — plus the map mutex, so it is a consistent snapshot
+// of the source and appears at the destination all at once.
+func (s *MemStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
+	csrc, err := CleanPath(src)
+	if err != nil {
+		return err
+	}
+	cdst, err := CleanPath(dst)
+	if err != nil {
+		return err
+	}
+	if csrc == cdst || IsAncestor(csrc, cdst) {
+		return fmt.Errorf("%w: cannot copy %q into itself", ErrBadPath, csrc)
+	}
+	g := s.state.locks.Acquire(s.ctx,
+		pathlock.Req{Path: csrc, Mode: pathlock.Shared},
+		pathlock.Req{Path: cdst, Mode: pathlock.Exclusive})
+	defer g.Release()
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+
+	r, ok := s.state.res[csrc]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, csrc)
+	}
+	now := s.state.now()
+	if err := s.copyResLocked(r, cdst, now); err != nil {
+		return err
+	}
+	if !r.isCollection || !opts.Recurse {
+		return nil
+	}
+	// Snapshot the member paths before inserting destinations, sorted so
+	// parents are created before their children.
+	prefix := csrc + "/"
+	var members []string
+	for q := range s.state.res {
+		if strings.HasPrefix(q, prefix) {
+			members = append(members, q)
+		}
+	}
+	sort.Strings(members)
+	for _, q := range members {
+		if err := s.copyResLocked(s.state.res[q], cdst+q[len(csrc):], now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyResLocked clones one resource to cdst, mirroring the generic
+// copyResource (Mkcol/Put plus property sets). Caller holds the path
+// locks and state.mu.
+func (s *MemStore) copyResLocked(r *memResource, cdst string, now time.Time) error {
+	if !s.parentOK(cdst) {
+		return fmt.Errorf("%w: %s", ErrConflict, ParentPath(cdst))
+	}
+	existing, ok := s.state.res[cdst]
+	if r.isCollection {
+		if ok {
+			return fmt.Errorf("%w: %s", ErrExists, cdst)
+		}
+		s.state.res[cdst] = &memResource{isCollection: true, props: copyProps(r.props),
+			modTime: now, createTime: now}
+		return nil
+	}
+	if ok {
+		if existing.isCollection {
+			return fmt.Errorf("%w: %s", ErrIsCollection, cdst)
+		}
+		// Overwrite like Put would: new body, bumped version, merged
+		// properties.
+		existing.data = append([]byte(nil), r.data...)
+		existing.modTime = now
+		existing.version++
+		if r.contentType != "" {
+			existing.contentType = r.contentType
+		}
+		for n, v := range r.props {
+			existing.props[n] = append([]byte(nil), v...)
+		}
+		return nil
+	}
+	s.state.res[cdst] = &memResource{data: append([]byte(nil), r.data...),
+		contentType: r.contentType, props: copyProps(r.props),
+		modTime: now, createTime: now}
+	return nil
+}
+
 // withResource looks up a resource under the appropriate path lock plus
 // the map mutex.
 func (s *MemStore) withResource(p string, write bool, fn func(*memResource) error) error {
@@ -386,20 +478,12 @@ func (s *MemStore) PropDelete(p string, name xml.Name) error {
 func (s *MemStore) PropNames(p string) ([]xml.Name, error) {
 	var names []xml.Name
 	err := s.withResource(p, false, func(r *memResource) error {
-		for n := range r.props {
-			names = append(names, n)
-		}
+		names = sortedPropNames(r.props)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(names, func(i, j int) bool {
-		if names[i].Space != names[j].Space {
-			return names[i].Space < names[j].Space
-		}
-		return names[i].Local < names[j].Local
-	})
 	return names, nil
 }
 

@@ -21,11 +21,23 @@
 // target modes, merged per node — sorts the plan by path, and takes the
 // node locks strictly in that order. All acquirers share the same total
 // order, so no wait cycle can form. Lock state is bookkeeping only (the
-// guarded I/O happens after Acquire returns), so a single manager
-// mutex plus one condition variable is enough.
+// guarded I/O happens after Acquire returns), so a single manager mutex
+// is enough.
+//
+// Grants are fair: each node queues its waiters FIFO, and a request
+// that finds the queue non-empty joins it even when its mode is
+// compatible with the current holders. A blocked writer therefore gates
+// every later reader of the node — a sustained stream of Shared/IS
+// traffic on a hot collection cannot starve a PUT/DELETE/MOVE. Each
+// node carries its own condition variable, so a release wakes only that
+// node's waiters. FIFO queuing preserves deadlock freedom: a waiter
+// only ever waits on the node's holders (who, acquiring in sorted
+// order, block only at strictly later nodes) or on earlier waiters of
+// the same node, so every wait chain still follows the total order.
 package pathlock
 
 import (
+	"container/list"
 	"context"
 	"sort"
 	"strings"
@@ -113,8 +125,10 @@ func intentFor(m Mode) Mode {
 // by at least one plan (held or waiting) and are garbage-collected on
 // the last release.
 type node struct {
-	refs  int // plans referencing this node (held + waiting)
-	holds [numModes]int
+	refs    int // plans referencing this node (held + waiting)
+	holds   [numModes]int
+	waiters *list.List // of Mode, FIFO; only the front may be granted
+	cond    *sync.Cond // on the manager mutex; wakes this node's waiters
 }
 
 // canHold reports whether mode is compatible with every current hold.
@@ -147,7 +161,6 @@ type Stats struct {
 // usable; call NewManager.
 type Manager struct {
 	mu    sync.Mutex
-	cond  *sync.Cond
 	nodes map[string]*node
 
 	acquisitions atomic.Int64
@@ -158,9 +171,7 @@ type Manager struct {
 
 // NewManager returns an empty lock manager.
 func NewManager() *Manager {
-	m := &Manager{nodes: map[string]*node{}}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &Manager{nodes: map[string]*node{}}
 }
 
 // Req asks for mode on the resource at Path (canonical, "/"-rooted).
@@ -241,7 +252,8 @@ func (m *Manager) Acquire(ctx context.Context, reqs ...Req) *Guard {
 	for _, e := range entries {
 		n := m.nodes[e.path]
 		if n == nil {
-			n = &node{}
+			n = &node{waiters: list.New()}
+			n.cond = sync.NewCond(&m.mu)
 			m.nodes[e.path] = n
 		}
 		n.refs++
@@ -249,24 +261,33 @@ func (m *Manager) Acquire(ctx context.Context, reqs ...Req) *Guard {
 	var waited time.Duration
 	for _, e := range entries {
 		n := m.nodes[e.path]
-		if n.canHold(e.mode) {
+		// Immediate grant only when no one is queued: a compatible
+		// late-comer must not barge past a blocked incompatible waiter
+		// (FIFO fairness; see the package comment).
+		if n.waiters.Len() == 0 && n.canHold(e.mode) {
 			n.holds[e.mode]++
 			continue
 		}
-		// Contended: span the blocked time (nil-safe when ctx carries no
-		// trace). The span bracket drops the manager mutex, which is
-		// safe — this plan's nodes are pinned by the refs taken above,
-		// and the hold is recorded under the same critical section as
-		// the final compatibility check.
+		// Contended: queue up, then span the blocked time (nil-safe when
+		// ctx carries no trace). The span bracket drops the manager
+		// mutex, which is safe — this plan's nodes are pinned by the
+		// refs taken above, and the hold is recorded under the same
+		// critical section as the final front-of-queue check.
+		elem := n.waiters.PushBack(e.mode)
 		start := time.Now()
 		m.mu.Unlock()
 		_, end := trace.Region(ctx, "pathlock.wait",
 			trace.Str("path", e.path), trace.Str("mode", e.mode.String()))
 		m.mu.Lock()
-		for !n.canHold(e.mode) {
-			m.cond.Wait()
+		for n.waiters.Front() != elem || !n.canHold(e.mode) {
+			n.cond.Wait()
 		}
+		n.waiters.Remove(elem)
 		n.holds[e.mode]++
+		// The next queued waiter may be compatible with this grant (a
+		// batch of readers draining behind a finished writer): let it
+		// re-check now that the front moved.
+		n.cond.Broadcast()
 		m.mu.Unlock()
 		end(nil)
 		waited += time.Since(start)
@@ -305,10 +326,12 @@ func (g *Guard) Release() {
 			n.holds[e.mode]--
 			n.refs--
 			if n.refs == 0 {
+				// No holder and no waiter (waiters hold refs): collect.
 				delete(m.nodes, e.path)
+				continue
 			}
+			n.cond.Broadcast()
 		}
-		m.cond.Broadcast()
 		m.mu.Unlock()
 		m.held.Add(-1)
 	})

@@ -231,6 +231,81 @@ func TestOrderedAcquisitionNoDeadlock(t *testing.T) {
 	}
 }
 
+// queued reports how many requests are waiting on p's FIFO queue
+// (test-only; reaches under the manager mutex).
+func (m *Manager) queued(p string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n := m.nodes[p]; n != nil {
+		return n.waiters.Len()
+	}
+	return 0
+}
+
+// waitQueued polls until exactly want requests are queued on p.
+func waitQueued(t *testing.T, m *Manager, p string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.queued(p) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue on %s never reached %d waiters (have %d)", p, want, m.queued(p))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWriterNotStarvedByReaders pins the FIFO grant policy: once a
+// writer is queued behind the current readers, later readers must queue
+// behind the writer instead of joining the compatible read holds — the
+// starvation scenario a hot collection would otherwise produce.
+func TestWriterNotStarvedByReaders(t *testing.T) {
+	m := NewManager()
+	g1 := m.RLock(bg, "/hot")
+
+	writerDone := make(chan *Guard, 1)
+	go func() { writerDone <- m.Lock(bg, "/hot") }()
+	waitQueued(t, m, "/hot", 1)
+
+	// A new reader must not barge past the queued writer even though
+	// Shared is compatible with the held Shared.
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/hot", Mode: Shared}); ok {
+		t.Fatal("reader barged past a queued writer")
+	}
+	waitQueued(t, m, "/hot", 2)
+
+	// Releasing the original reader admits the writer (front of queue),
+	// not the queued reader.
+	g1.Release()
+	gw := <-writerDone
+	if m.queued("/hot") != 1 {
+		t.Fatalf("queue = %d after writer granted, want the reader still waiting", m.queued("/hot"))
+	}
+	// And releasing the writer drains the reader.
+	gw.Release()
+	waitQueued(t, m, "/hot", 0)
+}
+
+// TestIntentBlockedBehindQueuedExclusive extends fairness to the intent
+// modes: a descendant operation (IS on the ancestor) queues behind a
+// waiting subtree-exclusive request instead of prolonging its wait.
+func TestIntentBlockedBehindQueuedExclusive(t *testing.T) {
+	m := NewManager()
+	g1 := m.RLock(bg, "/a/b") // holds IS on /a
+
+	subtreeDone := make(chan *Guard, 1)
+	go func() { subtreeDone <- m.Lock(bg, "/a") }() // X on /a: queued behind IS
+	waitQueued(t, m, "/a", 1)
+
+	// A second descendant read needs IS on /a; IS ~ IS, but the queued X
+	// must gate it.
+	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/c", Mode: Shared}); ok {
+		t.Fatal("descendant read barged past a queued subtree-exclusive request")
+	}
+
+	g1.Release()
+	(<-subtreeDone).Release()
+}
+
 func TestAncestors(t *testing.T) {
 	cases := []struct {
 		p    string

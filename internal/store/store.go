@@ -203,14 +203,45 @@ type CopyOptions struct {
 	Recurse bool
 }
 
+// TreeCopier is an optional Store capability: perform CopyTree as one
+// atomic operation — a single multi-path lock acquisition (shared on
+// the source subtree, exclusive on the destination) held for the whole
+// copy, so concurrent writers cannot mutate the source mid-copy and no
+// reader observes a partially built destination. Both built-in stores
+// implement it; CopyTree falls back to the non-atomic per-resource walk
+// for stores that do not.
+type TreeCopier interface {
+	CopyTreeAtomic(src, dst string, opts CopyOptions) error
+}
+
+// ErrAtomicCopyUnsupported is returned by TreeCopier implementations
+// (wrappers in particular) whose underlying store lacks the capability;
+// CopyTree treats it as "use the generic path".
+var ErrAtomicCopyUnsupported = errors.New("store: atomic copy not supported")
+
 // CopyTree copies the resource at src to dst within one store,
 // including dead properties, creating dst's resource type to match
 // src. The destination must not already exist (the server resolves
 // Overwrite by deleting first). Descendant failures abort the copy.
+//
+// Stores implementing TreeCopier make the copy atomic under one subtree
+// lock. The generic fallback locks per store call, so on third-party
+// stores a concurrent writer can interleave with the walk.
 func CopyTree(s Store, src, dst string, opts CopyOptions) error {
 	if src == dst || IsAncestor(src, dst) {
 		return fmt.Errorf("%w: cannot copy %q into itself", ErrBadPath, src)
 	}
+	if tc, ok := s.(TreeCopier); ok {
+		err := tc.CopyTreeAtomic(src, dst, opts)
+		if !errors.Is(err, ErrAtomicCopyUnsupported) {
+			return err
+		}
+	}
+	return copyTreeGeneric(s, src, dst, opts)
+}
+
+// copyTreeGeneric is the per-resource fallback walk behind CopyTree.
+func copyTreeGeneric(s Store, src, dst string, opts CopyOptions) error {
 	ri, err := s.Stat(src)
 	if err != nil {
 		return err
@@ -227,7 +258,7 @@ func CopyTree(s Store, src, dst string, opts CopyOptions) error {
 	}
 	for _, m := range members {
 		rel := strings.TrimPrefix(m.Path, src)
-		if err := CopyTree(s, m.Path, dst+rel, opts); err != nil {
+		if err := copyTreeGeneric(s, m.Path, dst+rel, opts); err != nil {
 			return err
 		}
 	}
@@ -255,6 +286,17 @@ func copyResource(s Store, src ResourceInfo, dst string) error {
 	if err != nil {
 		return err
 	}
+	for _, n := range sortedPropNames(props) {
+		if err := s.PropPut(dst, n, props[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedPropNames returns props' keys ordered by namespace then local
+// name, so property iteration is deterministic.
+func sortedPropNames(props map[xml.Name][]byte) []xml.Name {
 	names := make([]xml.Name, 0, len(props))
 	for n := range props {
 		names = append(names, n)
@@ -265,12 +307,7 @@ func copyResource(s Store, src ResourceInfo, dst string) error {
 		}
 		return names[i].Local < names[j].Local
 	})
-	for _, n := range names {
-		if err := s.PropPut(dst, n, props[n]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return names
 }
 
 // ErrRenameUnsupported is returned by Renamer implementations (wrappers
