@@ -92,11 +92,33 @@ func main() {
 		fatalf("davd: unknown flavour %q (want gdbm or sdbm)", *flavour)
 	}
 
-	fs, err := store.NewFSStoreWith(*root, fl, store.FSOptions{HandleCacheSize: *dbmCache})
+	// DeferRecovery lets the daemon bind its listener and serve reads
+	// immediately after a crash; /readyz reports "recovering" and every
+	// mutation gets 503 + Retry-After until the background pass resolves
+	// the journal.
+	fs, err := store.NewFSStoreWith(*root, fl, store.FSOptions{
+		HandleCacheSize: *dbmCache,
+		DeferRecovery:   true,
+	})
 	if err != nil {
 		fatalf("davd: open store: %v", err)
 	}
 	defer fs.Close()
+	go func() {
+		rep, err := fs.Recover()
+		if err != nil {
+			logger.Error("crash recovery failed; writes stay gated", "err", err)
+			return
+		}
+		if rep.Resolved > 0 || rep.SweptTmp > 0 {
+			logger.Info("crash recovery complete",
+				"intents", rep.Resolved,
+				"rolled_forward", rep.RolledForward,
+				"rolled_back", rep.RolledBack,
+				"swept_tmp", rep.SweptTmp,
+				"duration", rep.Duration.String())
+		}
+	}()
 
 	// Telemetry: one registry feeds the DAV middleware, the store
 	// wrapper, the lock/limiter gauges, and the admin endpoints. The

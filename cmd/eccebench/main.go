@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|all>
+//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|all>
 //
 // By default the paper's full workload sizes are used for table1 and
 // table3; table2, robust and disk default to scaled sizes unless -full
@@ -46,10 +46,13 @@ func main() {
 		bench4Out = flag.String("out4", "BENCH_PR4.json",
 			"bench-pr4: output file for the concurrency benchmark result")
 		bench4Ops = flag.Int("ops4", 30, "bench-pr4: measured iterations per worker")
+		bench6Out = flag.String("out6", "BENCH_PR6.json",
+			"crash-recovery: output file for the crash-recovery benchmark result")
+		bench6Docs = flag.Int("docs6", 60, "crash-recovery: PUTs in the journal-overhead measurement")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|all>")
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -179,8 +182,18 @@ func main() {
 		}
 	}
 
+	// crash-recovery crashes every journaled store operation at every
+	// step boundary, times the recovery pass, and asserts zero data
+	// loss; the JSON result is the CI crash smoke. Excluded from "all"
+	// (it reopens hundreds of scratch stores).
+	if which == "crash-recovery" {
+		if err := runCrashRecovery(*bench6Out, *bench6Docs); err != nil {
+			log.Fatalf("eccebench crash-recovery: %v", err)
+		}
+	}
+
 	switch which {
-	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "all":
+	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "crash-recovery", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
 		os.Exit(2)
@@ -291,6 +304,48 @@ func runBenchPR4(outPath string, opsPerWorker int) error {
 		"lock waits %d/%d; result written to %s\n",
 		res.SpeedupParallel, 100*res.Concurrency.CacheHitRate,
 		res.Concurrency.LockContended, res.Concurrency.LockAcquisitions, outPath)
+	return nil
+}
+
+// runCrashRecovery runs the PR 6 crash matrix plus the journal and
+// fsck cost measurements, writes BENCH_PR6.json, and validates what
+// was actually written — asserting zero torn states and zero
+// post-recovery fsck findings across every crash point.
+func runCrashRecovery(outPath string, journalDocs int) error {
+	res, err := experiments.RunCrashRecovery(experiments.BenchPR6Options{
+		JournalDocs: journalDocs,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBenchPR6(written); err != nil {
+		return fmt.Errorf("written %s failed validation: %w", outPath, err)
+	}
+	total := 0
+	for _, op := range res.Ops {
+		total += op.CrashPoints
+		fmt.Printf("crash-recovery: %-14s %2d crash points  rolled fwd/back=%d/%d  "+
+			"torn=%d  fsck findings=%d  recover mean=%.2fms max=%.2fms\n",
+			op.Op, op.CrashPoints, op.RolledForward, op.RolledBack,
+			op.TornStates, op.FsckFindings, op.MeanRecoverMs, op.MaxRecoverMs)
+	}
+	fmt.Printf("crash-recovery: %d crash points total, %d data-loss events; "+
+		"journal overhead %.1f%% over %d PUTs; fsck %d resources/%d databases in %.1fms; "+
+		"result written to %s\n",
+		total, res.DataLossEvents, res.Journal.OverheadPct, res.Journal.Docs,
+		res.Fsck.Resources, res.Fsck.Databases, res.Fsck.WallMs, outPath)
 	return nil
 }
 

@@ -173,15 +173,28 @@ func statusForErr(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrLocked):
 		return http.StatusLocked
+	case errors.Is(err, store.ErrRecovering):
+		// The store is still resolving journal intents after a crash;
+		// the condition is transient, so tell clients when to retry.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
+// recoveryRetryAfter is the Retry-After hint on 503s during crash
+// recovery: long enough that a client does not hammer a recovering
+// server, short enough that small stores (which recover in
+// milliseconds) are not penalized.
+const recoveryRetryAfter = "5"
+
 func (h *Handler) fail(w http.ResponseWriter, r *http.Request, err error) {
 	code := statusForErr(err)
 	if code == http.StatusInternalServerError {
 		h.logf("dav: %s %s: %v", r.Method, r.URL.Path, err)
+	}
+	if errors.Is(err, store.ErrRecovering) {
+		w.Header().Set("Retry-After", recoveryRetryAfter)
 	}
 	http.Error(w, err.Error(), code)
 }

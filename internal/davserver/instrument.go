@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/store"
+	"repro/internal/store/fsck"
 	"repro/internal/store/pathlock"
 )
 
@@ -133,6 +134,11 @@ type cacheStatser interface {
 	CacheStats() dbm.CacheStats
 }
 
+// recoveryStatser is implemented by crash-consistent stores (FSStore).
+type recoveryStatser interface {
+	RecoveryStats() store.RecoveryStats
+}
+
 // TrackStore exposes the store's concurrency counters — path-lock
 // acquisitions/contention/wait time and DBM handle-cache
 // hits/misses/evictions — as gauges read at scrape time. Stores without
@@ -170,6 +176,48 @@ func (m *Metrics) TrackStore(s store.Store) {
 			"DBM handles currently cached.", nil,
 			func() float64 { return float64(cs.CacheStats().Open) })
 	}
+	if rs, ok := s.(recoveryStatser); ok {
+		m.Registry.GaugeFunc("dav_recovery_runs_total",
+			"Crash-recovery passes completed (cumulative).", nil,
+			func() float64 { return float64(rs.RecoveryStats().Runs) })
+		m.Registry.GaugeFunc("dav_recovery_rolled_forward_total",
+			"Journal intents completed to their post-state by recovery (cumulative).", nil,
+			func() float64 { return float64(rs.RecoveryStats().RolledForward) })
+		m.Registry.GaugeFunc("dav_recovery_rolled_back_total",
+			"Journal intents undone to their pre-state by recovery (cumulative).", nil,
+			func() float64 { return float64(rs.RecoveryStats().RolledBack) })
+		m.Registry.GaugeFunc("dav_recovery_swept_tmp_total",
+			"Stale staging temporaries removed by recovery (cumulative).", nil,
+			func() float64 { return float64(rs.RecoveryStats().SweptTmp) })
+		m.Registry.GaugeFunc("dav_recovery_last_duration_seconds",
+			"Wall-clock duration of the most recent recovery pass.", nil,
+			func() float64 { return rs.RecoveryStats().LastDuration.Seconds() })
+		m.Registry.GaugeFunc("dav_recovering",
+			"1 while crash recovery gates writes, 0 otherwise.", nil,
+			func() float64 {
+				if rs.RecoveryStats().Recovering {
+					return 1
+				}
+				return 0
+			})
+	}
+	m.Registry.GaugeFunc("dav_fsync_errors_total",
+		"Fsync failures demoted to best-effort after a successful rename (cumulative).",
+		obs.Labels{"layer": "store"},
+		func() float64 { return float64(store.FsyncErrors()) })
+	m.Registry.GaugeFunc("dav_fsync_errors_total",
+		"Fsync failures demoted to best-effort after a successful rename (cumulative).",
+		obs.Labels{"layer": "dbm"},
+		func() float64 { return float64(dbm.FsyncErrors()) })
+	m.Registry.GaugeFunc("dav_fsck_runs_total",
+		"Store integrity checks run in-process (cumulative).", nil,
+		func() float64 { return float64(fsck.CumulativeStats().Runs) })
+	m.Registry.GaugeFunc("dav_fsck_findings_total",
+		"Invariant violations reported by in-process fsck (cumulative).", nil,
+		func() float64 { return float64(fsck.CumulativeStats().Findings) })
+	m.Registry.GaugeFunc("dav_fsck_repaired_total",
+		"Findings fixed by in-process fsck repair (cumulative).", nil,
+		func() float64 { return float64(fsck.CumulativeStats().Repaired) })
 }
 
 // CountPanic records one recovered handler panic.

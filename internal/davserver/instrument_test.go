@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/davclient"
 	"repro/internal/davproto"
+	"repro/internal/dbm"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -223,5 +224,48 @@ func TestTrackLimiter(t *testing.T) {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("exposition missing %q:\n%s", want, sb.String())
 		}
+	}
+}
+
+// TestTrackStoreExposesRecoveryMetrics pins the PR 6 telemetry: an
+// FSStore tracked by Metrics must surface the crash-recovery, fsck,
+// and fsync-error series in the Prometheus exposition.
+func TestTrackStoreExposesRecoveryMetrics(t *testing.T) {
+	fs, err := store.NewFSStore(t.TempDir(), dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	m := NewMetrics(obs.NewRegistry())
+	m.TrackStore(fs)
+	var sb strings.Builder
+	if err := m.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dav_recovery_runs_total",
+		"dav_recovery_rolled_forward_total",
+		"dav_recovery_rolled_back_total",
+		"dav_recovery_swept_tmp_total",
+		"dav_recovery_last_duration_seconds",
+		"dav_recovering",
+		`dav_fsync_errors_total{layer="store"}`,
+		`dav_fsync_errors_total{layer="dbm"}`,
+		"dav_fsck_runs_total",
+		"dav_fsck_findings_total",
+		"dav_fsck_repaired_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+	// A completed startup recovery pass counts as a run.
+	if !strings.Contains(out, "dav_recovery_runs_total 1") {
+		t.Errorf("dav_recovery_runs_total != 1 after open:\n%s", out)
+	}
+	if !strings.Contains(out, "dav_recovering 0") {
+		t.Error("dav_recovering != 0 on a recovered store")
 	}
 }

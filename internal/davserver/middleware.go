@@ -142,10 +142,11 @@ type ReadyCheck struct {
 
 // ReadyStatus is the /readyz response body.
 type ReadyStatus struct {
-	// Status is "ready", "draining", or "unavailable".
-	Status   string                `json:"status"`
-	Draining bool                  `json:"draining"`
-	Checks   map[string]ReadyCheck `json:"checks"`
+	// Status is "ready", "recovering", "draining", or "unavailable".
+	Status     string                `json:"status"`
+	Draining   bool                  `json:"draining"`
+	Recovering bool                  `json:"recovering,omitempty"`
+	Checks     map[string]ReadyCheck `json:"checks"`
 }
 
 // Ready runs the readiness checks and reports the status plus whether
@@ -162,11 +163,34 @@ func (h *Health) Ready() (ReadyStatus, bool) {
 	}
 	st.Checks["store"] = probe
 
+	if storeRecovering(h.store) {
+		// Crash recovery is still resolving journal intents: reads
+		// work but every mutation gets 503, so keep the instance out
+		// of rotation until the store is consistent again.
+		st.Recovering = true
+		st.Status = "recovering"
+	}
 	if h.draining.Load() {
 		st.Draining = true
 		st.Status = "draining"
 	}
 	return st, st.Status == "ready"
+}
+
+// storeRecovering walks the wrapper chain looking for a store that
+// reports crash-recovery state (FSStore does; wrappers expose Unwrap).
+func storeRecovering(s store.Store) bool {
+	for s != nil {
+		if r, ok := s.(interface{ Recovering() bool }); ok {
+			return r.Recovering()
+		}
+		u, ok := s.(interface{ Unwrap() store.Store })
+		if !ok {
+			return false
+		}
+		s = u.Unwrap()
+	}
+	return false
 }
 
 // ServeReady is the /readyz readiness probe: 200 with a JSON body when

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/dbm"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -250,5 +251,93 @@ func TestHardenedStackServesDAV(t *testing.T) {
 	got.Body.Close()
 	if string(body) != "payload" {
 		t.Fatalf("GET through hardened stack = %q", body)
+	}
+}
+
+// TestRecoveringStoreGatesWrites pins the crash-recovery serving
+// contract: while a store opened with deferred recovery has not
+// finished its pass, mutations get 503 with a Retry-After header,
+// reads keep working, and /readyz reports "recovering"; once Recover
+// completes, writes flow and readiness returns.
+func TestRecoveringStoreGatesWrites(t *testing.T) {
+	fs, err := store.NewFSStoreWith(t.TempDir(), dbm.GDBM, store.FSOptions{DeferRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	health := NewHealth(fs)
+	mux := http.NewServeMux()
+	health.Register(mux)
+	mux.Handle("/", NewHandler(fs, nil))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	put := func() *http.Response {
+		req, err := http.NewRequest(http.MethodPut, srv.URL+"/doc.txt", strings.NewReader("data"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	resp := put()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("PUT during recovery = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Fatal("503 during recovery carries no Retry-After header")
+	}
+
+	// Reads are not gated: the tree is consistent for everything the
+	// pending journal does not cover.
+	pf, err := http.NewRequest("PROPFIND", srv.URL+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Header.Set("Depth", "0")
+	pfResp, err := http.DefaultClient.Do(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, pfResp.Body)
+	pfResp.Body.Close()
+	if pfResp.StatusCode != 207 {
+		t.Fatalf("PROPFIND during recovery = %d, want 207", pfResp.StatusCode)
+	}
+
+	rdResp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rst ReadyStatus
+	if err := json.NewDecoder(rdResp.Body).Decode(&rst); err != nil {
+		t.Fatal(err)
+	}
+	rdResp.Body.Close()
+	if rdResp.StatusCode != 503 || rst.Status != "recovering" || !rst.Recovering {
+		t.Fatalf("readyz during recovery = %d %+v, want 503/recovering", rdResp.StatusCode, rst)
+	}
+
+	if _, err := fs.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if resp := put(); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT after recovery = %d, want 201", resp.StatusCode)
+	}
+	if rdResp, err := http.Get(srv.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, rdResp.Body)
+		rdResp.Body.Close()
+		if rdResp.StatusCode != 200 {
+			t.Fatalf("readyz after recovery = %d, want 200", rdResp.StatusCode)
+		}
 	}
 }

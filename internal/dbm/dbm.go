@@ -37,10 +37,35 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
+
+// fsyncErrors counts fsync failures demoted to best-effort (the
+// post-compaction directory sync). Surfaced as dav_fsync_errors_total.
+var fsyncErrors atomic.Int64
+
+// FsyncErrors reports how many fsync failures the dbm layer has
+// swallowed (logged and counted rather than failing the operation).
+func FsyncErrors() int64 { return fsyncErrors.Load() }
+
+// syncDirEntry fsyncs a directory so a just-renamed entry survives a
+// crash, returning the failure instead of dropping it.
+func syncDirEntry(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
 
 // Flavour selects the emulated DBM variant.
 type Flavour byte
@@ -529,12 +554,15 @@ func (db *DB) Compact() (err error) {
 	if err := os.Rename(tmpPath, db.path); err != nil {
 		return err
 	}
-	// Make the rename durable: fsync the directory entry. Best effort —
-	// some filesystems refuse to sync directories, and the compaction
-	// already succeeded.
-	if d, err := os.Open(filepath.Dir(db.path)); err == nil {
-		d.Sync()
-		d.Close()
+	// Make the rename durable: fsync the directory entry. The
+	// compaction already succeeded, so a failure here is demoted to a
+	// WARN log and the dav_fsync_errors_total counter rather than
+	// failing the call — but it is no longer silently dropped (some
+	// filesystems refuse to sync directories).
+	if err := syncDirEntry(filepath.Dir(db.path)); err != nil {
+		fsyncErrors.Add(1)
+		slog.Warn("dbm: directory fsync failed after compaction rename; entry may not survive power loss",
+			"db", db.path, "err", err)
 	}
 	old := db.f
 	f, err := os.OpenFile(db.path, os.O_RDWR, 0o644)

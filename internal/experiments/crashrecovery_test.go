@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCrashRecoveryExperiment runs a scaled-down PR 6 benchmark end to
+// end and validates its serialized output — the same check the CI
+// crash smoke applies to BENCH_PR6.json.
+func TestCrashRecoveryExperiment(t *testing.T) {
+	res, err := RunCrashRecovery(BenchPR6Options{
+		JournalDocs: 8,
+		FsckDocs:    6,
+		Dir:         t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataLossEvents != 0 {
+		t.Fatalf("crash matrix recorded %d data-loss events", res.DataLossEvents)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchPR6(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range res.Ops {
+		t.Logf("%s: %d crash points, fwd/back %d/%d", op.Op, op.CrashPoints,
+			op.RolledForward, op.RolledBack)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"mime"
 	"os"
 	"path"
@@ -15,8 +16,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dbm"
+	"repro/internal/store/journal"
 	"repro/internal/store/pathlock"
 )
 
@@ -29,6 +33,38 @@ const collectionPropsFile = ".dirprops"
 
 // propsExt is the extension of per-member property databases.
 const propsExt = ".props"
+
+// journalFileName is the intent journal, kept in the root's metadata
+// directory next to the root collection's property database.
+const journalFileName = "journal"
+
+// Exported layout knowledge for tooling that walks the store on disk
+// (the fsck package above all). The values are part of the mod_dav
+// layout contract and must not change for existing stores.
+const (
+	// MetaDirName is the per-directory metadata directory name.
+	MetaDirName = propDirName
+	// PropsExt is the property-database file extension.
+	PropsExt = propsExt
+	// CollectionPropsBase is the base name (without PropsExt) of a
+	// collection's own property database inside its metadata directory.
+	CollectionPropsBase = collectionPropsFile
+	// JournalFileName is the intent journal's file name inside the
+	// root's metadata directory.
+	JournalFileName = journalFileName
+)
+
+// IsTmpName reports whether a directory entry name is a staging
+// temporary — an unrenamed Put body (".put-*") or an unfinished DBM
+// compaction ("*.compact"). Such files are crash debris: recovery and
+// fsck sweep them.
+func IsTmpName(name string) bool {
+	return strings.HasPrefix(name, ".put-") || strings.HasSuffix(name, ".compact")
+}
+
+// GenerationKey is the DBM key holding a document's overwrite
+// generation (fsck reads it to validate monotonicity).
+func GenerationKey() []byte { return internalKey(ikeyGeneration) }
 
 // Internal DBM keys.
 const (
@@ -52,6 +88,29 @@ type FSOptions struct {
 	// database, the historical mod_dav behaviour — kept as the
 	// benchmark baseline and an operational escape hatch).
 	HandleCacheSize int
+	// DisableJournal turns off the write-ahead intent journal. Without
+	// it, a crash mid-operation can leave a torn content/props/
+	// generation combination that only fsck -repair notices. Stale
+	// staging temporaries are still swept at open.
+	DisableJournal bool
+	// DeferRecovery opens the store without running startup recovery.
+	// The store reports Recovering() == true and fails every mutation
+	// with ErrRecovering until Recover is called — daemons use this to
+	// start serving reads immediately and run recovery in the
+	// background while /readyz reports "recovering".
+	DeferRecovery bool
+	// SkipRecovery opens the store without recovery AND without the
+	// write gate — the store is served exactly as found on disk.
+	// Intended for read-only inspection (davfsck): mutations while
+	// intents are pending would compound the damage, so tools using it
+	// must not write before calling Recover.
+	SkipRecovery bool
+	// StepHook, when set, is invoked at every named step boundary
+	// inside multi-step mutations ("put.renamed", "delete.content",
+	// ...). The crash-point fault injector (internal/chaos.CrashPoint)
+	// panics from it to simulate a crash between two steps. Production
+	// stores leave it nil.
+	StepHook func(point string)
 }
 
 // FSStore is the mod_dav-style store: documents are files, collections
@@ -71,8 +130,37 @@ type FSStore struct {
 	flavour dbm.Flavour
 	locks   *pathlock.Manager
 	cache   *dbm.Cache
+	shared  *fsShared
 	ctx     context.Context // request binding; Background when unbound
 }
+
+// fsShared is the store state shared by every WithContext view (views
+// are shallow copies, so anything mutable lives behind this pointer):
+// the intent journal, the recovering write gate, the crash-point step
+// hook, and the recovery counters.
+type fsShared struct {
+	journal    *journal.Journal // nil when journaling is disabled
+	recovering atomic.Bool
+	stepHook   func(string)
+	// recoverMu serializes Recover passes (a background startup
+	// recovery racing an explicit Recover call must not resolve the
+	// same intent twice).
+	recoverMu sync.Mutex
+
+	recoverRuns     atomic.Int64
+	rolledForward   atomic.Int64
+	rolledBack      atomic.Int64
+	sweptTmp        atomic.Int64
+	lastRecoverNano atomic.Int64
+}
+
+// fsyncErrors counts directory/file fsync failures that were demoted
+// to best-effort (see syncDir). Surfaced as dav_fsync_errors_total.
+var fsyncErrors atomic.Int64
+
+// FsyncErrors reports how many fsync failures the store layer has
+// swallowed (logged and counted rather than failing the write).
+func FsyncErrors() int64 { return fsyncErrors.Load() }
 
 var _ Store = (*FSStore)(nil)
 var _ Renamer = (*FSStore)(nil)
@@ -87,6 +175,12 @@ func NewFSStore(dir string, flavour dbm.Flavour) (*FSStore, error) {
 }
 
 // NewFSStoreWith is NewFSStore with explicit tuning.
+//
+// Unless opted out, opening also establishes crash consistency: the
+// intent journal is opened (created on first use), and startup
+// recovery resolves any intents a crash left unfinished and sweeps
+// stale staging temporaries — so a store that crashed mid-PUT or
+// mid-MOVE is consistent again before the first operation runs.
 func NewFSStoreWith(dir string, flavour dbm.Flavour, o FSOptions) (*FSStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -99,13 +193,42 @@ func NewFSStoreWith(dir string, flavour dbm.Flavour, o FSOptions) (*FSStore, err
 	if size == 0 {
 		size = DefaultHandleCacheSize
 	}
-	return &FSStore{
+	s := &FSStore{
 		root:    abs,
 		flavour: flavour,
 		locks:   pathlock.NewManager(),
 		cache:   dbm.NewCache(size, flavour),
+		shared:  &fsShared{stepHook: o.StepHook},
 		ctx:     context.Background(),
-	}, nil
+	}
+	if !o.DisableJournal {
+		metaDir := filepath.Join(abs, propDirName)
+		if err := os.MkdirAll(metaDir, 0o755); err != nil {
+			s.cache.Close()
+			return nil, err
+		}
+		j, err := journal.Open(filepath.Join(metaDir, journalFileName))
+		if err != nil {
+			s.cache.Close()
+			return nil, err
+		}
+		s.shared.journal = j
+	}
+	switch {
+	case o.SkipRecovery:
+		// Inspection mode: serve the store as found. Writes stay gated
+		// while intents are pending — mutating a store that still needs
+		// recovery would compound the damage.
+		s.shared.recovering.Store(s.shared.journal != nil && s.shared.journal.Len() > 0)
+	case o.DeferRecovery:
+		s.shared.recovering.Store(true)
+	default:
+		if _, err := s.Recover(); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: startup recovery: %w", err)
+		}
+	}
+	return s, nil
 }
 
 // WithContext implements ContextBinder: the returned view shares the
@@ -137,8 +260,64 @@ func (s *FSStore) PathLocks() *pathlock.Manager { return s.locks }
 func (s *FSStore) HandleCache() *dbm.Cache { return s.cache }
 
 // Close releases the store: every cached property database is closed
-// (pinned handles close on their release).
-func (s *FSStore) Close() error { return s.cache.Close() }
+// (pinned handles close on their release) and the intent journal is
+// synced and closed.
+func (s *FSStore) Close() error {
+	err := s.cache.Close()
+	if j := s.shared.journal; j != nil {
+		if jerr := j.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+// Recovering reports whether the store is still gated behind recovery
+// (writes fail with ErrRecovering until Recover completes).
+func (s *FSStore) Recovering() bool { return s.shared.recovering.Load() }
+
+// Journal exposes the intent journal (nil when disabled) for fsck and
+// tests.
+func (s *FSStore) Journal() *journal.Journal { return s.shared.journal }
+
+// step fires the crash-point hook at a named step boundary. A nil hook
+// (every production store) costs one predictable branch.
+func (s *FSStore) step(point string) {
+	if h := s.shared.stepHook; h != nil {
+		h(point)
+	}
+}
+
+// writeGate rejects mutations while the store is recovering.
+func (s *FSStore) writeGate() error {
+	if s.shared.recovering.Load() {
+		return fmt.Errorf("%w: %s", ErrRecovering, s.root)
+	}
+	return nil
+}
+
+// beginIntent appends a fsync'd intent record, or does nothing when
+// journaling is disabled (id 0 commits as a no-op).
+func (s *FSStore) beginIntent(rec journal.Record) (uint64, error) {
+	if s.shared.journal == nil {
+		return 0, nil
+	}
+	return s.shared.journal.Begin(rec)
+}
+
+// commitIntent appends the commit record for id. A failed commit write
+// is logged, not returned: the operation itself succeeded, and an
+// uncommitted intent only costs an idempotent roll-forward at the next
+// recovery.
+func (s *FSStore) commitIntent(id uint64) {
+	if s.shared.journal == nil || id == 0 {
+		return
+	}
+	if err := s.shared.journal.Commit(id); err != nil {
+		slog.Warn("store: journal commit failed; next recovery will re-resolve",
+			"seq", id, "err", err)
+	}
+}
 
 // diskPath maps a canonical resource path to a filesystem path,
 // rejecting paths that use the reserved metadata directory name.
@@ -448,7 +627,9 @@ func (s *FSStore) ListWithProps(p string) ([]MemberProps, error) {
 	return out, nil
 }
 
-// Mkcol implements Store.
+// Mkcol implements Store. The mkdir itself is atomic; it is journaled
+// anyway so the crash-point matrix exercises a single-step operation
+// and fsck can attribute a half-created collection to its request.
 func (s *FSStore) Mkcol(p string) error {
 	cp, err := CleanPath(p)
 	if err != nil {
@@ -457,9 +638,24 @@ func (s *FSStore) Mkcol(p string) error {
 	if cp == "/" {
 		return fmt.Errorf("%w: /", ErrExists)
 	}
+	if err := s.writeGate(); err != nil {
+		return err
+	}
 	g := s.locks.Lock(s.ctx, cp)
 	defer g.Release()
-	return s.mkcolLocked(cp)
+	s.step("mkcol.start")
+	id, err := s.beginIntent(journal.Record{Op: journal.OpMkcol, Path: cp})
+	if err != nil {
+		return err
+	}
+	s.step("mkcol.intent")
+	if err := s.mkcolLocked(cp); err != nil {
+		s.commitIntent(id)
+		return err
+	}
+	s.step("mkcol.made")
+	s.commitIntent(id)
+	return nil
 }
 
 // mkcolLocked is Mkcol's body under an already-held exclusive lock
@@ -503,15 +699,30 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	if err := s.writeGate(); err != nil {
+		return false, err
+	}
 
 	g := s.locks.Lock(s.ctx, cp)
 	defer g.Release()
-	return s.putLocked(cp, dp, r, contentType)
+	return s.putLocked(cp, dp, r, contentType, true)
 }
 
 // putLocked is Put's body under an already-held exclusive lock covering
-// cp (dp is cp's disk path).
-func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string) (bool, error) {
+// cp (dp is cp's disk path). journaled=false skips the intent record —
+// used by the copy path, whose own intent already covers the whole
+// destination subtree (rolling back a copy removes every nested write,
+// so per-resource intents would only double the fsync cost).
+//
+// Crash-consistency shape: the body is staged and fsync'd first (a
+// crash there leaves only a swept-at-recovery temp file), then the
+// intent — carrying the temp name, the pre-op generation, and the
+// content type to persist — is made durable, and only then do the
+// visible steps run: rename into place, property write, generation
+// bump. Recovery can therefore always classify the store as pre-op
+// (temp still present → remove it) or post-op (renamed → finish the
+// metadata steps), never in between.
+func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string, journaled bool) (bool, error) {
 	parentFI, perr := os.Stat(filepath.Dir(dp))
 	if perr != nil || !parentFI.IsDir() {
 		return false, fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
@@ -532,6 +743,18 @@ func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string) (boo
 		// replaced document's ETag.
 		return false, ferr
 	}
+	var prevGen int64
+	if !created {
+		_, prevGen = s.internalMeta(cp)
+	}
+	// Only a content type that cannot be re-derived from the extension
+	// is persisted (mod_dav materializes property databases lazily; the
+	// disk-overhead experiment depends on it).
+	persistCType := ""
+	if contentType != "" && contentType != inferContentType(cp) {
+		persistCType = contentType
+	}
+	s.step("put.start")
 
 	tmp, err := os.CreateTemp(filepath.Dir(dp), ".put-*")
 	if err != nil {
@@ -556,30 +779,49 @@ func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string) (boo
 		os.Remove(tmpName)
 		return false, err
 	}
+	s.step("put.staged")
+
+	var id uint64
+	if journaled {
+		id, err = s.beginIntent(journal.Record{
+			Op: journal.OpPut, Path: cp, Tmp: filepath.Base(tmpName),
+			Created: created, Gen: prevGen, CType: persistCType,
+		})
+		if err != nil {
+			os.Remove(tmpName)
+			return false, err
+		}
+	}
+	s.step("put.intent")
+
 	if err := os.Rename(tmpName, dp); err != nil {
 		os.Remove(tmpName)
+		s.commitIntent(id)
 		return false, err
 	}
+	s.step("put.renamed")
 	// The rename itself is only durable once the parent directory's
 	// entry is on disk.
-	syncDir(filepath.Dir(dp))
-	// mod_dav only materializes a property database for resources that
-	// carry metadata (the disk-overhead experiment depends on this), so
-	// the content type is persisted only when it cannot be re-derived
-	// from the file extension — and the overwrite generation only from
-	// the first overwrite on.
-	if contentType != "" && contentType != inferContentType(cp) {
+	if err := syncDir(filepath.Dir(dp)); err != nil {
+		fsyncErrors.Add(1)
+		slog.Warn("store: directory fsync failed after rename; entry may not survive power loss",
+			"dir", filepath.Dir(dp), "err", err)
+	}
+	if persistCType != "" {
 		if err := s.withProps(cp, true, func(h *dbm.Handle) error {
-			return h.Put(internalKey(ikeyContentType), []byte(contentType))
+			return h.Put(internalKey(ikeyContentType), []byte(persistCType))
 		}); err != nil {
 			return created, err
 		}
 	}
+	s.step("put.props")
 	if !created {
 		if err := s.bumpGeneration(cp); err != nil {
 			return created, err
 		}
 	}
+	s.step("put.gen")
+	s.commitIntent(id)
 	return created, nil
 }
 
@@ -599,16 +841,22 @@ func (s *FSStore) bumpGeneration(cp string) error {
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives a
-// crash. Best effort: some filesystems (and non-POSIX platforms)
-// refuse to open or sync directories, and a failure there must not
-// fail the write that already succeeded.
-func syncDir(dir string) {
+// crash. The error is returned so callers can decide: the write
+// itself already succeeded, so callers demote the failure to a WARN
+// log plus the dav_fsync_errors_total counter rather than failing the
+// operation — but they no longer silently drop it. (Some filesystems
+// and non-POSIX platforms refuse to open or sync directories.)
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return err
 	}
-	d.Sync()
-	d.Close()
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // inferContentType derives a document's content type from its
@@ -649,6 +897,12 @@ func (s *FSStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
 // Delete implements Store. The exclusive lock on cp covers the whole
 // subtree (descendant operations would need an intent lock on cp), so
 // no per-descendant locking is necessary.
+//
+// Crash-consistency shape: deletes always roll forward. The intent is
+// durable before the first byte is removed, so a crash between the
+// content remove and the sidecar remove (or mid-RemoveAll) is finished
+// by recovery — a delete can end half-done on disk but never half-done
+// after Recover.
 func (s *FSStore) Delete(p string) error {
 	cp, err := CleanPath(p)
 	if err != nil {
@@ -656,6 +910,9 @@ func (s *FSStore) Delete(p string) error {
 	}
 	if cp == "/" {
 		return fmt.Errorf("%w: cannot delete /", ErrBadPath)
+	}
+	if err := s.writeGate(); err != nil {
+		return err
 	}
 	g := s.locks.Lock(s.ctx, cp)
 	defer g.Release()
@@ -667,25 +924,45 @@ func (s *FSStore) Delete(p string) error {
 	if err != nil {
 		return mapFSErr(err, cp)
 	}
+	s.step("delete.start")
+	id, err := s.beginIntent(journal.Record{
+		Op: journal.OpDelete, Path: cp, IsDir: fi.IsDir(),
+	})
+	if err != nil {
+		return err
+	}
+	s.step("delete.intent")
 	if fi.IsDir() {
 		// Directory properties live inside the directory; one
 		// RemoveAll covers body, members, and all metadata. Every
-		// cached database under the subtree is orphaned by it.
+		// cached database under the subtree is orphaned by it. A
+		// failure can leave a partially removed tree, so the intent
+		// stays open for recovery to finish the job.
 		if err := os.RemoveAll(dp); err != nil {
 			return err
 		}
+		s.step("delete.content")
 		s.cache.InvalidatePrefix(dp)
+		s.commitIntent(id)
 		return nil
 	}
 	if err := os.Remove(dp); err != nil {
+		// Nothing was mutated: resolve the intent as a no-op.
+		s.commitIntent(id)
 		return mapFSErr(err, cp)
 	}
-	// Drop the member's property database, if any.
+	s.step("delete.content")
+	// Drop the member's property database, if any. On failure the
+	// intent stays open: the content is gone, so recovery must finish
+	// removing the now-orphaned sidecar.
 	pp := s.memberPropsPath(dp, cp)
 	if err := os.Remove(pp); err != nil && !os.IsNotExist(err) {
+		s.cache.Invalidate(pp)
 		return err
 	}
+	s.step("delete.props")
 	s.cache.Invalidate(pp)
+	s.commitIntent(id)
 	return nil
 }
 
@@ -706,6 +983,9 @@ func (s *FSStore) Rename(src, dst string) error {
 	if csrc == "/" || cdst == "/" || csrc == cdst ||
 		IsAncestor(csrc, cdst) || IsAncestor(cdst, csrc) {
 		return fmt.Errorf("%w: rename %q -> %q", ErrBadPath, src, dst)
+	}
+	if err := s.writeGate(); err != nil {
+		return err
 	}
 	g := s.locks.Acquire(s.ctx,
 		pathlock.Req{Path: csrc, Mode: pathlock.Exclusive},
@@ -730,16 +1010,36 @@ func (s *FSStore) Rename(src, dst string) error {
 	if pfi, err := os.Stat(filepath.Dir(tp)); err != nil || !pfi.IsDir() {
 		return fmt.Errorf("%w: %s", ErrConflict, ParentPath(cdst))
 	}
-	if err := os.Rename(sp, tp); err != nil {
+	// Crash-consistency shape: the decisive step is the content rename.
+	// Recovery sees the source still present → nothing happened (roll
+	// back to a no-op); source gone → roll forward by finishing the
+	// sidecar relocation. The intent must be durable before the rename
+	// so the torn middle (content moved, properties not) is always
+	// attributable.
+	s.step("rename.start")
+	id, err := s.beginIntent(journal.Record{
+		Op: journal.OpRename, Path: csrc, Dst: cdst, IsDir: sfi.IsDir(),
+	})
+	if err != nil {
 		return err
 	}
+	s.step("rename.intent")
+	if err := os.Rename(sp, tp); err != nil {
+		// Nothing was mutated: resolve the intent as a no-op.
+		s.commitIntent(id)
+		return err
+	}
+	s.step("rename.renamed")
 	if sfi.IsDir() {
 		// Every cached database under the old directory now points at
 		// a renamed-away file; drop them so the new paths reopen.
 		s.cache.InvalidatePrefix(sp)
+		s.commitIntent(id)
 		return nil
 	}
-	// Move the member property database alongside.
+	// Move the member property database alongside. On failure the
+	// intent stays open: the content already moved, so recovery must
+	// finish relocating the sidecar.
 	spp := s.memberPropsPath(sp, csrc)
 	if _, err := os.Stat(spp); err == nil {
 		tpp := s.memberPropsPath(tp, cdst)
@@ -750,7 +1050,9 @@ func (s *FSStore) Rename(src, dst string) error {
 			return err
 		}
 	}
+	s.step("rename.props")
 	s.cache.Invalidate(spp)
+	s.commitIntent(id)
 	return nil
 }
 
@@ -770,11 +1072,53 @@ func (s *FSStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
 	if csrc == cdst || IsAncestor(csrc, cdst) {
 		return fmt.Errorf("%w: cannot copy %q into itself", ErrBadPath, csrc)
 	}
+	if err := s.writeGate(); err != nil {
+		return err
+	}
 	g := s.locks.Acquire(s.ctx,
 		pathlock.Req{Path: csrc, Mode: pathlock.Shared},
 		pathlock.Req{Path: cdst, Mode: pathlock.Exclusive})
 	defer g.Release()
-	return s.copyTreeLocked(csrc, cdst, opts.Recurse)
+	// Crash-consistency shape: one intent covers the whole destination
+	// subtree (the DAV handler clears an overwritten destination before
+	// calling, so the destination never holds pre-existing data). A
+	// crash or error mid-copy rolls back by removing whatever was built
+	// — the nested puts are deliberately unjournaled for that reason.
+	s.step("copy.start")
+	id, err := s.beginIntent(journal.Record{
+		Op: journal.OpCopy, Path: csrc, Dst: cdst, Recurse: opts.Recurse,
+	})
+	if err != nil {
+		return err
+	}
+	s.step("copy.intent")
+	if err := s.copyTreeLocked(csrc, cdst, opts.Recurse); err != nil {
+		// Roll back inline so a failed COPY is a no-op immediately
+		// rather than at the next recovery.
+		s.removeCopyDebris(cdst)
+		s.commitIntent(id)
+		return err
+	}
+	s.step("copy.done")
+	s.commitIntent(id)
+	return nil
+}
+
+// removeCopyDebris deletes a partially built copy destination — the
+// resource tree and, for a document, its property sidecar — and drops
+// any cached handles under it. Shared by the inline rollback above and
+// crash recovery. Caller holds an exclusive lock covering cdst (or is
+// single-threaded recovery).
+func (s *FSStore) removeCopyDebris(cdst string) {
+	dp, err := s.diskPath(cdst)
+	if err != nil {
+		return
+	}
+	os.RemoveAll(dp)
+	pp := s.memberPropsPath(dp, cdst)
+	os.Remove(pp)
+	s.cache.Invalidate(pp)
+	s.cache.InvalidatePrefix(dp)
 }
 
 // copyTreeLocked recursively copies csrc to cdst under the already-held
@@ -806,6 +1150,7 @@ func (s *FSStore) copyTreeLocked(csrc, cdst string, recurse bool) error {
 // copyResourceLocked copies one resource (body + properties) under the
 // already-held subtree locks, mirroring the generic copyResource.
 func (s *FSStore) copyResourceLocked(src ResourceInfo, cdst string) error {
+	s.step("copy.resource")
 	if src.IsCollection {
 		if err := s.mkcolLocked(cdst); err != nil {
 			return err
@@ -824,7 +1169,7 @@ func (s *FSStore) copyResourceLocked(src ResourceInfo, cdst string) error {
 			f.Close()
 			return err
 		}
-		_, err = s.putLocked(cdst, dp, f, src.ContentType)
+		_, err = s.putLocked(cdst, dp, f, src.ContentType, false)
 		f.Close()
 		if err != nil {
 			return err
@@ -852,6 +1197,9 @@ func (s *FSStore) copyResourceLocked(src ResourceInfo, cdst string) error {
 func (s *FSStore) PropPut(p string, name xml.Name, value []byte) error {
 	cp, err := CleanPath(p)
 	if err != nil {
+		return err
+	}
+	if err := s.writeGate(); err != nil {
 		return err
 	}
 	g := s.locks.Lock(s.ctx, cp)
@@ -889,6 +1237,9 @@ func (s *FSStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
 func (s *FSStore) PropDelete(p string, name xml.Name) error {
 	cp, err := CleanPath(p)
 	if err != nil {
+		return err
+	}
+	if err := s.writeGate(); err != nil {
 		return err
 	}
 	g := s.locks.Lock(s.ctx, cp)

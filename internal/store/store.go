@@ -31,6 +31,10 @@ var (
 	ErrIsCollection  = errors.New("store: is a collection")
 	ErrConflict      = errors.New("store: parent collection does not exist")
 	ErrBadPath       = errors.New("store: invalid path")
+	// ErrRecovering rejects mutations while crash recovery is still
+	// resolving journal intents; the DAV layer maps it to 503 with a
+	// Retry-After so clients back off and retry.
+	ErrRecovering = errors.New("store: recovering after crash")
 )
 
 // ResourceInfo describes one resource.
