@@ -9,11 +9,15 @@
 // Every request is traced and measured: an X-Request-ID is echoed (or
 // minted), one structured access-log line is emitted per request, and
 // per-method latency/size histograms, store-operation timings, and
-// lock/limiter gauges accumulate in a metrics registry. The optional
-// -admin listener serves that registry at /metrics (Prometheus text
-// format), /debug/vars (expvar), and the net/http/pprof profiling
-// surface — on a separate port so operators never expose it with the
-// DAV tree.
+// lock/limiter gauges accumulate in a metrics registry. Workload
+// analytics ride along: heavy-hitter top-K tables over resource paths
+// and (method, Depth) pairs, latency SLO burn-rate accounting (-slo),
+// and a periodic runtime self-sampler (-sample-interval). The optional
+// -admin listener serves all of it at /metrics (Prometheus text
+// format), /debug/vars (expvar), /debug/status (the unified
+// operational console, HTML or ?format=json), /debug/traces, and the
+// net/http/pprof profiling surface — on a separate port so operators
+// never expose it with the DAV tree.
 //
 // Usage:
 //
@@ -38,6 +42,7 @@ import (
 	"repro/internal/davserver"
 	"repro/internal/dbm"
 	"repro/internal/obs"
+	"repro/internal/obs/ops"
 	"repro/internal/obs/trace"
 	"repro/internal/store"
 )
@@ -73,6 +78,12 @@ func main() {
 			"file to write retained traces to as JSONL on shutdown; empty disables")
 		traceSample = flag.Float64("trace-sample", 0.01,
 			"fraction of fast, error-free traces retained at random in addition to slow/errored ones")
+		sloSpec = flag.String("slo", "GET,PROPFIND:50ms:0.99",
+			"latency objectives as METHODS:THRESHOLD:TARGET, semicolon-separated (\"*\" matches all methods); burn rates appear as dav_slo_* and on /debug/status; empty disables")
+		sampleEvery = flag.Duration("sample-interval", 10*time.Second,
+			"runtime self-sampling period (heap, goroutines, GC, FDs, scheduler latency) feeding dav_runtime_* and the /debug/status trend; 0 disables")
+		seriesLimit = flag.Int("metric-series-limit", 512,
+			"labelled series cap per metric family; past it new label combinations collapse into one overflow series and dav_metric_label_overflow_total counts them; 0 = unlimited")
 	)
 	flag.Parse()
 
@@ -125,7 +136,31 @@ func main() {
 	// tracer's flight recorder shares the slow threshold with the
 	// middleware's WARN log, so every warned request has a trace.
 	metrics := davserver.NewMetrics(obs.NewRegistry())
+	metrics.Registry.SetSeriesLimit(*seriesLimit)
 	obs.RegisterRuntime(metrics.Registry)
+
+	// Workload analytics: heavy-hitter tables over every request, plus
+	// optional latency SLOs with multi-window burn rates.
+	var slo *ops.SLO
+	if *sloSpec != "" {
+		objectives, err := ops.ParseObjectives(*sloSpec)
+		if err != nil {
+			fatalf("davd: -slo: %v", err)
+		}
+		slo = ops.NewSLO(ops.SLOConfig{Objectives: objectives})
+	}
+	tracker := ops.NewTracker(ops.TrackerConfig{SLO: slo})
+	tracker.Register(metrics.Registry)
+
+	// Runtime self-sampling: the ring behind the /debug/status trend and
+	// the dav_runtime_* gauges.
+	var sampler *ops.Sampler
+	if *sampleEvery > 0 {
+		sampler = ops.NewSampler(ops.SamplerConfig{Interval: *sampleEvery})
+		sampler.Register(metrics.Registry)
+		sampler.Start()
+		defer sampler.Stop()
+	}
 	slowForRecorder := *slowThresh
 	if slowForRecorder == 0 {
 		slowForRecorder = -1 // 0 disables slow retention; the recorder treats negatives as off
@@ -179,12 +214,16 @@ func main() {
 		Tracer:        tracer,
 		SlowThreshold: *slowThresh,
 		SlowLog:       logger, // slow-request warnings survive -no-access-log
+		Ops:           tracker,
 	})
 
 	// Probe endpoints live outside the auth wrapper so orchestrators
 	// can poll them without credentials; they shadow same-named DAV
 	// resources only when no prefix isolates the DAV tree.
 	health := davserver.NewHealth(st)
+	if slo != nil {
+		health.SetDegraded(slo.Degraded)
+	}
 	mux := http.NewServeMux()
 	if !*noHealth {
 		health.Register(mux)
@@ -215,6 +254,25 @@ func main() {
 		amux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		amux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		amux.Handle("/debug/traces", recorder.Handler())
+		// The unified console: one page (HTML or ?format=json) joining
+		// build/runtime state, SLO burn, heavy hitters, storage gauges,
+		// and readiness.
+		amux.Handle("/debug/status", ops.NewStatus(ops.StatusConfig{
+			Service:  "davd",
+			Registry: metrics.Registry,
+			Sampler:  sampler,
+			Tracker:  tracker,
+			Ready: func() any {
+				st, _ := health.Ready()
+				return st
+			},
+			Links: []ops.Link{
+				{Name: "metrics", Href: "/metrics"},
+				{Name: "expvar", Href: "/debug/vars"},
+				{Name: "traces", Href: "/debug/traces"},
+				{Name: "pprof", Href: "/debug/pprof/"},
+			},
+		}))
 		adminListener, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
 			fatalf("davd: admin listen: %v", err)
@@ -227,7 +285,7 @@ func main() {
 		}()
 		logger.Info("admin endpoints enabled",
 			"addr", adminListener.Addr().String(),
-			"paths", "/metrics /debug/vars /debug/pprof/ /debug/traces")
+			"paths", "/metrics /debug/vars /debug/pprof/ /debug/traces /debug/status")
 	}
 
 	// Graceful shutdown: on the first signal, flip readiness so load

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	davfsck -root /var/dav/store [-flavour gdbm|sdbm] [-repair] [-quiet]
+//	davfsck -root /var/dav/store [-flavour gdbm|sdbm] [-repair] [-quiet] [-json]
+//
+// With -json the output is machine-readable JSON Lines: one object per
+// finding ({"kind","path","detail"}) followed by a summary trailer
+// ({"resources","databases","findings","repaired","clean"}), suitable
+// for piping into jq or a monitoring pipeline.
 //
 // Exit status: 0 when the store is clean (or repair fixed everything),
 // 1 when findings remain, 2 on usage or I/O errors. Run it on a
@@ -15,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +36,7 @@ func main() {
 		flavour = flag.String("flavour", "gdbm", "property-database flavour: gdbm or sdbm")
 		repair  = flag.Bool("repair", false, "fix findings: recover the journal, sweep temporaries, remove orphans, quarantine corrupt databases")
 		quiet   = flag.Bool("quiet", false, "print findings only, no summary")
+		asJSON  = flag.Bool("json", false, "emit JSON Lines: one object per finding, then a summary trailer")
 	)
 	flag.Parse()
 	if *root == "" {
@@ -65,16 +72,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "davfsck: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range rep.Findings {
-		fmt.Println(f)
-	}
-	if !*quiet {
-		fmt.Printf("davfsck: %d resources, %d property databases, %d findings",
-			rep.Resources, rep.Databases, len(rep.Findings))
-		if *repair {
-			fmt.Printf(", %d repaired", rep.Repaired)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range rep.Findings {
+			enc.Encode(struct {
+				Kind   string `json:"kind"`
+				Path   string `json:"path"`
+				Detail string `json:"detail"`
+			}{f.Kind, f.Path, f.Detail})
 		}
-		fmt.Println()
+		if !*quiet {
+			enc.Encode(struct {
+				Resources int  `json:"resources"`
+				Databases int  `json:"databases"`
+				Findings  int  `json:"findings"`
+				Repaired  int  `json:"repaired"`
+				Clean     bool `json:"clean"`
+			}{rep.Resources, rep.Databases, len(rep.Findings), rep.Repaired, rep.Clean()})
+		}
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Println(f)
+		}
+		if !*quiet {
+			fmt.Printf("davfsck: %d resources, %d property databases, %d findings",
+				rep.Resources, rep.Databases, len(rep.Findings))
+			if *repair {
+				fmt.Printf(", %d repaired", rep.Repaired)
+			}
+			fmt.Println()
+		}
 	}
 	if !rep.Clean() {
 		os.Exit(1)

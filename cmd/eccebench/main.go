@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|all>
+//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|opssmoke|all>
 //
 // By default the paper's full workload sizes are used for table1 and
 // table3; table2, robust and disk default to scaled sizes unless -full
@@ -22,13 +22,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/ops"
 )
 
 func main() {
@@ -42,17 +46,24 @@ func main() {
 			"instrument servers/clients and print a Prometheus metrics snapshot after each experiment")
 		benchOut = flag.String("out", "BENCH_PR3.json",
 			"bench-pr3: output file for the traced benchmark result")
-		benchOps = flag.Int("ops", 40, "bench-pr3: measured operations per experiment")
+		benchOps  = flag.Int("ops", 40, "bench-pr3: measured operations per experiment")
 		bench4Out = flag.String("out4", "BENCH_PR4.json",
 			"bench-pr4: output file for the concurrency benchmark result")
 		bench4Ops = flag.Int("ops4", 30, "bench-pr4: measured iterations per worker")
 		bench6Out = flag.String("out6", "BENCH_PR6.json",
 			"crash-recovery: output file for the crash-recovery benchmark result")
 		bench6Docs = flag.Int("docs6", 60, "crash-recovery: PUTs in the journal-overhead measurement")
+		bench7Out  = flag.String("out7", "BENCH_PR7.json",
+			"bench-pr7: output file for the workload-analytics benchmark result")
+		bench7Reqs = flag.Int("reqs7", 600, "bench-pr7: requests in the Zipf phase")
+		adminURL   = flag.String("admin-url", "",
+			"opssmoke: base URL of a live davd admin listener (e.g. http://127.0.0.1:8081)")
+		davURL = flag.String("dav-url", "",
+			"opssmoke: base URL of the matching DAV listener; when set, a small workload is driven first so the analytics have something to show")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|all>")
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|opssmoke|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -192,8 +203,30 @@ func main() {
 		}
 	}
 
+	// bench-pr7 runs the workload-analytics benchmark (Zipf hot-resource
+	// verification, SLO burn under injected latency, sampler overhead),
+	// writes the JSON result, and re-validates the written file — the CI
+	// ops smoke. Excluded from "all" (its latency-injection phase
+	// deliberately sleeps on the serving path).
+	if which == "bench-pr7" {
+		if err := runBenchPR7(*bench7Out, *bench7Reqs); err != nil {
+			log.Fatalf("eccebench bench-pr7: %v", err)
+		}
+	}
+
+	// opssmoke scrapes a LIVE davd admin listener — /metrics and
+	// /debug/status?format=json — and validates both, optionally driving
+	// a small workload against the DAV listener first. CI uses it to
+	// prove the operational console works over real HTTP, not just
+	// in-process.
+	if which == "opssmoke" {
+		if err := runOpsSmoke(*adminURL, *davURL); err != nil {
+			log.Fatalf("eccebench opssmoke: %v", err)
+		}
+	}
+
 	switch which {
-	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "crash-recovery", "all":
+	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "crash-recovery", "bench-pr7", "opssmoke", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
 		os.Exit(2)
@@ -346,6 +379,156 @@ func runCrashRecovery(outPath string, journalDocs int) error {
 		"result written to %s\n",
 		total, res.DataLossEvents, res.Journal.OverheadPct, res.Journal.Docs,
 		res.Fsck.Resources, res.Fsck.Databases, res.Fsck.WallMs, outPath)
+	return nil
+}
+
+// runBenchPR7 runs the workload-analytics benchmark, writes the result
+// as JSON, and validates what was actually written — asserting the
+// top-K named the known-hottest document, the SLO degraded under
+// injected latency, and the sampler stayed inside its overhead budget.
+func runBenchPR7(outPath string, reqs int) error {
+	res, err := experiments.RunBenchPR7(experiments.BenchPR7Options{Requests: reqs})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBenchPR7(written); err != nil {
+		return fmt.Errorf("written %s failed validation: %w", outPath, err)
+	}
+	tk := res.TopK
+	fmt.Printf("bench-pr7: zipf(%g) over %d docs, %d requests: hottest %s "+
+		"(%.1f%% of traffic, console agrees=%v)\n",
+		tk.ZipfS, tk.Docs, tk.Requests, tk.HottestObserved,
+		100*tk.HotPaths[0].Share, tk.Agrees)
+	fmt.Printf("bench-pr7: slo %s burn %0.2f -> %0.2f (short) / %0.2f (long) "+
+		"under injected latency; degraded=%v\n",
+		res.SLO.Objective, res.SLO.BaselineBurnShort, res.SLO.ChaosBurnShort,
+		res.SLO.ChaosBurnLong, res.SLO.Degraded)
+	fmt.Printf("bench-pr7: sampler overhead %.2f%% (%d samples, %.0f vs %.0f ops/s); "+
+		"result written to %s\n",
+		100*res.Sampler.Overhead, res.Sampler.Samples,
+		res.Sampler.BaselineOpsPerSec, res.Sampler.SampledOpsPerSec, outPath)
+	return nil
+}
+
+// runOpsSmoke validates a live davd admin surface over real HTTP: the
+// Prometheus exposition parses and carries the ops families, and
+// /debug/status?format=json decodes into the documented schema.
+func runOpsSmoke(adminURL, davURL string) error {
+	if adminURL == "" {
+		return fmt.Errorf("-admin-url is required")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if davURL != "" {
+		// Drive a tiny skewed workload so the analytics are non-empty:
+		// /smoke/hot.dat is unambiguously the hottest resource.
+		mkcol, err := http.NewRequest("MKCOL", davURL+"/smoke", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(mkcol)
+		if err != nil {
+			return fmt.Errorf("MKCOL /smoke: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// 405 = the collection already exists (a rerun against the same
+		// store), which is fine.
+		if resp.StatusCode >= 300 && resp.StatusCode != http.StatusMethodNotAllowed {
+			return fmt.Errorf("MKCOL /smoke: status %d", resp.StatusCode)
+		}
+		for i := 0; i < 12; i++ {
+			p := "/smoke/hot.dat"
+			if i%4 == 3 {
+				p = fmt.Sprintf("/smoke/cold%d.dat", i)
+			}
+			req, err := http.NewRequest(http.MethodPut, davURL+p, strings.NewReader("opssmoke"))
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return fmt.Errorf("PUT %s: %w", p, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				return fmt.Errorf("PUT %s: status %d", p, resp.StatusCode)
+			}
+		}
+	}
+
+	resp, err := client.Get(adminURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape /metrics: %w", err)
+	}
+	exposition, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if err := obs.CheckExposition(exposition); err != nil {
+		return fmt.Errorf("/metrics exposition invalid: %w", err)
+	}
+	for _, want := range []string{
+		"dav_requests_total",
+		"dav_hot_path_requests",
+		"dav_slo_degraded",
+		"dav_runtime_goroutines",
+		"dav_journal_pending_intents",
+	} {
+		if !bytes.Contains(exposition, []byte(want)) {
+			return fmt.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	resp, err = client.Get(adminURL + "/debug/status?format=json")
+	if err != nil {
+		return fmt.Errorf("fetch /debug/status: %w", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		return fmt.Errorf("/debug/status?format=json served Content-Type %q", ct)
+	}
+	var doc ops.StatusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("/debug/status JSON undecodable: %w", err)
+	}
+	if doc.Schema != ops.StatusSchema {
+		return fmt.Errorf("/debug/status schema %q, want %q", doc.Schema, ops.StatusSchema)
+	}
+	if doc.Go == "" || doc.PID <= 0 || doc.UptimeSeconds <= 0 {
+		return fmt.Errorf("/debug/status missing process identity: %+v", doc)
+	}
+	if len(doc.Gauges) == 0 {
+		return fmt.Errorf("/debug/status has no storage gauges")
+	}
+	if davURL != "" {
+		if doc.Observations <= 0 || len(doc.HotPaths) == 0 {
+			return fmt.Errorf("/debug/status analytics empty after driving %s", davURL)
+		}
+		if doc.HotPaths[0].Key != "/smoke/hot.dat" {
+			return fmt.Errorf("/debug/status hottest = %q, want /smoke/hot.dat", doc.HotPaths[0].Key)
+		}
+		if len(doc.SLO) == 0 {
+			return fmt.Errorf("/debug/status has no SLO section")
+		}
+	}
+	fmt.Printf("opssmoke: metrics exposition OK (%d bytes); /debug/status OK "+
+		"(schema %s, %d observations, %d hot paths, %d gauges)\n",
+		len(exposition), doc.Schema, doc.Observations, len(doc.HotPaths), len(doc.Gauges))
 	return nil
 }
 

@@ -8,9 +8,11 @@ import (
 
 	"repro/internal/dbm"
 	"repro/internal/obs"
+	"repro/internal/obs/ops"
 	"repro/internal/obs/trace"
 	"repro/internal/store"
 	"repro/internal/store/fsck"
+	"repro/internal/store/journal"
 	"repro/internal/store/pathlock"
 )
 
@@ -139,6 +141,12 @@ type recoveryStatser interface {
 	RecoveryStats() store.RecoveryStats
 }
 
+// journalStatser is implemented by stores with a write-ahead intent
+// journal (FSStore; Journal may return nil when journaling is off).
+type journalStatser interface {
+	Journal() *journal.Journal
+}
+
 // TrackStore exposes the store's concurrency counters — path-lock
 // acquisitions/contention/wait time and DBM handle-cache
 // hits/misses/evictions — as gauges read at scrape time. Stores without
@@ -201,6 +209,16 @@ func (m *Metrics) TrackStore(s store.Store) {
 				return 0
 			})
 	}
+	if js, ok := s.(journalStatser); ok {
+		m.Registry.GaugeFunc("dav_journal_pending_intents",
+			"Intent-journal records awaiting their commit mark. Nonzero at rest means an operation died mid-flight.", nil,
+			func() float64 {
+				if j := js.Journal(); j != nil {
+					return float64(j.Len())
+				}
+				return 0
+			})
+	}
 	m.Registry.GaugeFunc("dav_fsync_errors_total",
 		"Fsync failures demoted to best-effort after a successful rename (cumulative).",
 		obs.Labels{"layer": "store"},
@@ -248,6 +266,10 @@ type InstrumentOptions struct {
 	// SlowLog receives slow-request warnings; nil falls back to
 	// AccessLog.
 	SlowLog *slog.Logger
+	// Ops, when set, feeds the workload analytics: hot-resource top-K
+	// tables and SLO burn-rate accounting. It sees the same duration the
+	// metrics histogram records.
+	Ops *ops.Tracker
 }
 
 // Instrument wraps next with the telemetry middleware: it resolves the
@@ -314,6 +336,10 @@ func InstrumentWith(next http.Handler, o InstrumentOptions) http.Handler {
 		if m != nil {
 			m.inflight.Add(-1)
 			m.observeRequest(req.Method, rr.Status(), d, req.ContentLength, rr.Bytes())
+		}
+		if o.Ops != nil {
+			o.Ops.ObserveRequest(req.Method, req.URL.Path,
+				req.Header.Get("Depth"), rr.Status(), d)
 		}
 		attrs := []slog.Attr{
 			slog.String("id", id),

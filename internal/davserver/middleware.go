@@ -114,6 +114,8 @@ func BodyLimit(n int64, next http.Handler) http.Handler {
 type Health struct {
 	store    store.Store
 	draining atomic.Bool
+	// degraded, when set, reports SLO degradation (see SetDegraded).
+	degraded atomic.Value // of func() bool
 }
 
 // NewHealth builds probes over s.
@@ -126,6 +128,12 @@ func (h *Health) SetDraining(on bool) { h.draining.Store(on) }
 
 // Draining reports whether the instance is draining.
 func (h *Health) Draining() bool { return h.draining.Load() }
+
+// SetDegraded installs the SLO degraded probe (typically
+// (*ops.SLO).Degraded). A degraded instance stays in rotation — the
+// bit is an operator signal on /readyz, not a routing decision: pulling
+// every instance of an overloaded service makes the burn worse.
+func (h *Health) SetDegraded(fn func() bool) { h.degraded.Store(fn) }
 
 // ServeLive is the /healthz liveness probe.
 func (h *Health) ServeLive(w http.ResponseWriter, _ *http.Request) {
@@ -143,10 +151,16 @@ type ReadyCheck struct {
 // ReadyStatus is the /readyz response body.
 type ReadyStatus struct {
 	// Status is "ready", "recovering", "draining", or "unavailable".
-	Status     string                `json:"status"`
-	Draining   bool                  `json:"draining"`
-	Recovering bool                  `json:"recovering,omitempty"`
-	Checks     map[string]ReadyCheck `json:"checks"`
+	Status     string `json:"status"`
+	Draining   bool   `json:"draining"`
+	Recovering bool   `json:"recovering,omitempty"`
+	// Degraded reports SLO burn past threshold in every window (see
+	// SetDegraded). Informational: a degraded instance is still ready.
+	Degraded bool `json:"degraded,omitempty"`
+	// Recovery is the live journal backlog, present only while
+	// Status is "recovering".
+	Recovery *store.RecoveryBacklog `json:"recovery,omitempty"`
+	Checks   map[string]ReadyCheck  `json:"checks"`
 }
 
 // Ready runs the readiness checks and reports the status plus whether
@@ -169,10 +183,16 @@ func (h *Health) Ready() (ReadyStatus, bool) {
 		// of rotation until the store is consistent again.
 		st.Recovering = true
 		st.Status = "recovering"
+		if b, ok := storeBacklog(h.store); ok {
+			st.Recovery = &b
+		}
 	}
 	if h.draining.Load() {
 		st.Draining = true
 		st.Status = "draining"
+	}
+	if fn, _ := h.degraded.Load().(func() bool); fn != nil && fn() {
+		st.Degraded = true
 	}
 	return st, st.Status == "ready"
 }
@@ -191,6 +211,22 @@ func storeRecovering(s store.Store) bool {
 		s = u.Unwrap()
 	}
 	return false
+}
+
+// storeBacklog finds the live recovery backlog through the wrapper
+// chain, mirroring storeRecovering.
+func storeBacklog(s store.Store) (store.RecoveryBacklog, bool) {
+	for s != nil {
+		if b, ok := s.(interface{ RecoveryBacklog() store.RecoveryBacklog }); ok {
+			return b.RecoveryBacklog(), true
+		}
+		u, ok := s.(interface{ Unwrap() store.Store })
+		if !ok {
+			break
+		}
+		s = u.Unwrap()
+	}
+	return store.RecoveryBacklog{}, false
 }
 
 // ServeReady is the /readyz readiness probe: 200 with a JSON body when

@@ -94,7 +94,7 @@ func (c *Cache) Capacity() int { return c.capacity }
 type Handle struct {
 	db    *DB
 	ctx   context.Context
-	cache *Cache     // nil for uncached (capacity<=0) handles
+	cache *Cache      // nil for uncached (capacity<=0) handles
 	entry *cacheEntry // nil for uncached handles
 }
 

@@ -36,7 +36,7 @@ type BenchPR6Op struct {
 	CrashPoints   int     `json:"crash_points"`
 	RolledForward int64   `json:"rolled_forward"`
 	RolledBack    int64   `json:"rolled_back"`
-	TornStates    int     `json:"torn_states"`  // post-recovery states neither pre-op nor post-op
+	TornStates    int     `json:"torn_states"`   // post-recovery states neither pre-op nor post-op
 	FsckFindings  int     `json:"fsck_findings"` // invariant violations after recovery
 	MaxRecoverMs  float64 `json:"max_recover_ms"`
 	MeanRecoverMs float64 `json:"mean_recover_ms"`

@@ -23,6 +23,7 @@ import (
 	"repro/internal/davserver"
 	"repro/internal/dbm"
 	"repro/internal/obs"
+	"repro/internal/obs/ops"
 	"repro/internal/obs/trace"
 	"repro/internal/store"
 )
@@ -119,6 +120,12 @@ type DAVEnvOptions struct {
 	// the concurrency benchmark's baseline. Combine with
 	// HandleCacheSize < 0 for a faithful open-per-operation baseline.
 	Serialized bool
+	// Ops feeds the server's requests into a workload tracker (hot-path
+	// top-K and SLO burn accounting) even when metrics are off.
+	Ops *ops.Tracker
+	// WrapStore, when set, wraps the store before instrumentation —
+	// the hook chaos/latency injectors use to sit on the serving path.
+	WrapStore func(store.Store) store.Store
 }
 
 // StartDAVEnv boots a DAV server on a loopback socket and connects a
@@ -147,6 +154,9 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 	if opts.Serialized {
 		env.Store = serialize(env.Store)
 	}
+	if opts.WrapStore != nil {
+		env.Store = opts.WrapStore(env.Store)
+	}
 	m := enabledMetrics()
 	tr := enabledTracer()
 	switch {
@@ -164,9 +174,9 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 		m.TrackLocks(env.Handler.Locks())
 		clientReg = m.Registry
 	}
-	if m != nil || tr != nil {
+	if m != nil || tr != nil || opts.Ops != nil {
 		serverHandler = davserver.InstrumentWith(serverHandler, davserver.InstrumentOptions{
-			Metrics: m, Tracer: tr,
+			Metrics: m, Tracer: tr, Ops: opts.Ops,
 		})
 	}
 

@@ -157,15 +157,57 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	// seriesLimit caps the labelled series per family; 0 = unbounded.
+	// See SetSeriesLimit.
+	seriesLimit int
+	overflow    *Counter
 }
+
+// OverflowMetric counts label-value combinations rejected by the
+// cardinality guard (see SetSeriesLimit).
+const OverflowMetric = "dav_metric_label_overflow_total"
+
+// overflowKey is the label set absorbing rejected combinations.
+var overflowKey = Labels{"overflow": "true"}
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: map[string]*family{}}
 }
 
+// SetSeriesLimit installs the cardinality guard: once a family holds n
+// labelled series, further new label-value combinations collapse into
+// one {overflow="true"} series per family instead of allocating, and
+// each rejection increments dav_metric_label_overflow_total. This
+// bounds the exposition no matter what a caller uses as a label value
+// — a misbehaving client cannot OOM the registry by minting paths.
+// n <= 0 removes the limit. Existing series are never evicted.
+func (r *Registry) SetSeriesLimit(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesLimit = n
+	if n > 0 && r.overflow == nil {
+		s := r.lookup(OverflowMetric,
+			"Label-value combinations rejected by the registry's cardinality guard (cumulative).",
+			kindCounter, nil)
+		if s.counter == nil {
+			s.counter = &Counter{}
+		}
+		r.overflow = s.counter
+	}
+}
+
+// SeriesLimit reports the configured per-family series cap (0 =
+// unbounded).
+func (r *Registry) SeriesLimit() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesLimit
+}
+
 // lookup finds or creates the series for name+labels, enforcing kind
-// consistency across calls. Caller holds r.mu.
+// consistency across calls and the cardinality guard. Caller holds
+// r.mu.
 func (r *Registry) lookup(name, help, kind string, labels Labels) *series {
 	f, ok := r.families[name]
 	if !ok {
@@ -176,11 +218,30 @@ func (r *Registry) lookup(name, help, kind string, labels Labels) *series {
 	}
 	key := renderLabels(labels, "", 0)
 	s, ok := f.series[key]
-	if !ok {
-		s = &series{labels: cloneLabels(labels), key: key}
-		f.series[key] = s
-		f.keys = append(f.keys, key)
+	if ok {
+		return s
 	}
+	// Cardinality guard: a new labelled combination past the cap lands
+	// in the family's single overflow series. Unlabelled series are
+	// exempt (one per family by construction), as is the overflow
+	// counter itself.
+	if r.seriesLimit > 0 && len(labels) > 0 && len(f.series) >= r.seriesLimit &&
+		name != OverflowMetric {
+		if r.overflow != nil {
+			r.overflow.Inc()
+		}
+		okey := renderLabels(overflowKey, "", 0)
+		s, ok = f.series[okey]
+		if !ok {
+			s = &series{labels: cloneLabels(overflowKey), key: okey}
+			f.series[okey] = s
+			f.keys = append(f.keys, okey)
+		}
+		return s
+	}
+	s = &series{labels: cloneLabels(labels), key: key}
+	f.series[key] = s
+	f.keys = append(f.keys, key)
 	return s
 }
 

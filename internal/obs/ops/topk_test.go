@@ -1,0 +1,122 @@
+package ops
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestTopKExact: with fewer distinct keys than capacity the counts are
+// exact and ordering is by frequency.
+func TestTopKExact(t *testing.T) {
+	tk := NewTopK(8)
+	for i := 0; i < 30; i++ {
+		tk.Observe("/a")
+	}
+	for i := 0; i < 20; i++ {
+		tk.Observe("/b")
+	}
+	tk.Observe("/c")
+	top := tk.Top(0)
+	if len(top) != 3 {
+		t.Fatalf("Top(0) len = %d, want 3", len(top))
+	}
+	want := []TopEntry{{"/a", 30, 0}, {"/b", 20, 0}, {"/c", 1, 0}}
+	for i, w := range want {
+		if top[i] != w {
+			t.Errorf("top[%d] = %+v, want %+v", i, top[i], w)
+		}
+	}
+	if tk.Observations() != 51 {
+		t.Errorf("Observations = %d, want 51", tk.Observations())
+	}
+}
+
+// TestTopKHeavyHitterSurvivesEviction: the Space-Saving guarantee — a
+// key with more occurrences than the table's minimum counter is always
+// present, no matter how many cold keys churn through.
+func TestTopKHeavyHitterSurvivesEviction(t *testing.T) {
+	tk := NewTopK(10)
+	rng := rand.New(rand.NewSource(1))
+	hot := "/hot"
+	for i := 0; i < 5000; i++ {
+		if i%3 == 0 {
+			tk.Observe(hot)
+		} else {
+			tk.Observe(fmt.Sprintf("/cold/%d", rng.Intn(2000)))
+		}
+	}
+	top := tk.Top(1)
+	if len(top) == 0 || top[0].Key != hot {
+		t.Fatalf("hottest key = %+v, want %s on top", top, hot)
+	}
+	// Upper bound must cover the true count; lower bound must be
+	// positive for a key this hot.
+	const trueCount = 1667 // ceil(5000/3)
+	if top[0].Count < trueCount {
+		t.Errorf("upper bound %d below true count %d", top[0].Count, trueCount)
+	}
+	if top[0].Count-top[0].ErrBound <= 0 {
+		t.Errorf("lower bound %d not positive", top[0].Count-top[0].ErrBound)
+	}
+	if got := tk.Len(); got != 10 {
+		t.Errorf("Len = %d, want capacity 10", got)
+	}
+}
+
+// TestTopKMerge: merged tables agree with a single table fed the union
+// stream on the heavy hitter, and totals add up.
+func TestTopKMerge(t *testing.T) {
+	a, b := NewTopK(6), NewTopK(6)
+	for i := 0; i < 40; i++ {
+		a.Observe("/shared")
+	}
+	for i := 0; i < 25; i++ {
+		b.Observe("/shared")
+	}
+	for i := 0; i < 10; i++ {
+		a.Observe("/only-a")
+		b.Observe("/only-b")
+	}
+	a.Merge(b)
+	top := a.Top(1)
+	if top[0].Key != "/shared" || top[0].Count != 65 {
+		t.Fatalf("merged top = %+v, want /shared with 65", top[0])
+	}
+	if a.Observations() != 85 {
+		t.Errorf("merged Observations = %d, want 85", a.Observations())
+	}
+	a.Merge(a) // self-merge must be a no-op
+	if a.Observations() != 85 {
+		t.Errorf("self-merge changed Observations to %d", a.Observations())
+	}
+	a.Merge(nil) // nil-merge must be a no-op
+}
+
+// TestTopKConcurrent hammers Observe/Top/Merge from many goroutines for
+// the race detector.
+func TestTopKConcurrent(t *testing.T) {
+	tk := NewTopK(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			other := NewTopK(16)
+			for i := 0; i < 400; i++ {
+				tk.Observe(fmt.Sprintf("/p%d", i%40))
+				other.Observe("/merged")
+				if i%100 == 99 {
+					tk.Top(5)
+					tk.Merge(other)
+					other = NewTopK(16)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tk.Observations() == 0 {
+		t.Fatal("no observations recorded")
+	}
+}

@@ -1,0 +1,112 @@
+package ops
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TrackerConfig sizes a Tracker.
+type TrackerConfig struct {
+	// K is the heavy-hitter table capacity (default 20).
+	K int
+	// SLO, when set, scores every observed request against its
+	// objectives.
+	SLO *SLO
+}
+
+// Tracker is the per-request analytics sink the Instrument middleware
+// feeds: two Space-Saving tables — hottest resource paths and hottest
+// (method, depth) operation shapes — plus optional SLO accounting. All
+// methods are safe for concurrent use and O(K) per observation.
+type Tracker struct {
+	paths *TopK
+	ops   *TopK
+	slo   *SLO
+	seen  atomic.Int64
+}
+
+// NewTracker builds a tracker.
+func NewTracker(cfg TrackerConfig) *Tracker {
+	if cfg.K <= 0 {
+		cfg.K = 20
+	}
+	return &Tracker{
+		paths: NewTopK(cfg.K),
+		ops:   NewTopK(cfg.K),
+		slo:   cfg.SLO,
+	}
+}
+
+// ObserveRequest records one completed request: the resource path and
+// the (method, depth) shape go into the heavy-hitter tables, and the
+// latency is scored against the SLO objectives when one is configured.
+func (t *Tracker) ObserveRequest(method, path, depth string, status int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if depth == "" {
+		depth = "-"
+	}
+	t.paths.Observe(path)
+	t.ops.Observe(method + " depth=" + depth)
+	t.seen.Add(1)
+	t.slo.Observe(method, status, d)
+}
+
+// SLO returns the tracker's SLO engine (nil when none is configured).
+func (t *Tracker) SLO() *SLO { return t.slo }
+
+// HotPaths returns the top n resource paths by request count.
+func (t *Tracker) HotPaths(n int) []TopEntry { return t.paths.Top(n) }
+
+// HotOps returns the top n (method, depth) shapes by request count.
+func (t *Tracker) HotOps(n int) []TopEntry { return t.ops.Top(n) }
+
+// Observations reports how many requests the tracker has seen.
+func (t *Tracker) Observations() int64 { return t.seen.Load() }
+
+// Register exposes the heavy-hitter tables as rank-labelled gauges:
+// dav_hot_path_requests{rank="01"} is the hottest path's count, and so
+// on down the table. Ranks — not path labels — keep the exposition's
+// cardinality fixed at 2K series no matter how many distinct paths the
+// workload touches; the key names live on /debug/status, whose JSON
+// carries the full table. Also registers table-level distinct/seen
+// gauges, and the SLO gauges when an engine is attached.
+func (t *Tracker) Register(r *obs.Registry) {
+	rankGauges := r.GaugeFunc
+	for i := 0; i < t.paths.K(); i++ {
+		i := i
+		rankGauges("dav_hot_path_requests",
+			"Request count of the rank-th hottest resource path (Space-Saving upper bound).",
+			obs.Labels{"rank": fmt.Sprintf("%02d", i+1)},
+			func() float64 {
+				top := t.paths.Top(i + 1)
+				if i >= len(top) {
+					return 0
+				}
+				return float64(top[i].Count)
+			})
+		rankGauges("dav_hot_op_requests",
+			"Request count of the rank-th hottest (method, depth) shape (Space-Saving upper bound).",
+			obs.Labels{"rank": fmt.Sprintf("%02d", i+1)},
+			func() float64 {
+				top := t.ops.Top(i + 1)
+				if i >= len(top) {
+					return 0
+				}
+				return float64(top[i].Count)
+			})
+	}
+	r.GaugeFunc("dav_hot_path_distinct",
+		"Distinct resource paths currently tracked (at most the table capacity).", nil,
+		func() float64 { return float64(t.paths.Len()) })
+	r.GaugeFunc("dav_hot_path_observations_total",
+		"Requests observed by the workload analytics tracker.", nil,
+		func() float64 { return float64(t.Observations()) })
+	if t.slo != nil {
+		t.slo.Register(r)
+	}
+}

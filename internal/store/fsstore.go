@@ -152,6 +152,12 @@ type fsShared struct {
 	rolledBack      atomic.Int64
 	sweptTmp        atomic.Int64
 	lastRecoverNano atomic.Int64
+
+	// Live progress of the current (or most recent) recovery pass,
+	// surfaced in /readyz while the store is recovering so operators
+	// can watch the backlog drain instead of staring at a flag.
+	passResolved atomic.Int64
+	passSwept    atomic.Int64
 }
 
 // fsyncErrors counts directory/file fsync failures that were demoted

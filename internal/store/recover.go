@@ -39,6 +39,35 @@ type RecoveryStats struct {
 	Recovering    bool
 }
 
+// RecoveryBacklog is the live progress of the current (or most recent)
+// recovery pass: how many journal intents still await resolution, how
+// many this pass has resolved so far, and how many stale temporaries
+// the sweep has removed. /readyz embeds it while the store reports
+// "recovering" so the drain is observable, not just the gate.
+type RecoveryBacklog struct {
+	PendingIntents  int `json:"pending_intents"`
+	ResolvedIntents int `json:"resolved_intents"`
+	SweptTmp        int `json:"swept_tmp"`
+}
+
+// RecoveryBacklog snapshots the in-flight recovery progress. Pending
+// counts journal intents not yet resolved by the current pass (the
+// journal itself only empties when the pass completes).
+func (s *FSStore) RecoveryBacklog() RecoveryBacklog {
+	sh := s.shared
+	b := RecoveryBacklog{
+		ResolvedIntents: int(sh.passResolved.Load()),
+		SweptTmp:        int(sh.passSwept.Load()),
+	}
+	if j := sh.journal; j != nil {
+		b.PendingIntents = j.Len() - b.ResolvedIntents
+		if b.PendingIntents < 0 {
+			b.PendingIntents = 0
+		}
+	}
+	return b
+}
+
 // RecoveryStats snapshots the store's cumulative recovery counters.
 func (s *FSStore) RecoveryStats() RecoveryStats {
 	sh := s.shared
@@ -70,6 +99,8 @@ func (s *FSStore) Recover() (RecoverReport, error) {
 	start := time.Now()
 	var rep RecoverReport
 	var firstErr error
+	s.shared.passResolved.Store(0)
+	s.shared.passSwept.Store(0)
 
 	if j := s.shared.journal; j != nil {
 		pending := j.Pending()
@@ -89,6 +120,7 @@ func (s *FSStore) Recover() (RecoverReport, error) {
 			} else {
 				rep.RolledBack++
 			}
+			s.shared.passResolved.Add(1)
 			slog.Info("store: recovered unfinished operation",
 				"intent", rec.String(), "rolled", direction(fwd))
 		}
@@ -297,6 +329,7 @@ func (s *FSStore) sweepTmp() (int, error) {
 		}
 		slog.Info("store: swept stale temporary", "path", p)
 		swept++
+		s.shared.passSwept.Add(1)
 		return nil
 	})
 	return swept, err
