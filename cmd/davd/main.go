@@ -12,12 +12,17 @@
 // lock/limiter gauges accumulate in a metrics registry. Workload
 // analytics ride along: heavy-hitter top-K tables over resource paths
 // and (method, Depth) pairs, latency SLO burn-rate accounting (-slo),
-// and a periodic runtime self-sampler (-sample-interval). The optional
-// -admin listener serves all of it at /metrics (Prometheus text
-// format), /debug/vars (expvar), /debug/status (the unified
-// operational console, HTML or ?format=json), /debug/traces, and the
-// net/http/pprof profiling surface — on a separate port so operators
-// never expose it with the DAV tree.
+// and a periodic runtime self-sampler (-sample-interval). Continuous
+// profiling keeps a bounded ring of recent pprof snapshots
+// (-prof-interval, -prof-ring), and an incident capturer assembles
+// downloadable evidence bundles on SLO-degraded transitions, slow
+// trips, panics, or a manual POST /debug/incident (-incident-auto,
+// -incident-max). The optional -admin listener serves all of it at
+// /metrics (Prometheus text format), /debug/vars (expvar),
+// /debug/status (the unified operational console, HTML or
+// ?format=json), /debug/traces, /debug/profiles, /debug/incidents,
+// /debug/logs, and the net/http/pprof profiling surface — on a
+// separate port so operators never expose it with the DAV tree.
 //
 // Usage:
 //
@@ -26,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -35,6 +41,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -43,6 +50,7 @@ import (
 	"repro/internal/dbm"
 	"repro/internal/obs"
 	"repro/internal/obs/ops"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/trace"
 	"repro/internal/store"
 )
@@ -84,10 +92,21 @@ func main() {
 			"runtime self-sampling period (heap, goroutines, GC, FDs, scheduler latency) feeding dav_runtime_* and the /debug/status trend; 0 disables")
 		seriesLimit = flag.Int("metric-series-limit", 512,
 			"labelled series cap per metric family; past it new label combinations collapse into one overflow series and dav_metric_label_overflow_total counts them; 0 = unlimited")
+		profEvery = flag.Duration("prof-interval", time.Minute,
+			"continuous-profiling capture period (CPU slice + heap/goroutine/mutex/block snapshots into an in-memory ring, served at /debug/profiles); 0 disables")
+		profRing = flag.Int("prof-ring", 8,
+			"capture ticks the profile ring retains (each tick holds one artifact per profile kind)")
+		incidentAuto = flag.Bool("incident-auto", true,
+			"assemble incident bundles automatically on SLO-degraded transitions, slow-request trips, and recovered panics (manual POST /debug/incident always works)")
+		incidentMax = flag.Int("incident-max", 8,
+			"incident bundles retained in memory; older ones are evicted")
 	)
 	flag.Parse()
 
-	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
+	// The stderr logger is teed into a bounded in-memory ring so the log
+	// tail is servable at /debug/logs and embeddable in incident bundles.
+	logRing := obs.NewLogRing(512)
+	logger := slog.New(logRing.Tee(obs.NewLogger(os.Stderr, slog.LevelInfo).Handler()))
 	fatalf := func(format string, args ...any) {
 		logger.Error(fmt.Sprintf(format, args...))
 		os.Exit(1)
@@ -137,6 +156,9 @@ func main() {
 	// middleware's WARN log, so every warned request has a trace.
 	metrics := davserver.NewMetrics(obs.NewRegistry())
 	metrics.Registry.SetSeriesLimit(*seriesLimit)
+	// Exemplars tie latency-histogram buckets to the trace that landed
+	// in them, so a slow bucket on /metrics links into /debug/traces.
+	metrics.Registry.SetExemplars(true)
 	obs.RegisterRuntime(metrics.Registry)
 
 	// Workload analytics: heavy-hitter tables over every request, plus
@@ -173,6 +195,38 @@ func main() {
 	metrics.TrackStore(fs)
 	st := store.Instrument(fs, metrics.StoreObserver())
 
+	// Continuous profiling: a bounded ring of recent pprof snapshots, so
+	// the past is already profiled when an anomaly is noticed.
+	var profSampler *prof.Sampler
+	if *profEvery > 0 {
+		profSampler = prof.NewSampler(prof.SamplerConfig{
+			Interval: *profEvery,
+			Ring:     *profRing,
+		})
+		profSampler.Register(metrics.Registry)
+		profSampler.Start()
+		defer profSampler.Stop()
+	}
+
+	// The incident capturer assembles a downloadable tar.gz of evidence
+	// (profiles, trace tail, metrics, status, log tail) when a trigger
+	// fires. status is assigned below, before the server starts serving.
+	var status *ops.Status
+	capturer := prof.NewCapturer(prof.CaptureConfig{
+		Sampler:      profSampler,
+		WriteTraces:  recorder.WriteJSONL,
+		WriteMetrics: metrics.Registry.WritePrometheus,
+		StatusJSON: func() ([]byte, error) {
+			if status == nil {
+				return nil, fmt.Errorf("status console not initialised")
+			}
+			return json.Marshal(status.Doc())
+		},
+		LogTail:    logRing.Bytes,
+		MaxBundles: *incidentMax,
+	})
+	capturer.Register(metrics.Registry)
+
 	opts := &davserver.Options{MaxPropBytes: *maxProp, Prefix: *prefix}
 	if !*quiet {
 		opts.Logger = logger
@@ -195,12 +249,18 @@ func main() {
 	if !*quiet {
 		panicLog = logger
 	}
-	handler = davserver.Harden(handler, davserver.HardenOptions{
+	hardenOpts := davserver.HardenOptions{
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
 		Logger:         panicLog,
 		Metrics:        metrics,
-	})
+	}
+	if *incidentAuto {
+		hardenOpts.OnPanic = func(method, path string, v any) {
+			capturer.TriggerAsync(prof.TriggerPanic, fmt.Sprintf("%s %s: %v", method, path, v))
+		}
+	}
+	handler = davserver.Harden(handler, hardenOpts)
 
 	// Telemetry outermost so the recorded status and access log include
 	// timeouts, recovered panics, and rejected credentials.
@@ -208,14 +268,21 @@ func main() {
 	if !*noAccessLog {
 		accessLog = logger
 	}
-	handler = davserver.InstrumentWith(handler, davserver.InstrumentOptions{
+	instrumentOpts := davserver.InstrumentOptions{
 		Metrics:       metrics,
 		AccessLog:     accessLog,
 		Tracer:        tracer,
 		SlowThreshold: *slowThresh,
 		SlowLog:       logger, // slow-request warnings survive -no-access-log
 		Ops:           tracker,
-	})
+	}
+	if *incidentAuto {
+		instrumentOpts.OnSlow = func(method, path string, d time.Duration) {
+			capturer.TriggerAsync(prof.TriggerSlow,
+				fmt.Sprintf("%s %s took %s (threshold %s)", method, path, d, *slowThresh))
+		}
+	}
+	handler = davserver.InstrumentWith(handler, instrumentOpts)
 
 	// Probe endpoints live outside the auth wrapper so orchestrators
 	// can poll them without credentials; they shadow same-named DAV
@@ -224,6 +291,41 @@ func main() {
 	if slo != nil {
 		health.SetDegraded(slo.Degraded)
 	}
+
+	// The unified console: one page (HTML or ?format=json) joining
+	// build/runtime state, SLO burn, heavy hitters, storage gauges, and
+	// readiness. Built outside the admin block because incident bundles
+	// embed its document even when no admin listener is configured.
+	status = ops.NewStatus(ops.StatusConfig{
+		Service:  "davd",
+		Registry: metrics.Registry,
+		Sampler:  sampler,
+		Tracker:  tracker,
+		Ready: func() any {
+			st, _ := health.Ready()
+			return st
+		},
+		Links: []ops.Link{
+			{Name: "metrics", Href: "/metrics"},
+			{Name: "expvar", Href: "/debug/vars"},
+			{Name: "traces", Href: "/debug/traces"},
+			{Name: "profiles", Href: "/debug/profiles"},
+			{Name: "incidents", Href: "/debug/incidents"},
+			{Name: "logs", Href: "/debug/logs"},
+			{Name: "pprof", Href: "/debug/pprof/"},
+		},
+	})
+
+	// Degraded-transition trigger: the SLO engine exposes a bit, not an
+	// event, so a watcher polls for the rising edge.
+	var watcher *ops.DegradedWatcher
+	if *incidentAuto && slo != nil {
+		watcher = ops.WatchDegraded(slo.Degraded, time.Second, func() {
+			capturer.TriggerAsync(prof.TriggerDegraded,
+				"slo burn past threshold in every window")
+		})
+	}
+
 	mux := http.NewServeMux()
 	if !*noHealth {
 		health.Register(mux)
@@ -254,25 +356,13 @@ func main() {
 		amux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		amux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		amux.Handle("/debug/traces", recorder.Handler())
-		// The unified console: one page (HTML or ?format=json) joining
-		// build/runtime state, SLO burn, heavy hitters, storage gauges,
-		// and readiness.
-		amux.Handle("/debug/status", ops.NewStatus(ops.StatusConfig{
-			Service:  "davd",
-			Registry: metrics.Registry,
-			Sampler:  sampler,
-			Tracker:  tracker,
-			Ready: func() any {
-				st, _ := health.Ready()
-				return st
-			},
-			Links: []ops.Link{
-				{Name: "metrics", Href: "/metrics"},
-				{Name: "expvar", Href: "/debug/vars"},
-				{Name: "traces", Href: "/debug/traces"},
-				{Name: "pprof", Href: "/debug/pprof/"},
-			},
-		}))
+		amux.Handle("/debug/status", status)
+		if profSampler != nil {
+			amux.Handle("/debug/profiles", profSampler.Handler())
+		}
+		amux.Handle("/debug/incidents", capturer.Handler())
+		amux.Handle("/debug/incident", capturer.TriggerHandler())
+		amux.Handle("/debug/logs", logRing.Handler())
 		adminListener, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
 			fatalf("davd: admin listen: %v", err)
@@ -285,7 +375,7 @@ func main() {
 		}()
 		logger.Info("admin endpoints enabled",
 			"addr", adminListener.Addr().String(),
-			"paths", "/metrics /debug/vars /debug/pprof/ /debug/traces /debug/status")
+			"paths", "/metrics /debug/vars /debug/pprof/ /debug/traces /debug/status /debug/profiles /debug/incidents /debug/logs")
 	}
 
 	// Graceful shutdown: on the first signal, flip readiness so load
@@ -323,8 +413,14 @@ func main() {
 	}
 	<-done
 
+	// Stop the degraded watcher before flushing so no new bundle starts
+	// assembling mid-export.
+	watcher.Stop()
+
 	// Flush the flight recorder after the drain so the export includes
-	// every request that completed before shutdown.
+	// every request that completed before shutdown. Incident bundles and
+	// the profile-ring index land next to it: evidence captured in
+	// memory must survive a graceful exit, not just the traces.
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -338,5 +434,27 @@ func main() {
 			fatalf("davd: close trace export: %v", err)
 		}
 		logger.Info("traces exported", "file", *traceOut, "traces", recorder.Len())
+
+		outDir := filepath.Dir(*traceOut)
+		if n, err := capturer.WriteBundles(outDir); err != nil {
+			logger.Error("incident flush failed", "err", err)
+		} else if n > 0 {
+			logger.Info("incident bundles flushed", "dir", outDir, "bundles", n)
+		}
+		if profSampler != nil {
+			idx, err := json.MarshalIndent(struct {
+				Stats     prof.Stats      `json:"stats"`
+				Artifacts []prof.Artifact `json:"artifacts"`
+			}{profSampler.Stats(), profSampler.Artifacts()}, "", "  ")
+			if err == nil {
+				err = os.WriteFile(filepath.Join(outDir, "profile-ring.json"), append(idx, '\n'), 0o644)
+			}
+			if err != nil {
+				logger.Error("profile-ring index flush failed", "err", err)
+			} else {
+				logger.Info("profile-ring index flushed",
+					"file", filepath.Join(outDir, "profile-ring.json"))
+			}
+		}
 	}
 }

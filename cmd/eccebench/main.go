@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|opssmoke|all>
+//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|opssmoke|all>
 //
 // By default the paper's full workload sizes are used for table1 and
 // table3; table2, robust and disk default to scaled sizes unless -full
@@ -56,14 +56,16 @@ func main() {
 		bench7Out  = flag.String("out7", "BENCH_PR7.json",
 			"bench-pr7: output file for the workload-analytics benchmark result")
 		bench7Reqs = flag.Int("reqs7", 600, "bench-pr7: requests in the Zipf phase")
-		adminURL   = flag.String("admin-url", "",
+		bench8Out  = flag.String("out8", "BENCH_PR8.json",
+			"bench-pr8: output file for the continuous-profiling benchmark result")
+		adminURL = flag.String("admin-url", "",
 			"opssmoke: base URL of a live davd admin listener (e.g. http://127.0.0.1:8081)")
 		davURL = flag.String("dav-url", "",
 			"opssmoke: base URL of the matching DAV listener; when set, a small workload is driven first so the analytics have something to show")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|opssmoke|all>")
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|opssmoke|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -214,6 +216,17 @@ func main() {
 		}
 	}
 
+	// bench-pr8 runs the continuous-profiling benchmark (chaos latency →
+	// degraded window → exactly one incident bundle with parseable
+	// evidence, then profiler overhead on the PR 4 mix), writes the JSON
+	// result, and re-validates the written file. Excluded from "all"
+	// (its chaos phase deliberately sleeps on the serving path).
+	if which == "bench-pr8" {
+		if err := runBenchPR8(*bench8Out); err != nil {
+			log.Fatalf("eccebench bench-pr8: %v", err)
+		}
+	}
+
 	// opssmoke scrapes a LIVE davd admin listener — /metrics and
 	// /debug/status?format=json — and validates both, optionally driving
 	// a small workload against the DAV listener first. CI uses it to
@@ -226,7 +239,7 @@ func main() {
 	}
 
 	switch which {
-	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "crash-recovery", "bench-pr7", "opssmoke", "all":
+	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "crash-recovery", "bench-pr7", "bench-pr8", "opssmoke", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
 		os.Exit(2)
@@ -418,6 +431,46 @@ func runBenchPR7(outPath string, reqs int) error {
 	fmt.Printf("bench-pr7: sampler overhead %.2f%% (%d samples, %.0f vs %.0f ops/s); "+
 		"result written to %s\n",
 		100*res.Sampler.Overhead, res.Sampler.Samples,
+		res.Sampler.BaselineOpsPerSec, res.Sampler.SampledOpsPerSec, outPath)
+	return nil
+}
+
+// runBenchPR8 runs the continuous-profiling benchmark, writes the
+// result as JSON, and validates what was actually written — asserting
+// the degraded window produced exactly one deduplicated, fully
+// parseable incident bundle and the profiler stayed inside its
+// overhead budget.
+func runBenchPR8(outPath string) error {
+	res, err := experiments.RunBenchPR8(experiments.BenchPR8Options{})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBenchPR8(written); err != nil {
+		return fmt.Errorf("written %s failed validation: %w", outPath, err)
+	}
+	inc := res.Incident
+	fmt.Printf("bench-pr8: %d chaos GETs degraded the SLO; watcher fired %d, "+
+		"%d bundle (%s, %d bytes, repeat suppressed=%v)\n",
+		inc.ChaosRequests, inc.WatcherFired, inc.Bundles, inc.BundleID,
+		inc.BundleBytes, inc.SuppressedRepeat)
+	fmt.Printf("bench-pr8: bundle holds %d profile kinds, %d trace lines, "+
+		"metrics ok=%v, status ok=%v, %d log lines\n",
+		inc.ProfileKinds, inc.TraceLines, inc.MetricsOK, inc.StatusOK, inc.LogLines)
+	fmt.Printf("bench-pr8: profiler overhead %.2f%% (%d captures, measured ratio %.4f, "+
+		"%.0f vs %.0f ops/s); result written to %s\n",
+		100*res.Sampler.Overhead, res.Sampler.Captures, res.Sampler.MeasuredRatio,
 		res.Sampler.BaselineOpsPerSec, res.Sampler.SampledOpsPerSec, outPath)
 	return nil
 }

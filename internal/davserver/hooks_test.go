@@ -1,0 +1,111 @@
+package davserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
+
+// TestOnPanicHook verifies Harden fires OnPanic with the request's
+// method, path, and the recovered value after counting the panic.
+func TestOnPanicHook(t *testing.T) {
+	var mu sync.Mutex
+	var gotMethod, gotPath string
+	var gotValue any
+	fired := 0
+
+	m := NewMetrics(nil)
+	h := Harden(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), HardenOptions{
+		Metrics: m,
+		OnPanic: func(method, path string, v any) {
+			mu.Lock()
+			defer mu.Unlock()
+			fired++
+			gotMethod, gotPath, gotValue = method, path, v
+		},
+	})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("PROPFIND", "/broken", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 1 {
+		t.Fatalf("OnPanic fired %d times, want 1", fired)
+	}
+	if gotMethod != "PROPFIND" || gotPath != "/broken" || gotValue != "boom" {
+		t.Errorf("OnPanic got (%q, %q, %v)", gotMethod, gotPath, gotValue)
+	}
+}
+
+// TestOnSlowHook verifies InstrumentWith fires OnSlow exactly for
+// requests at or above the threshold.
+func TestOnSlowHook(t *testing.T) {
+	var mu sync.Mutex
+	var slowPaths []string
+
+	delay := time.Duration(0)
+	h := InstrumentWith(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(delay)
+	}), InstrumentOptions{
+		SlowThreshold: 30 * time.Millisecond,
+		OnSlow: func(method, path string, d time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			slowPaths = append(slowPaths, method+" "+path)
+		},
+	})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fast", nil))
+
+	delay = 50 * time.Millisecond
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/slow", nil))
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slowPaths) != 1 || slowPaths[0] != "GET /slow" {
+		t.Errorf("OnSlow fired for %v, want exactly [GET /slow]", slowPaths)
+	}
+}
+
+// TestExemplarWiredToTrace verifies the instrumented request path
+// stamps the latency histogram with the server span's trace ID.
+func TestExemplarWiredToTrace(t *testing.T) {
+	m := NewMetrics(nil)
+	m.Registry.SetExemplars(true)
+	recorder := trace.NewRecorder(trace.RecorderConfig{SampleRate: 1})
+	tracer := trace.New(trace.Config{Recorder: recorder})
+	h := InstrumentWith(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), InstrumentOptions{Metrics: m, Tracer: tracer})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/doc", nil))
+
+	var sb strings.Builder
+	if err := m.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `dav_request_duration_seconds_bucket{method="GET"`) {
+		t.Fatalf("latency histogram missing:\n%s", out)
+	}
+	if !strings.Contains(out, `# {trace_id="`) {
+		t.Errorf("no exemplar on the latency histogram:\n%s", out)
+	}
+	if err := obs.CheckExposition([]byte(out)); err != nil {
+		t.Errorf("CheckExposition: %v", err)
+	}
+}

@@ -76,14 +76,16 @@ func methodLabel(m string) string {
 	return "OTHER"
 }
 
-// observeRequest records one completed request.
-func (m *Metrics) observeRequest(method string, status int, d time.Duration, reqBytes, respBytes int64) {
+// observeRequest records one completed request. traceID (optional)
+// stamps the latency bucket with an exemplar so the exposition can
+// link a slow bucket to its recorded trace.
+func (m *Metrics) observeRequest(method string, status int, d time.Duration, reqBytes, respBytes int64, traceID string) {
 	r := m.Registry
 	lm := methodLabel(method)
 	r.Counter("dav_requests_total", helpRequests,
 		obs.Labels{"method": lm, "class": obs.StatusClass(status)}).Inc()
 	r.Histogram("dav_request_duration_seconds", helpDuration,
-		obs.Labels{"method": lm}, obs.DefBuckets).Observe(d.Seconds())
+		obs.Labels{"method": lm}, obs.DefBuckets).ObserveEx(d.Seconds(), traceID)
 	if reqBytes >= 0 {
 		r.Histogram("dav_request_body_bytes", helpReqBytes,
 			obs.Labels{"method": lm}, obs.SizeBuckets).Observe(float64(reqBytes))
@@ -270,6 +272,10 @@ type InstrumentOptions struct {
 	// tables and SLO burn-rate accounting. It sees the same duration the
 	// metrics histogram records.
 	Ops *ops.Tracker
+	// OnSlow fires (after the slow-request warning) for each request at
+	// or above SlowThreshold — the incident capturer's slow-trip
+	// trigger. Must not block; hand off long work.
+	OnSlow func(method, path string, d time.Duration)
 }
 
 // Instrument wraps next with the telemetry middleware: it resolves the
@@ -335,7 +341,11 @@ func InstrumentWith(next http.Handler, o InstrumentOptions) http.Handler {
 		}
 		if m != nil {
 			m.inflight.Add(-1)
-			m.observeRequest(req.Method, rr.Status(), d, req.ContentLength, rr.Bytes())
+			traceID := ""
+			if span != nil {
+				traceID = span.TraceID().String()
+			}
+			m.observeRequest(req.Method, rr.Status(), d, req.ContentLength, rr.Bytes(), traceID)
 		}
 		if o.Ops != nil {
 			o.Ops.ObserveRequest(req.Method, req.URL.Path,
@@ -365,6 +375,9 @@ func InstrumentWith(next http.Handler, o InstrumentOptions) http.Handler {
 			if slowLog != nil {
 				slowLog.LogAttrs(req.Context(), slog.LevelWarn, "slow request",
 					append(attrs, slog.Duration("threshold", o.SlowThreshold))...)
+			}
+			if o.OnSlow != nil {
+				o.OnSlow(req.Method, req.URL.Path, d)
 			}
 		}
 	})

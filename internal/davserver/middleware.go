@@ -36,6 +36,9 @@ type HardenOptions struct {
 	Logger *slog.Logger
 	// Metrics, when set, counts recovered panics (dav_panics_total).
 	Metrics *Metrics
+	// OnPanic fires after a panic is recovered and counted — the
+	// incident capturer's panic trigger. Must not block or panic.
+	OnPanic func(method, path string, value any)
 }
 
 // Harden wraps next with the full protection stack: panic recovery
@@ -49,7 +52,7 @@ func Harden(next http.Handler, opts HardenOptions) http.Handler {
 		h = http.TimeoutHandler(h, opts.RequestTimeout,
 			fmt.Sprintf("request exceeded the %s server timeout", opts.RequestTimeout))
 	}
-	return recoverer(opts.Logger, opts.Metrics, h)
+	return recoverer(opts.Logger, opts.Metrics, opts.OnPanic, h)
 }
 
 // Recoverer converts handler panics into 500 responses instead of
@@ -57,11 +60,12 @@ func Harden(next http.Handler, opts HardenOptions) http.Handler {
 // stack at ERROR so the fault is diagnosable and traceable. The daemon
 // keeps serving other requests.
 func Recoverer(logger *slog.Logger, next http.Handler) http.Handler {
-	return recoverer(logger, nil, next)
+	return recoverer(logger, nil, nil, next)
 }
 
-// recoverer is Recoverer plus an optional panic counter.
-func recoverer(logger *slog.Logger, m *Metrics, next http.Handler) http.Handler {
+// recoverer is Recoverer plus an optional panic counter and trigger
+// hook.
+func recoverer(logger *slog.Logger, m *Metrics, onPanic func(method, path string, value any), next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			rec := recover()
@@ -73,6 +77,9 @@ func recoverer(logger *slog.Logger, m *Metrics, next http.Handler) http.Handler 
 				panic(rec)
 			}
 			m.CountPanic()
+			if onPanic != nil {
+				onPanic(r.Method, r.URL.Path, rec)
+			}
 			if logger != nil {
 				logger.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
 					slog.String("id", obs.RequestIDFrom(r.Context())),

@@ -59,8 +59,15 @@ func CheckExposition(data []byte) error {
 	return nil
 }
 
-// checkSample validates one `name[{labels}] value` line.
+// checkSample validates one `name[{labels}] value` line, optionally
+// followed by an OpenMetrics exemplar suffix ` # {labels} value`.
 func checkSample(text string) error {
+	if j := strings.Index(text, " # "); j >= 0 {
+		if err := checkExemplar(strings.TrimSpace(text[j+3:])); err != nil {
+			return fmt.Errorf("sample %q: %w", text, err)
+		}
+		text = strings.TrimSpace(text[:j])
+	}
 	i := strings.LastIndexByte(text, ' ')
 	if i < 0 {
 		return fmt.Errorf("sample %q has no value", text)
@@ -79,6 +86,26 @@ func checkSample(text string) error {
 	}
 	if !validMetricName(name) {
 		return fmt.Errorf("sample %q: bad metric name %q", text, name)
+	}
+	return nil
+}
+
+// checkExemplar validates the `{labels} value` part of an exemplar
+// suffix.
+func checkExemplar(text string) error {
+	if !strings.HasPrefix(text, "{") {
+		return fmt.Errorf("exemplar %q: missing label set", text)
+	}
+	end := strings.IndexByte(text, '}')
+	if end < 0 {
+		return fmt.Errorf("exemplar %q: unterminated label set", text)
+	}
+	rest := strings.Fields(text[end+1:])
+	if len(rest) == 0 {
+		return fmt.Errorf("exemplar %q: missing value", text)
+	}
+	if _, err := strconv.ParseFloat(rest[0], 64); err != nil {
+		return fmt.Errorf("exemplar %q: bad value %q", text, rest[0])
 	}
 	return nil
 }

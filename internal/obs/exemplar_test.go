@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExemplarGolden pins the exemplar-enabled exposition rendering:
+// buckets that saw a traced observation carry the OpenMetrics-style
+// suffix, the rest (and _sum/_count) are unchanged.
+func TestExemplarGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetExemplars(true)
+	h := r.Histogram("dav_request_duration_seconds", "Request latency.",
+		Labels{"method": "GET"}, []float64{0.1, 0.5, 2.5})
+	h.ObserveEx(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.Observe(0.5) // untraced: no exemplar on the 0.5 bucket
+	h.ObserveEx(3, "00f067aa0ba902b7aa0ba902b7000001")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP dav_request_duration_seconds Request latency.`,
+		`# TYPE dav_request_duration_seconds histogram`,
+		`dav_request_duration_seconds_bucket{method="GET",le="0.1"} 1 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05`,
+		`dav_request_duration_seconds_bucket{method="GET",le="0.5"} 2`,
+		`dav_request_duration_seconds_bucket{method="GET",le="2.5"} 2`,
+		`dav_request_duration_seconds_bucket{method="GET",le="+Inf"} 3 # {trace_id="00f067aa0ba902b7aa0ba902b7000001"} 3`,
+		`dav_request_duration_seconds_sum{method="GET"} 3.55`,
+		`dav_request_duration_seconds_count{method="GET"} 3`,
+		``,
+	}, "\n")
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want)
+	}
+	if err := CheckExposition([]byte(sb.String())); err != nil {
+		t.Errorf("exemplar exposition fails CheckExposition: %v", err)
+	}
+}
+
+// TestExemplarsOffByDefault verifies ObserveEx records observations but
+// emits no exemplar suffix unless the registry opts in, so the PR 2
+// golden rendering is untouched.
+func TestExemplarsOffByDefault(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "", Labels{"m": "GET"}, []float64{1})
+	h.ObserveEx(0.5, "4bf92f3577b34da6a3ce929d0e0e4736")
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), "trace_id") {
+		t.Errorf("exemplar emitted with SetExemplars off:\n%s", sb.String())
+	}
+	if h.Count() != 1 {
+		t.Errorf("Count = %d, want 1", h.Count())
+	}
+	// Flipping the option on exposes the already-recorded exemplar.
+	r.SetExemplars(true)
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.5`) {
+		t.Errorf("exemplar missing after SetExemplars(true):\n%s", sb.String())
+	}
+}
+
+// TestObserveExLastWriterWins verifies the freshest traced observation
+// per bucket is the one retained.
+func TestObserveExLastWriterWins(t *testing.T) {
+	r := NewRegistry()
+	r.SetExemplars(true)
+	h := r.Histogram("d_seconds", "", nil, []float64{1})
+	h.ObserveEx(0.3, "older")
+	h.ObserveEx(0.7, "newer")
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `# {trace_id="newer"} 0.7`) {
+		t.Errorf("freshest exemplar missing:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "older") {
+		t.Errorf("stale exemplar survived:\n%s", sb.String())
+	}
+}
+
+// TestCheckExemplarRejects verifies CheckExposition still catches
+// malformed exemplar suffixes.
+func TestCheckExemplarRejects(t *testing.T) {
+	for _, bad := range []string{
+		"# TYPE x histogram\nx_bucket{le=\"1\"} 2 # trace_id no braces\n",
+		"# TYPE x histogram\nx_bucket{le=\"1\"} 2 # {trace_id=\"a\"\n",
+		"# TYPE x histogram\nx_bucket{le=\"1\"} 2 # {trace_id=\"a\"} notanumber\n",
+		"# TYPE x histogram\nx_bucket{le=\"1\"} 2 # {trace_id=\"a\"}\n",
+	} {
+		if err := CheckExposition([]byte(bad)); err == nil {
+			t.Errorf("CheckExposition accepted malformed exemplar %q", bad)
+		}
+	}
+}

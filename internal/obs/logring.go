@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// LogRing keeps the last N formatted log lines in memory so the tail
+// is available without shell access to the host: served at /debug/logs
+// on the admin listener and embedded into incident bundles. Lines are
+// whatever the teed slog handler renders, so the ring matches stderr
+// byte for byte.
+type LogRing struct {
+	mu    sync.Mutex
+	lines []string
+	next  int   // ring write position
+	full  bool  // wrapped at least once
+	total int64 // lines ever appended
+}
+
+// NewLogRing returns a ring holding up to n lines (default 256 when
+// n <= 0).
+func NewLogRing(n int) *LogRing {
+	if n <= 0 {
+		n = 256
+	}
+	return &LogRing{lines: make([]string, n)}
+}
+
+// Write appends p (one formatted log record per call, as slog's
+// TextHandler emits) as a line. Implements io.Writer so the ring sits
+// behind a standard handler.
+func (r *LogRing) Write(p []byte) (int, error) {
+	line := string(bytes.TrimRight(p, "\n"))
+	r.mu.Lock()
+	r.lines[r.next] = line
+	r.next++
+	if r.next == len(r.lines) {
+		r.next, r.full = 0, true
+	}
+	r.total++
+	r.mu.Unlock()
+	return len(p), nil
+}
+
+// Tail returns up to n of the most recent lines, oldest first. n <= 0
+// means all retained lines.
+func (r *LogRing) Tail(n int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	if r.full {
+		out = append(out, r.lines[r.next:]...)
+		out = append(out, r.lines[:r.next]...)
+	} else {
+		out = append(out, r.lines[:r.next]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Bytes returns the retained tail as newline-terminated text (the
+// incident-bundle logs.txt payload).
+func (r *LogRing) Bytes() []byte {
+	var b bytes.Buffer
+	for _, l := range r.Tail(0) {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// Total reports how many lines have ever been appended (retained or
+// evicted).
+func (r *LogRing) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Handler serves the tail as plain text (mount at /debug/logs);
+// ?n=<count> limits to the last count lines.
+func (r *LogRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, l := range r.Tail(n) {
+			io.WriteString(w, l)
+			io.WriteString(w, "\n")
+		}
+	})
+}
+
+// teeHandler fans one slog record out to two handlers.
+type teeHandler struct{ a, b slog.Handler }
+
+func (t teeHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return t.a.Enabled(ctx, l) || t.b.Enabled(ctx, l)
+}
+
+func (t teeHandler) Handle(ctx context.Context, rec slog.Record) error {
+	var err error
+	if t.a.Enabled(ctx, rec.Level) {
+		err = t.a.Handle(ctx, rec.Clone())
+	}
+	if t.b.Enabled(ctx, rec.Level) {
+		if e := t.b.Handle(ctx, rec.Clone()); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+func (t teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return teeHandler{t.a.WithAttrs(attrs), t.b.WithAttrs(attrs)}
+}
+
+func (t teeHandler) WithGroup(name string) slog.Handler {
+	return teeHandler{t.a.WithGroup(name), t.b.WithGroup(name)}
+}
+
+// Tee wraps inner so every record it would emit is also rendered into
+// the ring (as text, at Debug level and up so the ring retains more
+// context than a quieter primary handler shows).
+func (r *LogRing) Tee(inner slog.Handler) slog.Handler {
+	ringSide := slog.NewTextHandler(r, &slog.HandlerOptions{Level: slog.LevelDebug})
+	return teeHandler{inner, ringSide}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLogRingEviction(t *testing.T) {
+	r := NewLogRing(4)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(r, "line %d\n", i)
+	}
+	got := r.Tail(0)
+	want := []string{"line 6", "line 7", "line 8", "line 9"}
+	if len(got) != len(want) {
+		t.Fatalf("Tail = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Tail[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	if got := r.Tail(2); len(got) != 2 || got[1] != "line 9" {
+		t.Errorf("Tail(2) = %v, want last two lines", got)
+	}
+}
+
+func TestLogRingTee(t *testing.T) {
+	ring := NewLogRing(16)
+	var primary bytes.Buffer
+	inner := slog.NewTextHandler(&primary, &slog.HandlerOptions{Level: slog.LevelInfo})
+	logger := slog.New(ring.Tee(inner))
+
+	logger.Info("hello", "k", "v")
+	logger.Debug("quiet") // below the primary's level, still ringed
+
+	if !strings.Contains(primary.String(), "hello") {
+		t.Errorf("primary handler missed the record: %q", primary.String())
+	}
+	if strings.Contains(primary.String(), "quiet") {
+		t.Errorf("primary handler should have filtered the debug record")
+	}
+	tail := strings.Join(ring.Tail(0), "\n")
+	if !strings.Contains(tail, "hello") || !strings.Contains(tail, "k=v") {
+		t.Errorf("ring missed the info record: %q", tail)
+	}
+	if !strings.Contains(tail, "quiet") {
+		t.Errorf("ring should retain debug records: %q", tail)
+	}
+}
+
+func TestLogRingHandler(t *testing.T) {
+	r := NewLogRing(8)
+	fmt.Fprintf(r, "alpha\n")
+	fmt.Fprintf(r, "beta\n")
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/logs", nil))
+	if rec.Code != 200 || rec.Body.String() != "alpha\nbeta\n" {
+		t.Errorf("GET = %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/logs?n=1", nil))
+	if rec.Body.String() != "beta\n" {
+		t.Errorf("GET ?n=1 = %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/logs?n=x", nil))
+	if rec.Code != 400 {
+		t.Errorf("GET ?n=x = %d, want 400", rec.Code)
+	}
+}
+
+func TestLogRingConcurrent(t *testing.T) {
+	r := NewLogRing(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fmt.Fprintf(r, "g%d line %d\n", g, i)
+				r.Tail(4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 400 {
+		t.Errorf("Total = %d, want 400", r.Total())
+	}
+	if got := len(r.Tail(0)); got != 32 {
+		t.Errorf("retained = %d, want 32", got)
+	}
+}

@@ -83,6 +83,18 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits
+	// exemplars holds the most recent traced observation per bucket
+	// (same indexing as counts). Written by ObserveEx, read at
+	// exposition when the registry has exemplars enabled.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one concrete observation to the trace that produced
+// it, OpenMetrics-style: a slow bucket in the latency histogram links
+// directly to a recorded trace in the flight recorder.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // DefBuckets are latency buckets in seconds, spanning sub-millisecond
@@ -104,7 +116,11 @@ func newHistogram(bounds []float64) *Histogram {
 	bs := make([]float64, len(bounds))
 	copy(bs, bounds)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
@@ -120,6 +136,20 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveEx records one value and, when traceID is non-empty, stamps
+// the bucket the value lands in with a {trace_id, value} exemplar
+// (last writer wins — the freshest traced request per bucket is the
+// useful one for debugging). Exemplars only appear in the exposition
+// when the registry has SetExemplars(true).
+func (h *Histogram) ObserveEx(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
 }
 
 // Count returns the number of observations.
@@ -161,6 +191,10 @@ type Registry struct {
 	// See SetSeriesLimit.
 	seriesLimit int
 	overflow    *Counter
+	// exemplars switches the exposition to OpenMetrics-style exemplar
+	// suffixes on histogram buckets. Off by default so the plain 0.0.4
+	// text format (and its golden test) is unchanged.
+	exemplars bool
 }
 
 // OverflowMetric counts label-value combinations rejected by the
@@ -195,6 +229,17 @@ func (r *Registry) SetSeriesLimit(n int) {
 		}
 		r.overflow = s.counter
 	}
+}
+
+// SetExemplars enables (or disables) exemplar emission: histogram
+// bucket lines gain an OpenMetrics-style ` # {trace_id="..."} value`
+// suffix for buckets that have seen a traced observation via
+// ObserveEx. Scrapers that speak only the plain 0.0.4 text format
+// should leave this off.
+func (r *Registry) SetExemplars(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.exemplars = on
 }
 
 // SeriesLimit reports the configured per-family series cap (0 =
@@ -331,7 +376,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			s := f.series[key]
 			switch f.kind {
 			case kindHistogram:
-				writeHistogram(&b, f.name, s)
+				writeHistogram(&b, f.name, s, r.exemplars)
 			default:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.key, formatValue(s.value()))
 			}
@@ -343,20 +388,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writeHistogram renders the _bucket/_sum/_count triplet for one
-// series, with cumulative bucket counts.
-func writeHistogram(b *strings.Builder, name string, s *series) {
+// series, with cumulative bucket counts. With exemplars on, bucket
+// lines whose bucket saw a traced observation carry an
+// OpenMetrics-style exemplar suffix (no timestamp, so output stays
+// deterministic for golden tests).
+func writeHistogram(b *strings.Builder, name string, s *series, exemplars bool) {
 	h := s.hist
 	if h == nil {
 		return
 	}
+	suffix := func(i int) string {
+		if !exemplars {
+			return ""
+		}
+		e := h.exemplars[i].Load()
+		if e == nil {
+			return ""
+		}
+		return fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabel(e.TraceID), formatValue(e.Value))
+	}
 	cum := int64(0)
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
-			renderLabels(s.labels, formatValue(bound), 1), cum)
+		fmt.Fprintf(b, "%s_bucket%s %d%s\n", name,
+			renderLabels(s.labels, formatValue(bound), 1), cum, suffix(i))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(s.labels, "+Inf", 1), cum)
+	fmt.Fprintf(b, "%s_bucket%s %d%s\n", name,
+		renderLabels(s.labels, "+Inf", 1), cum, suffix(len(h.bounds)))
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.key, formatValue(h.Sum()))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, s.key, h.Count())
 }
