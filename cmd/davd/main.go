@@ -71,6 +71,8 @@ func main() {
 			"accepted connections per minute (the paper's Apache setting); 0 = unlimited")
 		reqTimeout = flag.Duration("request-timeout", 0,
 			"per-request handling timeout; 0 disables (leave off when serving very large documents)")
+		storeOpTimeout = flag.Duration("store-op-timeout", 0,
+			"deadline for each individual store operation (lock wait + disk + property database); on expiry the client gets 503 + Retry-After and dav_store_cancelled_total{reason=\"deadline\"} counts it; 0 disables")
 		maxBody = flag.Int64("max-body-bytes", 0,
 			"request body size limit in bytes; 0 = unlimited (the paper PUTs 200 MB documents)")
 		grace = flag.Duration("shutdown-grace", 15*time.Second,
@@ -193,7 +195,11 @@ func main() {
 	})
 	tracer := trace.New(trace.Config{Recorder: recorder})
 	metrics.TrackStore(fs)
-	st := store.Instrument(fs, metrics.StoreObserver())
+	// Wrapper order matters: the instrument layer times the operation
+	// including its deadline context, and OpTimeout outermost means each
+	// DAV-layer store call — not each FSStore internal step — gets one
+	// budget.
+	st := store.OpTimeout(store.Instrument(fs, metrics.StoreObserver()), *storeOpTimeout)
 
 	// Continuous profiling: a bounded ring of recent pprof snapshots, so
 	// the past is already profiled when an anomaly is noticed.
@@ -233,6 +239,7 @@ func main() {
 	}
 	dav := davserver.NewHandler(st, opts)
 	metrics.TrackLocks(dav.Locks())
+	metrics.TrackGate(dav)
 	handler := http.Handler(dav)
 
 	if *usersArg != "" {

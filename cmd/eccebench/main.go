@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|opssmoke|all>
+//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|bench-pr9|opssmoke|all>
 //
 // By default the paper's full workload sizes are used for table1 and
 // table3; table2, robust and disk default to scaled sizes unless -full
@@ -58,6 +58,8 @@ func main() {
 		bench7Reqs = flag.Int("reqs7", 600, "bench-pr7: requests in the Zipf phase")
 		bench8Out  = flag.String("out8", "BENCH_PR8.json",
 			"bench-pr8: output file for the continuous-profiling benchmark result")
+		bench9Out = flag.String("out9", "BENCH_PR9.json",
+			"bench-pr9: output file for the cancellation benchmark result")
 		adminURL = flag.String("admin-url", "",
 			"opssmoke: base URL of a live davd admin listener (e.g. http://127.0.0.1:8081)")
 		davURL = flag.String("dav-url", "",
@@ -65,7 +67,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|opssmoke|all>")
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|bench-pr9|opssmoke|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -227,6 +229,18 @@ func main() {
 		}
 	}
 
+	// bench-pr9 runs the cancellation benchmark (contended parallel mix
+	// with a fraction of clients disconnecting mid-flight, detached
+	// baseline vs cancelling stack), writes the JSON result, and
+	// re-validates the written file — the CI cancellation smoke.
+	// Excluded from "all" (its stall injection deliberately sleeps
+	// inside the path lock).
+	if which == "bench-pr9" {
+		if err := runBenchPR9(*bench9Out); err != nil {
+			log.Fatalf("eccebench bench-pr9: %v", err)
+		}
+	}
+
 	// opssmoke scrapes a LIVE davd admin listener — /metrics and
 	// /debug/status?format=json — and validates both, optionally driving
 	// a small workload against the DAV listener first. CI uses it to
@@ -239,7 +253,7 @@ func main() {
 	}
 
 	switch which {
-	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "crash-recovery", "bench-pr7", "bench-pr8", "opssmoke", "all":
+	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "crash-recovery", "bench-pr7", "bench-pr8", "bench-pr9", "opssmoke", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
 		os.Exit(2)
@@ -472,6 +486,44 @@ func runBenchPR8(outPath string) error {
 		"%.0f vs %.0f ops/s); result written to %s\n",
 		100*res.Sampler.Overhead, res.Sampler.Captures, res.Sampler.MeasuredRatio,
 		res.Sampler.BaselineOpsPerSec, res.Sampler.SampledOpsPerSec, outPath)
+	return nil
+}
+
+// runBenchPR9 runs the cancellation benchmark, writes the result as
+// JSON, and validates what was actually written — asserting the
+// cancelling stack reclaimed abandoned store work the detached baseline
+// burned, and that every reclaimed operation rolled back cleanly.
+func runBenchPR9(outPath string) error {
+	res, err := experiments.RunBenchPR9(experiments.BenchPR9Options{})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBenchPR9(written); err != nil {
+		return fmt.Errorf("written %s failed validation: %w", outPath, err)
+	}
+	for _, a := range res.Arms {
+		fmt.Printf("bench-pr9: %-10s wall=%7.1fms drain=%7.1fms  survivors %5.1f ops/s  "+
+			"aborted=%d  stalled ops=%d (%.0fms store busy)  gate cancels=%d wait=%.0fms  lock cancels=%d\n",
+			a.Name, a.WallMs, a.DrainMs, a.SurvivorOpsPerSec,
+			a.AbortedRequests, a.OpsStalled, a.StoreBusyMs,
+			a.GateCancelled, a.GateWaitMs, a.LockCancelled)
+	}
+	fmt.Printf("bench-pr9: reclaimed %.0fms of store work; drain speedup %.2fx; "+
+		"fsck findings=%d, journal pending=%d; result written to %s\n",
+		res.ReclaimedStoreMs, res.DrainSpeedup,
+		res.Integrity.FsckFindings, res.Integrity.JournalPending, outPath)
 	return nil
 }
 

@@ -250,29 +250,29 @@ func TestListenerTruncateMidResponse(t *testing.T) {
 
 func TestFaultyStoreTriggers(t *testing.T) {
 	fs := NewFaultyStore(store.NewMemStore())
-	if _, err := fs.Put("/a", strings.NewReader("x"), ""); err != nil {
+	if _, err := fs.Put(context.Background(), "/a", strings.NewReader("x"), ""); err != nil {
 		t.Fatal(err)
 	}
 
 	// Nth: the 2nd Stat from arming fails, others pass.
 	fs.FailNth(OpStat, 2)
-	if _, err := fs.Stat("/a"); err != nil {
+	if _, err := fs.Stat(context.Background(), "/a"); err != nil {
 		t.Fatalf("1st stat: %v", err)
 	}
-	if _, err := fs.Stat("/a"); !errors.Is(err, ErrInjected) {
+	if _, err := fs.Stat(context.Background(), "/a"); !errors.Is(err, ErrInjected) {
 		t.Fatalf("2nd stat = %v, want ErrInjected", err)
 	}
-	if _, err := fs.Stat("/a"); err != nil {
+	if _, err := fs.Stat(context.Background(), "/a"); err != nil {
 		t.Fatalf("3rd stat: %v", err)
 	}
 
 	// All: every Get fails until cleared.
 	fs.FailAll(OpGet)
-	if _, _, err := fs.Get("/a"); !errors.Is(err, ErrInjected) {
+	if _, _, err := fs.Get(context.Background(), "/a"); !errors.Is(err, ErrInjected) {
 		t.Fatalf("get = %v, want ErrInjected", err)
 	}
 	fs.Clear(OpGet)
-	rc, _, err := fs.Get("/a")
+	rc, _, err := fs.Get(context.Background(), "/a")
 	if err != nil {
 		t.Fatalf("get after clear: %v", err)
 	}
@@ -282,7 +282,7 @@ func TestFaultyStoreTriggers(t *testing.T) {
 	fs.FailRate(OpList, 0.5, 7)
 	fails := 0
 	for i := 0; i < 100; i++ {
-		if _, err := fs.List("/"); err != nil {
+		if _, err := fs.List(context.Background(), "/"); err != nil {
 			fails++
 		}
 	}

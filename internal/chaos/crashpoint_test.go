@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -33,7 +34,7 @@ type matrixCase struct {
 }
 
 func readBody(s *store.FSStore, p string) (string, error) {
-	rc, _, err := s.Get(p)
+	rc, _, err := s.Get(context.Background(), p)
 	if err != nil {
 		return "", err
 	}
@@ -54,14 +55,14 @@ func wantBody(s *store.FSStore, p, want string) error {
 }
 
 func wantGone(s *store.FSStore, p string) error {
-	if _, err := s.Stat(p); !errors.Is(err, store.ErrNotFound) {
+	if _, err := s.Stat(context.Background(), p); !errors.Is(err, store.ErrNotFound) {
 		return fmt.Errorf("%s still exists (err=%v)", p, err)
 	}
 	return nil
 }
 
 func wantProp(s *store.FSStore, p, want string) error {
-	v, ok, err := s.PropGet(p, propK)
+	v, ok, err := s.PropGet(context.Background(), p, propK)
 	if err != nil {
 		return fmt.Errorf("%s prop: %w", p, err)
 	}
@@ -85,16 +86,16 @@ func matrixCases() []matrixCase {
 		{
 			name: "put-create",
 			op:   "put",
-			seed: func(t *testing.T, s *store.FSStore) { mustOK(t, s.Mkcol("/dir")) },
+			seed: func(t *testing.T, s *store.FSStore) { mustOK(t, s.Mkcol(context.Background(), "/dir")) },
 			run: func(s *store.FSStore) {
-				s.Put("/dir/new.bin", strings.NewReader("NEW"), "chemical/x-nwchem")
+				s.Put(context.Background(), "/dir/new.bin", strings.NewReader("NEW"), "chemical/x-nwchem")
 			},
 			pre: func(s *store.FSStore) error { return wantGone(s, "/dir/new.bin") },
 			post: func(s *store.FSStore) error {
 				if err := wantBody(s, "/dir/new.bin", "NEW"); err != nil {
 					return err
 				}
-				ri, err := s.Stat("/dir/new.bin")
+				ri, err := s.Stat(context.Background(), "/dir/new.bin")
 				if err != nil {
 					return err
 				}
@@ -111,14 +112,14 @@ func matrixCases() []matrixCase {
 				mustPutDoc(t, s, "/doc.bin", "v1")
 			},
 			run: func(s *store.FSStore) {
-				s.Put("/doc.bin", strings.NewReader("v2"), "chemical/x-nwchem")
+				s.Put(context.Background(), "/doc.bin", strings.NewReader("v2"), "chemical/x-nwchem")
 			},
 			pre: func(s *store.FSStore) error { return wantBody(s, "/doc.bin", "v1") },
 			post: func(s *store.FSStore) error {
 				if err := wantBody(s, "/doc.bin", "v2"); err != nil {
 					return err
 				}
-				ri, err := s.Stat("/doc.bin")
+				ri, err := s.Stat(context.Background(), "/doc.bin")
 				if err != nil {
 					return err
 				}
@@ -138,9 +139,9 @@ func matrixCases() []matrixCase {
 			op:   "delete",
 			seed: func(t *testing.T, s *store.FSStore) {
 				mustPutDoc(t, s, "/doc.txt", "data")
-				mustOK(t, s.PropPut("/doc.txt", propK, []byte("me")))
+				mustOK(t, s.PropPut(context.Background(), "/doc.txt", propK, []byte("me")))
 			},
-			run: func(s *store.FSStore) { s.Delete("/doc.txt") },
+			run: func(s *store.FSStore) { s.Delete(context.Background(), "/doc.txt") },
 			pre: func(s *store.FSStore) error {
 				return both(wantBody(s, "/doc.txt", "data"), wantProp(s, "/doc.txt", "me"))
 			},
@@ -150,11 +151,11 @@ func matrixCases() []matrixCase {
 			name: "delete-tree",
 			op:   "delete",
 			seed: func(t *testing.T, s *store.FSStore) {
-				mustOK(t, s.Mkcol("/dir"))
+				mustOK(t, s.Mkcol(context.Background(), "/dir"))
 				mustPutDoc(t, s, "/dir/a.txt", "a")
-				mustOK(t, s.PropPut("/dir", propK, []byte("me")))
+				mustOK(t, s.PropPut(context.Background(), "/dir", propK, []byte("me")))
 			},
-			run: func(s *store.FSStore) { s.Delete("/dir") },
+			run: func(s *store.FSStore) { s.Delete(context.Background(), "/dir") },
 			pre: func(s *store.FSStore) error {
 				return both(wantBody(s, "/dir/a.txt", "a"), wantProp(s, "/dir", "me"))
 			},
@@ -164,12 +165,12 @@ func matrixCases() []matrixCase {
 			name: "rename-doc",
 			op:   "rename",
 			seed: func(t *testing.T, s *store.FSStore) {
-				mustOK(t, s.Mkcol("/a"))
-				mustOK(t, s.Mkcol("/b"))
+				mustOK(t, s.Mkcol(context.Background(), "/a"))
+				mustOK(t, s.Mkcol(context.Background(), "/b"))
 				mustPutDoc(t, s, "/a/doc.txt", "data")
-				mustOK(t, s.PropPut("/a/doc.txt", propK, []byte("me")))
+				mustOK(t, s.PropPut(context.Background(), "/a/doc.txt", propK, []byte("me")))
 			},
-			run: func(s *store.FSStore) { s.Rename("/a/doc.txt", "/b/doc.txt") },
+			run: func(s *store.FSStore) { s.Rename(context.Background(), "/a/doc.txt", "/b/doc.txt") },
 			pre: func(s *store.FSStore) error {
 				return both(wantBody(s, "/a/doc.txt", "data"),
 					wantProp(s, "/a/doc.txt", "me"), wantGone(s, "/b/doc.txt"))
@@ -183,10 +184,10 @@ func matrixCases() []matrixCase {
 			name: "rename-tree",
 			op:   "rename",
 			seed: func(t *testing.T, s *store.FSStore) {
-				mustOK(t, s.Mkcol("/a"))
+				mustOK(t, s.Mkcol(context.Background(), "/a"))
 				mustPutDoc(t, s, "/a/doc.txt", "data")
 			},
-			run: func(s *store.FSStore) { s.Rename("/a", "/c") },
+			run: func(s *store.FSStore) { s.Rename(context.Background(), "/a", "/c") },
 			pre: func(s *store.FSStore) error {
 				return both(wantBody(s, "/a/doc.txt", "data"), wantGone(s, "/c"))
 			},
@@ -198,13 +199,13 @@ func matrixCases() []matrixCase {
 			name: "copy-tree",
 			op:   "copy",
 			seed: func(t *testing.T, s *store.FSStore) {
-				mustOK(t, s.Mkcol("/src"))
+				mustOK(t, s.Mkcol(context.Background(), "/src"))
 				mustPutDoc(t, s, "/src/a.txt", "a")
 				mustPutDoc(t, s, "/src/b.txt", "b")
-				mustOK(t, s.PropPut("/src/a.txt", propK, []byte("me")))
+				mustOK(t, s.PropPut(context.Background(), "/src/a.txt", propK, []byte("me")))
 			},
 			run: func(s *store.FSStore) {
-				s.CopyTreeAtomic("/src", "/dst", store.CopyOptions{Recurse: true})
+				s.CopyTreeAtomic(context.Background(), "/src", "/dst", store.CopyOptions{Recurse: true})
 			},
 			pre: func(s *store.FSStore) error {
 				return both(wantGone(s, "/dst"),
@@ -219,10 +220,10 @@ func matrixCases() []matrixCase {
 			name: "mkcol",
 			op:   "mkcol",
 			seed: func(t *testing.T, s *store.FSStore) {},
-			run:  func(s *store.FSStore) { s.Mkcol("/newdir") },
+			run:  func(s *store.FSStore) { s.Mkcol(context.Background(), "/newdir") },
 			pre:  func(s *store.FSStore) error { return wantGone(s, "/newdir") },
 			post: func(s *store.FSStore) error {
-				ri, err := s.Stat("/newdir")
+				ri, err := s.Stat(context.Background(), "/newdir")
 				if err != nil {
 					return err
 				}
@@ -244,7 +245,7 @@ func mustOK(t *testing.T, err error) {
 
 func mustPutDoc(t *testing.T, s *store.FSStore, p, body string) {
 	t.Helper()
-	if _, err := s.Put(p, strings.NewReader(body), ""); err != nil {
+	if _, err := s.Put(context.Background(), p, strings.NewReader(body), ""); err != nil {
 		t.Fatal(err)
 	}
 }

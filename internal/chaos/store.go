@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"io"
@@ -113,89 +114,89 @@ func (f *FaultyStore) fail(op string) bool {
 }
 
 // Stat implements store.Store.
-func (f *FaultyStore) Stat(p string) (store.ResourceInfo, error) {
+func (f *FaultyStore) Stat(ctx context.Context, p string) (store.ResourceInfo, error) {
 	if f.fail(OpStat) {
 		return store.ResourceInfo{}, ErrInjected
 	}
-	return f.Store.Stat(p)
+	return f.Store.Stat(ctx, p)
 }
 
 // List implements store.Store.
-func (f *FaultyStore) List(p string) ([]store.ResourceInfo, error) {
+func (f *FaultyStore) List(ctx context.Context, p string) ([]store.ResourceInfo, error) {
 	if f.fail(OpList) {
 		return nil, ErrInjected
 	}
-	return f.Store.List(p)
+	return f.Store.List(ctx, p)
 }
 
 // Mkcol implements store.Store.
-func (f *FaultyStore) Mkcol(p string) error {
+func (f *FaultyStore) Mkcol(ctx context.Context, p string) error {
 	if f.fail(OpMkcol) {
 		return ErrInjected
 	}
-	return f.Store.Mkcol(p)
+	return f.Store.Mkcol(ctx, p)
 }
 
 // Put implements store.Store.
-func (f *FaultyStore) Put(p string, r io.Reader, contentType string) (bool, error) {
+func (f *FaultyStore) Put(ctx context.Context, p string, r io.Reader, contentType string) (bool, error) {
 	if f.fail(OpPut) {
 		return false, ErrInjected
 	}
-	return f.Store.Put(p, r, contentType)
+	return f.Store.Put(ctx, p, r, contentType)
 }
 
 // Get implements store.Store.
-func (f *FaultyStore) Get(p string) (io.ReadCloser, store.ResourceInfo, error) {
+func (f *FaultyStore) Get(ctx context.Context, p string) (io.ReadCloser, store.ResourceInfo, error) {
 	if f.fail(OpGet) {
 		return nil, store.ResourceInfo{}, ErrInjected
 	}
-	return f.Store.Get(p)
+	return f.Store.Get(ctx, p)
 }
 
 // Delete implements store.Store.
-func (f *FaultyStore) Delete(p string) error {
+func (f *FaultyStore) Delete(ctx context.Context, p string) error {
 	if f.fail(OpDelete) {
 		return ErrInjected
 	}
-	return f.Store.Delete(p)
+	return f.Store.Delete(ctx, p)
 }
 
 // PropPut implements store.Store.
-func (f *FaultyStore) PropPut(p string, name xml.Name, value []byte) error {
+func (f *FaultyStore) PropPut(ctx context.Context, p string, name xml.Name, value []byte) error {
 	if f.fail(OpPropPut) {
 		return ErrInjected
 	}
-	return f.Store.PropPut(p, name, value)
+	return f.Store.PropPut(ctx, p, name, value)
 }
 
 // PropGet implements store.Store.
-func (f *FaultyStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
+func (f *FaultyStore) PropGet(ctx context.Context, p string, name xml.Name) ([]byte, bool, error) {
 	if f.fail(OpPropGet) {
 		return nil, false, ErrInjected
 	}
-	return f.Store.PropGet(p, name)
+	return f.Store.PropGet(ctx, p, name)
 }
 
 // PropDelete implements store.Store.
-func (f *FaultyStore) PropDelete(p string, name xml.Name) error {
+func (f *FaultyStore) PropDelete(ctx context.Context, p string, name xml.Name) error {
 	if f.fail(OpPropDelete) {
 		return ErrInjected
 	}
-	return f.Store.PropDelete(p, name)
+	return f.Store.PropDelete(ctx, p, name)
 }
 
 // PropNames implements store.Store.
-func (f *FaultyStore) PropNames(p string) ([]xml.Name, error) {
+func (f *FaultyStore) PropNames(ctx context.Context, p string) ([]xml.Name, error) {
 	if f.fail(OpPropNames) {
 		return nil, ErrInjected
 	}
-	return f.Store.PropNames(p)
+	return f.Store.PropNames(ctx, p)
 }
 
 // PropAll implements store.Store.
-func (f *FaultyStore) PropAll(p string) (map[xml.Name][]byte, error) {
+func (f *FaultyStore) PropAll(ctx context.Context, p string) (map[xml.Name][]byte, error) {
 	if f.fail(OpPropAll) {
 		return nil, ErrInjected
 	}
-	return f.Store.PropAll(p)
+	return f.Store.PropAll(ctx, p)
 }

@@ -1,6 +1,7 @@
 package davserver
 
 import (
+	"context"
 	"encoding/xml"
 	"net/http/httptest"
 	"testing"
@@ -95,7 +96,7 @@ func TestSearchSurvivesUndecodableProperty(t *testing.T) {
 	do(t, "PUT", srv.URL+"/doc", nil, "x")
 	// Write garbage directly into the store, bypassing the protocol.
 	name := xml.Name{Space: "ecce:", Local: "broken"}
-	if err := fs.Store.PropPut("/doc", name, []byte("not xml at all <<<")); err != nil {
+	if err := fs.Store.PropPut(context.Background(), "/doc", name, []byte("not xml at all <<<")); err != nil {
 		t.Fatal(err)
 	}
 	bs := davproto.BasicSearch{
@@ -113,8 +114,8 @@ func TestSearchSurvivesUndecodableProperty(t *testing.T) {
 func TestPropfindSkipsUndecodableInAllprop(t *testing.T) {
 	srv, fs := newFaultyServer(t)
 	do(t, "PUT", srv.URL+"/doc", nil, "x")
-	fs.Store.PropPut("/doc", xml.Name{Space: "e:", Local: "bad"}, []byte("<unclosed"))
-	fs.Store.PropPut("/doc", xml.Name{Space: "e:", Local: "good"},
+	fs.Store.PropPut(context.Background(), "/doc", xml.Name{Space: "e:", Local: "bad"}, []byte("<unclosed"))
+	fs.Store.PropPut(context.Background(), "/doc", xml.Name{Space: "e:", Local: "good"},
 		davproto.NewTextProperty("e:", "good", "v").Encode())
 	resp := do(t, "PROPFIND", srv.URL+"/doc", map[string]string{"Depth": "0"}, "")
 	wantStatus(t, resp, 207)

@@ -1,6 +1,11 @@
 package davserver
 
-import "sync"
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // writeGate serializes the handler's check-then-act sequences per
 // canonical resource path. PUT and DELETE evaluate If-Match /
@@ -15,41 +20,113 @@ import "sync"
 // The gate covers one path only: COPY/MOVE destinations are serialized
 // by the store's subtree locks, and the handler does not accept entity
 // preconditions on those methods.
+//
+// Waiting is cancellation-aware: the gate is the first queue a write
+// request joins, so a client that disconnects while a slow write holds
+// its path must stop waiting here, not only in the store's path locks.
+// Each entry is a one-token channel semaphore rather than a mutex so a
+// waiter can select on ctx.Done() and leave the queue.
 type writeGate struct {
 	mu sync.Mutex
 	m  map[string]*gateEntry
+
+	acquisitions atomic.Uint64
+	contended    atomic.Uint64
+	cancelled    atomic.Uint64
+	waitNs       atomic.Int64
+}
+
+// GateStats is a snapshot of the write gate's cumulative counters.
+type GateStats struct {
+	// Acquisitions counts lock calls that obtained the gate.
+	Acquisitions uint64
+	// Contended counts acquisitions that had to wait for a holder.
+	Contended uint64
+	// Cancelled counts waiters that left the queue because their
+	// context ended before the gate was granted.
+	Cancelled uint64
+	// WaitTotal is the cumulative time spent blocked in the gate,
+	// including waits that ended in cancellation.
+	WaitTotal time.Duration
+	// Entries is the current table size: paths with a write in flight
+	// or queued. Zero means no PUT/DELETE is anywhere in the gate.
+	Entries int
+}
+
+func (wg *writeGate) stats() GateStats {
+	wg.mu.Lock()
+	entries := len(wg.m)
+	wg.mu.Unlock()
+	return GateStats{
+		Acquisitions: wg.acquisitions.Load(),
+		Contended:    wg.contended.Load(),
+		Cancelled:    wg.cancelled.Load(),
+		WaitTotal:    time.Duration(wg.waitNs.Load()),
+		Entries:      entries,
+	}
 }
 
 type gateEntry struct {
-	mu   sync.Mutex
-	refs int
+	tok  chan struct{} // capacity 1; holding the token = holding the gate
+	refs int           // holders + waiters; entry collected at zero
 }
 
 func newWriteGate() *writeGate {
 	return &writeGate{m: map[string]*gateEntry{}}
 }
 
-// lock blocks until the caller holds p's gate and returns the release
-// function. Entries are refcounted and collected on last release, so
-// the table tracks in-flight writes, not the namespace.
-func (wg *writeGate) lock(p string) func() {
+// lock blocks until the caller holds p's gate or ctx is done, returning
+// the release function or ctx.Err(). Entries are refcounted and
+// collected on last release, so the table tracks in-flight writes, not
+// the namespace.
+func (wg *writeGate) lock(ctx context.Context, p string) (func(), error) {
+	// Exact entry check: a request that arrives already abandoned must
+	// not grab a free gate (select picks randomly among ready cases).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	wg.mu.Lock()
 	e := wg.m[p]
 	if e == nil {
-		e = &gateEntry{}
+		e = &gateEntry{tok: make(chan struct{}, 1)}
 		wg.m[p] = e
 	}
 	e.refs++
 	wg.mu.Unlock()
 
-	e.mu.Lock()
-	return func() {
-		e.mu.Unlock()
-		wg.mu.Lock()
-		e.refs--
-		if e.refs == 0 {
-			delete(wg.m, p)
-		}
-		wg.mu.Unlock()
+	release := func() {
+		<-e.tok
+		wg.unref(p, e)
 	}
+	// Uncontended fast path: no wait to account for.
+	select {
+	case e.tok <- struct{}{}:
+		wg.acquisitions.Add(1)
+		return release, nil
+	default:
+	}
+
+	wg.contended.Add(1)
+	start := time.Now()
+	select {
+	case e.tok <- struct{}{}:
+		wg.waitNs.Add(int64(time.Since(start)))
+		wg.acquisitions.Add(1)
+		return release, nil
+	case <-ctx.Done():
+		wg.waitNs.Add(int64(time.Since(start)))
+		wg.cancelled.Add(1)
+		wg.unref(p, e)
+		return nil, ctx.Err()
+	}
+}
+
+func (wg *writeGate) unref(p string, e *gateEntry) {
+	wg.mu.Lock()
+	e.refs--
+	if e.refs == 0 {
+		delete(wg.m, p)
+	}
+	wg.mu.Unlock()
 }

@@ -1,0 +1,71 @@
+package davserver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestWriteGateCancelWhileWaiting pins the gate's cancellation
+// contract: a waiter whose context ends while queued behind a holder
+// returns ctx.Err() without ever holding the gate, and the gate stays
+// usable — the holder's release hands the token to the next live
+// waiter, and the entry is collected when the last reference drops.
+func TestWriteGateCancelWhileWaiting(t *testing.T) {
+	wg := newWriteGate()
+	unlock, err := wg.lock(context.Background(), "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		u, err := wg.lock(ctx, "/doc")
+		if u != nil {
+			u()
+		}
+		errc <- err
+	}()
+	// Let the waiter queue, then abandon it.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+
+	// The holder is undisturbed; release must leave a reusable gate.
+	unlock()
+	u2, err := wg.lock(context.Background(), "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2()
+
+	wg.mu.Lock()
+	n := len(wg.m)
+	wg.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("gate table holds %d entries after all releases, want 0", n)
+	}
+}
+
+// TestWriteGateDoneContextNeverAcquires: a request that arrives with an
+// already-expired context must be rejected at the door even when the
+// gate is free.
+func TestWriteGateDoneContextNeverAcquires(t *testing.T) {
+	wg := newWriteGate()
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if u, err := wg.lock(done, "/doc"); err == nil {
+		u()
+		t.Fatal("lock with done context succeeded")
+	}
+	wg.mu.Lock()
+	n := len(wg.m)
+	wg.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("rejected lock leaked a gate entry (%d)", n)
+	}
+}

@@ -1,6 +1,7 @@
 package davserver
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/davproto"
@@ -62,6 +64,11 @@ func NewHandler(s store.Store, opts *Options) *Handler {
 // Locks exposes the lock manager (tests, tooling).
 func (h *Handler) Locks() *LockManager { return h.locks }
 
+// GateStats snapshots the per-path write gate's counters: how often
+// check-then-act sequences queued behind one another and how many
+// waiters abandoned the queue on cancellation.
+func (h *Handler) GateStats() GateStats { return h.gate.stats() }
+
 // Store exposes the underlying store (tooling).
 func (h *Handler) Store() store.Store { return h.store }
 
@@ -87,17 +94,12 @@ func (h *Handler) resourcePath(urlPath string) (string, error) {
 	return store.CleanPath(p)
 }
 
-// ServeHTTP dispatches one DAV request.
+// ServeHTTP dispatches one DAV request. Every store call below receives
+// r.Context(), so a client that disconnects mid-request cancels the
+// work it queued — lock waits end, DBM scans stop, journalled writes
+// roll back at their next safe checkpoint — instead of running to
+// completion for nobody.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	// Bind the store to the request context so store-layer trace spans
-	// (see store.ContextBinder) attach to this request's trace. The
-	// handler is shallow-copied — dispatch below reads h.store — while
-	// locks and options stay shared.
-	if bound := store.BindContext(h.store, r.Context()); bound != h.store {
-		h2 := *h
-		h2.store = bound
-		h = &h2
-	}
 	p, err := h.resourcePath(r.URL.Path)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -177,10 +179,26 @@ func statusForErr(err error) int {
 		// The store is still resolving journal intents after a crash;
 		// the condition is transient, so tell clients when to retry.
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; the store abandoned its work. Nobody
+		// reads this response — the code exists for the access log and
+		// so the request counter can classify the abort.
+		return statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-operation deadline (davd -store-op-timeout) fired:
+		// the server was too slow, not the client. Transient by
+		// definition, so 503 + Retry-After like recovery.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
 }
+
+// statusClientClosedRequest is the nginx-convention 499 recorded when a
+// client disconnects before the response: not a server error, not a
+// client protocol error, just an abandoned request. observeRequest
+// gives it its own "aborted" class so SLO burn rates ignore it.
+const statusClientClosedRequest = 499
 
 // recoveryRetryAfter is the Retry-After hint on 503s during crash
 // recovery: long enough that a client does not hammer a recovering
@@ -189,6 +207,26 @@ func statusForErr(err error) int {
 const recoveryRetryAfter = "5"
 
 func (h *Handler) fail(w http.ResponseWriter, r *http.Request, err error) {
+	// Cancellation is not failure. A client abort is log-only (nobody
+	// reads the response, and paging on it would punish the server for
+	// the client's network); a per-op deadline is a server-side
+	// overload signal and retryable. Both count reclaimed work.
+	switch {
+	case errors.Is(err, context.Canceled):
+		storeCancelledClient.Add(1)
+		if h.opts.Logger != nil {
+			h.opts.Logger.Info(fmt.Sprintf(
+				"dav: %s %s: client disconnected, store work abandoned", r.Method, r.URL.Path))
+		}
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		storeCancelledDeadline.Add(1)
+		w.Header().Set("Retry-After", recoveryRetryAfter)
+		http.Error(w, "store operation exceeded the server's per-operation deadline",
+			http.StatusServiceUnavailable)
+		return
+	}
 	code := statusForErr(err)
 	if code == http.StatusInternalServerError {
 		h.logf("dav: %s %s: %v", r.Method, r.URL.Path, err)
@@ -198,6 +236,12 @@ func (h *Handler) fail(w http.ResponseWriter, r *http.Request, err error) {
 	}
 	http.Error(w, err.Error(), code)
 }
+
+// storeCancelledClient / storeCancelledDeadline back the
+// dav_store_cancelled_total{reason} metric: store operations abandoned
+// because the requesting client disconnected vs. cut off by the
+// configured per-operation deadline.
+var storeCancelledClient, storeCancelledDeadline atomic.Int64
 
 // submittedTokens extracts lock tokens from the If header.
 func submittedTokens(r *http.Request) []string {
@@ -213,7 +257,7 @@ func (h *Handler) checkWrite(r *http.Request, p string) error {
 }
 
 func (h *Handler) handleGet(w http.ResponseWriter, r *http.Request, p string) {
-	ri, err := h.store.Stat(p)
+	ri, err := h.store.Stat(r.Context(), p)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -234,7 +278,7 @@ func (h *Handler) handleGet(w http.ResponseWriter, r *http.Request, p string) {
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	rc, _, err := h.store.Get(p)
+	rc, _, err := h.store.Get(r.Context(), p)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -249,7 +293,7 @@ func (h *Handler) handleGet(w http.ResponseWriter, r *http.Request, p string) {
 // paper's "users can run standard Web browsers to surf the Ecce
 // database" scenario.
 func (h *Handler) serveCollectionIndex(w http.ResponseWriter, r *http.Request, p string) {
-	members, err := h.store.List(p)
+	members, err := h.store.List(r.Context(), p)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -324,9 +368,13 @@ func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
 	}
 	// The gate keeps the precondition check and the write atomic with
 	// respect to every other PUT/DELETE on this path (see writeGate).
-	unlock := h.gate.lock(p)
+	unlock, err := h.gate.lock(r.Context(), p)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
 	defer unlock()
-	ri, statErr := h.store.Stat(p)
+	ri, statErr := h.store.Stat(r.Context(), p)
 	exists := statErr == nil
 	if exists && ri.IsCollection {
 		http.Error(w, "cannot PUT to a collection", http.StatusMethodNotAllowed)
@@ -336,7 +384,7 @@ func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
 		http.Error(w, "precondition failed", http.StatusPreconditionFailed)
 		return
 	}
-	created, err := h.store.Put(p, r.Body, r.Header.Get("Content-Type"))
+	created, err := h.store.Put(r.Context(), p, r.Body, r.Header.Get("Content-Type"))
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -344,7 +392,7 @@ func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
 	// Auto-versioning: a write to a version-controlled document
 	// appends a new version snapshot.
 	if !created {
-		if err := h.autoVersionAfterPut(p); err != nil {
+		if err := h.autoVersionAfterPut(context.WithoutCancel(r.Context()), p); err != nil {
 			h.logf("dav: auto-version %s: %v", p, err)
 		}
 	}
@@ -366,16 +414,20 @@ func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request, p string)
 	}
 	// Atomic with concurrent PUT/DELETE precondition checks on this
 	// path (see writeGate).
-	unlock := h.gate.lock(p)
+	unlock, err := h.gate.lock(r.Context(), p)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
 	defer unlock()
 	if r.Header.Get("If-Match") != "" || r.Header.Get("If-None-Match") != "" {
-		ri, statErr := h.store.Stat(p)
+		ri, statErr := h.store.Stat(r.Context(), p)
 		if !checkPreconditions(r, ri, statErr == nil) {
 			http.Error(w, "precondition failed", http.StatusPreconditionFailed)
 			return
 		}
 	}
-	if err := h.store.Delete(p); err != nil {
+	if err := h.store.Delete(r.Context(), p); err != nil {
 		h.fail(w, r, err)
 		return
 	}
@@ -398,7 +450,7 @@ func (h *Handler) handleMkcol(w http.ResponseWriter, r *http.Request, p string) 
 		h.fail(w, r, err)
 		return
 	}
-	if err := h.store.Mkcol(p); err != nil {
+	if err := h.store.Mkcol(r.Context(), p); err != nil {
 		h.fail(w, r, err)
 		return
 	}
@@ -460,7 +512,7 @@ func (h *Handler) handleCopyMove(w http.ResponseWriter, r *http.Request, src str
 		h.fail(w, r, err)
 		return
 	}
-	if _, err := h.store.Stat(src); err != nil {
+	if _, err := h.store.Stat(r.Context(), src); err != nil {
 		h.fail(w, r, err)
 		return
 	}
@@ -475,12 +527,12 @@ func (h *Handler) handleCopyMove(w http.ResponseWriter, r *http.Request, src str
 		return
 	}
 	replaced := false
-	if _, err := h.store.Stat(dst); err == nil {
+	if _, err := h.store.Stat(r.Context(), dst); err == nil {
 		if !overwrite {
 			http.Error(w, "destination exists", http.StatusPreconditionFailed)
 			return
 		}
-		if err := h.store.Delete(dst); err != nil {
+		if err := h.store.Delete(r.Context(), dst); err != nil {
 			h.fail(w, r, err)
 			return
 		}
@@ -489,9 +541,9 @@ func (h *Handler) handleCopyMove(w http.ResponseWriter, r *http.Request, src str
 	}
 
 	if r.Method == "COPY" {
-		err = store.CopyTree(h.store, src, dst, store.CopyOptions{Recurse: depth == davproto.DepthInfinity})
+		err = store.CopyTree(r.Context(), h.store, src, dst, store.CopyOptions{Recurse: depth == davproto.DepthInfinity})
 	} else {
-		err = store.MoveTree(h.store, src, dst)
+		err = store.MoveTree(r.Context(), h.store, src, dst)
 	}
 	if err != nil {
 		h.fail(w, r, err)
@@ -602,7 +654,7 @@ func (h *Handler) handlePropfind(w http.ResponseWriter, r *http.Request, p strin
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ri, props, err := store.StatWithProps(h.store, p)
+	ri, props, err := store.StatWithProps(r.Context(), h.store, p)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -616,7 +668,7 @@ func (h *Handler) handlePropfind(w http.ResponseWriter, r *http.Request, p strin
 	case davproto.Depth1:
 		targets = []store.MemberProps{self}
 		if ri.IsCollection {
-			members, err := store.ListWithProps(h.store, p)
+			members, err := store.ListWithProps(r.Context(), h.store, p)
 			if err != nil {
 				h.fail(w, r, err)
 				return
@@ -628,7 +680,7 @@ func (h *Handler) handlePropfind(w http.ResponseWriter, r *http.Request, p strin
 			}
 		}
 	default:
-		err = store.WalkWithProps(h.store, p, func(m store.MemberProps) error {
+		err = store.WalkWithProps(r.Context(), h.store, p, func(m store.MemberProps) error {
 			if visible(m.Info.Path) || !visible(p) {
 				targets = append(targets, m)
 			}
@@ -711,7 +763,7 @@ func (h *Handler) handleProppatch(w http.ResponseWriter, r *http.Request, p stri
 		h.fail(w, r, err)
 		return
 	}
-	if _, err := h.store.Stat(p); err != nil {
+	if _, err := h.store.Stat(r.Context(), p); err != nil {
 		h.fail(w, r, err)
 		return
 	}
@@ -766,16 +818,16 @@ func (h *Handler) handleProppatch(w http.ResponseWriter, r *http.Request, p stri
 	failedAt := -1
 	for i, op := range ops {
 		name := op.Prop.Name()
-		prev, had, err := h.store.PropGet(p, name)
+		prev, had, err := h.store.PropGet(r.Context(), p, name)
 		if err != nil {
 			applyErr, failedAt = err, i
 			break
 		}
 		undos[i] = undo{name: name, had: had, prev: prev}
 		if op.Remove {
-			err = h.store.PropDelete(p, name)
+			err = h.store.PropDelete(r.Context(), p, name)
 		} else {
-			err = h.store.PropPut(p, name, op.Prop.Encode())
+			err = h.store.PropPut(r.Context(), p, name, op.Prop.Encode())
 		}
 		if err != nil {
 			applyErr, failedAt = err, i
@@ -784,15 +836,19 @@ func (h *Handler) handleProppatch(w http.ResponseWriter, r *http.Request, p stri
 		undos[i].applied = true
 	}
 	if applyErr != nil {
+		// The rollback restores atomicity, so it must not itself be
+		// cut short by the cancellation that may have caused applyErr:
+		// run it under a context detached from the request's.
+		rbctx := context.WithoutCancel(r.Context())
 		for i := failedAt - 1; i >= 0; i-- {
 			u := undos[i]
 			if !u.applied {
 				continue
 			}
 			if u.had {
-				h.store.PropPut(p, u.name, u.prev)
+				h.store.PropPut(rbctx, p, u.name, u.prev)
 			} else {
-				h.store.PropDelete(p, u.name)
+				h.store.PropDelete(rbctx, p, u.name)
 			}
 		}
 		h.logf("dav: PROPPATCH %s: %v", p, applyErr)
@@ -863,10 +919,10 @@ func (h *Handler) handleLock(w http.ResponseWriter, r *http.Request, p string) {
 		return
 	}
 	created := false
-	if _, err := h.store.Stat(p); errors.Is(err, store.ErrNotFound) {
+	if _, err := h.store.Stat(r.Context(), p); errors.Is(err, store.ErrNotFound) {
 		// RFC 2518: locking an unmapped URL creates a (lock-null)
 		// resource; we model it as an empty document.
-		if _, err := h.store.Put(p, strings.NewReader(""), ""); err != nil {
+		if _, err := h.store.Put(r.Context(), p, strings.NewReader(""), ""); err != nil {
 			h.fail(w, r, err)
 			return
 		}

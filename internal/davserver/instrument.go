@@ -82,8 +82,16 @@ func methodLabel(m string) string {
 func (m *Metrics) observeRequest(method string, status int, d time.Duration, reqBytes, respBytes int64, traceID string) {
 	r := m.Registry
 	lm := methodLabel(method)
+	// Client aborts (499) get their own class: they are neither server
+	// errors nor client protocol errors, and folding them into 4xx
+	// would hide how much work clients are abandoning — while counting
+	// them as errors would burn SLO budget for the client's network.
+	class := obs.StatusClass(status)
+	if status == statusClientClosedRequest {
+		class = "aborted"
+	}
 	r.Counter("dav_requests_total", helpRequests,
-		obs.Labels{"method": lm, "class": obs.StatusClass(status)}).Inc()
+		obs.Labels{"method": lm, "class": class}).Inc()
 	r.Histogram("dav_request_duration_seconds", helpDuration,
 		obs.Labels{"method": lm}, obs.DefBuckets).ObserveEx(d.Seconds(), traceID)
 	if reqBytes >= 0 {
@@ -113,6 +121,21 @@ func (m *Metrics) StoreObserver() store.OpObserver {
 func (m *Metrics) TrackLocks(lm *LockManager) {
 	m.Registry.GaugeFunc("dav_locks_active", helpLocks, nil,
 		func() float64 { return float64(lm.Len()) })
+}
+
+// TrackGate exposes the handler's per-path write-gate counters —
+// contention and cancellation-abandoned waits — as gauges read at
+// scrape time, mirroring the dav_pathlock_* family one layer up.
+func (m *Metrics) TrackGate(h *Handler) {
+	m.Registry.GaugeFunc("dav_gate_contended_total",
+		"Write-gate acquisitions that had to wait (cumulative).", nil,
+		func() float64 { return float64(h.GateStats().Contended) })
+	m.Registry.GaugeFunc("dav_gate_wait_seconds_total",
+		"Cumulative time spent blocked on the write gate.", nil,
+		func() float64 { return h.GateStats().WaitTotal.Seconds() })
+	m.Registry.GaugeFunc("dav_gate_cancelled_total",
+		"Write-gate waits abandoned because the waiter's context ended (cumulative).", nil,
+		func() float64 { return float64(h.GateStats().Cancelled) })
 }
 
 // TrackLimiter exposes the listener's cumulative drop count as the
@@ -168,6 +191,9 @@ func (m *Metrics) TrackStore(s store.Store) {
 		m.Registry.GaugeFunc("dav_pathlock_held",
 			"Path-lock guards currently held.", nil,
 			func() float64 { return float64(ls.LockStats().Held) })
+		m.Registry.GaugeFunc("dav_pathlock_cancelled_total",
+			"Path-lock waits abandoned because the waiter's context ended (cumulative).", nil,
+			func() float64 { return float64(ls.LockStats().Cancelled) })
 	}
 	if cs, ok := s.(cacheStatser); ok {
 		m.Registry.GaugeFunc("dav_dbm_cache_hits_total",
@@ -238,6 +264,14 @@ func (m *Metrics) TrackStore(s store.Store) {
 	m.Registry.GaugeFunc("dav_fsck_repaired_total",
 		"Findings fixed by in-process fsck repair (cumulative).", nil,
 		func() float64 { return float64(fsck.CumulativeStats().Repaired) })
+	m.Registry.GaugeFunc("dav_store_cancelled_total",
+		"Store operations abandoned mid-request because the client disconnected (cumulative).",
+		obs.Labels{"reason": "client"},
+		func() float64 { return float64(storeCancelledClient.Load()) })
+	m.Registry.GaugeFunc("dav_store_cancelled_total",
+		"Store operations cut off by the per-operation deadline, davd -store-op-timeout (cumulative).",
+		obs.Labels{"reason": "deadline"},
+		func() float64 { return float64(storeCancelledDeadline.Load()) })
 }
 
 // CountPanic records one recovered handler panic.

@@ -1,6 +1,7 @@
 package davserver
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -170,13 +171,20 @@ type ReadyStatus struct {
 	Checks   map[string]ReadyCheck  `json:"checks"`
 }
 
+// readyProbeTimeout bounds the /readyz store probe: a store wedged
+// past this is not ready, and an unbounded probe would wedge the
+// health endpoint along with it.
+const readyProbeTimeout = 5 * time.Second
+
 // Ready runs the readiness checks and reports the status plus whether
 // the instance should receive traffic.
 func (h *Health) Ready() (ReadyStatus, bool) {
 	st := ReadyStatus{Status: "ready", Checks: map[string]ReadyCheck{}}
 
+	ctx, cancel := context.WithTimeout(context.Background(), readyProbeTimeout)
+	defer cancel()
 	start := time.Now()
-	_, err := h.store.Stat("/")
+	_, err := h.store.Stat(ctx, "/")
 	probe := ReadyCheck{OK: err == nil, LatencyMS: float64(time.Since(start).Microseconds()) / 1000}
 	if err != nil {
 		probe.Error = err.Error()

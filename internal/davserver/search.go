@@ -1,6 +1,7 @@
 package davserver
 
 import (
+	"context"
 	"encoding/xml"
 	"net/http"
 
@@ -23,7 +24,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request, _ string)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ri, err := h.store.Stat(scope)
+	ri, err := h.store.Stat(r.Context(), scope)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -37,7 +38,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request, _ string)
 	case davproto.Depth1:
 		targets = []store.ResourceInfo{ri}
 		if ri.IsCollection {
-			members, err := h.store.List(scope)
+			members, err := h.store.List(r.Context(), scope)
 			if err != nil {
 				h.fail(w, r, err)
 				return
@@ -45,7 +46,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request, _ string)
 			targets = append(targets, filterVersionStore(members)...)
 		}
 	default:
-		if err := store.Walk(h.store, scope, func(m store.ResourceInfo) error {
+		if err := store.Walk(r.Context(), h.store, scope, func(m store.ResourceInfo) error {
 			if visible(m.Path) || !visible(scope) {
 				targets = append(targets, m)
 			}
@@ -58,7 +59,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request, _ string)
 
 	var ms davproto.Multistatus
 	for _, t := range targets {
-		match, resolver, err := h.evalTarget(t, bs.Where)
+		match, resolver, err := h.evalTarget(r.Context(), t, bs.Where)
 		if err != nil {
 			h.fail(w, r, err)
 			return
@@ -69,7 +70,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request, _ string)
 		resp := davproto.Response{Href: h.opts.Prefix + t.Path}
 		var found, missing []davproto.Property
 		for _, name := range bs.Select {
-			prop, ok, err := h.selectProp(t, name, resolver)
+			prop, ok, err := h.selectProp(r.Context(), t, name, resolver)
 			if err != nil {
 				h.fail(w, r, err)
 				return
@@ -99,7 +100,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request, _ string)
 // Properties are fetched and decoded lazily and memoized: a search
 // referencing two property names touches only those two, not the
 // resource's whole property set (which may be tens of kilobytes).
-func (h *Handler) evalTarget(ri store.ResourceInfo, where davproto.SearchExpr) (bool, func(xml.Name) (string, bool), error) {
+func (h *Handler) evalTarget(ctx context.Context, ri store.ResourceInfo, where davproto.SearchExpr) (bool, func(xml.Name) (string, bool), error) {
 	type memo struct {
 		value string
 		ok    bool
@@ -110,7 +111,7 @@ func (h *Handler) evalTarget(ri store.ResourceInfo, where davproto.SearchExpr) (
 			return m.value, m.ok
 		}
 		var m memo
-		if raw, ok, err := h.store.PropGet(ri.Path, name); err == nil && ok {
+		if raw, ok, err := h.store.PropGet(ctx, ri.Path, name); err == nil && ok {
 			// Undecodable properties stay invisible to search.
 			if prop, err := davproto.DecodeProperty(raw); err == nil {
 				m = memo{value: prop.Text(), ok: true}
@@ -130,12 +131,12 @@ func (h *Handler) evalTarget(ri store.ResourceInfo, where davproto.SearchExpr) (
 }
 
 // selectProp materializes one selected property for the result set.
-func (h *Handler) selectProp(ri store.ResourceInfo, name xml.Name, _ func(xml.Name) (string, bool)) (davproto.Property, bool, error) {
+func (h *Handler) selectProp(ctx context.Context, ri store.ResourceInfo, name xml.Name, _ func(xml.Name) (string, bool)) (davproto.Property, bool, error) {
 	if davproto.IsLiveProp(name) {
 		prop, ok := h.liveProp(ri, name)
 		return prop, ok, nil
 	}
-	raw, ok, err := h.store.PropGet(ri.Path, name)
+	raw, ok, err := h.store.PropGet(ctx, ri.Path, name)
 	if err != nil || !ok {
 		return davproto.Property{}, false, err
 	}

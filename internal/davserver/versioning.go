@@ -1,6 +1,7 @@
 package davserver
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -51,12 +52,12 @@ func visible(p string) bool {
 }
 
 // isVersionControlled checks the bookkeeping property.
-func (h *Handler) isVersionControlled(p string) (bool, int, error) {
-	v, ok, err := h.store.PropGet(p, propVCControlled)
+func (h *Handler) isVersionControlled(ctx context.Context, p string) (bool, int, error) {
+	v, ok, err := h.store.PropGet(ctx, p, propVCControlled)
 	if err != nil || !ok || string(v) != "1" {
 		return false, 0, err
 	}
-	cv, ok, err := h.store.PropGet(p, propVCCount)
+	cv, ok, err := h.store.PropGet(ctx, p, propVCCount)
 	if err != nil {
 		return false, 0, err
 	}
@@ -74,34 +75,34 @@ func versionPath(p string, n int) string {
 
 // snapshotVersion copies the current state of p into the version tree
 // as version n.
-func (h *Handler) snapshotVersion(p string, n int) error {
+func (h *Handler) snapshotVersion(ctx context.Context, p string, n int) error {
 	dst := versionPath(p, n)
 	// Ensure the version container chain exists.
 	parent := store.ParentPath(dst)
 	var missing []string
 	for at := parent; at != "/"; at = store.ParentPath(at) {
-		if _, err := h.store.Stat(at); err == nil {
+		if _, err := h.store.Stat(ctx, at); err == nil {
 			break
 		}
 		missing = append([]string{at}, missing...)
 	}
 	for _, dir := range missing {
-		if err := h.store.Mkcol(dir); err != nil && !errors.Is(err, store.ErrExists) {
+		if err := h.store.Mkcol(ctx, dir); err != nil && !errors.Is(err, store.ErrExists) {
 			return err
 		}
 	}
-	if _, err := h.store.Stat(dst); err == nil {
-		if err := h.store.Delete(dst); err != nil {
+	if _, err := h.store.Stat(ctx, dst); err == nil {
+		if err := h.store.Delete(ctx, dst); err != nil {
 			return err
 		}
 	}
-	if err := store.CopyTree(h.store, p, dst, store.CopyOptions{}); err != nil {
+	if err := store.CopyTree(ctx, h.store, p, dst, store.CopyOptions{}); err != nil {
 		return err
 	}
 	// The snapshot's own bookkeeping props would be misleading; drop
 	// them from the copy.
-	h.store.PropDelete(dst, propVCControlled)
-	h.store.PropDelete(dst, propVCCount)
+	h.store.PropDelete(ctx, dst, propVCControlled)
+	h.store.PropDelete(ctx, dst, propVCCount)
 	return nil
 }
 
@@ -113,7 +114,7 @@ func (h *Handler) handleVersionControl(w http.ResponseWriter, r *http.Request, p
 		http.Error(w, "the version store is read-only", http.StatusForbidden)
 		return
 	}
-	ri, err := h.store.Stat(p)
+	ri, err := h.store.Stat(r.Context(), p)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -126,7 +127,7 @@ func (h *Handler) handleVersionControl(w http.ResponseWriter, r *http.Request, p
 		h.fail(w, r, err)
 		return
 	}
-	controlled, _, err := h.isVersionControlled(p)
+	controlled, _, err := h.isVersionControlled(r.Context(), p)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -135,15 +136,15 @@ func (h *Handler) handleVersionControl(w http.ResponseWriter, r *http.Request, p
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	if err := h.snapshotVersion(p, 1); err != nil {
+	if err := h.snapshotVersion(r.Context(), p, 1); err != nil {
 		h.fail(w, r, err)
 		return
 	}
-	if err := h.store.PropPut(p, propVCControlled, []byte("1")); err != nil {
+	if err := h.store.PropPut(r.Context(), p, propVCControlled, []byte("1")); err != nil {
 		h.fail(w, r, err)
 		return
 	}
-	if err := h.store.PropPut(p, propVCCount, []byte("1")); err != nil {
+	if err := h.store.PropPut(r.Context(), p, propVCCount, []byte("1")); err != nil {
 		h.fail(w, r, err)
 		return
 	}
@@ -151,17 +152,20 @@ func (h *Handler) handleVersionControl(w http.ResponseWriter, r *http.Request, p
 }
 
 // autoVersionAfterPut appends a new version after a successful write
-// to a version-controlled document.
-func (h *Handler) autoVersionAfterPut(p string) error {
-	controlled, count, err := h.isVersionControlled(p)
+// to a version-controlled document. The caller passes a context
+// detached from the request's cancellation: the PUT has already
+// landed, and a client abort must not leave the history missing the
+// version it just created.
+func (h *Handler) autoVersionAfterPut(ctx context.Context, p string) error {
+	controlled, count, err := h.isVersionControlled(ctx, p)
 	if err != nil || !controlled {
 		return err
 	}
 	next := count + 1
-	if err := h.snapshotVersion(p, next); err != nil {
+	if err := h.snapshotVersion(ctx, p, next); err != nil {
 		return err
 	}
-	return h.store.PropPut(p, propVCCount, []byte(strconv.Itoa(next)))
+	return h.store.PropPut(ctx, p, propVCCount, []byte(strconv.Itoa(next)))
 }
 
 // handleReport implements the REPORT method for DAV:version-tree: a
@@ -177,11 +181,11 @@ func (h *Handler) handleReport(w http.ResponseWriter, r *http.Request, p string)
 		http.Error(w, "only DAV:version-tree reports are supported", http.StatusForbidden)
 		return
 	}
-	if _, err := h.store.Stat(p); err != nil {
+	if _, err := h.store.Stat(r.Context(), p); err != nil {
 		h.fail(w, r, err)
 		return
 	}
-	controlled, count, err := h.isVersionControlled(p)
+	controlled, count, err := h.isVersionControlled(r.Context(), p)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -193,7 +197,7 @@ func (h *Handler) handleReport(w http.ResponseWriter, r *http.Request, p string)
 	var ms davproto.Multistatus
 	for n := 1; n <= count; n++ {
 		vp := versionPath(p, n)
-		ri, err := h.store.Stat(vp)
+		ri, err := h.store.Stat(r.Context(), vp)
 		if err != nil {
 			continue // pruned version
 		}

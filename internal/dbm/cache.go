@@ -367,7 +367,14 @@ func (h *Handle) Delete(key []byte) (found bool, err error) {
 }
 
 // ForEach iterates live pairs through the handle (span: "dbm.foreach").
+// The walk checks the handle's request context between records, so a
+// scan on behalf of a disconnected client stops instead of finishing a
+// pointless iteration while holding the database mutex.
 func (h *Handle) ForEach(fn func(key, value []byte) error) (err error) {
 	defer h.span("dbm.foreach")(&err)
-	return h.db.ForEach(fn)
+	ctx := h.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return h.db.ForEachContext(ctx, fn)
 }

@@ -1,6 +1,7 @@
 package dbm
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -19,6 +20,14 @@ import (
 // has open, though a concurrent writer can yield spurious findings;
 // fsck runs it on quiescent stores.
 func Verify(path string) error {
+	return VerifyContext(context.Background(), path)
+}
+
+// VerifyContext is Verify with a cancellation checkpoint between bucket
+// chains, so an fsck pass over thousands of sidecar databases can be
+// abandoned promptly. Verification is read-only; stopping early leaves
+// nothing behind.
+func VerifyContext(ctx context.Context, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -59,6 +68,11 @@ func Verify(path string) error {
 	}
 	rec := make([]byte, recHdrSize)
 	for b := uint32(0); b < nb; b++ {
+		if b%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		at := int64(binary.LittleEndian.Uint64(tbl[b*8:]))
 		// Chains run newest-to-oldest and records are append-only, so
 		// each hop must strictly decrease; the chain length is bounded

@@ -1,0 +1,433 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/davclient"
+	"repro/internal/dbm"
+	"repro/internal/store"
+	"repro/internal/store/fsck"
+	"repro/internal/store/journal"
+)
+
+// This file is the PR 9 cancellation benchmark: a deliberately
+// contended parallel mix in which a fraction of clients disconnect
+// mid-flight, run against two request-lifecycle architectures. In the
+// "detached" arm (the pre-PR 9 behaviour, recreated by a middleware
+// that strips cancellation from every request context before the
+// handler sees it) an abandoned request keeps its place in every queue
+// — the handler's per-path write gate, then the store's path locks —
+// and runs its slow operation to completion for a client that is no
+// longer there.
+//
+// The disconnecting clients issue DELETEs rather than PUTs
+// deliberately: Go's HTTP/1.1 server detects a client disconnect by
+// reading the connection in the background, which it can only do once
+// the request body has been consumed. A bodyless DELETE is therefore
+// cancellable from the moment it starts queueing, while a PUT
+// abandoned mid-body is only detected once staging has drained the
+// body — the checkpoints inside the journaled PUT cover that case (see
+// the store tests); the queue-wait reclamation measured here needs the
+// bodyless shape. In the "cancelling" arm the request context reaches
+// the write gate, the lock manager, and the journaled operation, so
+// abandoned work is reclaimed at whichever layer the request has
+// gotten to: gate and lock waiters leave their queues, staged temp
+// files are removed, intents resolve, and the store's capacity goes to
+// the clients that stayed. In this workload the gate is the first
+// queue a write joins, so that is where most cancellations land — the
+// gate_cancelled counter, not lock_cancelled. BENCH_PR9.json reports
+// both arms plus an integrity section proving the reclaimed operations
+// rolled back cleanly (fsck finds nothing; the journal holds no
+// pending intents).
+
+// BenchPR9Schema identifies the BENCH_PR9.json format.
+const BenchPR9Schema = "bench_pr9/v1"
+
+// detachRequests recreates the pre-PR 9 request lifecycle at the
+// boundary where it used to live: the server never propagated client
+// disconnects, so every handler and store call below this middleware
+// sees a context that cannot be cancelled.
+func detachRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r.WithContext(context.WithoutCancel(r.Context())))
+	})
+}
+
+// BenchPR9Arm is one request-lifecycle architecture's measurement.
+type BenchPR9Arm struct {
+	Name string `json:"name"` // "detached" (PR 8 baseline) or "cancelling"
+	// WallMs is the time until every surviving client finished its
+	// workload — the user-visible completion time.
+	WallMs float64 `json:"wall_ms"`
+	// DrainMs is the time until the serving path went fully idle (no
+	// write queued at the gate, no path lock held). In the detached arm
+	// abandoned operations can keep burning store capacity after every
+	// live client is done.
+	DrainMs           float64 `json:"drain_ms"`
+	SurvivorOps       int     `json:"survivor_ops"`
+	SurvivorOpsPerSec float64 `json:"survivor_ops_per_sec"`
+	// AbortedRequests counts client-side attempts that timed out and
+	// disconnected mid-flight.
+	AbortedRequests int `json:"aborted_requests"`
+	// OpsStalled counts operations that reached the stalled step
+	// server-side — each one consumed a full stall inside the hot
+	// document's exclusive path lock, whether or not its client was
+	// still connected.
+	OpsStalled int64 `json:"ops_stalled"`
+	// StoreBusyMs = OpsStalled * the injected stall: the serialized
+	// store time consumed under the hot document's exclusive lock.
+	StoreBusyMs float64 `json:"store_busy_ms"`
+	// GateCancelled is dav_gate_cancelled_total: write-gate waiters
+	// that left the handler-level queue because their request context
+	// was done. The gate is the first queue a PUT/DELETE joins, so in
+	// this single-hot-document workload it is where cancellation lands.
+	GateCancelled int64 `json:"gate_cancelled"`
+	// GateWaitMs is dav_gate_wait_seconds_total: cumulative time
+	// requests spent queued at the write gate. In the detached arm
+	// abandoned requests keep waiting here for clients that are gone.
+	GateWaitMs float64 `json:"gate_wait_ms"`
+	// LockCancelled / LockWaitMs are the same counters one layer down
+	// (dav_pathlock_*): waits on the store's path locks. The gate
+	// serializes same-path writes upstream, so these stay near zero
+	// here; they matter for workloads that contend inside the store
+	// (e.g. subtree locks), and the bench reports them for completeness.
+	LockCancelled int64   `json:"lock_cancelled"`
+	LockWaitMs    float64 `json:"lock_wait_ms"`
+}
+
+// BenchPR9Integrity is the post-run consistency check of the cancelling
+// arm's store: every reclaimed operation must have rolled back cleanly.
+type BenchPR9Integrity struct {
+	FsckFindings   int `json:"fsck_findings"`
+	FsckResources  int `json:"fsck_resources"`
+	JournalPending int `json:"journal_pending"`
+}
+
+// BenchPR9Result is the full cancellation benchmark outcome.
+type BenchPR9Result struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"go"`
+	CPUs      int     `json:"cpus"`
+	Mix       string  `json:"mix"`
+	StallMs   float64 `json:"stall_ms"`
+	Survivors int     `json:"survivors"`
+	Aborters  int     `json:"aborters"`
+	// Arms holds the detached baseline first, then the cancelling stack.
+	Arms []BenchPR9Arm `json:"arms"`
+	// ReclaimedStoreMs is the serialized store time the cancelling arm
+	// did NOT spend on abandoned work, relative to the detached
+	// baseline (detached.StoreBusyMs - cancelling.StoreBusyMs).
+	ReclaimedStoreMs float64 `json:"reclaimed_store_ms"`
+	// DrainSpeedup is detached.DrainMs / cancelling.DrainMs: how much
+	// sooner the store goes idle when abandoned work is reclaimed.
+	DrainSpeedup float64           `json:"drain_speedup"`
+	Integrity    BenchPR9Integrity `json:"integrity"`
+}
+
+// BenchPR9Options sizes the benchmark.
+type BenchPR9Options struct {
+	// Stall is the simulated storage latency injected inside the path
+	// lock at the PUT staging step (default 25ms).
+	Stall time.Duration
+	// Survivors is the number of clients that stay connected
+	// (default 3), Aborters the number that disconnect mid-flight
+	// (default 3).
+	Survivors, Aborters int
+	// OpsPerSurvivor is the PUT+PROPPATCH iterations each surviving
+	// client completes (default 10); AttemptsPerAborter the number of
+	// doomed requests each disconnecting client issues (default 10).
+	OpsPerSurvivor, AttemptsPerAborter int
+}
+
+const benchPR9Mix = "survivors PUT one hot document, aborters DELETE it (serialized by the per-path write gate, %v stall inside the store); aborters disconnect at 80%% of the stall"
+
+// RunBenchPR9 measures what mid-flight client disconnects cost the
+// store under the detached (PR 8) and cancelling (PR 9) request
+// lifecycles.
+func RunBenchPR9(opts BenchPR9Options) (BenchPR9Result, error) {
+	if opts.Stall <= 0 {
+		opts.Stall = 25 * time.Millisecond
+	}
+	if opts.Survivors <= 0 {
+		opts.Survivors = 3
+	}
+	if opts.Aborters <= 0 {
+		opts.Aborters = 3
+	}
+	if opts.OpsPerSurvivor <= 0 {
+		opts.OpsPerSurvivor = 10
+	}
+	if opts.AttemptsPerAborter <= 0 {
+		opts.AttemptsPerAborter = 10
+	}
+
+	res := BenchPR9Result{
+		Schema:    BenchPR9Schema,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Mix:       fmt.Sprintf(benchPR9Mix, opts.Stall),
+		StallMs:   ms(opts.Stall),
+		Survivors: opts.Survivors,
+		Aborters:  opts.Aborters,
+	}
+
+	for _, arch := range []string{"detached", "cancelling"} {
+		arm, integ, err := runBenchPR9Arm(arch, opts)
+		if err != nil {
+			return res, fmt.Errorf("bench-pr9 %s: %w", arch, err)
+		}
+		res.Arms = append(res.Arms, arm)
+		if arch == "cancelling" {
+			res.Integrity = integ
+		}
+	}
+
+	res.ReclaimedStoreMs = res.Arms[0].StoreBusyMs - res.Arms[1].StoreBusyMs
+	if res.Arms[1].DrainMs > 0 {
+		res.DrainSpeedup = res.Arms[0].DrainMs / res.Arms[1].DrainMs
+	}
+	return res, nil
+}
+
+// runBenchPR9Arm boots a fresh environment in the given request
+// lifecycle and drives the contended disconnect workload.
+func runBenchPR9Arm(arch string, opts BenchPR9Options) (BenchPR9Arm, BenchPR9Integrity, error) {
+	arm := BenchPR9Arm{Name: arch}
+
+	dir, err := os.MkdirTemp("", "benchpr9-*")
+	if err != nil {
+		return arm, BenchPR9Integrity{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// The stall sits at put.start and delete.start — immediately after
+	// the hot document's exclusive path lock is acquired — so every
+	// operation that gets the lock, live or abandoned, serializes
+	// behind it for a full stall.
+	var opsStalled atomic.Int64
+	var inner store.Store
+	envOpts := DAVEnvOptions{
+		Dir:        dir,
+		Persistent: true,
+		StepHook: func(p string) {
+			if p == "put.start" || p == "delete.start" {
+				opsStalled.Add(1)
+				time.Sleep(opts.Stall)
+			}
+		},
+		WrapStore: func(s store.Store) store.Store {
+			inner = s
+			return s
+		},
+	}
+	if arch == "detached" {
+		envOpts.WrapHandler = detachRequests
+	}
+	env, err := StartDAVEnv(envOpts)
+	if err != nil {
+		return arm, BenchPR9Integrity{}, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			env.Close()
+		}
+	}()
+	fs, _ := inner.(*store.FSStore)
+
+	if err := env.Client.Mkcol("/bench"); err != nil {
+		return arm, BenchPR9Integrity{}, err
+	}
+	const hotDoc = "/bench/hot.dat"
+	body := []byte("contended document body")
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	survivorErrs := make([]error, opts.Survivors)
+	for w := 0; w < opts.Survivors; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := env.NewClient(true, 0)
+			if err != nil {
+				survivorErrs[w] = err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < opts.OpsPerSurvivor; i++ {
+				if _, err := c.PutBytes(hotDoc, body, "application/octet-stream"); err != nil {
+					survivorErrs[w] = fmt.Errorf("put %d: %w", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Aborters join once the survivors have the hot path contended, and
+	// give up at 80% of one stall — long enough to queue behind a
+	// stalled write, too short to ever finish behind it. They issue
+	// bodyless DELETEs (see the file comment) so the disconnect is
+	// observable while the request waits in a queue.
+	aborted := int64(0)
+	var awg sync.WaitGroup
+	for w := 0; w < opts.Aborters; w++ {
+		awg.Add(1)
+		go func() {
+			defer awg.Done()
+			c, err := davclient.New(davclient.Config{
+				BaseURL:    env.URL,
+				Persistent: false,
+				Timeout:    opts.Stall * 8 / 10,
+			})
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			time.Sleep(opts.Stall / 2)
+			for i := 0; i < opts.AttemptsPerAborter; i++ {
+				if err := c.Delete(hotDoc); err != nil && isClientTimeout(err) {
+					atomic.AddInt64(&aborted, 1)
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range survivorErrs {
+		if err != nil {
+			return arm, BenchPR9Integrity{}, err
+		}
+	}
+	awg.Wait()
+
+	// Wait for the serving path to go idle: in the detached arm
+	// abandoned operations are still queued at the write gate and
+	// draining serially through the hot lock.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		gs := env.Handler.GateStats()
+		idle := gs.Entries == 0
+		if fs != nil {
+			ls := fs.LockStats()
+			idle = idle && ls.Held == 0 && ls.Nodes == 0
+		}
+		if idle {
+			break
+		}
+		if time.Now().After(deadline) {
+			return arm, BenchPR9Integrity{}, fmt.Errorf("serving path never drained: gate %+v", gs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	drain := time.Since(start)
+
+	survivorOps := opts.Survivors * opts.OpsPerSurvivor
+	arm.WallMs = ms(wall)
+	arm.DrainMs = ms(drain)
+	arm.SurvivorOps = survivorOps
+	arm.SurvivorOpsPerSec = float64(survivorOps) / wall.Seconds()
+	arm.AbortedRequests = int(atomic.LoadInt64(&aborted))
+	arm.OpsStalled = opsStalled.Load()
+	arm.StoreBusyMs = float64(arm.OpsStalled) * ms(opts.Stall)
+	gs := env.Handler.GateStats()
+	arm.GateCancelled = int64(gs.Cancelled)
+	arm.GateWaitMs = ms(gs.WaitTotal)
+	if fs != nil {
+		ls := fs.LockStats()
+		arm.LockCancelled = ls.Cancelled
+		arm.LockWaitMs = ms(ls.WaitTotal)
+	}
+
+	// Integrity: close the environment, then prove the reclaimed
+	// operations left nothing behind — no fsck findings, no pending
+	// journal intents.
+	closed = true
+	env.Close()
+	var integ BenchPR9Integrity
+	rep, err := fsck.Check(dir, dbm.GDBM)
+	if err != nil {
+		return arm, integ, fmt.Errorf("fsck: %w", err)
+	}
+	integ.FsckFindings = len(rep.Findings)
+	integ.FsckResources = rep.Resources
+	pending, err := journal.ReadPending(filepath.Join(dir, store.MetaDirName, "journal"))
+	if err != nil {
+		return arm, integ, fmt.Errorf("read journal: %w", err)
+	}
+	integ.JournalPending = len(pending)
+	return arm, integ, nil
+}
+
+// isClientTimeout reports whether a client-side request error is the
+// deliberate disconnect (the client's Timeout firing mid-flight), as
+// opposed to an ordinary DAV error like a 404 on an already-deleted
+// document.
+func isClientTimeout(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// ValidateBenchPR9 checks a serialized BENCH_PR9.json against what the
+// CI cancellation smoke asserts: both arms present and fully measured,
+// the cancelling arm actually cancelled queued waiters (at the write
+// gate or the path locks) while the detached arm could not, abandoned
+// work was reclaimed (strictly fewer stalled operations reached the
+// store), and the reclaimed operations rolled back cleanly.
+func ValidateBenchPR9(data []byte) error {
+	var r BenchPR9Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("bench-pr9: unparseable: %w", err)
+	}
+	if r.Schema != BenchPR9Schema {
+		return fmt.Errorf("bench-pr9: schema %q, want %q", r.Schema, BenchPR9Schema)
+	}
+	if len(r.Arms) != 2 || r.Arms[0].Name != "detached" || r.Arms[1].Name != "cancelling" {
+		return fmt.Errorf("bench-pr9: want arms [detached cancelling], got %+v", r.Arms)
+	}
+	det, can := r.Arms[0], r.Arms[1]
+	for _, a := range r.Arms {
+		if a.SurvivorOps <= 0 || a.SurvivorOpsPerSec <= 0 || a.OpsStalled <= 0 || a.WallMs <= 0 {
+			return fmt.Errorf("bench-pr9: arm %s not measured: %+v", a.Name, a)
+		}
+		if a.AbortedRequests == 0 {
+			return fmt.Errorf("bench-pr9: arm %s saw no client disconnects", a.Name)
+		}
+	}
+	if det.GateCancelled != 0 || det.LockCancelled != 0 {
+		return fmt.Errorf("bench-pr9: detached arm cancelled waits (gate %d, lock %d); it must not see cancellation at all",
+			det.GateCancelled, det.LockCancelled)
+	}
+	if can.GateCancelled+can.LockCancelled == 0 {
+		return fmt.Errorf("bench-pr9: cancelling arm cancelled no queued waits; disconnects never reached the serving path")
+	}
+	if can.OpsStalled >= det.OpsStalled {
+		return fmt.Errorf("bench-pr9: no store work reclaimed: %d stalled ops cancelling vs %d detached",
+			can.OpsStalled, det.OpsStalled)
+	}
+	if r.ReclaimedStoreMs <= 0 {
+		return fmt.Errorf("bench-pr9: reclaimed store time %.1fms, want > 0", r.ReclaimedStoreMs)
+	}
+	if r.Integrity.FsckFindings != 0 {
+		return fmt.Errorf("bench-pr9: %d fsck findings after cancelled operations", r.Integrity.FsckFindings)
+	}
+	if r.Integrity.JournalPending != 0 {
+		return fmt.Errorf("bench-pr9: %d journal intents still pending after cancelled operations",
+			r.Integrity.JournalPending)
+	}
+	return nil
+}

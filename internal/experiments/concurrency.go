@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"encoding/xml"
 	"fmt"
@@ -53,62 +54,62 @@ func (ss *serializedStore) write(fn func() error) error {
 	return fn()
 }
 
-func (ss *serializedStore) Stat(p string) (ri store.ResourceInfo, err error) {
-	err = ss.read(func() (e error) { ri, e = ss.s.Stat(p); return })
+func (ss *serializedStore) Stat(ctx context.Context, p string) (ri store.ResourceInfo, err error) {
+	err = ss.read(func() (e error) { ri, e = ss.s.Stat(ctx, p); return })
 	return
 }
 
-func (ss *serializedStore) List(p string) (infos []store.ResourceInfo, err error) {
-	err = ss.read(func() (e error) { infos, e = ss.s.List(p); return })
+func (ss *serializedStore) List(ctx context.Context, p string) (infos []store.ResourceInfo, err error) {
+	err = ss.read(func() (e error) { infos, e = ss.s.List(ctx, p); return })
 	return
 }
 
-func (ss *serializedStore) Mkcol(p string) error {
-	return ss.write(func() error { return ss.s.Mkcol(p) })
+func (ss *serializedStore) Mkcol(ctx context.Context, p string) error {
+	return ss.write(func() error { return ss.s.Mkcol(ctx, p) })
 }
 
-func (ss *serializedStore) Put(p string, r io.Reader, contentType string) (created bool, err error) {
-	err = ss.write(func() (e error) { created, e = ss.s.Put(p, r, contentType); return })
+func (ss *serializedStore) Put(ctx context.Context, p string, r io.Reader, contentType string) (created bool, err error) {
+	err = ss.write(func() (e error) { created, e = ss.s.Put(ctx, p, r, contentType); return })
 	return
 }
 
-func (ss *serializedStore) Get(p string) (rc io.ReadCloser, ri store.ResourceInfo, err error) {
-	err = ss.read(func() (e error) { rc, ri, e = ss.s.Get(p); return })
+func (ss *serializedStore) Get(ctx context.Context, p string) (rc io.ReadCloser, ri store.ResourceInfo, err error) {
+	err = ss.read(func() (e error) { rc, ri, e = ss.s.Get(ctx, p); return })
 	return
 }
 
-func (ss *serializedStore) Delete(p string) error {
-	return ss.write(func() error { return ss.s.Delete(p) })
+func (ss *serializedStore) Delete(ctx context.Context, p string) error {
+	return ss.write(func() error { return ss.s.Delete(ctx, p) })
 }
 
-func (ss *serializedStore) Rename(src, dst string) error {
+func (ss *serializedStore) Rename(ctx context.Context, src, dst string) error {
 	r, ok := ss.s.(store.Renamer)
 	if !ok {
 		return store.ErrRenameUnsupported
 	}
-	return ss.write(func() error { return r.Rename(src, dst) })
+	return ss.write(func() error { return r.Rename(ctx, src, dst) })
 }
 
-func (ss *serializedStore) PropPut(p string, name xml.Name, value []byte) error {
-	return ss.write(func() error { return ss.s.PropPut(p, name, value) })
+func (ss *serializedStore) PropPut(ctx context.Context, p string, name xml.Name, value []byte) error {
+	return ss.write(func() error { return ss.s.PropPut(ctx, p, name, value) })
 }
 
-func (ss *serializedStore) PropGet(p string, name xml.Name) (v []byte, ok bool, err error) {
-	err = ss.read(func() (e error) { v, ok, e = ss.s.PropGet(p, name); return })
+func (ss *serializedStore) PropGet(ctx context.Context, p string, name xml.Name) (v []byte, ok bool, err error) {
+	err = ss.read(func() (e error) { v, ok, e = ss.s.PropGet(ctx, p, name); return })
 	return
 }
 
-func (ss *serializedStore) PropDelete(p string, name xml.Name) error {
-	return ss.write(func() error { return ss.s.PropDelete(p, name) })
+func (ss *serializedStore) PropDelete(ctx context.Context, p string, name xml.Name) error {
+	return ss.write(func() error { return ss.s.PropDelete(ctx, p, name) })
 }
 
-func (ss *serializedStore) PropNames(p string) (names []xml.Name, err error) {
-	err = ss.read(func() (e error) { names, e = ss.s.PropNames(p); return })
+func (ss *serializedStore) PropNames(ctx context.Context, p string) (names []xml.Name, err error) {
+	err = ss.read(func() (e error) { names, e = ss.s.PropNames(ctx, p); return })
 	return
 }
 
-func (ss *serializedStore) PropAll(p string) (props map[xml.Name][]byte, err error) {
-	err = ss.read(func() (e error) { props, e = ss.s.PropAll(p); return })
+func (ss *serializedStore) PropAll(ctx context.Context, p string) (props map[xml.Name][]byte, err error) {
+	err = ss.read(func() (e error) { props, e = ss.s.PropAll(ctx, p); return })
 	return
 }
 

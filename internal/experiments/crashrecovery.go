@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -107,15 +108,16 @@ type crashOp struct {
 const benchPR6MaxSteps = 20
 
 func crashOps() []crashOp {
-	stat := func(s *store.FSStore, p string) error { _, err := s.Stat(p); return err }
+	bg := context.Background()
+	stat := func(s *store.FSStore, p string) error { _, err := s.Stat(bg, p); return err }
 	gone := func(s *store.FSStore, p string) error {
-		if _, err := s.Stat(p); !errors.Is(err, store.ErrNotFound) {
+		if _, err := s.Stat(bg, p); !errors.Is(err, store.ErrNotFound) {
 			return fmt.Errorf("%s still exists (err=%v)", p, err)
 		}
 		return nil
 	}
 	body := func(s *store.FSStore, p, want string) error {
-		rc, _, err := s.Get(p)
+		rc, _, err := s.Get(bg, p)
 		if err != nil {
 			return err
 		}
@@ -138,32 +140,32 @@ func crashOps() []crashOp {
 		return nil
 	}
 	put := func(s *store.FSStore, p, v string) error {
-		_, err := s.Put(p, strings.NewReader(v), "")
+		_, err := s.Put(bg, p, strings.NewReader(v), "")
 		return err
 	}
 	return []crashOp{
 		{
 			name: "put-overwrite", op: "put",
 			seed: func(s *store.FSStore) error { return put(s, "/doc.bin", "v1") },
-			run:  func(s *store.FSStore) { s.Put("/doc.bin", strings.NewReader("v2"), "chemical/x-nwchem") },
+			run:  func(s *store.FSStore) { s.Put(bg, "/doc.bin", strings.NewReader("v2"), "chemical/x-nwchem") },
 			pre:  func(s *store.FSStore) error { return body(s, "/doc.bin", "v1") },
 			post: func(s *store.FSStore) error { return body(s, "/doc.bin", "v2") },
 		},
 		{
 			name: "delete-tree", op: "delete",
 			seed: func(s *store.FSStore) error {
-				return first(s.Mkcol("/dir"), put(s, "/dir/a.txt", "a"))
+				return first(s.Mkcol(bg, "/dir"), put(s, "/dir/a.txt", "a"))
 			},
-			run:  func(s *store.FSStore) { s.Delete("/dir") },
+			run:  func(s *store.FSStore) { s.Delete(bg, "/dir") },
 			pre:  func(s *store.FSStore) error { return body(s, "/dir/a.txt", "a") },
 			post: func(s *store.FSStore) error { return gone(s, "/dir") },
 		},
 		{
 			name: "rename-doc", op: "rename",
 			seed: func(s *store.FSStore) error {
-				return first(s.Mkcol("/a"), s.Mkcol("/b"), put(s, "/a/doc.txt", "data"))
+				return first(s.Mkcol(bg, "/a"), s.Mkcol(bg, "/b"), put(s, "/a/doc.txt", "data"))
 			},
-			run: func(s *store.FSStore) { s.Rename("/a/doc.txt", "/b/doc.txt") },
+			run: func(s *store.FSStore) { s.Rename(bg, "/a/doc.txt", "/b/doc.txt") },
 			pre: func(s *store.FSStore) error {
 				return first(body(s, "/a/doc.txt", "data"), gone(s, "/b/doc.txt"))
 			},
@@ -174,10 +176,10 @@ func crashOps() []crashOp {
 		{
 			name: "copy-tree", op: "copy",
 			seed: func(s *store.FSStore) error {
-				return first(s.Mkcol("/src"), put(s, "/src/a.txt", "a"), put(s, "/src/b.txt", "b"))
+				return first(s.Mkcol(bg, "/src"), put(s, "/src/a.txt", "a"), put(s, "/src/b.txt", "b"))
 			},
 			run: func(s *store.FSStore) {
-				s.CopyTreeAtomic("/src", "/dst", store.CopyOptions{Recurse: true})
+				s.CopyTreeAtomic(bg, "/src", "/dst", store.CopyOptions{Recurse: true})
 			},
 			pre: func(s *store.FSStore) error {
 				return first(gone(s, "/dst"), body(s, "/src/a.txt", "a"))
@@ -189,7 +191,7 @@ func crashOps() []crashOp {
 		{
 			name: "mkcol", op: "mkcol",
 			seed: func(s *store.FSStore) error { return nil },
-			run:  func(s *store.FSStore) { s.Mkcol("/newdir") },
+			run:  func(s *store.FSStore) { s.Mkcol(bg, "/newdir") },
 			pre:  func(s *store.FSStore) error { return gone(s, "/newdir") },
 			post: func(s *store.FSStore) error { return stat(s, "/newdir") },
 		},
@@ -333,7 +335,7 @@ func measureJournalOverhead(opts BenchPR6Options) (BenchPR6Journal, error) {
 		start := time.Now()
 		for i := 0; i < opts.JournalDocs; i++ {
 			p := fmt.Sprintf("/doc-%03d.dat", i%8)
-			if _, err := s.Put(p, strings.NewReader(string(body)), "application/octet-stream"); err != nil {
+			if _, err := s.Put(context.Background(), p, strings.NewReader(string(body)), "application/octet-stream"); err != nil {
 				return 0, err
 			}
 		}
@@ -369,13 +371,13 @@ func measureFsck(opts BenchPR6Options) (BenchPR6Fsck, error) {
 	if err != nil {
 		return BenchPR6Fsck{}, err
 	}
-	if err := s.Mkcol("/proj"); err != nil {
+	if err := s.Mkcol(context.Background(), "/proj"); err != nil {
 		s.Close()
 		return BenchPR6Fsck{}, err
 	}
 	for i := 0; i < opts.FsckDocs; i++ {
 		p := fmt.Sprintf("/proj/calc-%03d.out", i)
-		if _, err := s.Put(p, strings.NewReader("energies"), "chemical/x-output"); err != nil {
+		if _, err := s.Put(context.Background(), p, strings.NewReader("energies"), "chemical/x-output"); err != nil {
 			s.Close()
 			return BenchPR6Fsck{}, err
 		}

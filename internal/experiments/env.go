@@ -115,6 +115,10 @@ type DAVEnvOptions struct {
 	// HandleCacheSize forwards to store.FSOptions: the bound on cached
 	// DBM handles (0 = store default, negative disables caching).
 	HandleCacheSize int
+	// StepHook forwards to store.FSOptions: a hook invoked at each
+	// multi-step operation boundary. Benchmarks use it to stall inside
+	// the path lock, simulating slow storage under contention.
+	StepHook func(point string)
 	// Serialized wraps the store in one global RWMutex and hides the
 	// batched-read fast path — the PR 3 storage architecture, kept as
 	// the concurrency benchmark's baseline. Combine with
@@ -126,6 +130,10 @@ type DAVEnvOptions struct {
 	// WrapStore, when set, wraps the store before instrumentation —
 	// the hook chaos/latency injectors use to sit on the serving path.
 	WrapStore func(store.Store) store.Store
+	// WrapHandler, when set, wraps the fully assembled HTTP handler —
+	// the hook for request-level middleware such as the cancellation
+	// benchmark's context detacher.
+	WrapHandler func(http.Handler) http.Handler
 }
 
 // StartDAVEnv boots a DAV server on a loopback socket and connects a
@@ -145,7 +153,7 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 			env.dir = dir
 		}
 		fs, err := store.NewFSStoreWith(dir, opts.Flavour,
-			store.FSOptions{HandleCacheSize: opts.HandleCacheSize})
+			store.FSOptions{HandleCacheSize: opts.HandleCacheSize, StepHook: opts.StepHook})
 		if err != nil {
 			return nil, err
 		}
@@ -172,12 +180,17 @@ func StartDAVEnv(opts DAVEnvOptions) (*DAVEnv, error) {
 	var clientReg *obs.Registry
 	if m != nil {
 		m.TrackLocks(env.Handler.Locks())
+		m.TrackGate(env.Handler)
 		clientReg = m.Registry
 	}
 	if m != nil || tr != nil || opts.Ops != nil {
 		serverHandler = davserver.InstrumentWith(serverHandler, davserver.InstrumentOptions{
 			Metrics: m, Tracer: tr, Ops: opts.Ops,
 		})
+	}
+
+	if opts.WrapHandler != nil {
+		serverHandler = opts.WrapHandler(serverHandler)
 	}
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -42,11 +43,11 @@ type latencyStore struct {
 
 func (ls *latencyStore) arm(d time.Duration) { ls.delayNanos.Store(int64(d)) }
 
-func (ls *latencyStore) Get(p string) (io.ReadCloser, store.ResourceInfo, error) {
+func (ls *latencyStore) Get(ctx context.Context, p string) (io.ReadCloser, store.ResourceInfo, error) {
 	if d := time.Duration(ls.delayNanos.Load()); d > 0 {
 		time.Sleep(d)
 	}
-	return ls.Store.Get(p)
+	return ls.Store.Get(ctx, p)
 }
 
 // BenchPR7Hot is one observed heavy hitter.

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dbm"
+	"repro/internal/store/journal"
+)
+
+// cancelAt opens a store whose step hook cancels the given context the
+// first time the named point is reached — the cancellation analogue of
+// crashAt: instead of dying between two journal steps, the operation's
+// caller gives up there, and the operation must roll itself back inline.
+func cancelAt(t *testing.T, dir, point string, cancel context.CancelFunc) *FSStore {
+	t.Helper()
+	fired := false
+	s, err := NewFSStoreWith(dir, dbm.GDBM, FSOptions{
+		StepHook: func(p string) {
+			if p == point && !fired {
+				fired = true
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// assertNoDebris fails if the tree under dir still holds a .put-* temp
+// file or a pending journal intent — the two artifacts a cancelled
+// multi-step operation could leak.
+func assertNoDebris(t *testing.T, dir string) {
+	t.Helper()
+	filepath.Walk(dir, func(p string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() && strings.HasPrefix(fi.Name(), ".put-") {
+			t.Errorf("temp file leaked by cancelled operation: %s", p)
+		}
+		return nil
+	})
+	pending, err := journal.ReadPending(filepath.Join(dir, propDirName, journalFileName))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("journal still holds %d pending intents after inline rollback: %v", len(pending), pending)
+	}
+}
+
+// TestPutCancelledMidIntent cancels an overwriting PUT at the
+// put.intent boundary — the intent record is durable, the rename has
+// not happened. The operation must return ctx.Err(), leave the pre-op
+// body visible, remove its temp, and resolve the intent so a subsequent
+// recovery (or davfsck) finds nothing to do.
+func TestPutCancelledMidIntent(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := cancelAt(t, dir, "put.intent", cancel)
+
+	mustMkcol(t, s, "/proj")
+	mustPut(t, s, "/proj/doc.txt", "v1")
+
+	_, err := s.Put(ctx, "/proj/doc.txt", strings.NewReader("v2"), "")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Put returned %v, want context.Canceled", err)
+	}
+	if got := readBody(t, s, "/proj/doc.txt"); got != "v1" {
+		t.Fatalf("document body = %q after cancelled overwrite, want pre-op %q", got, "v1")
+	}
+	assertNoDebris(t, dir)
+
+	// A reopen must not find anything to recover: the inline rollback
+	// already did what crash recovery would have done.
+	s2 := reopen(t, dir)
+	if got := readBody(t, s2, "/proj/doc.txt"); got != "v1" {
+		t.Fatalf("after reopen: body = %q, want %q", got, "v1")
+	}
+}
+
+// TestPutCancelledMidIntentCreate is the creating variant: the
+// cancelled PUT must leave no document at all.
+func TestPutCancelledMidIntentCreate(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := cancelAt(t, dir, "put.intent", cancel)
+
+	mustMkcol(t, s, "/proj")
+	_, err := s.Put(ctx, "/proj/new.txt", strings.NewReader("never"), "")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Put returned %v, want context.Canceled", err)
+	}
+	if _, err := s.Stat(context.Background(), "/proj/new.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat after cancelled creating Put: %v, want ErrNotFound", err)
+	}
+	assertNoDebris(t, dir)
+}
+
+// TestPutCancelledAfterStaging cancels one step earlier, after the body
+// is staged but before the intent: only the temp file exists, and it
+// must be removed.
+func TestPutCancelledAfterStaging(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := cancelAt(t, dir, "put.staged", cancel)
+
+	mustMkcol(t, s, "/proj")
+	_, err := s.Put(ctx, "/proj/doc.txt", strings.NewReader("x"), "")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Put returned %v, want context.Canceled", err)
+	}
+	assertNoDebris(t, dir)
+}
+
+// TestCancelledBeforeDecisiveStepIsExact sweeps every checkpoint the
+// non-journaled single-step operations expose: a context cancelled
+// before the call must reject the mutation outright with no side
+// effects.
+func TestCancelledBeforeDecisiveStepIsExact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir, dbm.GDBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustMkcol(t, s, "/proj")
+	mustPut(t, s, "/proj/doc.txt", "v1")
+
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if err := s.Mkcol(done, "/proj/sub"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Mkcol with done ctx: %v", err)
+	}
+	if err := s.Delete(done, "/proj/doc.txt"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Delete with done ctx: %v", err)
+	}
+	if err := s.Rename(done, "/proj/doc.txt", "/proj/moved.txt"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Rename with done ctx: %v", err)
+	}
+	if got := readBody(t, s, "/proj/doc.txt"); got != "v1" {
+		t.Fatalf("document disturbed by rejected operations: %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "proj", "sub")); !os.IsNotExist(err) {
+		t.Fatal("rejected Mkcol created the directory anyway")
+	}
+}

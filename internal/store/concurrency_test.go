@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -25,7 +26,7 @@ func seedTree(t *testing.T, s Store) {
 	mustPut(t, s, "/proj/calc/output.log", "energy")
 	mustPut(t, s, "/proj/readme.txt", "hello")
 	for _, p := range []string{"/proj/calc/input.dat", "/proj/readme.txt", "/proj/calc"} {
-		if err := s.PropPut(p, xml.Name{Space: "ecce:", Local: "state"}, []byte("<v>ok</v>")); err != nil {
+		if err := s.PropPut(context.Background(), p, xml.Name{Space: "ecce:", Local: "state"}, []byte("<v>ok</v>")); err != nil {
 			t.Fatalf("PropPut %s: %v", p, err)
 		}
 	}
@@ -38,18 +39,18 @@ func TestBatchReadsMatchNarrowReads(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
 		seedTree(t, s)
 		for _, p := range []string{"/", "/proj", "/proj/calc", "/proj/calc/input.dat"} {
-			ri, props, err := StatWithProps(s, p)
+			ri, props, err := StatWithProps(context.Background(), s, p)
 			if err != nil {
 				t.Fatalf("StatWithProps %s: %v", p, err)
 			}
-			wantRI, err := s.Stat(p)
+			wantRI, err := s.Stat(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !reflect.DeepEqual(ri, wantRI) {
 				t.Fatalf("StatWithProps info mismatch at %s:\n got %+v\nwant %+v", p, ri, wantRI)
 			}
-			wantProps, err := s.PropAll(p)
+			wantProps, err := s.PropAll(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -63,11 +64,11 @@ func TestBatchReadsMatchNarrowReads(t *testing.T) {
 			}
 		}
 		for _, p := range []string{"/", "/proj", "/proj/calc"} {
-			members, err := ListWithProps(s, p)
+			members, err := ListWithProps(context.Background(), s, p)
 			if err != nil {
 				t.Fatalf("ListWithProps %s: %v", p, err)
 			}
-			want, err := s.List(p)
+			want, err := s.List(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,7 +79,7 @@ func TestBatchReadsMatchNarrowReads(t *testing.T) {
 				if !reflect.DeepEqual(m.Info, want[i]) {
 					t.Fatalf("member %d info mismatch at %s:\n got %+v\nwant %+v", i, p, m.Info, want[i])
 				}
-				wantProps, err := s.PropAll(m.Info.Path)
+				wantProps, err := s.PropAll(context.Background(), m.Info.Path)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -87,10 +88,10 @@ func TestBatchReadsMatchNarrowReads(t *testing.T) {
 				}
 			}
 		}
-		if _, err := ListWithProps(s, "/proj/readme.txt"); !errors.Is(err, ErrNotCollection) {
+		if _, err := ListWithProps(context.Background(), s, "/proj/readme.txt"); !errors.Is(err, ErrNotCollection) {
 			t.Fatalf("ListWithProps on a document: err = %v, want ErrNotCollection", err)
 		}
-		if _, _, err := StatWithProps(s, "/nope"); !errors.Is(err, ErrNotFound) {
+		if _, _, err := StatWithProps(context.Background(), s, "/nope"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("StatWithProps on missing: err = %v, want ErrNotFound", err)
 		}
 	})
@@ -103,12 +104,12 @@ func TestBatchReadsMatchNarrowReads(t *testing.T) {
 func TestETagDistinguishesSameSizeOverwrite(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
 		mustPut(t, s, "/doc.txt", "aaaa")
-		before, err := s.Stat("/doc.txt")
+		before, err := s.Stat(context.Background(), "/doc.txt")
 		if err != nil {
 			t.Fatal(err)
 		}
 		mustPut(t, s, "/doc.txt", "bbbb") // same size
-		after, err := s.Stat("/doc.txt")
+		after, err := s.Stat(context.Background(), "/doc.txt")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func TestETagDistinguishesSameSizeOverwrite(t *testing.T) {
 			t.Fatalf("same-size overwrite kept ETag %s", before.ETag)
 		}
 		mustPut(t, s, "/doc.txt", "cccc")
-		third, err := s.Stat("/doc.txt")
+		third, err := s.Stat(context.Background(), "/doc.txt")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func TestGenerationLazyMaterialization(t *testing.T) {
 	if _, err := os.Stat(pp); err != nil {
 		t.Fatalf("overwrite did not persist the generation: %v", err)
 	}
-	ri, err := s.Stat("/plain.txt")
+	ri, err := s.Stat(context.Background(), "/plain.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestFSStoreListWithPropsOpensEachDBOnce(t *testing.T) {
 	for i := 0; i < n; i++ {
 		p := fmt.Sprintf("/d/f%d.dat", i)
 		mustPut(t, s, p, "body")
-		if err := s.PropPut(p, xml.Name{Space: "ns:", Local: "k"}, []byte("v")); err != nil {
+		if err := s.PropPut(context.Background(), p, xml.Name{Space: "ns:", Local: "k"}, []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -181,7 +182,7 @@ func TestFSStoreListWithPropsOpensEachDBOnce(t *testing.T) {
 	s.HandleCache().Close()
 	base := s.CacheStats()
 
-	if _, err := ListWithProps(s, "/d"); err != nil {
+	if _, err := ListWithProps(context.Background(), s, "/d"); err != nil {
 		t.Fatal(err)
 	}
 	after := s.CacheStats()
@@ -189,7 +190,7 @@ func TestFSStoreListWithPropsOpensEachDBOnce(t *testing.T) {
 		t.Fatalf("first listing opened %d databases, want %d (one per member)", opens, n)
 	}
 
-	if _, err := ListWithProps(s, "/d"); err != nil {
+	if _, err := ListWithProps(context.Background(), s, "/d"); err != nil {
 		t.Fatal(err)
 	}
 	final := s.CacheStats()
@@ -213,23 +214,23 @@ func TestFSStoreRenameInvalidatesCachedHandles(t *testing.T) {
 	mustMkcol(t, s, "/old")
 	mustPut(t, s, "/old/f.dat", "body")
 	name := xml.Name{Space: "ns:", Local: "k"}
-	if err := s.PropPut("/old/f.dat", name, []byte("v1")); err != nil {
+	if err := s.PropPut(context.Background(), "/old/f.dat", name, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.PropGet("/old/f.dat", name); err != nil {
+	if _, _, err := s.PropGet(context.Background(), "/old/f.dat", name); err != nil {
 		t.Fatal(err) // warm the cache
 	}
-	if err := s.Rename("/old", "/new"); err != nil {
+	if err := s.Rename(context.Background(), "/old", "/new"); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := s.PropGet("/new/f.dat", name)
+	v, ok, err := s.PropGet(context.Background(), "/new/f.dat", name)
 	if err != nil || !ok || string(v) != "v1" {
 		t.Fatalf("prop after rename: %q, %v, %v", v, ok, err)
 	}
-	if err := s.PropPut("/new/f.dat", name, []byte("v2")); err != nil {
+	if err := s.PropPut(context.Background(), "/new/f.dat", name, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Stat("/old/f.dat"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Stat(context.Background(), "/old/f.dat"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("old path still visible: %v", err)
 	}
 }
@@ -242,7 +243,7 @@ type failingRenamer struct {
 	calls int
 }
 
-func (f *failingRenamer) Rename(src, dst string) error {
+func (f *failingRenamer) Rename(ctx context.Context, src, dst string) error {
 	f.calls++
 	return f.err
 }
@@ -254,17 +255,17 @@ func TestMoveTreePropagatesPreconditionErrors(t *testing.T) {
 	for _, sentinel := range []error{ErrNotFound, ErrBadPath} {
 		s := &failingRenamer{Store: NewMemStore(), err: fmt.Errorf("wrap: %w", sentinel)}
 		mustPut(t, s, "/a.txt", "x")
-		if err := MoveTree(s, "/a.txt", "/b.txt"); !errors.Is(err, sentinel) {
+		if err := MoveTree(context.Background(), s, "/a.txt", "/b.txt"); !errors.Is(err, sentinel) {
 			t.Fatalf("MoveTree with rename failing %v returned %v, want the sentinel", sentinel, err)
 		}
-		if _, err := s.Stat("/a.txt"); err != nil {
+		if _, err := s.Stat(context.Background(), "/a.txt"); err != nil {
 			t.Fatalf("failed precondition move must not have fallen back: %v", err)
 		}
 	}
 	// A non-precondition failure (e.g. EXDEV) falls back and succeeds.
 	s := &failingRenamer{Store: NewMemStore(), err: errors.New("rename: cross-device link")}
 	mustPut(t, s, "/a.txt", "x")
-	if err := MoveTree(s, "/a.txt", "/b.txt"); err != nil {
+	if err := MoveTree(context.Background(), s, "/a.txt", "/b.txt"); err != nil {
 		t.Fatalf("MoveTree fallback failed: %v", err)
 	}
 	if s.calls != 1 {
@@ -273,7 +274,7 @@ func TestMoveTreePropagatesPreconditionErrors(t *testing.T) {
 	if got := readBody(t, s, "/b.txt"); got != "x" {
 		t.Fatalf("fallback move lost the body: %q", got)
 	}
-	if _, err := s.Stat("/a.txt"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Stat(context.Background(), "/a.txt"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("fallback move left the source: %v", err)
 	}
 }
@@ -309,7 +310,7 @@ func TestCopyTreeAtomicSnapshot(t *testing.T) {
 		}
 		done := make(chan error, 1)
 		go func() {
-			done <- CopyTree(s, "/src", "/dst", CopyOptions{Recurse: true})
+			done <- CopyTree(context.Background(), s, "/src", "/dst", CopyOptions{Recurse: true})
 		}()
 		// Wait until the copy holds its guard (or has already finished)
 		// so the racing write overlaps the copy as often as possible.
@@ -366,33 +367,33 @@ func TestMixedOperationStress(t *testing.T) {
 				home := fmt.Sprintf("/w%d", w)
 				for i := 0; i < iters; i++ {
 					doc := fmt.Sprintf("%s/deep/f%d.dat", home, i%4)
-					if _, err := s.Put(doc, strings.NewReader("body"), ""); err != nil {
+					if _, err := s.Put(context.Background(), doc, strings.NewReader("body"), ""); err != nil {
 						t.Errorf("Put %s: %v", doc, err)
 						return
 					}
-					if err := s.PropPut(doc, name, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					if err := s.PropPut(context.Background(), doc, name, []byte(fmt.Sprintf("v%d", i))); err != nil {
 						t.Errorf("PropPut %s: %v", doc, err)
 						return
 					}
 					// Cross-tree reads: list a sibling worker's subtree
 					// and the shared root while it is being mutated.
 					other := fmt.Sprintf("/w%d/deep", (w+1)%workers)
-					if _, err := ListWithProps(s, other); err != nil && !errors.Is(err, ErrNotFound) {
+					if _, err := ListWithProps(context.Background(), s, other); err != nil && !errors.Is(err, ErrNotFound) {
 						t.Errorf("ListWithProps %s: %v", other, err)
 						return
 					}
-					if _, err := s.List("/"); err != nil {
+					if _, err := s.List(context.Background(), "/"); err != nil {
 						t.Errorf("List /: %v", err)
 						return
 					}
 					// Shared collection churn: put, stat, delete.
 					shared := fmt.Sprintf("/shared/w%d-%d.dat", w, i%2)
-					if _, err := s.Put(shared, strings.NewReader("s"), ""); err != nil {
+					if _, err := s.Put(context.Background(), shared, strings.NewReader("s"), ""); err != nil {
 						t.Errorf("Put %s: %v", shared, err)
 						return
 					}
 					if i%5 == 0 {
-						if err := s.Delete(shared); err != nil && !errors.Is(err, ErrNotFound) {
+						if err := s.Delete(context.Background(), shared); err != nil && !errors.Is(err, ErrNotFound) {
 							t.Errorf("Delete %s: %v", shared, err)
 							return
 						}
@@ -401,11 +402,11 @@ func TestMixedOperationStress(t *testing.T) {
 					// (always disjoint from other workers' moves).
 					if i%10 == 9 {
 						src, dst := home+"/deep", home+"/moved"
-						if err := MoveTree(s, src, dst); err != nil {
+						if err := MoveTree(context.Background(), s, src, dst); err != nil {
 							t.Errorf("MoveTree %s -> %s: %v", src, dst, err)
 							return
 						}
-						if err := MoveTree(s, dst, src); err != nil {
+						if err := MoveTree(context.Background(), s, dst, src); err != nil {
 							t.Errorf("MoveTree %s -> %s: %v", dst, src, err)
 							return
 						}
@@ -417,7 +418,7 @@ func TestMixedOperationStress(t *testing.T) {
 		// Structural sanity after the storm.
 		for w := 0; w < workers; w++ {
 			deep := fmt.Sprintf("/w%d/deep", w)
-			members, err := ListWithProps(s, deep)
+			members, err := ListWithProps(context.Background(), s, deep)
 			if err != nil {
 				t.Fatalf("post-stress ListWithProps %s: %v", deep, err)
 			}

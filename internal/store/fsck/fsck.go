@@ -100,7 +100,7 @@ func CheckContext(ctx context.Context, root string, flavour dbm.Flavour) (rep *R
 	_, end := trace.Region(ctx, "store.fsck", trace.Str("root", root))
 	defer func() { end(err) }()
 	rep = &Report{}
-	if err := checkTree(root, flavour, rep); err != nil {
+	if err := checkTree(ctx, root, flavour, rep); err != nil {
 		return nil, err
 	}
 	if err := checkJournal(root, rep); err != nil {
@@ -112,15 +112,21 @@ func CheckContext(ctx context.Context, root string, flavour dbm.Flavour) (rep *R
 }
 
 // checkTree walks the resource tree, descending into each metadata
-// directory exactly once.
-func checkTree(root string, flavour dbm.Flavour, rep *Report) error {
+// directory exactly once. The walk checks ctx between entries: a store
+// holding thousands of sidecar databases takes a while to verify, and
+// an abandoned check should stop burning I/O (checking is read-only,
+// so stopping leaves nothing behind).
+func checkTree(ctx context.Context, root string, flavour dbm.Flavour, rep *Report) error {
 	return filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		if d.IsDir() {
 			if d.Name() == store.MetaDirName {
-				checkMetaDir(root, p, flavour, rep)
+				checkMetaDir(ctx, root, p, flavour, rep)
 				return filepath.SkipDir
 			}
 			rep.Resources++
@@ -137,7 +143,7 @@ func checkTree(root string, flavour dbm.Flavour, rep *Report) error {
 
 // checkMetaDir examines one ".DAV" directory: every member sidecar
 // must have a live owner, and every database must be sound.
-func checkMetaDir(root, metaDir string, flavour dbm.Flavour, rep *Report) {
+func checkMetaDir(ctx context.Context, root, metaDir string, flavour dbm.Flavour, rep *Report) {
 	resourceDir := filepath.Dir(metaDir)
 	ents, err := os.ReadDir(metaDir)
 	if err != nil {
@@ -166,13 +172,13 @@ func checkMetaDir(root, metaDir string, flavour dbm.Flavour, rep *Report) {
 				continue
 			}
 		}
-		checkDB(p, flavour, rep)
+		checkDB(ctx, p, flavour, rep)
 	}
 }
 
 // checkDB validates one property database: flavour, structure, and
 // the generation key when present.
-func checkDB(p string, flavour dbm.Flavour, rep *Report) {
+func checkDB(ctx context.Context, p string, flavour dbm.Flavour, rep *Report) {
 	rep.Databases++
 	got, err := dbm.FlavourOf(p)
 	if err != nil {
@@ -184,7 +190,7 @@ func checkDB(p string, flavour dbm.Flavour, rep *Report) {
 			fmt.Sprintf("database is %s, store is %s", got, flavour))
 		return
 	}
-	if err := dbm.Verify(p); err != nil {
+	if err := dbm.VerifyContext(ctx, p); err != nil {
 		rep.add(KindCorruptDBM, p, err.Error())
 		return
 	}

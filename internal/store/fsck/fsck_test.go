@@ -1,6 +1,7 @@
 package fsck
 
 import (
+	"context"
 	"encoding/xml"
 	"os"
 	"path/filepath"
@@ -28,14 +29,14 @@ func seedStore(t *testing.T) string {
 			t.Fatal(err)
 		}
 	}
-	must(s.Mkcol("/proj"))
-	_, err = s.Put("/proj/input.nw", strings.NewReader("geometry"), "")
+	must(s.Mkcol(context.Background(), "/proj"))
+	_, err = s.Put(context.Background(), "/proj/input.nw", strings.NewReader("geometry"), "")
 	must(err)
-	_, err = s.Put("/proj/input.nw", strings.NewReader("geometry v2"), "")
+	_, err = s.Put(context.Background(), "/proj/input.nw", strings.NewReader("geometry v2"), "")
 	must(err)
-	_, err = s.Put("/proj/out.log", strings.NewReader("ok"), "chemical/x-log")
+	_, err = s.Put(context.Background(), "/proj/out.log", strings.NewReader("ok"), "chemical/x-log")
 	must(err)
-	must(s.PropPut("/proj", xml.Name{Space: "urn:ecce", Local: "owner"}, []byte("collection prop")))
+	must(s.PropPut(context.Background(), "/proj", xml.Name{Space: "urn:ecce", Local: "owner"}, []byte("collection prop")))
 	return dir
 }
 
@@ -150,7 +151,7 @@ func TestCheckAndRepairCorruptedFixture(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := s.Stat("/proj/input.nw"); err != nil {
+	if _, err := s.Stat(context.Background(), "/proj/input.nw"); err != nil {
 		t.Errorf("healthy document damaged by repair: %v", err)
 	}
 }

@@ -124,20 +124,27 @@ type FSOptions struct {
 // exclusive lock on a collection covers its whole subtree — which is
 // what Delete and Rename rely on. Property databases are reached
 // through a shared refcounted handle cache rather than being opened per
-// operation. Both structures are shared by WithContext views.
+// operation.
+//
+// Cancellation: every operation takes the request context. Lock waits
+// abort when it is done, and multi-step mutations checkpoint it at
+// step boundaries where nothing user-visible has mutated yet — a
+// cancelled PUT removes its staged temporary and resolves its intent
+// as a no-op. Once the decisive visible step has run (the rename into
+// place, the first removal), the operation finishes regardless of
+// cancellation: completing is cheaper than the torn middle, and the
+// journal's crash recovery covers a process death either way.
 type FSStore struct {
 	root    string
 	flavour dbm.Flavour
 	locks   *pathlock.Manager
 	cache   *dbm.Cache
 	shared  *fsShared
-	ctx     context.Context // request binding; Background when unbound
 }
 
-// fsShared is the store state shared by every WithContext view (views
-// are shallow copies, so anything mutable lives behind this pointer):
-// the intent journal, the recovering write gate, the crash-point step
-// hook, and the recovery counters.
+// fsShared is the store state kept behind one pointer so FSStore stays
+// copy-friendly: the intent journal, the recovering write gate, the
+// crash-point step hook, and the recovery counters.
 type fsShared struct {
 	journal    *journal.Journal // nil when journaling is disabled
 	recovering atomic.Bool
@@ -170,7 +177,6 @@ func FsyncErrors() int64 { return fsyncErrors.Load() }
 
 var _ Store = (*FSStore)(nil)
 var _ Renamer = (*FSStore)(nil)
-var _ ContextBinder = (*FSStore)(nil)
 var _ BatchReader = (*FSStore)(nil)
 var _ TreeCopier = (*FSStore)(nil)
 
@@ -205,7 +211,6 @@ func NewFSStoreWith(dir string, flavour dbm.Flavour, o FSOptions) (*FSStore, err
 		locks:   pathlock.NewManager(),
 		cache:   dbm.NewCache(size, flavour),
 		shared:  &fsShared{stepHook: o.StepHook},
-		ctx:     context.Background(),
 	}
 	if !o.DisableJournal {
 		metaDir := filepath.Join(abs, propDirName)
@@ -235,16 +240,6 @@ func NewFSStoreWith(dir string, flavour dbm.Flavour, o FSOptions) (*FSStore, err
 		}
 	}
 	return s, nil
-}
-
-// WithContext implements ContextBinder: the returned view shares the
-// store's locks, handle cache and data, but attributes lock waits and
-// property-database operations (the "pathlock.wait" and "dbm.*" spans)
-// to ctx.
-func (s *FSStore) WithContext(ctx context.Context) Store {
-	c := *s
-	c.ctx = ctx
-	return &c
 }
 
 // Root returns the store's root directory on disk.
@@ -385,7 +380,7 @@ func mapFSErr(err error, p string) error {
 // cache, creating it if create is true. When create is false and the
 // database does not exist, fn is not called and the result is nil
 // (empty database semantics). Caller holds the resource's path lock.
-func (s *FSStore) withProps(cp string, create bool, fn func(*dbm.Handle) error) error {
+func (s *FSStore) withProps(ctx context.Context, cp string, create bool, fn func(*dbm.Handle) error) error {
 	pp, err := s.propsPath(cp)
 	if err != nil {
 		return err
@@ -401,7 +396,7 @@ func (s *FSStore) withProps(cp string, create bool, fn func(*dbm.Handle) error) 
 			return err
 		}
 	}
-	h, err := s.cache.Acquire(s.ctx, pp)
+	h, err := s.cache.Acquire(ctx, pp)
 	if err != nil {
 		return err
 	}
@@ -412,8 +407,8 @@ func (s *FSStore) withProps(cp string, create bool, fn func(*dbm.Handle) error) 
 // internalMeta reads the internal bookkeeping keys (content type,
 // generation) in one handle acquisition. Missing database or keys yield
 // zero values. Caller holds the resource's path lock.
-func (s *FSStore) internalMeta(cp string) (ctype string, gen int64) {
-	s.withProps(cp, false, func(h *dbm.Handle) error {
+func (s *FSStore) internalMeta(ctx context.Context, cp string) (ctype string, gen int64) {
+	s.withProps(ctx, cp, false, func(h *dbm.Handle) error {
 		if v, ok, _ := h.Get(internalKey(ikeyContentType)); ok {
 			ctype = string(v)
 		}
@@ -426,18 +421,21 @@ func (s *FSStore) internalMeta(cp string) (ctype string, gen int64) {
 }
 
 // Stat implements Store.
-func (s *FSStore) Stat(p string) (ResourceInfo, error) {
+func (s *FSStore) Stat(ctx context.Context, p string) (ResourceInfo, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return ResourceInfo{}, err
 	}
-	g := s.locks.RLock(s.ctx, cp)
+	g, err := s.locks.RLock(ctx, cp)
+	if err != nil {
+		return ResourceInfo{}, err
+	}
 	defer g.Release()
-	return s.stat(cp)
+	return s.stat(ctx, cp)
 }
 
 // stat resolves cp under an already-held lock.
-func (s *FSStore) stat(cp string) (ResourceInfo, error) {
+func (s *FSStore) stat(ctx context.Context, cp string) (ResourceInfo, error) {
 	dp, err := s.diskPath(cp)
 	if err != nil {
 		return ResourceInfo{}, err
@@ -446,12 +444,12 @@ func (s *FSStore) stat(cp string) (ResourceInfo, error) {
 	if err != nil {
 		return ResourceInfo{}, mapFSErr(err, cp)
 	}
-	return s.infoFor(cp, fi), nil
+	return s.infoFor(ctx, cp, fi), nil
 }
 
 // infoFor builds a ResourceInfo, reading the internal metadata keys for
 // documents. Caller holds a lock covering cp.
-func (s *FSStore) infoFor(cp string, fi fs.FileInfo) ResourceInfo {
+func (s *FSStore) infoFor(ctx context.Context, cp string, fi fs.FileInfo) ResourceInfo {
 	ri := ResourceInfo{
 		Path:         cp,
 		IsCollection: fi.IsDir(),
@@ -459,7 +457,7 @@ func (s *FSStore) infoFor(cp string, fi fs.FileInfo) ResourceInfo {
 		CreateTime:   fi.ModTime(),
 	}
 	if !fi.IsDir() {
-		ctype, gen := s.internalMeta(cp)
+		ctype, gen := s.internalMeta(ctx, cp)
 		s.fillDocInfo(&ri, fi, ctype, gen)
 	}
 	return ri
@@ -492,21 +490,24 @@ func etagFor(fi fs.FileInfo, gen int64) string {
 }
 
 // List implements Store.
-func (s *FSStore) List(p string) ([]ResourceInfo, error) {
+func (s *FSStore) List(ctx context.Context, p string) ([]ResourceInfo, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, err
 	}
-	g := s.locks.RLock(s.ctx, cp)
+	g, err := s.locks.RLock(ctx, cp)
+	if err != nil {
+		return nil, err
+	}
 	defer g.Release()
-	infos, _, err := s.list(cp, false)
+	infos, _, err := s.list(ctx, cp, false)
 	return infos, err
 }
 
 // list reads the members of cp under an already-held shared lock. When
 // withProps is true each member's full property map is loaded in the
 // same pass through its (cached) database handle.
-func (s *FSStore) list(cp string, withProps bool) ([]ResourceInfo, []map[xml.Name][]byte, error) {
+func (s *FSStore) list(ctx context.Context, cp string, withProps bool) ([]ResourceInfo, []map[xml.Name][]byte, error) {
 	dp, err := s.diskPath(cp)
 	if err != nil {
 		return nil, nil, err
@@ -536,6 +537,11 @@ func (s *FSStore) list(cp string, withProps bool) ([]ResourceInfo, []map[xml.Nam
 		if e.Name() == propDirName {
 			continue
 		}
+		// A wide collection listing touches one property database per
+		// member; stop resolving members once the request is abandoned.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		efi, err := e.Info()
 		if err != nil {
 			continue // raced with deletion
@@ -543,9 +549,9 @@ func (s *FSStore) list(cp string, withProps bool) ([]ResourceInfo, []map[xml.Nam
 		child := path.Join(cp, e.Name())
 		var me memberEntry
 		if withProps {
-			me.info, me.prop = s.resolveWithProps(child, efi)
+			me.info, me.prop = s.resolveWithProps(ctx, child, efi)
 		} else {
-			me.info = s.infoFor(child, efi)
+			me.info = s.infoFor(ctx, child, efi)
 		}
 		members = append(members, me)
 	}
@@ -562,7 +568,7 @@ func (s *FSStore) list(cp string, withProps bool) ([]ResourceInfo, []map[xml.Nam
 // resolveWithProps builds one resource's info and property map in a
 // single pass over its property database: dead properties and internal
 // metadata come out of the same iteration through one cached handle.
-func (s *FSStore) resolveWithProps(cp string, fi fs.FileInfo) (ResourceInfo, map[xml.Name][]byte) {
+func (s *FSStore) resolveWithProps(ctx context.Context, cp string, fi fs.FileInfo) (ResourceInfo, map[xml.Name][]byte) {
 	ri := ResourceInfo{
 		Path:         cp,
 		IsCollection: fi.IsDir(),
@@ -572,7 +578,7 @@ func (s *FSStore) resolveWithProps(cp string, fi fs.FileInfo) (ResourceInfo, map
 	props := map[xml.Name][]byte{}
 	var ctype string
 	var gen int64
-	s.withProps(cp, false, func(h *dbm.Handle) error {
+	s.withProps(ctx, cp, false, func(h *dbm.Handle) error {
 		return h.ForEach(func(k, v []byte) error {
 			if name, ok := parsePropKey(k); ok {
 				props[name] = v
@@ -594,12 +600,15 @@ func (s *FSStore) resolveWithProps(cp string, fi fs.FileInfo) (ResourceInfo, map
 }
 
 // StatWithProps implements BatchReader.
-func (s *FSStore) StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, error) {
+func (s *FSStore) StatWithProps(ctx context.Context, p string) (ResourceInfo, map[xml.Name][]byte, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return ResourceInfo{}, nil, err
 	}
-	g := s.locks.RLock(s.ctx, cp)
+	g, err := s.locks.RLock(ctx, cp)
+	if err != nil {
+		return ResourceInfo{}, nil, err
+	}
 	defer g.Release()
 	dp, err := s.diskPath(cp)
 	if err != nil {
@@ -609,20 +618,23 @@ func (s *FSStore) StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, er
 	if err != nil {
 		return ResourceInfo{}, nil, mapFSErr(err, cp)
 	}
-	ri, props := s.resolveWithProps(cp, fi)
+	ri, props := s.resolveWithProps(ctx, cp, fi)
 	return ri, props, nil
 }
 
 // ListWithProps implements BatchReader: one shared lock on the
 // collection, one pass per member through cached database handles.
-func (s *FSStore) ListWithProps(p string) ([]MemberProps, error) {
+func (s *FSStore) ListWithProps(ctx context.Context, p string) ([]MemberProps, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, err
 	}
-	g := s.locks.RLock(s.ctx, cp)
+	g, err := s.locks.RLock(ctx, cp)
+	if err != nil {
+		return nil, err
+	}
 	defer g.Release()
-	infos, props, err := s.list(cp, true)
+	infos, props, err := s.list(ctx, cp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -636,7 +648,7 @@ func (s *FSStore) ListWithProps(p string) ([]MemberProps, error) {
 // Mkcol implements Store. The mkdir itself is atomic; it is journaled
 // anyway so the crash-point matrix exercises a single-step operation
 // and fsck can attribute a half-created collection to its request.
-func (s *FSStore) Mkcol(p string) error {
+func (s *FSStore) Mkcol(ctx context.Context, p string) error {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
@@ -647,7 +659,10 @@ func (s *FSStore) Mkcol(p string) error {
 	if err := s.writeGate(); err != nil {
 		return err
 	}
-	g := s.locks.Lock(s.ctx, cp)
+	g, err := s.locks.Lock(ctx, cp)
+	if err != nil {
+		return err
+	}
 	defer g.Release()
 	s.step("mkcol.start")
 	id, err := s.beginIntent(journal.Record{Op: journal.OpMkcol, Path: cp})
@@ -655,6 +670,11 @@ func (s *FSStore) Mkcol(p string) error {
 		return err
 	}
 	s.step("mkcol.intent")
+	if err := ctx.Err(); err != nil {
+		// Nothing was mutated: resolve the intent as a no-op.
+		s.commitIntent(id)
+		return err
+	}
 	if err := s.mkcolLocked(cp); err != nil {
 		s.commitIntent(id)
 		return err
@@ -693,7 +713,7 @@ func (s *FSStore) mkcolLocked(cp string) error {
 // document. The exclusive path lock serializes writers of one document;
 // writers of different documents — even in the same collection —
 // proceed in parallel.
-func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
+func (s *FSStore) Put(ctx context.Context, p string, r io.Reader, contentType string) (bool, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return false, err
@@ -709,9 +729,12 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 		return false, err
 	}
 
-	g := s.locks.Lock(s.ctx, cp)
+	g, err := s.locks.Lock(ctx, cp)
+	if err != nil {
+		return false, err
+	}
 	defer g.Release()
-	return s.putLocked(cp, dp, r, contentType, true)
+	return s.putLocked(ctx, cp, dp, r, contentType, true)
 }
 
 // putLocked is Put's body under an already-held exclusive lock covering
@@ -728,7 +751,12 @@ func (s *FSStore) Put(p string, r io.Reader, contentType string) (bool, error) {
 // bump. Recovery can therefore always classify the store as pre-op
 // (temp still present → remove it) or post-op (renamed → finish the
 // metadata steps), never in between.
-func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string, journaled bool) (bool, error) {
+//
+// Cancellation checkpoints sit before the rename: a cancelled PUT
+// removes its temp and resolves its intent as a no-op, leaving the
+// pre-op document intact. After the rename the operation completes —
+// the new body is already visible.
+func (s *FSStore) putLocked(ctx context.Context, cp, dp string, r io.Reader, contentType string, journaled bool) (bool, error) {
 	parentFI, perr := os.Stat(filepath.Dir(dp))
 	if perr != nil || !parentFI.IsDir() {
 		return false, fmt.Errorf("%w: %s", ErrConflict, ParentPath(cp))
@@ -751,7 +779,7 @@ func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string, jour
 	}
 	var prevGen int64
 	if !created {
-		_, prevGen = s.internalMeta(cp)
+		_, prevGen = s.internalMeta(ctx, cp)
 	}
 	// Only a content type that cannot be re-derived from the extension
 	// is persisted (mod_dav materializes property databases lazily; the
@@ -759,6 +787,9 @@ func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string, jour
 	persistCType := ""
 	if contentType != "" && contentType != inferContentType(cp) {
 		persistCType = contentType
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
 	s.step("put.start")
 
@@ -786,6 +817,11 @@ func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string, jour
 		return false, err
 	}
 	s.step("put.staged")
+	if err := ctx.Err(); err != nil {
+		// Abandoned after staging: only the temp exists; remove it.
+		os.Remove(tmpName)
+		return false, err
+	}
 
 	var id uint64
 	if journaled {
@@ -799,6 +835,14 @@ func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string, jour
 		}
 	}
 	s.step("put.intent")
+	if err := ctx.Err(); err != nil {
+		// Abandoned between intent and rename: remove the temp and
+		// resolve the intent — exactly the rollback recovery would
+		// perform after a crash here, done inline.
+		os.Remove(tmpName)
+		s.commitIntent(id)
+		return false, err
+	}
 
 	if err := os.Rename(tmpName, dp); err != nil {
 		os.Remove(tmpName)
@@ -813,8 +857,11 @@ func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string, jour
 		slog.Warn("store: directory fsync failed after rename; entry may not survive power loss",
 			"dir", filepath.Dir(dp), "err", err)
 	}
+	// From here on the new body is visible: finish the metadata steps
+	// regardless of cancellation (context.Background keeps a done ctx
+	// from failing the handle acquisition mid-metadata).
 	if persistCType != "" {
-		if err := s.withProps(cp, true, func(h *dbm.Handle) error {
+		if err := s.withProps(context.Background(), cp, true, func(h *dbm.Handle) error {
 			return h.Put(internalKey(ikeyContentType), []byte(persistCType))
 		}); err != nil {
 			return created, err
@@ -822,7 +869,7 @@ func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string, jour
 	}
 	s.step("put.props")
 	if !created {
-		if err := s.bumpGeneration(cp); err != nil {
+		if err := s.bumpGeneration(context.Background(), cp); err != nil {
 			return created, err
 		}
 	}
@@ -833,8 +880,8 @@ func (s *FSStore) putLocked(cp, dp string, r io.Reader, contentType string, jour
 
 // bumpGeneration increments the resource's overwrite counter. Caller
 // holds the exclusive path lock, which makes read-increment-write safe.
-func (s *FSStore) bumpGeneration(cp string) error {
-	return s.withProps(cp, true, func(h *dbm.Handle) error {
+func (s *FSStore) bumpGeneration(ctx context.Context, cp string) error {
+	return s.withProps(ctx, cp, true, func(h *dbm.Handle) error {
 		var gen int64
 		if v, ok, err := h.Get(internalKey(ikeyGeneration)); err != nil {
 			return err
@@ -875,14 +922,17 @@ func inferContentType(cp string) string {
 }
 
 // Get implements Store.
-func (s *FSStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
+func (s *FSStore) Get(ctx context.Context, p string) (io.ReadCloser, ResourceInfo, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, ResourceInfo{}, err
 	}
-	g := s.locks.RLock(s.ctx, cp)
+	g, err := s.locks.RLock(ctx, cp)
+	if err != nil {
+		return nil, ResourceInfo{}, err
+	}
 	defer g.Release()
-	ri, err := s.stat(cp)
+	ri, err := s.stat(ctx, cp)
 	if err != nil {
 		return nil, ResourceInfo{}, err
 	}
@@ -908,8 +958,9 @@ func (s *FSStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
 // durable before the first byte is removed, so a crash between the
 // content remove and the sidecar remove (or mid-RemoveAll) is finished
 // by recovery — a delete can end half-done on disk but never half-done
-// after Recover.
-func (s *FSStore) Delete(p string) error {
+// after Recover. The cancellation checkpoint sits before the first
+// removal: once removal starts, the delete completes.
+func (s *FSStore) Delete(ctx context.Context, p string) error {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
@@ -920,7 +971,10 @@ func (s *FSStore) Delete(p string) error {
 	if err := s.writeGate(); err != nil {
 		return err
 	}
-	g := s.locks.Lock(s.ctx, cp)
+	g, err := s.locks.Lock(ctx, cp)
+	if err != nil {
+		return err
+	}
 	defer g.Release()
 	dp, err := s.diskPath(cp)
 	if err != nil {
@@ -938,6 +992,11 @@ func (s *FSStore) Delete(p string) error {
 		return err
 	}
 	s.step("delete.intent")
+	if err := ctx.Err(); err != nil {
+		// Nothing was mutated: resolve the intent as a no-op.
+		s.commitIntent(id)
+		return err
+	}
 	if fi.IsDir() {
 		// Directory properties live inside the directory; one
 		// RemoveAll covers body, members, and all metadata. Every
@@ -977,7 +1036,7 @@ func (s *FSStore) Delete(p string) error {
 // destination subtrees are locked exclusively in one ordered
 // acquisition, so the move is atomic with respect to every other store
 // operation and cannot deadlock against a crossing move.
-func (s *FSStore) Rename(src, dst string) error {
+func (s *FSStore) Rename(ctx context.Context, src, dst string) error {
 	csrc, err := CleanPath(src)
 	if err != nil {
 		return err
@@ -993,9 +1052,12 @@ func (s *FSStore) Rename(src, dst string) error {
 	if err := s.writeGate(); err != nil {
 		return err
 	}
-	g := s.locks.Acquire(s.ctx,
+	g, err := s.locks.Acquire(ctx,
 		pathlock.Req{Path: csrc, Mode: pathlock.Exclusive},
 		pathlock.Req{Path: cdst, Mode: pathlock.Exclusive})
+	if err != nil {
+		return err
+	}
 	defer g.Release()
 
 	sp, err := s.diskPath(csrc)
@@ -1021,7 +1083,8 @@ func (s *FSStore) Rename(src, dst string) error {
 	// back to a no-op); source gone → roll forward by finishing the
 	// sidecar relocation. The intent must be durable before the rename
 	// so the torn middle (content moved, properties not) is always
-	// attributable.
+	// attributable. The cancellation checkpoint sits between the two:
+	// a cancelled MOVE that has not renamed yet is a no-op.
 	s.step("rename.start")
 	id, err := s.beginIntent(journal.Record{
 		Op: journal.OpRename, Path: csrc, Dst: cdst, IsDir: sfi.IsDir(),
@@ -1030,6 +1093,11 @@ func (s *FSStore) Rename(src, dst string) error {
 		return err
 	}
 	s.step("rename.intent")
+	if err := ctx.Err(); err != nil {
+		// Nothing was mutated: resolve the intent as a no-op.
+		s.commitIntent(id)
+		return err
+	}
 	if err := os.Rename(sp, tp); err != nil {
 		// Nothing was mutated: resolve the intent as a no-op.
 		s.commitIntent(id)
@@ -1066,7 +1134,7 @@ func (s *FSStore) Rename(src, dst string) error {
 // multi-path acquisition — Shared on the source subtree, Exclusive on
 // the destination — so writers cannot mutate the source mid-copy and no
 // reader observes a partially built destination tree.
-func (s *FSStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
+func (s *FSStore) CopyTreeAtomic(ctx context.Context, src, dst string, opts CopyOptions) error {
 	csrc, err := CleanPath(src)
 	if err != nil {
 		return err
@@ -1081,15 +1149,21 @@ func (s *FSStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
 	if err := s.writeGate(); err != nil {
 		return err
 	}
-	g := s.locks.Acquire(s.ctx,
+	g, err := s.locks.Acquire(ctx,
 		pathlock.Req{Path: csrc, Mode: pathlock.Shared},
 		pathlock.Req{Path: cdst, Mode: pathlock.Exclusive})
+	if err != nil {
+		return err
+	}
 	defer g.Release()
 	// Crash-consistency shape: one intent covers the whole destination
 	// subtree (the DAV handler clears an overwritten destination before
 	// calling, so the destination never holds pre-existing data). A
 	// crash or error mid-copy rolls back by removing whatever was built
 	// — the nested puts are deliberately unjournaled for that reason.
+	// Cancellation takes the same rollback: the per-resource walk
+	// checkpoints ctx, and a mid-copy abort removes the partial
+	// destination inline, leaving a no-op behind a resolved intent.
 	s.step("copy.start")
 	id, err := s.beginIntent(journal.Record{
 		Op: journal.OpCopy, Path: csrc, Dst: cdst, Recurse: opts.Recurse,
@@ -1098,7 +1172,7 @@ func (s *FSStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
 		return err
 	}
 	s.step("copy.intent")
-	if err := s.copyTreeLocked(csrc, cdst, opts.Recurse); err != nil {
+	if err := s.copyTreeLocked(ctx, csrc, cdst, opts.Recurse); err != nil {
 		// Roll back inline so a failed COPY is a no-op immediately
 		// rather than at the next recovery.
 		s.removeCopyDebris(cdst)
@@ -1128,25 +1202,28 @@ func (s *FSStore) removeCopyDebris(cdst string) {
 }
 
 // copyTreeLocked recursively copies csrc to cdst under the already-held
-// subtree locks.
-func (s *FSStore) copyTreeLocked(csrc, cdst string, recurse bool) error {
-	ri, err := s.stat(csrc)
+// subtree locks, checkpointing ctx before each resource.
+func (s *FSStore) copyTreeLocked(ctx context.Context, csrc, cdst string, recurse bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ri, err := s.stat(ctx, csrc)
 	if err != nil {
 		return err
 	}
-	if err := s.copyResourceLocked(ri, cdst); err != nil {
+	if err := s.copyResourceLocked(ctx, ri, cdst); err != nil {
 		return err
 	}
 	if !ri.IsCollection || !recurse {
 		return nil
 	}
-	members, _, err := s.list(csrc, false)
+	members, _, err := s.list(ctx, csrc, false)
 	if err != nil {
 		return err
 	}
 	for _, m := range members {
 		rel := strings.TrimPrefix(m.Path, csrc)
-		if err := s.copyTreeLocked(m.Path, cdst+rel, recurse); err != nil {
+		if err := s.copyTreeLocked(ctx, m.Path, cdst+rel, recurse); err != nil {
 			return err
 		}
 	}
@@ -1155,7 +1232,7 @@ func (s *FSStore) copyTreeLocked(csrc, cdst string, recurse bool) error {
 
 // copyResourceLocked copies one resource (body + properties) under the
 // already-held subtree locks, mirroring the generic copyResource.
-func (s *FSStore) copyResourceLocked(src ResourceInfo, cdst string) error {
+func (s *FSStore) copyResourceLocked(ctx context.Context, src ResourceInfo, cdst string) error {
 	s.step("copy.resource")
 	if src.IsCollection {
 		if err := s.mkcolLocked(cdst); err != nil {
@@ -1175,13 +1252,13 @@ func (s *FSStore) copyResourceLocked(src ResourceInfo, cdst string) error {
 			f.Close()
 			return err
 		}
-		_, err = s.putLocked(cdst, dp, f, src.ContentType, false)
+		_, err = s.putLocked(ctx, cdst, dp, f, src.ContentType, false)
 		f.Close()
 		if err != nil {
 			return err
 		}
 	}
-	props, err := s.propAllLocked(src.Path)
+	props, err := s.propAllLocked(ctx, src.Path)
 	if err != nil {
 		return err
 	}
@@ -1189,7 +1266,7 @@ func (s *FSStore) copyResourceLocked(src ResourceInfo, cdst string) error {
 		return nil
 	}
 	names := sortedPropNames(props)
-	return s.withProps(cdst, true, func(h *dbm.Handle) error {
+	return s.withProps(ctx, cdst, true, func(h *dbm.Handle) error {
 		for _, n := range names {
 			if err := h.Put(propKey(n), props[n]); err != nil {
 				return err
@@ -1200,7 +1277,7 @@ func (s *FSStore) copyResourceLocked(src ResourceInfo, cdst string) error {
 }
 
 // PropPut implements Store.
-func (s *FSStore) PropPut(p string, name xml.Name, value []byte) error {
+func (s *FSStore) PropPut(ctx context.Context, p string, name xml.Name, value []byte) error {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
@@ -1208,30 +1285,36 @@ func (s *FSStore) PropPut(p string, name xml.Name, value []byte) error {
 	if err := s.writeGate(); err != nil {
 		return err
 	}
-	g := s.locks.Lock(s.ctx, cp)
-	defer g.Release()
-	if _, err := s.stat(cp); err != nil {
+	g, err := s.locks.Lock(ctx, cp)
+	if err != nil {
 		return err
 	}
-	return s.withProps(cp, true, func(h *dbm.Handle) error {
+	defer g.Release()
+	if _, err := s.stat(ctx, cp); err != nil {
+		return err
+	}
+	return s.withProps(ctx, cp, true, func(h *dbm.Handle) error {
 		return h.Put(propKey(name), value)
 	})
 }
 
 // PropGet implements Store.
-func (s *FSStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
+func (s *FSStore) PropGet(ctx context.Context, p string, name xml.Name) ([]byte, bool, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, false, err
 	}
-	g := s.locks.RLock(s.ctx, cp)
+	g, err := s.locks.RLock(ctx, cp)
+	if err != nil {
+		return nil, false, err
+	}
 	defer g.Release()
-	if _, err := s.stat(cp); err != nil {
+	if _, err := s.stat(ctx, cp); err != nil {
 		return nil, false, err
 	}
 	var val []byte
 	var ok bool
-	err = s.withProps(cp, false, func(h *dbm.Handle) error {
+	err = s.withProps(ctx, cp, false, func(h *dbm.Handle) error {
 		var e error
 		val, ok, e = h.Get(propKey(name))
 		return e
@@ -1240,7 +1323,7 @@ func (s *FSStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
 }
 
 // PropDelete implements Store.
-func (s *FSStore) PropDelete(p string, name xml.Name) error {
+func (s *FSStore) PropDelete(ctx context.Context, p string, name xml.Name) error {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
@@ -1248,20 +1331,23 @@ func (s *FSStore) PropDelete(p string, name xml.Name) error {
 	if err := s.writeGate(); err != nil {
 		return err
 	}
-	g := s.locks.Lock(s.ctx, cp)
-	defer g.Release()
-	if _, err := s.stat(cp); err != nil {
+	g, err := s.locks.Lock(ctx, cp)
+	if err != nil {
 		return err
 	}
-	return s.withProps(cp, false, func(h *dbm.Handle) error {
+	defer g.Release()
+	if _, err := s.stat(ctx, cp); err != nil {
+		return err
+	}
+	return s.withProps(ctx, cp, false, func(h *dbm.Handle) error {
 		_, err := h.Delete(propKey(name))
 		return err
 	})
 }
 
 // PropNames implements Store.
-func (s *FSStore) PropNames(p string) ([]xml.Name, error) {
-	all, err := s.PropAll(p)
+func (s *FSStore) PropNames(ctx context.Context, p string) ([]xml.Name, error) {
+	all, err := s.PropAll(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -1269,24 +1355,27 @@ func (s *FSStore) PropNames(p string) ([]xml.Name, error) {
 }
 
 // PropAll implements Store.
-func (s *FSStore) PropAll(p string) (map[xml.Name][]byte, error) {
+func (s *FSStore) PropAll(ctx context.Context, p string) (map[xml.Name][]byte, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, err
 	}
-	g := s.locks.RLock(s.ctx, cp)
-	defer g.Release()
-	if _, err := s.stat(cp); err != nil {
+	g, err := s.locks.RLock(ctx, cp)
+	if err != nil {
 		return nil, err
 	}
-	return s.propAllLocked(cp)
+	defer g.Release()
+	if _, err := s.stat(ctx, cp); err != nil {
+		return nil, err
+	}
+	return s.propAllLocked(ctx, cp)
 }
 
 // propAllLocked reads every dead property under an already-held lock
 // covering cp.
-func (s *FSStore) propAllLocked(cp string) (map[xml.Name][]byte, error) {
+func (s *FSStore) propAllLocked(ctx context.Context, cp string) (map[xml.Name][]byte, error) {
 	out := map[xml.Name][]byte{}
-	err := s.withProps(cp, false, func(h *dbm.Handle) error {
+	err := s.withProps(ctx, cp, false, func(h *dbm.Handle) error {
 		return h.ForEach(func(k, v []byte) error {
 			if name, ok := parsePropKey(k); ok {
 				out[name] = v
@@ -1322,8 +1411,8 @@ func DiskUsage(dir string) (int64, error) {
 
 // ContentHash returns the SHA-1 of a document's body, used by tests
 // and the migration verifier.
-func ContentHash(s Store, p string) (string, error) {
-	rc, _, err := s.Get(p)
+func ContentHash(ctx context.Context, s Store, p string) (string, error) {
+	rc, _, err := s.Get(ctx, p)
 	if err != nil {
 		return "", err
 	}

@@ -20,9 +20,10 @@ type OpObserver func(op string, d time.Duration, err error)
 var NopObserver OpObserver = func(string, time.Duration, error) {}
 
 // Instrument wraps s so every Store operation is timed and reported to
-// obs, and — when the wrapper has been bound to a request context
-// carrying an active trace span (see ContextBinder) — recorded as a
-// child span named "store.<op>". The span and the observer see the
+// obs, and — when the operation's context carries an active trace span
+// — recorded as a child span named "store.<op>". The span's context is
+// what flows down into the wrapped store, so deeper layers (lock
+// waits, DBM calls) nest under it. The span and the observer see the
 // same duration, measured once on the tracer's clock, so a trace and
 // the latency histogram can never disagree about one operation.
 //
@@ -34,110 +35,96 @@ func Instrument(s Store, obs OpObserver) Store {
 	if obs == nil {
 		return s
 	}
-	return &instrumentedStore{s: s, obs: obs, ctx: context.Background()}
+	return &instrumentedStore{s: s, obs: obs}
 }
 
 type instrumentedStore struct {
 	s   Store
 	obs OpObserver
-	ctx context.Context // request binding; Background when unbound
 }
 
-// WithContext implements ContextBinder: the returned view attributes
-// every operation (and its span) to ctx.
-func (is *instrumentedStore) WithContext(ctx context.Context) Store {
-	c := *is
-	c.ctx = ctx
-	return &c
+// begin opens the "store.<op>" span on ctx and returns the context to
+// run the operation under — the span's context, so deeper layers nest
+// under it — plus the finish function reporting one shared duration to
+// span and observer alike.
+func (is *instrumentedStore) begin(ctx context.Context, op string, attrs ...trace.Attr) (context.Context, func(err error)) {
+	ctx, end := trace.Region(ctx, "store."+op, attrs...)
+	return ctx, func(err error) { is.obs(op, end(err), err) }
 }
 
-// begin opens the "store.<op>" span and returns the store to run the
-// operation against — the underlying store re-bound to the span's
-// context, so deeper layers (FSStore's DBM calls) nest under it — plus
-// the finish function reporting one shared duration to span and
-// observer alike.
-func (is *instrumentedStore) begin(op string, attrs ...trace.Attr) (Store, func(err error)) {
-	ctx, end := trace.Region(is.ctx, "store."+op, attrs...)
-	s := is.s
-	if ctx != is.ctx {
-		s = BindContext(s, ctx)
-	}
-	return s, func(err error) { is.obs(op, end(err), err) }
-}
-
-func (is *instrumentedStore) Stat(p string) (ResourceInfo, error) {
-	s, done := is.begin("stat", trace.Str("path", p))
-	ri, err := s.Stat(p)
+func (is *instrumentedStore) Stat(ctx context.Context, p string) (ResourceInfo, error) {
+	ctx, done := is.begin(ctx, "stat", trace.Str("path", p))
+	ri, err := is.s.Stat(ctx, p)
 	done(err)
 	return ri, err
 }
 
-func (is *instrumentedStore) List(p string) ([]ResourceInfo, error) {
-	s, done := is.begin("list", trace.Str("path", p))
-	members, err := s.List(p)
+func (is *instrumentedStore) List(ctx context.Context, p string) ([]ResourceInfo, error) {
+	ctx, done := is.begin(ctx, "list", trace.Str("path", p))
+	members, err := is.s.List(ctx, p)
 	done(err)
 	return members, err
 }
 
-func (is *instrumentedStore) Mkcol(p string) error {
-	s, done := is.begin("mkcol", trace.Str("path", p))
-	err := s.Mkcol(p)
+func (is *instrumentedStore) Mkcol(ctx context.Context, p string) error {
+	ctx, done := is.begin(ctx, "mkcol", trace.Str("path", p))
+	err := is.s.Mkcol(ctx, p)
 	done(err)
 	return err
 }
 
-func (is *instrumentedStore) Put(p string, r io.Reader, contentType string) (bool, error) {
-	s, done := is.begin("put", trace.Str("path", p))
-	created, err := s.Put(p, r, contentType)
+func (is *instrumentedStore) Put(ctx context.Context, p string, r io.Reader, contentType string) (bool, error) {
+	ctx, done := is.begin(ctx, "put", trace.Str("path", p))
+	created, err := is.s.Put(ctx, p, r, contentType)
 	done(err)
 	return created, err
 }
 
-func (is *instrumentedStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
-	s, done := is.begin("get", trace.Str("path", p))
-	rc, ri, err := s.Get(p)
+func (is *instrumentedStore) Get(ctx context.Context, p string) (io.ReadCloser, ResourceInfo, error) {
+	ctx, done := is.begin(ctx, "get", trace.Str("path", p))
+	rc, ri, err := is.s.Get(ctx, p)
 	done(err)
 	return rc, ri, err
 }
 
-func (is *instrumentedStore) Delete(p string) error {
-	s, done := is.begin("delete", trace.Str("path", p))
-	err := s.Delete(p)
+func (is *instrumentedStore) Delete(ctx context.Context, p string) error {
+	ctx, done := is.begin(ctx, "delete", trace.Str("path", p))
+	err := is.s.Delete(ctx, p)
 	done(err)
 	return err
 }
 
-func (is *instrumentedStore) PropPut(p string, name xml.Name, value []byte) error {
-	s, done := is.begin("prop_put", trace.Str("path", p), trace.Int("bytes", int64(len(value))))
-	err := s.PropPut(p, name, value)
+func (is *instrumentedStore) PropPut(ctx context.Context, p string, name xml.Name, value []byte) error {
+	ctx, done := is.begin(ctx, "prop_put", trace.Str("path", p), trace.Int("bytes", int64(len(value))))
+	err := is.s.PropPut(ctx, p, name, value)
 	done(err)
 	return err
 }
 
-func (is *instrumentedStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
-	s, done := is.begin("prop_get", trace.Str("path", p))
-	v, ok, err := s.PropGet(p, name)
+func (is *instrumentedStore) PropGet(ctx context.Context, p string, name xml.Name) ([]byte, bool, error) {
+	ctx, done := is.begin(ctx, "prop_get", trace.Str("path", p))
+	v, ok, err := is.s.PropGet(ctx, p, name)
 	done(err)
 	return v, ok, err
 }
 
-func (is *instrumentedStore) PropDelete(p string, name xml.Name) error {
-	s, done := is.begin("prop_delete", trace.Str("path", p))
-	err := s.PropDelete(p, name)
+func (is *instrumentedStore) PropDelete(ctx context.Context, p string, name xml.Name) error {
+	ctx, done := is.begin(ctx, "prop_delete", trace.Str("path", p))
+	err := is.s.PropDelete(ctx, p, name)
 	done(err)
 	return err
 }
 
-func (is *instrumentedStore) PropNames(p string) ([]xml.Name, error) {
-	s, done := is.begin("prop_names", trace.Str("path", p))
-	names, err := s.PropNames(p)
+func (is *instrumentedStore) PropNames(ctx context.Context, p string) ([]xml.Name, error) {
+	ctx, done := is.begin(ctx, "prop_names", trace.Str("path", p))
+	names, err := is.s.PropNames(ctx, p)
 	done(err)
 	return names, err
 }
 
-func (is *instrumentedStore) PropAll(p string) (map[xml.Name][]byte, error) {
-	s, done := is.begin("prop_all", trace.Str("path", p))
-	props, err := s.PropAll(p)
+func (is *instrumentedStore) PropAll(ctx context.Context, p string) (map[xml.Name][]byte, error) {
+	ctx, done := is.begin(ctx, "prop_all", trace.Str("path", p))
+	props, err := is.s.PropAll(ctx, p)
 	done(err)
 	return props, err
 }
@@ -145,21 +132,17 @@ func (is *instrumentedStore) PropAll(p string) (map[xml.Name][]byte, error) {
 // StatWithProps implements BatchReader, delegating to the wrapped
 // store's batched path when it has one and composing Stat+PropAll under
 // one span otherwise (so the timing covers the same work either way).
-func (is *instrumentedStore) StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, error) {
-	s, done := is.begin("stat_with_props", trace.Str("path", p))
+func (is *instrumentedStore) StatWithProps(ctx context.Context, p string) (ResourceInfo, map[xml.Name][]byte, error) {
+	ctx, done := is.begin(ctx, "stat_with_props", trace.Str("path", p))
 	var ri ResourceInfo
 	var props map[xml.Name][]byte
 	var err error
 	if br, ok := is.s.(BatchReader); ok {
-		// Re-dispatch through the rebound view so spans nest under ours.
-		if sbr, ok := s.(BatchReader); ok {
-			br = sbr
-		}
-		ri, props, err = br.StatWithProps(p)
+		ri, props, err = br.StatWithProps(ctx, p)
 	} else {
-		ri, err = s.Stat(p)
+		ri, err = is.s.Stat(ctx, p)
 		if err == nil {
-			props, err = s.PropAll(p)
+			props, err = is.s.PropAll(ctx, p)
 		}
 	}
 	done(err)
@@ -170,24 +153,21 @@ func (is *instrumentedStore) StatWithProps(p string) (ResourceInfo, map[xml.Name
 }
 
 // ListWithProps implements BatchReader; see StatWithProps.
-func (is *instrumentedStore) ListWithProps(p string) ([]MemberProps, error) {
-	s, done := is.begin("list_with_props", trace.Str("path", p))
+func (is *instrumentedStore) ListWithProps(ctx context.Context, p string) ([]MemberProps, error) {
+	ctx, done := is.begin(ctx, "list_with_props", trace.Str("path", p))
 	var out []MemberProps
 	var err error
 	if br, ok := is.s.(BatchReader); ok {
-		if sbr, ok := s.(BatchReader); ok {
-			br = sbr
-		}
-		out, err = br.ListWithProps(p)
+		out, err = br.ListWithProps(ctx, p)
 	} else {
 		var members []ResourceInfo
-		members, err = s.List(p)
+		members, err = is.s.List(ctx, p)
 		for _, m := range members {
 			if err != nil {
 				break
 			}
 			var props map[xml.Name][]byte
-			props, err = s.PropAll(m.Path)
+			props, err = is.s.PropAll(ctx, m.Path)
 			out = append(out, MemberProps{Info: m, Props: props})
 		}
 	}
@@ -199,9 +179,9 @@ func (is *instrumentedStore) ListWithProps(p string) ([]MemberProps, error) {
 }
 
 func (is *instrumentedStore) Close() error {
-	s, done := is.begin("close")
-	err := s.Close()
-	done(err)
+	start := time.Now()
+	err := is.s.Close()
+	is.obs("close", time.Since(start), err)
 	return err
 }
 
@@ -209,12 +189,13 @@ func (is *instrumentedStore) Close() error {
 // the wrapped store when it supports one; otherwise
 // ErrAtomicCopyUnsupported tells CopyTree to take the generic
 // per-resource walk.
-func (is *instrumentedStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
-	if _, ok := is.s.(TreeCopier); !ok {
+func (is *instrumentedStore) CopyTreeAtomic(ctx context.Context, src, dst string, opts CopyOptions) error {
+	tc, ok := is.s.(TreeCopier)
+	if !ok {
 		return ErrAtomicCopyUnsupported
 	}
-	s, done := is.begin("copy_tree", trace.Str("src", src), trace.Str("dst", dst))
-	err := s.(TreeCopier).CopyTreeAtomic(src, dst, opts)
+	ctx, done := is.begin(ctx, "copy_tree", trace.Str("src", src), trace.Str("dst", dst))
+	err := tc.CopyTreeAtomic(ctx, src, dst, opts)
 	done(err)
 	return err
 }
@@ -222,12 +203,13 @@ func (is *instrumentedStore) CopyTreeAtomic(src, dst string, opts CopyOptions) e
 // Rename implements the Renamer fast path by delegating to the wrapped
 // store when it supports one; otherwise ErrRenameUnsupported tells
 // MoveTree to take the generic copy+delete path.
-func (is *instrumentedStore) Rename(src, dst string) error {
-	if _, ok := is.s.(Renamer); !ok {
+func (is *instrumentedStore) Rename(ctx context.Context, src, dst string) error {
+	r, ok := is.s.(Renamer)
+	if !ok {
 		return ErrRenameUnsupported
 	}
-	s, done := is.begin("rename", trace.Str("src", src), trace.Str("dst", dst))
-	err := s.(Renamer).Rename(src, dst)
+	ctx, done := is.begin(ctx, "rename", trace.Str("src", src), trace.Str("dst", dst))
+	err := r.Rename(ctx, src, dst)
 	done(err)
 	return err
 }

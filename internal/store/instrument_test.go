@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -44,24 +45,24 @@ func TestInstrumentObservesOpsAndErrors(t *testing.T) {
 	rec := newOpRecorder()
 	s := Instrument(NewMemStore(), rec.observe)
 
-	if _, err := s.Put("/doc", strings.NewReader("hello"), "text/plain"); err != nil {
+	if _, err := s.Put(context.Background(), "/doc", strings.NewReader("hello"), "text/plain"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Stat("/doc"); err != nil {
+	if _, err := s.Stat(context.Background(), "/doc"); err != nil {
 		t.Fatal(err)
 	}
-	rc, _, err := s.Get("/doc")
+	rc, _, err := s.Get(context.Background(), "/doc")
 	if err != nil {
 		t.Fatal(err)
 	}
 	rc.Close()
-	if err := s.Mkcol("/col"); err != nil {
+	if err := s.Mkcol(context.Background(), "/col"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.List("/"); err != nil {
+	if _, err := s.List(context.Background(), "/"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Stat("/missing"); err == nil {
+	if _, err := s.Stat(context.Background(), "/missing"); err == nil {
 		t.Fatal("expected ErrNotFound")
 	}
 
@@ -89,16 +90,16 @@ func TestInstrumentRenameFallback(t *testing.T) {
 	// back to copy+delete rather than fail.
 	rec := newOpRecorder()
 	s := Instrument(NewMemStore(), rec.observe)
-	if _, err := s.Put("/src", strings.NewReader("body"), ""); err != nil {
+	if _, err := s.Put(context.Background(), "/src", strings.NewReader("body"), ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := MoveTree(s, "/src", "/dst"); err != nil {
+	if err := MoveTree(context.Background(), s, "/src", "/dst"); err != nil {
 		t.Fatalf("MoveTree through instrumented store: %v", err)
 	}
-	if _, err := s.Stat("/dst"); err != nil {
+	if _, err := s.Stat(context.Background(), "/dst"); err != nil {
 		t.Fatalf("dst missing after move: %v", err)
 	}
-	if _, err := s.Stat("/src"); err == nil {
+	if _, err := s.Stat(context.Background(), "/src"); err == nil {
 		t.Fatal("src still exists after move")
 	}
 }
@@ -112,10 +113,10 @@ func TestInstrumentRenameDelegates(t *testing.T) {
 	defer fs.Close()
 	rec := newOpRecorder()
 	s := Instrument(fs, rec.observe)
-	if _, err := s.Put("/src", strings.NewReader("body"), ""); err != nil {
+	if _, err := s.Put(context.Background(), "/src", strings.NewReader("body"), ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := MoveTree(s, "/src", "/dst"); err != nil {
+	if err := MoveTree(context.Background(), s, "/src", "/dst"); err != nil {
 		t.Fatal(err)
 	}
 	if rec.count("rename") == 0 {

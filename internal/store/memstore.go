@@ -22,13 +22,14 @@ import (
 // together, disjoint subtrees never interact, an exclusive collection
 // lock covers its subtree), while a short internal mutex only guards
 // the physical map structure during each already-locked operation.
+// Cancellation is honoured at the lock layer: a caller whose context
+// is done before its path lock is granted gets ctx.Err() and never
+// touches the map.
 type MemStore struct {
 	state *memState
-	ctx   context.Context // request binding; Background when unbound
 }
 
-// memState is the shared backing of a MemStore and all its WithContext
-// views.
+// memState is the shared backing of a MemStore.
 type memState struct {
 	locks *pathlock.Manager
 	mu    sync.Mutex // guards res and resource contents
@@ -47,7 +48,6 @@ type memResource struct {
 }
 
 var _ Store = (*MemStore)(nil)
-var _ ContextBinder = (*MemStore)(nil)
 var _ BatchReader = (*MemStore)(nil)
 var _ TreeCopier = (*MemStore)(nil)
 
@@ -61,17 +61,11 @@ func NewMemStore() *MemStore {
 	}
 	st.res["/"] = &memResource{isCollection: true, props: map[xml.Name][]byte{},
 		modTime: st.now(), createTime: st.now()}
-	return &MemStore{state: st, ctx: context.Background()}
+	return &MemStore{state: st}
 }
 
 // SetClock substitutes the time source (tests).
 func (s *MemStore) SetClock(now func() time.Time) { s.state.now = now }
-
-// WithContext implements ContextBinder; the view shares all state and
-// attributes lock waits to ctx.
-func (s *MemStore) WithContext(ctx context.Context) Store {
-	return &MemStore{state: s.state, ctx: ctx}
-}
 
 // LockStats snapshots the hierarchical path-lock counters.
 func (s *MemStore) LockStats() pathlock.Stats { return s.state.locks.Stats() }
@@ -102,12 +96,15 @@ func (s *MemStore) infoFor(p string, r *memResource) ResourceInfo {
 }
 
 // Stat implements Store.
-func (s *MemStore) Stat(p string) (ResourceInfo, error) {
+func (s *MemStore) Stat(ctx context.Context, p string) (ResourceInfo, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return ResourceInfo{}, err
 	}
-	g := s.state.locks.RLock(s.ctx, cp)
+	g, err := s.state.locks.RLock(ctx, cp)
+	if err != nil {
+		return ResourceInfo{}, err
+	}
 	defer g.Release()
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
@@ -162,12 +159,15 @@ func copyProps(props map[xml.Name][]byte) map[xml.Name][]byte {
 }
 
 // List implements Store.
-func (s *MemStore) List(p string) ([]ResourceInfo, error) {
+func (s *MemStore) List(ctx context.Context, p string) ([]ResourceInfo, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, err
 	}
-	g := s.state.locks.RLock(s.ctx, cp)
+	g, err := s.state.locks.RLock(ctx, cp)
+	if err != nil {
+		return nil, err
+	}
 	defer g.Release()
 	members, err := s.list(cp, false)
 	if err != nil {
@@ -181,12 +181,15 @@ func (s *MemStore) List(p string) ([]ResourceInfo, error) {
 }
 
 // StatWithProps implements BatchReader.
-func (s *MemStore) StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, error) {
+func (s *MemStore) StatWithProps(ctx context.Context, p string) (ResourceInfo, map[xml.Name][]byte, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return ResourceInfo{}, nil, err
 	}
-	g := s.state.locks.RLock(s.ctx, cp)
+	g, err := s.state.locks.RLock(ctx, cp)
+	if err != nil {
+		return ResourceInfo{}, nil, err
+	}
 	defer g.Release()
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
@@ -198,12 +201,15 @@ func (s *MemStore) StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, e
 }
 
 // ListWithProps implements BatchReader.
-func (s *MemStore) ListWithProps(p string) ([]MemberProps, error) {
+func (s *MemStore) ListWithProps(ctx context.Context, p string) ([]MemberProps, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, err
 	}
-	g := s.state.locks.RLock(s.ctx, cp)
+	g, err := s.state.locks.RLock(ctx, cp)
+	if err != nil {
+		return nil, err
+	}
 	defer g.Release()
 	return s.list(cp, true)
 }
@@ -216,7 +222,7 @@ func (s *MemStore) parentOK(p string) bool {
 }
 
 // Mkcol implements Store.
-func (s *MemStore) Mkcol(p string) error {
+func (s *MemStore) Mkcol(ctx context.Context, p string) error {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
@@ -224,7 +230,10 @@ func (s *MemStore) Mkcol(p string) error {
 	if cp == "/" {
 		return fmt.Errorf("%w: /", ErrExists)
 	}
-	g := s.state.locks.Lock(s.ctx, cp)
+	g, err := s.state.locks.Lock(ctx, cp)
+	if err != nil {
+		return err
+	}
 	defer g.Release()
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
@@ -241,7 +250,7 @@ func (s *MemStore) Mkcol(p string) error {
 }
 
 // Put implements Store.
-func (s *MemStore) Put(p string, r io.Reader, contentType string) (bool, error) {
+func (s *MemStore) Put(ctx context.Context, p string, r io.Reader, contentType string) (bool, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return false, err
@@ -253,7 +262,10 @@ func (s *MemStore) Put(p string, r io.Reader, contentType string) (bool, error) 
 	if err != nil {
 		return false, err
 	}
-	g := s.state.locks.Lock(s.ctx, cp)
+	g, err := s.state.locks.Lock(ctx, cp)
+	if err != nil {
+		return false, err
+	}
 	defer g.Release()
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
@@ -280,12 +292,15 @@ func (s *MemStore) Put(p string, r io.Reader, contentType string) (bool, error) 
 }
 
 // Get implements Store.
-func (s *MemStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
+func (s *MemStore) Get(ctx context.Context, p string) (io.ReadCloser, ResourceInfo, error) {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return nil, ResourceInfo{}, err
 	}
-	g := s.state.locks.RLock(s.ctx, cp)
+	g, err := s.state.locks.RLock(ctx, cp)
+	if err != nil {
+		return nil, ResourceInfo{}, err
+	}
 	defer g.Release()
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
@@ -301,7 +316,7 @@ func (s *MemStore) Get(p string) (io.ReadCloser, ResourceInfo, error) {
 
 // Delete implements Store. The exclusive path lock covers the subtree,
 // so the prefix sweep below cannot race any descendant operation.
-func (s *MemStore) Delete(p string) error {
+func (s *MemStore) Delete(ctx context.Context, p string) error {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
@@ -309,7 +324,10 @@ func (s *MemStore) Delete(p string) error {
 	if cp == "/" {
 		return fmt.Errorf("%w: cannot delete /", ErrBadPath)
 	}
-	g := s.state.locks.Lock(s.ctx, cp)
+	g, err := s.state.locks.Lock(ctx, cp)
+	if err != nil {
+		return err
+	}
 	defer g.Release()
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
@@ -333,7 +351,7 @@ func (s *MemStore) Delete(p string) error {
 // multi-path acquisition — Shared on the source subtree, Exclusive on
 // the destination — plus the map mutex, so it is a consistent snapshot
 // of the source and appears at the destination all at once.
-func (s *MemStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
+func (s *MemStore) CopyTreeAtomic(ctx context.Context, src, dst string, opts CopyOptions) error {
 	csrc, err := CleanPath(src)
 	if err != nil {
 		return err
@@ -345,9 +363,12 @@ func (s *MemStore) CopyTreeAtomic(src, dst string, opts CopyOptions) error {
 	if csrc == cdst || IsAncestor(csrc, cdst) {
 		return fmt.Errorf("%w: cannot copy %q into itself", ErrBadPath, csrc)
 	}
-	g := s.state.locks.Acquire(s.ctx,
+	g, err := s.state.locks.Acquire(ctx,
 		pathlock.Req{Path: csrc, Mode: pathlock.Shared},
 		pathlock.Req{Path: cdst, Mode: pathlock.Exclusive})
+	if err != nil {
+		return err
+	}
 	defer g.Release()
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
@@ -422,16 +443,19 @@ func (s *MemStore) copyResLocked(r *memResource, cdst string, now time.Time) err
 
 // withResource looks up a resource under the appropriate path lock plus
 // the map mutex.
-func (s *MemStore) withResource(p string, write bool, fn func(*memResource) error) error {
+func (s *MemStore) withResource(ctx context.Context, p string, write bool, fn func(*memResource) error) error {
 	cp, err := CleanPath(p)
 	if err != nil {
 		return err
 	}
 	var g *pathlock.Guard
 	if write {
-		g = s.state.locks.Lock(s.ctx, cp)
+		g, err = s.state.locks.Lock(ctx, cp)
 	} else {
-		g = s.state.locks.RLock(s.ctx, cp)
+		g, err = s.state.locks.RLock(ctx, cp)
+	}
+	if err != nil {
+		return err
 	}
 	defer g.Release()
 	s.state.mu.Lock()
@@ -444,18 +468,18 @@ func (s *MemStore) withResource(p string, write bool, fn func(*memResource) erro
 }
 
 // PropPut implements Store.
-func (s *MemStore) PropPut(p string, name xml.Name, value []byte) error {
-	return s.withResource(p, true, func(r *memResource) error {
+func (s *MemStore) PropPut(ctx context.Context, p string, name xml.Name, value []byte) error {
+	return s.withResource(ctx, p, true, func(r *memResource) error {
 		r.props[name] = append([]byte(nil), value...)
 		return nil
 	})
 }
 
 // PropGet implements Store.
-func (s *MemStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
+func (s *MemStore) PropGet(ctx context.Context, p string, name xml.Name) ([]byte, bool, error) {
 	var val []byte
 	var ok bool
-	err := s.withResource(p, false, func(r *memResource) error {
+	err := s.withResource(ctx, p, false, func(r *memResource) error {
 		v, present := r.props[name]
 		if present {
 			val = append([]byte(nil), v...)
@@ -467,17 +491,17 @@ func (s *MemStore) PropGet(p string, name xml.Name) ([]byte, bool, error) {
 }
 
 // PropDelete implements Store.
-func (s *MemStore) PropDelete(p string, name xml.Name) error {
-	return s.withResource(p, true, func(r *memResource) error {
+func (s *MemStore) PropDelete(ctx context.Context, p string, name xml.Name) error {
+	return s.withResource(ctx, p, true, func(r *memResource) error {
 		delete(r.props, name)
 		return nil
 	})
 }
 
 // PropNames implements Store.
-func (s *MemStore) PropNames(p string) ([]xml.Name, error) {
+func (s *MemStore) PropNames(ctx context.Context, p string) ([]xml.Name, error) {
 	var names []xml.Name
-	err := s.withResource(p, false, func(r *memResource) error {
+	err := s.withResource(ctx, p, false, func(r *memResource) error {
 		names = sortedPropNames(r.props)
 		return nil
 	})
@@ -488,9 +512,9 @@ func (s *MemStore) PropNames(p string) ([]xml.Name, error) {
 }
 
 // PropAll implements Store.
-func (s *MemStore) PropAll(p string) (map[xml.Name][]byte, error) {
+func (s *MemStore) PropAll(ctx context.Context, p string) (map[xml.Name][]byte, error) {
 	var out map[xml.Name][]byte
-	err := s.withResource(p, false, func(r *memResource) error {
+	err := s.withResource(ctx, p, false, func(r *memResource) error {
 		out = copyProps(r.props)
 		return nil
 	})

@@ -29,11 +29,21 @@
 // compatible with the current holders. A blocked writer therefore gates
 // every later reader of the node — a sustained stream of Shared/IS
 // traffic on a hot collection cannot starve a PUT/DELETE/MOVE. Each
-// node carries its own condition variable, so a release wakes only that
-// node's waiters. FIFO queuing preserves deadlock freedom: a waiter
-// only ever waits on the node's holders (who, acquiring in sorted
-// order, block only at strictly later nodes) or on earlier waiters of
-// the same node, so every wait chain still follows the total order.
+// waiter carries its own grant channel, so a release wakes only the
+// waiters it actually unblocks. FIFO queuing preserves deadlock
+// freedom: a waiter only ever waits on the node's holders (who,
+// acquiring in sorted order, block only at strictly later nodes) or on
+// earlier waiters of the same node, so every wait chain still follows
+// the total order.
+//
+// Waits are cancellable: a waiter whose context is done leaves the
+// queue, rolls back the plan entries it already held, and Acquire
+// returns ctx.Err(). Removing a waiter re-runs the grant scan, so a
+// cancelled incompatible waiter cannot continue to gate compatible
+// waiters queued behind it. The race where a grant and a cancellation
+// collide is resolved under the manager mutex: if the waiter was
+// granted first, the cancellation path releases that grant before
+// returning, so no hold leaks.
 package pathlock
 
 import (
@@ -121,14 +131,23 @@ func intentFor(m Mode) Mode {
 	return IX
 }
 
+// waiter is one queued request on a node. The grant side (release or
+// queue-front movement) marks it granted, records the hold, and closes
+// ready — all under the manager mutex — so the waiting side can
+// distinguish "granted" from "still queued" when its context fires.
+type waiter struct {
+	mode    Mode
+	ready   chan struct{}
+	granted bool
+}
+
 // node is the lock state of one path. Nodes exist only while referenced
 // by at least one plan (held or waiting) and are garbage-collected on
 // the last release.
 type node struct {
 	refs    int // plans referencing this node (held + waiting)
 	holds   [numModes]int
-	waiters *list.List // of Mode, FIFO; only the front may be granted
-	cond    *sync.Cond // on the manager mutex; wakes this node's waiters
+	waiters *list.List // of *waiter, FIFO; only the front may be granted
 }
 
 // canHold reports whether mode is compatible with every current hold.
@@ -141,6 +160,29 @@ func (n *node) canHold(m Mode) bool {
 	return true
 }
 
+// grantLocked drains the front of the waiter queue: every leading
+// waiter whose mode is compatible with the current holds is granted
+// (hold recorded, ready closed) and dequeued. It stops at the first
+// incompatible waiter, preserving FIFO fairness. Caller holds the
+// manager mutex. Called after every hold release and waiter removal —
+// the two events that can make the front grantable.
+func grantLocked(n *node) {
+	for {
+		front := n.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*waiter)
+		if !n.canHold(w.mode) {
+			return
+		}
+		n.waiters.Remove(front)
+		n.holds[w.mode]++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
 // Stats is a point-in-time snapshot of a manager's counters.
 type Stats struct {
 	// Acquisitions counts completed Acquire calls.
@@ -148,6 +190,9 @@ type Stats struct {
 	// Contended counts Acquire calls that had to wait on at least one
 	// node.
 	Contended int64
+	// Cancelled counts Acquire calls abandoned because the caller's
+	// context was done before every lock was granted.
+	Cancelled int64
 	// WaitTotal is the cumulative time spent blocked across all
 	// acquisitions.
 	WaitTotal time.Duration
@@ -165,6 +210,7 @@ type Manager struct {
 
 	acquisitions atomic.Int64
 	contended    atomic.Int64
+	cancelled    atomic.Int64
 	waitNanos    atomic.Int64
 	held         atomic.Int64
 }
@@ -238,11 +284,16 @@ func plan(reqs []Req) []planEntry {
 // e.g. the source and destination of a MOVE — atomically and without
 // deadlock risk against other multi-path acquirers.
 //
-// ctx is used for trace attribution only: when the acquisition has to
-// wait and ctx carries an active span, the blocked time is recorded as
-// a "pathlock.wait" child span. Cancellation does not abort the wait;
-// store operations are short and the guarded section has not begun.
-func (m *Manager) Acquire(ctx context.Context, reqs ...Req) *Guard {
+// Acquire honours ctx: a waiter whose context is done before the full
+// plan is granted leaves its queue, rolls back any locks it already
+// held, and Acquire returns nil and ctx.Err(). When the acquisition
+// has to wait and ctx carries an active span, the blocked time is
+// recorded as a "pathlock.wait" child span.
+func (m *Manager) Acquire(ctx context.Context, reqs ...Req) (*Guard, error) {
+	if err := ctx.Err(); err != nil {
+		m.cancelled.Add(1)
+		return nil, err
+	}
 	entries := plan(reqs)
 	g := &Guard{m: m, entries: entries}
 
@@ -253,13 +304,12 @@ func (m *Manager) Acquire(ctx context.Context, reqs ...Req) *Guard {
 		n := m.nodes[e.path]
 		if n == nil {
 			n = &node{waiters: list.New()}
-			n.cond = sync.NewCond(&m.mu)
 			m.nodes[e.path] = n
 		}
 		n.refs++
 	}
 	var waited time.Duration
-	for _, e := range entries {
+	for i, e := range entries {
 		n := m.nodes[e.path]
 		// Immediate grant only when no one is queued: a compatible
 		// late-comer must not barge past a blocked incompatible waiter
@@ -268,30 +318,65 @@ func (m *Manager) Acquire(ctx context.Context, reqs ...Req) *Guard {
 			n.holds[e.mode]++
 			continue
 		}
-		// Contended: queue up, then span the blocked time (nil-safe when
-		// ctx carries no trace). The span bracket drops the manager
-		// mutex, which is safe — this plan's nodes are pinned by the
-		// refs taken above, and the hold is recorded under the same
-		// critical section as the final front-of-queue check.
-		elem := n.waiters.PushBack(e.mode)
+		// Contended: queue up, then wait on the per-waiter grant channel
+		// with the manager mutex dropped. This plan's nodes are pinned by
+		// the refs taken above, and grants are recorded by the releaser
+		// under the mutex, so the handoff is race-free.
+		w := &waiter{mode: e.mode, ready: make(chan struct{})}
+		n.waiters.PushBack(w)
 		start := time.Now()
 		m.mu.Unlock()
 		_, end := trace.Region(ctx, "pathlock.wait",
 			trace.Str("path", e.path), trace.Str("mode", e.mode.String()))
-		m.mu.Lock()
-		for n.waiters.Front() != elem || !n.canHold(e.mode) {
-			n.cond.Wait()
+		select {
+		case <-w.ready:
+			end(nil)
+			waited += time.Since(start)
+			m.mu.Lock()
+		case <-ctx.Done():
+			err := ctx.Err()
+			end(err)
+			m.mu.Lock()
+			if w.granted {
+				// Cancellation and grant collided: the releaser recorded
+				// the hold before this side observed ctx.Done(). Undo it
+				// so the hold cannot leak, and let the next waiter in.
+				n.holds[w.mode]--
+				grantLocked(n)
+			} else {
+				// Still queued: remove, then re-scan — a compatible
+				// waiter behind this one may now reach the front.
+				for el := n.waiters.Front(); el != nil; el = el.Next() {
+					if el.Value.(*waiter) == w {
+						n.waiters.Remove(el)
+						break
+					}
+				}
+				grantLocked(n)
+			}
+			// Roll back the locks earlier plan entries already hold.
+			for _, held := range entries[:i] {
+				hn := m.nodes[held.path]
+				hn.holds[held.mode]--
+				grantLocked(hn)
+			}
+			// Drop the refs taken up front on every entry, collecting
+			// nodes nothing references any more.
+			for _, e := range entries {
+				rn := m.nodes[e.path]
+				rn.refs--
+				if rn.refs == 0 {
+					delete(m.nodes, e.path)
+				}
+			}
+			m.mu.Unlock()
+			m.cancelled.Add(1)
+			if waited+time.Since(start) > 0 {
+				m.contended.Add(1)
+				m.waitNanos.Add(int64(waited + time.Since(start)))
+			}
+			return nil, err
 		}
-		n.waiters.Remove(elem)
-		n.holds[e.mode]++
-		// The next queued waiter may be compatible with this grant (a
-		// batch of readers draining behind a finished writer): let it
-		// re-check now that the front moved.
-		n.cond.Broadcast()
-		m.mu.Unlock()
-		end(nil)
-		waited += time.Since(start)
-		m.mu.Lock()
 	}
 	m.mu.Unlock()
 
@@ -301,22 +386,23 @@ func (m *Manager) Acquire(ctx context.Context, reqs ...Req) *Guard {
 		m.contended.Add(1)
 		m.waitNanos.Add(int64(waited))
 	}
-	return g
+	return g, nil
 }
 
 // RLock is shorthand for a single Shared acquisition.
-func (m *Manager) RLock(ctx context.Context, p string) *Guard {
+func (m *Manager) RLock(ctx context.Context, p string) (*Guard, error) {
 	return m.Acquire(ctx, Req{Path: p, Mode: Shared})
 }
 
 // Lock is shorthand for a single Exclusive acquisition. The lock covers
 // the entire subtree rooted at p.
-func (m *Manager) Lock(ctx context.Context, p string) *Guard {
+func (m *Manager) Lock(ctx context.Context, p string) (*Guard, error) {
 	return m.Acquire(ctx, Req{Path: p, Mode: Exclusive})
 }
 
 // Release drops every lock the guard holds. Safe to call more than
-// once; only the first call has effect.
+// once; only the first call has effect — a double release can never
+// free a lock some later acquirer has since been granted.
 func (g *Guard) Release() {
 	g.once.Do(func() {
 		m := g.m
@@ -330,7 +416,7 @@ func (g *Guard) Release() {
 				delete(m.nodes, e.path)
 				continue
 			}
-			n.cond.Broadcast()
+			grantLocked(n)
 		}
 		m.mu.Unlock()
 		m.held.Add(-1)
@@ -345,6 +431,7 @@ func (m *Manager) Stats() Stats {
 	return Stats{
 		Acquisitions: m.acquisitions.Load(),
 		Contended:    m.contended.Load(),
+		Cancelled:    m.cancelled.Load(),
 		WaitTotal:    time.Duration(m.waitNanos.Load()),
 		Held:         m.held.Load(),
 		Nodes:        nodes,

@@ -10,12 +10,38 @@ import (
 
 var bg = context.Background()
 
+// mustAcquire and friends adapt the (guard, error) API for tests whose
+// contexts never cancel; an error here is a test bug.
+func mustAcquire(m *Manager, reqs ...Req) *Guard {
+	g, err := m.Acquire(bg, reqs...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func mustRLock(m *Manager, p string) *Guard {
+	g, err := m.RLock(bg, p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func mustLock(m *Manager, p string) *Guard {
+	g, err := m.Lock(bg, p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // tryAcquire runs Acquire in a goroutine and reports whether it
 // completed within the window. On success the guard is sent on the
 // returned channel for the caller to release.
 func tryAcquire(m *Manager, window time.Duration, reqs ...Req) (*Guard, bool) {
 	ch := make(chan *Guard, 1)
-	go func() { ch <- m.Acquire(bg, reqs...) }()
+	go func() { ch <- mustAcquire(m, reqs...) }()
 	select {
 	case g := <-ch:
 		return g, true
@@ -35,7 +61,7 @@ const blockWindow = 50 * time.Millisecond
 
 func TestSharedSharedCompatible(t *testing.T) {
 	m := NewManager()
-	g1 := m.RLock(bg, "/a/b")
+	g1 := mustRLock(m, "/a/b")
 	defer g1.Release()
 	g2, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b", Mode: Shared})
 	if !ok {
@@ -46,7 +72,7 @@ func TestSharedSharedCompatible(t *testing.T) {
 
 func TestExclusiveBlocksSamePath(t *testing.T) {
 	m := NewManager()
-	g1 := m.Lock(bg, "/a/b")
+	g1 := mustLock(m, "/a/b")
 	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b", Mode: Shared}); ok {
 		t.Fatal("shared lock acquired under an exclusive holder")
 	}
@@ -63,7 +89,7 @@ func TestExclusiveBlocksSamePath(t *testing.T) {
 
 func TestDisjointSubtreesProceedInParallel(t *testing.T) {
 	m := NewManager()
-	g1 := m.Lock(bg, "/a/b")
+	g1 := mustLock(m, "/a/b")
 	defer g1.Release()
 	g2, ok := tryAcquire(m, blockWindow, Req{Path: "/a/c", Mode: Exclusive})
 	if !ok {
@@ -80,7 +106,7 @@ func TestDisjointSubtreesProceedInParallel(t *testing.T) {
 func TestSubtreeExclusivity(t *testing.T) {
 	m := NewManager()
 	// X on a collection must exclude every operation below it ...
-	g := m.Lock(bg, "/a")
+	g := mustLock(m, "/a")
 	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b/c", Mode: Shared}); ok {
 		t.Fatal("descendant read proceeded under a subtree-exclusive lock")
 	}
@@ -91,7 +117,7 @@ func TestSubtreeExclusivity(t *testing.T) {
 
 	// ... and conversely any held descendant lock must block X on the
 	// ancestor (the intent lock on /a conflicts with X).
-	gd := m.RLock(bg, "/a/b/c")
+	gd := mustRLock(m, "/a/b/c")
 	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a", Mode: Exclusive}); ok {
 		t.Fatal("subtree-exclusive lock proceeded over a held descendant lock")
 	}
@@ -102,7 +128,7 @@ func TestSharedSubtreeBlocksDescendantWrite(t *testing.T) {
 	m := NewManager()
 	// S on a collection is a consistent read of the subtree: descendant
 	// reads may proceed (IS ~ S), descendant writes may not (IX vs S).
-	g := m.RLock(bg, "/a")
+	g := mustRLock(m, "/a")
 	defer g.Release()
 	gr, ok := tryAcquire(m, blockWindow, Req{Path: "/a/b", Mode: Shared})
 	if !ok {
@@ -118,7 +144,7 @@ func TestIntentIntentCompatible(t *testing.T) {
 	m := NewManager()
 	// Writers under a common ancestor only hold IX there; they must not
 	// serialize on it.
-	g1 := m.Lock(bg, "/a/b")
+	g1 := mustLock(m, "/a/b")
 	defer g1.Release()
 	g2, ok := tryAcquire(m, blockWindow, Req{Path: "/a/c", Mode: Exclusive})
 	if !ok {
@@ -129,7 +155,7 @@ func TestIntentIntentCompatible(t *testing.T) {
 
 func TestMultiPathAcquireMergesAndLocksBoth(t *testing.T) {
 	m := NewManager()
-	g := m.Acquire(bg, Req{Path: "/a/src", Mode: Exclusive}, Req{Path: "/a/dst", Mode: Exclusive})
+	g := mustAcquire(m, Req{Path: "/a/src", Mode: Exclusive}, Req{Path: "/a/dst", Mode: Exclusive})
 	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/a/src", Mode: Shared}); ok {
 		t.Fatal("src readable during a two-path exclusive acquisition")
 	}
@@ -157,7 +183,7 @@ func TestJoinSIX(t *testing.T) {
 
 func TestRootLockCoversEverything(t *testing.T) {
 	m := NewManager()
-	g := m.Lock(bg, "/")
+	g := mustLock(m, "/")
 	if _, ok := tryAcquire(m, blockWindow, Req{Path: "/x", Mode: Shared}); ok {
 		t.Fatal("operation proceeded under an exclusive root lock")
 	}
@@ -166,7 +192,7 @@ func TestRootLockCoversEverything(t *testing.T) {
 
 func TestNodeTableIsGarbageCollected(t *testing.T) {
 	m := NewManager()
-	g := m.Lock(bg, "/a/b/c")
+	g := mustLock(m, "/a/b/c")
 	if s := m.Stats(); s.Nodes == 0 {
 		t.Fatal("no nodes while a lock is held")
 	}
@@ -179,9 +205,9 @@ func TestNodeTableIsGarbageCollected(t *testing.T) {
 
 func TestStatsCountContention(t *testing.T) {
 	m := NewManager()
-	g := m.Lock(bg, "/a")
+	g := mustLock(m, "/a")
 	done := make(chan *Guard)
-	go func() { done <- m.RLock(bg, "/a") }()
+	go func() { done <- mustRLock(m, "/a") }()
 	time.Sleep(20 * time.Millisecond)
 	g.Release()
 	(<-done).Release()
@@ -214,7 +240,7 @@ func TestOrderedAcquisitionNoDeadlock(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				p := paths[(w+i)%len(paths)]
 				q := paths[(w+i+1)%len(paths)]
-				g := m.Acquire(bg, Req{Path: p, Mode: Exclusive}, Req{Path: q, Mode: Exclusive})
+				g := mustAcquire(m, Req{Path: p, Mode: Exclusive}, Req{Path: q, Mode: Exclusive})
 				g.Release()
 			}
 		}(w)
@@ -260,10 +286,10 @@ func waitQueued(t *testing.T, m *Manager, p string, want int) {
 // starvation scenario a hot collection would otherwise produce.
 func TestWriterNotStarvedByReaders(t *testing.T) {
 	m := NewManager()
-	g1 := m.RLock(bg, "/hot")
+	g1 := mustRLock(m, "/hot")
 
 	writerDone := make(chan *Guard, 1)
-	go func() { writerDone <- m.Lock(bg, "/hot") }()
+	go func() { writerDone <- mustLock(m, "/hot") }()
 	waitQueued(t, m, "/hot", 1)
 
 	// A new reader must not barge past the queued writer even though
@@ -290,10 +316,10 @@ func TestWriterNotStarvedByReaders(t *testing.T) {
 // waiting subtree-exclusive request instead of prolonging its wait.
 func TestIntentBlockedBehindQueuedExclusive(t *testing.T) {
 	m := NewManager()
-	g1 := m.RLock(bg, "/a/b") // holds IS on /a
+	g1 := mustRLock(m, "/a/b") // holds IS on /a
 
 	subtreeDone := make(chan *Guard, 1)
-	go func() { subtreeDone <- m.Lock(bg, "/a") }() // X on /a: queued behind IS
+	go func() { subtreeDone <- mustLock(m, "/a") }() // X on /a: queued behind IS
 	waitQueued(t, m, "/a", 1)
 
 	// A second descendant read needs IS on /a; IS ~ IS, but the queued X

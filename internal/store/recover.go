@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"os"
@@ -91,11 +92,16 @@ func (s *FSStore) RecoveryStats() RecoveryStats {
 // Safe to run while reads are being served (each intent is resolved
 // under the same exclusive path locks its operation would take);
 // mutations stay rejected with ErrRecovering until it returns.
+//
+// Recovery is not request-scoped — an interrupted pass would leave the
+// write gate closed forever — so it runs under its own background
+// context rather than any caller's.
 func (s *FSStore) Recover() (RecoverReport, error) {
 	s.shared.recoverMu.Lock()
 	defer s.shared.recoverMu.Unlock()
+	ctx := context.Background()
 
-	_, end := trace.Region(s.ctx, "store.recover", trace.Str("root", s.root))
+	_, end := trace.Region(ctx, "store.recover", trace.Str("root", s.root))
 	start := time.Now()
 	var rep RecoverReport
 	var firstErr error
@@ -106,7 +112,7 @@ func (s *FSStore) Recover() (RecoverReport, error) {
 		pending := j.Pending()
 		rep.Resolved = len(pending)
 		for _, rec := range pending {
-			fwd, err := s.resolveIntent(rec)
+			fwd, err := s.resolveIntent(ctx, rec)
 			if err != nil {
 				slog.Warn("store: recovery could not resolve intent",
 					"intent", rec.String(), "err", err)
@@ -161,24 +167,36 @@ func direction(forward bool) string {
 // resolveIntent rolls one unfinished operation forward or back,
 // reporting which way it went. Runs under the same exclusive path
 // locks the original operation held.
-func (s *FSStore) resolveIntent(rec journal.Record) (forward bool, err error) {
+func (s *FSStore) resolveIntent(ctx context.Context, rec journal.Record) (forward bool, err error) {
 	switch rec.Op {
 	case journal.OpPut:
-		g := s.locks.Lock(s.ctx, rec.Path)
+		g, err := s.locks.Lock(ctx, rec.Path)
+		if err != nil {
+			return false, err
+		}
 		defer g.Release()
-		return s.resolvePut(rec)
+		return s.resolvePut(ctx, rec)
 	case journal.OpDelete:
-		g := s.locks.Lock(s.ctx, rec.Path)
+		g, err := s.locks.Lock(ctx, rec.Path)
+		if err != nil {
+			return false, err
+		}
 		defer g.Release()
 		return true, s.resolveDelete(rec)
 	case journal.OpRename:
-		g := s.locks.Acquire(s.ctx,
+		g, err := s.locks.Acquire(ctx,
 			pathlock.Req{Path: rec.Path, Mode: pathlock.Exclusive},
 			pathlock.Req{Path: rec.Dst, Mode: pathlock.Exclusive})
+		if err != nil {
+			return false, err
+		}
 		defer g.Release()
 		return s.resolveRename(rec)
 	case journal.OpCopy:
-		g := s.locks.Lock(s.ctx, rec.Dst)
+		g, err := s.locks.Lock(ctx, rec.Dst)
+		if err != nil {
+			return false, err
+		}
 		defer g.Release()
 		s.removeCopyDebris(rec.Dst)
 		return false, nil
@@ -204,7 +222,7 @@ func (s *FSStore) resolveIntent(rec journal.Record) (forward bool, err error) {
 // completed. The generation bump is made idempotent by the recorded
 // pre-op generation: it is re-applied only if the current value has
 // not moved past it.
-func (s *FSStore) resolvePut(rec journal.Record) (bool, error) {
+func (s *FSStore) resolvePut(ctx context.Context, rec journal.Record) (bool, error) {
 	dp, err := s.diskPath(rec.Path)
 	if err != nil {
 		return false, err
@@ -221,14 +239,14 @@ func (s *FSStore) resolvePut(rec journal.Record) (bool, error) {
 		return false, nil
 	}
 	if rec.CType != "" {
-		if err := s.withProps(rec.Path, true, func(h *dbm.Handle) error {
+		if err := s.withProps(ctx, rec.Path, true, func(h *dbm.Handle) error {
 			return h.Put(internalKey(ikeyContentType), []byte(rec.CType))
 		}); err != nil {
 			return true, err
 		}
 	}
 	if !rec.Created {
-		if err := s.withProps(rec.Path, true, func(h *dbm.Handle) error {
+		if err := s.withProps(ctx, rec.Path, true, func(h *dbm.Handle) error {
 			var gen int64
 			if v, ok, err := h.Get(internalKey(ikeyGeneration)); err != nil {
 				return err

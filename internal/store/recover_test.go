@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"io"
@@ -96,7 +97,7 @@ func TestOpenSweepsStaleTmp(t *testing.T) {
 		t.Errorf("SweptTmp = %d, want %d", got, len(stale))
 	}
 	// The live document is untouched.
-	if _, err := s2.Stat("/proj/doc.txt"); err != nil {
+	if _, err := s2.Stat(context.Background(), "/proj/doc.txt"); err != nil {
 		t.Errorf("live document lost: %v", err)
 	}
 }
@@ -113,10 +114,10 @@ func TestRecoverRollsBackPutCrashedBeforeRename(t *testing.T) {
 	// Crash after the intent is durable but before the staged body is
 	// renamed into place: the overwrite must roll back to v1.
 	s := crashAt(t, dir, "put.intent")
-	mustCrash(t, func() { s.Put("/doc.txt", strings.NewReader("v2"), "") })
+	mustCrash(t, func() { s.Put(context.Background(), "/doc.txt", strings.NewReader("v2"), "") })
 
 	s2 := reopen(t, dir)
-	rc, _, err := s2.Get("/doc.txt")
+	rc, _, err := s2.Get(context.Background(), "/doc.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestRecoverRollsForwardPutCrashedAfterRename(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustPut(t, seed, "/doc.bin", "v1")
-	before, err := seed.Stat("/doc.bin")
+	before, err := seed.Stat(context.Background(), "/doc.bin")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,10 +152,10 @@ func TestRecoverRollsForwardPutCrashedAfterRename(t *testing.T) {
 	// both — otherwise the overwrite reuses the replaced ETag and the
 	// explicit content type is lost.
 	s := crashAt(t, dir, "put.renamed")
-	mustCrash(t, func() { s.Put("/doc.bin", strings.NewReader("v2"), "chemical/x-nwchem") })
+	mustCrash(t, func() { s.Put(context.Background(), "/doc.bin", strings.NewReader("v2"), "chemical/x-nwchem") })
 
 	s2 := reopen(t, dir)
-	rc, ri, err := s2.Get("/doc.bin")
+	rc, ri, err := s2.Get(context.Background(), "/doc.bin")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestRecoverCompletesDeleteCrashedMidway(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustPut(t, seed, "/doc.txt", "data")
-	if err := seed.PropPut("/doc.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v")); err != nil {
+	if err := seed.PropPut(context.Background(), "/doc.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	seed.Close()
@@ -192,7 +193,7 @@ func TestRecoverCompletesDeleteCrashedMidway(t *testing.T) {
 	// Crash between the content remove and the sidecar remove: the
 	// props database would be orphaned forever without recovery.
 	s := crashAt(t, dir, "delete.content")
-	mustCrash(t, func() { s.Delete("/doc.txt") })
+	mustCrash(t, func() { s.Delete(context.Background(), "/doc.txt") })
 
 	pp := filepath.Join(dir, propDirName, "doc.txt"+propsExt)
 	if _, err := os.Stat(pp); err != nil {
@@ -200,7 +201,7 @@ func TestRecoverCompletesDeleteCrashedMidway(t *testing.T) {
 	}
 
 	s2 := reopen(t, dir)
-	if _, err := s2.Stat("/doc.txt"); !errors.Is(err, ErrNotFound) {
+	if _, err := s2.Stat(context.Background(), "/doc.txt"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Stat after recovered delete = %v, want ErrNotFound", err)
 	}
 	if _, err := os.Stat(pp); !os.IsNotExist(err) {
@@ -218,7 +219,7 @@ func TestRecoverCompletesRenameCrashedMidway(t *testing.T) {
 	mustMkcol(t, seed, "/b")
 	mustPut(t, seed, "/a/doc.txt", "data")
 	name := xml.Name{Space: "e:", Local: "k"}
-	if err := seed.PropPut("/a/doc.txt", name, []byte("v")); err != nil {
+	if err := seed.PropPut(context.Background(), "/a/doc.txt", name, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	seed.Close()
@@ -226,13 +227,13 @@ func TestRecoverCompletesRenameCrashedMidway(t *testing.T) {
 	// Crash between the content rename and the sidecar relocation: the
 	// torn middle where the document moved but its properties did not.
 	s := crashAt(t, dir, "rename.renamed")
-	mustCrash(t, func() { s.Rename("/a/doc.txt", "/b/doc.txt") })
+	mustCrash(t, func() { s.Rename(context.Background(), "/a/doc.txt", "/b/doc.txt") })
 
 	s2 := reopen(t, dir)
-	if _, err := s2.Stat("/a/doc.txt"); !errors.Is(err, ErrNotFound) {
+	if _, err := s2.Stat(context.Background(), "/a/doc.txt"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("source still present after recovered rename: %v", err)
 	}
-	v, ok, err := s2.PropGet("/b/doc.txt", name)
+	v, ok, err := s2.PropGet(context.Background(), "/b/doc.txt", name)
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("property after recovered rename = (%q, %v, %v), want v", v, ok, err)
 	}
@@ -248,13 +249,13 @@ func TestRecoverRollsBackRenameCrashedBeforeRename(t *testing.T) {
 	seed.Close()
 
 	s := crashAt(t, dir, "rename.intent")
-	mustCrash(t, func() { s.Rename("/src.txt", "/dst.txt") })
+	mustCrash(t, func() { s.Rename(context.Background(), "/src.txt", "/dst.txt") })
 
 	s2 := reopen(t, dir)
-	if _, err := s2.Stat("/src.txt"); err != nil {
+	if _, err := s2.Stat(context.Background(), "/src.txt"); err != nil {
 		t.Fatalf("source lost by rolled-back rename: %v", err)
 	}
-	if _, err := s2.Stat("/dst.txt"); !errors.Is(err, ErrNotFound) {
+	if _, err := s2.Stat(context.Background(), "/dst.txt"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("destination exists after rolled-back rename: %v", err)
 	}
 	if st := s2.RecoveryStats(); st.RolledBack != 1 {
@@ -290,15 +291,15 @@ func TestRecoverRollsBackCopyCrashedMidway(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustCrash(t, func() {
-		s.CopyTreeAtomic("/src", "/dst", CopyOptions{Recurse: true})
+		s.CopyTreeAtomic(context.Background(), "/src", "/dst", CopyOptions{Recurse: true})
 	})
 
 	s2 := reopen(t, dir)
-	if _, err := s2.Stat("/dst"); !errors.Is(err, ErrNotFound) {
+	if _, err := s2.Stat(context.Background(), "/dst"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("partial copy destination survived recovery: %v", err)
 	}
 	for _, p := range []string{"/src/a.txt", "/src/b.txt"} {
-		if _, err := s2.Stat(p); err != nil {
+		if _, err := s2.Stat(context.Background(), p); err != nil {
 			t.Fatalf("copy source %s damaged: %v", p, err)
 		}
 	}
@@ -315,7 +316,7 @@ func TestDeleteSidecarFailureRollsForwardOnRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustPut(t, s, "/doc.txt", "data")
-	if err := s.PropPut("/doc.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v")); err != nil {
+	if err := s.PropPut(context.Background(), "/doc.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -332,7 +333,7 @@ func TestDeleteSidecarFailureRollsForwardOnRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := s.Delete("/doc.txt"); err == nil {
+	if err := s.Delete(context.Background(), "/doc.txt"); err == nil {
 		t.Fatal("Delete succeeded despite the blocked sidecar remove")
 	}
 	if n := s.Journal().Len(); n != 1 {
@@ -346,7 +347,7 @@ func TestDeleteSidecarFailureRollsForwardOnRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2 := reopen(t, dir)
-	if _, err := s2.Stat("/doc.txt"); !errors.Is(err, ErrNotFound) {
+	if _, err := s2.Stat(context.Background(), "/doc.txt"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Stat after recovered delete = %v, want ErrNotFound", err)
 	}
 	if _, err := os.Stat(pp); !os.IsNotExist(err) {
@@ -367,7 +368,7 @@ func TestRenameSidecarFailureRollsForwardOnRecover(t *testing.T) {
 	mustMkcol(t, s, "/b")
 	mustPut(t, s, "/a/doc.txt", "data")
 	name := xml.Name{Space: "e:", Local: "k"}
-	if err := s.PropPut("/a/doc.txt", name, []byte("v")); err != nil {
+	if err := s.PropPut(context.Background(), "/a/doc.txt", name, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -381,7 +382,7 @@ func TestRenameSidecarFailureRollsForwardOnRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := s.Rename("/a/doc.txt", "/b/doc.txt"); err == nil {
+	if err := s.Rename(context.Background(), "/a/doc.txt", "/b/doc.txt"); err == nil {
 		t.Fatal("Rename succeeded despite the blocked sidecar slot")
 	}
 	if n := s.Journal().Len(); n != 1 {
@@ -393,10 +394,10 @@ func TestRenameSidecarFailureRollsForwardOnRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2 := reopen(t, dir)
-	if _, err := s2.Stat("/a/doc.txt"); !errors.Is(err, ErrNotFound) {
+	if _, err := s2.Stat(context.Background(), "/a/doc.txt"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("source still present after recovered rename: %v", err)
 	}
-	v, ok, err := s2.PropGet("/b/doc.txt", name)
+	v, ok, err := s2.PropGet(context.Background(), "/b/doc.txt", name)
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("property after recovered rename = (%q, %v, %v), want v", v, ok, err)
 	}
@@ -412,13 +413,13 @@ func TestWriteGateDuringDeferredRecovery(t *testing.T) {
 	if !s.Recovering() {
 		t.Fatal("deferred store does not report recovering")
 	}
-	if _, err := s.Put("/x.txt", strings.NewReader("x"), ""); !errors.Is(err, ErrRecovering) {
+	if _, err := s.Put(context.Background(), "/x.txt", strings.NewReader("x"), ""); !errors.Is(err, ErrRecovering) {
 		t.Fatalf("Put during recovery = %v, want ErrRecovering", err)
 	}
-	if err := s.Mkcol("/c"); !errors.Is(err, ErrRecovering) {
+	if err := s.Mkcol(context.Background(), "/c"); !errors.Is(err, ErrRecovering) {
 		t.Fatalf("Mkcol during recovery = %v, want ErrRecovering", err)
 	}
-	if err := s.PropPut("/x.txt", xml.Name{Local: "k"}, nil); !errors.Is(err, ErrRecovering) {
+	if err := s.PropPut(context.Background(), "/x.txt", xml.Name{Local: "k"}, nil); !errors.Is(err, ErrRecovering) {
 		t.Fatalf("PropPut during recovery = %v, want ErrRecovering", err)
 	}
 	if _, err := s.Recover(); err != nil {
@@ -427,7 +428,7 @@ func TestWriteGateDuringDeferredRecovery(t *testing.T) {
 	if s.Recovering() {
 		t.Fatal("store still recovering after Recover")
 	}
-	if _, err := s.Put("/x.txt", strings.NewReader("x"), ""); err != nil {
+	if _, err := s.Put(context.Background(), "/x.txt", strings.NewReader("x"), ""); err != nil {
 		t.Fatalf("Put after recovery: %v", err)
 	}
 }

@@ -8,6 +8,13 @@
 // DBM database file — so the raw data remains directly accessible to
 // users, one of the paper's stated goals. MemStore keeps everything in
 // memory for tests and micro-benchmarks.
+//
+// Every operation takes a context.Context as its first parameter, and
+// the context means something at every layer: lock waits abort when it
+// is done, long DBM scans checkpoint it, and multi-step filesystem
+// operations stop between journal steps. A request that is abandoned
+// (client disconnect, server deadline) therefore stops consuming the
+// store instead of running to completion for nobody.
 package store
 
 import (
@@ -59,38 +66,43 @@ func (ri ResourceInfo) Name() string {
 // Store is the persistence contract the DAV server runs against. All
 // paths are canonical per CleanPath. Implementations must be safe for
 // concurrent use.
+//
+// ctx carries the request scope: trace attribution, cancellation, and
+// deadlines. Implementations abort early — without leaving partial
+// state visible — when ctx is done; the error then wraps ctx.Err().
 type Store interface {
 	// Stat describes the resource at p.
-	Stat(p string) (ResourceInfo, error)
+	Stat(ctx context.Context, p string) (ResourceInfo, error)
 	// List returns the members of the collection at p, sorted by path.
-	List(p string) ([]ResourceInfo, error)
+	List(ctx context.Context, p string) ([]ResourceInfo, error)
 	// Mkcol creates a collection. The parent must exist (ErrConflict
 	// otherwise); the path must be free (ErrExists otherwise).
-	Mkcol(p string) error
+	Mkcol(ctx context.Context, p string) error
 	// Put creates or replaces the document at p with the contents of
 	// r, recording contentType if non-empty. It reports whether the
 	// document was newly created.
-	Put(p string, r io.Reader, contentType string) (created bool, err error)
+	Put(ctx context.Context, p string, r io.Reader, contentType string) (created bool, err error)
 	// Get opens the document at p for reading.
-	Get(p string) (io.ReadCloser, ResourceInfo, error)
+	Get(ctx context.Context, p string) (io.ReadCloser, ResourceInfo, error)
 	// Delete removes the resource at p and, if it is a collection, its
 	// entire subtree, including all properties.
-	Delete(p string) error
+	Delete(ctx context.Context, p string) error
 
 	// PropPut stores the encoded dead property value under name.
-	PropPut(p string, name xml.Name, value []byte) error
+	PropPut(ctx context.Context, p string, name xml.Name, value []byte) error
 	// PropGet retrieves a dead property value.
-	PropGet(p string, name xml.Name) ([]byte, bool, error)
+	PropGet(ctx context.Context, p string, name xml.Name) ([]byte, bool, error)
 	// PropDelete removes a dead property; absent properties are not an
 	// error (RFC 2518 treats removing a non-existent property as
 	// success).
-	PropDelete(p string, name xml.Name) error
+	PropDelete(ctx context.Context, p string, name xml.Name) error
 	// PropNames lists the dead property names on the resource.
-	PropNames(p string) ([]xml.Name, error)
+	PropNames(ctx context.Context, p string) ([]xml.Name, error)
 	// PropAll returns every dead property on the resource.
-	PropAll(p string) (map[xml.Name][]byte, error)
+	PropAll(ctx context.Context, p string) (map[xml.Name][]byte, error)
 
-	// Close releases resources held by the store.
+	// Close releases resources held by the store. Close is not
+	// request-scoped and must run to completion; it takes no context.
 	Close() error
 }
 
@@ -175,9 +187,14 @@ func parsePropKey(key []byte) (xml.Name, bool) {
 
 // Walk visits p and, if it is a collection, every descendant.
 // Collections are visited before their members (pre-order). If fn
-// returns a non-nil error the walk stops and returns it.
-func Walk(s Store, p string, fn func(ResourceInfo) error) error {
-	ri, err := s.Stat(p)
+// returns a non-nil error the walk stops and returns it. The walk
+// checkpoints ctx between resources, so a deep traversal aborts
+// promptly when the request is abandoned.
+func Walk(ctx context.Context, s Store, p string, fn func(ResourceInfo) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ri, err := s.Stat(ctx, p)
 	if err != nil {
 		return err
 	}
@@ -187,12 +204,12 @@ func Walk(s Store, p string, fn func(ResourceInfo) error) error {
 	if !ri.IsCollection {
 		return nil
 	}
-	members, err := s.List(p)
+	members, err := s.List(ctx, p)
 	if err != nil {
 		return err
 	}
 	for _, m := range members {
-		if err := Walk(s, m.Path, fn); err != nil {
+		if err := Walk(ctx, s, m.Path, fn); err != nil {
 			return err
 		}
 	}
@@ -215,7 +232,7 @@ type CopyOptions struct {
 // implement it; CopyTree falls back to the non-atomic per-resource walk
 // for stores that do not.
 type TreeCopier interface {
-	CopyTreeAtomic(src, dst string, opts CopyOptions) error
+	CopyTreeAtomic(ctx context.Context, src, dst string, opts CopyOptions) error
 }
 
 // ErrAtomicCopyUnsupported is returned by TreeCopier implementations
@@ -231,38 +248,43 @@ var ErrAtomicCopyUnsupported = errors.New("store: atomic copy not supported")
 // Stores implementing TreeCopier make the copy atomic under one subtree
 // lock. The generic fallback locks per store call, so on third-party
 // stores a concurrent writer can interleave with the walk.
-func CopyTree(s Store, src, dst string, opts CopyOptions) error {
+func CopyTree(ctx context.Context, s Store, src, dst string, opts CopyOptions) error {
 	if src == dst || IsAncestor(src, dst) {
 		return fmt.Errorf("%w: cannot copy %q into itself", ErrBadPath, src)
 	}
 	if tc, ok := s.(TreeCopier); ok {
-		err := tc.CopyTreeAtomic(src, dst, opts)
+		err := tc.CopyTreeAtomic(ctx, src, dst, opts)
 		if !errors.Is(err, ErrAtomicCopyUnsupported) {
 			return err
 		}
 	}
-	return copyTreeGeneric(s, src, dst, opts)
+	return copyTreeGeneric(ctx, s, src, dst, opts)
 }
 
 // copyTreeGeneric is the per-resource fallback walk behind CopyTree.
-func copyTreeGeneric(s Store, src, dst string, opts CopyOptions) error {
-	ri, err := s.Stat(src)
+// It checkpoints ctx before each resource so an abandoned COPY stops
+// between resources instead of building the rest of the destination.
+func copyTreeGeneric(ctx context.Context, s Store, src, dst string, opts CopyOptions) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ri, err := s.Stat(ctx, src)
 	if err != nil {
 		return err
 	}
-	if err := copyResource(s, ri, dst); err != nil {
+	if err := copyResource(ctx, s, ri, dst); err != nil {
 		return err
 	}
 	if !ri.IsCollection || !opts.Recurse {
 		return nil
 	}
-	members, err := s.List(src)
+	members, err := s.List(ctx, src)
 	if err != nil {
 		return err
 	}
 	for _, m := range members {
 		rel := strings.TrimPrefix(m.Path, src)
-		if err := copyTreeGeneric(s, m.Path, dst+rel, opts); err != nil {
+		if err := copyTreeGeneric(ctx, s, m.Path, dst+rel, opts); err != nil {
 			return err
 		}
 	}
@@ -270,28 +292,28 @@ func copyTreeGeneric(s Store, src, dst string, opts CopyOptions) error {
 }
 
 // copyResource copies a single resource (body + properties).
-func copyResource(s Store, src ResourceInfo, dst string) error {
+func copyResource(ctx context.Context, s Store, src ResourceInfo, dst string) error {
 	if src.IsCollection {
-		if err := s.Mkcol(dst); err != nil {
+		if err := s.Mkcol(ctx, dst); err != nil {
 			return err
 		}
 	} else {
-		rc, _, err := s.Get(src.Path)
+		rc, _, err := s.Get(ctx, src.Path)
 		if err != nil {
 			return err
 		}
-		_, err = s.Put(dst, rc, src.ContentType)
+		_, err = s.Put(ctx, dst, rc, src.ContentType)
 		rc.Close()
 		if err != nil {
 			return err
 		}
 	}
-	props, err := s.PropAll(src.Path)
+	props, err := s.PropAll(ctx, src.Path)
 	if err != nil {
 		return err
 	}
 	for _, n := range sortedPropNames(props) {
-		if err := s.PropPut(dst, n, props[n]); err != nil {
+		if err := s.PropPut(ctx, dst, n, props[n]); err != nil {
 			return err
 		}
 	}
@@ -326,16 +348,20 @@ var ErrRenameUnsupported = errors.New("store: rename not supported")
 // A native rename that fails with a store precondition error
 // (ErrNotFound, ErrBadPath) propagates immediately — the copy+delete
 // path would fail the same way, and retrying it would only bury the
-// real error. Any other failure (cross-device rename, permissions, ...)
-// is logged via slog and falls back to copy+delete, so a degraded MOVE
-// is visible in the logs instead of silently slow.
-func MoveTree(s Store, src, dst string) error {
+// real error. Context errors also propagate: the caller abandoned the
+// request, so falling back to an expensive copy+delete would be exactly
+// the wasted work cancellation exists to avoid. Any other failure
+// (cross-device rename, permissions, ...) is logged via slog and falls
+// back to copy+delete, so a degraded MOVE is visible in the logs
+// instead of silently slow.
+func MoveTree(ctx context.Context, s Store, src, dst string) error {
 	if r, ok := s.(Renamer); ok {
-		err := r.Rename(src, dst)
+		err := r.Rename(ctx, src, dst)
 		switch {
 		case err == nil:
 			return nil
-		case errors.Is(err, ErrNotFound), errors.Is(err, ErrBadPath):
+		case errors.Is(err, ErrNotFound), errors.Is(err, ErrBadPath),
+			errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			return err
 		case errors.Is(err, ErrRenameUnsupported):
 			// No native rename behind the wrapper; nothing noteworthy.
@@ -344,15 +370,15 @@ func MoveTree(s Store, src, dst string) error {
 				"src", src, "dst", dst, "err", err)
 		}
 	}
-	if err := CopyTree(s, src, dst, CopyOptions{Recurse: true}); err != nil {
+	if err := CopyTree(ctx, s, src, dst, CopyOptions{Recurse: true}); err != nil {
 		return err
 	}
-	return s.Delete(src)
+	return s.Delete(ctx, src)
 }
 
 // Renamer is an optional Store fast path for MOVE.
 type Renamer interface {
-	Rename(src, dst string) error
+	Rename(ctx context.Context, src, dst string) error
 }
 
 // MemberProps couples one resource's metadata with its dead properties,
@@ -373,23 +399,23 @@ type MemberProps struct {
 // to the narrow interface for stores that do not.
 type BatchReader interface {
 	// StatWithProps is Stat plus PropAll under one resource lock.
-	StatWithProps(p string) (ResourceInfo, map[xml.Name][]byte, error)
+	StatWithProps(ctx context.Context, p string) (ResourceInfo, map[xml.Name][]byte, error)
 	// ListWithProps is List plus each member's PropAll under one
 	// collection lock, sorted by path.
-	ListWithProps(p string) ([]MemberProps, error)
+	ListWithProps(ctx context.Context, p string) ([]MemberProps, error)
 }
 
 // StatWithProps resolves p's metadata and dead properties, using the
 // store's batched path when it has one.
-func StatWithProps(s Store, p string) (ResourceInfo, map[xml.Name][]byte, error) {
+func StatWithProps(ctx context.Context, s Store, p string) (ResourceInfo, map[xml.Name][]byte, error) {
 	if br, ok := s.(BatchReader); ok {
-		return br.StatWithProps(p)
+		return br.StatWithProps(ctx, p)
 	}
-	ri, err := s.Stat(p)
+	ri, err := s.Stat(ctx, p)
 	if err != nil {
 		return ResourceInfo{}, nil, err
 	}
-	props, err := s.PropAll(p)
+	props, err := s.PropAll(ctx, p)
 	if err != nil {
 		return ResourceInfo{}, nil, err
 	}
@@ -399,17 +425,17 @@ func StatWithProps(s Store, p string) (ResourceInfo, map[xml.Name][]byte, error)
 // ListWithProps resolves the members of the collection at p together
 // with their dead properties, using the store's batched path when it
 // has one.
-func ListWithProps(s Store, p string) ([]MemberProps, error) {
+func ListWithProps(ctx context.Context, s Store, p string) ([]MemberProps, error) {
 	if br, ok := s.(BatchReader); ok {
-		return br.ListWithProps(p)
+		return br.ListWithProps(ctx, p)
 	}
-	members, err := s.List(p)
+	members, err := s.List(ctx, p)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]MemberProps, 0, len(members))
 	for _, m := range members {
-		props, err := s.PropAll(m.Path)
+		props, err := s.PropAll(ctx, m.Path)
 		if err != nil {
 			return nil, err
 		}
@@ -421,50 +447,34 @@ func ListWithProps(s Store, p string) ([]MemberProps, error) {
 // WalkWithProps visits p and, if it is a collection, every descendant,
 // pre-order, handing each visit the resource's dead properties as well.
 // Collections are resolved through the batched list path, so a deep
-// walk costs one pass per collection rather than one per resource.
-func WalkWithProps(s Store, p string, fn func(MemberProps) error) error {
-	ri, props, err := StatWithProps(s, p)
+// walk costs one pass per collection rather than one per resource. The
+// walk checkpoints ctx between collections.
+func WalkWithProps(ctx context.Context, s Store, p string, fn func(MemberProps) error) error {
+	ri, props, err := StatWithProps(ctx, s, p)
 	if err != nil {
 		return err
 	}
-	return walkWithProps(s, MemberProps{Info: ri, Props: props}, fn)
+	return walkWithProps(ctx, s, MemberProps{Info: ri, Props: props}, fn)
 }
 
-func walkWithProps(s Store, mp MemberProps, fn func(MemberProps) error) error {
+func walkWithProps(ctx context.Context, s Store, mp MemberProps, fn func(MemberProps) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := fn(mp); err != nil {
 		return err
 	}
 	if !mp.Info.IsCollection {
 		return nil
 	}
-	members, err := ListWithProps(s, mp.Info.Path)
+	members, err := ListWithProps(ctx, s, mp.Info.Path)
 	if err != nil {
 		return err
 	}
 	for _, m := range members {
-		if err := walkWithProps(s, m, fn); err != nil {
+		if err := walkWithProps(ctx, s, m, fn); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// ContextBinder is an optional Store capability: WithContext returns a
-// view of the store whose operations run under ctx. The Store
-// interface predates context plumbing (its methods carry none), so
-// request-scoped concerns — trace spans, above all — reach the store
-// and DBM layers through a per-request bound view instead. The
-// returned view shares all state with the original; binding is cheap
-// (one shallow copy) and the original remains valid.
-type ContextBinder interface {
-	WithContext(ctx context.Context) Store
-}
-
-// BindContext returns s bound to ctx when s supports it, and s
-// unchanged otherwise.
-func BindContext(s Store, ctx context.Context) Store {
-	if cb, ok := s.(ContextBinder); ok {
-		return cb.WithContext(ctx)
-	}
-	return s
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -41,21 +42,21 @@ func eachStore(t *testing.T, fn func(t *testing.T, s Store)) {
 
 func mustPut(t *testing.T, s Store, p, body string) {
 	t.Helper()
-	if _, err := s.Put(p, strings.NewReader(body), ""); err != nil {
+	if _, err := s.Put(context.Background(), p, strings.NewReader(body), ""); err != nil {
 		t.Fatalf("Put %s: %v", p, err)
 	}
 }
 
 func mustMkcol(t *testing.T, s Store, p string) {
 	t.Helper()
-	if err := s.Mkcol(p); err != nil {
+	if err := s.Mkcol(context.Background(), p); err != nil {
 		t.Fatalf("Mkcol %s: %v", p, err)
 	}
 }
 
 func readBody(t *testing.T, s Store, p string) string {
 	t.Helper()
-	rc, _, err := s.Get(p)
+	rc, _, err := s.Get(context.Background(), p)
 	if err != nil {
 		t.Fatalf("Get %s: %v", p, err)
 	}
@@ -104,7 +105,7 @@ func TestParentAndAncestor(t *testing.T) {
 
 func TestRootExists(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
-		ri, err := s.Stat("/")
+		ri, err := s.Stat(context.Background(), "/")
 		if err != nil || !ri.IsCollection {
 			t.Fatalf("Stat / = %+v, %v", ri, err)
 		}
@@ -113,14 +114,14 @@ func TestRootExists(t *testing.T) {
 
 func TestPutGetDocument(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
-		created, err := s.Put("/doc.txt", strings.NewReader("hello"), "text/plain")
+		created, err := s.Put(context.Background(), "/doc.txt", strings.NewReader("hello"), "text/plain")
 		if err != nil || !created {
 			t.Fatalf("Put: created=%v err=%v", created, err)
 		}
 		if got := readBody(t, s, "/doc.txt"); got != "hello" {
 			t.Fatalf("body = %q", got)
 		}
-		ri, err := s.Stat("/doc.txt")
+		ri, err := s.Stat(context.Background(), "/doc.txt")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestPutGetDocument(t *testing.T) {
 			t.Fatal("missing ETag")
 		}
 		// Replace is not a create.
-		created, err = s.Put("/doc.txt", strings.NewReader("bye!"), "")
+		created, err = s.Put(context.Background(), "/doc.txt", strings.NewReader("bye!"), "")
 		if err != nil || created {
 			t.Fatalf("replace: created=%v err=%v", created, err)
 		}
@@ -139,7 +140,7 @@ func TestPutGetDocument(t *testing.T) {
 			t.Fatalf("replaced body = %q", got)
 		}
 		// Content type sticks from the first Put when not re-supplied.
-		ri2, _ := s.Stat("/doc.txt")
+		ri2, _ := s.Stat(context.Background(), "/doc.txt")
 		if ri2.ContentType != "text/plain" {
 			t.Fatalf("content type after replace = %q", ri2.ContentType)
 		}
@@ -149,9 +150,9 @@ func TestPutGetDocument(t *testing.T) {
 func TestETagChangesOnWrite(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
 		mustPut(t, s, "/e.txt", "one one one")
-		ri1, _ := s.Stat("/e.txt")
-		s.Put("/e.txt", strings.NewReader("two two two two"), "")
-		ri2, _ := s.Stat("/e.txt")
+		ri1, _ := s.Stat(context.Background(), "/e.txt")
+		s.Put(context.Background(), "/e.txt", strings.NewReader("two two two two"), "")
+		ri2, _ := s.Stat(context.Background(), "/e.txt")
 		if ri1.ETag == ri2.ETag {
 			t.Fatalf("ETag unchanged across write: %s", ri1.ETag)
 		}
@@ -161,18 +162,18 @@ func TestETagChangesOnWrite(t *testing.T) {
 func TestMkcolSemantics(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
 		mustMkcol(t, s, "/proj")
-		ri, err := s.Stat("/proj")
+		ri, err := s.Stat(context.Background(), "/proj")
 		if err != nil || !ri.IsCollection {
 			t.Fatalf("Stat /proj = %+v, %v", ri, err)
 		}
-		if err := s.Mkcol("/proj"); !errors.Is(err, ErrExists) {
+		if err := s.Mkcol(context.Background(), "/proj"); !errors.Is(err, ErrExists) {
 			t.Fatalf("duplicate Mkcol = %v, want ErrExists", err)
 		}
-		if err := s.Mkcol("/no/such/parent"); !errors.Is(err, ErrConflict) {
+		if err := s.Mkcol(context.Background(), "/no/such/parent"); !errors.Is(err, ErrConflict) {
 			t.Fatalf("orphan Mkcol = %v, want ErrConflict", err)
 		}
 		mustPut(t, s, "/doc", "x")
-		if err := s.Mkcol("/doc/sub"); !errors.Is(err, ErrConflict) {
+		if err := s.Mkcol(context.Background(), "/doc/sub"); !errors.Is(err, ErrConflict) {
 			t.Fatalf("Mkcol under document = %v, want ErrConflict", err)
 		}
 	})
@@ -180,14 +181,14 @@ func TestMkcolSemantics(t *testing.T) {
 
 func TestPutRequiresParent(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
-		if _, err := s.Put("/a/b/c.txt", strings.NewReader("x"), ""); !errors.Is(err, ErrConflict) {
+		if _, err := s.Put(context.Background(), "/a/b/c.txt", strings.NewReader("x"), ""); !errors.Is(err, ErrConflict) {
 			t.Fatalf("Put without parent = %v, want ErrConflict", err)
 		}
-		if _, err := s.Put("/", strings.NewReader("x"), ""); err == nil {
+		if _, err := s.Put(context.Background(), "/", strings.NewReader("x"), ""); err == nil {
 			t.Fatal("Put to / should fail")
 		}
 		mustMkcol(t, s, "/a")
-		if _, err := s.Put("/a", strings.NewReader("x"), ""); !errors.Is(err, ErrIsCollection) {
+		if _, err := s.Put(context.Background(), "/a", strings.NewReader("x"), ""); !errors.Is(err, ErrIsCollection) {
 			t.Fatalf("Put over collection = %v, want ErrIsCollection", err)
 		}
 	})
@@ -195,11 +196,11 @@ func TestPutRequiresParent(t *testing.T) {
 
 func TestGetErrors(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
-		if _, _, err := s.Get("/missing"); !errors.Is(err, ErrNotFound) {
+		if _, _, err := s.Get(context.Background(), "/missing"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("Get missing = %v, want ErrNotFound", err)
 		}
 		mustMkcol(t, s, "/col")
-		if _, _, err := s.Get("/col"); !errors.Is(err, ErrIsCollection) {
+		if _, _, err := s.Get(context.Background(), "/col"); !errors.Is(err, ErrIsCollection) {
 			t.Fatalf("Get collection = %v, want ErrIsCollection", err)
 		}
 	})
@@ -214,7 +215,7 @@ func TestListSortedAndScoped(t *testing.T) {
 		mustPut(t, s, "/c/mid/nested", "n") // must not appear at depth 1
 		mustPut(t, s, "/other", "o")
 
-		members, err := s.List("/c")
+		members, err := s.List(context.Background(), "/c")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -226,10 +227,10 @@ func TestListSortedAndScoped(t *testing.T) {
 		if !reflect.DeepEqual(names, want) {
 			t.Fatalf("List = %v, want %v", names, want)
 		}
-		if _, err := s.List("/c/apple"); !errors.Is(err, ErrNotCollection) {
+		if _, err := s.List(context.Background(), "/c/apple"); !errors.Is(err, ErrNotCollection) {
 			t.Fatalf("List document = %v, want ErrNotCollection", err)
 		}
-		if _, err := s.List("/nope"); !errors.Is(err, ErrNotFound) {
+		if _, err := s.List(context.Background(), "/nope"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("List missing = %v, want ErrNotFound", err)
 		}
 	})
@@ -241,26 +242,26 @@ func TestDeleteDocumentAndTree(t *testing.T) {
 		mustPut(t, s, "/t/a", "1")
 		mustMkcol(t, s, "/t/sub")
 		mustPut(t, s, "/t/sub/b", "2")
-		s.PropPut("/t/sub/b", xml.Name{Space: "ecce:", Local: "x"}, []byte("<x/>"))
+		s.PropPut(context.Background(), "/t/sub/b", xml.Name{Space: "ecce:", Local: "x"}, []byte("<x/>"))
 
-		if err := s.Delete("/t/a"); err != nil {
+		if err := s.Delete(context.Background(), "/t/a"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Stat("/t/a"); !errors.Is(err, ErrNotFound) {
+		if _, err := s.Stat(context.Background(), "/t/a"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("deleted doc Stat = %v", err)
 		}
-		if err := s.Delete("/t"); err != nil {
+		if err := s.Delete(context.Background(), "/t"); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range []string{"/t", "/t/sub", "/t/sub/b"} {
-			if _, err := s.Stat(p); !errors.Is(err, ErrNotFound) {
+			if _, err := s.Stat(context.Background(), p); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("Stat %s after tree delete = %v", p, err)
 			}
 		}
-		if err := s.Delete("/t"); !errors.Is(err, ErrNotFound) {
+		if err := s.Delete(context.Background(), "/t"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("double delete = %v", err)
 		}
-		if err := s.Delete("/"); err == nil {
+		if err := s.Delete(context.Background(), "/"); err == nil {
 			t.Fatal("deleting / should fail")
 		}
 	})
@@ -273,43 +274,43 @@ func TestPropLifecycle(t *testing.T) {
 		val := []byte(`<formula xmlns="ecce:">UO2H30O15</formula>`)
 
 		// Absent property.
-		if _, ok, err := s.PropGet("/m.xyz", name); ok || err != nil {
+		if _, ok, err := s.PropGet(context.Background(), "/m.xyz", name); ok || err != nil {
 			t.Fatalf("PropGet absent = ok=%v err=%v", ok, err)
 		}
 		// Removing an absent property succeeds (RFC 2518).
-		if err := s.PropDelete("/m.xyz", name); err != nil {
+		if err := s.PropDelete(context.Background(), "/m.xyz", name); err != nil {
 			t.Fatalf("PropDelete absent: %v", err)
 		}
-		if err := s.PropPut("/m.xyz", name, val); err != nil {
+		if err := s.PropPut(context.Background(), "/m.xyz", name, val); err != nil {
 			t.Fatal(err)
 		}
-		got, ok, err := s.PropGet("/m.xyz", name)
+		got, ok, err := s.PropGet(context.Background(), "/m.xyz", name)
 		if err != nil || !ok || !bytes.Equal(got, val) {
 			t.Fatalf("PropGet = (%q, %v, %v)", got, ok, err)
 		}
 		// Overwrite.
 		val2 := []byte(`<formula xmlns="ecce:">H2O</formula>`)
-		s.PropPut("/m.xyz", name, val2)
-		got, _, _ = s.PropGet("/m.xyz", name)
+		s.PropPut(context.Background(), "/m.xyz", name, val2)
+		got, _, _ = s.PropGet(context.Background(), "/m.xyz", name)
 		if !bytes.Equal(got, val2) {
 			t.Fatalf("overwritten PropGet = %q", got)
 		}
 		// Names and All.
 		name2 := xml.Name{Space: "ecce:", Local: "charge"}
-		s.PropPut("/m.xyz", name2, []byte("<c>2</c>"))
-		names, err := s.PropNames("/m.xyz")
+		s.PropPut(context.Background(), "/m.xyz", name2, []byte("<c>2</c>"))
+		names, err := s.PropNames(context.Background(), "/m.xyz")
 		if err != nil || len(names) != 2 {
 			t.Fatalf("PropNames = %v, %v", names, err)
 		}
-		all, err := s.PropAll("/m.xyz")
+		all, err := s.PropAll(context.Background(), "/m.xyz")
 		if err != nil || len(all) != 2 || !bytes.Equal(all[name], val2) {
 			t.Fatalf("PropAll = %v, %v", all, err)
 		}
 		// Delete.
-		if err := s.PropDelete("/m.xyz", name); err != nil {
+		if err := s.PropDelete(context.Background(), "/m.xyz", name); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok, _ := s.PropGet("/m.xyz", name); ok {
+		if _, ok, _ := s.PropGet(context.Background(), "/m.xyz", name); ok {
 			t.Fatal("property survived delete")
 		}
 	})
@@ -318,13 +319,13 @@ func TestPropLifecycle(t *testing.T) {
 func TestPropsOnMissingResource(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
 		name := xml.Name{Space: "e:", Local: "x"}
-		if err := s.PropPut("/gone", name, []byte("v")); !errors.Is(err, ErrNotFound) {
+		if err := s.PropPut(context.Background(), "/gone", name, []byte("v")); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("PropPut missing = %v", err)
 		}
-		if _, _, err := s.PropGet("/gone", name); !errors.Is(err, ErrNotFound) {
+		if _, _, err := s.PropGet(context.Background(), "/gone", name); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("PropGet missing = %v", err)
 		}
-		if _, err := s.PropAll("/gone"); !errors.Is(err, ErrNotFound) {
+		if _, err := s.PropAll(context.Background(), "/gone"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("PropAll missing = %v", err)
 		}
 	})
@@ -334,10 +335,10 @@ func TestPropsOnCollections(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
 		mustMkcol(t, s, "/proj")
 		name := xml.Name{Space: "ecce:", Local: "description"}
-		if err := s.PropPut("/proj", name, []byte("<d>study</d>")); err != nil {
+		if err := s.PropPut(context.Background(), "/proj", name, []byte("<d>study</d>")); err != nil {
 			t.Fatal(err)
 		}
-		v, ok, err := s.PropGet("/proj", name)
+		v, ok, err := s.PropGet(context.Background(), "/proj", name)
 		if err != nil || !ok || string(v) != "<d>study</d>" {
 			t.Fatalf("collection prop = (%q, %v, %v)", v, ok, err)
 		}
@@ -348,14 +349,14 @@ func TestCopyTreeDocumentWithProps(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
 		mustPut(t, s, "/src.txt", "body")
 		name := xml.Name{Space: "e:", Local: "k"}
-		s.PropPut("/src.txt", name, []byte("v"))
-		if err := CopyTree(s, "/src.txt", "/dst.txt", CopyOptions{}); err != nil {
+		s.PropPut(context.Background(), "/src.txt", name, []byte("v"))
+		if err := CopyTree(context.Background(), s, "/src.txt", "/dst.txt", CopyOptions{}); err != nil {
 			t.Fatal(err)
 		}
 		if got := readBody(t, s, "/dst.txt"); got != "body" {
 			t.Fatalf("copied body = %q", got)
 		}
-		v, ok, _ := s.PropGet("/dst.txt", name)
+		v, ok, _ := s.PropGet(context.Background(), "/dst.txt", name)
 		if !ok || string(v) != "v" {
 			t.Fatalf("copied prop = (%q, %v)", v, ok)
 		}
@@ -372,25 +373,25 @@ func TestCopyTreeRecursive(t *testing.T) {
 		mustMkcol(t, s, "/a/sub")
 		mustPut(t, s, "/a/doc", "d")
 		mustPut(t, s, "/a/sub/deep", "x")
-		s.PropPut("/a", xml.Name{Space: "e:", Local: "p"}, []byte("cv"))
+		s.PropPut(context.Background(), "/a", xml.Name{Space: "e:", Local: "p"}, []byte("cv"))
 
-		if err := CopyTree(s, "/a", "/b", CopyOptions{Recurse: true}); err != nil {
+		if err := CopyTree(context.Background(), s, "/a", "/b", CopyOptions{Recurse: true}); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range []string{"/b", "/b/sub", "/b/doc", "/b/sub/deep"} {
-			if _, err := s.Stat(p); err != nil {
+			if _, err := s.Stat(context.Background(), p); err != nil {
 				t.Fatalf("Stat %s after copy: %v", p, err)
 			}
 		}
-		v, ok, _ := s.PropGet("/b", xml.Name{Space: "e:", Local: "p"})
+		v, ok, _ := s.PropGet(context.Background(), "/b", xml.Name{Space: "e:", Local: "p"})
 		if !ok || string(v) != "cv" {
 			t.Fatal("collection property not copied")
 		}
 		// Depth 0: only the collection itself.
-		if err := CopyTree(s, "/a", "/shallow", CopyOptions{}); err != nil {
+		if err := CopyTree(context.Background(), s, "/a", "/shallow", CopyOptions{}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Stat("/shallow/doc"); !errors.Is(err, ErrNotFound) {
+		if _, err := s.Stat(context.Background(), "/shallow/doc"); !errors.Is(err, ErrNotFound) {
 			t.Fatal("depth-0 copy copied members")
 		}
 	})
@@ -399,10 +400,10 @@ func TestCopyTreeRecursive(t *testing.T) {
 func TestCopyIntoSelfRejected(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
 		mustMkcol(t, s, "/a")
-		if err := CopyTree(s, "/a", "/a/inside", CopyOptions{Recurse: true}); !errors.Is(err, ErrBadPath) {
+		if err := CopyTree(context.Background(), s, "/a", "/a/inside", CopyOptions{Recurse: true}); !errors.Is(err, ErrBadPath) {
 			t.Fatalf("copy into self = %v, want ErrBadPath", err)
 		}
-		if err := CopyTree(s, "/a", "/a", CopyOptions{}); !errors.Is(err, ErrBadPath) {
+		if err := CopyTree(context.Background(), s, "/a", "/a", CopyOptions{}); !errors.Is(err, ErrBadPath) {
 			t.Fatalf("copy onto self = %v, want ErrBadPath", err)
 		}
 	})
@@ -412,17 +413,17 @@ func TestMoveTree(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
 		mustMkcol(t, s, "/m")
 		mustPut(t, s, "/m/doc", "payload")
-		s.PropPut("/m/doc", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
-		if err := MoveTree(s, "/m", "/moved"); err != nil {
+		s.PropPut(context.Background(), "/m/doc", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+		if err := MoveTree(context.Background(), s, "/m", "/moved"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Stat("/m"); !errors.Is(err, ErrNotFound) {
+		if _, err := s.Stat(context.Background(), "/m"); !errors.Is(err, ErrNotFound) {
 			t.Fatal("source survived move")
 		}
 		if got := readBody(t, s, "/moved/doc"); got != "payload" {
 			t.Fatalf("moved body = %q", got)
 		}
-		v, ok, _ := s.PropGet("/moved/doc", xml.Name{Space: "e:", Local: "k"})
+		v, ok, _ := s.PropGet(context.Background(), "/moved/doc", xml.Name{Space: "e:", Local: "k"})
 		if !ok || string(v) != "v" {
 			t.Fatal("moved property lost")
 		}
@@ -437,11 +438,11 @@ func TestMoveDocumentRenameKeepsProps(t *testing.T) {
 	}
 	defer s.Close()
 	mustPut(t, s, "/one.txt", "1")
-	s.PropPut("/one.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
-	if err := MoveTree(s, "/one.txt", "/two.txt"); err != nil {
+	s.PropPut(context.Background(), "/one.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+	if err := MoveTree(context.Background(), s, "/one.txt", "/two.txt"); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := s.PropGet("/two.txt", xml.Name{Space: "e:", Local: "k"})
+	v, ok, err := s.PropGet(context.Background(), "/two.txt", xml.Name{Space: "e:", Local: "k"})
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("prop after rename = (%q, %v, %v)", v, ok, err)
 	}
@@ -454,7 +455,7 @@ func TestWalkPreOrder(t *testing.T) {
 		mustMkcol(t, s, "/w/d")
 		mustPut(t, s, "/w/d/b", "2")
 		var visited []string
-		err := Walk(s, "/w", func(ri ResourceInfo) error {
+		err := Walk(context.Background(), s, "/w", func(ri ResourceInfo) error {
 			visited = append(visited, ri.Path)
 			return nil
 		})
@@ -475,8 +476,8 @@ func TestFSStoreHidesPropDir(t *testing.T) {
 	}
 	defer s.Close()
 	mustPut(t, s, "/d.txt", "x")
-	s.PropPut("/d.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
-	members, err := s.List("/")
+	s.PropPut(context.Background(), "/d.txt", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+	members, err := s.List(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,10 +490,10 @@ func TestFSStoreHidesPropDir(t *testing.T) {
 		t.Fatalf("List = %v", members)
 	}
 	// The reserved name cannot be addressed.
-	if _, err := s.Stat("/" + propDirName); !errors.Is(err, ErrBadPath) {
+	if _, err := s.Stat(context.Background(), "/"+propDirName); !errors.Is(err, ErrBadPath) {
 		t.Fatalf("Stat .DAV = %v, want ErrBadPath", err)
 	}
-	if err := s.Mkcol("/sub/" + propDirName); !errors.Is(err, ErrBadPath) {
+	if err := s.Mkcol(context.Background(), "/sub/"+propDirName); !errors.Is(err, ErrBadPath) {
 		t.Fatalf("Mkcol .DAV = %v, want ErrBadPath", err)
 	}
 }
@@ -505,7 +506,7 @@ func TestFSStorePropsPersistAcrossReopen(t *testing.T) {
 	}
 	mustPut(t, s, "/p.txt", "x")
 	name := xml.Name{Space: "ecce:", Local: "formula"}
-	s.PropPut("/p.txt", name, []byte("<f>H2O</f>"))
+	s.PropPut(context.Background(), "/p.txt", name, []byte("<f>H2O</f>"))
 	s.Close()
 
 	s2, err := NewFSStore(dir, dbm.GDBM)
@@ -513,7 +514,7 @@ func TestFSStorePropsPersistAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	v, ok, err := s2.PropGet("/p.txt", name)
+	v, ok, err := s2.PropGet(context.Background(), "/p.txt", name)
 	if err != nil || !ok || string(v) != "<f>H2O</f>" {
 		t.Fatalf("prop after reopen = (%q, %v, %v)", v, ok, err)
 	}
@@ -548,7 +549,7 @@ func TestFSStorePerResourcePropertyDatabases(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		p := fmt.Sprintf("/doc%d", i)
 		mustPut(t, s, p, "x")
-		s.PropPut(p, xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+		s.PropPut(context.Background(), p, xml.Name{Space: "e:", Local: "k"}, []byte("v"))
 	}
 	mustPut(t, s, "/bare", "no props")
 
@@ -584,12 +585,12 @@ func TestContentHashAndDiskUsage(t *testing.T) {
 	}
 	defer s.Close()
 	mustPut(t, s, "/h", "hello world")
-	h1, err := ContentHash(s, "/h")
+	h1, err := ContentHash(context.Background(), s, "/h")
 	if err != nil || len(h1) != 40 {
 		t.Fatalf("ContentHash = (%q, %v)", h1, err)
 	}
 	mustPut(t, s, "/h", "changed")
-	h2, _ := ContentHash(s, "/h")
+	h2, _ := ContentHash(context.Background(), s, "/h")
 	if h1 == h2 {
 		t.Fatal("hash unchanged after write")
 	}
@@ -610,7 +611,7 @@ func TestQuickPropRoundTrip(t *testing.T) {
 	defer fsStore.Close()
 	memStore := NewMemStore()
 	for _, s := range []Store{memStore, fsStore} {
-		if _, err := s.Put("/target", strings.NewReader("x"), ""); err != nil {
+		if _, err := s.Put(context.Background(), "/target", strings.NewReader("x"), ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -620,11 +621,11 @@ func TestQuickPropRoundTrip(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		name := xml.Name{Space: spaces[rng.Intn(len(spaces))], Local: locals[rng.Intn(len(locals))]}
 		for _, s := range []Store{memStore, fsStore} {
-			if err := s.PropPut("/target", name, val); err != nil {
+			if err := s.PropPut(context.Background(), "/target", name, val); err != nil {
 				t.Logf("PropPut: %v", err)
 				return false
 			}
-			got, ok, err := s.PropGet("/target", name)
+			got, ok, err := s.PropGet(context.Background(), "/target", name)
 			if err != nil || !ok || !bytes.Equal(got, val) {
 				t.Logf("PropGet = (%q, %v, %v), want %q", got, ok, err, val)
 				return false
@@ -643,44 +644,44 @@ func TestQuickCopyPreservesTree(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		s := NewMemStore()
-		s.Mkcol("/src")
+		s.Mkcol(context.Background(), "/src")
 		var paths []string
 		for i := 0; i < 12; i++ {
 			parent := "/src"
 			if len(paths) > 0 && rng.Intn(2) == 0 {
 				p := paths[rng.Intn(len(paths))]
-				if ri, _ := s.Stat(p); ri.IsCollection {
+				if ri, _ := s.Stat(context.Background(), p); ri.IsCollection {
 					parent = p
 				}
 			}
 			child := fmt.Sprintf("%s/n%d", parent, i)
 			if rng.Intn(2) == 0 {
-				if err := s.Mkcol(child); err != nil {
+				if err := s.Mkcol(context.Background(), child); err != nil {
 					continue
 				}
 			} else {
-				if _, err := s.Put(child, strings.NewReader(fmt.Sprintf("body%d", i)), ""); err != nil {
+				if _, err := s.Put(context.Background(), child, strings.NewReader(fmt.Sprintf("body%d", i)), ""); err != nil {
 					continue
 				}
 			}
-			s.PropPut(child, xml.Name{Space: "e:", Local: "id"}, []byte(fmt.Sprintf("<id>%d</id>", i)))
+			s.PropPut(context.Background(), child, xml.Name{Space: "e:", Local: "id"}, []byte(fmt.Sprintf("<id>%d</id>", i)))
 			paths = append(paths, child)
 		}
-		if err := CopyTree(s, "/src", "/dst", CopyOptions{Recurse: true}); err != nil {
+		if err := CopyTree(context.Background(), s, "/src", "/dst", CopyOptions{Recurse: true}); err != nil {
 			t.Logf("copy: %v", err)
 			return false
 		}
 		ok := true
-		Walk(s, "/src", func(ri ResourceInfo) error {
+		Walk(context.Background(), s, "/src", func(ri ResourceInfo) error {
 			dstPath := "/dst" + strings.TrimPrefix(ri.Path, "/src")
-			dri, err := s.Stat(dstPath)
+			dri, err := s.Stat(context.Background(), dstPath)
 			if err != nil || dri.IsCollection != ri.IsCollection {
 				t.Logf("missing or mismatched %s: %v", dstPath, err)
 				ok = false
 				return nil
 			}
-			sp, _ := s.PropAll(ri.Path)
-			dp, _ := s.PropAll(dstPath)
+			sp, _ := s.PropAll(context.Background(), ri.Path)
+			dp, _ := s.PropAll(context.Background(), dstPath)
 			if len(sp) != len(dp) {
 				ok = false
 			}
@@ -700,13 +701,13 @@ func TestQuickCopyPreservesTree(t *testing.T) {
 
 func TestContentTypeSurvivesCopy(t *testing.T) {
 	eachStore(t, func(t *testing.T, s Store) {
-		if _, err := s.Put("/m.dat", strings.NewReader("geom"), "chemical/x-xyz"); err != nil {
+		if _, err := s.Put(context.Background(), "/m.dat", strings.NewReader("geom"), "chemical/x-xyz"); err != nil {
 			t.Fatal(err)
 		}
-		if err := CopyTree(s, "/m.dat", "/copy.dat", CopyOptions{}); err != nil {
+		if err := CopyTree(context.Background(), s, "/m.dat", "/copy.dat", CopyOptions{}); err != nil {
 			t.Fatal(err)
 		}
-		ri, err := s.Stat("/copy.dat")
+		ri, err := s.Stat(context.Background(), "/copy.dat")
 		if err != nil || ri.ContentType != "chemical/x-xyz" {
 			t.Fatalf("copied content type = (%q, %v)", ri.ContentType, err)
 		}
@@ -726,17 +727,17 @@ func TestMoveTreeWithoutRenamer(t *testing.T) {
 	s := nonRenamer{fs}
 	mustMkcol(t, s, "/m")
 	mustPut(t, s, "/m/doc", "payload")
-	s.PropPut("/m/doc", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
-	if err := MoveTree(s, "/m", "/moved"); err != nil {
+	s.PropPut(context.Background(), "/m/doc", xml.Name{Space: "e:", Local: "k"}, []byte("v"))
+	if err := MoveTree(context.Background(), s, "/m", "/moved"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Stat("/m"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Stat(context.Background(), "/m"); !errors.Is(err, ErrNotFound) {
 		t.Fatal("source survived generic move")
 	}
 	if got := readBody(t, s, "/moved/doc"); got != "payload" {
 		t.Fatalf("moved body = %q", got)
 	}
-	v, ok, _ := s.PropGet("/moved/doc", xml.Name{Space: "e:", Local: "k"})
+	v, ok, _ := s.PropGet(context.Background(), "/moved/doc", xml.Name{Space: "e:", Local: "k"})
 	if !ok || string(v) != "v" {
 		t.Fatal("moved property lost in fallback path")
 	}
@@ -751,16 +752,16 @@ func TestRenameFastPathErrors(t *testing.T) {
 	mustPut(t, fs, "/a", "1")
 	mustPut(t, fs, "/b", "2")
 	// Rename onto an existing target must refuse (never clobber).
-	if err := fs.Rename("/a", "/b"); !errors.Is(err, ErrExists) {
+	if err := fs.Rename(context.Background(), "/a", "/b"); !errors.Is(err, ErrExists) {
 		t.Fatalf("rename onto existing = %v", err)
 	}
-	if err := fs.Rename("/missing", "/c"); !errors.Is(err, ErrNotFound) {
+	if err := fs.Rename(context.Background(), "/missing", "/c"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("rename of missing = %v", err)
 	}
-	if err := fs.Rename("/a", "/no/parent/x"); !errors.Is(err, ErrConflict) {
+	if err := fs.Rename(context.Background(), "/a", "/no/parent/x"); !errors.Is(err, ErrConflict) {
 		t.Fatalf("rename without parent = %v", err)
 	}
-	if err := fs.Rename("/a", "/a"); !errors.Is(err, ErrBadPath) {
+	if err := fs.Rename(context.Background(), "/a", "/a"); !errors.Is(err, ErrBadPath) {
 		t.Fatalf("rename onto self = %v", err)
 	}
 }
