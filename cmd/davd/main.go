@@ -42,11 +42,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/auth"
 	"repro/internal/davserver"
+	"repro/internal/davserver/admit"
 	"repro/internal/dbm"
 	"repro/internal/obs"
 	"repro/internal/obs/ops"
@@ -102,6 +104,16 @@ func main() {
 			"assemble incident bundles automatically on SLO-degraded transitions, slow-request trips, and recovered panics (manual POST /debug/incident always works)")
 		incidentMax = flag.Int("incident-max", 8,
 			"incident bundles retained in memory; older ones are evicted")
+		admitLimit = flag.Int("admit-limit", 0,
+			"ceiling for the adaptive concurrency limit; requests past it wait briefly or are shed with 429 + Retry-After instead of collapsing latency for everyone; 0 disables admission control")
+		admitQueue = flag.Int("admit-queue", 64,
+			"total admission-queue capacity, split across priority classes (reads most, heavy subtree ops least); 0 sheds immediately at the limit")
+		brownout = flag.Bool("brownout", false,
+			"degrade before shedding while the SLO burns: skip auto-versioning snapshots, refuse Depth: infinity PROPFIND, pause background sampling — restored in reverse with hysteresis; needs -slo")
+		brownoutEvery = flag.Duration("brownout-interval", 5*time.Second,
+			"how often the brownout controller polls the SLO degraded bit; two consecutive degraded polls deepen one level, ten healthy polls restore one")
+		admitAdmins = flag.String("admit-admins", "",
+			"comma-separated users allowed to override a request's priority class via the X-Admit-Priority header; needs -users")
 	)
 	flag.Parse()
 
@@ -233,7 +245,34 @@ func main() {
 	})
 	capturer.Register(metrics.Registry)
 
-	opts := &davserver.Options{MaxPropBytes: *maxProp, Prefix: *prefix}
+	// Brownout: while the SLO burns, shed expensive behaviors before
+	// the limiter sheds requests — snapshots first, then unbounded
+	// PROPFIND walks, then background sampling — and restore them in
+	// reverse once the burn stays quiet.
+	var brown *admit.Brownout
+	if *brownout {
+		if slo == nil {
+			fatalf("davd: -brownout needs -slo objectives to derive the degraded signal")
+		}
+		brown = admit.NewBrownout(admit.BrownoutConfig{
+			Probe:    slo.Degraded,
+			Interval: *brownoutEvery,
+			OnChange: func(old, next admit.Level) {
+				logger.Warn("brownout transition", "from", old.String(), "to", next.String())
+			},
+		})
+		if sampler != nil {
+			brown.RegisterBackground(sampler.Stop, sampler.Start)
+		}
+		if profSampler != nil {
+			brown.RegisterBackground(profSampler.Stop, profSampler.Start)
+		}
+		brown.Start()
+		defer brown.Stop()
+		logger.Info("brownout controller enabled")
+	}
+
+	opts := &davserver.Options{MaxPropBytes: *maxProp, Prefix: *prefix, Brownout: brown}
 	if !*quiet {
 		opts.Logger = logger
 	}
@@ -242,8 +281,9 @@ func main() {
 	metrics.TrackGate(dav)
 	handler := http.Handler(dav)
 
+	var users *auth.Users
 	if *usersArg != "" {
-		users, err := auth.Load(*usersArg)
+		users, err = auth.Load(*usersArg)
 		if err != nil {
 			fatalf("davd: load users: %v", err)
 		}
@@ -268,6 +308,38 @@ func main() {
 		}
 	}
 	handler = davserver.Harden(handler, hardenOpts)
+
+	// Admission control wraps the hardened stack (a shed never reaches
+	// auth, the body limit, or the store) but sits inside telemetry, so
+	// every 429 is measured, logged, and traced.
+	if *admitLimit > 0 {
+		ctl := &admit.Controller{
+			Limiter:  admit.NewLimiter(admit.Config{Max: *admitLimit, Queue: *admitQueue}),
+			Budget:   admit.NewRetryBudget(0, 0),
+			Brownout: brown,
+		}
+		if *admitAdmins != "" {
+			if users == nil {
+				fatalf("davd: -admit-admins needs -users so overrides can be authenticated")
+			}
+			admins := make(map[string]bool)
+			for _, name := range strings.Split(*admitAdmins, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					admins[name] = true
+				}
+			}
+			ctl.AdminOK = func(r *http.Request) bool {
+				u, p, ok := r.BasicAuth()
+				return ok && admins[u] && users.Check(u, p)
+			}
+		}
+		metrics.TrackAdmit(ctl)
+		handler = ctl.Middleware(handler)
+		logger.Info("admission control enabled", "limit", *admitLimit, "queue", *admitQueue)
+	} else if brown != nil {
+		// No limiter, but the brownout gauges should still be scrapable.
+		metrics.TrackAdmit(&admit.Controller{Brownout: brown})
+	}
 
 	// Telemetry outermost so the recorded status and access log include
 	// timeouts, recovered panics, and rejected credentials.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|bench-pr9|opssmoke|all>
+//	eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|bench-pr9|bench-pr10|opssmoke|all>
 //
 // By default the paper's full workload sizes are used for table1 and
 // table3; table2, robust and disk default to scaled sizes unless -full
@@ -60,6 +60,8 @@ func main() {
 			"bench-pr8: output file for the continuous-profiling benchmark result")
 		bench9Out = flag.String("out9", "BENCH_PR9.json",
 			"bench-pr9: output file for the cancellation benchmark result")
+		bench10Out = flag.String("out10", "BENCH_PR10.json",
+			"bench-pr10: output file for the overload benchmark result")
 		adminURL = flag.String("admin-url", "",
 			"opssmoke: base URL of a live davd admin listener (e.g. http://127.0.0.1:8081)")
 		davURL = flag.String("dav-url", "",
@@ -67,7 +69,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|bench-pr9|opssmoke|all>")
+		fmt.Fprintln(os.Stderr, "usage: eccebench [flags] <table1|table2|table3|robust|disk|chaos|ablation|smoke|bench-pr3|bench-pr4|crash-recovery|bench-pr7|bench-pr8|bench-pr9|bench-pr10|opssmoke|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -241,6 +243,18 @@ func main() {
 		}
 	}
 
+	// bench-pr10 runs the overload benchmark (a closed-loop fleet
+	// saturating a throttled store, unprotected baseline vs the
+	// admission-controlled stack), writes the JSON result, and
+	// re-validates the written file — the CI overload smoke. Excluded
+	// from "all" (its throttled store deliberately sleeps on the
+	// serving path and its shed clients honor multi-second Retry-After).
+	if which == "bench-pr10" {
+		if err := runBenchPR10(*bench10Out); err != nil {
+			log.Fatalf("eccebench bench-pr10: %v", err)
+		}
+	}
+
 	// opssmoke scrapes a LIVE davd admin listener — /metrics and
 	// /debug/status?format=json — and validates both, optionally driving
 	// a small workload against the DAV listener first. CI uses it to
@@ -253,7 +267,7 @@ func main() {
 	}
 
 	switch which {
-	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "crash-recovery", "bench-pr7", "bench-pr8", "bench-pr9", "opssmoke", "all":
+	case "table1", "table2", "table3", "robust", "disk", "chaos", "ablation", "smoke", "bench-pr3", "bench-pr4", "crash-recovery", "bench-pr7", "bench-pr8", "bench-pr9", "bench-pr10", "opssmoke", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "eccebench: unknown experiment %q\n", which)
 		os.Exit(2)
@@ -524,6 +538,49 @@ func runBenchPR9(outPath string) error {
 		"fsck findings=%d, journal pending=%d; result written to %s\n",
 		res.ReclaimedStoreMs, res.DrainSpeedup,
 		res.Integrity.FsckFindings, res.Integrity.JournalPending, outPath)
+	return nil
+}
+
+// runBenchPR10 runs the overload benchmark, writes the result as JSON,
+// and validates what was actually written — asserting the admission
+// controller kept goodput up under saturation, every shed carried an
+// honest Retry-After, and the store came out clean.
+func runBenchPR10(outPath string) error {
+	res, err := experiments.RunBenchPR10(experiments.BenchPR10Options{})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBenchPR10(written); err != nil {
+		return fmt.Errorf("written %s failed validation: %w", outPath, err)
+	}
+	for _, a := range res.Arms {
+		fmt.Printf("bench-pr10: %-12s wall=%7.1fms  %4d requests  good=%4d (%.1f/s)  "+
+			"slow-ok=%3d  sheds=%4d (retry-after on %d)  ok p50/p99=%.0f/%.0fms  writer puts/sheds=%d/%d\n",
+			a.Name, a.WallMs, a.Requests, a.Good, a.GoodPerSec,
+			a.SlowOK, a.Sheds, a.ShedsWithRetryAfter, a.OKP50Ms, a.OKP99Ms,
+			a.WriterPuts, a.WriterSheds)
+		if a.Admission != nil {
+			fmt.Printf("bench-pr10: %-12s limit converged to %.1f (+%d/-%d adjustments), "+
+				"%d admitted, %d shed at the limiter\n",
+				a.Name, a.Admission.FinalLimit, a.Admission.Increases,
+				a.Admission.Decreases, a.Admission.Admitted, a.Admission.Shed)
+		}
+	}
+	fmt.Printf("bench-pr10: goodput ratio %.2fx; fsck findings=%d, journal pending=%d; "+
+		"result written to %s\n",
+		res.GoodputRatio, res.Integrity.FsckFindings, res.Integrity.JournalPending, outPath)
 	return nil
 }
 

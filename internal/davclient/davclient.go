@@ -243,7 +243,7 @@ func (c *Client) do(method, p string, headers map[string]string, body io.Reader,
 			attemptCtx, att = trace.Child(ctx, "dav.client.attempt",
 				trace.Int("attempt", int64(attempt)))
 		}
-		resp, err := c.once(attemptCtx, method, p, reqID, headers, body, want)
+		resp, err := c.once(attemptCtx, method, p, reqID, attempt, headers, body, want)
 		att.EndErr(err)
 		if err == nil {
 			root.SetAttr(trace.Int("attempts", int64(attempt)))
@@ -270,13 +270,21 @@ func (c *Client) do(method, p string, headers map[string]string, body io.Reader,
 	return nil, lastErr
 }
 
+// retryAttemptHeader matches admit.RetryAttemptHeader on the server:
+// retries announce themselves so the server-side retry budget can shed
+// a retry storm without touching fresh demand.
+const retryAttemptHeader = "X-Retry-Attempt"
+
 // once issues exactly one HTTP request.
-func (c *Client) once(ctx context.Context, method, p, reqID string, headers map[string]string, body io.Reader, want []int) (*http.Response, error) {
+func (c *Client) once(ctx context.Context, method, p, reqID string, attempt int, headers map[string]string, body io.Reader, want []int) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.urlFor(p), body)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set(obs.RequestIDHeader, reqID)
+	if attempt > 1 {
+		req.Header.Set(retryAttemptHeader, strconv.Itoa(attempt))
+	}
 	trace.Inject(ctx, req.Header)
 	for k, v := range headers {
 		req.Header.Set(k, v)
@@ -297,10 +305,18 @@ func (c *Client) once(ctx context.Context, method, p, reqID string, headers map[
 	}
 	excerpt, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
 	resp.Body.Close()
-	return nil, &StatusError{
+	se := &StatusError{
 		Method: method, Path: p, Code: resp.StatusCode, Body: string(excerpt),
 		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 	}
+	// Load shedding (429, or 503 carrying backoff guidance) is counted
+	// apart from failure: the server is telling us to slow down, not
+	// that it is broken.
+	if se.Code == http.StatusTooManyRequests ||
+		(se.Code == http.StatusServiceUnavailable && se.RetryAfter > 0) {
+		c.met.countShed()
+	}
+	return nil, se
 }
 
 // parseRetryAfter reads a Retry-After header: delta-seconds or an HTTP

@@ -13,6 +13,7 @@ type clientMetrics struct {
 	requests        *obs.Counter
 	retries         *obs.Counter
 	budgetExhausted *obs.Counter
+	shed            *obs.Counter
 	backoff         *obs.Histogram
 }
 
@@ -29,6 +30,8 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 			"Automatic retries performed on transient failures.", nil),
 		budgetExhausted: reg.Counter("davclient_retry_budget_exhausted_total",
 			"Retries abandoned because the client-wide retry budget ran out.", nil),
+		shed: reg.Counter("dav_client_shed_total",
+			"Responses identifying server load shedding: 429, or 503 carrying Retry-After.", nil),
 		backoff: reg.Histogram("davclient_backoff_seconds",
 			"Backoff sleeps scheduled between retry attempts.", nil, obs.DefBuckets),
 	}
@@ -49,6 +52,12 @@ func (m *clientMetrics) countRetry() {
 func (m *clientMetrics) countBudgetExhausted() {
 	if m != nil {
 		m.budgetExhausted.Inc()
+	}
+}
+
+func (m *clientMetrics) countShed() {
+	if m != nil {
+		m.shed.Inc()
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/davproto"
+	"repro/internal/davserver/admit"
 	"repro/internal/store"
 	"repro/internal/xmldom"
 )
@@ -39,6 +40,12 @@ type Options struct {
 	// Logger receives request errors; nil discards them. Call sites
 	// still holding a *log.Logger can adapt it with obs.Slogify.
 	Logger *slog.Logger
+	// Brownout, when set, lets the handler shed expensive behaviors
+	// under load: auto-versioning snapshots are skipped and Depth:
+	// infinity PROPFIND is refused with the RFC 4918 finite-depth
+	// precondition while the controller's ladder says so. Nil means
+	// full service always.
+	Brownout *admit.Brownout
 }
 
 // Handler serves the WebDAV protocol over a Store.
@@ -390,9 +397,13 @@ func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
 		return
 	}
 	// Auto-versioning: a write to a version-controlled document
-	// appends a new version snapshot.
+	// appends a new version snapshot. Under brownout the overwrite
+	// still lands but the snapshot is skipped — history granularity is
+	// the cheapest thing to give up when the SLO is burning.
 	if !created {
-		if err := h.autoVersionAfterPut(context.WithoutCancel(r.Context()), p); err != nil {
+		if h.opts.Brownout.SnapshotsDisabled() {
+			h.opts.Brownout.CountSnapshotSkipped()
+		} else if err := h.autoVersionAfterPut(context.WithoutCancel(r.Context()), p); err != nil {
 			h.logf("dav: auto-version %s: %v", p, err)
 		}
 	}
@@ -647,6 +658,14 @@ func (h *Handler) handlePropfind(w http.ResponseWriter, r *http.Request, p strin
 	depth, err := davproto.ParseDepth(r.Header.Get("Depth"), davproto.DepthInfinity)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Under brownout an unbounded walk is the most expensive read the
+	// protocol offers; refuse it the RFC 4918 §9.1 way so compliant
+	// clients fall back to iterative Depth: 1 listings.
+	if depth == davproto.DepthInfinity && h.opts.Brownout.CapDeepPropfind() {
+		h.opts.Brownout.CountDeepCapped()
+		h.writeFiniteDepthRequired(w)
 		return
 	}
 	pf, err := davproto.ParsePropfind(r.Body)
@@ -972,6 +991,25 @@ func (h *Handler) handleUnlock(w http.ResponseWriter, r *http.Request, _ string)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// brownoutRetryAfter is the Retry-After attached to brownout refusals.
+// Brownouts exit on a sustained-healthy signal with hysteresis, so a
+// longer hint than the admission queue's drain estimate is honest.
+const brownoutRetryAfter = "10"
+
+// writeFiniteDepthRequired renders the RFC 4918 §9.1
+// <DAV:propfind-finite-depth/> precondition: this server (while browned
+// out) does not serve Depth: infinity PROPFIND.
+func (h *Handler) writeFiniteDepthRequired(w http.ResponseWriter) {
+	n := xmldom.NewElement(davproto.NS, "error")
+	n.Add(davproto.NS, "propfind-finite-depth")
+	body := xmldom.MarshalDocument(n)
+	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Header().Set("Retry-After", brownoutRetryAfter)
+	w.WriteHeader(http.StatusForbidden)
+	w.Write(body)
 }
 
 // writeMultistatus renders a 207 response.

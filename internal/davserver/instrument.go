@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/davserver/admit"
 	"repro/internal/dbm"
 	"repro/internal/obs"
 	"repro/internal/obs/ops"
@@ -147,6 +148,89 @@ func (m *Metrics) TrackLimiter(rl *RateLimitedListener) {
 	m.Registry.GaugeFunc("dav_limiter_limit_per_minute",
 		"Configured connections-per-minute cap (0 = unlimited).", nil,
 		func() float64 { return float64(rl.Limit()) })
+}
+
+// TrackAdmit exposes the admission controller's state — the adaptive
+// limit, queue depth, per-class admit/shed/cancel counters, the retry
+// budget, and the brownout ladder — as gauges read at scrape time,
+// following the TrackGate/TrackStore snapshot pattern.
+func (m *Metrics) TrackAdmit(c *admit.Controller) {
+	if c == nil {
+		return
+	}
+	g := m.Registry.GaugeFunc
+	if c.Limiter != nil {
+		m.trackLimiterAdmit(c)
+	}
+	if c.Budget != nil {
+		b := c.Budget
+		g("dav_admit_retry_budget_tokens",
+			"Server-side retry-budget balance; empty means client retries are shed.", nil,
+			b.Tokens)
+	}
+	if c.Brownout != nil {
+		b := c.Brownout
+		g("dav_brownout_level",
+			"Current brownout depth: 0 full service, 1 no snapshots, 2 + no deep PROPFIND, 3 + background paused.", nil,
+			func() float64 { return float64(b.Level()) })
+		g("dav_brownout_transitions_total",
+			"Brownout ladder transitions (cumulative).", obs.Labels{"direction": "deepen"},
+			func() float64 { return float64(b.Stats().Deepens) })
+		g("dav_brownout_transitions_total",
+			"Brownout ladder transitions (cumulative).", obs.Labels{"direction": "restore"},
+			func() float64 { return float64(b.Stats().Restores) })
+		g("dav_brownout_snapshots_skipped_total",
+			"Auto-versioning snapshots skipped under brownout (cumulative).", nil,
+			func() float64 { return float64(b.Stats().SnapshotsSkipped) })
+		g("dav_brownout_deep_propfind_capped_total",
+			"Depth: infinity PROPFIND refused with the finite-depth precondition under brownout (cumulative).", nil,
+			func() float64 { return float64(b.Stats().DeepCapped) })
+	}
+}
+
+func (m *Metrics) trackLimiterAdmit(c *admit.Controller) {
+	l := c.Limiter
+	g := m.Registry.GaugeFunc
+	g("dav_admit_limit", "Current adaptive concurrency limit.", nil,
+		func() float64 { return l.Stats().Limit })
+	g("dav_admit_inflight", "Requests currently admitted past the limiter.", nil,
+		func() float64 { return float64(l.Stats().Inflight) })
+	g("dav_admit_queued", "Requests waiting in the admission queue.", nil,
+		func() float64 { return float64(l.Stats().Queued) })
+	g("dav_admit_latency_baseline_seconds",
+		"Moving uncongested-latency floor the AIMD gradient compares against.", nil,
+		func() float64 { return l.Stats().Baseline.Seconds() })
+	g("dav_admit_latency_recent_seconds",
+		"Mean service time of the last adjustment window.", nil,
+		func() float64 { return l.Stats().Recent.Seconds() })
+	g("dav_admit_wait_seconds_total",
+		"Cumulative time requests spent in the admission queue, including cancelled waits.", nil,
+		func() float64 { return l.Stats().WaitTotal.Seconds() })
+	g("dav_admit_limit_changes_total",
+		"Adaptive limit adjustments (cumulative).", obs.Labels{"direction": "up"},
+		func() float64 { return float64(l.Stats().Increases) })
+	g("dav_admit_limit_changes_total",
+		"Adaptive limit adjustments (cumulative).", obs.Labels{"direction": "down"},
+		func() float64 { return float64(l.Stats().Decreases) })
+	for _, pr := range admit.Priorities() {
+		pr := pr
+		g("dav_admit_admitted_total",
+			"Requests admitted, by priority class (cumulative).",
+			obs.Labels{"priority": pr.String()},
+			func() float64 { return float64(l.Admitted(pr)) })
+		g("dav_admit_shed_total",
+			"Requests shed with 429 + Retry-After, by priority class and reason (cumulative).",
+			obs.Labels{"priority": pr.String(), "reason": "queue-full"},
+			func() float64 { return float64(l.Shed(pr)) })
+		g("dav_admit_shed_total",
+			"Requests shed with 429 + Retry-After, by priority class and reason (cumulative).",
+			obs.Labels{"priority": pr.String(), "reason": "retry-budget"},
+			func() float64 { return float64(c.BudgetShed(pr)) })
+		g("dav_admit_cancelled_total",
+			"Admission waits abandoned because the waiter's context ended, by priority class (cumulative).",
+			obs.Labels{"priority": pr.String()},
+			func() float64 { return float64(l.Cancelled(pr)) })
+	}
 }
 
 // lockStatser is implemented by stores built on the hierarchical

@@ -22,6 +22,13 @@ const KeepAliveTimeout = 15 * time.Second
 // window. Connections beyond the limit are accepted and immediately
 // closed (the TCP-level behaviour of a full Apache accept queue being
 // recycled), so clients see a reset rather than an indefinite hang.
+//
+// Deprecated in spirit: closing excess connections at the TCP layer
+// tells the client nothing and, under sustained overload, turns the
+// accept loop into a close storm. Prefer the application-level
+// admission layer (internal/davserver/admit, davd -admit-limit), which
+// sheds with 429 + Retry-After; this listener remains for reproducing
+// the paper's Apache configuration.
 type RateLimitedListener struct {
 	net.Listener
 	limit int
@@ -31,6 +38,15 @@ type RateLimitedListener struct {
 	dropped int64
 	now     func() time.Time
 }
+
+// rejectBackoff bounds the pause after a rejected accept: long enough
+// that a flood of doomed connections cannot spin the accept loop at
+// 100% CPU churning file descriptors, short enough that a legitimate
+// connection arriving as the window slides waits imperceptibly.
+const (
+	minRejectBackoff = 5 * time.Millisecond
+	maxRejectBackoff = 100 * time.Millisecond
+)
 
 // LimitConnections wraps l with a connections-per-minute cap. A limit
 // of zero or less disables limiting.
@@ -59,7 +75,9 @@ func (rl *RateLimitedListener) Dropped() int64 {
 func (rl *RateLimitedListener) Limit() int { return rl.limit }
 
 // admit records an accept attempt and reports whether it is within the
-// window's budget.
+// window's budget. The dropped counter is incremented here, before the
+// caller closes the rejected connection, so a Close error can never
+// mask the drop from the dav_limiter_dropped_total gauge.
 func (rl *RateLimitedListener) admit() bool {
 	if rl.limit <= 0 {
 		return true
@@ -83,7 +101,30 @@ func (rl *RateLimitedListener) admit() bool {
 	return true
 }
 
-// Accept implements net.Listener.
+// rejectDelay reports how long Accept should pause after a rejected
+// connection: until the oldest in-window stamp slides out (when the
+// next admit could succeed), clamped to [minRejectBackoff,
+// maxRejectBackoff].
+func (rl *RateLimitedListener) rejectDelay() time.Duration {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	d := maxRejectBackoff
+	if len(rl.stamps) > 0 {
+		d = rl.stamps[0].Add(time.Minute).Sub(rl.now())
+	}
+	if d < minRejectBackoff {
+		d = minRejectBackoff
+	}
+	if d > maxRejectBackoff {
+		d = maxRejectBackoff
+	}
+	return d
+}
+
+// Accept implements net.Listener. After a rejected accept it pauses
+// briefly before accepting again: under sustained overload the previous
+// tight accept-close loop burned a full CPU churning through file
+// descriptors — a rate limiter that amplified the load it was limiting.
 func (rl *RateLimitedListener) Accept() (net.Conn, error) {
 	for {
 		conn, err := rl.Listener.Accept()
@@ -94,6 +135,7 @@ func (rl *RateLimitedListener) Accept() (net.Conn, error) {
 			return conn, nil
 		}
 		conn.Close()
+		time.Sleep(rl.rejectDelay())
 	}
 }
 

@@ -1,0 +1,519 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/davserver/admit"
+	"repro/internal/dbm"
+	"repro/internal/store"
+	"repro/internal/store/fsck"
+	"repro/internal/store/journal"
+)
+
+// This file is the PR 10 overload benchmark: a closed-loop client fleet
+// offering several times the store's capacity, run against two
+// admission architectures. The store is throttled to a fixed service
+// rate (a concurrency-2 semaphore with a per-operation stall, the
+// classic model of a small disk array), so the offered load saturates
+// it by construction. In the "unprotected" arm every request is
+// admitted and queues inside the server; latency grows with the number
+// of concurrent clients and almost nothing finishes inside the latency
+// deadline — the goodput collapse the admission controller exists to
+// prevent. In the "protected" arm the adaptive limiter admits roughly
+// the store's real concurrency, queues a small bounded backlog, and
+// sheds the rest with 429 + an honest Retry-After; admitted requests
+// keep their uncongested latency, so goodput (requests completing
+// within the deadline) stays high even though raw throughput is
+// deliberately refused. BENCH_PR10.json reports both arms plus an
+// integrity section proving the protected arm's shed-and-retry churn
+// left the store clean (no fsck findings, no pending journal intents).
+
+// BenchPR10Schema identifies the BENCH_PR10.json format.
+const BenchPR10Schema = "bench_pr10/v1"
+
+// slowStore models slow storage: Get and Put acquire one of K device
+// slots and hold it for the configured service time plus the real
+// operation. Waiting respects ctx so cancelled requests leave the
+// device queue.
+type slowStore struct {
+	store.Store
+	sem   chan struct{}
+	delay time.Duration
+}
+
+func (s *slowStore) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		<-s.sem
+		return ctx.Err()
+	}
+}
+
+func (s *slowStore) Get(ctx context.Context, p string) (io.ReadCloser, store.ResourceInfo, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, store.ResourceInfo{}, err
+	}
+	defer func() { <-s.sem }()
+	return s.Store.Get(ctx, p)
+}
+
+func (s *slowStore) Put(ctx context.Context, p string, r io.Reader, contentType string) (bool, error) {
+	if err := s.acquire(ctx); err != nil {
+		return false, err
+	}
+	defer func() { <-s.sem }()
+	return s.Store.Put(ctx, p, r, contentType)
+}
+
+// BenchPR10Admission is the protected arm's limiter telemetry.
+type BenchPR10Admission struct {
+	// FinalLimit is the adaptive concurrency limit when the run ended;
+	// convergence means it sits near the store's real concurrency, far
+	// below the offered load.
+	FinalLimit float64 `json:"final_limit"`
+	// Increases and Decreases count AIMD limit adjustments.
+	Increases uint64 `json:"increases"`
+	Decreases uint64 `json:"decreases"`
+	// Admitted and Shed are the limiter's per-class cumulative totals
+	// summed over Read/Write/Heavy (probes bypass).
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+}
+
+// BenchPR10Arm is one admission architecture's measurement.
+type BenchPR10Arm struct {
+	Name string `json:"name"` // "unprotected" or "protected"
+	// WallMs is the time until every reader finished its rounds.
+	WallMs float64 `json:"wall_ms"`
+	// Requests counts reader GET attempts; Good those that returned
+	// 2xx within the deadline — the goodput numerator.
+	Requests   int     `json:"requests"`
+	Good       int     `json:"good"`
+	GoodPerSec float64 `json:"good_per_sec"`
+	// SlowOK counts 2xx responses that missed the deadline: admitted
+	// work that was too congested to be useful.
+	SlowOK int `json:"slow_ok"`
+	// Sheds counts 429 responses; ShedsWithRetryAfter how many of them
+	// carried a positive Retry-After. The two must be equal: a shed
+	// without guidance invites an immediate retry.
+	Sheds               int `json:"sheds"`
+	ShedsWithRetryAfter int `json:"sheds_with_retry_after"`
+	// Errors counts anything else (non-2xx, non-429).
+	Errors int `json:"errors"`
+	// OKP50Ms / OKP99Ms are latency percentiles over the 2xx responses
+	// only — what admitted clients experienced. Under protection the
+	// median stays near the uncongested service time; the p99 can carry
+	// a short tail of requests that queued behind slow writes at a low
+	// converged limit, which the deadline accounting already classifies
+	// as SlowOK.
+	OKP50Ms float64 `json:"ok_p50_ms"`
+	OKP99Ms float64 `json:"ok_p99_ms"`
+	// WriterPuts / WriterSheds are the background writers' outcomes.
+	WriterPuts  int `json:"writer_puts"`
+	WriterSheds int `json:"writer_sheds"`
+	// Admission is present on the protected arm only.
+	Admission *BenchPR10Admission `json:"admission,omitempty"`
+}
+
+// BenchPR10Integrity is the post-run consistency check of the protected
+// arm's store: shedding and retrying must leave no debris.
+type BenchPR10Integrity struct {
+	FsckFindings   int `json:"fsck_findings"`
+	FsckResources  int `json:"fsck_resources"`
+	JournalPending int `json:"journal_pending"`
+}
+
+// BenchPR10Result is the full overload benchmark outcome.
+type BenchPR10Result struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go"`
+	CPUs      int    `json:"cpus"`
+	Mix       string `json:"mix"`
+	// StoreConcurrency and ServiceMs describe the throttled store;
+	// Readers/Writers/Rounds the offered load; DeadlineMs the goodput
+	// deadline.
+	StoreConcurrency int     `json:"store_concurrency"`
+	ServiceMs        float64 `json:"service_ms"`
+	Readers          int     `json:"readers"`
+	Writers          int     `json:"writers"`
+	Rounds           int     `json:"rounds"`
+	DeadlineMs       float64 `json:"deadline_ms"`
+	// Arms holds the unprotected baseline first, then the protected
+	// stack.
+	Arms []BenchPR10Arm `json:"arms"`
+	// GoodputRatio is protected goodput over unprotected goodput
+	// (requests/sec completing within the deadline). The denominator is
+	// floored at half a request over the arm's wall so a total collapse
+	// of the baseline yields a large finite ratio instead of dividing
+	// by zero.
+	GoodputRatio float64            `json:"goodput_ratio"`
+	Integrity    BenchPR10Integrity `json:"integrity"`
+}
+
+// BenchPR10Options sizes the benchmark.
+type BenchPR10Options struct {
+	// StoreConcurrency is the throttled store's device slots (default
+	// 2); Service the per-operation stall (default 40ms).
+	StoreConcurrency int
+	Service          time.Duration
+	// Readers is the closed-loop GET fleet size (default 16), Rounds
+	// the GETs each reader completes (default 12), Writers the
+	// background PUT loops (default 2).
+	Readers, Rounds, Writers int
+	// Deadline is the goodput latency bound (default 250ms).
+	Deadline time.Duration
+}
+
+const benchPR10Mix = "%d closed-loop readers x %d GET rounds + %d PUT writers against a %d-slot store with %v per operation; good = 2xx within %v; shed clients honor Retry-After"
+
+// RunBenchPR10 measures goodput under saturation with and without the
+// admission controller on the serving path.
+func RunBenchPR10(opts BenchPR10Options) (BenchPR10Result, error) {
+	if opts.StoreConcurrency <= 0 {
+		opts.StoreConcurrency = 2
+	}
+	if opts.Service <= 0 {
+		opts.Service = 40 * time.Millisecond
+	}
+	if opts.Readers <= 0 {
+		opts.Readers = 16
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 12
+	}
+	if opts.Writers <= 0 {
+		opts.Writers = 2
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = 250 * time.Millisecond
+	}
+
+	res := BenchPR10Result{
+		Schema:    BenchPR10Schema,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Mix: fmt.Sprintf(benchPR10Mix, opts.Readers, opts.Rounds, opts.Writers,
+			opts.StoreConcurrency, opts.Service, opts.Deadline),
+		StoreConcurrency: opts.StoreConcurrency,
+		ServiceMs:        ms(opts.Service),
+		Readers:          opts.Readers,
+		Writers:          opts.Writers,
+		Rounds:           opts.Rounds,
+		DeadlineMs:       ms(opts.Deadline),
+	}
+
+	for _, arch := range []string{"unprotected", "protected"} {
+		arm, integ, err := runBenchPR10Arm(arch, opts)
+		if err != nil {
+			return res, fmt.Errorf("bench-pr10 %s: %w", arch, err)
+		}
+		res.Arms = append(res.Arms, arm)
+		if arch == "protected" {
+			res.Integrity = integ
+		}
+	}
+
+	unp, prot := res.Arms[0], res.Arms[1]
+	floor := 0.5 / (unp.WallMs / 1000)
+	denom := unp.GoodPerSec
+	if denom < floor {
+		denom = floor
+	}
+	res.GoodputRatio = prot.GoodPerSec / denom
+	return res, nil
+}
+
+// runBenchPR10Arm boots a fresh throttled environment, optionally wraps
+// it in the admission controller, and drives the saturating fleet.
+func runBenchPR10Arm(arch string, opts BenchPR10Options) (BenchPR10Arm, BenchPR10Integrity, error) {
+	arm := BenchPR10Arm{Name: arch}
+
+	dir, err := os.MkdirTemp("", "benchpr10-*")
+	if err != nil {
+		return arm, BenchPR10Integrity{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	var ctl *admit.Controller
+	envOpts := DAVEnvOptions{
+		Dir:        dir,
+		Persistent: true,
+		WrapStore: func(s store.Store) store.Store {
+			return &slowStore{
+				Store: s,
+				sem:   make(chan struct{}, opts.StoreConcurrency),
+				delay: opts.Service,
+			}
+		},
+	}
+	if arch == "protected" {
+		ctl = &admit.Controller{Limiter: admit.NewLimiter(admit.Config{
+			Initial:     4,
+			Min:         1,
+			Max:         16,
+			Queue:       6,
+			AdjustEvery: 8,
+			Tolerance:   1.5,
+		})}
+		envOpts.WrapHandler = ctl.Middleware
+	}
+	env, err := StartDAVEnv(envOpts)
+	if err != nil {
+		return arm, BenchPR10Integrity{}, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			env.Close()
+		}
+	}()
+
+	// Working set: a handful of small documents the readers fan over.
+	const docCount = 8
+	if err := env.Client.Mkcol("/bench"); err != nil {
+		return arm, BenchPR10Integrity{}, err
+	}
+	for i := 0; i < docCount; i++ {
+		p := fmt.Sprintf("/bench/doc%d.dat", i)
+		if _, err := env.Client.PutBytes(p, []byte("overload benchmark document"), "application/octet-stream"); err != nil {
+			return arm, BenchPR10Integrity{}, err
+		}
+	}
+
+	type tally struct {
+		requests, good, slowOK, sheds, shedsWithRA, errors int
+		okLatencies                                        []time.Duration
+	}
+	var (
+		mu  sync.Mutex
+		tot tally
+	)
+	// doOne issues one request with a bare HTTP client (no automatic
+	// retries: the arms must see identical offered load) and classifies
+	// the outcome. On a shed it sleeps the server's Retry-After — the
+	// well-behaved client the Retry-After contract assumes.
+	doOne := func(client *http.Client, req *http.Request) (shed bool) {
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			mu.Lock()
+			tot.requests++
+			tot.errors++
+			mu.Unlock()
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		lat := time.Since(start)
+
+		mu.Lock()
+		tot.requests++
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			tot.sheds++
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				tot.shedsWithRA++
+			}
+			shed = true
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			tot.okLatencies = append(tot.okLatencies, lat)
+			if lat <= opts.Deadline {
+				tot.good++
+			} else {
+				tot.slowOK++
+			}
+		default:
+			tot.errors++
+		}
+		mu.Unlock()
+
+		if shed {
+			delay := time.Second
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+			if delay > 2*time.Second {
+				delay = 2 * time.Second // keep the bench bounded
+			}
+			time.Sleep(delay)
+		}
+		return shed
+	}
+
+	start := time.Now()
+	stopWriters := make(chan struct{})
+	var writerPuts, writerSheds atomic.Int64
+	var wwg sync.WaitGroup
+	for w := 0; w < opts.Writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			client := &http.Client{}
+			p := fmt.Sprintf("%s/bench/writer%d.dat", env.URL, w)
+			for {
+				select {
+				case <-stopWriters:
+					return
+				default:
+				}
+				req, err := http.NewRequest(http.MethodPut, p, strings.NewReader("writer payload"))
+				if err != nil {
+					return
+				}
+				if shed := doOne(client, req); shed {
+					writerSheds.Add(1)
+				} else {
+					writerPuts.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	var rwg sync.WaitGroup
+	for r := 0; r < opts.Readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			client := &http.Client{}
+			for i := 0; i < opts.Rounds; i++ {
+				p := fmt.Sprintf("%s/bench/doc%d.dat", env.URL, (r+i)%docCount)
+				req, err := http.NewRequest(http.MethodGet, p, nil)
+				if err != nil {
+					return
+				}
+				doOne(client, req)
+			}
+		}(r)
+	}
+	rwg.Wait()
+	wall := time.Since(start)
+	close(stopWriters)
+	wwg.Wait()
+
+	arm.WallMs = ms(wall)
+	arm.Requests = tot.requests
+	arm.Good = tot.good
+	arm.GoodPerSec = float64(tot.good) / wall.Seconds()
+	arm.SlowOK = tot.slowOK
+	arm.Sheds = tot.sheds
+	arm.ShedsWithRetryAfter = tot.shedsWithRA
+	arm.Errors = tot.errors
+	sort.Slice(tot.okLatencies, func(i, j int) bool { return tot.okLatencies[i] < tot.okLatencies[j] })
+	arm.OKP50Ms = ms(percentile(tot.okLatencies, 0.50))
+	arm.OKP99Ms = ms(percentile(tot.okLatencies, 0.99))
+	arm.WriterPuts = int(writerPuts.Load())
+	arm.WriterSheds = int(writerSheds.Load())
+	if ctl != nil {
+		st := ctl.Limiter.Stats()
+		adm := &BenchPR10Admission{
+			FinalLimit: st.Limit,
+			Increases:  st.Increases,
+			Decreases:  st.Decreases,
+		}
+		for _, pr := range []admit.Priority{admit.Read, admit.Write, admit.Heavy} {
+			adm.Admitted += ctl.Limiter.Admitted(pr)
+			adm.Shed += ctl.Limiter.Shed(pr)
+		}
+		arm.Admission = adm
+	}
+
+	// Integrity: close the environment, then prove the shed-and-retry
+	// churn left the store clean.
+	closed = true
+	env.Close()
+	var integ BenchPR10Integrity
+	if arch == "protected" {
+		rep, err := fsck.Check(dir, dbm.GDBM)
+		if err != nil {
+			return arm, integ, fmt.Errorf("fsck: %w", err)
+		}
+		integ.FsckFindings = len(rep.Findings)
+		integ.FsckResources = rep.Resources
+		pending, err := journal.ReadPending(filepath.Join(dir, store.MetaDirName, "journal"))
+		if err != nil {
+			return arm, integ, fmt.Errorf("read journal: %w", err)
+		}
+		integ.JournalPending = len(pending)
+	}
+	return arm, integ, nil
+}
+
+// ValidateBenchPR10 checks a serialized BENCH_PR10.json against what
+// the CI overload smoke asserts: both arms present and fully measured,
+// the protected arm kept goodput at least 1.5x the saturated baseline,
+// every shed carried a positive Retry-After, median admitted latency
+// did not get worse under protection, and the store came out clean.
+func ValidateBenchPR10(data []byte) error {
+	var r BenchPR10Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("bench-pr10: unparseable: %w", err)
+	}
+	if r.Schema != BenchPR10Schema {
+		return fmt.Errorf("bench-pr10: schema %q, want %q", r.Schema, BenchPR10Schema)
+	}
+	if len(r.Arms) != 2 || r.Arms[0].Name != "unprotected" || r.Arms[1].Name != "protected" {
+		return fmt.Errorf("bench-pr10: want arms [unprotected protected], got %+v", r.Arms)
+	}
+	unp, prot := r.Arms[0], r.Arms[1]
+	for _, a := range r.Arms {
+		if a.Requests <= 0 || a.WallMs <= 0 {
+			return fmt.Errorf("bench-pr10: arm %s not measured: %+v", a.Name, a)
+		}
+		if a.Errors > 0 {
+			return fmt.Errorf("bench-pr10: arm %s leaked %d non-shed errors", a.Name, a.Errors)
+		}
+	}
+	if unp.Sheds != 0 {
+		return fmt.Errorf("bench-pr10: unprotected arm shed %d requests; it has no admission layer", unp.Sheds)
+	}
+	if prot.Sheds == 0 {
+		return fmt.Errorf("bench-pr10: protected arm never shed under %dx+ saturation; the limiter did nothing", 2)
+	}
+	if prot.ShedsWithRetryAfter != prot.Sheds {
+		return fmt.Errorf("bench-pr10: %d of %d sheds missing a positive Retry-After",
+			prot.Sheds-prot.ShedsWithRetryAfter, prot.Sheds)
+	}
+	if prot.Good <= 0 {
+		return fmt.Errorf("bench-pr10: protected arm completed no good requests")
+	}
+	if r.GoodputRatio < 1.5 {
+		return fmt.Errorf("bench-pr10: goodput ratio %.2f, want >= 1.5 (protected %.1f/s vs unprotected %.1f/s)",
+			r.GoodputRatio, prot.GoodPerSec, unp.GoodPerSec)
+	}
+	if prot.OKP50Ms > unp.OKP50Ms {
+		return fmt.Errorf("bench-pr10: admitted median %.1fms under protection vs %.1fms without; admission made latency worse",
+			prot.OKP50Ms, unp.OKP50Ms)
+	}
+	if prot.Admission == nil || prot.Admission.Shed == 0 {
+		return fmt.Errorf("bench-pr10: protected arm has no limiter telemetry")
+	}
+	if r.Integrity.FsckFindings != 0 {
+		return fmt.Errorf("bench-pr10: %d fsck findings after the shed-and-retry churn", r.Integrity.FsckFindings)
+	}
+	if r.Integrity.JournalPending != 0 {
+		return fmt.Errorf("bench-pr10: %d journal intents still pending", r.Integrity.JournalPending)
+	}
+	return nil
+}

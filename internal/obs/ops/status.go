@@ -57,6 +57,7 @@ var DefaultGaugePrefixes = []string{
 	"dav_pathlock_", "dav_dbm_cache_", "dav_limiter_", "dav_locks_",
 	"dav_recovery_", "dav_recovering", "dav_journal_", "dav_fsck_",
 	"dav_fsync_", "dav_inflight_", "dav_panics_", "dav_metric_label_overflow",
+	"dav_admit_", "dav_brownout_",
 }
 
 // StatusDoc is the JSON document served by /debug/status?format=json.
